@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Decision Instance Params Printf Psdp_core Psdp_prelude Solver Stats String

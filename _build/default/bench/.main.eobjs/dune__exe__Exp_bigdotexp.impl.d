@@ -1,0 +1,1 @@
+bench/exp_bigdotexp.ml: Array Bench_util Big_dot_exp Cost Csr Factored Float List Mat Printf Psdp_expm Psdp_linalg Psdp_prelude Psdp_sketch Psdp_sparse Qr Rng Stats Weighted_gram

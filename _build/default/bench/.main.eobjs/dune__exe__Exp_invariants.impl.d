@@ -1,0 +1,1 @@
+bench/exp_invariants.ml: Array Bench_util Certificate Decision Eig Float Instance Mat Matfun Params Printf Psdp_core Psdp_instances Psdp_linalg Psdp_mmw Psdp_prelude Random_psd Rng Util

@@ -1,0 +1,1 @@
+bench/exp_parallel.ml: Array Bench_util Big_dot_exp Cost Csr Domain Factored List Pool Printf Psdp_expm Psdp_parallel Psdp_prelude Psdp_sketch Psdp_sparse Rng Timer Weighted_gram

@@ -1,0 +1,1 @@
+bench/exp_quality.ml: Bench_util Float Graph Graph_packing Known_opt List Printf Psdp_core Psdp_instances Psdp_prelude Rng Solver

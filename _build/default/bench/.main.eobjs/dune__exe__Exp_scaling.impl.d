@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Bench_util List Printf Psdp_instances Psdp_prelude Random_psd Rng Util

@@ -1,0 +1,1 @@
+bench/exp_width.ml: Baseline Bench_util Decision Instance List Printf Psdp_core Psdp_instances Psdp_prelude Random_psd Rng

@@ -1,0 +1,1 @@
+bench/exp_work.ml: Array Bench_util Cost Decision Instance List Printf Psdp_core Psdp_instances Psdp_prelude Psdp_sparse Random_psd Rng

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_ablation Exp_bigdotexp Exp_invariants Exp_parallel Exp_quality Exp_scaling Exp_width Exp_work Kernels List Printf Sys

@@ -1,0 +1,121 @@
+(* EXP4: the bigDotExp primitive (Theorem 4.1, Lemma 4.2).
+
+   (a) Accuracy and degree: for spectra of growing norm kappa, the
+       Lemma-4.2 degree k = max(e^2·kappa/2, ln(2/eps)) must bring the
+       polynomial's relative error on every exp(Phi)•A_i below eps
+       (isolated from sketching error by using the identity sketch), and
+       the Gaussian sketch at the recommended dimension must stay within
+       its statistical budget.
+   (b) Work: the cost-model work of one bigDotExp call must grow
+       near-linearly in the number of non-zeros q of the factorization
+       (Corollary 1.2). *)
+
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_sparse
+open Psdp_expm
+
+let phi_with_norm rng dim kappa =
+  let basis = Qr.orthonormal_columns (Mat.init dim dim (fun _ _ -> Rng.gaussian rng)) in
+  let eigs = Array.init dim (fun i -> if i = 0 then kappa else Rng.uniform rng *. kappa) in
+  Mat.mul basis (Mat.mul (Mat.diag eigs) (Mat.transpose basis))
+
+let random_factored rng dim rank density =
+  let entries = ref [ (0, 0, 1.0) ] in
+  for i = 0 to dim - 1 do
+    for j = 0 to rank - 1 do
+      if Rng.uniform rng < density then
+        entries := (i, j, Rng.gaussian rng) :: !entries
+    done
+  done;
+  Factored.of_csr (Csr.of_coo ~rows:dim ~cols:rank !entries)
+
+let accuracy ~quick () =
+  Bench_util.section
+    "EXP4a: bigDotExp accuracy vs kappa (eps = 0.05; identity sketch \
+     isolates Lemma 4.2)";
+  Printf.printf "%8s %8s %18s %20s\n" "kappa" "degree" "poly max rel err"
+    "gauss median rel err";
+  let kappas = if quick then [ 1.0; 4.0; 16.0 ] else [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0 ] in
+  let eps = 0.05 in
+  let dim = 14 in
+  List.iter
+    (fun kappa ->
+      let rng = Rng.create (int_of_float (kappa *. 100.0)) in
+      let phi = phi_with_norm rng dim kappa in
+      let factors = Array.init 4 (fun _ -> random_factored rng dim 3 0.5) in
+      let exact = Big_dot_exp.compute_exact phi factors in
+      let poly =
+        Big_dot_exp.compute ~matvec:(Mat.gemv phi) ~dim ~kappa ~eps
+          ~sketch:(Psdp_sketch.Jl.identity dim) factors
+      in
+      let max_rel = ref 0.0 in
+      Array.iteri
+        (fun i d ->
+          max_rel :=
+            Float.max !max_rel
+              (Float.abs (poly.Big_dot_exp.dots.(i) -. d) /. d))
+        exact.Big_dot_exp.dots;
+      (* Gaussian sketch: median worst-constraint error over trials. *)
+      let trials = if quick then 5 else 11 in
+      let errs =
+        Array.init trials (fun t ->
+            let sk =
+              Psdp_sketch.Jl.create
+                ~rng:(Rng.create (t + 999))
+                ~target_dim:(Psdp_sketch.Jl.recommended_dim ~eps:0.25 dim)
+                ~source_dim:dim
+            in
+            let g =
+              Big_dot_exp.compute ~matvec:(Mat.gemv phi) ~dim ~kappa ~eps
+                ~sketch:sk factors
+            in
+            let worst = ref 0.0 in
+            Array.iteri
+              (fun i d ->
+                worst :=
+                  Float.max !worst
+                    (Float.abs (g.Big_dot_exp.dots.(i) -. d) /. d))
+              exact.Big_dot_exp.dots;
+            !worst)
+      in
+      Printf.printf "%8.1f %8d %18.5f %20.5f\n" kappa poly.Big_dot_exp.degree
+        !max_rel (Stats.median errs);
+      assert (!max_rel <= eps))
+    kappas
+
+let work ~quick () =
+  Bench_util.section
+    "EXP4b: bigDotExp cost-model work vs nnz(q) (Corollary 1.2: near-linear)";
+  Printf.printf "%10s %14s %14s\n" "nnz q" "work" "work/q";
+  let dims = if quick then [ 64; 128; 256 ] else [ 64; 128; 256; 512; 1024 ] in
+  let points =
+    List.map
+      (fun dim ->
+        let rng = Rng.create dim in
+        let factors = Array.init 8 (fun _ -> random_factored rng dim 4 0.1) in
+        let q =
+          Array.fold_left (fun acc f -> acc + Factored.nnz f) 0 factors
+        in
+        let gram = Weighted_gram.create factors in
+        Weighted_gram.set_weights gram (Array.make 8 (0.125 /. float_of_int dim));
+        let sketch =
+          Psdp_sketch.Jl.create ~rng ~target_dim:16 ~source_dim:dim
+        in
+        let (_ : Big_dot_exp.result), cost =
+          Cost.measure (fun () ->
+              Big_dot_exp.compute
+                ~matvec:(Weighted_gram.apply gram)
+                ~dim ~kappa:2.0 ~eps:0.1 ~sketch factors)
+        in
+        Printf.printf "%10d %14d %14.1f\n" q cost.Cost.work
+          (float_of_int cost.Cost.work /. float_of_int q);
+        (float_of_int q, float_of_int cost.Cost.work))
+      dims
+  in
+  let exponent =
+    Bench_util.fit_exponent (List.map fst points) (List.map snd points)
+  in
+  Printf.printf "empirical work exponent in q: %.2f (theory: 1 + o(1))\n"
+    exponent;
+  exponent

@@ -1,0 +1,80 @@
+(* EXP6: parallelism of the per-iteration primitive (the NC claim).
+
+   This container exposes a single CPU (Domain.recommended_domain_count =
+   1), so wall-clock speedup is not observable here; what we CAN measure
+   faithfully is the PRAM-style parallelism the kernels expose, via the
+   cost model: work (total flops) / depth (critical path under the
+   charged kernel shapes). We report that ratio for the bigDotExp
+   primitive and a weighted-Gram matvec, and additionally time the pool
+   at 1 and 2 domains to show the scheduling overhead is modest (on a
+   multi-core host the same harness reports real speedups). *)
+
+open Psdp_prelude
+open Psdp_sparse
+open Psdp_expm
+open Psdp_parallel
+
+let build ~dim ~n ~rank ~density =
+  let rng = Rng.create 2718 in
+  let factors =
+    Array.init n (fun _ ->
+        let entries = ref [ (0, 0, 1.0) ] in
+        for i = 0 to dim - 1 do
+          for j = 0 to rank - 1 do
+            if Rng.uniform rng < density then
+              entries := (i, j, Rng.gaussian rng) :: !entries
+          done
+        done;
+        Factored.of_csr (Csr.of_coo ~rows:dim ~cols:rank !entries))
+  in
+  let gram = Weighted_gram.create factors in
+  Weighted_gram.set_weights gram
+    (Array.make n (1.0 /. float_of_int (n * rank)));
+  (factors, gram)
+
+let run ~quick () =
+  Bench_util.section
+    "EXP6: parallelism of the per-iteration primitive (cost model)";
+  let dim = if quick then 1024 else 4096 in
+  let factors, gram = build ~dim ~n:16 ~rank:8 ~density:0.2 in
+  let q = Array.fold_left (fun a f -> a + Factored.nnz f) 0 factors in
+  Printf.printf "operator: m = %d, n = 16, q = %d\n" dim q;
+  let rng = Rng.create 3141 in
+  let sketch = Psdp_sketch.Jl.create ~rng ~target_dim:24 ~source_dim:dim in
+  let v = Rng.gaussian_array rng dim in
+  let big pool () =
+    ignore
+      (Big_dot_exp.compute ~pool
+         ~matvec:(Weighted_gram.apply ~pool gram)
+         ~dim ~kappa:8.0 ~eps:0.1 ~sketch factors)
+  in
+  (* Cost-model parallelism: work/depth under the charged kernel shapes. *)
+  let (), cost_big = Cost.measure (big Pool.sequential) in
+  let (), cost_spmv =
+    Cost.measure (fun () -> ignore (Weighted_gram.apply gram v))
+  in
+  Printf.printf "%-22s %14s %12s %14s\n" "kernel" "work" "depth"
+    "parallelism";
+  let report name (c : Cost.snapshot) =
+    Printf.printf "%-22s %14d %12d %14.1f\n" name c.Cost.work c.Cost.depth
+      (float_of_int c.Cost.work /. float_of_int (max 1 c.Cost.depth))
+  in
+  report "bigDotExp" cost_big;
+  report "weighted-gram matvec" cost_spmv;
+
+  (* Pool overhead sanity: on this single-core host domains time-share,
+     so elapsed time should stay roughly flat (overhead < ~2x). *)
+  Printf.printf "\n%9s %14s   (host has %d hardware thread(s))\n" "domains"
+    "bigDotExp(s)"
+    (Domain.recommended_domain_count ());
+  let base = ref 0.0 in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~num_domains:domains (fun pool ->
+          let (), t = Timer.time_median ~repeats:3 (big pool) in
+          if domains = 1 then base := t;
+          Printf.printf "%9d %14.4f   (x%.2f vs 1 domain)\n" domains t
+            (t /. !base)))
+    [ 1; 2 ];
+  (float_of_int cost_big.Cost.work /. float_of_int (max 1 cost_big.Cost.depth),
+   float_of_int cost_spmv.Cost.work /. float_of_int (max 1 cost_spmv.Cost.depth))

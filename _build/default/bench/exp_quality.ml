@@ -1,0 +1,54 @@
+(* EXP7: end-to-end approximation quality (Theorem 1.1).
+
+   On families with analytically known optima, approxPSDP must return a
+   verified value >= (1-eps)·OPT and a certified upper bound >= OPT, for
+   every eps. These rows are the empirical content of the
+   (1+eps)-approximation guarantee. *)
+
+open Psdp_prelude
+open Psdp_core
+open Psdp_instances
+
+(* Each generator draws from a fresh, fixed-seed RNG so every eps row of a
+   family sees the identical instance. *)
+let families =
+  [
+    ( "projectors(12,4)",
+      fun () ->
+        Known_opt.orthogonal_projectors ~rng:(Rng.create 55) ~dim:12 ~n:4 );
+    ( "rank-one(10,6)",
+      fun () -> Known_opt.rank_one_orthonormal ~rng:(Rng.create 56) ~dim:10 ~n:6 );
+    ( "weighted(9;.5,1,4)",
+      fun () ->
+        Known_opt.weighted_projectors ~rng:(Rng.create 57) ~dim:9
+          ~weights:[| 0.5; 1.0; 4.0 |] );
+    ("simplex-corner(8)", fun () -> Known_opt.simplex_corner ~dim:8);
+    ( "cycle C_12",
+      fun () ->
+        ( Graph_packing.edge_packing (Graph.cycle 12),
+          Graph_packing.edge_packing_opt_cycle 12 ) );
+  ]
+
+let run ~quick () =
+  Bench_util.section "EXP7: approximation quality vs known optima (Theorem 1.1)";
+  Printf.printf "%20s %6s %10s %10s %10s %9s\n" "family" "eps" "OPT" "value"
+    "upper" "value/OPT";
+  let epss = if quick then [ 0.3; 0.1 ] else [ 0.3; 0.2; 0.1 ] in
+  let worst = ref 1.0 in
+  List.iter
+    (fun (name, gen) ->
+      List.iter
+        (fun eps ->
+          let inst, opt = gen () in
+          let r = Solver.solve_packing ~eps inst in
+          let ratio = r.Solver.value /. opt in
+          worst := Float.min !worst ratio;
+          Printf.printf "%20s %6.2f %10.4f %10.4f %10.4f %9.4f\n" name eps opt
+            r.Solver.value r.Solver.upper_bound ratio;
+          assert (r.Solver.value >= ((1.0 -. eps) *. opt) -. 1e-6);
+          assert (r.Solver.upper_bound >= opt -. (0.05 *. opt)))
+        epss)
+    families;
+  Printf.printf "worst value/OPT ratio: %.4f (every row satisfies >= 1-eps)\n"
+    !worst;
+  !worst

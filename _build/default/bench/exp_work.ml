@@ -1,0 +1,74 @@
+(* EXP5: per-iteration solver work vs factorization size (Corollary 1.2).
+
+   The claim: with the Theorem-4.1 primitive, one iteration of
+   decisionPSDP costs O~(n + m + q) work. We run a fixed number of
+   Faithful-mode iterations (no certificate checks — those are an
+   engineering add-on with their own cost profile) on instances whose q
+   ramps linearly with the dimension, and fit the measured cost-model
+   work per iteration against q. *)
+
+open Psdp_prelude
+open Psdp_core
+open Psdp_instances
+
+let iterations_budget = 150
+
+exception Enough
+
+let work_of_fixed_iterations ~eps ~backend inst =
+  (* Stop the faithful run after exactly [iterations_budget] iterations by
+     raising from the per-iteration hook; the cost counters then hold the
+     work of precisely those iterations. *)
+  let v =
+    2.0
+    *. Array.fold_left
+         (fun acc f -> acc +. (1.0 /. Psdp_sparse.Factored.lambda_max f))
+         0.0 (Instance.factors inst)
+  in
+  let scaled = Instance.scale v inst in
+  let count = ref 0 in
+  let run () =
+    match
+      Decision.solve ~mode:Decision.Faithful ~eps ~backend
+        ~on_iter:(fun s ->
+          count := s.Decision.t;
+          if s.Decision.t >= iterations_budget then raise Enough)
+        scaled
+    with
+    | (_ : Decision.result) -> ()
+    | exception Enough -> ()
+  in
+  let (), cost = Cost.measure run in
+  (cost, !count)
+
+let run ~quick () =
+  Bench_util.section
+    (Printf.sprintf
+       "EXP5: work of %d faithful iterations vs nnz (sketched backend, eps = \
+        0.3)"
+       iterations_budget);
+  Printf.printf "%8s %10s %8s %16s %14s\n" "dim" "nnz q" "iters" "work"
+    "work/(q*iters)";
+  let dims = if quick then [ 32; 64; 128 ] else [ 32; 64; 128; 256; 512 ] in
+  let eps = 0.3 in
+  let backend = Decision.Sketched { seed = 5; sketch_dim = Some 24 } in
+  let points =
+    List.map
+      (fun dim ->
+        let rng = Rng.create (13 * dim) in
+        let inst = Random_psd.factored ~rng ~dim ~n:8 ~rank:4 ~density:0.15 () in
+        let q = Instance.nnz inst in
+        let cost, iters = work_of_fixed_iterations ~eps ~backend inst in
+        Printf.printf "%8d %10d %8d %16d %14.2f\n" dim q iters cost.Cost.work
+          (float_of_int cost.Cost.work /. float_of_int (q * max 1 iters));
+        (float_of_int q,
+         float_of_int cost.Cost.work /. float_of_int (max 1 iters)))
+      dims
+  in
+  let exponent =
+    Bench_util.fit_exponent (List.map fst points) (List.map snd points)
+  in
+  Printf.printf
+    "empirical per-iteration work exponent in q: %.2f (theory: 1 + o(1))\n"
+    exponent;
+  exponent

@@ -1,0 +1,123 @@
+(* Bechamel micro-benchmarks: one Test.make per experiment, timing the
+   kernel that dominates that experiment's inner loop.
+
+   EXP1/EXP2 -> one exact-backend evaluation of the Theorem 1.1 primitive
+   EXP3      -> one baseline step (dense expm + best response)
+   EXP4      -> one bigDotExp call (Theorem 4.1)
+   EXP5      -> one weighted-Gram application (the O(q) matvec)
+   EXP6      -> one parallel spmv on the global pool
+   EXP7      -> one dual-certificate verification
+   EXP8      -> one MMW observe (reference implementation) *)
+
+open Bechamel
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_sparse
+open Psdp_core
+open Psdp_instances
+
+let dim = 48
+let n = 12
+
+let inst =
+  lazy
+    (let rng = Rng.create 31415 in
+     Random_psd.factored ~rng ~dim ~n ~rank:6 ~density:0.3 ())
+
+let weights = lazy (Decision.initial_point (Lazy.force inst))
+
+let gram =
+  lazy
+    (let g = Weighted_gram.create (Instance.factors (Lazy.force inst)) in
+     Weighted_gram.set_weights g (Lazy.force weights);
+     g)
+
+let dense_psi =
+  lazy
+    (let inst = Lazy.force inst in
+     let psi = Mat.create dim dim in
+     Array.iteri
+       (fun i a -> Mat.axpy psi ~alpha:(Lazy.force weights).(i) a)
+       (Instance.dense_mats inst);
+     psi)
+
+let sketch = lazy (Psdp_sketch.Jl.create ~rng:(Rng.create 7) ~target_dim:16 ~source_dim:dim)
+let vector = lazy (Rng.gaussian_array (Rng.create 8) dim)
+
+let exp1_exact_primitive () =
+  let inst = Lazy.force inst in
+  let w = Matfun.expm (Lazy.force dense_psi) in
+  let dots = Array.map (fun a -> Mat.dot a w) (Instance.dense_mats inst) in
+  Sys.opaque_identity (dots, Mat.trace w)
+
+let exp3_baseline_step () =
+  let inst = Lazy.force inst in
+  let w = Matfun.expm (Mat.scale 0.05 (Lazy.force dense_psi)) in
+  let p = Mat.scale (1.0 /. Mat.trace w) w in
+  let best = ref infinity in
+  Array.iter
+    (fun a -> best := Float.min !best (Mat.dot a p))
+    (Instance.dense_mats inst);
+  Sys.opaque_identity !best
+
+let exp4_bigdotexp () =
+  let inst = Lazy.force inst in
+  Sys.opaque_identity
+    (Psdp_expm.Big_dot_exp.compute
+       ~matvec:(Weighted_gram.apply (Lazy.force gram))
+       ~dim ~kappa:2.0 ~eps:0.1 ~sketch:(Lazy.force sketch)
+       (Instance.factors inst))
+
+let exp5_gram_apply () =
+  Sys.opaque_identity (Weighted_gram.apply (Lazy.force gram) (Lazy.force vector))
+
+let exp6_parallel_spmv () =
+  let pool = Psdp_parallel.Pool.global () in
+  Sys.opaque_identity
+    (Weighted_gram.apply ~pool (Lazy.force gram) (Lazy.force vector))
+
+let exp7_certificate () =
+  Sys.opaque_identity
+    (Certificate.check_dual (Lazy.force inst) (Lazy.force weights))
+
+let exp8_mmw_observe () =
+  let game = Psdp_mmw.Mmw.create ~dim:16 ~eps0:0.25 in
+  let m = Mat.scale (1.0 /. 16.0) (Mat.identity 16) in
+  for _ = 1 to 3 do
+    Psdp_mmw.Mmw.observe ~check:false game m
+  done;
+  Sys.opaque_identity (Psdp_mmw.Mmw.dotted_gain game)
+
+let tests =
+  Test.make_grouped ~name:"kernels"
+    [
+      Test.make ~name:"exp1-exact-primitive" (Staged.stage exp1_exact_primitive);
+      Test.make ~name:"exp3-baseline-step" (Staged.stage exp3_baseline_step);
+      Test.make ~name:"exp4-bigdotexp" (Staged.stage exp4_bigdotexp);
+      Test.make ~name:"exp5-gram-apply" (Staged.stage exp5_gram_apply);
+      Test.make ~name:"exp6-parallel-spmv" (Staged.stage exp6_parallel_spmv);
+      Test.make ~name:"exp7-certificate" (Staged.stage exp7_certificate);
+      Test.make ~name:"exp8-mmw-observe" (Staged.stage exp8_mmw_observe);
+    ]
+
+let run () =
+  Bench_util.section "Bechamel kernel micro-benchmarks (ns per call)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name o acc -> (name, o) :: acc) results []
+    |> List.sort compare
+  in
+  Printf.printf "%-30s %16s %8s\n" "kernel" "time/call" "r^2";
+  List.iter
+    (fun (name, o) ->
+      let estimate =
+        match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+      in
+      let r2 = Option.value ~default:nan (Analyze.OLS.r_square o) in
+      Printf.printf "%-30s %13.0f ns %8.4f\n" name estimate r2)
+    rows

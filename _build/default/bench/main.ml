@@ -1,0 +1,43 @@
+(* Benchmark harness: regenerates every experiment of DESIGN.md §4
+   (EXP1–EXP8) and runs the bechamel kernel suite.
+
+   Usage:
+     dune exec bench/main.exe              # full run, all experiments
+     dune exec bench/main.exe -- quick     # smaller sweeps (CI-sized)
+     dune exec bench/main.exe -- exp3 exp7 # selected experiments only
+     dune exec bench/main.exe -- kernels   # bechamel microbenches only
+
+   The printed tables are the source of EXPERIMENTS.md. *)
+
+let all_names =
+  [
+    "exp1"; "exp2"; "exp3"; "exp4"; "exp5"; "exp6"; "exp7"; "exp8"; "exp9";
+    "kernels";
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let selected = List.filter (fun a -> List.mem a all_names) args in
+  let want name = selected = [] || List.mem name selected in
+  Printf.printf
+    "psdp benchmark harness — width-independent positive SDP (SPAA'12)\n";
+  Printf.printf "mode: %s\n" (if quick then "quick" else "full");
+  if want "exp1" then ignore (Exp_scaling.exp1_iters_vs_n ~quick ());
+  if want "exp2" then ignore (Exp_scaling.exp2_iters_vs_eps ~quick ());
+  if want "exp3" then ignore (Exp_width.run ~quick ());
+  if want "exp4" then begin
+    Exp_bigdotexp.accuracy ~quick ();
+    ignore (Exp_bigdotexp.work ~quick ())
+  end;
+  if want "exp5" then ignore (Exp_work.run ~quick ());
+  if want "exp6" then ignore (Exp_parallel.run ~quick ());
+  if want "exp7" then ignore (Exp_quality.run ~quick ());
+  if want "exp8" then ignore (Exp_invariants.run ~quick ());
+  if want "exp9" then begin
+    Exp_ablation.phases_and_buckets ~quick ();
+    Exp_ablation.sketch_dimension ~quick ();
+    Exp_ablation.polynomial_choice ~quick ()
+  end;
+  if want "kernels" then Kernels.run ();
+  Printf.printf "\nAll selected experiments completed.\n"

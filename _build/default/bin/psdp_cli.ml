@@ -1,0 +1,239 @@
+(* Command-line interface: generate, inspect, decide and solve positive
+   SDP instances stored in the text format of {!Psdp_instances.Loader}.
+
+     psdp gen --family beamforming --dim 16 --n 8 -o bf.inst
+     psdp info bf.inst
+     psdp solve bf.inst --eps 0.1 --backend sketched
+     psdp decide bf.inst --threshold 0.5 --eps 0.2
+*)
+
+open Cmdliner
+open Psdp_prelude
+open Psdp_core
+open Psdp_instances
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments *)
+
+let eps_arg =
+  let doc = "Accuracy parameter in (0,1)." in
+  Arg.(value & opt float 0.1 & info [ "eps"; "e" ] ~docv:"EPS" ~doc)
+
+let verbose_arg =
+  let doc = "Log solver progress to stderr (-v: info, -vv: debug)." in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbosity =
+  let level =
+    match List.length verbosity with
+    | 0 -> Some Logs.Warning
+    | 1 -> Some Logs.Info
+    | _ -> Some Logs.Debug
+  in
+  Logs.set_level level;
+  Logs.set_reporter (Logs.format_reporter ())
+
+let seed_arg =
+  let doc = "PRNG seed (all generators are deterministic in the seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let backend_arg =
+  let doc =
+    "Exponential primitive: $(b,exact) (dense eigendecomposition) or \
+     $(b,sketched) (Theorem 4.1: Taylor polynomial + JL sketch)."
+  in
+  let c = Arg.enum [ ("exact", `Exact); ("sketched", `Sketched) ] in
+  Arg.(value & opt c `Exact & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let mode_arg =
+  let doc =
+    "$(b,adaptive) verifies certificates every few iterations and exits \
+     early; $(b,faithful) runs the paper's pseudocode to its own exits."
+  in
+  let c = Arg.enum [ ("adaptive", `Adaptive); ("faithful", `Faithful) ] in
+  Arg.(value & opt c `Adaptive & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let file_arg =
+  let doc = "Instance file (format: see lib/instances/loader.mli)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let to_backend = function
+  | `Exact -> Decision.Exact
+  | `Sketched -> Decision.Sketched { seed = 17; sketch_dim = None }
+
+let to_mode = function
+  | `Adaptive -> Decision.Adaptive { check_every = 10 }
+  | `Faithful -> Decision.Faithful
+
+(* ------------------------------------------------------------------ *)
+(* gen *)
+
+let family_arg =
+  let doc =
+    "Instance family: $(b,random) (factored PSD), $(b,diagonal) (≡ packing \
+     LP), $(b,beamforming) (IPS10 §2.2), $(b,projectors) (known OPT = n), \
+     $(b,cycle) (edge packing on C_dim), $(b,gnp) (edge packing on G(dim,p))."
+  in
+  let c =
+    Arg.enum
+      [
+        ("random", `Random);
+        ("diagonal", `Diagonal);
+        ("beamforming", `Beamforming);
+        ("projectors", `Projectors);
+        ("cycle", `Cycle);
+        ("gnp", `Gnp);
+      ]
+  in
+  Arg.(value & opt c `Random & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let dim_arg =
+  Arg.(value & opt int 16 & info [ "dim"; "m" ] ~docv:"M" ~doc:"Matrix dimension.")
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of constraints.")
+
+let p_arg =
+  Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"G(n,p) edge probability.")
+
+let out_arg =
+  let doc = "Output file ('-' for stdout)." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+
+let gen_cmd =
+  let run family dim n p seed out =
+    let rng = Rng.create seed in
+    let inst =
+      match family with
+      | `Random -> Random_psd.factored ~rng ~dim ~n ()
+      | `Diagonal -> Diagonal.random ~rng ~dim ~n ()
+      | `Beamforming -> Beamforming.instance ~rng ~antennas:dim ~users:n ()
+      | `Projectors -> fst (Known_opt.orthogonal_projectors ~rng ~dim ~n)
+      | `Cycle -> Graph_packing.edge_packing (Graph.cycle dim)
+      | `Gnp -> Graph_packing.edge_packing (Graph.gnp ~rng ~vertices:dim ~p)
+    in
+    let text = Loader.to_string inst in
+    if out = "-" then print_string text
+    else begin
+      Loader.save out inst;
+      Printf.printf "wrote %s (m=%d, n=%d, nnz=%d)\n" out (Instance.dim inst)
+        (Instance.num_constraints inst) (Instance.nnz inst)
+    end
+  in
+  let term =
+    Term.(const run $ family_arg $ dim_arg $ n_arg $ p_arg $ seed_arg $ out_arg)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a positive SDP instance.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* info *)
+
+let info_cmd =
+  let run file eps =
+    let inst = Loader.load file in
+    Format.printf "%a@.@.%a@." Instance.pp inst Analysis.pp
+      (Analysis.analyze ~eps inst)
+  in
+  Cmd.v
+    (Cmd.info "info" ~doc:"Print statistics and diagnostics of an instance file.")
+    Term.(const run $ file_arg $ eps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solve *)
+
+let solve_cmd =
+  let run file eps backend mode verbosity =
+    setup_logs verbosity;
+    let inst = Loader.load file in
+    let r =
+      Solver.solve_packing ~eps ~backend:(to_backend backend)
+        ~mode:(to_mode mode) inst
+    in
+    Printf.printf "value       : %.6f\n" r.Solver.value;
+    Printf.printf "upper bound : %.6f\n" r.Solver.upper_bound;
+    Printf.printf "gap         : %.4f%%\n"
+      (100.0 *. ((r.Solver.upper_bound /. r.Solver.value) -. 1.0));
+    Printf.printf "calls/iters : %d / %d\n" r.Solver.decision_calls
+      r.Solver.total_iterations;
+    let cert = Certificate.check_dual inst r.Solver.x in
+    Printf.printf "verified    : lambda_max = %.6f (feasible: %b)\n"
+      cert.Certificate.lambda_max cert.Certificate.feasible;
+    Printf.printf "x           :";
+    Array.iter (fun v -> Printf.printf " %.5g" v) r.Solver.x;
+    print_newline ();
+    if not cert.Certificate.feasible then exit 1
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:"Run approxPSDP (Theorem 1.1) on an instance file.")
+    Term.(const run $ file_arg $ eps_arg $ backend_arg $ mode_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cover *)
+
+let cover_cmd =
+  let run file eps mode verbosity =
+    setup_logs verbosity;
+    let inst = Loader.load file in
+    let r = Solver.solve_covering ~eps ~mode:(to_mode mode) inst in
+    Printf.printf "covering objective (Tr Z): %.6f\n" r.Solver.objective;
+    Printf.printf "packing lower bound      : %.6f\n" r.Solver.lower_bound;
+    let cert = Certificate.check_primal inst r.Solver.z in
+    Printf.printf "verified min A_i.Z       : %.6f (>= 1: %b)\n"
+      cert.Certificate.min_dot
+      (cert.Certificate.min_dot >= 1.0 -. 1e-6);
+    if cert.Certificate.min_dot < 1.0 -. 1e-6 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:"Solve the covering side (min Tr Y s.t. A_i.Y >= 1).")
+    Term.(const run $ file_arg $ eps_arg $ mode_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* decide *)
+
+let threshold_arg =
+  let doc = "Threshold $(docv): decide whether OPT exceeds it." in
+  Arg.(value & opt float 1.0 & info [ "threshold"; "t" ] ~docv:"V" ~doc)
+
+let decide_cmd =
+  let run file eps backend mode v =
+    let inst = Loader.load file in
+    let scaled = Instance.scale v inst in
+    let r =
+      Decision.solve ~eps ~backend:(to_backend backend) ~mode:(to_mode mode)
+        scaled
+    in
+    (match r.Decision.outcome with
+    | Decision.Dual { x; _ } ->
+        let value = Util.sum_array x in
+        (* x feasible for {v·Aᵢ} ⇒ v·x feasible for {Aᵢ}. *)
+        Printf.printf
+          "DUAL: a packing of value %.4f exists at threshold %.4g\n\
+           => OPT >= %.6g\n"
+          value v (v *. value)
+    | Decision.Primal { dots; _ } ->
+        let min_dot = Util.min_array dots in
+        Printf.printf
+          "PRIMAL: covering certificate with min A_i.Y = %.4f\n=> OPT <= %.6g\n"
+          min_dot
+          (v /. min_dot));
+    Printf.printf "iterations: %d (cap R = %d)\n" r.Decision.iterations
+      r.Decision.params.Params.r_cap
+  in
+  Cmd.v
+    (Cmd.info "decide"
+       ~doc:"Run one epsilon-decision call (Algorithm 3.1) at a threshold.")
+    Term.(const run $ file_arg $ eps_arg $ backend_arg $ mode_arg $ threshold_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  let doc = "width-independent parallel positive SDP solver (SPAA'12)" in
+  Cmd.group
+    (Cmd.info "psdp" ~version:"1.0.0" ~doc)
+    [ gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd ]
+
+let () = exit (Cmd.eval main)

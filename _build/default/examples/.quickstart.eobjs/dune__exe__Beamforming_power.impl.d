@@ -1,0 +1,1 @@
+examples/beamforming_power.ml: Array Beamforming Certificate Printf Psdp_core Psdp_instances Psdp_prelude Rng Solver

@@ -1,0 +1,1 @@
+examples/beamforming_power.mli:

@@ -1,0 +1,1 @@
+examples/convergence_trace.ml: Array Decision Float Instance Known_opt List Params Printf Psdp_core Psdp_instances Psdp_prelude Rng String Util

@@ -1,0 +1,1 @@
+examples/convergence_trace.mli:

@@ -1,0 +1,1 @@
+examples/ellipse_packing.ml: Array Eig Float Instance Mat Matfun Printf Psdp_core Psdp_linalg Solver Vec

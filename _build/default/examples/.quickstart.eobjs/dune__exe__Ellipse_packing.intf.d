@@ -1,0 +1,1 @@
+examples/ellipse_packing.mli:

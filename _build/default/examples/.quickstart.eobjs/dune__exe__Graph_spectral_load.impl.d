@@ -1,0 +1,1 @@
+examples/graph_spectral_load.ml: Array Float Graph Graph_packing List Mat Printf Psdp_core Psdp_instances Psdp_linalg Psdp_prelude Rng Solver

@@ -1,0 +1,1 @@
+examples/lp_vs_sdp.ml: Array Diagonal Float Instance Lp Mat Printf Psdp_core Psdp_instances Psdp_linalg Psdp_prelude Rng Solver

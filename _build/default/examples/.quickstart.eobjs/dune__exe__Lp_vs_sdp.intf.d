@@ -1,0 +1,1 @@
+examples/lp_vs_sdp.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Certificate Format Instance Known_opt Mat Printf Psdp_core Psdp_instances Psdp_linalg Psdp_prelude Rng Solver

@@ -1,0 +1,1 @@
+examples/service_guarantees.ml: Array Beamforming Mixed Printf Psdp_core Psdp_instances Psdp_prelude Rng

@@ -1,0 +1,1 @@
+examples/width_independence.ml: Baseline Decision Instance List Printf Psdp_core Psdp_instances Psdp_prelude Random_psd Rng Solver

@@ -1,0 +1,46 @@
+(* Downlink beamforming power allocation (IPS10 §2.2) — the application
+   the paper singles out as falling completely within the packing-SDP
+   framework.
+
+   A base station with `antennas` elements serves `users` single-antenna
+   receivers; allocating power x_i to user i adds x_i h_i h_i' to the
+   emitted spatial covariance, which the power/regulatory budget caps at
+   the identity. We maximize total allocated power for i.i.d. Rayleigh
+   channels and for spatially-correlated antennas, and show how crowding
+   (more users than antennas) caps the total.
+
+   Run with:  dune exec examples/beamforming_power.exe *)
+
+open Psdp_prelude
+open Psdp_core
+open Psdp_instances
+
+let solve_scenario ~label ~antennas ~users ~model =
+  let rng = Rng.create 99 in
+  let inst = Beamforming.instance ~rng ~antennas ~users ~model () in
+  let eps = 0.1 in
+  let r = Solver.solve_packing ~eps inst in
+  let cert = Certificate.check_dual inst r.Solver.x in
+  Printf.printf "%-28s antennas=%2d users=%2d  total power %.4f  (upper %.4f)\n"
+    label antennas users r.Solver.value r.Solver.upper_bound;
+  Printf.printf "%-28s per-user: " "";
+  Array.iter (fun p -> Printf.printf "%.3f " p) r.Solver.x;
+  Printf.printf "\n%-28s spectral load lambda_max = %.4f <= 1\n\n" ""
+    cert.Certificate.lambda_max
+
+let () =
+  Printf.printf "== beamforming power allocation ==\n\n";
+  solve_scenario ~label:"rayleigh, undersubscribed" ~antennas:12 ~users:4
+    ~model:Beamforming.Rayleigh;
+  solve_scenario ~label:"rayleigh, balanced" ~antennas:8 ~users:8
+    ~model:Beamforming.Rayleigh;
+  solve_scenario ~label:"rayleigh, oversubscribed" ~antennas:6 ~users:12
+    ~model:Beamforming.Rayleigh;
+  solve_scenario ~label:"correlated rho=0.8" ~antennas:8 ~users:8
+    ~model:(Beamforming.Correlated 0.8);
+  Printf.printf
+    "The identity cap is a per-spatial-direction budget: a user's solo\n\
+     power limit is 1/|h_i|^2 ~ 1/antennas, so total packed power grows\n\
+     with the user/antenna ratio until channel overlap saturates it.\n\
+     Correlation reshapes which directions bind (and so the total) by\n\
+     concentrating channel energy along the array.\n"

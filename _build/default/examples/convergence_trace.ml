@@ -1,0 +1,66 @@
+(* Watching Algorithm 3.1 converge.
+
+   The solver exposes an `on_iter` hook with per-iteration statistics;
+   this example renders the trajectory of a decision run as ASCII
+   sparklines: the l1 mass of x (the dual progress meter), the number of
+   updated coordinates |B|, and the soft-max trace. Useful both as an API
+   demo and to build intuition for why the adaptive certificate exits so
+   far ahead of the worst-case cap R.
+
+   Run with:  dune exec examples/convergence_trace.exe *)
+
+open Psdp_prelude
+open Psdp_core
+open Psdp_instances
+
+let sparkline values =
+  let glyphs = [| '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |] in
+  let lo = Util.min_array values and hi = Util.max_array values in
+  let range = Float.max 1e-12 (hi -. lo) in
+  String.init (Array.length values) (fun i ->
+      let t = (values.(i) -. lo) /. range in
+      glyphs.(min 7 (int_of_float (t *. 8.0))))
+
+let resample width xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else Array.init width (fun i -> xs.(i * n / width))
+
+let () =
+  Printf.printf "== convergence trace of decisionPSDP ==\n\n";
+  let rng = Rng.create 64 in
+  let inst, opt = Known_opt.orthogonal_projectors ~rng ~dim:12 ~n:6 in
+  let eps = 0.15 in
+  let scaled = Instance.scale (opt /. 2.0) inst in
+  let l1s = ref [] and updated = ref [] and traces = ref [] in
+  let r =
+    Decision.solve ~eps
+      ~on_iter:(fun s ->
+        l1s := s.Decision.l1 :: !l1s;
+        updated := float_of_int s.Decision.updated :: !updated;
+        traces := log s.Decision.trace_w :: !traces)
+      scaled
+  in
+  let series name xs =
+    let arr = Array.of_list (List.rev xs) in
+    Printf.printf "%-14s %s  [%.3g .. %.3g]\n" name
+      (sparkline (resample 64 arr))
+      (Util.min_array arr) (Util.max_array arr)
+  in
+  Printf.printf "instance: projectors scaled so OPT = 2; eps = %.2f\n" eps;
+  Printf.printf "iterations: %d (paper cap R = %d)\n\n" r.Decision.iterations
+    r.Decision.params.Params.r_cap;
+  series "l1 mass" !l1s;
+  series "|B| updated" !updated;
+  series "ln Tr W" !traces;
+  (match r.Decision.outcome with
+  | Decision.Dual { x; _ } ->
+      Printf.printf "\nexit: verified dual certificate, value %.4f >= 1-eps\n"
+        (Util.sum_array x)
+  | Decision.Primal { dots; _ } ->
+      Printf.printf "\nexit: primal certificate, min A_i.Y = %.4f\n"
+        (Util.min_array dots));
+  Printf.printf
+    "\nThe l1 mass climbs geometrically ((1+alpha) per update round) while\n\
+     the soft-max trace tracks it; the certificate fires as soon as the\n\
+     rescaled iterate reaches value 1-eps — long before the worst-case cap.\n"

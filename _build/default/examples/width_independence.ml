@@ -1,0 +1,36 @@
+(* The headline claim, as a demo: Algorithm 3.1's iteration count does not
+   grow with the width rho = max_i lambda_max(A_i), while the classical
+   Arora–Kale-style MMW baseline degrades linearly in rho.
+
+   (The full sweep with more points and the cost model is EXP3 in
+   bench/main.ml; this example keeps the sizes small enough to finish in
+   seconds.)
+
+   Run with:  dune exec examples/width_independence.exe *)
+
+open Psdp_prelude
+open Psdp_core
+open Psdp_instances
+
+let () =
+  Printf.printf "== width independence demo ==\n\n";
+  Printf.printf "%10s %22s %22s\n" "width" "decisionPSDP iters" "AK-baseline iters";
+  List.iter
+    (fun width ->
+      let rng = Rng.create 11 in
+      let inst = Random_psd.with_width ~rng ~dim:10 ~n:6 ~width in
+      (* Normalize the threshold to half the instance's optimum so both
+         solvers face the same comfortably-feasible decision problem. *)
+      (* Threshold slightly above the optimum: both solvers must certify
+         that no unit-mass packing exists — the operating point where the
+         baseline's width dependence is sharpest. *)
+      let opt_estimate = (Solver.solve_packing ~eps:0.2 inst).Solver.value in
+      let scaled = Instance.scale (2.0 *. opt_estimate) inst in
+      let ours = Decision.solve ~eps:0.2 scaled in
+      let theirs = Baseline.decide ~eps:0.2 scaled in
+      Printf.printf "%10.0f %22d %22d\n" width ours.Decision.iterations
+        theirs.Baseline.iterations)
+    [ 1.0; 4.0; 16.0; 64.0; 256.0 ];
+  Printf.printf
+    "\nOur iterations stay flat; the baseline pays for the width because\n\
+     its gain matrices must be normalized by rho to satisfy M <= I.\n"

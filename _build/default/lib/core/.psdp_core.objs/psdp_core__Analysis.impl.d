@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Factored Float Format Instance Params Psdp_expm Psdp_prelude Psdp_sparse Util

@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Certificate Decision Float Instance Mat Matfun Psdp_linalg Psdp_prelude Psdp_sparse

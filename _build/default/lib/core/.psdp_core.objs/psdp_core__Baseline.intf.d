@@ -1,0 +1,1 @@
+lib/core/baseline.mli: Decision Instance Mat Psdp_linalg

@@ -1,0 +1,1 @@
+lib/core/bucketed.ml: Array Certificate Decision Evaluator Float Instance Params Psdp_prelude Util

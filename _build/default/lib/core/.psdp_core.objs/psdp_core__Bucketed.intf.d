@@ -1,0 +1,1 @@
+lib/core/bucketed.mli: Decision Instance Params Psdp_parallel

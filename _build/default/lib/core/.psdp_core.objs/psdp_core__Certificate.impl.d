@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Array Eig Factored Instance Lanczos Mat Printf Psdp_linalg Psdp_prelude Psdp_sparse Weighted_gram

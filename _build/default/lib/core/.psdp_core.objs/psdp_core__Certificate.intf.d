@@ -1,0 +1,1 @@
+lib/core/certificate.mli: Instance Mat Psdp_linalg

@@ -1,0 +1,1 @@
+lib/core/decision.ml: Array Certificate Evaluator Float Instance Logs Mat Option Params Psdp_linalg Psdp_prelude Util

@@ -1,0 +1,1 @@
+lib/core/decision.mli: Evaluator Instance Mat Params Psdp_linalg Psdp_parallel

@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Array Float Instance Mat Matfun Params Psdp_expm Psdp_linalg Psdp_prelude Psdp_sketch Psdp_sparse Rng Weighted_gram

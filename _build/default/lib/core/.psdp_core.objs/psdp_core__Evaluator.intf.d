@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Instance Mat Params Psdp_linalg Psdp_parallel

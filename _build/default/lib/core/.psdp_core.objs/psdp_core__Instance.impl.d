@@ -1,0 +1,1 @@
+lib/core/instance.ml: Array Cholesky Eig Factored Float Format List Mat Printf Psdp_linalg Psdp_sparse

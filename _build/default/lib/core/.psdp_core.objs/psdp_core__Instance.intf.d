@@ -1,0 +1,1 @@
+lib/core/instance.mli: Factored Format Mat Psdp_linalg Psdp_sparse

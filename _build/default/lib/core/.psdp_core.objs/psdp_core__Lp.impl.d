@@ -1,0 +1,1 @@
+lib/core/lp.ml: Array Decision Float Instance Mat Params Printf Psdp_linalg Psdp_prelude Util

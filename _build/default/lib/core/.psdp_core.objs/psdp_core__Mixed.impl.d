@@ -1,0 +1,1 @@
+lib/core/mixed.ml: Array Certificate Decision Evaluator Float Instance Lazy Mat Params Printf Psdp_linalg Psdp_prelude Psdp_sparse Util

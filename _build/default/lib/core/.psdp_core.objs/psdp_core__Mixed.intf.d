@@ -1,0 +1,1 @@
+lib/core/mixed.mli: Decision Instance Mat Psdp_linalg Psdp_parallel

@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Array Cholesky Instance Mat Printf Psdp_linalg Psdp_sparse

@@ -1,0 +1,1 @@
+lib/core/normalize.mli: Instance Mat Psdp_linalg Psdp_sparse

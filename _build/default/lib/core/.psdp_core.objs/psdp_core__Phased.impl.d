@@ -1,0 +1,1 @@
+lib/core/phased.ml: Array Certificate Decision Evaluator Instance List Params Psdp_prelude Util

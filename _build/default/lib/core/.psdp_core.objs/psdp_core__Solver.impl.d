@@ -1,0 +1,1 @@
+lib/core/solver.ml: Array Certificate Decision Factored Float Instance Logs Mat Normalize Option Printf Psdp_linalg Psdp_prelude Psdp_sparse Util

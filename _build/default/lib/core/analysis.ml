@@ -1,0 +1,60 @@
+open Psdp_prelude
+open Psdp_sparse
+
+type report = {
+  dim : int;
+  constraints : int;
+  nnz : int;
+  width : float;
+  min_lambda_max : float;
+  trace_min : float;
+  trace_max : float;
+  rank_min : int;
+  rank_max : int;
+  opt_lower : float;
+  opt_upper : float;
+  paper_iteration_cap : int;
+  taylor_degree_cap : int;
+}
+
+let analyze ?(eps = 0.1) inst =
+  let factors = Instance.factors inst in
+  let n = Array.length factors in
+  let lmaxes = Array.map Factored.lambda_max factors in
+  let traces = Instance.traces inst in
+  let ranks = Array.map Factored.inner_dim factors in
+  let width = Util.max_array lmaxes in
+  let opt_lower = Util.max_array (Array.map (fun l -> 1.0 /. l) lmaxes) in
+  let sum_bound = Util.sum_array (Array.map (fun l -> 1.0 /. l) lmaxes) in
+  let trace_bound =
+    float_of_int (Instance.dim inst) /. Util.min_array traces
+  in
+  let params = Params.of_eps ~eps ~n in
+  let spectral_cap = (1.0 +. (10.0 *. eps)) *. params.Params.k_cap in
+  {
+    dim = Instance.dim inst;
+    constraints = n;
+    nnz = Instance.nnz inst;
+    width;
+    min_lambda_max = Util.min_array lmaxes;
+    trace_min = Util.min_array traces;
+    trace_max = Util.max_array traces;
+    rank_min = Array.fold_left min max_int ranks;
+    rank_max = Array.fold_left max 0 ranks;
+    opt_lower;
+    opt_upper = Float.max opt_lower (Float.min sum_bound trace_bound);
+    paper_iteration_cap = params.Params.r_cap;
+    taylor_degree_cap =
+      Psdp_expm.Poly.degree ~kappa:(spectral_cap /. 2.0) ~eps:(eps /. 2.0);
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>m = %d, n = %d, nnz(q) = %d@,\
+     width (max λmax): %.6g   (min λmax: %.6g)@,\
+     traces: [%.4g, %.4g]   factor ranks: [%d, %d]@,\
+     a-priori OPT bracket: [%.6g, %.6g]@,\
+     paper iteration cap R: %d   worst-case Taylor degree: %d@]"
+    r.dim r.constraints r.nnz r.width r.min_lambda_max r.trace_min r.trace_max
+    r.rank_min r.rank_max r.opt_lower r.opt_upper r.paper_iteration_cap
+    r.taylor_degree_cap

@@ -1,0 +1,28 @@
+(** Instance diagnostics: everything a user wants to know about a
+    normalized packing instance before solving it — the quantities the
+    paper's bounds are phrased in, plus a-priori optimum brackets.
+
+    Backs the CLI's [info] command and the benchmark narratives. *)
+
+type report = {
+  dim : int;  (** m *)
+  constraints : int;  (** n *)
+  nnz : int;  (** q, total factor non-zeros *)
+  width : float;  (** [maxᵢ λmax(Aᵢ)] — exact *)
+  min_lambda_max : float;  (** [minᵢ λmax(Aᵢ)] *)
+  trace_min : float;
+  trace_max : float;
+  rank_min : int;  (** thinnest factor *)
+  rank_max : int;
+  opt_lower : float;  (** best single-coordinate value — certified *)
+  opt_upper : float;  (** min(Σᵢ1/λmaxᵢ, m/minᵢTrᵢ) — certified *)
+  paper_iteration_cap : int;  (** R at the given ε *)
+  taylor_degree_cap : int;
+      (** Lemma 4.2 degree at the Lemma 3.2 spectral cap — the worst-case
+          polynomial length of the sketched backend *)
+}
+
+val analyze : ?eps:float -> Instance.t -> report
+(** [eps] (default 0.1) parameterizes the cap fields. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,140 @@
+open Psdp_linalg
+
+type outcome = Feasible of { x : float array } | Infeasible of { y : Mat.t }
+type result = { outcome : outcome; iterations : int; width : float }
+
+type optimum = {
+  x : float array;
+  value : float;
+  upper_bound : float;
+  decision_calls : int;
+  total_iterations : int;
+}
+
+let decide ?(mode = Decision.Adaptive { check_every = 10 }) ?on_iter ~eps inst =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Baseline.decide: eps must lie in (0,1)";
+  let n = Instance.num_constraints inst in
+  let m = Instance.dim inst in
+  let mats = Instance.dense_mats inst in
+  let rho = Float.max 1e-12 (Instance.width inst) in
+  let eps0 = eps /. 4.0 in
+  let budget =
+    int_of_float
+      (Float.ceil (16.0 *. rho *. log (float_of_int (max 2 m)) /. (eps *. eps)))
+    + 1
+  in
+  (* Accumulated gain Σ_τ A_{i*τ}; W = exp((ε₀/ρ)·gain). *)
+  let gain = Mat.create m m in
+  let plays = Array.make n 0 in
+  let t = ref 0 in
+  let finished : outcome option ref = ref None in
+  let averaged_dual () =
+    let total = float_of_int (max 1 !t) in
+    Array.map (fun c -> float_of_int c /. total) plays
+  in
+  let check_early () =
+    if !t > 0 then begin
+      let cert = Certificate.rescale_dual inst (averaged_dual ()) in
+      if cert.Certificate.feasible && cert.Certificate.value >= 1.0 -. eps then
+        finished := Some (Feasible { x = cert.Certificate.x })
+    end
+  in
+  while !finished = None && !t < budget do
+    incr t;
+    let w = Matfun.expm (Mat.scale (eps0 /. rho) gain) in
+    let p = Mat.scale (1.0 /. Mat.trace w) w in
+    let best = ref 0 and best_dot = ref infinity in
+    for i = 0 to n - 1 do
+      let d = Mat.dot mats.(i) p in
+      if d < !best_dot then begin
+        best := i;
+        best_dot := d
+      end
+    done;
+    (match on_iter with Some f -> f !t | None -> ());
+    if !best_dot > 1.0 +. eps then
+      (* Even the best response is expensive: P certifies that every
+         unit-mass x has (Σ xᵢAᵢ)•P > 1+ε, hence λmax > 1+ε. *)
+      finished := Some (Infeasible { y = p })
+    else begin
+      Mat.add_inplace gain mats.(!best);
+      plays.(!best) <- plays.(!best) + 1;
+      match mode with
+      | Decision.Adaptive { check_every } when !t mod check_every = 0 ->
+          check_early ()
+      | Decision.Adaptive _ | Decision.Faithful -> ()
+    end
+  done;
+  let outcome =
+    match !finished with
+    | Some o -> o
+    | None ->
+        (* Budget exhausted: the regret bound makes the averaged play
+           near-feasible; rescale to exact feasibility. *)
+        let cert = Certificate.rescale_dual inst (averaged_dual ()) in
+        Feasible { x = cert.Certificate.x }
+  in
+  { outcome; iterations = !t; width = rho }
+
+let maximize ?mode ~eps inst =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Baseline.maximize: eps must lie in (0,1)";
+  let n = Instance.num_constraints inst in
+  let factors = Instance.factors inst in
+  let lmaxes = Array.map Psdp_sparse.Factored.lambda_max factors in
+  let best_i = ref 0 in
+  Array.iteri (fun i l -> if l < lmaxes.(!best_i) then best_i := i) lmaxes;
+  let lo0 = 1.0 /. lmaxes.(!best_i) in
+  let hi0 =
+    Float.max lo0
+      (Psdp_prelude.Util.sum_array (Array.map (fun l -> 1.0 /. l) lmaxes))
+  in
+  let incumbent = Array.make n 0.0 in
+  incumbent.(!best_i) <- lo0;
+  let incumbent_value = ref lo0 in
+  let lo = ref lo0 and hi = ref hi0 in
+  let calls = ref 0 and iters = ref 0 in
+  let budget =
+    max 4
+      (int_of_float
+         (Float.ceil
+            (Psdp_prelude.Util.log2
+               (Float.max 1e-9 (log (hi0 /. lo0)) /. log (1.0 +. (eps /. 2.0)))))
+       + 8)
+  in
+  let eps_dec = eps /. 4.0 in
+  while !hi > (1.0 +. eps) *. !lo && !calls < budget do
+    incr calls;
+    let v = sqrt (!lo *. !hi) in
+    let scaled = Instance.scale v inst in
+    let r = decide ?mode ~eps:eps_dec scaled in
+    iters := !iters + r.iterations;
+    match r.outcome with
+    | Feasible { x } ->
+        (* x feasible for {v·Aᵢ} ⇒ v·x feasible for {Aᵢ}. *)
+        let candidate = Array.map (fun e -> v *. e) x in
+        let cert = Certificate.rescale_dual inst candidate in
+        if cert.Certificate.feasible && cert.Certificate.value > !incumbent_value
+        then begin
+          incumbent_value := cert.Certificate.value;
+          Array.blit cert.Certificate.x 0 incumbent 0 n
+        end;
+        lo := Float.max !lo !incumbent_value
+    | Infeasible { y } ->
+        (* (v·Aᵢ)•Y > 1+ε for all i with Tr Y = 1: the scaled Y is a
+           covering witness capping the optimum at v/min_dot. *)
+        let mats = Instance.dense_mats inst in
+        let min_dot = ref infinity in
+        Array.iter
+          (fun a -> min_dot := Float.min !min_dot (v *. Mat.dot a y))
+          mats;
+        if !min_dot > 0.0 then hi := Float.max !lo (Float.min !hi (v /. !min_dot))
+  done;
+  {
+    x = incumbent;
+    value = !incumbent_value;
+    upper_bound = !hi;
+    decision_calls = !calls;
+    total_iterations = !iters;
+  }

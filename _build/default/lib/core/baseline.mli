@@ -1,0 +1,50 @@
+(** Width-{e dependent} MMW baseline (Arora–Kale style, [AK07]).
+
+    The comparison point for the paper's headline claim: this solver's
+    iteration count grows with the width [ρ = maxᵢ λmax(Aᵢ)] while
+    Algorithm 3.1's does not (EXP3).
+
+    The decision procedure plays the matrix-MMW game with best-response
+    gains: at each step pick [i* = argminᵢ Aᵢ•P]; if even the best
+    response has [Aᵢ•P > 1 + ε] the current [P] certifies infeasibility
+    (no unit-mass [x] can keep [λmax(Σ xᵢAᵢ)] below 1); otherwise play
+    gain [A_{i*}/ρ ≼ I]. The regret bound turns the played distribution
+    into a near-feasible dual after [T = O(ρ·ln m/ε²)] iterations. *)
+
+open Psdp_linalg
+
+type outcome =
+  | Feasible of {
+      x : float array;  (** verified: [λmax(Σ xᵢAᵢ) <= 1], [‖x‖₁ >= 1−ε] *)
+    }
+  | Infeasible of {
+      y : Mat.t;  (** [Tr y = 1] and [Aᵢ•y > 1] for all [i] (scaled) *)
+    }
+
+type result = { outcome : outcome; iterations : int; width : float }
+
+val decide :
+  ?mode:Decision.mode ->
+  ?on_iter:(int -> unit) ->
+  eps:float ->
+  Instance.t ->
+  result
+(** Decide the same ε-decision problem as {!Decision.solve}, with an
+    iteration budget [⌈16·ρ·ln(m)/ε²⌉ + 1] (then conclude feasible from
+    the averaged play, rescaled to feasibility). [mode] mirrors
+    {!Decision.mode}: [Adaptive] (default, every 10) checks the averaged
+    dual candidate early. *)
+
+type optimum = {
+  x : float array;  (** verified feasible dual *)
+  value : float;
+  upper_bound : float;
+  decision_calls : int;
+  total_iterations : int;
+}
+
+val maximize : ?mode:Decision.mode -> eps:float -> Instance.t -> optimum
+(** End-to-end optimization by the same multiplicative bisection as
+    {!Solver.solve_packing}, but with this width-dependent decision
+    procedure — the apples-to-apples comparator for total-cost
+    comparisons against [approxPSDP]. *)

@@ -1,0 +1,80 @@
+open Psdp_linalg
+open Psdp_sparse
+
+type method_ = Dense | Lanczos | Auto
+
+type dual = {
+  x : float array;
+  value : float;
+  lambda_max : float;
+  feasible : bool;
+}
+
+type primal = {
+  dots : float array;
+  trace : float;
+  min_dot : float;
+  feasible : bool;
+}
+
+let validate_weights inst x =
+  if Array.length x <> Instance.num_constraints inst then
+    invalid_arg "Certificate: weight vector has wrong length";
+  Array.iteri
+    (fun i v ->
+      if v < 0.0 then
+        invalid_arg (Printf.sprintf "Certificate: negative weight x_%d" i))
+    x
+
+let resolve_method method_ m =
+  match method_ with
+  | Dense -> `Dense
+  | Lanczos -> `Lanczos
+  | Auto -> if m <= 160 then `Dense else `Lanczos
+
+let psi_lambda_max ?(method_ = Auto) inst x =
+  validate_weights inst x;
+  match resolve_method method_ (Instance.dim inst) with
+  | `Dense ->
+      let mats = Instance.dense_mats inst in
+      let psi = Mat.create (Instance.dim inst) (Instance.dim inst) in
+      Array.iteri
+        (fun i a -> if x.(i) <> 0.0 then Mat.axpy psi ~alpha:x.(i) a)
+        mats;
+      Eig.lambda_max psi
+  | `Lanczos ->
+      let gram = Weighted_gram.create (Instance.factors inst) in
+      Weighted_gram.set_weights gram x;
+      Lanczos.lambda_max_upper ~dim:(Instance.dim inst)
+        (Weighted_gram.apply gram)
+
+let check_dual ?(tol = 1e-6) ?(method_ = Auto) inst x =
+  validate_weights inst x;
+  let lambda_max = psi_lambda_max ~method_ inst x in
+  let value = Psdp_prelude.Util.sum_array x in
+  { x = Array.copy x; value; lambda_max; feasible = lambda_max <= 1.0 +. tol }
+
+let rescale_dual ?tol ?(method_ = Auto) inst x =
+  validate_weights inst x;
+  let lambda_max = psi_lambda_max ~method_ inst x in
+  let scaled =
+    if lambda_max > 1.0 then Array.map (fun v -> v /. lambda_max) x
+    else Array.copy x
+  in
+  check_dual ?tol ~method_ inst scaled
+
+let primal_of_dots ?(tol = 1e-6) ~trace dots =
+  let min_dot = Psdp_prelude.Util.min_array dots in
+  {
+    dots = Array.copy dots;
+    trace;
+    min_dot;
+    feasible = min_dot >= 1.0 -. tol && trace <= 1.0 +. tol;
+  }
+
+let check_primal ?tol inst y =
+  if Mat.rows y <> Instance.dim inst || Mat.cols y <> Instance.dim inst then
+    invalid_arg "Certificate.check_primal: dimension mismatch";
+  let y = Mat.symmetrize y in
+  let dots = Array.map (fun f -> Factored.dot_dense f y) (Instance.factors inst) in
+  primal_of_dots ?tol ~trace:(Mat.trace y) dots

@@ -1,0 +1,50 @@
+(** Solution verification.
+
+    Every solution the solvers return is re-checked against the instance:
+    a dual (packing) vector must satisfy [λmax(Σᵢ xᵢAᵢ) <= 1] and is
+    valued by [‖x‖₁]; a primal (covering) matrix must satisfy [Tr Y = 1]
+    and is judged by [minᵢ Aᵢ•Y]. These checks are what makes the
+    Adaptive solver mode sound: early exits only fire on verified
+    certificates. *)
+
+open Psdp_linalg
+
+type method_ = Dense | Lanczos | Auto
+(** [Dense] computes spectra exactly (O(m³)); [Lanczos] estimates them in
+    O(nnz·iters); [Auto] (default) picks [Dense] for [m <= 160]. *)
+
+type dual = {
+  x : float array;
+  value : float;  (** [‖x‖₁] *)
+  lambda_max : float;  (** [λmax(Σᵢ xᵢAᵢ)] (estimate under [Lanczos]) *)
+  feasible : bool;  (** [lambda_max <= 1 + tol] *)
+}
+
+type primal = {
+  dots : float array;  (** [Aᵢ • Y] *)
+  trace : float;  (** [Tr Y] *)
+  min_dot : float;
+  feasible : bool;  (** [min_dot >= 1 - tol] and [trace <= 1 + tol] *)
+}
+
+val check_dual :
+  ?tol:float -> ?method_:method_ -> Instance.t -> float array -> dual
+(** [tol] defaults to [1e-6]. Raises [Invalid_argument] on wrong length or
+    negative entries. *)
+
+val rescale_dual :
+  ?tol:float -> ?method_:method_ -> Instance.t -> float array -> dual
+(** Scales [x] by [1/λmax(Σ xᵢAᵢ)] (when that exceeds 1) so the result is
+    feasible by construction, then re-checks it. The cheap way to turn any
+    non-negative vector into a valid packing solution. *)
+
+val check_primal : ?tol:float -> Instance.t -> Mat.t -> primal
+(** Dense check of a materialized [Y] (symmetry enforced, PSD not
+    re-verified — the solvers construct [Y] as an average of PSD matrices). *)
+
+val primal_of_dots : ?tol:float -> trace:float -> float array -> primal
+(** Builds the verdict from already-computed constraint values — used by
+    the sketched backend, which never materializes [Y]. *)
+
+val psi_lambda_max : ?method_:method_ -> Instance.t -> float array -> float
+(** [λmax(Σᵢ xᵢAᵢ)] for non-negative weights [x]. *)

@@ -1,0 +1,79 @@
+(** [decisionPSDP] — Algorithm 3.1, the width-independent parallel solver
+    for the ε-decision problem (Theorem 3.1).
+
+    Given a normalized packing instance, either find a dual [x >= 0] with
+    [‖x‖₁ >= 1 − ε] and [Σᵢ xᵢAᵢ ≼ I], or a primal [Y ≽ 0] with
+    [Tr Y = 1] and [Aᵢ•Y >= 1] for all [i] (up to the numerical
+    tolerances discussed in DESIGN.md). The iteration count is
+    [O(ε⁻³ log² n)], independent of the width [maxᵢ λmax(Aᵢ)].
+
+    Two backends compute the per-iteration primitive
+    [(exp(Ψ)•Aᵢ)ᵢ, Tr exp(Ψ)]:
+    - {!Exact}: dense eigendecomposition — O(m³ + n·m²) per iteration,
+      exact; the reference.
+    - {!Sketched}: Theorem 4.1 — truncated-Taylor polynomial plus a fresh
+      JL sketch per iteration; near-linear work in the factorization size.
+
+    Two modes:
+    - {!Faithful} runs the pseudocode with the paper's constants to the
+      paper's exit conditions.
+    - {!Adaptive} additionally verifies a primal/dual certificate every
+      [check_every] iterations and exits early as soon as one verifies —
+      sound (certificates are checked against the instance) and orders of
+      magnitude faster in practice. *)
+
+open Psdp_linalg
+
+type backend = Evaluator.backend =
+  | Exact
+  | Sketched of {
+      seed : int;  (** RNG seed for the per-iteration sketches *)
+      sketch_dim : int option;
+          (** rows of the JL sketch; default {!Psdp_sketch.Jl.recommended_dim} *)
+    }
+
+type mode = Faithful | Adaptive of { check_every : int }
+
+type iter_stats = {
+  t : int;  (** iteration number, 1-based *)
+  l1 : float;  (** [‖x⁽ᵗ⁾‖₁] after the update *)
+  trace_w : float;  (** [Tr W⁽ᵗ⁾] *)
+  updated : int;  (** [|B⁽ᵗ⁾|] *)
+  degree : int;  (** polynomial degree used (0 for the exact backend) *)
+}
+
+type primal_solution = {
+  dots : float array;  (** [Aᵢ•Y] (exact or sketched estimates) *)
+  y : Mat.t option;  (** materialized [Y] (exact backend only) *)
+}
+
+type dual_solution = {
+  x : float array;  (** scaled dual solution (the paper's [x̂]) *)
+  raw : float array;  (** unscaled final iterate [x⁽ᵀ⁾] *)
+}
+
+type outcome = Primal of primal_solution | Dual of dual_solution
+
+type result = {
+  outcome : outcome;
+  iterations : int;
+  params : Params.t;
+}
+
+val solve :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?backend:backend ->
+  ?mode:mode ->
+  ?on_iter:(iter_stats -> unit) ->
+  eps:float ->
+  Instance.t ->
+  result
+(** Defaults: [backend = Exact], [mode = Adaptive {check_every = 10}].
+    [eps] must lie in (0, 1); it is the decision problem's ε (callers
+    wanting the paper's end-to-end guarantee pass [ε/10], cf. the proof of
+    Theorem 3.1). [on_iter] observes every iteration (used by the
+    invariant bench and the traces in EXPERIMENTS.md). *)
+
+val initial_point : Instance.t -> float array
+(** [x⁽⁰⁾ᵢ = 1/(n·Tr Aᵢ)] — exposed for the invariant tests
+    (Claim 3.3: [Σᵢ x⁽⁰⁾ᵢAᵢ ≼ I]). *)

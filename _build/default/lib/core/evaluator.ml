@@ -1,0 +1,68 @@
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_sparse
+
+type backend = Exact | Sketched of { seed : int; sketch_dim : int option }
+
+type evaluation = {
+  dots : float array;
+  trace_w : float;
+  degree : int;
+  w : Mat.t option;
+}
+
+type t = float array -> evaluation
+
+let exact inst =
+  let mats = Instance.dense_mats inst in
+  let m = Instance.dim inst in
+  fun x ->
+    let psi = Mat.create m m in
+    Array.iteri
+      (fun i a -> if x.(i) <> 0.0 then Mat.axpy psi ~alpha:x.(i) a)
+      mats;
+    let w = Matfun.expm psi in
+    let dots = Array.map (fun a -> Mat.dot a w) mats in
+    { dots; trace_w = Mat.trace w; degree = 0; w = Some w }
+
+let sketched ?pool inst ~params ~seed ~sketch_dim =
+  let m = Instance.dim inst in
+  let factors = Instance.factors inst in
+  let gram = Weighted_gram.create factors in
+  let rng = Rng.create seed in
+  let k =
+    match sketch_dim with
+    | Some k -> min k m
+    | None ->
+        min m
+          (Psdp_sketch.Jl.recommended_dim ~eps:(params.Params.eps /. 2.0) m)
+  in
+  (* Analytic cap on ‖Ψ‖₂ along the trajectory (Lemma 3.2). *)
+  let analytic_cap =
+    (1.0 +. (10.0 *. params.Params.eps)) *. params.Params.k_cap
+  in
+  fun x ->
+    Weighted_gram.set_weights gram x;
+    let kappa =
+      Float.min analytic_cap (Weighted_gram.lambda_max_upper_bound gram)
+    in
+    (* A fresh sketch per iteration keeps the estimates independent of the
+       adaptively-chosen trajectory; at full dimension the identity sketch
+       is exact and the randomness is unnecessary. *)
+    let sketch =
+      if k >= m then Psdp_sketch.Jl.identity m
+      else
+        Psdp_sketch.Jl.create ~rng:(Rng.split rng) ~target_dim:k ~source_dim:m
+    in
+    let { Psdp_expm.Big_dot_exp.dots; trace_estimate; degree } =
+      Psdp_expm.Big_dot_exp.compute ?pool
+        ~matvec:(Weighted_gram.apply ?pool gram)
+        ~dim:m ~kappa ~eps:(params.Params.eps /. 2.0) ~sketch factors
+    in
+    { dots; trace_w = trace_estimate; degree; w = None }
+
+let create ?pool ~backend ~params inst =
+  match backend with
+  | Exact -> exact inst
+  | Sketched { seed; sketch_dim } ->
+      sketched ?pool inst ~params ~seed ~sketch_dim

@@ -1,0 +1,32 @@
+(** The per-iteration primitive of the Main Theorem, shared by
+    {!Decision} and its variants ({!Phased}, {!Bucketed}): given the
+    current weights [x], evaluate all [exp(Ψ(x)) • Aᵢ] and [Tr exp(Ψ(x))]
+    where [Ψ(x) = Σᵢ xᵢAᵢ]. *)
+
+open Psdp_linalg
+
+type backend =
+  | Exact
+      (** dense eigendecomposition — O(m³ + n·m²) per evaluation, exact *)
+  | Sketched of {
+      seed : int;
+      sketch_dim : int option;
+          (** JL rows; default [min m (recommended_dim (eps/2) m)] *)
+    }  (** Theorem 4.1: truncated Taylor + JL sketch, near-linear work *)
+
+type evaluation = {
+  dots : float array;  (** [exp(Ψ)•Aᵢ] (or estimates) *)
+  trace_w : float;  (** [Tr exp(Ψ)] (or estimate) *)
+  degree : int;  (** polynomial degree used; 0 for {!Exact} *)
+  w : Mat.t option;  (** [exp(Ψ)] itself ({!Exact} only) *)
+}
+
+type t = float array -> evaluation
+
+val create :
+  ?pool:Psdp_parallel.Pool.t -> backend:backend -> params:Params.t ->
+  Instance.t -> t
+(** Builds the evaluator. The sketched backend draws a fresh sketch per
+    call (statistical independence across iterations) and bounds [‖Ψ‖₂]
+    by [min((1+10ε)K, Σᵢxᵢ·λmax-upper(Aᵢ))] — the Lemma 3.2 cap and the
+    cheap certified bound, whichever is tighter. *)

@@ -1,0 +1,131 @@
+open Psdp_linalg
+open Psdp_sparse
+
+type t = {
+  dim : int;
+  factors : Factored.t array;
+  traces : float array;
+  mutable dense_cache : Mat.t array option;
+  mutable width_cache : float option;
+}
+
+let of_factors factors =
+  let n = Array.length factors in
+  if n = 0 then invalid_arg "Instance.of_factors: no constraints";
+  let dim = Factored.dim factors.(0) in
+  if dim = 0 then invalid_arg "Instance.of_factors: zero-dimensional";
+  Array.iteri
+    (fun i f ->
+      if Factored.dim f <> dim then
+        invalid_arg
+          (Printf.sprintf "Instance.of_factors: constraint %d has dim %d <> %d"
+             i (Factored.dim f) dim))
+    factors;
+  let traces = Array.map Factored.trace factors in
+  Array.iteri
+    (fun i tr ->
+      if tr <= 0.0 then
+        invalid_arg
+          (Printf.sprintf "Instance.of_factors: constraint %d is zero (Tr=%g)"
+             i tr))
+    traces;
+  { dim; factors; traces; dense_cache = None; width_cache = None }
+
+let of_dense mats =
+  let factors =
+    Array.mapi
+      (fun i a ->
+        if not (Mat.is_symmetric ~tol:1e-8 a) then
+          invalid_arg
+            (Printf.sprintf "Instance.of_dense: constraint %d not symmetric" i);
+        match Factored.of_dense_psd a with
+        | f -> f
+        | exception Invalid_argument _ ->
+            invalid_arg
+              (Printf.sprintf "Instance.of_dense: constraint %d not PSD" i))
+      mats
+  in
+  let t = of_factors factors in
+  t.dense_cache <- Some (Array.map Mat.copy mats);
+  t
+
+let dim t = t.dim
+let num_constraints t = Array.length t.factors
+let factors t = t.factors
+let factor t i = t.factors.(i)
+
+let dense_mats t =
+  match t.dense_cache with
+  | Some mats -> mats
+  | None ->
+      let mats = Array.map Factored.to_dense t.factors in
+      t.dense_cache <- Some mats;
+      mats
+
+let traces t = t.traces
+
+let nnz t = Array.fold_left (fun acc f -> acc + Factored.nnz f) 0 t.factors
+
+let width t =
+  match t.width_cache with
+  | Some w -> w
+  | None ->
+      let mats = dense_mats t in
+      let w =
+        Array.fold_left (fun acc a -> Float.max acc (Eig.lambda_max a)) 0.0 mats
+      in
+      t.width_cache <- Some w;
+      w
+
+let scale v t =
+  if v < 0.0 then invalid_arg "Instance.scale: negative factor";
+  of_factors (Array.map (Factored.scale v) t.factors)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>normalized positive SDP (Figure 2)@,\
+     \  primal (covering): min Tr[Y]  s.t.  Ai . Y >= 1 (i = 1..%d), Y >= 0@,\
+     \  dual   (packing):  max 1'x    s.t.  sum_i x_i Ai <= I, x >= 0@,\
+     \  m = %d, n = %d, nnz(q) = %d@]"
+    (num_constraints t) t.dim (num_constraints t) (nnz t)
+
+type general = {
+  objective : Mat.t;
+  constraints : (Mat.t * float) array;
+}
+
+let general ~objective ~constraints =
+  let m = Mat.rows objective in
+  if not (Mat.is_symmetric ~tol:1e-8 objective) then
+    invalid_arg "Instance.general: objective not symmetric";
+  if not (Cholesky.is_psd objective) then
+    invalid_arg "Instance.general: objective not PSD";
+  Array.iteri
+    (fun i (a, b) ->
+      if Mat.rows a <> m || Mat.cols a <> m then
+        invalid_arg
+          (Printf.sprintf "Instance.general: constraint %d has wrong shape" i);
+      if not (Mat.is_symmetric ~tol:1e-8 a) then
+        invalid_arg
+          (Printf.sprintf "Instance.general: constraint %d not symmetric" i);
+      if not (Cholesky.is_psd a) then
+        invalid_arg (Printf.sprintf "Instance.general: constraint %d not PSD" i);
+      if b < 0.0 then
+        invalid_arg
+          (Printf.sprintf "Instance.general: negative threshold b_%d" i))
+    constraints;
+  (* b_i = 0 constraints are implied by Y ≽ 0 and A_i ≽ 0: drop them. *)
+  let kept =
+    Array.of_list
+      (List.filter (fun (_, b) -> b > 0.0) (Array.to_list constraints))
+  in
+  if Array.length kept = 0 then
+    invalid_arg "Instance.general: no constraints with b_i > 0";
+  { objective; constraints = kept }
+
+let pp_general ppf g =
+  Format.fprintf ppf
+    "@[<v>positive SDP, primal form (1.1)@,\
+     \  min C . Y  s.t.  Ai . Y >= b_i (i = 1..%d), Y >= 0@,\
+     \  m = %d@]"
+    (Array.length g.constraints) (Mat.rows g.objective)

@@ -1,0 +1,70 @@
+(** Positive SDP instances.
+
+    Two layers, matching the paper:
+
+    - {!general} is the primal form (1.1): [min C•Y] subject to
+      [Aᵢ•Y >= bᵢ], [Y ≽ 0], with [C] and all [Aᵢ] PSD and [bᵢ >= 0].
+    - {!t} is the normalized instance of Figure 2 / the ε-decision problem:
+      constraint matrices only, all thresholds 1, stored in factored form
+      [Aᵢ = QᵢQᵢᵀ] (the input format of Corollary 1.2).
+
+    {!Normalize} converts the former into the latter. *)
+
+open Psdp_linalg
+open Psdp_sparse
+
+type t
+(** A normalized instance. Immutable. *)
+
+val of_factors : Factored.t array -> t
+(** Build from factored constraints. All factors must share one dimension,
+    and every constraint must be non-zero (positive trace); violations
+    raise [Invalid_argument]. *)
+
+val of_dense : Mat.t array -> t
+(** Build from dense PSD matrices; each is factored through its
+    eigendecomposition. Non-PSD inputs raise [Invalid_argument]. *)
+
+val dim : t -> int
+(** Side length [m] of the constraint matrices. *)
+
+val num_constraints : t -> int
+(** [n]. *)
+
+val factors : t -> Factored.t array
+val factor : t -> int -> Factored.t
+
+val dense_mats : t -> Mat.t array
+(** Dense forms of all constraints (computed once and cached). *)
+
+val traces : t -> float array
+(** [Tr Aᵢ] for each [i] (cached). *)
+
+val nnz : t -> int
+(** Total non-zeros across all factors — the paper's [q]. *)
+
+val width : t -> float
+(** [max_i λmax(Aᵢ)] — the width parameter the algorithm's iteration
+    count must {e not} depend on. Computed exactly (dense) and cached. *)
+
+val scale : float -> t -> t
+(** [scale v t] multiplies every constraint by [v >= 0] (the binary-search
+    reduction rescales instances this way). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the normalized primal/dual pair of Figure 2 with instance
+    statistics. *)
+
+(** {1 General form} *)
+
+type general = {
+  objective : Mat.t;  (** [C], symmetric PSD, treated as full rank *)
+  constraints : (Mat.t * float) array;  (** [(Aᵢ, bᵢ)] *)
+}
+
+val general : objective:Mat.t -> constraints:(Mat.t * float) array -> general
+(** Validates: matching dimensions, symmetric PSD matrices, [bᵢ >= 0],
+    [C] positive definite. Constraints with [bᵢ = 0] are dropped (they are
+    implied by [Y ≽ 0], cf. Appendix A). *)
+
+val pp_general : Format.formatter -> general -> unit

@@ -1,0 +1,210 @@
+open Psdp_prelude
+open Psdp_linalg
+
+type t = { rows : int; cols : float array array }
+
+let create ~rows ~cols =
+  if rows <= 0 then invalid_arg "Lp.create: rows must be positive";
+  if Array.length cols = 0 then invalid_arg "Lp.create: no columns";
+  Array.iteri
+    (fun i col ->
+      if Array.length col <> rows then
+        invalid_arg (Printf.sprintf "Lp.create: column %d has wrong length" i);
+      let sum = ref 0.0 in
+      Array.iter
+        (fun v ->
+          if v < 0.0 then
+            invalid_arg (Printf.sprintf "Lp.create: negative entry in column %d" i);
+          sum := !sum +. v)
+        col;
+      if !sum <= 0.0 then
+        invalid_arg (Printf.sprintf "Lp.create: column %d is zero" i))
+    cols;
+  { rows; cols = Array.map Array.copy cols }
+
+let rows t = t.rows
+let num_vars t = Array.length t.cols
+let column t i = Array.copy t.cols.(i)
+
+let of_diagonal_instance inst =
+  let mats = Instance.dense_mats inst in
+  let m = Instance.dim inst in
+  let cols =
+    Array.mapi
+      (fun i a ->
+        let scale_ = Float.max 1.0 (Mat.max_abs a) in
+        for r = 0 to m - 1 do
+          for c = 0 to m - 1 do
+            if r <> c && Float.abs (Mat.get a r c) > 1e-12 *. scale_ then
+              invalid_arg
+                (Printf.sprintf
+                   "Lp.of_diagonal_instance: constraint %d is not diagonal" i)
+          done
+        done;
+        Mat.diagonal a)
+      mats
+  in
+  create ~rows:m ~cols
+
+type outcome =
+  | Dual of { x : float array }
+  | Primal of { p : float array }
+
+type result = { outcome : outcome; iterations : int }
+
+let mx t x =
+  let y = Array.make t.rows 0.0 in
+  Array.iteri
+    (fun i col ->
+      let xi = x.(i) in
+      if xi <> 0.0 then
+        for j = 0 to t.rows - 1 do
+          y.(j) <- y.(j) +. (xi *. col.(j))
+        done)
+    t.cols;
+  y
+
+let feasible ?(tol = 1e-9) t x =
+  Array.length x = Array.length t.cols
+  && Array.for_all (fun v -> v >= 0.0) x
+  && Array.for_all (fun v -> v <= 1.0 +. tol) (mx t x)
+
+let value x = Util.sum_array x
+
+let decide ?(mode = Decision.Adaptive { check_every = 10 }) ?on_iter ~eps t =
+  let n = Array.length t.cols and m = t.rows in
+  let params = Params.of_eps ~eps ~n in
+  let { Params.k_cap; alpha; r_cap; _ } = params in
+  (* x⁰ᵢ = 1/(n·Tr Aᵢ); the LP analogue of the trace is the column sum. *)
+  let col_sums = Array.map Util.sum_array t.cols in
+  let x = Array.init n (fun i -> 1.0 /. (float_of_int n *. col_sums.(i))) in
+  let l1 = ref (Util.sum_array x) in
+  let avg_p = Array.make m 0.0 in
+  let iter = ref 0 in
+  let early : outcome option ref = ref None in
+  let check_early () =
+    (* Dual candidate: rescale x to feasibility. *)
+    let y = mx t x in
+    let peak = Util.max_array y in
+    let scale_ = if peak > 1.0 then 1.0 /. peak else 1.0 in
+    if scale_ *. !l1 >= 1.0 -. eps then
+      early := Some (Dual { x = Array.map (fun v -> v *. scale_) x })
+    else if !iter > 0 then begin
+      (* Primal candidate: averaged soft-max distribution. *)
+      let total = float_of_int !iter in
+      let p = Array.map (fun v -> v /. total) avg_p in
+      let covered = ref infinity in
+      Array.iter
+        (fun col ->
+          let s = ref 0.0 in
+          Array.iteri (fun j pv -> s := !s +. (pv *. col.(j))) p;
+          covered := Float.min !covered !s)
+        t.cols;
+      if !covered >= 1.0 -. eps then early := Some (Primal { p })
+    end
+  in
+  while !early = None && !l1 <= k_cap && !iter < r_cap do
+    incr iter;
+    let psi = mx t x in
+    (* Scalar soft-max weights, computed stably relative to the max. *)
+    let w = Array.map exp psi in
+    let trace_w = Util.sum_array w in
+    let threshold = (1.0 +. eps) *. trace_w in
+    Array.iteri
+      (fun i col ->
+        let dot = ref 0.0 in
+        Array.iteri (fun j wv -> dot := !dot +. (wv *. col.(j))) w;
+        if !dot <= threshold then x.(i) <- x.(i) *. (1.0 +. alpha))
+      t.cols;
+    for j = 0 to m - 1 do
+      avg_p.(j) <- avg_p.(j) +. (w.(j) /. trace_w)
+    done;
+    l1 := Util.sum_array x;
+    (match on_iter with Some f -> f !iter | None -> ());
+    match mode with
+    | Decision.Adaptive { check_every } when !iter mod check_every = 0 ->
+        check_early ()
+    | Decision.Adaptive _ | Decision.Faithful -> ()
+  done;
+  let outcome =
+    match !early with
+    | Some o -> o
+    | None ->
+        if !l1 > k_cap then begin
+          let scale_ = 1.0 /. ((1.0 +. (10.0 *. eps)) *. k_cap) in
+          Dual { x = Array.map (fun v -> v *. scale_) x }
+        end
+        else begin
+          let total = float_of_int (max 1 !iter) in
+          Primal { p = Array.map (fun v -> v /. total) avg_p }
+        end
+  in
+  { outcome; iterations = !iter }
+
+type optimum = {
+  x : float array;
+  value : float;
+  upper_bound : float;
+  decision_calls : int;
+}
+
+let maximize ?mode ~eps t =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Lp.maximize: eps must lie in (0,1)";
+  let n = Array.length t.cols in
+  let col_peaks = Array.map Util.max_array t.cols in
+  let lo0 =
+    Array.fold_left Float.max 0.0 (Array.map (fun p -> 1.0 /. p) col_peaks)
+  in
+  let hi0 =
+    Float.max lo0
+      (Util.sum_array (Array.map (fun p -> 1.0 /. p) col_peaks))
+  in
+  let best_i = ref 0 in
+  Array.iteri (fun i p -> if p < col_peaks.(!best_i) then best_i := i) col_peaks;
+  let incumbent = Array.make n 0.0 in
+  incumbent.(!best_i) <- 1.0 /. col_peaks.(!best_i);
+  let incumbent_value = ref (value incumbent) in
+  let lo = ref !incumbent_value and hi = ref hi0 in
+  let calls = ref 0 in
+  let budget =
+    max 4
+      (int_of_float
+         (Float.ceil
+            (Util.log2 (Float.max 1e-9 (log (hi0 /. lo0)) /. log (1.0 +. (eps /. 2.0)))))
+       + 8)
+  in
+  let eps_dec = eps /. 4.0 in
+  while !hi > (1.0 +. eps) *. !lo && !calls < budget do
+    incr calls;
+    let v = sqrt (!lo *. !hi) in
+    let scaled = { t with cols = Array.map (Array.map (fun e -> v *. e)) t.cols } in
+    let res = decide ?mode ~eps:eps_dec scaled in
+    match res.outcome with
+    | Dual { x = xd } ->
+        let candidate = Array.map (fun e -> v *. e) xd in
+        let y = mx t candidate in
+        let peak = Util.max_array y in
+        let scale_ = if peak > 1.0 then 1.0 /. peak else 1.0 in
+        let cand_value = scale_ *. value candidate in
+        if cand_value > !incumbent_value then begin
+          incumbent_value := cand_value;
+          Array.iteri (fun i e -> incumbent.(i) <- scale_ *. e) candidate
+        end;
+        lo := Float.max !lo !incumbent_value
+    | Primal { p } ->
+        let covered = ref infinity in
+        Array.iter
+          (fun col ->
+            let s = ref 0.0 in
+            Array.iteri (fun j pv -> s := !s +. (v *. pv *. col.(j))) p;
+            covered := Float.min !covered !s)
+          t.cols;
+        if !covered > 0.0 then hi := Float.max !lo (Float.min !hi (v /. !covered))
+  done;
+  {
+    x = incumbent;
+    value = !incumbent_value;
+    upper_bound = !hi;
+    decision_calls = !calls;
+  }

@@ -1,0 +1,56 @@
+(** Width-independent positive (packing) {e linear} programming — Young's
+    algorithm [You01], the scalar ancestor of Algorithm 3.1.
+
+    The program is [max 1ᵀx] s.t. [M x <= 1] coordinate-wise, [x >= 0],
+    with [M >= 0] entry-wise ([m] rows, [n] columns). A positive SDP whose
+    constraint matrices are all diagonal is exactly such an LP
+    ([Mⱼᵢ = (Aᵢ)ⱼⱼ]), which the test suite exploits: {!Decision.solve}
+    and this module must agree on diagonal instances.
+
+    The algorithm is Algorithm 3.1 with the matrix exponential replaced by
+    the scalar soft-max weights [wⱼ = exp((Mx)ⱼ)] — each iteration is
+    O(nnz M). *)
+
+type t
+(** A packing LP. Immutable. *)
+
+val create : rows:int -> cols:float array array -> t
+(** [cols.(i)] is column [i] of [M] (length [rows]); entries must be
+    non-negative, each column non-zero. *)
+
+val rows : t -> int
+val num_vars : t -> int
+val column : t -> int -> float array
+
+val of_diagonal_instance : Instance.t -> t
+(** Extract the LP from an SDP instance whose constraints are all
+    diagonal. Raises [Invalid_argument] when an off-diagonal entry is
+    non-zero (beyond 1e-12 relative). *)
+
+type outcome =
+  | Dual of { x : float array }  (** [‖x‖₁ >= 1−ε] and [Mx <= 1] *)
+  | Primal of { p : float array }
+      (** covering certificate: [Σⱼ pⱼ = 1] and [(Mᵀp)ᵢ >= 1−ε] ∀i *)
+
+type result = { outcome : outcome; iterations : int }
+
+val decide :
+  ?mode:Decision.mode -> ?on_iter:(int -> unit) -> eps:float -> t -> result
+(** ε-decision problem, same contract as {!Decision.solve}. *)
+
+type optimum = {
+  x : float array;  (** feasible, verified *)
+  value : float;  (** [1ᵀx >= (1−O(ε))·OPT] *)
+  upper_bound : float;
+  decision_calls : int;
+}
+
+val maximize : ?mode:Decision.mode -> eps:float -> t -> optimum
+(** Optimization by the same multiplicative bisection as
+    {!Solver.solve_packing}. *)
+
+val feasible : ?tol:float -> t -> float array -> bool
+(** [Mx <= 1 + tol] with [x >= 0]. *)
+
+val value : float array -> float
+(** [1ᵀx]. *)

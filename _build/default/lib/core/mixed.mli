@@ -1,0 +1,92 @@
+(** Mixed packing/covering positive SDPs — the class the paper's
+    conclusion (§5) singles out for future work, and the class [JY12]
+    addresses: {e matrix} packing constraints together with {e diagonal}
+    covering constraints (diagonal matrix covering is equivalent to
+    coordinate-wise scalar covering, so the covering side is a
+    non-negative linear system).
+
+    Feasibility problem: given PSD matrices [Aᵢ] and a non-negative
+    [m_c × n] matrix [C],
+
+    {v  find x >= 0  with  Σᵢ xᵢAᵢ ≼ I   and   C x >= 1  v}
+
+    The solver runs Young-style mixed dynamics [You01] lifted to matrices:
+    the packing side is priced by the matrix soft-max
+    [priceᵢ = (W•Aᵢ)/Tr W], [W = exp(Ψ(x))]; the covering side by the
+    scalar soft-min [yieldᵢ = (Σⱼ vⱼCⱼᵢ)/(Σⱼ vⱼ)], [vⱼ = exp(−θ(Cx)ⱼ)];
+    coordinates whose packing price does not exceed [(1+ε)]× their
+    covering yield are multiplied by [(1+α)]. Exits:
+
+    - [Feasible x]: the candidate [x/λmax(Ψ(x))] verifies
+      [Σ xᵢAᵢ ≼ I] (by construction) and [Cx >= (1−ε)·1] (checked) —
+      an ε-relaxed feasible point;
+    - [Infeasible]: a priced certificate — a PSD [Y ≽ 0, Tr Y = 1] and a
+      covering distribution [p] with
+      [Aᵢ•Y > (1+ε)·(Cᵀp)ᵢ] for every [i], which by LP duality rules out
+      any exactly-feasible [x] (pairing any feasible x against (Y,p)
+      yields [1 >= Σxᵢ Aᵢ•Y > (1+ε)·pᵀCx >= 1+ε]);
+    - [Unknown]: iteration budget exhausted (reported, never silently
+      converted into an answer). *)
+
+open Psdp_linalg
+
+type instance = {
+  packing : Instance.t;  (** the [Aᵢ] (factored) *)
+  covering : float array array;
+      (** rows of [C] (length [n] each, non-negative) *)
+}
+
+val instance : packing:Instance.t -> covering:float array array -> instance
+(** Validates shapes, non-negativity and that every covering row and
+    every variable's covering column is non-trivial enough to matter
+    (each row must have a positive entry). *)
+
+type certificate = {
+  y : Mat.t;  (** [Tr Y = 1], PSD *)
+  p : float array;  (** covering distribution, [Σ p = 1] *)
+  gap : float;  (** [minᵢ (Aᵢ•Y − (1+ε)(Cᵀp)ᵢ)] > 0 *)
+}
+
+type outcome =
+  | Feasible of { x : float array }
+  | Infeasible of certificate
+  | Unknown
+
+type result = { outcome : outcome; iterations : int }
+
+val solve :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?backend:Decision.backend ->
+  ?check_every:int ->
+  ?max_iterations:int ->
+  eps:float ->
+  instance ->
+  result
+(** [max_iterations] defaults to the Params cap [R] for the packing side.
+    Every [Feasible] answer is verified against both constraint systems
+    before being returned. *)
+
+val verify : ?tol:float -> eps:float -> instance -> float array -> bool
+(** [verify ~eps inst x]: [x >= 0], [λmax(Σ xᵢAᵢ) <= 1 + tol] and
+    [Cx >= (1−ε)·(1 − tol)]. *)
+
+type coverage_optimum = {
+  level : float;  (** largest certified-feasible service level [t] *)
+  x : float array;  (** verified witness for [level] *)
+  infeasible_above : float;
+      (** smallest level at which the search saw an infeasibility
+          certificate (or its upper cap) *)
+  calls : int;
+}
+
+val max_coverage :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?backend:Decision.backend ->
+  ?max_calls:int ->
+  eps:float ->
+  instance ->
+  coverage_optimum
+(** Optimization over the covering side: the largest [t] such that
+    [Σ xᵢAᵢ ≼ I] and [Cx >= t·1] stays (ε-relaxedly) feasible, by
+    multiplicative bisection over rescaled covering systems. The witness
+    [x] is verified at the returned [level]. *)

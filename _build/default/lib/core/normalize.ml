@@ -1,0 +1,104 @@
+open Psdp_linalg
+
+type t = {
+  instance : Instance.t;
+  cholesky_factor : Mat.t;
+  thresholds : float array;
+}
+
+let normalize (g : Instance.general) =
+  let l =
+    match Cholesky.factor g.Instance.objective with
+    | l -> l
+    | exception Cholesky.Not_positive_definite i ->
+        invalid_arg
+          (Printf.sprintf
+             "Normalize.normalize: objective C is singular (pivot %d); the \
+              Appendix-A reduction requires C to be positive definite on \
+              the constraints' support"
+             i)
+  in
+  let mats =
+    Array.map
+      (fun (a, b) -> Mat.scale (1.0 /. b) (Cholesky.congruence ~l a))
+      g.Instance.constraints
+  in
+  {
+    instance = Instance.of_dense mats;
+    cholesky_factor = l;
+    thresholds = Array.map snd g.Instance.constraints;
+  }
+
+let normalize_factored ~objective ~constraints =
+  let m = Mat.rows objective in
+  if not (Mat.is_symmetric ~tol:1e-8 objective) then
+    invalid_arg "Normalize.normalize_factored: objective not symmetric";
+  let l =
+    match Cholesky.factor objective with
+    | l -> l
+    | exception Cholesky.Not_positive_definite i ->
+        invalid_arg
+          (Printf.sprintf
+             "Normalize.normalize_factored: objective C is singular (pivot %d)"
+             i)
+  in
+  let factors =
+    Array.mapi
+      (fun idx (f, b) ->
+        if b <= 0.0 then
+          invalid_arg
+            (Printf.sprintf
+               "Normalize.normalize_factored: threshold b_%d must be > 0" idx);
+        if Psdp_sparse.Factored.dim f <> m then
+          invalid_arg
+            (Printf.sprintf
+               "Normalize.normalize_factored: constraint %d has dimension %d \
+                <> %d"
+               idx
+               (Psdp_sparse.Factored.dim f)
+               m);
+        (* Columns of Qᵢ are solved against L and scaled by 1/√bᵢ:
+           Bᵢ = (L⁻¹Qᵢ/√bᵢ)(L⁻¹Qᵢ/√bᵢ)ᵀ. *)
+        let qt = Psdp_sparse.Factored.factor_t f in
+        let r = Psdp_sparse.Csr.rows qt in
+        let inv_sqrt_b = 1.0 /. sqrt b in
+        let transformed = Mat.create m r in
+        let { Psdp_sparse.Csr.row_ptr; col_idx; values; _ } = qt in
+        for j = 0 to r - 1 do
+          (* Column j of Qᵢ, read off the transpose's sparse row. *)
+          let col = Array.make m 0.0 in
+          for k = row_ptr.(j) to row_ptr.(j + 1) - 1 do
+            col.(col_idx.(k)) <- values.(k)
+          done;
+          let solved = Cholesky.solve_lower l col in
+          for i = 0 to m - 1 do
+            Mat.set transformed i j (inv_sqrt_b *. solved.(i))
+          done
+        done;
+        Psdp_sparse.Factored.of_dense_factor transformed)
+      constraints
+  in
+  {
+    instance = Instance.of_factors factors;
+    cholesky_factor = l;
+    thresholds = Array.map snd constraints;
+  }
+
+let denormalize_primal t z =
+  let l_inv = Cholesky.inverse_lower t.cholesky_factor in
+  (* Y = L⁻ᵀ Z L⁻¹ *)
+  Mat.symmetrize (Mat.mul (Mat.transpose l_inv) (Mat.mul z l_inv))
+
+let denormalize_dual t x =
+  if Array.length x <> Array.length t.thresholds then
+    invalid_arg "Normalize.denormalize_dual: wrong length";
+  Array.mapi (fun i v -> v /. t.thresholds.(i)) x
+
+let primal_objective (g : Instance.general) y = Mat.dot g.Instance.objective y
+
+let dual_objective (g : Instance.general) x =
+  if Array.length x <> Array.length g.Instance.constraints then
+    invalid_arg "Normalize.dual_objective: wrong length";
+  let s = ref 0.0 in
+  Array.iteri (fun i (_, b) -> s := !s +. (b *. x.(i))) g.Instance.constraints;
+  !s

@@ -1,0 +1,47 @@
+(** Appendix-A reduction: general primal form (1.1) → normalized pair
+    (Figure 2).
+
+    With [C = LLᵀ] (Cholesky) define [Bᵢ = (1/bᵢ)·L⁻¹AᵢL⁻ᵀ]. Then
+
+    - covering: [Z* = Lᵀ Y* L] maps optimal solutions both ways and
+      [Tr Z = C•Y], [Bᵢ•Z = (Aᵢ•Y)/bᵢ];
+    - packing: [x̃ᵢ = bᵢ·xᵢ] identifies the duals, [1ᵀx̃ = Σᵢ bᵢxᵢ].
+
+    so the normalized program has the same optimum as the original. *)
+
+open Psdp_linalg
+
+type t = {
+  instance : Instance.t;  (** the normalized constraints [Bᵢ] *)
+  cholesky_factor : Mat.t;  (** [L] with [C = LLᵀ] *)
+  thresholds : float array;  (** original [bᵢ] (all positive) *)
+}
+
+val normalize : Instance.general -> t
+(** Raises [Invalid_argument] when [C] is not (numerically) positive
+    definite — the paper treats [C] as full rank on the support of the
+    [Aᵢ] (Appendix A). *)
+
+val normalize_factored :
+  objective:Mat.t -> constraints:(Psdp_sparse.Factored.t * float) array -> t
+(** The pre-factored path Appendix A highlights: when [Aᵢ = QᵢQᵢᵀ] is
+    given, [Bᵢ = (1/bᵢ)(L⁻¹Qᵢ)(L⁻¹Qᵢ)ᵀ] needs only triangular solves
+    against the columns of [Qᵢ] — the constraints are never densified,
+    preserving thin factorizations through the reduction. Validation as
+    in {!Instance.general} ([bᵢ > 0] required here; zero thresholds
+    should be dropped by the caller). *)
+
+val denormalize_primal : t -> Mat.t -> Mat.t
+(** [denormalize_primal t z] is [Y = L⁻ᵀ Z L⁻¹]: a feasible covering
+    solution of the normalized program maps to a feasible solution of the
+    original with equal objective. *)
+
+val denormalize_dual : t -> float array -> float array
+(** [xᵢ = x̃ᵢ/bᵢ]: a normalized packing solution becomes a dual solution
+    of the original with value [Σᵢ bᵢxᵢ = 1ᵀx̃]. *)
+
+val primal_objective : Instance.general -> Mat.t -> float
+(** [C • Y]. *)
+
+val dual_objective : Instance.general -> float array -> float
+(** [Σᵢ bᵢxᵢ]. *)

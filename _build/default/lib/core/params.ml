@@ -1,0 +1,23 @@
+type t = {
+  eps : float;
+  n : int;
+  k_cap : float;
+  alpha : float;
+  r_cap : int;
+}
+
+let of_eps ~eps ~n =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Params.of_eps: eps must lie in (0,1)";
+  if n < 1 then invalid_arg "Params.of_eps: n must be >= 1";
+  let ln_n = log (float_of_int (max 2 n)) in
+  let k_cap = (1.0 +. ln_n) /. eps in
+  let alpha = eps /. (k_cap *. (1.0 +. (10.0 *. eps))) in
+  let r_cap =
+    int_of_float (Float.ceil (32.0 /. (eps *. alpha) *. ln_n))
+  in
+  { eps; n; k_cap; alpha; r_cap }
+
+let pp ppf t =
+  Format.fprintf ppf "eps=%g n=%d K=%.4g alpha=%.4g R=%d" t.eps t.n t.k_cap
+    t.alpha t.r_cap

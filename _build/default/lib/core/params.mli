@@ -1,0 +1,20 @@
+(** Parameter schedule of Algorithm 3.1.
+
+    For accuracy [ε] and [n] constraints the paper sets
+    [K = (1 + ln n)/ε], [α = ε/(K(1+10ε))] and the iteration cap
+    [R = ⌈(32/(εα))·ln n⌉ = O(ε⁻³ log² n)]. [K] caps the ℓ₁ mass at which
+    the dual exit fires, [α] is the multiplicative step, and [R] the
+    primal-exit iteration budget. *)
+
+type t = {
+  eps : float;  (** internal accuracy of the decision problem *)
+  n : int;  (** number of constraints *)
+  k_cap : float;  (** K *)
+  alpha : float;  (** α *)
+  r_cap : int;  (** R *)
+}
+
+val of_eps : eps:float -> n:int -> t
+(** Paper constants. Requires [0 < eps < 1] and [n >= 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Phase-based variant of [decisionPSDP], in the spirit of the SPAA'12
+    conference pseudocode [PT12] (this arXiv revision "removes these
+    phases" from the analysis; the paper notes the phase-based version
+    can be analyzed similarly).
+
+    The expensive primitive is the exponential evaluation. Here it is
+    computed once per {e phase} and the resulting coordinate set
+    [B = {i : W•Aᵢ <= (1+ε)·Tr W}] is reused for every update inside the
+    phase; a phase ends when the ℓ₁ mass has grown by a factor [(1+φ)]
+    (so [Ψ] has moved by at most [φ·Ψ ≼ φ(1+10ε)K·I] and the stale
+    penalties are still within a controlled factor). Exits are the same
+    verified certificates as {!Decision}, so staleness can cost extra
+    iterations but never correctness.
+
+    The ablation bench (EXP9) compares exponential-evaluation counts and
+    iteration counts against the per-iteration {!Decision}. *)
+
+type result = {
+  outcome : Decision.outcome;
+  iterations : int;  (** coordinate-update steps *)
+  phases : int;  (** number of exponential evaluations *)
+  params : Params.t;
+}
+
+val solve :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?backend:Decision.backend ->
+  ?phase_growth:float ->
+  ?check_every:int ->
+  eps:float ->
+  Instance.t ->
+  result
+(** [phase_growth] (default [eps/2]) is the ℓ₁-growth factor ending a
+    phase; [check_every] (default 10) is the certificate cadence in
+    update steps. Certificates are always on (there is no Faithful mode:
+    the phased pseudocode's own exits are the certificate checks plus the
+    paper's ℓ₁/iteration caps). *)

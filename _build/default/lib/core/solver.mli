@@ -1,0 +1,81 @@
+(** [approxPSDP] — the optimization layer (Main Theorem 1.1, via the
+    Lemma-2.2 reduction).
+
+    The packing optimum [OPT = max{1ᵀx : Σᵢ xᵢAᵢ ≼ I, x >= 0}] is
+    bracketed by single-coordinate solutions and trace bounds, then
+    refined by multiplicative bisection: at threshold [v], a decision call
+    on the rescaled instance [{v·Aᵢ}] returns either a dual certificate
+    (re-verified, raising the lower bound and the incumbent) or a primal
+    certificate (capping [OPT <= v/min_dot]). The trace clamp of
+    Lemma 2.2 drops constraints whose rescaled trace exceeds [n³] — their
+    total dual mass is at most [1/n]. *)
+
+open Psdp_linalg
+
+type packing_result = {
+  x : float array;  (** incumbent feasible dual solution (verified) *)
+  value : float;  (** [‖x‖₁] — certified lower bound on OPT *)
+  upper_bound : float;  (** certified upper bound on OPT *)
+  primal_dots : float array option;
+      (** [Aᵢ•Z] of the scaled covering witness behind [upper_bound] *)
+  primal_z : Mat.t option;
+      (** materialized covering witness [Z] ([Tr Z = upper_bound],
+          [Aᵢ•Z >= 1 − tol]); present when the backend is exact *)
+  decision_calls : int;
+  total_iterations : int;  (** decision iterations summed over all calls *)
+  dropped_constraints : int;  (** Lemma-2.2 trace clamp casualties *)
+}
+
+val solve_packing :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?backend:Decision.backend ->
+  ?mode:Decision.mode ->
+  ?max_calls:int ->
+  eps:float ->
+  Instance.t ->
+  packing_result
+(** [(1+ε)]-approximation: on return (absent [max_calls] exhaustion)
+    [value <= OPT <= upper_bound] with [upper_bound <= (1+ε)·value] up to
+    the verification tolerance. Defaults follow {!Decision.solve}. *)
+
+type covering_result = {
+  z : Mat.t;  (** feasible covering solution: [Aᵢ•Z >= 1 − tol], [Z ≽ 0] *)
+  objective : float;  (** [Tr Z] — a certified upper bound on the
+                          covering optimum = packing optimum *)
+  lower_bound : float;  (** matching verified packing value (weak duality) *)
+  packing : packing_result;
+}
+
+val solve_covering :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?backend:Decision.backend ->
+  ?mode:Decision.mode ->
+  ?max_calls:int ->
+  eps:float ->
+  Instance.t ->
+  covering_result
+(** The primal side of Figure 2: [min Tr Y] s.t. [Aᵢ•Y >= 1]. Runs
+    {!solve_packing} and returns the covering witness behind the upper
+    bound; when the bisection never needed a primal step (the a-priori
+    bracket was already tight) the witness falls back to the scaled
+    identity [Z = I/minᵢTr Aᵢ], which is always feasible. Requires the
+    exact backend (the witness must be materialized). *)
+
+type general_result = {
+  packing : packing_result;  (** result on the normalized instance *)
+  y : Mat.t option;  (** covering solution of the original program *)
+  objective_value : float option;  (** [C•Y] *)
+  dual : float array;  (** dual of the original: [Σᵢ bᵢ·dualᵢ <= OPT] *)
+  dual_value : float;
+}
+
+val solve_general :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?backend:Decision.backend ->
+  ?mode:Decision.mode ->
+  ?max_calls:int ->
+  eps:float ->
+  Instance.general ->
+  general_result
+(** Full pipeline on the primal form (1.1): normalize (Appendix A), solve,
+    de-normalize both solutions. *)

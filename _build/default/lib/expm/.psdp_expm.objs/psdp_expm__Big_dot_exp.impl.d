@@ -1,0 +1,1 @@
+lib/expm/big_dot_exp.ml: Array Csr Factored Float Mat Matfun Poly Psdp_linalg Psdp_parallel Psdp_prelude Psdp_sketch Psdp_sparse Util Vec

@@ -1,0 +1,1 @@
+lib/expm/big_dot_exp.mli: Factored Mat Psdp_linalg Psdp_parallel Psdp_sketch Psdp_sparse Vec

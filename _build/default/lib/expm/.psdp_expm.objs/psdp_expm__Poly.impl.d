@@ -1,0 +1,1 @@
+lib/expm/poly.ml: Array Float Psdp_linalg Psdp_prelude Util Vec

@@ -1,0 +1,1 @@
+lib/expm/poly.mli: Psdp_linalg Vec

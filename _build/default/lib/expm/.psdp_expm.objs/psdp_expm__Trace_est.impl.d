@@ -1,0 +1,1 @@
+lib/expm/trace_est.ml: Array Float Poly Psdp_linalg Psdp_prelude Rng Vec

@@ -1,0 +1,1 @@
+lib/expm/trace_est.mli: Psdp_linalg Psdp_prelude Vec

@@ -1,0 +1,53 @@
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_sparse
+
+type result = { dots : float array; trace_estimate : float; degree : int }
+type polynomial = Taylor | Chebyshev
+
+let compute ?(pool = Psdp_parallel.Pool.sequential) ?(poly = Taylor) ~matvec
+    ~dim ~kappa ~eps ~sketch factors =
+  if Psdp_sketch.Jl.source_dim sketch <> dim then
+    invalid_arg "Big_dot_exp.compute: sketch dimension mismatch";
+  Array.iter
+    (fun f ->
+      if Factored.dim f <> dim then
+        invalid_arg "Big_dot_exp.compute: factor dimension mismatch")
+    factors;
+  let half_matvec v = Vec.scale 0.5 (matvec v) in
+  let half_kappa = 0.5 *. Float.max 1.0 kappa in
+  let degree, apply_poly =
+    match poly with
+    | Taylor ->
+        let d = Poly.degree ~kappa:half_kappa ~eps:(eps /. 2.0) in
+        (d, fun v -> Poly.apply ~matvec:half_matvec ~degree:d v)
+    | Chebyshev ->
+        let d = Poly.chebyshev_degree ~kappa:half_kappa ~eps:(eps /. 2.0) in
+        (d, fun v ->
+            Poly.chebyshev_apply ~matvec:half_matvec ~kappa:half_kappa
+              ~degree:d v)
+  in
+  let k = Psdp_sketch.Jl.target_dim sketch in
+  (* z.(r) = p̂(Φ/2) · πᵣ ; the k chains are independent. *)
+  let z = Array.make k [||] in
+  Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:k (fun r ->
+      z.(r) <- apply_poly (Psdp_sketch.Jl.row sketch r));
+  let trace_estimate =
+    Util.sum_array (Array.map (fun zr -> Vec.dot zr zr) z)
+  in
+  let n = Array.length factors in
+  let dots = Array.make n 0.0 in
+  Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+      let qt = Factored.factor_t factors.(i) in
+      let s = ref 0.0 in
+      for r = 0 to k - 1 do
+        let u = Csr.spmv qt z.(r) in
+        s := !s +. Vec.dot u u
+      done;
+      dots.(i) <- !s);
+  { dots; trace_estimate; degree }
+
+let compute_exact phi factors =
+  let e = Matfun.expm phi in
+  let dots = Array.map (fun f -> Factored.dot_dense f e) factors in
+  { dots; trace_estimate = Mat.trace e; degree = 0 }

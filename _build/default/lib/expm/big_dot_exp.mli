@@ -1,0 +1,45 @@
+(** The [bigDotExp] primitive of Theorem 4.1: evaluate all
+    [exp(Φ) • Aᵢ] and [Tr exp(Φ)] approximately, in near-linear work.
+
+    Writing [Aᵢ = QᵢQᵢᵀ], [exp(Φ)•Aᵢ = ‖exp(Φ/2)Qᵢ‖²_F]; the algorithm
+    replaces [exp(Φ/2)] by the Lemma-4.2 Taylor prefix [p̂] and compresses
+    rows with a JL sketch [Π], returning [‖Π p̂(Φ/2) Qᵢ‖²_F]. Row [r] of
+    [Π p̂(Φ/2)] is [p̂(Φ/2)·πᵣ] by symmetry, so the whole computation is
+    [k] independent chains of [degree] matvecs — depth [O(κ·log(1/ε))]
+    times the matvec depth, work [O(k·(degree·q_Φ + q))]. *)
+
+open Psdp_linalg
+open Psdp_sparse
+
+type result = {
+  dots : float array;  (** [dots.(i) ≈ exp(Φ) • Aᵢ] *)
+  trace_estimate : float;  (** [≈ Tr exp(Φ)] *)
+  degree : int;  (** polynomial degree actually used *)
+}
+
+type polynomial = Taylor | Chebyshev
+(** Which polynomial approximates [exp(Φ/2)]: [Taylor] is the paper's
+    Lemma 4.2 (one-sided PSD sandwich, degree [Θ(κ)]); [Chebyshev] is the
+    extension with degree [≈ κ/4 + O(√κ·ln(1/ε))] — typically 4–7× shorter
+    — at the cost of the one-sidedness (see {!Poly}). *)
+
+val compute :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?poly:polynomial ->
+  matvec:(Vec.t -> Vec.t) ->
+  dim:int ->
+  kappa:float ->
+  eps:float ->
+  sketch:Psdp_sketch.Jl.t ->
+  Factored.t array ->
+  result
+(** [compute ~matvec ~dim ~kappa ~eps ~sketch factors]: [matvec] applies
+    [Φ] (symmetric PSD, [‖Φ‖₂ <= kappa]); the sketch must have
+    [source_dim = dim]. The polynomial ([poly] defaults to [Taylor]) is
+    sized for accuracy [eps/2], leaving the rest of the error budget to
+    the sketch. *)
+
+val compute_exact : Mat.t -> Factored.t array -> result
+(** Dense reference implementation via the exact eigendecomposition
+    ([degree] reported as 0). Used as the test oracle and by the solver's
+    exact mode. *)

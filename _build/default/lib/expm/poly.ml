@@ -1,0 +1,119 @@
+open Psdp_prelude
+open Psdp_linalg
+
+let degree ~kappa ~eps =
+  if not (Util.finite kappa) || kappa < 0.0 then
+    invalid_arg "Poly.degree: kappa must be finite and non-negative";
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Poly.degree: eps must lie in (0,1)";
+  let kappa = Float.max 1.0 kappa in
+  let k =
+    Float.max (exp 2.0 *. kappa) (log (2.0 /. eps))
+  in
+  int_of_float (Float.ceil k)
+
+let apply ~matvec ~degree v =
+  if degree < 1 then invalid_arg "Poly.apply: degree must be >= 1";
+  let acc = Vec.copy v in
+  let term = ref (Vec.copy v) in
+  for i = 1 to degree - 1 do
+    let next = matvec !term in
+    Vec.scale_inplace next (1.0 /. float_of_int i);
+    Vec.axpy acc ~alpha:1.0 next;
+    term := next
+  done;
+  acc
+
+let apply_exp ~matvec ~kappa ~eps v =
+  apply ~matvec ~degree:(degree ~kappa ~eps) v
+
+(* Chebyshev series of e^x on [0, kappa]: with t = (2x − κ)/κ,
+   e^x = e^{κ/2}·e^{(κ/2)t} and the classical expansion
+   e^{zt} = I₀(z) + 2 Σ_{k≥1} I_k(z) T_k(t) gives
+   c₀ = e^{κ/2}I₀(κ/2), c_k = 2e^{κ/2}I_k(κ/2). The scaled Bessel values
+   J_k = I_k(z)/e^z are computed by Miller's downward recurrence
+   (normalized through I₀ + 2ΣI_k = e^z), which keeps the tiny tail
+   coefficients relatively accurate — a naive quadrature loses them under
+   the e^κ dynamic range. *)
+let scaled_bessel ~z ~count =
+  (* J_k = I_k(z)/e^z for k = 0..count-1. *)
+  let start = count + max 20 (int_of_float (2.0 *. sqrt z)) + 20 in
+  let i = Array.make (start + 2) 0.0 in
+  i.(start + 1) <- 0.0;
+  i.(start) <- 1e-280;
+  for k = start downto 1 do
+    i.(k - 1) <- i.(k + 1) +. (2.0 *. float_of_int k /. z *. i.(k));
+    (* Rescale before overflow; relative values are all that matter. *)
+    if i.(k - 1) > 1e280 then begin
+      let scale_ = 1e-280 in
+      for j = k - 1 to start + 1 do
+        i.(j) <- i.(j) *. scale_
+      done
+    end
+  done;
+  let norm = ref i.(0) in
+  for k = 1 to start do
+    norm := !norm +. (2.0 *. i.(k))
+  done;
+  Array.init count (fun k -> i.(k) /. !norm)
+
+let chebyshev_coefficients ~kappa ~degree =
+  if degree < 0 then invalid_arg "Poly.chebyshev_coefficients: degree < 0";
+  if not (Util.finite kappa) || kappa <= 0.0 then
+    invalid_arg "Poly.chebyshev_coefficients: kappa must be positive";
+  let z = kappa /. 2.0 in
+  let j = scaled_bessel ~z ~count:(degree + 1) in
+  (* c_k = 2·e^{κ/2}·I_k(z) = 2·e^{κ/2}·e^z·J_k = 2·e^κ·J_k. *)
+  let front = exp kappa in
+  Array.init (degree + 1) (fun k ->
+      if k = 0 then front *. j.(0) else 2.0 *. front *. j.(k))
+
+let chebyshev_degree ~kappa ~eps =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Poly.chebyshev_degree: eps must lie in (0,1)";
+  let kappa = Float.max 1.0 kappa in
+  (* Coefficients decay super-exponentially past ~kappa/2; search for the
+     smallest truncation whose tail bound drops below eps (absolute, and
+     hence multiplicative at the spectrum's low end where e^x = Θ(1)). *)
+  let cap = max 16 (int_of_float (Float.ceil (kappa +. (20.0 *. sqrt kappa)))) in
+  let c = chebyshev_coefficients ~kappa ~degree:cap in
+  let tail = Array.make (cap + 2) 0.0 in
+  for k = cap downto 0 do
+    tail.(k) <- tail.(k + 1) +. Float.abs c.(k)
+  done;
+  let d = ref cap in
+  (try
+     for k = 0 to cap do
+       if tail.(k + 1) <= eps then begin
+         d := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  max 1 !d
+
+let chebyshev_apply ~matvec ~kappa ~degree v =
+  let c = chebyshev_coefficients ~kappa ~degree in
+  (* S = (2/kappa)·Φ − I maps the spectrum into [−1, 1]. *)
+  let s u =
+    let w = matvec u in
+    Vec.scale_inplace w (2.0 /. kappa);
+    Vec.axpy w ~alpha:(-1.0) u;
+    w
+  in
+  let acc = Vec.scale c.(0) v in
+  if degree >= 1 then begin
+    let t_prev = ref (Vec.copy v) in
+    let t_curr = ref (s v) in
+    Vec.axpy acc ~alpha:c.(1) !t_curr;
+    for k = 2 to degree do
+      (* T_{k} = 2·S·T_{k−1} − T_{k−2} *)
+      let next = s !t_curr in
+      Vec.scale_inplace next 2.0;
+      Vec.axpy next ~alpha:(-1.0) !t_prev;
+      Vec.axpy acc ~alpha:c.(k) next;
+      t_prev := !t_curr;
+      t_curr := next
+    done
+  end;
+  acc

@@ -1,0 +1,47 @@
+(** Truncated-Taylor approximation of the matrix exponential applied to a
+    vector (paper, Lemma 4.2, after [AK07] Lemma 6).
+
+    For PSD [B] with [‖B‖₂ <= κ], the degree-[<k] Taylor prefix
+    [p̂(B) = Σ_{0<=i<k} Bⁱ/i!] with [k = max(e²κ, ln(2/ε))] satisfies
+    [(1-ε)·exp(B) ≼ p̂(B) ≼ exp(B)]. Each extra degree costs one matvec,
+    so [p̂(B)v] is [O(k · cost(matvec))] work and the matvec chain is the
+    only sequential dependence — exactly the primitive Theorem 4.1 prices. *)
+
+open Psdp_linalg
+
+val degree : kappa:float -> eps:float -> int
+(** [degree ~kappa ~eps] is Lemma 4.2's [k = max(e²·max(1,κ), ln(2/ε))],
+    rounded up. Raises [Invalid_argument] unless [eps] in [(0,1)] and
+    [kappa] finite and non-negative. *)
+
+val apply : matvec:(Vec.t -> Vec.t) -> degree:int -> Vec.t -> Vec.t
+(** [apply ~matvec ~degree v] is [Σ_{0<=i<degree} Bⁱv/i!] using [degree-1]
+    invocations of [matvec]. *)
+
+val apply_exp : matvec:(Vec.t -> Vec.t) -> kappa:float -> eps:float -> Vec.t -> Vec.t
+(** Convenience: {!apply} with the degree from {!degree}. *)
+
+(** {1 Chebyshev alternative}
+
+    Beyond the paper: the Taylor prefix needs degree [Θ(κ)]; the
+    Chebyshev expansion of [e^x] on [[0, κ]] reaches absolute accuracy
+    [ε·e⁰] (hence [(1±ε)] multiplicative at the spectrum's low end, and
+    far better above it) at degree [≈ κ/2 + O(√(κ·ln(1/ε)))] — several
+    times shorter for the κ values the solver produces. Unlike the Taylor
+    prefix it is {e not} one-sided (no PSD sandwich), so it is offered as
+    an ablation/extension, not as the default primitive. *)
+
+val chebyshev_coefficients : kappa:float -> degree:int -> float array
+(** Coefficients [c₀ … c_degree] of the Chebyshev-series approximation of
+    [e^x] on [[0, κ]] (computed by Chebyshev–Gauss quadrature; [c₀]
+    already includes its conventional ½ factor). *)
+
+val chebyshev_degree : kappa:float -> eps:float -> int
+(** Smallest degree whose coefficient tail is below [eps] — determined
+    numerically from the coefficient decay. *)
+
+val chebyshev_apply :
+  matvec:(Vec.t -> Vec.t) -> kappa:float -> degree:int -> Vec.t -> Vec.t
+(** Evaluates the Chebyshev approximation of [exp] on a vector using the
+    three-term recurrence ([degree] matvecs). *)
+

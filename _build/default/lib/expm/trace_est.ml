@@ -1,0 +1,36 @@
+open Psdp_prelude
+open Psdp_linalg
+
+let check_args ~samples ~dim =
+  if samples < 1 then invalid_arg "Trace_est: samples must be >= 1";
+  if dim < 1 then invalid_arg "Trace_est: dim must be >= 1"
+
+let rademacher rng dim =
+  Array.init dim (fun _ -> if Rng.uniform rng < 0.5 then -1.0 else 1.0)
+
+let estimate ~probe ~rng ~samples ~dim matvec =
+  check_args ~samples ~dim;
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let z = probe rng dim in
+    total := !total +. Vec.dot z (matvec z)
+  done;
+  !total /. float_of_int samples
+
+let hutchinson ~rng ~samples ~dim matvec =
+  estimate ~probe:rademacher ~rng ~samples ~dim matvec
+
+let gaussian ~rng ~samples ~dim matvec =
+  estimate ~probe:Rng.gaussian_array ~rng ~samples ~dim matvec
+
+let exp_trace ~rng ~samples ~dim ~kappa ~eps matvec =
+  check_args ~samples ~dim;
+  let half_matvec v = Vec.scale 0.5 (matvec v) in
+  let half_kappa = 0.5 *. Float.max 1.0 kappa in
+  let total = ref 0.0 in
+  for _ = 1 to samples do
+    let z = rademacher rng dim in
+    let w = Poly.apply_exp ~matvec:half_matvec ~kappa:half_kappa ~eps z in
+    total := !total +. Vec.dot w w
+  done;
+  !total /. float_of_int samples

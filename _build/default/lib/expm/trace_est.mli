@@ -1,0 +1,39 @@
+(** Stochastic trace estimation.
+
+    The solver's fast path estimates [Tr exp(Φ)] through the same JL
+    sketch it uses for the dots; this module provides the classical
+    standalone estimators for comparison and for users who only need
+    traces: Hutchinson's Rademacher estimator
+    [Tr M = E[zᵀMz], z ∈ {±1}^m] and its Gaussian variant. *)
+
+open Psdp_linalg
+
+val hutchinson :
+  rng:Psdp_prelude.Rng.t ->
+  samples:int ->
+  dim:int ->
+  (Vec.t -> Vec.t) ->
+  float
+(** [hutchinson ~rng ~samples ~dim matvec] averages [zᵀ(Mz)] over
+    [samples] Rademacher vectors. Unbiased; variance
+    [2(‖M‖²_F − Σᵢmᵢᵢ²)/samples]. *)
+
+val gaussian :
+  rng:Psdp_prelude.Rng.t ->
+  samples:int ->
+  dim:int ->
+  (Vec.t -> Vec.t) ->
+  float
+(** Same with standard normal probes (variance [2‖M‖²_F/samples]). *)
+
+val exp_trace :
+  rng:Psdp_prelude.Rng.t ->
+  samples:int ->
+  dim:int ->
+  kappa:float ->
+  eps:float ->
+  (Vec.t -> Vec.t) ->
+  float
+(** [exp_trace ~kappa ~eps matvec] estimates [Tr exp(Φ)] for PSD [Φ]
+    with [‖Φ‖₂ <= kappa]: Hutchinson probes pushed through the Lemma-4.2
+    polynomial for [exp(Φ/2)], using [Tr e^Φ = E‖e^{Φ/2}z‖²]. *)

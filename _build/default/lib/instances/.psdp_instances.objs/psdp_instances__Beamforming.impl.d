@@ -1,0 +1,1 @@
+lib/instances/beamforming.ml: Array Cholesky Csr Factored Mat Printf Psdp_core Psdp_linalg Psdp_prelude Psdp_sparse Rng

@@ -1,0 +1,1 @@
+lib/instances/beamforming.mli: Psdp_core Psdp_linalg Psdp_prelude

@@ -1,0 +1,1 @@
+lib/instances/diagonal.ml: Array Csr Factored Psdp_core Psdp_prelude Psdp_sparse Rng Util

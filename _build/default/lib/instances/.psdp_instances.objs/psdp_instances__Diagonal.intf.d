@@ -1,0 +1,1 @@
+lib/instances/diagonal.mli: Psdp_core Psdp_prelude

@@ -1,0 +1,1 @@
+lib/instances/graph.ml: Array Hashtbl List Mat Option Psdp_linalg Psdp_prelude Rng

@@ -1,0 +1,1 @@
+lib/instances/graph.mli: Psdp_linalg Psdp_prelude

@@ -1,0 +1,1 @@
+lib/instances/graph_packing.ml: Array Csr Factored Float Graph Mat Psdp_core Psdp_linalg Psdp_sparse Vec

@@ -1,0 +1,1 @@
+lib/instances/graph_packing.mli: Graph Psdp_core

@@ -1,0 +1,1 @@
+lib/instances/known_opt.ml: Array Csr Factored Fun List Mat Psdp_core Psdp_linalg Psdp_prelude Psdp_sparse Qr Rng Util

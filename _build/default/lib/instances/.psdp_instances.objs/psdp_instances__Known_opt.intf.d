@@ -1,0 +1,1 @@
+lib/instances/known_opt.mli: Psdp_core Psdp_prelude

@@ -1,0 +1,1 @@
+lib/instances/loader.ml: Array Buffer Csr Factored Fun List Printf Psdp_core Psdp_sparse String

@@ -1,0 +1,1 @@
+lib/instances/loader.mli: Psdp_core

@@ -1,0 +1,1 @@
+lib/instances/random_psd.ml: Array Csr Factored Float Psdp_core Psdp_prelude Psdp_sparse Rng

@@ -1,0 +1,1 @@
+lib/instances/random_psd.mli: Psdp_core Psdp_prelude

@@ -1,0 +1,49 @@
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_sparse
+
+type channel_model = Rayleigh | Correlated of float
+
+let correlation_factor ~antennas rho =
+  (* Cholesky factor of the Toeplitz covariance Σ_{jk} = ρ^{|j−k|}. *)
+  let sigma =
+    Mat.init antennas antennas (fun j k -> rho ** float_of_int (abs (j - k)))
+  in
+  Cholesky.factor sigma
+
+let channels ~rng ~antennas ~users ?(model = Rayleigh) () =
+  if antennas < 1 || users < 1 then
+    invalid_arg "Beamforming.channels: antennas, users >= 1";
+  let draw =
+    match model with
+    | Rayleigh -> fun () -> Rng.gaussian_array rng antennas
+    | Correlated rho ->
+        if rho < 0.0 || rho >= 1.0 then
+          invalid_arg "Beamforming.channels: correlation in [0,1)";
+        let a = correlation_factor ~antennas rho in
+        fun () -> Mat.gemv a (Rng.gaussian_array rng antennas)
+  in
+  Array.init users (fun _ -> draw ())
+
+let instance_of_channels hs =
+  if Array.length hs = 0 then
+    invalid_arg "Beamforming.instance_of_channels: no users";
+  let m = Array.length hs.(0) in
+  let factors =
+    Array.mapi
+      (fun i h ->
+        if Array.length h <> m then
+          invalid_arg
+            (Printf.sprintf
+               "Beamforming.instance_of_channels: channel %d has wrong length" i);
+        let entries = ref [] in
+        for j = m - 1 downto 0 do
+          if h.(j) <> 0.0 then entries := (j, 0, h.(j)) :: !entries
+        done;
+        Factored.of_csr (Csr.of_coo ~rows:m ~cols:1 !entries))
+      hs
+  in
+  Psdp_core.Instance.of_factors factors
+
+let instance ~rng ~antennas ~users ?model () =
+  instance_of_channels (channels ~rng ~antennas ~users ?model ())

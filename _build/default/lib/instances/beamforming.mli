@@ -1,0 +1,47 @@
+(** Downlink-beamforming packing SDP — the application Iyengar, Phillips
+    and Stein [IPS10, §2.2] formulate, and the one the paper singles out
+    as falling {e completely} within the packing framework (Section 5).
+
+    A base station with [m] antennas serves [n] users; user [i]'s channel
+    is a vector [hᵢ ∈ R^m]. Allocating transmit power [xᵢ] to user [i]
+    contributes [xᵢ·hᵢhᵢᵀ] to the spatial covariance of the emitted
+    signal, which regulatory/hardware limits cap by [≼ I] (per-direction
+    power budget after whitening). Maximizing total served power is then
+
+    [max 1ᵀx  s.t.  Σᵢ xᵢ·hᵢhᵢᵀ ≼ I,  x >= 0]
+
+    — a normalized positive packing SDP with rank-1 factored constraints.
+
+    Substitution note (DESIGN.md §2): real systems measure [hᵢ] from
+    antenna arrays; we synthesize channels from the standard Rayleigh
+    fading model (i.i.d. Gaussian entries), optionally with spatial
+    correlation across antennas, which exercises exactly the same code
+    path. *)
+
+type channel_model =
+  | Rayleigh  (** i.i.d. [N(0,1)] entries *)
+  | Correlated of float
+      (** neighbouring antennas correlated with coefficient [ρ ∈ [0,1)]:
+          [h = A·g] where [A] is the Cholesky factor of the Toeplitz
+          covariance [Σ_{jk} = ρ^{|j−k|}] *)
+
+val channels :
+  rng:Psdp_prelude.Rng.t ->
+  antennas:int ->
+  users:int ->
+  ?model:channel_model ->
+  unit ->
+  Psdp_linalg.Vec.t array
+(** Draw the channel vectors ([model] defaults to [Rayleigh]). *)
+
+val instance_of_channels : Psdp_linalg.Vec.t array -> Psdp_core.Instance.t
+(** Build the packing SDP [Σᵢ xᵢhᵢhᵢᵀ ≼ I] from given channels. *)
+
+val instance :
+  rng:Psdp_prelude.Rng.t ->
+  antennas:int ->
+  users:int ->
+  ?model:channel_model ->
+  unit ->
+  Psdp_core.Instance.t
+(** {!channels} followed by {!instance_of_channels}. *)

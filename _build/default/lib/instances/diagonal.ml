@@ -1,0 +1,37 @@
+open Psdp_prelude
+open Psdp_sparse
+
+let diag_factor d =
+  (* diag(d) = Q Qᵀ with Q = diag(√dⱼ) restricted to non-zero columns. *)
+  let m = Array.length d in
+  let entries = ref [] in
+  for j = m - 1 downto 0 do
+    if d.(j) > 0.0 then entries := (j, j, sqrt d.(j)) :: !entries
+  done;
+  Factored.of_csr (Csr.of_coo ~rows:m ~cols:m !entries)
+
+let random ~rng ~dim ~n ?(density = 0.6) () =
+  if dim < 1 || n < 1 then invalid_arg "Diagonal.random: dim, n >= 1";
+  let constraint_ () =
+    let d = Array.make dim 0.0 in
+    for j = 0 to dim - 1 do
+      if Rng.uniform rng < density then d.(j) <- 0.1 +. Rng.uniform rng
+    done;
+    if Array.for_all (fun v -> v = 0.0) d then
+      d.(Rng.int rng dim) <- 0.5 +. Rng.uniform rng;
+    diag_factor d
+  in
+  Psdp_core.Instance.of_factors (Array.init n (fun _ -> constraint_ ()))
+
+let scaled_identities cs ~dim =
+  if Array.length cs = 0 then invalid_arg "Diagonal.scaled_identities: empty";
+  Array.iter
+    (fun c ->
+      if c <= 0.0 then
+        invalid_arg "Diagonal.scaled_identities: coefficients must be > 0")
+    cs;
+  let inst =
+    Psdp_core.Instance.of_factors
+      (Array.map (fun c -> diag_factor (Array.make dim c)) cs)
+  in
+  (inst, 1.0 /. Util.min_array cs)

@@ -1,0 +1,21 @@
+(** Diagonal positive SDP instances ≡ positive packing LPs.
+
+    Positive LPs are exactly the positive SDPs whose ellipsoids are
+    axis-aligned (paper, Section 1.2); these instances let the test suite
+    pit {!Psdp_core.Decision} against the independent scalar solver
+    {!Psdp_core.Lp}. *)
+
+val random :
+  rng:Psdp_prelude.Rng.t ->
+  dim:int ->
+  n:int ->
+  ?density:float ->
+  unit ->
+  Psdp_core.Instance.t
+(** Each constraint is [diag(d)] with non-negative entries, [density]
+    fraction non-zero (default 0.6), at least one non-zero. *)
+
+val scaled_identities : float array -> dim:int -> Psdp_core.Instance.t * float
+(** [scaled_identities cs ~dim]: [Aᵢ = cᵢ·I] ([cᵢ > 0]). The packing
+    optimum is exactly [1/min cᵢ] (all mass on the cheapest constraint).
+    Returns the instance and its optimum. *)

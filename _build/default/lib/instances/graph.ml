@@ -1,0 +1,69 @@
+open Psdp_prelude
+open Psdp_linalg
+
+type t = { vertices : int; edges : (int * int * float) array }
+
+let create ~vertices ~edges =
+  if vertices < 1 then invalid_arg "Graph.create: vertices >= 1";
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= vertices || v < 0 || v >= vertices then
+        invalid_arg "Graph.create: vertex out of range";
+      if u = v then invalid_arg "Graph.create: self-loop";
+      if w <= 0.0 then invalid_arg "Graph.create: non-positive weight";
+      let key = (min u v, max u v) in
+      let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (prev +. w))
+    edges;
+  let merged =
+    Hashtbl.fold (fun (u, v) w acc -> (u, v, w) :: acc) tbl []
+  in
+  let arr = Array.of_list merged in
+  Array.sort compare arr;
+  { vertices; edges = arr }
+
+let gnp ~rng ~vertices ~p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Graph.gnp: p in [0,1]";
+  if vertices < 2 then invalid_arg "Graph.gnp: vertices >= 2";
+  let edges = ref [] in
+  for u = 0 to vertices - 2 do
+    for v = u + 1 to vertices - 1 do
+      if Rng.uniform rng < p then
+        edges := (u, v, 0.5 +. Rng.uniform rng) :: !edges
+    done
+  done;
+  if !edges = [] then begin
+    let u = Rng.int rng (vertices - 1) in
+    edges := [ (u, u + 1, 1.0) ]
+  end;
+  create ~vertices ~edges:!edges
+
+let cycle n =
+  if n < 3 then invalid_arg "Graph.cycle: n >= 3";
+  create ~vertices:n
+    ~edges:(List.init n (fun i -> (i, (i + 1) mod n, 1.0)))
+
+let complete n =
+  if n < 2 then invalid_arg "Graph.complete: n >= 2";
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, 1.0) :: !edges
+    done
+  done;
+  create ~vertices:n ~edges:!edges
+
+let total_weight g =
+  Array.fold_left (fun acc (_, _, w) -> acc +. w) 0.0 g.edges
+
+let laplacian g =
+  let l = Mat.create g.vertices g.vertices in
+  Array.iter
+    (fun (u, v, w) ->
+      Mat.set l u u (Mat.get l u u +. w);
+      Mat.set l v v (Mat.get l v v +. w);
+      Mat.set l u v (Mat.get l u v -. w);
+      Mat.set l v u (Mat.get l v u -. w))
+    g.edges;
+  l

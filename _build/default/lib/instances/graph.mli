@@ -1,0 +1,25 @@
+(** Small weighted-graph utilities feeding the MaxCut SDP generator. *)
+
+type t = {
+  vertices : int;
+  edges : (int * int * float) array;  (** (u, v, weight), u < v, w > 0 *)
+}
+
+val create : vertices:int -> edges:(int * int * float) list -> t
+(** Validates: indices in range, [u <> v], positive weights; duplicate
+    edges are merged by summing weights. *)
+
+val gnp : rng:Psdp_prelude.Rng.t -> vertices:int -> p:float -> t
+(** Erdős–Rényi [G(n,p)] with uniform [0.5, 1.5] weights. Guaranteed to
+    contain at least one edge (a random edge is added if sampling
+    produced none). *)
+
+val cycle : int -> t
+(** Unweighted cycle [C_n] ([n >= 3]). *)
+
+val complete : int -> t
+(** Unweighted complete graph [K_n] ([n >= 2]). *)
+
+val total_weight : t -> float
+val laplacian : t -> Psdp_linalg.Mat.t
+(** Weighted graph Laplacian [L = Σ_{(u,v)} w·(e_u−e_v)(e_u−e_v)ᵀ] — PSD. *)

@@ -1,0 +1,40 @@
+open Psdp_linalg
+open Psdp_sparse
+
+let edge_packing (g : Graph.t) =
+  let factors =
+    Array.map
+      (fun (u, v, w) ->
+        (* Aₑ = w·(e_u − e_v)(e_u − e_v)ᵀ = QQᵀ with Q = √w·(e_u − e_v). *)
+        let s = sqrt w in
+        Factored.of_csr
+          (Csr.of_coo ~rows:g.Graph.vertices ~cols:1
+             [ (u, 0, s); (v, 0, -.s) ]))
+      g.Graph.edges
+  in
+  Psdp_core.Instance.of_factors factors
+
+let edge_packing_opt_cycle n =
+  if n < 3 then invalid_arg "Graph_packing.edge_packing_opt_cycle: n >= 3";
+  (* Cycle Laplacian spectrum: λ_k = 2 − 2cos(2πk/n). The packing problem
+     is invariant under the cyclic symmetry, so averaging shows a uniform
+     loading is optimal: OPT = n/λmax. *)
+  let lambda_max = ref 0.0 in
+  for k = 0 to n - 1 do
+    let l = 2.0 -. (2.0 *. cos (2.0 *. Float.pi *. float_of_int k /. float_of_int n)) in
+    if l > !lambda_max then lambda_max := l
+  done;
+  float_of_int n /. !lambda_max
+
+let laplacian_covering ?(delta = 0.25) g =
+  if delta <= 0.0 then
+    invalid_arg "Graph_packing.laplacian_covering: delta must be > 0";
+  let m = g.Graph.vertices in
+  let l = Graph.laplacian g in
+  let objective =
+    Mat.add (Mat.scale 0.25 l) (Mat.scale delta (Mat.identity m))
+  in
+  let constraints =
+    Array.init m (fun i -> (Mat.outer (Vec.basis m i), 1.0))
+  in
+  Psdp_core.Instance.general ~objective ~constraints

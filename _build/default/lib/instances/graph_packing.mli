@@ -1,0 +1,33 @@
+(** Graph-structured positive SDPs.
+
+    The paper's Section 5 is explicit that the full MaxCut SDP needs
+    matrix packing constraints {e beyond} the pure packing class solved
+    here (Klein–Lu [KL96] characterized it as positive; mixed
+    packing/covering is left as future work). What graphs {e do} give us
+    inside the class:
+
+    - {!edge_packing}: [max 1ᵀx] s.t. [Σₑ xₑ·Lₑ ≼ I] where
+      [Lₑ = (e_u−e_v)(e_u−e_v)ᵀ] is the rank-1 edge Laplacian — "how much
+      can every edge be loaded before the graph's spectral image exceeds
+      the identity". The constraints are the thinnest possible factored
+      matrices ([Qₑ] a single sparse column), making this the natural
+      graph workload for the near-linear-work path.
+    - {!laplacian_covering}: the general-form (1.1) instance
+      [min (L/4 + δI)•Y] s.t. [Yᵢᵢ >= 1] — the covering program whose
+      shape matches the MaxCut SDP dual, used to exercise the Appendix-A
+      normalization pipeline end-to-end on graph data. *)
+
+val edge_packing : Graph.t -> Psdp_core.Instance.t
+(** One rank-1 constraint per edge, scaled by the edge weight:
+    [Aₑ = wₑ·(e_u−e_v)(e_u−e_v)ᵀ]. *)
+
+val edge_packing_opt_cycle : int -> float
+(** Closed-form optimum of {!edge_packing} on the unweighted cycle [C_n]:
+    by symmetry the optimal loading is uniform, [xₑ = 1/λmax(L(C_n))]
+    with [λmax = 2 − 2cos(π⌊n/2⌋·2/n)… = 2 + 2cos(π·(n−?)/n)]; computed
+    exactly as [n / λmax(L)] from the known cycle spectrum
+    [λ_k = 2 − 2cos(2πk/n)]. Used by the EXP7 quality checks. *)
+
+val laplacian_covering : ?delta:float -> Graph.t -> Psdp_core.Instance.general
+(** [min (L/4 + δ·I)•Y] s.t. [eᵢeᵢᵀ•Y >= 1] ([δ] defaults to [0.25],
+    keeping the objective positive definite as Appendix A requires). *)

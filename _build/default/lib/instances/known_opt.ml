@@ -1,0 +1,75 @@
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_sparse
+
+let random_orthonormal rng dim =
+  let g = Mat.init dim dim (fun _ _ -> Rng.gaussian rng) in
+  Qr.orthonormal_columns g
+
+(* Split the columns of an orthonormal matrix into n contiguous groups and
+   build the factored projector (or scaled projector) for each group. *)
+let projector_family rng ~dim ~weights =
+  let n = Array.length weights in
+  if n > dim then invalid_arg "Known_opt: need n <= dim";
+  if n < 1 then invalid_arg "Known_opt: need n >= 1";
+  Array.iter
+    (fun w -> if w <= 0.0 then invalid_arg "Known_opt: weights must be > 0")
+    weights;
+  let basis = random_orthonormal rng dim in
+  let group_of = Array.init dim (fun j -> j * n / dim) in
+  let factors =
+    Array.init n (fun i ->
+        let cols =
+          List.filter (fun j -> group_of.(j) = i) (List.init dim Fun.id)
+        in
+        let r = List.length cols in
+        assert (r > 0);
+        (* Q = √wᵢ · [columns of the group]: QQᵀ = wᵢ·Pᵢ. *)
+        let entries = ref [] in
+        List.iteri
+          (fun k j ->
+            for row = 0 to dim - 1 do
+              let v = sqrt weights.(i) *. Mat.get basis row j in
+              if v <> 0.0 then entries := (row, k, v) :: !entries
+            done)
+          cols;
+        Factored.of_csr (Csr.of_coo ~rows:dim ~cols:r !entries))
+  in
+  Psdp_core.Instance.of_factors factors
+
+let orthogonal_projectors ~rng ~dim ~n =
+  let inst = projector_family rng ~dim ~weights:(Array.make n 1.0) in
+  (inst, float_of_int n)
+
+let weighted_projectors ~rng ~dim ~weights =
+  let inst = projector_family rng ~dim ~weights in
+  (* Σ xᵢwᵢPᵢ ≼ I ⟺ xᵢwᵢ <= 1 (ranges are orthogonal), so
+     OPT = Σᵢ 1/wᵢ. *)
+  (inst, Util.sum_array (Array.map (fun w -> 1.0 /. w) weights))
+
+let rank_one_orthonormal ~rng ~dim ~n =
+  if n > dim then invalid_arg "Known_opt.rank_one_orthonormal: n <= dim";
+  let basis = random_orthonormal rng dim in
+  let factors =
+    Array.init n (fun i ->
+        let entries = ref [] in
+        for row = 0 to dim - 1 do
+          let v = Mat.get basis row i in
+          if v <> 0.0 then entries := (row, 0, v) :: !entries
+        done;
+        Factored.of_csr (Csr.of_coo ~rows:dim ~cols:1 !entries))
+  in
+  (Psdp_core.Instance.of_factors factors, float_of_int n)
+
+let simplex_corner ~dim =
+  if dim < 1 then invalid_arg "Known_opt.simplex_corner: dim >= 1";
+  (* Aᵢ = eᵢeᵢᵀ + I/dim. Σᵢ xᵢAᵢ = diag(x) + (‖x‖₁/dim)·I, so the optimum
+     of max ‖x‖₁ s.t. xᵢ + ‖x‖₁/dim <= 1 ∀i is the uniform x = 1/2,
+     value dim/2. *)
+  let mats =
+    Array.init dim (fun i ->
+        Mat.init dim dim (fun r c ->
+            let id = if r = c then 1.0 /. float_of_int dim else 0.0 in
+            if r = i && c = i then 1.0 +. id else id))
+  in
+  (Psdp_core.Instance.of_dense mats, float_of_int dim /. 2.0)

@@ -1,0 +1,32 @@
+(** Instance families with analytically known packing optima — the ground
+    truth for the approximation-quality experiment (EXP7).
+
+    Each generator returns [(instance, opt)] with
+    [opt = max{1ᵀx : Σᵢ xᵢAᵢ ≼ I}] exact. *)
+
+val orthogonal_projectors :
+  rng:Psdp_prelude.Rng.t -> dim:int -> n:int -> Psdp_core.Instance.t * float
+(** Partition a random orthonormal basis of [R^dim] into [n] groups and
+    let [Aᵢ] project onto group [i]. The [Aᵢ] commute and have disjoint
+    ranges, so [Σ xᵢAᵢ ≼ I ⟺ xᵢ <= 1] for all [i]: OPT = n exactly.
+    Requires [n <= dim]. *)
+
+val rank_one_orthonormal :
+  rng:Psdp_prelude.Rng.t -> dim:int -> n:int -> Psdp_core.Instance.t * float
+(** [Aᵢ = vᵢvᵢᵀ] for orthonormal [vᵢ]: OPT = n. Requires [n <= dim].
+    Rank-1 constraints — the thinnest possible factorization. *)
+
+val weighted_projectors :
+  rng:Psdp_prelude.Rng.t ->
+  dim:int ->
+  weights:float array ->
+  Psdp_core.Instance.t * float
+(** [Aᵢ = wᵢ·Pᵢ] for orthogonal projectors and [wᵢ > 0]:
+    OPT = [Σᵢ 1/wᵢ]. Requires [length weights <= dim]. *)
+
+val simplex_corner : dim:int -> Psdp_core.Instance.t * float
+(** A deterministic tiny family: [Aᵢ = (eᵢeᵢᵀ + I/dim)], for which the
+    optimum is computable in closed form: by symmetry the optimal [x] is
+    uniform, [x = (dim/(dim+… ))]; concretely
+    [Σᵢ x·Aᵢ = x·(I + I) = 2x·I] when summed over all [dim] constraints,
+    so OPT = [dim/2]. Uses [n = dim]. *)

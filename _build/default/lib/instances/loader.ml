@@ -1,0 +1,116 @@
+open Psdp_sparse
+
+let to_string inst =
+  let buf = Buffer.create 4096 in
+  let n = Psdp_core.Instance.num_constraints inst in
+  Buffer.add_string buf "psdp-instance v1\n";
+  Buffer.add_string buf (Printf.sprintf "dim %d\n" (Psdp_core.Instance.dim inst));
+  Buffer.add_string buf (Printf.sprintf "constraints %d\n" n);
+  Array.iteri
+    (fun i f ->
+      let q = Factored.factor f in
+      Buffer.add_string buf
+        (Printf.sprintf "factor %d %d %d %d\n" i (Csr.rows q) (Csr.cols q)
+           (Csr.nnz q));
+      let { Csr.row_ptr; col_idx; values; _ } = q in
+      for r = 0 to Csr.rows q - 1 do
+        for k = row_ptr.(r) to row_ptr.(r + 1) - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf "%d %d %.17g\n" r col_idx.(k) values.(k))
+        done
+      done)
+    (Psdp_core.Instance.factors inst);
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  (* Strip comments and blank lines, keeping 1-based line numbers. *)
+  let numbered =
+    List.filteri (fun _ _ -> true) lines
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  let fail ln msg = failwith (Printf.sprintf "Loader: line %d: %s" ln msg) in
+  let parse_int ln s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail ln (Printf.sprintf "expected integer, got %S" s)
+  in
+  let parse_float ln s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> fail ln (Printf.sprintf "expected number, got %S" s)
+  in
+  match numbered with
+  | (ln0, header) :: rest ->
+      if header <> "psdp-instance v1" then fail ln0 "bad header";
+      let dim, rest =
+        match rest with
+        | (ln, l) :: rest -> (
+            match String.split_on_char ' ' l with
+            | [ "dim"; v ] -> (parse_int ln v, rest)
+            | _ -> fail ln "expected 'dim <m>'")
+        | [] -> fail ln0 "truncated file"
+      in
+      let n, rest =
+        match rest with
+        | (ln, l) :: rest -> (
+            match String.split_on_char ' ' l with
+            | [ "constraints"; v ] -> (parse_int ln v, rest)
+            | _ -> fail ln "expected 'constraints <n>'")
+        | [] -> fail ln0 "truncated file"
+      in
+      let rest = ref rest in
+      let next () =
+        match !rest with
+        | [] -> fail 0 "unexpected end of file"
+        | x :: tl ->
+            rest := tl;
+            x
+      in
+      let factors =
+        Array.init n (fun expect ->
+            let ln, l = next () in
+            match String.split_on_char ' ' l with
+            | [ "factor"; idx; rows; cols; nnz ] ->
+                let idx = parse_int ln idx in
+                if idx <> expect then
+                  fail ln (Printf.sprintf "expected factor %d" expect);
+                let rows = parse_int ln rows
+                and cols = parse_int ln cols
+                and nnz = parse_int ln nnz in
+                if rows <> dim then fail ln "factor rows <> dim";
+                let entries = ref [] in
+                for _ = 1 to nnz do
+                  let ln, l = next () in
+                  match String.split_on_char ' ' l with
+                  | [ r; c; v ] ->
+                      entries :=
+                        (parse_int ln r, parse_int ln c, parse_float ln v)
+                        :: !entries
+                  | _ -> fail ln "expected '<row> <col> <value>'"
+                done;
+                Factored.of_csr (Csr.of_coo ~rows ~cols !entries)
+            | _ -> fail ln "expected 'factor <i> <rows> <cols> <nnz>'")
+      in
+      if !rest <> [] then begin
+        let ln, _ = List.hd !rest in
+        fail ln "trailing content"
+      end;
+      Psdp_core.Instance.of_factors factors
+  | [] -> failwith "Loader: empty input"
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string inst))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      really_input_string ic len)
+  |> of_string

@@ -1,0 +1,19 @@
+(** Plain-text serialization of normalized instances, so the CLI can move
+    workloads between [gen], [solve] and [verify] invocations.
+
+    Format (line-oriented, '#' comments allowed):
+    {v
+    psdp-instance v1
+    dim <m>
+    constraints <n>
+    factor <index> <rows> <cols> <nnz>
+    <row> <col> <value>     (nnz entry lines)
+    ...
+    v} *)
+
+val to_string : Psdp_core.Instance.t -> string
+val of_string : string -> Psdp_core.Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : string -> Psdp_core.Instance.t -> unit
+val load : string -> Psdp_core.Instance.t

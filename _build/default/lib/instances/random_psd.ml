@@ -1,0 +1,51 @@
+open Psdp_prelude
+open Psdp_sparse
+
+let sparse_factor rng ~rows ~cols ~density =
+  let entries = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if Rng.uniform rng < density then
+        entries := (i, j, Rng.gaussian rng) :: !entries
+    done
+  done;
+  (* Guarantee a non-zero factor: force one entry if sampling missed. *)
+  if !entries = [] then
+    entries := [ (Rng.int rng rows, Rng.int rng cols, 1.0 +. Rng.uniform rng) ];
+  Csr.of_coo ~rows ~cols !entries
+
+let factored ~rng ~dim ~n ?rank ?(density = 0.5) ?(scale_spread = 1.0) () =
+  if dim < 1 || n < 1 then invalid_arg "Random_psd.factored: dim, n >= 1";
+  if density <= 0.0 || density > 1.0 then
+    invalid_arg "Random_psd.factored: density in (0,1]";
+  if scale_spread < 1.0 then
+    invalid_arg "Random_psd.factored: scale_spread >= 1";
+  let rank = match rank with Some r -> max 1 r | None -> max 1 (dim / 4) in
+  let factors =
+    Array.init n (fun _ ->
+        let q = sparse_factor rng ~rows:dim ~cols:rank ~density in
+        let f = Factored.of_csr q in
+        let scale_ =
+          if scale_spread = 1.0 then 1.0
+          else
+            exp (log scale_spread *. ((2.0 *. Rng.uniform rng) -. 1.0))
+        in
+        (* Normalize so λmax is Θ(1) before applying the spread. *)
+        Factored.scale (scale_ /. Float.max 1e-12 (Factored.lambda_max f)) f)
+  in
+  Psdp_core.Instance.of_factors factors
+
+let with_width ~rng ~dim ~n ~width =
+  if width < 1.0 then invalid_arg "Random_psd.with_width: width >= 1";
+  if n < 2 then invalid_arg "Random_psd.with_width: n >= 2";
+  let unit_constraint () =
+    let q = sparse_factor rng ~rows:dim ~cols:(max 1 (dim / 8)) ~density:0.6 in
+    let f = Factored.of_csr q in
+    Factored.scale (1.0 /. Float.max 1e-12 (Factored.lambda_max f)) f
+  in
+  let factors = Array.init n (fun _ -> unit_constraint ()) in
+  (* One heavy constraint carries the width. Its best standalone dual
+     value is 1/width, so it never dominates OPT and the optimum of the
+     family stays comparable across the ramp. *)
+  factors.(0) <- Factored.scale width factors.(0);
+  Psdp_core.Instance.of_factors factors

@@ -1,0 +1,31 @@
+(** Random factored packing instances — the synthetic workload family for
+    the scaling experiments (EXP1/EXP2/EXP5).
+
+    Each constraint is [Aᵢ = QᵢQᵢᵀ] with [Qᵢ] an [m × rank] sparse factor
+    of the requested density, Gaussian values. Instances are fully
+    reproducible from the RNG seed. *)
+
+val factored :
+  rng:Psdp_prelude.Rng.t ->
+  dim:int ->
+  n:int ->
+  ?rank:int ->
+  ?density:float ->
+  ?scale_spread:float ->
+  unit ->
+  Psdp_core.Instance.t
+(** [rank] defaults to [max 1 (dim/4)]; [density] (fraction of non-zeros
+    per factor, default 0.5); [scale_spread] multiplies constraint [i] by
+    a log-uniform factor in [[1/spread, spread]] (default 1 = none),
+    giving heterogeneous traces. *)
+
+val with_width :
+  rng:Psdp_prelude.Rng.t ->
+  dim:int ->
+  n:int ->
+  width:float ->
+  Psdp_core.Instance.t
+(** A width-ramped family for EXP3: constraints are random rank-1/low-rank
+    matrices normalized to [λmax ≈ 1], except one "heavy" constraint
+    scaled to [λmax = width]. OPT stays within a constant factor across
+    the ramp while the width parameter grows as requested. *)

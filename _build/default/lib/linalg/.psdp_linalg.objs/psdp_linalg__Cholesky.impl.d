@@ -1,0 +1,1 @@
+lib/linalg/cholesky.ml: Array Cost Float Mat Psdp_prelude Util

@@ -1,0 +1,1 @@
+lib/linalg/eig.ml: Array Cost Float Mat Psdp_prelude Util

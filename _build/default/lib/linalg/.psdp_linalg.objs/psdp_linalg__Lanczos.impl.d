@@ -1,0 +1,1 @@
+lib/linalg/lanczos.ml: Array Eig Float Psdp_prelude Rng Vec

@@ -1,0 +1,1 @@
+lib/linalg/lanczos.mli: Psdp_prelude Vec

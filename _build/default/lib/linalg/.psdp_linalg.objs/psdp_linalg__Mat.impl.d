@@ -1,0 +1,1 @@
+lib/linalg/mat.ml: Array Cost Float Format Printf Psdp_parallel Psdp_prelude Util

@@ -1,0 +1,1 @@
+lib/linalg/matfun.ml: Array Eig Float Mat Psdp_prelude

@@ -1,0 +1,1 @@
+lib/linalg/vec.ml: Array Cost Float Printf Psdp_prelude Util

@@ -1,0 +1,146 @@
+open Psdp_prelude
+
+exception Not_positive_definite of int
+
+let factor ?(eps = 1e-12) a =
+  if not (Mat.is_square a) then invalid_arg "Cholesky.factor: not square";
+  let n = Mat.rows a in
+  let l = Mat.create n n in
+  let max_diag =
+    Util.fold_range n ~init:0.0 ~f:(fun acc i ->
+        Float.max acc (Float.abs (Mat.get a i i)))
+  in
+  let pivot_tol = eps *. Float.max 1.0 max_diag in
+  Cost.parallel ~work:(n * n * n / 3) ~span:(n * 30);
+  for j = 0 to n - 1 do
+    (* Diagonal entry. *)
+    let s = ref (Mat.get a j j) in
+    for k = 0 to j - 1 do
+      s := !s -. Util.square (Mat.get l j k)
+    done;
+    if !s <= pivot_tol then raise (Not_positive_definite j);
+    let ljj = sqrt !s in
+    Mat.set l j j ljj;
+    for i = j + 1 to n - 1 do
+      let s = ref (Mat.get a i j) in
+      for k = 0 to j - 1 do
+        s := !s -. (Mat.get l i k *. Mat.get l j k)
+      done;
+      Mat.set l i j (!s /. ljj)
+    done
+  done;
+  l
+
+let solve_lower l b =
+  let n = Mat.rows l in
+  if Array.length b <> n then invalid_arg "Cholesky.solve_lower: dimension";
+  Cost.serial (n * n);
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (Mat.get l i k *. y.(k))
+    done;
+    y.(i) <- !s /. Mat.get l i i
+  done;
+  y
+
+let solve_upper_transposed l b =
+  let n = Mat.rows l in
+  if Array.length b <> n then
+    invalid_arg "Cholesky.solve_upper_transposed: dimension";
+  Cost.serial (n * n);
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    for k = i + 1 to n - 1 do
+      (* (Lᵀ)ᵢₖ = Lₖᵢ *)
+      s := !s -. (Mat.get l k i *. x.(k))
+    done;
+    x.(i) <- !s /. Mat.get l i i
+  done;
+  x
+
+let solve ~l b = solve_upper_transposed l (solve_lower l b)
+
+let solve_lower_mat l b =
+  let n = Mat.rows l in
+  if Mat.rows b <> n then invalid_arg "Cholesky.solve_lower_mat: dimension";
+  let x = Mat.create n (Mat.cols b) in
+  for j = 0 to Mat.cols b - 1 do
+    let col = solve_lower l (Mat.col b j) in
+    for i = 0 to n - 1 do
+      Mat.set x i j col.(i)
+    done
+  done;
+  x
+
+let inverse_lower l = solve_lower_mat l (Mat.identity (Mat.rows l))
+
+let congruence ~l a =
+  (* L⁻¹ A L⁻ᵀ: first X = L⁻¹ A, then (L⁻¹ Xᵀ)ᵀ. *)
+  let x = solve_lower_mat l a in
+  Mat.symmetrize (Mat.transpose (solve_lower_mat l (Mat.transpose x)))
+
+let log_det l =
+  let n = Mat.rows l in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. log (Mat.get l i i)
+  done;
+  2.0 *. !s
+
+let pivoted ?(tol = 1e-12) a =
+  if not (Mat.is_square a) then invalid_arg "Cholesky.pivoted: not square";
+  let m = Mat.rows a in
+  (* Residual diagonal of the not-yet-factored part. *)
+  let d = Array.init m (fun i -> Mat.get a i i) in
+  let max_diag = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1e-300 d in
+  let cutoff = tol *. Float.max 1.0 max_diag in
+  let f = Mat.create m m in
+  Cost.parallel ~work:(m * m * m / 3) ~span:(m * 30);
+  let rank = ref 0 in
+  (try
+     for k = 0 to m - 1 do
+       (* Greedy diagonal pivot. *)
+       let pivot = ref 0 in
+       for i = 1 to m - 1 do
+         if d.(i) > d.(!pivot) then pivot := i
+       done;
+       let p = !pivot in
+       if d.(p) <= cutoff then begin
+         (* Everything left is numerically zero — but a significantly
+            negative residual diagonal means the input was indefinite. *)
+         Array.iteri
+           (fun i v ->
+             if v < -.(1e-6 *. max_diag) then raise (Not_positive_definite i))
+           d;
+         raise Exit
+       end;
+       let root = sqrt d.(p) in
+       for i = 0 to m - 1 do
+         let s = ref (Mat.get a i p) in
+         for j = 0 to k - 1 do
+           s := !s -. (Mat.get f i j *. Mat.get f p j)
+         done;
+         Mat.set f i k (!s /. root)
+       done;
+       for i = 0 to m - 1 do
+         d.(i) <- d.(i) -. Util.square (Mat.get f i k)
+       done;
+       (* The pivot row is now fully resolved. *)
+       d.(p) <- 0.0;
+       incr rank
+     done
+   with Exit -> ());
+  (Mat.init m !rank (fun i j -> Mat.get f i j), !rank)
+
+let is_psd ?(tol = 1e-8) a =
+  Mat.is_symmetric ~tol:1e-6 a
+  &&
+  let n = Mat.rows a in
+  let shift = tol *. Float.max 1.0 (Mat.max_abs a) in
+  let shifted = Mat.add a (Mat.scale shift (Mat.identity n)) in
+  match factor shifted with
+  | (_ : Mat.t) -> true
+  | exception Not_positive_definite _ -> false

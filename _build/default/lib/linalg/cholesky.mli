@@ -1,0 +1,54 @@
+(** Cholesky factorization and triangular solves for symmetric
+    positive-definite matrices.
+
+    This powers the Appendix-A normalization: with [C = LLᵀ] the congruence
+    [Bᵢ = L⁻¹AᵢL⁻ᵀ] produces a normalized program with the same optimum as
+    dividing through by [C^{1/2}] (see DESIGN.md §2). *)
+
+exception Not_positive_definite of int
+(** Raised with the offending pivot index when a pivot is not positive
+    (beyond tolerance), i.e. the input is not numerically PD. *)
+
+val factor : ?eps:float -> Mat.t -> Mat.t
+(** [factor a] returns the lower-triangular [L] with [L Lᵀ = A] for a
+    symmetric positive-definite [A]. [eps] (default [1e-12]) scales the
+    pivot tolerance relative to the largest diagonal entry.
+    @raise Not_positive_definite when a pivot falls below tolerance. *)
+
+val solve_lower : Mat.t -> Vec.t -> Vec.t
+(** [solve_lower l b] solves [L y = b] by forward substitution. *)
+
+val solve_upper_transposed : Mat.t -> Vec.t -> Vec.t
+(** [solve_upper_transposed l b] solves [Lᵀ x = b] by back substitution
+    (the argument is still the lower factor). *)
+
+val solve : l:Mat.t -> Vec.t -> Vec.t
+(** [solve ~l b] solves [A x = b] given [A = LLᵀ]. *)
+
+val solve_lower_mat : Mat.t -> Mat.t -> Mat.t
+(** [solve_lower_mat l b] solves [L X = B] column-by-column. *)
+
+val inverse_lower : Mat.t -> Mat.t
+(** Explicit [L⁻¹] (lower triangular). *)
+
+val congruence : l:Mat.t -> Mat.t -> Mat.t
+(** [congruence ~l a] is [L⁻¹ A L⁻ᵀ], symmetrized against roundoff. *)
+
+val log_det : Mat.t -> float
+(** [log_det l] is [log det A = 2 Σ log lᵢᵢ] for [A = LLᵀ]. *)
+
+val pivoted : ?tol:float -> Mat.t -> Mat.t * int
+(** [pivoted a] is a rank-revealing Cholesky factorization of a symmetric
+    positive {e semi}-definite matrix: returns [(f, rank)] with [f] of
+    size [m × rank] and [f fᵀ = A] (up to [tol·max-diagonal] per pivot,
+    default [1e-12]). Diagonal pivoting makes it stable on singular
+    inputs — this is the eigendecomposition-free way to bring a dense PSD
+    constraint into the paper's factorized form [A = QQᵀ] (the
+    preprocessing step discussed after Corollary 1.2).
+    @raise Not_positive_definite when a pivot is significantly negative
+    (the input was not PSD). *)
+
+val is_psd : ?tol:float -> Mat.t -> bool
+(** Numerical PSD test: attempts a Cholesky factorization of
+    [A + tol·max(1,‖A‖)·I]. Cheap and robust enough for input
+    validation ([tol] defaults to [1e-8]). *)

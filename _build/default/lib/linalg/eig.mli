@@ -1,0 +1,37 @@
+(** Symmetric eigendecomposition.
+
+    Householder reduction to tridiagonal form followed by the implicit-shift
+    QL iteration — the classical dense O(m³) algorithm. This is the exact
+    oracle behind [f(A) = Σ f(λᵢ)vᵢvᵢᵀ] (Section 2.1 of the paper) and the
+    reference against which the fast polynomial approximation of Theorem 4.1
+    is tested. *)
+
+type decomposition = {
+  values : float array;  (** Eigenvalues in decreasing order. *)
+  vectors : Mat.t;  (** Column [i] is the unit eigenvector of [values.(i)]. *)
+}
+
+exception No_convergence
+(** QL iteration failed to converge within the iteration budget (does not
+    happen for symmetric inputs in practice). *)
+
+val symmetric : Mat.t -> decomposition
+(** Eigendecomposition of a symmetric matrix. The input is symmetrized
+    first to guard against roundoff-level asymmetry.
+    @raise Invalid_argument when the input is not (nearly) symmetric. *)
+
+val tridiagonal_values : float array -> float array -> float array
+(** [tridiagonal_values d e] are the eigenvalues (decreasing) of the
+    symmetric tridiagonal matrix with diagonal [d] (length [n]) and
+    subdiagonal [e] (length [n-1]). Used by the Lanczos estimator. *)
+
+val lambda_max : Mat.t -> float
+(** Largest eigenvalue of a symmetric matrix. *)
+
+val lambda_min : Mat.t -> float
+
+val reconstruct : decomposition -> Mat.t
+(** [V diag(values) Vᵀ] — testing helper. *)
+
+val apply_fun : (float -> float) -> decomposition -> Mat.t
+(** [apply_fun f d] is [Σᵢ f(λᵢ) vᵢvᵢᵀ]. *)

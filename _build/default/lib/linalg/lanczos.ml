@@ -1,0 +1,43 @@
+open Psdp_prelude
+
+let lambda_max ?iters ?rng ~dim matvec =
+  if dim <= 0 then invalid_arg "Lanczos.lambda_max: dim <= 0";
+  let iters = match iters with Some k -> max 1 k | None -> min dim 40 in
+  let rng = match rng with Some r -> r | None -> Rng.create 0x1ac205 in
+  let q0 = Vec.normalize (Rng.gaussian_array rng dim) in
+  let basis = Array.make (iters + 1) q0 in
+  let alphas = Array.make iters 0.0 in
+  let betas = Array.make iters 0.0 in
+  let steps = ref 0 in
+  (try
+     for j = 0 to iters - 1 do
+       let w = matvec basis.(j) in
+       if Array.length w <> dim then
+         invalid_arg "Lanczos.lambda_max: matvec changed dimension";
+       alphas.(j) <- Vec.dot basis.(j) w;
+       Vec.axpy w ~alpha:(-.alphas.(j)) basis.(j);
+       if j > 0 then Vec.axpy w ~alpha:(-.betas.(j - 1)) basis.(j - 1);
+       (* Full reorthogonalization (twice) keeps the Ritz values honest for
+          the clustered spectra the solver produces. *)
+       for _pass = 1 to 2 do
+         for k = 0 to j do
+           let c = Vec.dot basis.(k) w in
+           if Float.abs c > 0.0 then Vec.axpy w ~alpha:(-.c) basis.(k)
+         done
+       done;
+       let beta = Vec.norm2 w in
+       steps := j + 1;
+       if beta < 1e-13 then raise Exit;
+       betas.(j) <- beta;
+       basis.(j + 1) <- Vec.scale (1.0 /. beta) w
+     done
+   with Exit -> ());
+  let k = max 1 !steps in
+  let d = Array.sub alphas 0 k in
+  let e = Array.sub betas 0 (max 0 (k - 1)) in
+  let values = Eig.tridiagonal_values d e in
+  values.(0)
+
+let lambda_max_upper ?iters ?rng ?(slack = 1.01) ~dim matvec =
+  let est = lambda_max ?iters ?rng ~dim matvec in
+  if est >= 0.0 then est *. slack else est /. slack

@@ -1,0 +1,27 @@
+(** Lanczos estimation of extreme eigenvalues of an implicit symmetric
+    operator — used to bound [κ >= ‖Φ‖₂] for the polynomial degree of
+    Theorem 4.1 when the analytic bound of Lemma 3.5 is not available,
+    and to verify dual feasibility ([λmax(Σ xᵢAᵢ) <= 1]) at scale. *)
+
+val lambda_max :
+  ?iters:int ->
+  ?rng:Psdp_prelude.Rng.t ->
+  dim:int ->
+  (Vec.t -> Vec.t) ->
+  float
+(** [lambda_max ~dim matvec] estimates the largest eigenvalue of the
+    symmetric operator given by [matvec] using [iters] (default
+    [min dim 40]) Lanczos steps with full reorthogonalization. For PSD
+    operators the estimate is a lower bound converging geometrically;
+    callers that need an upper bound should inflate it (see
+    {!lambda_max_upper}). *)
+
+val lambda_max_upper :
+  ?iters:int ->
+  ?rng:Psdp_prelude.Rng.t ->
+  ?slack:float ->
+  dim:int ->
+  (Vec.t -> Vec.t) ->
+  float
+(** {!lambda_max} inflated multiplicatively by [slack] (default 1.01) —
+    a pragmatic upper bound for choosing polynomial degrees. *)

@@ -1,0 +1,212 @@
+open Psdp_prelude
+
+type t = { rows : int; cols : int; a : float array }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Mat.create: negative dimension";
+  { rows; cols; a = Array.make (rows * cols) 0.0 }
+
+let init rows cols f =
+  { rows; cols; a = Util.array_init_matrixwise rows cols f }
+
+let of_array ~rows ~cols a =
+  if Array.length a <> rows * cols then
+    invalid_arg "Mat.of_array: length <> rows*cols";
+  { rows; cols; a }
+
+let of_rows rs =
+  let rows = Array.length rs in
+  if rows = 0 then { rows = 0; cols = 0; a = [||] }
+  else begin
+    let cols = Array.length rs.(0) in
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then invalid_arg "Mat.of_rows: ragged rows")
+      rs;
+    init rows cols (fun i j -> rs.(i).(j))
+  end
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let diag d =
+  let n = Array.length d in
+  init n n (fun i j -> if i = j then d.(i) else 0.0)
+
+let rows m = m.rows
+let cols m = m.cols
+let is_square m = m.rows = m.cols
+
+let diagonal m =
+  if not (is_square m) then invalid_arg "Mat.diagonal: not square";
+  Array.init m.rows (fun i -> m.a.((i * m.cols) + i))
+
+let get m i j = m.a.((i * m.cols) + j)
+let set m i j v = m.a.((i * m.cols) + j) <- v
+
+let copy m = { m with a = Array.copy m.a }
+
+let transpose m =
+  Cost.parallel ~work:(m.rows * m.cols) ~span:1;
+  init m.cols m.rows (fun i j -> get m j i)
+
+let check_same_shape name x y =
+  if x.rows <> y.rows || x.cols <> y.cols then
+    invalid_arg
+      (Printf.sprintf "Mat.%s: shape mismatch (%dx%d vs %dx%d)" name x.rows
+         x.cols y.rows y.cols)
+
+let add x y =
+  check_same_shape "add" x y;
+  Cost.parallel ~work:(Array.length x.a) ~span:1;
+  { x with a = Array.init (Array.length x.a) (fun k -> x.a.(k) +. y.a.(k)) }
+
+let sub x y =
+  check_same_shape "sub" x y;
+  Cost.parallel ~work:(Array.length x.a) ~span:1;
+  { x with a = Array.init (Array.length x.a) (fun k -> x.a.(k) -. y.a.(k)) }
+
+let scale alpha x =
+  Cost.parallel ~work:(Array.length x.a) ~span:1;
+  { x with a = Array.map (fun v -> alpha *. v) x.a }
+
+let add_inplace acc m =
+  check_same_shape "add_inplace" acc m;
+  Cost.parallel ~work:(Array.length acc.a) ~span:1;
+  for k = 0 to Array.length acc.a - 1 do
+    acc.a.(k) <- acc.a.(k) +. m.a.(k)
+  done
+
+let axpy acc ~alpha m =
+  check_same_shape "axpy" acc m;
+  Cost.parallel ~work:(2 * Array.length acc.a) ~span:1;
+  for k = 0 to Array.length acc.a - 1 do
+    acc.a.(k) <- acc.a.(k) +. (alpha *. m.a.(k))
+  done
+
+(* i-k-j loop order: the inner loop walks both [b] and [c] contiguously,
+   which is the cache-friendly order for row-major storage. *)
+let mul_rows a b c row_lo row_hi =
+  let n = a.cols and p = b.cols in
+  for i = row_lo to row_hi - 1 do
+    let ci = i * p in
+    for k = 0 to n - 1 do
+      let aik = a.a.((i * n) + k) in
+      if aik <> 0.0 then begin
+        let bk = k * p in
+        for j = 0 to p - 1 do
+          c.(ci + j) <- c.(ci + j) +. (aik *. b.a.(bk + j))
+        done
+      end
+    done
+  done
+
+let mul ?(pool = Psdp_parallel.Pool.sequential) a b =
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Mat.mul: inner dimension mismatch (%dx%d * %dx%d)"
+         a.rows a.cols b.rows b.cols);
+  let c = Array.make (a.rows * b.cols) 0.0 in
+  Cost.parallel
+    ~work:(2 * a.rows * a.cols * b.cols)
+    ~span:(2 * a.cols);
+  Psdp_parallel.Pool.parallel_for_chunks pool ~grain:1 ~lo:0 ~hi:a.rows
+    (fun lo hi -> mul_rows a b c lo hi);
+  { rows = a.rows; cols = b.cols; a = c }
+
+let gemv m x =
+  if m.cols <> Array.length x then invalid_arg "Mat.gemv: dimension mismatch";
+  Cost.parallel ~work:(2 * m.rows * m.cols) ~span:(2 * m.cols);
+  Array.init m.rows (fun i ->
+      let base = i * m.cols in
+      let s = ref 0.0 in
+      for j = 0 to m.cols - 1 do
+        s := !s +. (m.a.(base + j) *. x.(j))
+      done;
+      !s)
+
+let gemv_t m x =
+  if m.rows <> Array.length x then
+    invalid_arg "Mat.gemv_t: dimension mismatch";
+  Cost.parallel ~work:(2 * m.rows * m.cols) ~span:(2 * m.rows);
+  let y = Array.make m.cols 0.0 in
+  for i = 0 to m.rows - 1 do
+    let xi = x.(i) in
+    if xi <> 0.0 then begin
+      let base = i * m.cols in
+      for j = 0 to m.cols - 1 do
+        y.(j) <- y.(j) +. (xi *. m.a.(base + j))
+      done
+    end
+  done;
+  y
+
+let outer v =
+  let n = Array.length v in
+  Cost.parallel ~work:(n * n) ~span:1;
+  init n n (fun i j -> v.(i) *. v.(j))
+
+let outer_pair u v =
+  Cost.parallel ~work:(Array.length u * Array.length v) ~span:1;
+  init (Array.length u) (Array.length v) (fun i j -> u.(i) *. v.(j))
+
+let trace m =
+  if not (is_square m) then invalid_arg "Mat.trace: not square";
+  Cost.serial m.rows;
+  let s = ref 0.0 in
+  for i = 0 to m.rows - 1 do
+    s := !s +. m.a.((i * m.cols) + i)
+  done;
+  !s
+
+let dot x y =
+  check_same_shape "dot" x y;
+  Cost.parallel ~work:(2 * Array.length x.a) ~span:1;
+  let s = ref 0.0 in
+  for k = 0 to Array.length x.a - 1 do
+    s := !s +. (x.a.(k) *. y.a.(k))
+  done;
+  !s
+
+let frobenius_norm m = sqrt (dot m m)
+let max_abs m = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 m.a
+
+let symmetrize m =
+  if not (is_square m) then invalid_arg "Mat.symmetrize: not square";
+  init m.rows m.cols (fun i j -> 0.5 *. (get m i j +. get m j i))
+
+let is_symmetric ?(tol = 1e-9) m =
+  is_square m
+  &&
+  let scale_ = Float.max 1.0 (max_abs m) in
+  let ok = ref true in
+  for i = 0 to m.rows - 1 do
+    for j = i + 1 to m.cols - 1 do
+      if Float.abs (get m i j -. get m j i) > tol *. scale_ then ok := false
+    done
+  done;
+  !ok
+
+let row m i = Array.sub m.a (i * m.cols) m.cols
+let col m j = Array.init m.rows (fun i -> get m i j)
+
+let equal ?(tol = 1e-9) x y =
+  x.rows = y.rows && x.cols = y.cols
+  &&
+  let ok = ref true in
+  for k = 0 to Array.length x.a - 1 do
+    if not (Util.close ~rtol:tol ~atol:tol x.a.(k) y.a.(k)) then ok := false
+  done;
+  !ok
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%10.5g" (get m i j)
+    done;
+    Format.fprintf ppf "]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

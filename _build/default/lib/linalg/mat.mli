@@ -1,0 +1,78 @@
+(** Dense row-major matrices.
+
+    The representation is a flat [float array] of length [rows * cols];
+    entry [(i, j)] lives at index [i * cols + j]. Operations taking an
+    optional [?pool] parallelise over row blocks using
+    {!Psdp_parallel.Pool}; they default to sequential execution. *)
+
+type t = private { rows : int; cols : int; a : float array }
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val init : int -> int -> (int -> int -> float) -> t
+val of_array : rows:int -> cols:int -> float array -> t
+(** Takes ownership of the array (no copy). Length must be [rows*cols]. *)
+
+val of_rows : float array array -> t
+(** Builds from an array of equal-length rows (copies). *)
+
+val identity : int -> t
+val diag : float array -> t
+(** Square matrix with the given diagonal. *)
+
+val diagonal : t -> float array
+(** Extracts the diagonal of a square matrix. *)
+
+val rows : t -> int
+val cols : t -> int
+val is_square : t -> bool
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+val copy : t -> t
+val transpose : t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val add_inplace : t -> t -> unit
+(** [add_inplace acc m] performs [acc <- acc + m]. *)
+
+val axpy : t -> alpha:float -> t -> unit
+(** [axpy acc ~alpha m] performs [acc <- acc + alpha * m]. *)
+
+val mul : ?pool:Psdp_parallel.Pool.t -> t -> t -> t
+(** Matrix product, blocked i–k–j loop, optionally parallel over rows. *)
+
+val gemv : t -> Vec.t -> Vec.t
+(** [gemv a x] is [A x]. *)
+
+val gemv_t : t -> Vec.t -> Vec.t
+(** [gemv_t a x] is [Aᵀ x] without forming the transpose. *)
+
+val outer : Vec.t -> t
+(** [outer v] is the rank-one matrix [v vᵀ]. *)
+
+val outer_pair : Vec.t -> Vec.t -> t
+(** [outer_pair u v] is [u vᵀ]. *)
+
+val trace : t -> float
+val dot : t -> t -> float
+(** Frobenius inner product [A • B = Tr(AᵀB)]; for symmetric arguments this
+    is the paper's [A • B = Tr(AB)]. *)
+
+val frobenius_norm : t -> float
+val max_abs : t -> float
+
+val symmetrize : t -> t
+(** [(A + Aᵀ)/2]. *)
+
+val is_symmetric : ?tol:float -> t -> bool
+
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+let apply f a = Eig.apply_fun f (Eig.symmetric a)
+let expm a = apply exp a
+
+let expm_taylor_squaring ?(terms = 16) a =
+  if not (Mat.is_square a) then invalid_arg "Matfun.expm_taylor_squaring";
+  let n = Mat.rows a in
+  let norm = Mat.frobenius_norm a in
+  (* Choose s with ‖A/2^s‖_F <= 1/4 so the truncated series converges to
+     machine precision with few terms. *)
+  let s =
+    if norm <= 0.25 then 0
+    else int_of_float (Float.ceil (Psdp_prelude.Util.log2 (norm /. 0.25)))
+  in
+  let scaled = Mat.scale (1.0 /. Float.of_int (1 lsl s)) a in
+  (* exp(B) ≈ Σ_{k<terms} B^k / k! accumulated by running powers. *)
+  let acc = Mat.identity n in
+  let term = ref (Mat.identity n) in
+  for k = 1 to terms do
+    term := Mat.scale (1.0 /. float_of_int k) (Mat.mul !term scaled);
+    Mat.add_inplace acc !term
+  done;
+  let result = ref acc in
+  for _ = 1 to s do
+    result := Mat.mul !result !result
+  done;
+  Mat.symmetrize !result
+
+let sqrtm_psd a = apply (fun x -> sqrt (Float.max 0.0 x)) a
+
+let inv_sqrtm_psd ?(rank_tol = 1e-12) a =
+  let d = Eig.symmetric a in
+  let lmax = Float.max 0.0 (if Array.length d.values = 0 then 0.0 else d.values.(0)) in
+  let cutoff = rank_tol *. Float.max 1.0 lmax in
+  Eig.apply_fun (fun x -> if x <= cutoff then 0.0 else 1.0 /. sqrt x) d
+
+let inv_psd ?(rank_tol = 1e-12) a =
+  let d = Eig.symmetric a in
+  let lmax = Float.max 0.0 (if Array.length d.values = 0 then 0.0 else d.values.(0)) in
+  let cutoff = rank_tol *. Float.max 1.0 lmax in
+  Eig.apply_fun (fun x -> if x <= cutoff then 0.0 else 1.0 /. x) d
+
+let exp_dot phi a = Mat.dot (expm phi) a
+
+let exp_trace phi =
+  let { Eig.values; _ } = Eig.symmetric phi in
+  Psdp_prelude.Util.sum_array (Array.map exp values)

@@ -1,0 +1,33 @@
+(** Matrix functions of symmetric matrices, [f(A) = Σ f(λᵢ)vᵢvᵢᵀ]
+    (paper, Section 2.1). These dense O(m³) routines are the exact oracle;
+    the solver's fast path approximates them via {!Psdp_expm}. *)
+
+val apply : (float -> float) -> Mat.t -> Mat.t
+(** [apply f a] for symmetric [a]. *)
+
+val expm : Mat.t -> Mat.t
+(** Matrix exponential via eigendecomposition. *)
+
+val expm_taylor_squaring : ?terms:int -> Mat.t -> Mat.t
+(** Independent matrix exponential: scale by a power of two until the
+    Frobenius norm is below 1/4, sum the Taylor series ([terms] default 16),
+    then repeatedly square. Used to cross-validate {!expm} in the tests. *)
+
+val sqrtm_psd : Mat.t -> Mat.t
+(** PSD square root; negative roundoff-level eigenvalues are clamped to 0. *)
+
+val inv_sqrtm_psd : ?rank_tol:float -> Mat.t -> Mat.t
+(** [A^{-1/2}] on the range of [A]: eigenvalues below
+    [rank_tol · λmax] (default [1e-12]) are treated as zero and inverted to
+    zero (Moore–Penrose style). This is the paper's [C^{-1/2}] when [C] has
+    full rank. *)
+
+val inv_psd : ?rank_tol:float -> Mat.t -> Mat.t
+(** Pseudo-inverse of a PSD matrix by eigenvalue inversion. *)
+
+val exp_dot : Mat.t -> Mat.t -> float
+(** [exp_dot phi a] is [exp(Φ) • A] computed exactly — the primitive of the
+    Main Theorem, dense reference implementation. *)
+
+val exp_trace : Mat.t -> float
+(** [Tr exp(Φ)] computed exactly. *)

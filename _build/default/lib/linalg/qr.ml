@@ -1,0 +1,76 @@
+open Psdp_prelude
+
+(* Householder QR: reflectors are accumulated in-place below the diagonal
+   of the working copy, with the scalar beta = 2/vᵀv kept separately. *)
+
+let thin a =
+  let m = Mat.rows a and n = Mat.cols a in
+  if m < n then invalid_arg "Qr.thin: requires rows >= cols";
+  Cost.parallel ~work:(2 * m * n * n) ~span:(n * 20);
+  let work = Mat.copy a in
+  let betas = Array.make n 0.0 in
+  (* Householder vector for column k is stored in work[k..m-1, k] with the
+     implicit convention v.(k) := stored head (not 1-normalized). *)
+  let vhead = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* Compute the norm of the k-th column below row k. *)
+    let norm2 = ref 0.0 in
+    for i = k to m - 1 do
+      norm2 := !norm2 +. Util.square (Mat.get work i k)
+    done;
+    let norm = sqrt !norm2 in
+    let x0 = Mat.get work k k in
+    if norm < 1e-300 then begin
+      betas.(k) <- 0.0;
+      vhead.(k) <- 0.0
+    end
+    else begin
+      let alpha = if x0 >= 0.0 then -.norm else norm in
+      let v0 = x0 -. alpha in
+      (* vᵀv = ‖x‖² - 2 α x₀ + α² = 2(α² - α x₀) since ‖x‖² = α². *)
+      let vtv = (2.0 *. Util.square alpha) -. (2.0 *. alpha *. x0) in
+      let beta = if vtv < 1e-300 then 0.0 else 2.0 /. vtv in
+      betas.(k) <- beta;
+      vhead.(k) <- v0;
+      Mat.set work k k alpha;
+      (* Apply (I - beta v vᵀ) to the remaining columns. The vector v is
+         (v0, work[k+1..m-1, k]). *)
+      for j = k + 1 to n - 1 do
+        let dotv = ref (v0 *. Mat.get work k j) in
+        for i = k + 1 to m - 1 do
+          dotv := !dotv +. (Mat.get work i k *. Mat.get work i j)
+        done;
+        let s = beta *. !dotv in
+        Mat.set work k j (Mat.get work k j -. (s *. v0));
+        for i = k + 1 to m - 1 do
+          Mat.set work i j (Mat.get work i j -. (s *. Mat.get work i k))
+        done
+      done
+    end
+  done;
+  (* Extract R. *)
+  let r = Mat.init n n (fun i j -> if j >= i then Mat.get work i j else 0.0) in
+  (* Build Q by applying the reflectors in reverse order to the first n
+     columns of the identity. *)
+  let q = Mat.init m n (fun i j -> if i = j then 1.0 else 0.0) in
+  for k = n - 1 downto 0 do
+    let beta = betas.(k) in
+    if beta <> 0.0 then begin
+      let v0 = vhead.(k) in
+      for j = 0 to n - 1 do
+        let dotv = ref (v0 *. Mat.get q k j) in
+        for i = k + 1 to m - 1 do
+          dotv := !dotv +. (Mat.get work i k *. Mat.get q i j)
+        done;
+        let s = beta *. !dotv in
+        Mat.set q k j (Mat.get q k j -. (s *. v0));
+        for i = k + 1 to m - 1 do
+          Mat.set q i j (Mat.get q i j -. (s *. Mat.get work i k))
+        done
+      done
+    end
+  done;
+  (q, r)
+
+let orthonormal_columns a = fst (thin a)
+let reconstruct (q, r) = Mat.mul q r

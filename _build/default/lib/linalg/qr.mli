@@ -1,0 +1,16 @@
+(** Householder QR factorization.
+
+    Used for the paper's preprocessing remark (factoring PSD constraint
+    matrices) and by the instance generators to produce random orthonormal
+    frames. *)
+
+val thin : Mat.t -> Mat.t * Mat.t
+(** [thin a] for an [m×n] matrix with [m >= n] returns [(q, r)] with
+    [q] of size [m×n] having orthonormal columns, [r] upper-triangular
+    [n×n], and [q * r = a]. *)
+
+val orthonormal_columns : Mat.t -> Mat.t
+(** [orthonormal_columns a] is just the [Q] factor of {!thin}. *)
+
+val reconstruct : Mat.t * Mat.t -> Mat.t
+(** [reconstruct (q, r)] is [q * r] (testing helper). *)

@@ -1,0 +1,51 @@
+type t = { u : Mat.t; sigma : float array; v : Mat.t }
+
+(* For m >= n: AᵀA = V Σ² Vᵀ gives V and Σ; then U = A V Σ⁻¹. *)
+let thin_tall ?(rank_tol = 1e-10) a =
+  let n = Mat.cols a in
+  let gram = Mat.mul (Mat.transpose a) a in
+  let { Eig.values; vectors } = Eig.symmetric gram in
+  let lambda_max = Float.max 0.0 (if n = 0 then 0.0 else values.(0)) in
+  (* Rank decisions happen in the Gram (σ²) domain: roundoff in AᵀA
+     pollutes zero eigenvalues at the eps·λmax level, i.e. √eps·σmax in
+     singular values — cutting on λ <= tol·λmax absorbs it. *)
+  let cutoff = rank_tol *. Float.max 1e-300 lambda_max in
+  let kept = ref [] in
+  for j = n - 1 downto 0 do
+    if values.(j) > cutoff then kept := j :: !kept
+  done;
+  let kept = Array.of_list !kept in
+  let r = Array.length kept in
+  let sigma = Array.map (fun j -> sqrt (Float.max 0.0 values.(j))) kept in
+  let v = Mat.init n r (fun i k -> Mat.get vectors i kept.(k)) in
+  let av = Mat.mul a v in
+  let u =
+    Mat.init (Mat.rows a) r (fun i k -> Mat.get av i k /. sigma.(k))
+  in
+  { u; sigma; v }
+
+let thin ?rank_tol a =
+  if Mat.rows a >= Mat.cols a then thin_tall ?rank_tol a
+  else begin
+    let { u; sigma; v } = thin_tall ?rank_tol (Mat.transpose a) in
+    { u = v; sigma; v = u }
+  end
+
+let reconstruct { u; sigma; v } =
+  let scaled =
+    Mat.init (Mat.rows u) (Array.length sigma) (fun i j ->
+        Mat.get u i j *. sigma.(j))
+  in
+  Mat.mul scaled (Mat.transpose v)
+
+let rank ?rank_tol a = Array.length (thin ?rank_tol a).sigma
+
+let condition_number ?rank_tol a =
+  let { sigma; _ } = thin ?rank_tol a in
+  match Array.length sigma with
+  | 0 -> 1.0
+  | r -> sigma.(0) /. sigma.(r - 1)
+
+let spectral_norm a =
+  let { sigma; _ } = thin a in
+  if Array.length sigma = 0 then 0.0 else sigma.(0)

@@ -1,0 +1,31 @@
+(** Thin singular value decomposition, via the symmetric eigensolver.
+
+    Used for analyzing factor conditioning ({!Psdp_core.Analysis}) and by
+    users inspecting instances: for an [m×n] matrix with [m >= n],
+    [A = U Σ Vᵀ] with [U] ([m×r]) and [V] ([n×r]) having orthonormal
+    columns and [Σ] the positive singular values ([r = rank]). Computed
+    from the eigendecomposition of the smaller Gram matrix — accurate to
+    [√machine-eps] for the smallest singular values, which is ample for
+    rank/conditioning diagnostics (not a substitute for Golub–Kahan in
+    ill-posed settings; documented trade-off). *)
+
+type t = {
+  u : Mat.t;  (** [m × r], orthonormal columns *)
+  sigma : float array;  (** positive singular values, decreasing *)
+  v : Mat.t;  (** [n × r], orthonormal columns *)
+}
+
+val thin : ?rank_tol:float -> Mat.t -> t
+(** [thin a] for any shape (internally transposes when [m < n]).
+    Gram-domain eigenvalues below [rank_tol·σmax²] (default [1e-10]) are
+    dropped. *)
+
+val reconstruct : t -> Mat.t
+(** [U Σ Vᵀ] — testing helper. *)
+
+val rank : ?rank_tol:float -> Mat.t -> int
+val condition_number : ?rank_tol:float -> Mat.t -> float
+(** [σmax/σmin] over the retained spectrum; [1.] for the zero matrix. *)
+
+val spectral_norm : Mat.t -> float
+(** Largest singular value. *)

@@ -1,0 +1,86 @@
+open Psdp_prelude
+
+type t = float array
+
+let create n = Array.make n 0.0
+let init = Array.init
+let copy = Array.copy
+let dim = Array.length
+
+let check_same_dim name x y =
+  if Array.length x <> Array.length y then
+    invalid_arg
+      (Printf.sprintf "Vec.%s: dimension mismatch (%d vs %d)" name
+         (Array.length x) (Array.length y))
+
+let dot x y =
+  check_same_dim "dot" x y;
+  let n = Array.length x in
+  Cost.serial (2 * n);
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+let norm1 x = Array.fold_left (fun acc v -> acc +. Float.abs v) 0.0 x
+
+let scale alpha x =
+  Cost.serial (Array.length x);
+  Array.map (fun v -> alpha *. v) x
+
+let scale_inplace x alpha =
+  Cost.serial (Array.length x);
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- alpha *. x.(i)
+  done
+
+let add x y =
+  check_same_dim "add" x y;
+  Cost.serial (Array.length x);
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_same_dim "sub" x y;
+  Cost.serial (Array.length x);
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let axpy y ~alpha x =
+  check_same_dim "axpy" y x;
+  Cost.serial (2 * Array.length x);
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- y.(i) +. (alpha *. x.(i))
+  done
+
+let normalize x =
+  let n = norm2 x in
+  if n < 1e-300 then invalid_arg "Vec.normalize: zero vector";
+  scale (1.0 /. n) x
+
+let hadamard x y =
+  check_same_dim "hadamard" x y;
+  Cost.serial (Array.length x);
+  Array.init (Array.length x) (fun i -> x.(i) *. y.(i))
+
+let map = Array.map
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let equal ?(tol = 1e-9) x y =
+  Array.length x = Array.length y
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length x - 1 do
+    if not (Util.close ~rtol:tol ~atol:tol x.(i) y.(i)) then ok := false
+  done;
+  !ok
+
+let pp ppf x = Util.pp_float_list ppf (Array.to_list x)
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis: index out of range";
+  let v = create n in
+  v.(i) <- 1.0;
+  v

@@ -1,0 +1,46 @@
+(** Dense vectors as plain [float array]s.
+
+    Functions ending in [_inplace] mutate their first argument; all others
+    allocate. Dimension mismatches raise [Invalid_argument]. Kernels charge
+    the {!Psdp_prelude.Cost} model. *)
+
+type t = float array
+
+val create : int -> t
+(** Zero vector. *)
+
+val init : int -> (int -> float) -> t
+val copy : t -> t
+val dim : t -> int
+
+val dot : t -> t -> float
+(** Inner product. *)
+
+val norm2 : t -> float
+(** Euclidean norm. *)
+
+val norm_inf : t -> float
+val norm1 : t -> float
+
+val scale : float -> t -> t
+val scale_inplace : t -> float -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+val axpy : t -> alpha:float -> t -> unit
+(** [axpy y ~alpha x] performs [y <- y + alpha * x]. *)
+
+val normalize : t -> t
+(** Unit-norm copy. Raises [Invalid_argument] on (numerically) zero input. *)
+
+val hadamard : t -> t -> t
+(** Element-wise product. *)
+
+val map : (float -> float) -> t -> t
+val fill : t -> float -> unit
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of dimension [n]. *)

@@ -1,0 +1,1 @@
+lib/mmw/mmw.ml: Array Eig Mat Matfun Psdp_linalg

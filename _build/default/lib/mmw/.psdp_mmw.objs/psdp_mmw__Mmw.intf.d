@@ -1,0 +1,1 @@
+lib/mmw/mmw.mli: Mat Psdp_linalg

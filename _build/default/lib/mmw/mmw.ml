@@ -1,0 +1,47 @@
+open Psdp_linalg
+
+type t = {
+  dim : int;
+  eps0 : float;
+  mutable sum_gain : Mat.t;
+  mutable dotted : float;
+  mutable steps : int;
+}
+
+let create ~dim ~eps0 =
+  if dim <= 0 then invalid_arg "Mmw.create: dim must be positive";
+  if eps0 <= 0.0 || eps0 > 0.5 then
+    invalid_arg "Mmw.create: eps0 must lie in (0, 1/2]";
+  { dim; eps0; sum_gain = Mat.create dim dim; dotted = 0.0; steps = 0 }
+
+let dim t = t.dim
+let iterations t = t.steps
+
+let probability_matrix t =
+  let w = Matfun.expm (Mat.scale t.eps0 t.sum_gain) in
+  Mat.scale (1.0 /. Mat.trace w) w
+
+let observe ?(check = true) t m =
+  if Mat.rows m <> t.dim || Mat.cols m <> t.dim then
+    invalid_arg "Mmw.observe: dimension mismatch";
+  if check then begin
+    if not (Mat.is_symmetric ~tol:1e-8 m) then
+      invalid_arg "Mmw.observe: gain matrix must be symmetric";
+    let values = (Eig.symmetric m).Eig.values in
+    let n = Array.length values in
+    if values.(n - 1) < -1e-8 then
+      invalid_arg "Mmw.observe: gain matrix must be PSD";
+    if values.(0) > 1.0 +. 1e-8 then
+      invalid_arg "Mmw.observe: gain matrix must satisfy M <= I"
+  end;
+  let p = probability_matrix t in
+  t.dotted <- t.dotted +. Mat.dot m p;
+  t.sum_gain <- Mat.add t.sum_gain m;
+  t.steps <- t.steps + 1
+
+let cumulative_gain t = Mat.copy t.sum_gain
+let dotted_gain t = t.dotted
+
+let regret_slack t =
+  let lmax = Eig.lambda_max t.sum_gain in
+  ((1.0 +. t.eps0) *. t.dotted) +. (log (float_of_int t.dim) /. t.eps0) -. lmax

@@ -1,0 +1,41 @@
+(** Matrix multiplicative weights (Arora–Kale), the engine behind the
+    solver's convergence proof (paper, Theorem 2.1).
+
+    The game: start with [W⁽¹⁾ = I]; at step [t] publish the probability
+    matrix [P⁽ᵗ⁾ = W⁽ᵗ⁾/Tr W⁽ᵗ⁾], receive a PSD gain matrix [M⁽ᵗ⁾ ≼ I],
+    and update [W⁽ᵗ⁺¹⁾ = exp(ε₀ Σ_{t'<=t} M⁽ᵗ'⁾)]. After [T] steps,
+
+    [(1+ε₀) Σ_t M⁽ᵗ⁾•P⁽ᵗ⁾ >= λmax(Σ_t M⁽ᵗ⁾) − ln(m)/ε₀].
+
+    This module is the dense reference implementation used by the tests
+    (to validate the regret bound on adversarial gain sequences) and by
+    the invariant-checking bench (EXP8); the production solver inlines the
+    same update with the fast exponential primitive. *)
+
+open Psdp_linalg
+
+type t
+
+val create : dim:int -> eps0:float -> t
+(** [eps0] must lie in (0, 1/2]. *)
+
+val dim : t -> int
+val iterations : t -> int
+
+val probability_matrix : t -> Mat.t
+(** Current [P⁽ᵗ⁾]; trace 1 by construction. *)
+
+val observe : ?check:bool -> t -> Mat.t -> unit
+(** Incur a gain matrix. With [~check:true] (default) the matrix is
+    verified to be symmetric, PSD and [≼ I] (within numerical tolerance),
+    raising [Invalid_argument] otherwise. *)
+
+val cumulative_gain : t -> Mat.t
+(** [Σ_{t'<=t} M⁽ᵗ'⁾]. *)
+
+val dotted_gain : t -> float
+(** [Σ_t M⁽ᵗ⁾•P⁽ᵗ⁾], accumulated as the game is played. *)
+
+val regret_slack : t -> float
+(** [(1+ε₀)·dotted_gain + ln(m)/ε₀ − λmax(cumulative_gain)] — Theorem 2.1
+    asserts this is non-negative. *)

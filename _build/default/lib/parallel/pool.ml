@@ -1,0 +1,263 @@
+type task = {
+  body : int -> int -> unit;  (* executes one half-open chunk *)
+  next : int Atomic.t;        (* next chunk start index *)
+  hi : int;
+  grain : int;
+  pending : int Atomic.t;     (* chunks still running or unclaimed *)
+  failure : exn option Atomic.t;
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
+}
+
+type pool = {
+  n_workers : int;  (* spawned domains; total parallelism is n_workers + 1 *)
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable current : task option;
+  mutable epoch : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  busy : bool Atomic.t;  (* a loop is in flight; nested loops go sequential *)
+  mutable alive : bool;
+}
+
+type t = Sequential | Pool of pool
+
+(* Claim and run chunks until the task is exhausted. Any worker (including
+   the submitting domain) can call this. *)
+let run_chunks task =
+  let rec loop () =
+    let start = Atomic.fetch_and_add task.next task.grain in
+    if start < task.hi then begin
+      let stop_ = min (start + task.grain) task.hi in
+      (try task.body start stop_
+       with e ->
+         (* Record the first failure; later chunks still drain so that the
+            completion count reaches zero. *)
+         ignore
+           (Atomic.compare_and_set task.failure None (Some e)));
+      let remaining = Atomic.fetch_and_add task.pending (-1) - 1 in
+      if remaining = 0 then begin
+        Mutex.lock task.done_mutex;
+        Condition.broadcast task.done_cond;
+        Mutex.unlock task.done_mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker_loop pool =
+  let rec wait_for_epoch last_epoch =
+    Mutex.lock pool.mutex;
+    while pool.epoch = last_epoch && not pool.stop do
+      Condition.wait pool.cond pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex
+    end
+    else begin
+      let epoch = pool.epoch in
+      let task = pool.current in
+      Mutex.unlock pool.mutex;
+      (match task with Some t -> run_chunks t | None -> ());
+      wait_for_epoch epoch
+    end
+  in
+  wait_for_epoch 0
+
+let default_num_domains () =
+  match Sys.getenv_opt "PSDP_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> invalid_arg "PSDP_DOMAINS must be a positive integer")
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+let create ?num_domains () =
+  let n =
+    match num_domains with Some n -> n | None -> default_num_domains ()
+  in
+  if n < 1 then invalid_arg "Pool.create: num_domains must be >= 1";
+  if n = 1 then Sequential
+  else begin
+    let pool =
+      {
+        n_workers = n - 1;
+        mutex = Mutex.create ();
+        cond = Condition.create ();
+        current = None;
+        epoch = 0;
+        stop = false;
+        domains = [];
+        busy = Atomic.make false;
+        alive = true;
+      }
+    in
+    pool.domains <-
+      List.init pool.n_workers (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    Pool pool
+  end
+
+let sequential = Sequential
+
+let size = function Sequential -> 1 | Pool p -> p.n_workers + 1
+
+let shutdown = function
+  | Sequential -> ()
+  | Pool p ->
+      if p.alive then begin
+        Mutex.lock p.mutex;
+        p.stop <- true;
+        Condition.broadcast p.cond;
+        Mutex.unlock p.mutex;
+        List.iter Domain.join p.domains;
+        p.domains <- [];
+        p.alive <- false
+      end
+
+let with_pool ?num_domains f =
+  let pool = create ?num_domains () in
+  match f pool with
+  | result ->
+      shutdown pool;
+      result
+  | exception e ->
+      shutdown pool;
+      raise e
+
+let global_pool = ref None
+let global_mutex = Mutex.create ()
+
+let global () =
+  Mutex.lock global_mutex;
+  let pool =
+    match !global_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        global_pool := Some p;
+        p
+  in
+  Mutex.unlock global_mutex;
+  pool
+
+(* Sequential execution still honours the chunk size so that chunked
+   reductions see the identical partition regardless of pool size — this
+   is what makes parallel results bitwise-deterministic. *)
+let sequential_chunks ~lo ~hi ~grain body =
+  let i = ref lo in
+  while !i < hi do
+    let j = min (!i + grain) hi in
+    body !i j;
+    i := j
+  done
+
+let choose_grain ?grain ~lo ~hi pool_size =
+  match grain with
+  | Some g ->
+      if g < 1 then invalid_arg "Pool: grain must be >= 1";
+      g
+  | None ->
+      (* Aim for ~4 chunks per worker to absorb imbalance, but never chunks
+         smaller than 64 indices: tiny chunks make the atomics dominate. *)
+      let range = hi - lo in
+      max 64 (range / (4 * pool_size) + 1)
+
+let parallel_for_chunks t ?grain ~lo ~hi body =
+  if hi > lo then
+    match t with
+    | Sequential ->
+        let g = choose_grain ?grain ~lo ~hi 1 in
+        sequential_chunks ~lo ~hi ~grain:g body
+    | Pool p ->
+        let g = choose_grain ?grain ~lo ~hi (p.n_workers + 1) in
+        if hi - lo <= g || not (Atomic.compare_and_set p.busy false true) then
+          (* Range too small to split, or a loop is already in flight
+             (nested parallelism): run in the caller. *)
+          sequential_chunks ~lo ~hi ~grain:g body
+        else begin
+          let n_chunks = Psdp_prelude.Util.ceil_div (hi - lo) g in
+          let task =
+            {
+              body;
+              next = Atomic.make lo;
+              hi;
+              grain = g;
+              pending = Atomic.make n_chunks;
+              failure = Atomic.make None;
+              done_mutex = Mutex.create ();
+              done_cond = Condition.create ();
+            }
+          in
+          Mutex.lock p.mutex;
+          p.current <- Some task;
+          p.epoch <- p.epoch + 1;
+          Condition.broadcast p.cond;
+          Mutex.unlock p.mutex;
+          run_chunks task;
+          Mutex.lock task.done_mutex;
+          while Atomic.get task.pending > 0 do
+            Condition.wait task.done_cond task.done_mutex
+          done;
+          Mutex.unlock task.done_mutex;
+          Mutex.lock p.mutex;
+          p.current <- None;
+          Mutex.unlock p.mutex;
+          Atomic.set p.busy false;
+          match Atomic.get task.failure with
+          | Some e -> raise e
+          | None -> ()
+        end
+
+let parallel_for t ?grain ~lo ~hi f =
+  parallel_for_chunks t ?grain ~lo ~hi (fun clo chi ->
+      for i = clo to chi - 1 do
+        f i
+      done)
+
+let reduce t ?grain ~lo ~hi ~init ~chunk ~combine =
+  if hi <= lo then init
+  else
+    let g = choose_grain ?grain ~lo ~hi (size t) in
+    let n_chunks = Psdp_prelude.Util.ceil_div (hi - lo) g in
+    if n_chunks = 1 then combine init (chunk lo hi)
+    else begin
+      let results = Array.make n_chunks None in
+      parallel_for_chunks t ~grain:g ~lo ~hi (fun clo chi ->
+          results.((clo - lo) / g) <- Some (chunk clo chi));
+      Array.fold_left
+        (fun acc r ->
+          match r with
+          | Some v -> combine acc v
+          | None -> assert false)
+        init results
+    end
+
+let sum_floats t ?grain ~lo ~hi f =
+  reduce t ?grain ~lo ~hi ~init:0.0
+    ~chunk:(fun clo chi ->
+      let s = ref 0.0 in
+      for i = clo to chi - 1 do
+        s := !s +. f i
+      done;
+      !s)
+    ~combine:( +. )
+
+let map_array t ?grain f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let first = f a.(0) in
+    let out = Array.make n first in
+    parallel_for t ?grain ~lo:1 ~hi:n (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+let init_float_array t ?grain n f =
+  let out = Array.make n 0.0 in
+  parallel_for_chunks t ?grain ~lo:0 ~hi:n (fun clo chi ->
+      for i = clo to chi - 1 do
+        out.(i) <- f i
+      done);
+  out

@@ -1,0 +1,75 @@
+(** Fork–join parallelism over OCaml 5 domains.
+
+    This is the repository's stand-in for the paper's PRAM: a fixed pool of
+    worker domains executing chunk-stealing parallel loops. Design points:
+
+    - One pool is created per process (or per benchmark configuration) and
+      reused across the solver's many iterations; spawning domains per loop
+      would dominate the runtime of fine-grained kernels.
+    - Loops are {e flat}: a [parallel_for] issued while another one is
+      running on the same pool (nesting) degrades gracefully to sequential
+      execution in the caller. The solvers only need flat data parallelism.
+    - Reductions are {e deterministic}: chunk results are combined in chunk
+      order, so floating-point results do not depend on scheduling. This is
+      what lets the test suite assert parallel == sequential exactly. *)
+
+type t
+
+val create : ?num_domains:int -> unit -> t
+(** [create ~num_domains ()] spawns [num_domains - 1] worker domains (the
+    caller is the remaining worker). Defaults to
+    [min 8 (Domain.recommended_domain_count ())], overridable with the
+    [PSDP_DOMAINS] environment variable. [num_domains >= 1]. *)
+
+val sequential : t
+(** A zero-worker pool: every operation runs in the caller. Used as the
+    default by code that was not handed a pool explicitly. *)
+
+val size : t -> int
+(** Total workers, including the calling domain. [size sequential = 1]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must not be used afterwards.
+    Idempotent. *)
+
+val with_pool : ?num_domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] creates a pool, applies [f], and shuts the pool down even
+    if [f] raises. *)
+
+val global : unit -> t
+(** Process-wide lazily-created pool (size per [create]'s default). *)
+
+val parallel_for : t -> ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for [lo <= i < hi]. [grain]
+    is the minimum indices per chunk (default chosen from range and pool
+    size). Exceptions raised by [f] are re-raised in the caller (one of
+    them, if several). *)
+
+val parallel_for_chunks :
+  t -> ?grain:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** Like {!parallel_for} but hands each worker a whole chunk
+    [f chunk_lo chunk_hi] (half-open), avoiding per-index closure overhead
+    in hot kernels. *)
+
+val reduce :
+  t ->
+  ?grain:int ->
+  lo:int ->
+  hi:int ->
+  init:'a ->
+  chunk:(int -> int -> 'a) ->
+  combine:('a -> 'a -> 'a) ->
+  'a
+(** [reduce pool ~lo ~hi ~init ~chunk ~combine] folds [chunk lo' hi'] over
+    disjoint chunks covering [lo, hi) and combines the chunk values
+    left-to-right in chunk order starting from [init]. Deterministic for
+    any fixed [grain]. *)
+
+val sum_floats : t -> ?grain:int -> lo:int -> hi:int -> (int -> float) -> float
+(** Deterministic parallel sum of [f i] over the range. *)
+
+val map_array : t -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. *)
+
+val init_float_array : t -> ?grain:int -> int -> (int -> float) -> float array
+(** Parallel [Array.init] specialised to unboxed float arrays. *)

@@ -1,0 +1,1 @@
+lib/prelude/cost.ml: Atomic Format

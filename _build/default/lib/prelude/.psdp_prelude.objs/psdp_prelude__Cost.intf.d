@@ -1,0 +1,1 @@
+lib/prelude/cost.mli: Format

@@ -1,0 +1,44 @@
+type snapshot = { work : int; depth : int }
+
+let enabled = ref false
+let work_counter = Atomic.make 0
+let depth_counter = Atomic.make 0
+
+let reset () =
+  Atomic.set work_counter 0;
+  Atomic.set depth_counter 0
+
+let read () =
+  { work = Atomic.get work_counter; depth = Atomic.get depth_counter }
+
+let serial w =
+  if !enabled then begin
+    ignore (Atomic.fetch_and_add work_counter w);
+    ignore (Atomic.fetch_and_add depth_counter w)
+  end
+
+let parallel ~work ~span =
+  if !enabled then begin
+    ignore (Atomic.fetch_and_add work_counter work);
+    ignore (Atomic.fetch_and_add depth_counter span)
+  end
+
+let measure f =
+  let saved = read () and was_enabled = !enabled in
+  reset ();
+  enabled := true;
+  let finish () =
+    let cost = read () in
+    enabled := was_enabled;
+    Atomic.set work_counter saved.work;
+    Atomic.set depth_counter saved.depth;
+    cost
+  in
+  match f () with
+  | result -> (result, finish ())
+  | exception e ->
+      ignore (finish ());
+      raise e
+
+let pp ppf { work; depth } =
+  Format.fprintf ppf "work=%d depth=%d" work depth

@@ -1,0 +1,35 @@
+(** Work/depth cost model.
+
+    The paper's claims are PRAM work/depth bounds; real hardware gives us
+    wall-clock only. The kernels in this repository therefore additionally
+    charge an abstract cost counter: [work] counts scalar floating-point
+    operations (the PRAM work), and [depth] accumulates the length of the
+    critical path assuming perfect parallelism inside each charged kernel
+    (a [parallel] charge adds [span], a [serial] charge adds its full
+    amount). Counters are atomic so parallel workers can charge them
+    concurrently, and they can be scoped to measure a region. *)
+
+type snapshot = { work : int; depth : int }
+
+val enabled : bool ref
+(** Global switch; charging is a no-op when false (the default for unit
+    tests, enabled by the benchmark harness). *)
+
+val reset : unit -> unit
+(** Zero both counters. *)
+
+val read : unit -> snapshot
+
+val serial : int -> unit
+(** [serial w] charges [w] units of work and [w] units of depth. *)
+
+val parallel : work:int -> span:int -> unit
+(** [parallel ~work ~span] charges [work] units of work but only [span]
+    units of depth — a perfectly parallel kernel of that shape. *)
+
+val measure : (unit -> 'a) -> 'a * snapshot
+(** [measure f] runs [f] with the counters enabled and zeroed, and returns
+    the result together with the cost charged by [f]. Restores the previous
+    counter values and enablement afterwards, so measurements nest. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,105 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  (* Cached second output of the polar method. *)
+  mutable spare : float;
+  mutable has_spare : bool;
+}
+
+(* splitmix64: expands a single seed into well-distributed 64-bit words,
+   the recommended way to seed xoshiro generators. *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed64 seed =
+  let state = ref seed in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3; spare = 0.0; has_spare = false }
+
+let create seed = of_seed64 (Int64.of_int seed)
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = add (rotl (add t.s0 t.s3) 23) t.s0 in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let copy t =
+  { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3;
+    spare = t.spare; has_spare = t.has_spare }
+
+let uniform t =
+  (* Top 53 bits give a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float t bound = uniform t *. bound
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our use: bounds are tiny compared to 2^63, so the
+     modulo bias is negligible; still, mask-and-reject keeps it exact. *)
+  let mask = Util.ceil_pow2 bound - 1 in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (bits64 t) (Int64.of_int mask)) in
+    if r < bound then r else draw ()
+  in
+  draw ()
+
+let gaussian t =
+  if t.has_spare then begin
+    t.has_spare <- false;
+    t.spare
+  end
+  else begin
+    let rec sample () =
+      let u = (2.0 *. uniform t) -. 1.0 in
+      let v = (2.0 *. uniform t) -. 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then sample ()
+      else begin
+        let factor = sqrt (-2.0 *. log s /. s) in
+        t.spare <- v *. factor;
+        t.has_spare <- true;
+        u *. factor
+      end
+    in
+    sample ()
+  end
+
+let gaussian_array t n = Array.init n (fun _ -> gaussian t)
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,70 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.n
+let mean t = t.mean
+let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.min
+let max t = t.max
+
+let of_array xs =
+  let t = create () in
+  Array.iter (add t) xs;
+  t
+
+let quantile xs q =
+  if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+
+let median xs = quantile xs 0.5
+
+let linear_fit xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then
+    invalid_arg "Stats.linear_fit: need >= 2 matching points";
+  let fn = float_of_int n in
+  let sx = Util.sum_array xs and sy = Util.sum_array ys in
+  let sxx = Util.sum_array (Array.map (fun x -> x *. x) xs) in
+  let sxy = Util.sum_array (Array.map2 (fun x y -> x *. y) xs ys) in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-30 then invalid_arg "Stats.linear_fit: degenerate xs";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (slope, intercept)
+
+let scaling_exponent xs ys =
+  let check name a =
+    Array.iter
+      (fun v ->
+        if v <= 0.0 then
+          invalid_arg (Printf.sprintf "Stats.scaling_exponent: %s <= 0" name))
+      a
+  in
+  check "x" xs;
+  check "y" ys;
+  let slope, _ = linear_fit (Array.map log xs) (Array.map log ys) in
+  slope

@@ -1,0 +1,32 @@
+(** Streaming and batch descriptive statistics used by the benchmark
+    harness and the property tests. *)
+
+type t
+(** Mutable accumulator (Welford's online algorithm). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+
+val of_array : float array -> t
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [[0,1]], linear interpolation between order
+    statistics. Does not mutate the input. *)
+
+val median : float array -> float
+
+val linear_fit : float array -> float array -> float * float
+(** [linear_fit xs ys] is the least-squares [(slope, intercept)]. Used to
+    estimate empirical scaling exponents from log-log series. *)
+
+val scaling_exponent : float array -> float array -> float
+(** Slope of the log-log least-squares fit: the empirical exponent [p] in
+    [y ≈ c·x^p]. All inputs must be positive. *)

@@ -1,0 +1,19 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+let time_median ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "Timer.time_median: repeats < 1";
+  let samples = Array.make repeats 0.0 in
+  let result = ref None in
+  for i = 0 to repeats - 1 do
+    let r, dt = time f in
+    samples.(i) <- dt;
+    result := Some r
+  done;
+  match !result with
+  | Some r -> (r, Stats.median samples)
+  | None -> assert false

@@ -1,0 +1,12 @@
+(** Wall-clock timing helpers for the examples and the benchmark harness. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); [Sys.time] would report CPU
+    time, which over-counts parallel regions by the number of domains. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] is [(f (), elapsed_wall_seconds)]. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** Run [f] [repeats] times (default 3) and report the median elapsed
+    time together with the last result. *)

@@ -1,0 +1,50 @@
+let close ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  Float.abs (a -. b) <= atol +. (rtol *. Float.max (Float.abs a) (Float.abs b))
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+let square x = x *. x
+let log2 x = log x /. log 2.0
+let ceil_div a b = (a + b - 1) / b
+
+let ceil_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let finite x = Float.is_finite x
+
+let sum_array a =
+  (* Kahan summation: the solver accumulates many tiny multiplicative-weight
+     increments, so naive summation drifts noticeably for large n. *)
+  let sum = ref 0.0 and c = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    let y = a.(i) -. !c in
+    let t = !sum +. y in
+    c := t -. !sum -. y;
+    sum := t
+  done;
+  !sum
+
+let max_array a =
+  if Array.length a = 0 then invalid_arg "Util.max_array: empty array";
+  Array.fold_left Float.max a.(0) a
+
+let min_array a =
+  if Array.length a = 0 then invalid_arg "Util.min_array: empty array";
+  Array.fold_left Float.min a.(0) a
+
+let fold_range n ~init ~f =
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    acc := f !acc i
+  done;
+  !acc
+
+let array_init_matrixwise rows cols f =
+  Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols))
+
+let pp_float_list ppf xs =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%.6g" x))
+    xs

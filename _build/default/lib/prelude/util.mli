@@ -1,0 +1,42 @@
+(** Small floating-point and array helpers shared across the code base. *)
+
+val close : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [close a b] holds when [|a - b| <= atol + rtol * max |a| |b|].
+    Defaults: [rtol = 1e-9], [atol = 1e-12]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] is [x] restricted to the interval [[lo, hi]]. *)
+
+val square : float -> float
+(** [square x] is [x *. x]. *)
+
+val log2 : float -> float
+(** Base-2 logarithm. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [⌈a / b⌉] for positive [b]. *)
+
+val ceil_pow2 : int -> int
+(** Smallest power of two [>= n] (for [n >= 1]). *)
+
+val finite : float -> bool
+(** True when the float is neither NaN nor an infinity. *)
+
+val sum_array : float array -> float
+(** Sum with Kahan compensation, deterministic left-to-right order. *)
+
+val max_array : float array -> float
+(** Maximum element. Raises [Invalid_argument] on an empty array. *)
+
+val min_array : float array -> float
+(** Minimum element. Raises [Invalid_argument] on an empty array. *)
+
+val fold_range : int -> init:'a -> f:('a -> int -> 'a) -> 'a
+(** [fold_range n ~init ~f] folds [f] over [0 .. n-1]. *)
+
+val array_init_matrixwise : int -> int -> (int -> int -> float) -> float array
+(** [array_init_matrixwise rows cols f] builds the row-major array
+    [a.(i*cols + j) = f i j]. *)
+
+val pp_float_list : Format.formatter -> float list -> unit
+(** Prints a compact bracketed list of floats using ["%.6g"]. *)

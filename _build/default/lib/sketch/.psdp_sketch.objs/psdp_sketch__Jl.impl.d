@@ -1,0 +1,1 @@
+lib/sketch/jl.ml: Array Float Psdp_linalg Psdp_prelude Rng Vec

@@ -1,0 +1,1 @@
+lib/sketch/jl.mli: Psdp_linalg Psdp_prelude Vec

@@ -1,0 +1,39 @@
+open Psdp_prelude
+open Psdp_linalg
+
+type t = { k : int; m : int; rows : Vec.t array }
+
+let create ~rng ~target_dim ~source_dim =
+  if target_dim <= 0 || source_dim <= 0 then
+    invalid_arg "Jl.create: dimensions must be positive";
+  let scale = 1.0 /. sqrt (float_of_int target_dim) in
+  let rows =
+    Array.init target_dim (fun _ ->
+        Array.init source_dim (fun _ -> scale *. Rng.gaussian rng))
+  in
+  { k = target_dim; m = source_dim; rows }
+
+let identity dim =
+  if dim <= 0 then invalid_arg "Jl.identity: dimension must be positive";
+  let rows =
+    Array.init dim (fun r ->
+        Array.init dim (fun c -> if r = c then 1.0 else 0.0))
+  in
+  { k = dim; m = dim; rows }
+
+let recommended_dim ~eps m =
+  if eps <= 0.0 then invalid_arg "Jl.recommended_dim: eps must be positive";
+  let c = 4.0 in
+  max 4 (int_of_float (Float.ceil (c *. log (float_of_int (m + 2)) /. (eps *. eps))))
+
+let target_dim t = t.k
+let source_dim t = t.m
+let row t r = t.rows.(r)
+
+let apply t v =
+  if Array.length v <> t.m then invalid_arg "Jl.apply: dimension mismatch";
+  Array.init t.k (fun r -> Vec.dot t.rows.(r) v)
+
+let norm_sq_estimate t v =
+  let pv = apply t v in
+  Vec.dot pv pv

@@ -1,0 +1,1 @@
+lib/sparse/csr.ml: Array Cost Float Format List Mat Printf Psdp_linalg Psdp_parallel Psdp_prelude Util

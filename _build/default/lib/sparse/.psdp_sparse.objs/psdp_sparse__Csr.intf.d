@@ -1,0 +1,1 @@
+lib/sparse/csr.mli: Format Mat Psdp_linalg Psdp_parallel Vec

@@ -1,0 +1,1 @@
+lib/sparse/factored.ml: Array Cholesky Csr Eig Float Mat Psdp_linalg Vec

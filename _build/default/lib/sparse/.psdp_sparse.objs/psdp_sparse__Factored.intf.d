@@ -1,0 +1,1 @@
+lib/sparse/factored.mli: Csr Mat Psdp_linalg Psdp_parallel Vec

@@ -1,0 +1,1 @@
+lib/sparse/weighted_gram.ml: Array Csr Factored Mat Printf Psdp_linalg

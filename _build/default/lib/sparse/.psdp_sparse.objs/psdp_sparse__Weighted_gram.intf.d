@@ -1,0 +1,1 @@
+lib/sparse/weighted_gram.mli: Factored Mat Psdp_linalg Psdp_parallel Vec

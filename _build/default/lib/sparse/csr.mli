@@ -1,0 +1,50 @@
+(** Compressed sparse row matrices.
+
+    The paper's near-linear work bound (Corollary 1.2) counts non-zeros in
+    the factorization; CSR is the storage that realises it. Sparse
+    matrix–vector products parallelise over rows. *)
+
+open Psdp_linalg
+
+type t = private {
+  rows : int;
+  cols : int;
+  row_ptr : int array;  (** length [rows + 1] *)
+  col_idx : int array;  (** length [nnz], sorted within each row *)
+  values : float array;  (** length [nnz] *)
+}
+
+val of_coo : rows:int -> cols:int -> (int * int * float) list -> t
+(** Builds from coordinate triples; duplicate coordinates are summed,
+    explicit zeros dropped. Raises [Invalid_argument] on out-of-range
+    indices. *)
+
+val of_dense : ?tol:float -> Mat.t -> t
+(** Entries with absolute value [<= tol] (default [0.]) are dropped. *)
+
+val to_dense : t -> Mat.t
+val identity : int -> t
+val nnz : t -> int
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+(** Logarithmic in the row length. *)
+
+val scale : float -> t -> t
+val transpose : t -> t
+
+val spmv : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t -> Vec.t
+(** [spmv a x] is [A x], parallel over rows. *)
+
+val spmv_t : t -> Vec.t -> Vec.t
+(** [Aᵀ x] without materializing the transpose (sequential scatter). *)
+
+val row_dot : t -> int -> Vec.t -> float
+(** Dot product of row [i] with a dense vector. *)
+
+val frobenius_sq : t -> float
+(** [Σ aᵢⱼ²]. *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(** Positive semidefinite matrices in factorized form [A = Q Qᵀ].
+
+    This is the input format of Theorem 4.1 and Corollary 1.2: the solver's
+    work is measured in the total number of non-zeros of the factors [Qᵢ].
+    A factored matrix is immutable. *)
+
+open Psdp_linalg
+
+type t
+
+val of_csr : Csr.t -> t
+(** [of_csr q] represents [Q Qᵀ] for the [m×r] sparse factor [q]. *)
+
+val of_dense_factor : Mat.t -> t
+(** Same, from a dense factor (converted to CSR). *)
+
+val of_dense_psd : ?tol:float -> Mat.t -> t
+(** Factor a dense PSD matrix through its eigendecomposition:
+    [Q = V √Λ] with eigenvalues below [tol·λmax] dropped. This is the
+    preprocessing step the paper prices at O(m⁴)/parallel-QR; any valid
+    factorization is equivalent for the solver. *)
+
+val of_dense_psd_pivoted : ?tol:float -> Mat.t -> t
+(** Same contract, via rank-revealing pivoted Cholesky
+    ({!Psdp_linalg.Cholesky.pivoted}) — O(m²·rank) instead of O(m³), the
+    cheaper preprocessing when the input is low-rank. *)
+
+val scale : float -> t -> t
+(** [scale c a] is [c · A] for [c >= 0] (scales the factor by [√c]). *)
+
+val dim : t -> int
+(** The matrix is [dim × dim]. *)
+
+val inner_dim : t -> int
+(** Number of columns of [Q] (an upper bound on the rank). *)
+
+val nnz : t -> int
+(** Non-zeros in the factor [Q] — the paper's [q] contribution. *)
+
+val factor : t -> Csr.t
+(** The underlying [Q]. *)
+
+val factor_t : t -> Csr.t
+(** The transpose [Qᵀ], precomputed. *)
+
+val apply : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t -> Vec.t
+(** [apply a v] is [A v = Q (Qᵀ v)] in [O(nnz)] work. *)
+
+val trace : t -> float
+(** [Tr A = ‖Q‖²_F]. *)
+
+val to_dense : t -> Mat.t
+
+val dot_dense : t -> Mat.t -> float
+(** [A • S] for a dense symmetric [S]: [Σ_j qⱼᵀ S qⱼ] over the columns
+    of [Q]. *)
+
+val quadratic : t -> Vec.t -> float
+(** [vᵀ A v = ‖Qᵀ v‖²] — non-negative by construction. *)
+
+val lambda_max_upper : t -> float
+(** Cheap upper bound on [λmax(A)]: [min(Tr A, ‖A‖_∞-row-sum bound)]
+    computed from the factor; used for width estimation. *)
+
+val lambda_max : t -> float
+(** Exact [λmax(A)] via the inner Gram matrix: [λmax(QQᵀ) = λmax(QᵀQ)],
+    an [r×r] dense eigenproblem where [r = inner_dim] — cheap whenever the
+    factorization is thin. *)

@@ -1,0 +1,40 @@
+(** The solver's cumulative matrix [Ψ(x) = Σᵢ xᵢ Aᵢ] as an implicit
+    operator, for factored constraints [Aᵢ = QᵢQᵢᵀ].
+
+    Horizontally concatenating the factors into one [m × R] matrix
+    [Q = [Q₁ | Q₂ | … | Qₙ]] gives [Ψ(x) = Q·diag(w)·Qᵀ] where column [j]
+    of [Q] carries weight [w_j = x_{owner(j)}]. One application is two
+    sparse matvecs plus a diagonal scaling — [O(q)] work total, which is
+    what makes each solver iteration nearly-linear (Corollary 1.2). *)
+
+open Psdp_linalg
+
+type t
+
+val create : Factored.t array -> t
+(** All factors must share the same outer dimension. Weights start at 0. *)
+
+val dim : t -> int
+val num_constraints : t -> int
+val nnz : t -> int
+(** Total non-zeros across all factors — the paper's [q]. *)
+
+val set_weights : t -> float array -> unit
+(** [set_weights t x] installs the constraint weights [x] (length
+    [num_constraints], non-negative). O(R) — just a per-column copy. *)
+
+val weights : t -> float array
+(** Current per-constraint weights (a copy). *)
+
+val apply : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t -> Vec.t
+(** [apply t v = Ψ(x) v]. *)
+
+val trace : t -> float
+(** [Tr Ψ(x) = Σᵢ xᵢ Tr Aᵢ], O(n). *)
+
+val to_dense : t -> Mat.t
+(** Materialize [Ψ(x)] (testing / dense fallback). *)
+
+val lambda_max_upper_bound : t -> float
+(** [Σᵢ xᵢ · (upper bound on λmax(Aᵢ))] — a crude but certified upper
+    bound used to size polynomial degrees. *)

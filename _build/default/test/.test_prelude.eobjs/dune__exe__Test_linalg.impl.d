@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cholesky Eig Float Format Lanczos List Mat Matfun Printf Psdp_linalg Psdp_parallel Psdp_prelude QCheck QCheck_alcotest Qr Rng Svd Util Vec

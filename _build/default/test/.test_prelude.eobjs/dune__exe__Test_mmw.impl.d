@@ -1,0 +1,1 @@
+test/test_mmw.ml: Alcotest Eig Float List Mat Mmw Psdp_linalg Psdp_mmw Psdp_prelude QCheck QCheck_alcotest Rng Vec

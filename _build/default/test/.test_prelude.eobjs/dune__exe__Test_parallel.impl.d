@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Float Fun List Pool Psdp_parallel QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Array Cost Float Fun Gen List Psdp_prelude QCheck QCheck_alcotest Rng Stats Sys Timer Util

@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Cholesky Csr Eig Factored Format List Mat Printf Psdp_linalg Psdp_parallel Psdp_prelude Psdp_sparse QCheck QCheck_alcotest Rng Vec Weighted_gram

@@ -1,0 +1,435 @@
+(* Tests for the JL sketch, the Lemma-4.2 polynomial, and the Theorem-4.1
+   bigDotExp primitive. *)
+
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_sparse
+open Psdp_sketch
+open Psdp_expm
+
+let random_psd rng n scale_ =
+  let g = Mat.init n (n + 2) (fun _ _ -> Rng.gaussian rng) in
+  Mat.scale scale_ (Mat.mul g (Mat.transpose g))
+
+let random_factored rng dim rank =
+  let entries = ref [ (0, 0, 1.0) ] in
+  for i = 0 to dim - 1 do
+    for j = 0 to rank - 1 do
+      if Rng.uniform rng < 0.5 then
+        entries := (i, j, Rng.gaussian rng) :: !entries
+    done
+  done;
+  Factored.of_csr (Csr.of_coo ~rows:dim ~cols:rank !entries)
+
+(* ------------------------------------------------------------------ *)
+(* Jl *)
+
+let test_jl_dimensions () =
+  let rng = Rng.create 2 in
+  let s = Jl.create ~rng ~target_dim:5 ~source_dim:20 in
+  Alcotest.(check int) "target" 5 (Jl.target_dim s);
+  Alcotest.(check int) "source" 20 (Jl.source_dim s);
+  Alcotest.(check int) "apply length" 5 (Array.length (Jl.apply s (Array.make 20 1.0)))
+
+let test_jl_identity_exact () =
+  let s = Jl.identity 7 in
+  let rng = Rng.create 3 in
+  let v = Rng.gaussian_array rng 7 in
+  Alcotest.(check (float 1e-12)) "identity preserves norm" (Vec.dot v v)
+    (Jl.norm_sq_estimate s v)
+
+let test_jl_unbiased () =
+  (* Average of many independent sketches converges to the true norm. *)
+  let rng = Rng.create 5 in
+  let v = Rng.gaussian_array rng 30 in
+  let truth = Vec.dot v v in
+  let total = ref 0.0 in
+  let trials = 400 in
+  for _ = 1 to trials do
+    let s = Jl.create ~rng ~target_dim:8 ~source_dim:30 in
+    total := !total +. Jl.norm_sq_estimate s v
+  done;
+  let mean = !total /. float_of_int trials in
+  if Float.abs (mean -. truth) > 0.12 *. truth then
+    Alcotest.failf "JL biased: mean %g vs %g" mean truth
+
+let test_jl_concentration () =
+  (* With k = recommended_dim eps, the relative error should be << 3 eps
+     for most vectors. *)
+  let rng = Rng.create 7 in
+  let m = 50 and eps = 0.25 in
+  let k = Jl.recommended_dim ~eps m in
+  let failures = ref 0 in
+  let trials = 100 in
+  for _ = 1 to trials do
+    let v = Rng.gaussian_array rng m in
+    let s = Jl.create ~rng ~target_dim:k ~source_dim:m in
+    let est = Jl.norm_sq_estimate s v in
+    let truth = Vec.dot v v in
+    if Float.abs (est -. truth) > 3.0 *. eps *. truth then incr failures
+  done;
+  if !failures > 5 then
+    Alcotest.failf "JL concentration: %d/%d outside 3eps" !failures trials
+
+let test_jl_rejects_bad_dims () =
+  let rng = Rng.create 11 in
+  Alcotest.check_raises "zero target"
+    (Invalid_argument "Jl.create: dimensions must be positive") (fun () ->
+      ignore (Jl.create ~rng ~target_dim:0 ~source_dim:5));
+  Alcotest.check_raises "bad eps"
+    (Invalid_argument "Jl.recommended_dim: eps must be positive") (fun () ->
+      ignore (Jl.recommended_dim ~eps:0.0 5))
+
+(* ------------------------------------------------------------------ *)
+(* Poly (Lemma 4.2) *)
+
+let test_poly_degree_formula () =
+  (* k = max(e²·max(1,κ), ln(2/ε)) rounded up. *)
+  let d = Poly.degree ~kappa:1.0 ~eps:0.5 in
+  Alcotest.(check int) "kappa 1" (int_of_float (Float.ceil (exp 2.0))) d;
+  let d2 = Poly.degree ~kappa:10.0 ~eps:0.5 in
+  Alcotest.(check int) "kappa 10" (int_of_float (Float.ceil (10.0 *. exp 2.0))) d2;
+  (* Tiny kappa: the ln(2/eps) branch and the e²·1 floor compete. *)
+  let d3 = Poly.degree ~kappa:0.0 ~eps:0.5 in
+  Alcotest.(check bool) "floor" true (d3 >= int_of_float (log (2.0 /. 0.5)))
+
+let test_poly_degree_validation () =
+  Alcotest.check_raises "negative kappa"
+    (Invalid_argument "Poly.degree: kappa must be finite and non-negative")
+    (fun () -> ignore (Poly.degree ~kappa:(-1.0) ~eps:0.1));
+  Alcotest.check_raises "eps out of range"
+    (Invalid_argument "Poly.degree: eps must lie in (0,1)") (fun () ->
+      ignore (Poly.degree ~kappa:1.0 ~eps:1.5))
+
+let test_poly_matches_exp_on_psd () =
+  let rng = Rng.create 13 in
+  List.iter
+    (fun scale_ ->
+      let a = random_psd rng 8 scale_ in
+      let kappa = Eig.lambda_max a in
+      let v = Rng.gaussian_array rng 8 in
+      let eps = 0.01 in
+      let approx = Poly.apply_exp ~matvec:(Mat.gemv a) ~kappa ~eps v in
+      let exact = Mat.gemv (Matfun.expm a) v in
+      (* Lemma 4.2: (1−ε)exp(B) ≼ p̂ ≼ exp(B); on vectors, compare norms
+         of the difference against the norm of the exact result. *)
+      let err = Vec.norm2 (Vec.sub approx exact) /. Vec.norm2 exact in
+      if err > eps then
+        Alcotest.failf "poly error %g > %g at scale %g" err eps scale_)
+    [ 0.05; 0.2; 0.5 ]
+
+let test_poly_sandwich () =
+  (* The operator inequality (1−ε)exp(B) ≼ p̂(B) ≼ exp(B) checked on the
+     spectrum of a commuting pair: evaluate on eigenvectors. *)
+  let rng = Rng.create 17 in
+  let a = random_psd rng 6 0.3 in
+  let { Eig.values; vectors } = Eig.symmetric a in
+  let eps = 0.05 in
+  let kappa = values.(0) in
+  let degree = Poly.degree ~kappa ~eps in
+  for i = 0 to 5 do
+    let v = Mat.col vectors i in
+    let pv = Poly.apply ~matvec:(Mat.gemv a) ~degree v in
+    (* p̂(A)v = p̂(λ)v for an eigenvector. *)
+    let ratio = Vec.dot pv v /. exp values.(i) in
+    if ratio > 1.0 +. 1e-9 then Alcotest.failf "upper violated: %g" ratio;
+    if ratio < 1.0 -. eps -. 1e-9 then Alcotest.failf "lower violated: %g" ratio
+  done
+
+let test_chebyshev_matches_exp () =
+  let rng = Rng.create 211 in
+  List.iter
+    (fun kappa ->
+      let dim = 10 in
+      let a = Mat.scale (kappa /. Float.max 1.0 (Eig.lambda_max (random_psd rng dim 1.0)))
+                (random_psd rng dim 1.0) in
+      (* normalize so λmax(a) <= kappa (we scale a fresh sample by the
+         previous one's norm; just bound kappa by the actual λmax) *)
+      let kappa_actual = Float.max 1.0 (Eig.lambda_max a) in
+      let v = Rng.gaussian_array rng dim in
+      let eps = 0.01 in
+      let d = Poly.chebyshev_degree ~kappa:kappa_actual ~eps in
+      let approx = Poly.chebyshev_apply ~matvec:(Mat.gemv a) ~kappa:kappa_actual ~degree:d v in
+      let exact = Mat.gemv (Matfun.expm a) v in
+      let err = Vec.norm2 (Vec.sub approx exact) /. Vec.norm2 exact in
+      if err > eps then
+        Alcotest.failf "chebyshev error %g > %g at kappa %g (degree %d)" err
+          eps kappa_actual d)
+    [ 1.0; 5.0; 20.0 ]
+
+let test_chebyshev_shorter_than_taylor () =
+  List.iter
+    (fun kappa ->
+      let eps = 0.01 in
+      let dt = Poly.degree ~kappa ~eps in
+      let dc = Poly.chebyshev_degree ~kappa ~eps in
+      if dc >= dt then
+        Alcotest.failf "chebyshev degree %d not shorter than taylor %d at kappa %g"
+          dc dt kappa)
+    [ 4.0; 16.0; 64.0 ]
+
+let test_chebyshev_coefficients_sum () =
+  (* p(kappa) = Σ c_k T_k(1) = Σ c_k must approximate e^kappa. *)
+  let kappa = 12.0 in
+  let d = Poly.chebyshev_degree ~kappa ~eps:1e-6 in
+  let c = Poly.chebyshev_coefficients ~kappa ~degree:d in
+  let total = Util.sum_array c in
+  if not (Util.close ~rtol:1e-6 (exp kappa) total) then
+    Alcotest.failf "sum of coefficients %g <> e^kappa %g" total (exp kappa)
+
+let test_chebyshev_validation () =
+  Alcotest.check_raises "bad kappa"
+    (Invalid_argument "Poly.chebyshev_coefficients: kappa must be positive")
+    (fun () -> ignore (Poly.chebyshev_coefficients ~kappa:0.0 ~degree:3));
+  Alcotest.check_raises "bad eps"
+    (Invalid_argument "Poly.chebyshev_degree: eps must lie in (0,1)")
+    (fun () -> ignore (Poly.chebyshev_degree ~kappa:1.0 ~eps:0.0))
+
+let test_bigdotexp_chebyshev_backend () =
+  let rng = Rng.create 223 in
+  let phi = random_psd rng 10 0.3 in
+  let factors = Array.init 4 (fun _ -> random_factored rng 10 2) in
+  let eps = 0.02 in
+  let exact = Big_dot_exp.compute_exact phi factors in
+  let cheb =
+    Big_dot_exp.compute ~poly:Big_dot_exp.Chebyshev ~matvec:(Mat.gemv phi)
+      ~dim:10 ~kappa:(Eig.lambda_max phi) ~eps ~sketch:(Jl.identity 10) factors
+  in
+  Array.iteri
+    (fun i d ->
+      let rel = Float.abs (cheb.Big_dot_exp.dots.(i) -. d) /. d in
+      if rel > eps then Alcotest.failf "chebyshev dot %d rel err %g" i rel)
+    exact.Big_dot_exp.dots
+
+let test_poly_degree_one () =
+  (* degree 1 means p̂ = I. *)
+  let v = [| 1.0; 2.0 |] in
+  let out = Poly.apply ~matvec:(fun _ -> [| 100.0; 100.0 |]) ~degree:1 v in
+  Alcotest.(check bool) "identity" true (Vec.equal out v)
+
+(* ------------------------------------------------------------------ *)
+(* Trace_est *)
+
+let test_hutchinson_unbiased () =
+  let rng = Rng.create 301 in
+  let a = random_psd rng 12 0.5 in
+  let truth = Mat.trace a in
+  let est = Trace_est.hutchinson ~rng ~samples:2000 ~dim:12 (Mat.gemv a) in
+  if Float.abs (est -. truth) > 0.1 *. truth then
+    Alcotest.failf "hutchinson %g vs %g" est truth
+
+let test_gaussian_trace_unbiased () =
+  let rng = Rng.create 307 in
+  let a = random_psd rng 10 0.5 in
+  let truth = Mat.trace a in
+  let est = Trace_est.gaussian ~rng ~samples:4000 ~dim:10 (Mat.gemv a) in
+  if Float.abs (est -. truth) > 0.15 *. truth then
+    Alcotest.failf "gaussian %g vs %g" est truth
+
+let test_hutchinson_exact_on_diagonal_probes () =
+  (* For a diagonal matrix Rademacher probes are exact per sample. *)
+  let d = Mat.diag [| 1.0; 2.0; 3.0 |] in
+  let rng = Rng.create 311 in
+  let est = Trace_est.hutchinson ~rng ~samples:1 ~dim:3 (Mat.gemv d) in
+  Alcotest.(check (float 1e-12)) "diagonal exact" 6.0 est
+
+let test_exp_trace_estimator () =
+  let rng = Rng.create 313 in
+  let a = random_psd rng 8 0.3 in
+  let truth = Matfun.exp_trace a in
+  let est =
+    Trace_est.exp_trace ~rng ~samples:800 ~dim:8 ~kappa:(Eig.lambda_max a)
+      ~eps:0.01 (Mat.gemv a)
+  in
+  if Float.abs (est -. truth) > 0.15 *. truth then
+    Alcotest.failf "exp_trace %g vs %g" est truth
+
+let test_trace_est_validation () =
+  let rng = Rng.create 317 in
+  Alcotest.check_raises "zero samples"
+    (Invalid_argument "Trace_est: samples must be >= 1") (fun () ->
+      ignore (Trace_est.hutchinson ~rng ~samples:0 ~dim:3 (fun v -> v)))
+
+(* ------------------------------------------------------------------ *)
+(* Big_dot_exp (Theorem 4.1) *)
+
+let test_bigdotexp_exact_backend () =
+  let rng = Rng.create 19 in
+  let phi = random_psd rng 9 0.2 in
+  let factors = Array.init 4 (fun _ -> random_factored rng 9 3) in
+  let r = Big_dot_exp.compute_exact phi factors in
+  let e = Matfun.expm phi in
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "dot %d" i)
+        (Mat.dot (Factored.to_dense f) e)
+        r.Big_dot_exp.dots.(i))
+    factors;
+  Alcotest.(check (float 1e-6)) "trace" (Mat.trace e) r.trace_estimate
+
+let test_bigdotexp_identity_sketch_matches_exact () =
+  (* With the identity sketch the only error left is the polynomial's,
+     which is bounded by eps. *)
+  let rng = Rng.create 23 in
+  let phi = random_psd rng 10 0.15 in
+  let factors = Array.init 5 (fun _ -> random_factored rng 10 2) in
+  let eps = 0.02 in
+  let approx =
+    Big_dot_exp.compute ~matvec:(Mat.gemv phi) ~dim:10
+      ~kappa:(Eig.lambda_max phi) ~eps ~sketch:(Jl.identity 10) factors
+  in
+  let exact = Big_dot_exp.compute_exact phi factors in
+  Array.iteri
+    (fun i d ->
+      let rel = Float.abs (approx.Big_dot_exp.dots.(i) -. d) /. d in
+      if rel > eps then Alcotest.failf "dot %d rel error %g > %g" i rel eps)
+    exact.Big_dot_exp.dots;
+  let rel_tr =
+    Float.abs (approx.trace_estimate -. exact.trace_estimate)
+    /. exact.trace_estimate
+  in
+  if rel_tr > eps then Alcotest.failf "trace rel error %g" rel_tr
+
+let test_bigdotexp_gaussian_sketch_statistics () =
+  (* With a Gaussian sketch the estimates concentrate around the exact
+     values; check the median over repetitions. *)
+  let rng = Rng.create 29 in
+  let phi = random_psd rng 16 0.1 in
+  let factors = Array.init 3 (fun _ -> random_factored rng 16 2) in
+  let exact = Big_dot_exp.compute_exact phi factors in
+  let trials = 31 in
+  let rel_errors =
+    Array.init trials (fun t ->
+        let sketch =
+          Jl.create ~rng:(Rng.create (1000 + t)) ~target_dim:12 ~source_dim:16
+        in
+        let approx =
+          Big_dot_exp.compute ~matvec:(Mat.gemv phi) ~dim:16
+            ~kappa:(Eig.lambda_max phi) ~eps:0.01 ~sketch factors
+        in
+        let worst = ref 0.0 in
+        Array.iteri
+          (fun i d ->
+            worst :=
+              Float.max !worst
+                (Float.abs (approx.Big_dot_exp.dots.(i) -. d) /. d))
+          exact.Big_dot_exp.dots;
+        !worst)
+  in
+  let median = Stats.median rel_errors in
+  (* k = 12 rows → relative std ≈ sqrt(2/12) ≈ 0.41 per constraint; the
+     median of the worst-of-3 should still be well under 1. *)
+  if median > 0.8 then Alcotest.failf "sketched dots median error %g" median
+
+let test_bigdotexp_zero_phi () =
+  (* exp(0) = I: dots reduce to traces. *)
+  let rng = Rng.create 31 in
+  let factors = Array.init 3 (fun _ -> random_factored rng 6 2) in
+  let phi = Mat.create 6 6 in
+  let r =
+    Big_dot_exp.compute ~matvec:(Mat.gemv phi) ~dim:6 ~kappa:1.0 ~eps:0.01
+      ~sketch:(Jl.identity 6) factors
+  in
+  Array.iteri
+    (fun i f ->
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "trace %d" i)
+        (Factored.trace f) r.Big_dot_exp.dots.(i))
+    factors
+
+let test_bigdotexp_dimension_checks () =
+  let rng = Rng.create 37 in
+  let factors = [| random_factored rng 6 2 |] in
+  Alcotest.check_raises "sketch mismatch"
+    (Invalid_argument "Big_dot_exp.compute: sketch dimension mismatch")
+    (fun () ->
+      ignore
+        (Big_dot_exp.compute
+           ~matvec:(fun v -> v)
+           ~dim:6 ~kappa:1.0 ~eps:0.1 ~sketch:(Jl.identity 5) factors))
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_poly_monotone_degree =
+  (* Higher degree only improves the approximation (all terms PSD). *)
+  QCheck.Test.make ~name:"taylor prefix increases toward exp" ~count:40
+    (QCheck.int_bound 1_000_000) (fun seed ->
+      let rng = Rng.create seed in
+      let a = random_psd rng 5 0.2 in
+      let v = Vec.normalize (Rng.gaussian_array rng 5) in
+      let value d = Vec.dot v (Poly.apply ~matvec:(Mat.gemv a) ~degree:d v) in
+      value 3 <= value 6 +. 1e-9 && value 6 <= value 12 +. 1e-9)
+
+let prop_bigdotexp_nonneg =
+  QCheck.Test.make ~name:"exp(Φ)•A estimates are positive" ~count:40
+    (QCheck.int_bound 1_000_000) (fun seed ->
+      let rng = Rng.create seed in
+      let phi = random_psd rng 7 0.2 in
+      let factors = [| random_factored rng 7 2 |] in
+      let r =
+        Big_dot_exp.compute ~matvec:(Mat.gemv phi) ~dim:7
+          ~kappa:(Eig.lambda_max phi) ~eps:0.1 ~sketch:(Jl.identity 7) factors
+      in
+      r.Big_dot_exp.dots.(0) >= 0.0 && r.trace_estimate > 0.0)
+
+let qcheck_cases =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_poly_monotone_degree; prop_bigdotexp_nonneg ]
+
+let () =
+  Alcotest.run "expm"
+    [
+      ( "jl",
+        [
+          Alcotest.test_case "dimensions" `Quick test_jl_dimensions;
+          Alcotest.test_case "identity exact" `Quick test_jl_identity_exact;
+          Alcotest.test_case "unbiased" `Quick test_jl_unbiased;
+          Alcotest.test_case "concentration" `Quick test_jl_concentration;
+          Alcotest.test_case "rejects bad dims" `Quick test_jl_rejects_bad_dims;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "degree formula" `Quick test_poly_degree_formula;
+          Alcotest.test_case "degree validation" `Quick
+            test_poly_degree_validation;
+          Alcotest.test_case "matches exp" `Quick test_poly_matches_exp_on_psd;
+          Alcotest.test_case "sandwich bound" `Quick test_poly_sandwich;
+          Alcotest.test_case "degree one" `Quick test_poly_degree_one;
+          Alcotest.test_case "chebyshev matches exp" `Quick
+            test_chebyshev_matches_exp;
+          Alcotest.test_case "chebyshev shorter" `Quick
+            test_chebyshev_shorter_than_taylor;
+          Alcotest.test_case "chebyshev coefficient sum" `Quick
+            test_chebyshev_coefficients_sum;
+          Alcotest.test_case "chebyshev validation" `Quick
+            test_chebyshev_validation;
+          Alcotest.test_case "bigdotexp chebyshev" `Quick
+            test_bigdotexp_chebyshev_backend;
+        ] );
+      ( "trace_est",
+        [
+          Alcotest.test_case "hutchinson unbiased" `Quick
+            test_hutchinson_unbiased;
+          Alcotest.test_case "gaussian unbiased" `Quick
+            test_gaussian_trace_unbiased;
+          Alcotest.test_case "diagonal exact" `Quick
+            test_hutchinson_exact_on_diagonal_probes;
+          Alcotest.test_case "exp trace" `Quick test_exp_trace_estimator;
+          Alcotest.test_case "validation" `Quick test_trace_est_validation;
+        ] );
+      ( "big_dot_exp",
+        [
+          Alcotest.test_case "exact backend" `Quick test_bigdotexp_exact_backend;
+          Alcotest.test_case "identity sketch" `Quick
+            test_bigdotexp_identity_sketch_matches_exact;
+          Alcotest.test_case "gaussian sketch stats" `Quick
+            test_bigdotexp_gaussian_sketch_statistics;
+          Alcotest.test_case "zero phi" `Quick test_bigdotexp_zero_phi;
+          Alcotest.test_case "dimension checks" `Quick
+            test_bigdotexp_dimension_checks;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,381 @@
+(* Tests for the instance generators, graph utilities and the loader. *)
+
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_core
+open Psdp_instances
+
+(* ------------------------------------------------------------------ *)
+(* Random_psd *)
+
+let test_random_psd_shapes () =
+  let rng = Rng.create 3 in
+  let inst = Random_psd.factored ~rng ~dim:10 ~n:7 ~rank:3 ~density:0.4 () in
+  Alcotest.(check int) "dim" 10 (Instance.dim inst);
+  Alcotest.(check int) "n" 7 (Instance.num_constraints inst);
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool) "rank bound" true
+        (Psdp_sparse.Factored.inner_dim f <= 3))
+    (Instance.factors inst)
+
+let test_random_psd_normalized_width () =
+  (* Constraints are normalized to λmax ≈ 1 (before spread). *)
+  let rng = Rng.create 5 in
+  let inst = Random_psd.factored ~rng ~dim:8 ~n:5 () in
+  let w = Instance.width inst in
+  if w < 0.9 || w > 1.1 then Alcotest.failf "width %g should be ~1" w
+
+let test_random_psd_determinism () =
+  let gen seed =
+    Random_psd.factored ~rng:(Rng.create seed) ~dim:6 ~n:4 ~rank:2 ()
+  in
+  let a = gen 42 and b = gen 42 in
+  let ma = Instance.dense_mats a and mb = Instance.dense_mats b in
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "constraint %d" i)
+        true (Mat.equal m mb.(i)))
+    ma
+
+let test_random_psd_width_ramp () =
+  let rng = Rng.create 7 in
+  let inst = Random_psd.with_width ~rng ~dim:8 ~n:5 ~width:64.0 in
+  let w = Instance.width inst in
+  if w < 55.0 || w > 70.0 then Alcotest.failf "requested width 64, got %g" w
+
+let test_random_psd_validation () =
+  let rng = Rng.create 11 in
+  Alcotest.check_raises "bad density"
+    (Invalid_argument "Random_psd.factored: density in (0,1]") (fun () ->
+      ignore (Random_psd.factored ~rng ~dim:4 ~n:2 ~density:0.0 ()));
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Random_psd.with_width: width >= 1") (fun () ->
+      ignore (Random_psd.with_width ~rng ~dim:4 ~n:2 ~width:0.5))
+
+(* ------------------------------------------------------------------ *)
+(* Diagonal *)
+
+let test_diagonal_is_diagonal () =
+  let rng = Rng.create 13 in
+  let inst = Diagonal.random ~rng ~dim:6 ~n:4 () in
+  Array.iter
+    (fun m ->
+      for i = 0 to 5 do
+        for j = 0 to 5 do
+          if i <> j && Float.abs (Mat.get m i j) > 1e-12 then
+            Alcotest.fail "off-diagonal entry"
+        done
+      done)
+    (Instance.dense_mats inst)
+
+let test_scaled_identities_opt () =
+  let inst, opt = Diagonal.scaled_identities [| 0.25; 1.0; 2.0 |] ~dim:5 in
+  Alcotest.(check (float 1e-12)) "opt" 4.0 opt;
+  (* x = e_1/0.25 is feasible with value 4. *)
+  let cert = Certificate.check_dual inst [| 4.0; 0.0; 0.0 |] in
+  Alcotest.(check bool) "witness feasible" true cert.Certificate.feasible
+
+(* ------------------------------------------------------------------ *)
+(* Known_opt *)
+
+let test_projectors_opt_witness () =
+  let rng = Rng.create 17 in
+  let inst, opt = Known_opt.orthogonal_projectors ~rng ~dim:12 ~n:4 in
+  Alcotest.(check (float 1e-12)) "opt = n" 4.0 opt;
+  (* x = 1 (all ones) achieves the optimum exactly. *)
+  let cert = Certificate.check_dual ~tol:1e-6 inst (Array.make 4 1.0) in
+  Alcotest.(check bool) "all-ones feasible" true cert.Certificate.feasible;
+  Alcotest.(check (float 1e-9)) "value" 4.0 cert.Certificate.value;
+  (* And 1.01x is infeasible: the optimum is tight. *)
+  let over = Certificate.check_dual ~tol:1e-6 inst (Array.make 4 1.01) in
+  Alcotest.(check bool) "1.01 infeasible" false over.Certificate.feasible
+
+let test_projectors_partition_identity () =
+  (* The unweighted projectors sum to the identity. *)
+  let rng = Rng.create 19 in
+  let inst, _ = Known_opt.orthogonal_projectors ~rng ~dim:9 ~n:3 in
+  let sum = Mat.create 9 9 in
+  Array.iter (fun m -> Mat.add_inplace sum m) (Instance.dense_mats inst);
+  Alcotest.(check bool) "sum = I" true
+    (Mat.equal ~tol:1e-8 sum (Mat.identity 9))
+
+let test_rank_one_opt () =
+  let rng = Rng.create 23 in
+  let inst, opt = Known_opt.rank_one_orthonormal ~rng ~dim:7 ~n:5 in
+  Alcotest.(check (float 1e-12)) "opt" 5.0 opt;
+  let cert = Certificate.check_dual ~tol:1e-6 inst (Array.make 5 1.0) in
+  Alcotest.(check bool) "ones feasible" true cert.Certificate.feasible;
+  Array.iter
+    (fun f ->
+      Alcotest.(check int) "rank 1" 1 (Psdp_sparse.Factored.inner_dim f))
+    (Instance.factors inst)
+
+let test_weighted_projectors_opt () =
+  let rng = Rng.create 29 in
+  let inst, opt =
+    Known_opt.weighted_projectors ~rng ~dim:8 ~weights:[| 0.5; 2.0 |]
+  in
+  Alcotest.(check (float 1e-12)) "opt" 2.5 opt;
+  let cert = Certificate.check_dual ~tol:1e-6 inst [| 2.0; 0.5 |] in
+  Alcotest.(check bool) "witness feasible" true cert.Certificate.feasible;
+  Alcotest.(check (float 1e-9)) "witness optimal" 2.5 cert.Certificate.value
+
+let test_simplex_corner_opt () =
+  let inst, opt = Known_opt.simplex_corner ~dim:4 in
+  Alcotest.(check (float 1e-12)) "opt" 2.0 opt;
+  let cert = Certificate.check_dual ~tol:1e-6 inst (Array.make 4 0.5) in
+  Alcotest.(check bool) "uniform 1/2 feasible" true cert.Certificate.feasible;
+  Alcotest.(check (float 1e-6)) "uniform is tight" 1.0
+    cert.Certificate.lambda_max
+
+let test_known_opt_validation () =
+  let rng = Rng.create 31 in
+  Alcotest.check_raises "n > dim"
+    (Invalid_argument "Known_opt: need n <= dim") (fun () ->
+      ignore (Known_opt.orthogonal_projectors ~rng ~dim:3 ~n:5))
+
+(* ------------------------------------------------------------------ *)
+(* Graph *)
+
+let test_graph_create_merges () =
+  let g =
+    Graph.create ~vertices:3 ~edges:[ (0, 1, 1.0); (1, 0, 2.0); (1, 2, 1.0) ]
+  in
+  Alcotest.(check int) "merged edges" 2 (Array.length g.Graph.edges);
+  Alcotest.(check (float 1e-12)) "weights summed" 4.0 (Graph.total_weight g)
+
+let test_graph_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.create: self-loop")
+    (fun () -> ignore (Graph.create ~vertices:2 ~edges:[ (1, 1, 1.0) ]));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Graph.create: non-positive weight") (fun () ->
+      ignore (Graph.create ~vertices:2 ~edges:[ (0, 1, 0.0) ]))
+
+let test_laplacian_properties () =
+  let g = Graph.cycle 5 in
+  let l = Graph.laplacian g in
+  Alcotest.(check bool) "PSD" true (Cholesky.is_psd l);
+  (* Row sums of a Laplacian vanish. *)
+  for i = 0 to 4 do
+    let s = Util.sum_array (Mat.row l i) in
+    Alcotest.(check (float 1e-12)) (Printf.sprintf "row %d" i) 0.0 s
+  done;
+  Alcotest.(check (float 1e-12)) "trace = 2W" (2.0 *. Graph.total_weight g)
+    (Mat.trace l)
+
+let test_gnp_always_has_edge () =
+  let rng = Rng.create 37 in
+  let g = Graph.gnp ~rng ~vertices:5 ~p:0.0 in
+  Alcotest.(check bool) "at least one edge" true (Array.length g.Graph.edges >= 1)
+
+let test_complete_edge_count () =
+  let g = Graph.complete 6 in
+  Alcotest.(check int) "15 edges" 15 (Array.length g.Graph.edges)
+
+(* ------------------------------------------------------------------ *)
+(* Graph_packing *)
+
+let test_edge_packing_matches_laplacian () =
+  (* With uniform loading x = c·1, Σ xₑAₑ = c·L. *)
+  let g = Graph.cycle 6 in
+  let inst = Graph_packing.edge_packing g in
+  let sum = Mat.create 6 6 in
+  Array.iter (fun m -> Mat.add_inplace sum m) (Instance.dense_mats inst);
+  Alcotest.(check bool) "sum of edge matrices = L" true
+    (Mat.equal ~tol:1e-9 sum (Graph.laplacian g))
+
+let test_edge_packing_cycle_opt () =
+  List.iter
+    (fun n ->
+      let opt = Graph_packing.edge_packing_opt_cycle n in
+      let inst = Graph_packing.edge_packing (Graph.cycle n) in
+      (* The uniform witness achieves it. *)
+      let l = Graph.laplacian (Graph.cycle n) in
+      let lmax = Eig.lambda_max l in
+      let cert =
+        Certificate.check_dual ~tol:1e-6 inst (Array.make n (1.0 /. lmax))
+      in
+      Alcotest.(check bool) "uniform feasible" true cert.Certificate.feasible;
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "opt C_%d" n)
+        opt cert.Certificate.value)
+    [ 3; 4; 5; 8 ]
+
+let test_laplacian_covering_valid_general () =
+  let g = Graph_packing.laplacian_covering (Graph.cycle 4) in
+  Alcotest.(check int) "one constraint per vertex" 4
+    (Array.length g.Instance.constraints);
+  Alcotest.(check bool) "objective PD" true
+    (Cholesky.is_psd g.Instance.objective)
+
+(* ------------------------------------------------------------------ *)
+(* Beamforming *)
+
+let test_beamforming_rank_one () =
+  let rng = Rng.create 41 in
+  let inst = Beamforming.instance ~rng ~antennas:6 ~users:4 () in
+  Alcotest.(check int) "dim = antennas" 6 (Instance.dim inst);
+  Alcotest.(check int) "n = users" 4 (Instance.num_constraints inst);
+  Array.iter
+    (fun f ->
+      Alcotest.(check int) "rank one" 1 (Psdp_sparse.Factored.inner_dim f))
+    (Instance.factors inst)
+
+let test_beamforming_correlated_channels () =
+  (* Correlated model: adjacent antenna entries are positively
+     correlated on average. *)
+  let rng = Rng.create 43 in
+  let hs =
+    Beamforming.channels ~rng ~antennas:16 ~users:400
+      ~model:(Beamforming.Correlated 0.9) ()
+  in
+  let corr = ref 0.0 in
+  Array.iter
+    (fun h ->
+      for j = 0 to 14 do
+        corr := !corr +. (h.(j) *. h.(j + 1))
+      done)
+    hs;
+  Alcotest.(check bool) "positive adjacent correlation" true (!corr > 0.0);
+  Alcotest.check_raises "bad correlation"
+    (Invalid_argument "Beamforming.channels: correlation in [0,1)") (fun () ->
+      ignore (Beamforming.channels ~rng ~antennas:4 ~users:1
+                ~model:(Beamforming.Correlated 1.0) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Loader *)
+
+let test_loader_roundtrip () =
+  let rng = Rng.create 47 in
+  let inst = Random_psd.factored ~rng ~dim:7 ~n:4 ~rank:3 ~density:0.4 () in
+  let text = Loader.to_string inst in
+  let back = Loader.of_string text in
+  Alcotest.(check int) "dim" (Instance.dim inst) (Instance.dim back);
+  let ma = Instance.dense_mats inst and mb = Instance.dense_mats back in
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "constraint %d" i)
+        true
+        (Mat.equal ~tol:1e-14 m mb.(i)))
+    ma
+
+let test_loader_file_roundtrip () =
+  let rng = Rng.create 53 in
+  let inst = Diagonal.random ~rng ~dim:5 ~n:3 () in
+  let path = Filename.temp_file "psdp" ".inst" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Loader.save path inst;
+      let back = Loader.load path in
+      Alcotest.(check int) "n" (Instance.num_constraints inst)
+        (Instance.num_constraints back))
+
+let test_loader_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Loader.of_string text with
+      | (_ : Instance.t) -> Alcotest.failf "accepted %S" text
+      | exception Failure _ -> ())
+    [
+      "";
+      "not a header\n";
+      "psdp-instance v1\ndim x\n";
+      "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 1 1\n0 0\n";
+      "psdp-instance v1\ndim 3\nconstraints 2\nfactor 0 3 1 1\n0 0 1.0\n";
+    ]
+
+let test_loader_comments_and_blanks () =
+  let rng = Rng.create 59 in
+  let inst = Diagonal.random ~rng ~dim:4 ~n:2 () in
+  let text = "# saved instance\n\n" ^ Loader.to_string inst in
+  let back = Loader.of_string text in
+  Alcotest.(check int) "parsed with comments" 2 (Instance.num_constraints back)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_generators_produce_valid_instances =
+  QCheck.Test.make ~name:"generated instances validate and are PSD" ~count:30
+    (QCheck.int_bound 1_000_000) (fun seed ->
+      let rng = Rng.create seed in
+      let inst = Random_psd.factored ~rng ~dim:5 ~n:3 ~rank:2 () in
+      Array.for_all Cholesky.is_psd (Instance.dense_mats inst))
+
+let prop_loader_roundtrip =
+  QCheck.Test.make ~name:"loader roundtrip preserves instances" ~count:30
+    (QCheck.int_bound 1_000_000) (fun seed ->
+      let rng = Rng.create seed in
+      let inst = Random_psd.factored ~rng ~dim:4 ~n:3 ~rank:2 ~density:0.5 () in
+      let back = Loader.of_string (Loader.to_string inst) in
+      let ma = Instance.dense_mats inst and mb = Instance.dense_mats back in
+      Array.for_all2 (fun a b -> Mat.equal ~tol:1e-14 a b) ma mb)
+
+let qcheck_cases =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_generators_produce_valid_instances; prop_loader_roundtrip ]
+
+let () =
+  Alcotest.run "instances"
+    [
+      ( "random_psd",
+        [
+          Alcotest.test_case "shapes" `Quick test_random_psd_shapes;
+          Alcotest.test_case "normalized width" `Quick
+            test_random_psd_normalized_width;
+          Alcotest.test_case "determinism" `Quick test_random_psd_determinism;
+          Alcotest.test_case "width ramp" `Quick test_random_psd_width_ramp;
+          Alcotest.test_case "validation" `Quick test_random_psd_validation;
+        ] );
+      ( "diagonal",
+        [
+          Alcotest.test_case "is diagonal" `Quick test_diagonal_is_diagonal;
+          Alcotest.test_case "scaled identities opt" `Quick
+            test_scaled_identities_opt;
+        ] );
+      ( "known_opt",
+        [
+          Alcotest.test_case "projectors witness" `Quick
+            test_projectors_opt_witness;
+          Alcotest.test_case "projectors partition" `Quick
+            test_projectors_partition_identity;
+          Alcotest.test_case "rank one" `Quick test_rank_one_opt;
+          Alcotest.test_case "weighted" `Quick test_weighted_projectors_opt;
+          Alcotest.test_case "simplex corner" `Quick test_simplex_corner_opt;
+          Alcotest.test_case "validation" `Quick test_known_opt_validation;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "create merges" `Quick test_graph_create_merges;
+          Alcotest.test_case "validation" `Quick test_graph_validation;
+          Alcotest.test_case "laplacian" `Quick test_laplacian_properties;
+          Alcotest.test_case "gnp edge" `Quick test_gnp_always_has_edge;
+          Alcotest.test_case "complete" `Quick test_complete_edge_count;
+        ] );
+      ( "graph_packing",
+        [
+          Alcotest.test_case "edge sum = laplacian" `Quick
+            test_edge_packing_matches_laplacian;
+          Alcotest.test_case "cycle optimum" `Quick test_edge_packing_cycle_opt;
+          Alcotest.test_case "covering general form" `Quick
+            test_laplacian_covering_valid_general;
+        ] );
+      ( "beamforming",
+        [
+          Alcotest.test_case "rank one" `Quick test_beamforming_rank_one;
+          Alcotest.test_case "correlated channels" `Quick
+            test_beamforming_correlated_channels;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_loader_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_loader_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_loader_rejects_garbage;
+          Alcotest.test_case "comments" `Quick test_loader_comments_and_blanks;
+        ] );
+      ("properties", qcheck_cases);
+    ]

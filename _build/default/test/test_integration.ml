@@ -1,0 +1,201 @@
+(* End-to-end integration tests: full pipelines across modules —
+   generate → serialize → load → solve → verify, backend agreement,
+   parallel determinism of the sketched path, the factored Appendix-A
+   pipeline, and cost-model accounting. *)
+
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_core
+open Psdp_instances
+
+let eps = 0.2
+
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip_solve_each_family () =
+  let rng = Rng.create 71 in
+  let families =
+    [
+      ("random", Random_psd.factored ~rng ~dim:8 ~n:5 ~rank:3 ());
+      ("diagonal", Diagonal.random ~rng ~dim:8 ~n:5 ());
+      ("beamforming", Beamforming.instance ~rng ~antennas:8 ~users:5 ());
+      ("cycle", Graph_packing.edge_packing (Graph.cycle 7));
+      ("projectors", fst (Known_opt.orthogonal_projectors ~rng ~dim:8 ~n:4));
+    ]
+  in
+  List.iter
+    (fun (name, inst) ->
+      (* serialize → parse → solve → verify *)
+      let reloaded = Loader.of_string (Loader.to_string inst) in
+      let r = Solver.solve_packing ~eps reloaded in
+      let cert = Certificate.check_dual ~tol:1e-5 reloaded r.Solver.x in
+      if not cert.Certificate.feasible then
+        Alcotest.failf "%s: returned infeasible x" name;
+      if r.Solver.upper_bound < r.Solver.value -. 1e-9 then
+        Alcotest.failf "%s: inverted bracket" name)
+    families
+
+let test_backend_agreement_end_to_end () =
+  let rng = Rng.create 73 in
+  let inst = Beamforming.instance ~rng ~antennas:10 ~users:6 () in
+  let exact = Solver.solve_packing ~eps inst in
+  let sketched =
+    Solver.solve_packing ~eps
+      ~backend:(Decision.Sketched { seed = 11; sketch_dim = None })
+      inst
+  in
+  (* Both are verified (1±eps) brackets of the same optimum: they must
+     intersect. *)
+  let lo = Float.max exact.Solver.value sketched.Solver.value in
+  let hi = Float.min exact.Solver.upper_bound sketched.Solver.upper_bound in
+  if lo > hi *. (1.0 +. 1e-6) then
+    Alcotest.failf "brackets disjoint: exact [%g,%g] sketched [%g,%g]"
+      exact.Solver.value exact.Solver.upper_bound sketched.Solver.value
+      sketched.Solver.upper_bound
+
+let test_sketched_deterministic_under_pool () =
+  (* Same seed ⇒ identical sketches; the pool only reorders independent
+     chunks whose results are written to disjoint slots, so the solve is
+     bitwise deterministic across pool sizes. *)
+  let rng = Rng.create 79 in
+  let inst = Random_psd.factored ~rng ~dim:12 ~n:6 ~rank:3 () in
+  let scaled = Instance.scale 0.6 inst in
+  let backend = Decision.Sketched { seed = 42; sketch_dim = Some 8 } in
+  let run pool = Decision.solve ?pool ~backend ~eps scaled in
+  let base = run None in
+  Psdp_parallel.Pool.with_pool ~num_domains:3 (fun pool ->
+      let par = run (Some pool) in
+      Alcotest.(check int) "same iterations" base.Decision.iterations
+        par.Decision.iterations;
+      match (base.Decision.outcome, par.Decision.outcome) with
+      | Decision.Dual a, Decision.Dual b ->
+          Alcotest.(check bool) "same dual" true
+            (Array.for_all2 Float.equal a.Decision.x b.Decision.x)
+      | Decision.Primal a, Decision.Primal b ->
+          Alcotest.(check bool) "same primal dots" true
+            (Array.for_all2 Float.equal a.Decision.dots b.Decision.dots)
+      | _ -> Alcotest.fail "outcomes differ across pool sizes")
+
+let test_factored_general_pipeline () =
+  (* normalize_factored → solve → denormalize, checked for feasibility
+     and weak duality on the original program. *)
+  let rng = Rng.create 83 in
+  let m = 7 in
+  let c =
+    let g = Mat.init m (m + 1) (fun _ _ -> Rng.gaussian rng) in
+    Mat.add (Mat.mul g (Mat.transpose g)) (Mat.identity m)
+  in
+  let constraints =
+    Array.init 4 (fun _ ->
+        let q = Mat.init m 2 (fun _ _ -> Rng.gaussian rng) in
+        (Psdp_sparse.Factored.of_dense_factor q, 1.0 +. Rng.uniform rng))
+  in
+  let norm = Normalize.normalize_factored ~objective:c ~constraints in
+  let packing = Solver.solve_packing ~eps norm.Normalize.instance in
+  let dual = Normalize.denormalize_dual norm packing.Solver.x in
+  (* Dual feasibility in the original program: Σ xᵢAᵢ ≼ C. *)
+  let sum = Mat.create m m in
+  Array.iteri
+    (fun i (f, _) ->
+      Mat.axpy sum ~alpha:dual.(i) (Psdp_sparse.Factored.to_dense f))
+    constraints;
+  let l = Cholesky.factor c in
+  let lmax = Eig.lambda_max (Cholesky.congruence ~l sum) in
+  Alcotest.(check bool) "dual feasible vs C" true (lmax <= 1.0 +. 1e-6);
+  (* Value preserved through denormalization. *)
+  let value = ref 0.0 in
+  Array.iteri (fun i (_, b) -> value := !value +. (b *. dual.(i))) constraints;
+  Alcotest.(check (float 1e-9)) "value preserved"
+    (Util.sum_array packing.Solver.x)
+    !value
+
+let test_cost_accounting_through_solver () =
+  let rng = Rng.create 89 in
+  let inst = Random_psd.factored ~rng ~dim:8 ~n:4 ~rank:2 () in
+  let (_ : Solver.packing_result), cost =
+    Cost.measure (fun () -> Solver.solve_packing ~eps:0.3 inst)
+  in
+  Alcotest.(check bool) "work positive" true (cost.Cost.work > 0);
+  Alcotest.(check bool) "depth positive" true (cost.Cost.depth > 0);
+  Alcotest.(check bool) "depth <= work" true (cost.Cost.depth <= cost.Cost.work)
+
+let test_loader_fuzz_never_crashes () =
+  let rng = Rng.create 97 in
+  (* Mutate a valid serialization in random ways; the parser must either
+     succeed or raise Failure — never crash or loop. *)
+  let inst = Diagonal.random ~rng ~dim:5 ~n:3 () in
+  let base = Loader.to_string inst in
+  for _ = 1 to 200 do
+    let b = Bytes.of_string base in
+    let mutations = 1 + Rng.int rng 5 in
+    for _ = 1 to mutations do
+      let pos = Rng.int rng (Bytes.length b) in
+      let c = Char.chr (32 + Rng.int rng 95) in
+      Bytes.set b pos c
+    done;
+    match Loader.of_string (Bytes.to_string b) with
+    | (_ : Instance.t) -> ()
+    | exception Failure _ -> ()
+    | exception Invalid_argument _ -> ()
+  done
+
+let test_decide_solve_consistency () =
+  (* decide at v below value must say dual; decide above upper bound must
+     say primal (decision answers line up with the optimization
+     bracket). *)
+  let rng = Rng.create 101 in
+  let inst = Beamforming.instance ~rng ~antennas:8 ~users:5 () in
+  let r = Solver.solve_packing ~eps:0.1 inst in
+  let below = Instance.scale (r.Solver.value /. 2.0) inst in
+  (match (Decision.solve ~eps:0.1 below).Decision.outcome with
+  | Decision.Dual _ -> ()
+  | Decision.Primal _ -> Alcotest.fail "below-value threshold must be dual");
+  let above = Instance.scale (2.5 *. r.Solver.upper_bound) inst in
+  match (Decision.solve ~eps:0.1 above).Decision.outcome with
+  | Decision.Primal _ -> ()
+  | Decision.Dual _ -> Alcotest.fail "above-upper threshold must be primal"
+
+let test_mixed_pipeline_from_generated () =
+  (* The mixed solver on a pipeline-built instance: beamforming packing
+     with coverage rows derived from the instance's own near-optimal
+     allocation — feasible by construction with margin. *)
+  let rng = Rng.create 103 in
+  let packing = Beamforming.instance ~rng ~antennas:8 ~users:5 () in
+  let r = Solver.solve_packing ~eps:0.1 packing in
+  (* Demand half of what the near-optimal allocation provides per user
+     pair. *)
+  let covering =
+    Array.init 2 (fun j ->
+        Array.init 5 (fun i ->
+            if i mod 2 = j then 2.0 /. Float.max 1e-9 r.Solver.x.(i) /. 5.0
+            else 0.0))
+  in
+  let mi = Mixed.instance ~packing ~covering in
+  match (Mixed.solve ~eps:0.2 mi).Mixed.outcome with
+  | Mixed.Feasible { x } ->
+      Alcotest.(check bool) "verified" true (Mixed.verify ~eps:0.2 mi x)
+  | Mixed.Infeasible _ -> Alcotest.fail "feasible-by-construction reported infeasible"
+  | Mixed.Unknown -> Alcotest.fail "budget exhausted"
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipelines",
+        [
+          Alcotest.test_case "roundtrip+solve all families" `Quick
+            test_roundtrip_solve_each_family;
+          Alcotest.test_case "backend agreement" `Quick
+            test_backend_agreement_end_to_end;
+          Alcotest.test_case "pool determinism" `Quick
+            test_sketched_deterministic_under_pool;
+          Alcotest.test_case "factored general pipeline" `Quick
+            test_factored_general_pipeline;
+          Alcotest.test_case "cost accounting" `Quick
+            test_cost_accounting_through_solver;
+          Alcotest.test_case "loader fuzz" `Quick test_loader_fuzz_never_crashes;
+          Alcotest.test_case "decide/solve consistency" `Quick
+            test_decide_solve_consistency;
+          Alcotest.test_case "mixed pipeline" `Quick
+            test_mixed_pipeline_from_generated;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+(* Tests for the matrix-multiplicative-weights framework: the regret bound
+   of Theorem 2.1 must hold on arbitrary (even adversarial) PSD gain
+   sequences with M ≼ I. *)
+
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_mmw
+
+let random_gain rng dim =
+  (* Random PSD matrix normalized to λmax <= 1. *)
+  let g = Mat.init dim (dim + 1) (fun _ _ -> Rng.gaussian rng) in
+  let a = Mat.mul g (Mat.transpose g) in
+  Mat.scale (1.0 /. Float.max 1e-9 (Eig.lambda_max a)) a
+
+let test_initial_probability_uniform () =
+  let game = Mmw.create ~dim:4 ~eps0:0.2 in
+  let p = Mmw.probability_matrix game in
+  Alcotest.(check bool) "P(1) = I/m" true
+    (Mat.equal ~tol:1e-10 p (Mat.scale 0.25 (Mat.identity 4)))
+
+let test_probability_trace_one () =
+  let rng = Rng.create 3 in
+  let game = Mmw.create ~dim:5 ~eps0:0.3 in
+  for _ = 1 to 10 do
+    Mmw.observe game (random_gain rng 5)
+  done;
+  Alcotest.(check (float 1e-9)) "trace 1" 1.0
+    (Mat.trace (Mmw.probability_matrix game))
+
+let test_regret_bound_random () =
+  let rng = Rng.create 5 in
+  List.iter
+    (fun eps0 ->
+      let game = Mmw.create ~dim:6 ~eps0 in
+      for _ = 1 to 40 do
+        Mmw.observe game (random_gain rng 6)
+      done;
+      let slack = Mmw.regret_slack game in
+      if slack < -1e-6 then
+        Alcotest.failf "Theorem 2.1 violated at eps0=%g: slack %g" eps0 slack)
+    [ 0.05; 0.2; 0.5 ]
+
+let test_regret_bound_adversarial () =
+  (* Adversary always plays the projector onto the current top eigenvector
+     of the cumulative gain — the classic worst case for MWU. *)
+  let game = Mmw.create ~dim:5 ~eps0:0.25 in
+  for t = 1 to 50 do
+    let target =
+      if t = 1 then Mat.outer (Vec.basis 5 0)
+      else begin
+        let { Eig.vectors; _ } = Eig.symmetric (Mmw.cumulative_gain game) in
+        Mat.outer (Mat.col vectors 0)
+      end
+    in
+    Mmw.observe game target
+  done;
+  let slack = Mmw.regret_slack game in
+  if slack < -1e-6 then Alcotest.failf "adversarial regret violated: %g" slack
+
+let test_observe_validation () =
+  let game = Mmw.create ~dim:3 ~eps0:0.2 in
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Mmw.observe: gain matrix must satisfy M <= I")
+    (fun () -> Mmw.observe game (Mat.scale 2.0 (Mat.identity 3)));
+  Alcotest.check_raises "not psd"
+    (Invalid_argument "Mmw.observe: gain matrix must be PSD") (fun () ->
+      Mmw.observe game (Mat.scale (-0.5) (Mat.identity 3)));
+  let asym = Mat.of_rows [| [| 0.1; 0.2; 0.0 |]; [| 0.0; 0.1; 0.0 |]; [| 0.0; 0.0; 0.1 |] |] in
+  Alcotest.check_raises "not symmetric"
+    (Invalid_argument "Mmw.observe: gain matrix must be symmetric") (fun () ->
+      Mmw.observe game asym)
+
+let test_create_validation () =
+  Alcotest.check_raises "eps0 too large"
+    (Invalid_argument "Mmw.create: eps0 must lie in (0, 1/2]") (fun () ->
+      ignore (Mmw.create ~dim:3 ~eps0:0.7));
+  Alcotest.check_raises "dim zero"
+    (Invalid_argument "Mmw.create: dim must be positive") (fun () ->
+      ignore (Mmw.create ~dim:0 ~eps0:0.2))
+
+let test_dotted_gain_accumulates () =
+  let rng = Rng.create 7 in
+  let game = Mmw.create ~dim:4 ~eps0:0.2 in
+  let manual = ref 0.0 in
+  for _ = 1 to 8 do
+    let m = random_gain rng 4 in
+    let p = Mmw.probability_matrix game in
+    manual := !manual +. Mat.dot m p;
+    Mmw.observe game m
+  done;
+  Alcotest.(check (float 1e-9)) "dotted gain" !manual (Mmw.dotted_gain game)
+
+let prop_regret =
+  QCheck.Test.make ~name:"Theorem 2.1 on random plays" ~count:25
+    (QCheck.pair (QCheck.int_bound 1_000_000) (QCheck.int_range 1 30))
+    (fun (seed, steps) ->
+      let rng = Rng.create seed in
+      let dim = 3 + Rng.int rng 4 in
+      let game = Mmw.create ~dim ~eps0:(0.05 +. Rng.float rng 0.45) in
+      for _ = 1 to steps do
+        Mmw.observe game (random_gain rng dim)
+      done;
+      Mmw.regret_slack game >= -1e-6)
+
+let () =
+  Alcotest.run "mmw"
+    [
+      ( "mmw",
+        [
+          Alcotest.test_case "initial uniform" `Quick
+            test_initial_probability_uniform;
+          Alcotest.test_case "trace one" `Quick test_probability_trace_one;
+          Alcotest.test_case "regret random" `Quick test_regret_bound_random;
+          Alcotest.test_case "regret adversarial" `Quick
+            test_regret_bound_adversarial;
+          Alcotest.test_case "observe validation" `Quick
+            test_observe_validation;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "dotted gain" `Quick test_dotted_gain_accumulates;
+        ] );
+      ( "properties",
+        List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_regret ] );
+    ]

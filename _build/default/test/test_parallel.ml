@@ -1,0 +1,174 @@
+(* Tests for the domain pool: correctness, determinism, exception
+   propagation, nesting behaviour. *)
+
+open Psdp_parallel
+
+let with_sizes f = List.iter (fun n -> Pool.with_pool ~num_domains:n f) [ 1; 2; 4 ]
+
+let test_parallel_for_covers_range () =
+  with_sizes (fun pool ->
+      let n = 10_000 in
+      let hits = Array.make n 0 in
+      Pool.parallel_for pool ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+      Array.iteri
+        (fun i c ->
+          if c <> 1 then Alcotest.failf "index %d visited %d times" i c)
+        hits)
+
+let test_parallel_for_empty_range () =
+  with_sizes (fun pool ->
+      let touched = ref false in
+      Pool.parallel_for pool ~lo:5 ~hi:5 (fun _ -> touched := true);
+      Pool.parallel_for pool ~lo:5 ~hi:3 (fun _ -> touched := true);
+      Alcotest.(check bool) "no calls on empty range" false !touched)
+
+let test_parallel_for_chunks_partition () =
+  with_sizes (fun pool ->
+      let n = 5_000 in
+      let hits = Array.make n 0 in
+      Pool.parallel_for_chunks pool ~grain:17 ~lo:0 ~hi:n (fun lo hi ->
+          for i = lo to hi - 1 do
+            hits.(i) <- hits.(i) + 1
+          done);
+      Alcotest.(check bool) "each index exactly once" true
+        (Array.for_all (fun c -> c = 1) hits))
+
+let test_sum_deterministic_across_pools () =
+  let n = 100_000 in
+  let f i = sin (float_of_int i) *. 1e-3 in
+  let seq = Pool.sum_floats Pool.sequential ~lo:0 ~hi:n f in
+  with_sizes (fun pool ->
+      (* Same grain => identical chunking => bitwise-identical result. *)
+      let par = Pool.sum_floats pool ~grain:1024 ~lo:0 ~hi:n f in
+      let seq' = Pool.sum_floats Pool.sequential ~grain:1024 ~lo:0 ~hi:n f in
+      Alcotest.(check (float 0.0)) "bitwise deterministic" seq' par);
+  (* And all chunkings agree to floating tolerance. *)
+  with_sizes (fun pool ->
+      let par = Pool.sum_floats pool ~lo:0 ~hi:n f in
+      Alcotest.(check (float 1e-9)) "tolerance" seq par)
+
+let test_reduce_combine_order () =
+  (* Combine with a non-commutative operation: list append. Chunk order
+     must be preserved. *)
+  Pool.with_pool ~num_domains:4 (fun pool ->
+      let r =
+        Pool.reduce pool ~grain:10 ~lo:0 ~hi:100 ~init:[]
+          ~chunk:(fun lo hi -> List.init (hi - lo) (fun k -> lo + k))
+          ~combine:(fun a b -> a @ b)
+      in
+      Alcotest.(check (list int)) "ordered" (List.init 100 Fun.id) r)
+
+let test_exception_propagates () =
+  with_sizes (fun pool ->
+      match
+        Pool.parallel_for pool ~lo:0 ~hi:1000 (fun i ->
+            if i = 577 then failwith "boom")
+      with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+
+let test_pool_usable_after_exception () =
+  Pool.with_pool ~num_domains:4 (fun pool ->
+      (try
+         Pool.parallel_for pool ~lo:0 ~hi:100 (fun _ -> failwith "first")
+       with Failure _ -> ());
+      let total = Pool.sum_floats pool ~lo:0 ~hi:100 (fun _ -> 1.0) in
+      Alcotest.(check (float 0.0)) "still works" 100.0 total)
+
+let test_nested_parallel_for () =
+  Pool.with_pool ~num_domains:4 (fun pool ->
+      let n = 64 in
+      let acc = Array.make (n * n) 0 in
+      Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+          (* Inner loop on the same pool: must degrade to sequential, not
+             deadlock. *)
+          Pool.parallel_for pool ~lo:0 ~hi:n (fun j ->
+              acc.((i * n) + j) <- acc.((i * n) + j) + 1));
+      Alcotest.(check bool) "all cells exactly once" true
+        (Array.for_all (fun c -> c = 1) acc))
+
+let test_map_array () =
+  with_sizes (fun pool ->
+      let a = Array.init 1000 Fun.id in
+      let b = Pool.map_array pool (fun x -> x * 2) a in
+      Alcotest.(check bool) "map" true
+        (Array.for_all2 (fun x y -> y = 2 * x) a b))
+
+let test_init_float_array () =
+  with_sizes (fun pool ->
+      let a = Pool.init_float_array pool 1000 (fun i -> float_of_int i) in
+      let ok = ref true in
+      Array.iteri (fun i v -> if v <> float_of_int i then ok := false) a;
+      Alcotest.(check bool) "init" true !ok)
+
+let test_size () =
+  Alcotest.(check int) "sequential" 1 (Pool.size Pool.sequential);
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      Alcotest.(check int) "pool of 3" 3 (Pool.size pool))
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~num_domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+let test_invalid_sizes () =
+  Alcotest.check_raises "zero domains"
+    (Invalid_argument "Pool.create: num_domains must be >= 1") (fun () ->
+      ignore (Pool.create ~num_domains:0 ()))
+
+let test_heavy_imbalanced_load () =
+  (* Chunks with wildly different costs: chunk stealing must still cover
+     everything and outperform nothing-crashes as a baseline. *)
+  Pool.with_pool ~num_domains:4 (fun pool ->
+      let n = 2_000 in
+      let out = Array.make n 0.0 in
+      Pool.parallel_for pool ~grain:16 ~lo:0 ~hi:n (fun i ->
+          let work = if i mod 97 = 0 then 20_000 else 10 in
+          let s = ref 0.0 in
+          for k = 1 to work do
+            s := !s +. (1.0 /. float_of_int k)
+          done;
+          out.(i) <- !s);
+      Alcotest.(check bool) "all computed" true
+        (Array.for_all (fun v -> v > 0.0) out))
+
+let prop_sum_matches_sequential =
+  QCheck.Test.make ~name:"parallel sum = sequential sum" ~count:30
+    QCheck.(pair (int_range 1 5_000) (int_range 1 4))
+    (fun (n, domains) ->
+      Pool.with_pool ~num_domains:domains (fun pool ->
+          let f i = float_of_int (i mod 13) *. 0.25 in
+          let par = Pool.sum_floats pool ~lo:0 ~hi:n f in
+          let seq = Pool.sum_floats Pool.sequential ~lo:0 ~hi:n f in
+          Float.abs (par -. seq) < 1e-6))
+
+let qcheck_cases =
+  List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_sum_matches_sequential ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "covers range" `Quick test_parallel_for_covers_range;
+          Alcotest.test_case "empty range" `Quick test_parallel_for_empty_range;
+          Alcotest.test_case "chunk partition" `Quick
+            test_parallel_for_chunks_partition;
+          Alcotest.test_case "deterministic sum" `Quick
+            test_sum_deterministic_across_pools;
+          Alcotest.test_case "reduce order" `Quick test_reduce_combine_order;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "usable after exception" `Quick
+            test_pool_usable_after_exception;
+          Alcotest.test_case "nested degrades" `Quick test_nested_parallel_for;
+          Alcotest.test_case "map_array" `Quick test_map_array;
+          Alcotest.test_case "init_float_array" `Quick test_init_float_array;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "shutdown idempotent" `Quick
+            test_shutdown_idempotent;
+          Alcotest.test_case "invalid sizes" `Quick test_invalid_sizes;
+          Alcotest.test_case "imbalanced load" `Quick test_heavy_imbalanced_load;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,259 @@
+(* Tests for the prelude: utilities, RNG, statistics, cost model. *)
+
+open Psdp_prelude
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Util *)
+
+let test_close () =
+  Alcotest.(check bool) "equal" true (Util.close 1.0 1.0);
+  Alcotest.(check bool) "near" true (Util.close 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "far" false (Util.close 1.0 1.1);
+  Alcotest.(check bool) "relative" true (Util.close 1e12 (1e12 +. 1.0))
+
+let test_clamp () =
+  check_float "below" 0.0 (Util.clamp ~lo:0.0 ~hi:1.0 (-3.0));
+  check_float "above" 1.0 (Util.clamp ~lo:0.0 ~hi:1.0 7.0);
+  check_float "inside" 0.5 (Util.clamp ~lo:0.0 ~hi:1.0 0.5)
+
+let test_ceil_div () =
+  Alcotest.(check int) "exact" 3 (Util.ceil_div 9 3);
+  Alcotest.(check int) "round up" 4 (Util.ceil_div 10 3);
+  Alcotest.(check int) "one" 1 (Util.ceil_div 1 64)
+
+let test_ceil_pow2 () =
+  Alcotest.(check int) "1" 1 (Util.ceil_pow2 1);
+  Alcotest.(check int) "5" 8 (Util.ceil_pow2 5);
+  Alcotest.(check int) "64" 64 (Util.ceil_pow2 64)
+
+let test_sum_kahan () =
+  (* 10^8 additions of 0.1 lose several digits naively; Kahan keeps them. *)
+  let n = 100_000 in
+  let a = Array.make n 0.1 in
+  check_float "kahan sum" (0.1 *. float_of_int n) (Util.sum_array a)
+
+let test_minmax () =
+  let a = [| 3.0; -1.0; 4.0; -1.5 |] in
+  check_float "max" 4.0 (Util.max_array a);
+  check_float "min" (-1.5) (Util.min_array a);
+  Alcotest.check_raises "empty max"
+    (Invalid_argument "Util.max_array: empty array") (fun () ->
+      ignore (Util.max_array [||]))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let u = Rng.uniform rng in
+    if u < 0.0 || u >= 1.0 then Alcotest.failf "uniform out of range: %g" u
+  done
+
+let test_rng_int_bound () =
+  let rng = Rng.create 11 in
+  let counts = Array.make 7 0 in
+  for _ = 1 to 70_000 do
+    let k = Rng.int rng 7 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Array.iter
+    (fun c ->
+      (* Each bucket expects 10000; allow generous slack. *)
+      if c < 9_000 || c > 11_000 then
+        Alcotest.failf "bucket count %d suspicious" c)
+    counts
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 200_000 in
+  let s = Stats.create () in
+  for _ = 1 to n do
+    Stats.add s (Rng.gaussian rng)
+  done;
+  if Float.abs (Stats.mean s) > 0.02 then
+    Alcotest.failf "gaussian mean %g" (Stats.mean s);
+  if Float.abs (Stats.stddev s -. 1.0) > 0.02 then
+    Alcotest.failf "gaussian stddev %g" (Stats.stddev s)
+
+let test_rng_split_independence () =
+  let parent = Rng.create 17 in
+  let child = Rng.split parent in
+  (* The child stream should not coincide with the parent's continuation. *)
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 parent <> Rng.bits64 child then differs := true
+  done;
+  Alcotest.(check bool) "split independent" true !differs
+
+let test_rng_permutation () =
+  let rng = Rng.create 19 in
+  let p = Rng.permutation rng 50 in
+  let seen = Array.make 50 false in
+  Array.iter (fun i -> seen.(i) <- true) p;
+  Alcotest.(check bool) "is a permutation" true (Array.for_all Fun.id seen)
+
+let test_rng_copy () =
+  let a = Rng.create 23 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues stream" (Rng.bits64 a) (Rng.bits64 b)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_basic () =
+  let s = Stats.of_array [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean s);
+  check_float "var" (5.0 /. 3.0) (Stats.variance s);
+  check_float "min" 1.0 (Stats.min s);
+  check_float "max" 4.0 (Stats.max s);
+  Alcotest.(check int) "count" 4 (Stats.count s)
+
+let test_stats_quantile () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "q0" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1" 4.0 (Stats.quantile xs 1.0)
+
+let test_linear_fit () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (2.0 *. x) +. 1.0) xs in
+  let slope, intercept = Stats.linear_fit xs ys in
+  check_float "slope" 2.0 slope;
+  check_float "intercept" 1.0 intercept
+
+let test_scaling_exponent () =
+  let xs = [| 1.0; 2.0; 4.0; 8.0 |] in
+  let ys = Array.map (fun x -> 3.0 *. (x ** 1.5)) xs in
+  check_float "exponent" 1.5 (Stats.scaling_exponent xs ys)
+
+(* ------------------------------------------------------------------ *)
+(* Cost *)
+
+let test_cost_measure () =
+  let (), cost =
+    Cost.measure (fun () ->
+        Cost.serial 10;
+        Cost.parallel ~work:100 ~span:5)
+  in
+  Alcotest.(check int) "work" 110 cost.Cost.work;
+  Alcotest.(check int) "depth" 15 cost.Cost.depth
+
+let test_cost_disabled_by_default () =
+  Cost.reset ();
+  Cost.serial 5;
+  let snap = Cost.read () in
+  Alcotest.(check int) "disabled work" 0 snap.Cost.work
+
+let test_cost_nesting () =
+  let (), outer =
+    Cost.measure (fun () ->
+        Cost.serial 1;
+        let (), inner = Cost.measure (fun () -> Cost.serial 7) in
+        Alcotest.(check int) "inner work" 7 inner.Cost.work;
+        Cost.serial 2)
+  in
+  Alcotest.(check int) "outer work" 3 outer.Cost.work
+
+(* ------------------------------------------------------------------ *)
+(* Timer *)
+
+let test_timer_positive () =
+  let (), dt = Timer.time (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0))) in
+  Alcotest.(check bool) "elapsed >= 0" true (dt >= 0.0)
+
+let test_timer_median () =
+  let x, dt = Timer.time_median ~repeats:3 (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "elapsed >= 0" true (dt >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile is monotone in q" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 30) (float_range (-100.) 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      Stats.quantile a 0.25 <= Stats.quantile a 0.75 +. 1e-9)
+
+let prop_clamp_in_range =
+  QCheck.Test.make ~name:"clamp lands inside" ~count:200
+    QCheck.(triple (float_range (-10.) 10.) (float_range (-10.) 0.) (float_range 0. 10.))
+    (fun (x, lo, hi) ->
+      let c = Util.clamp ~lo ~hi x in
+      c >= lo && c <= hi)
+
+let prop_permutation_valid =
+  QCheck.Test.make ~name:"Rng.permutation is a bijection" ~count:50
+    QCheck.(pair (int_range 1 100) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let p = Rng.permutation (Rng.create seed) n in
+      let seen = Array.make n false in
+      Array.iter (fun i -> seen.(i) <- true) p;
+      Array.for_all Fun.id seen)
+
+let qcheck_cases =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_quantile_monotone; prop_clamp_in_range; prop_permutation_valid ]
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ( "util",
+        [
+          Alcotest.test_case "close" `Quick test_close;
+          Alcotest.test_case "clamp" `Quick test_clamp;
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+          Alcotest.test_case "ceil_pow2" `Quick test_ceil_pow2;
+          Alcotest.test_case "kahan sum" `Quick test_sum_kahan;
+          Alcotest.test_case "min/max" `Quick test_minmax;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "int bound" `Quick test_rng_int_bound;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independence;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "scaling exponent" `Quick test_scaling_exponent;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "measure" `Quick test_cost_measure;
+          Alcotest.test_case "disabled by default" `Quick
+            test_cost_disabled_by_default;
+          Alcotest.test_case "nesting" `Quick test_cost_nesting;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "positive" `Quick test_timer_positive;
+          Alcotest.test_case "median" `Quick test_timer_median;
+        ] );
+      ("properties", qcheck_cases);
+    ]

