@@ -1,16 +1,47 @@
 (* Command-line interface: generate, inspect, decide and solve positive
-   SDP instances stored in the text format of {!Psdp_instances.Loader}.
+   SDP instances stored in the text format of {!Psdp_instances.Loader},
+   and run batches of jobs through the persistent engine.
 
      psdp gen --family beamforming --dim 16 --n 8 -o bf.inst
      psdp info bf.inst
      psdp solve bf.inst --eps 0.1 --backend sketched
      psdp decide bf.inst --threshold 0.5 --eps 0.2
+     psdp batch jobs.manifest --trace trace.jsonl
+     psdp serve --stdin
 *)
 
 open Cmdliner
 open Psdp_prelude
 open Psdp_core
 open Psdp_instances
+open Psdp_engine
+
+(* ------------------------------------------------------------------ *)
+(* Exit codes (documented in every command's man page): batch drivers
+   need to tell a negative mathematical answer from operator error. *)
+
+let exit_infeasible = 1
+let exit_bad_input = 2
+
+let solver_exits =
+  Cmd.Exit.info exit_infeasible
+    ~doc:
+      "the returned solution failed verification, or the $(b,decide) \
+       threshold was rejected (a covering certificate bounds OPT below \
+       it); for $(b,batch)/$(b,serve): some job failed, timed out, was \
+       cancelled, or failed verification."
+  :: Cmd.Exit.info exit_bad_input
+       ~doc:
+         "malformed input: an instance file or manifest failed to parse, \
+          or an I/O error occurred while reading it."
+  :: Cmd.Exit.defaults
+
+let load_or_die file =
+  match Loader.load_result file with
+  | Ok inst -> inst
+  | Error msg ->
+      Printf.eprintf "psdp: %s\n" msg;
+      exit exit_bad_input
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments *)
@@ -132,12 +163,13 @@ let gen_cmd =
 
 let info_cmd =
   let run file eps =
-    let inst = Loader.load file in
+    let inst = load_or_die file in
     Format.printf "%a@.@.%a@." Instance.pp inst Analysis.pp
       (Analysis.analyze ~eps inst)
   in
   Cmd.v
-    (Cmd.info "info" ~doc:"Print statistics and diagnostics of an instance file.")
+    (Cmd.info "info" ~exits:solver_exits
+       ~doc:"Print statistics and diagnostics of an instance file.")
     Term.(const run $ file_arg $ eps_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -146,7 +178,7 @@ let info_cmd =
 let solve_cmd =
   let run file eps backend mode verbosity =
     setup_logs verbosity;
-    let inst = Loader.load file in
+    let inst = load_or_die file in
     let r =
       Solver.solve_packing ~eps ~backend:(to_backend backend)
         ~mode:(to_mode mode) inst
@@ -163,10 +195,10 @@ let solve_cmd =
     Printf.printf "x           :";
     Array.iter (fun v -> Printf.printf " %.5g" v) r.Solver.x;
     print_newline ();
-    if not cert.Certificate.feasible then exit 1
+    if not cert.Certificate.feasible then exit exit_infeasible
   in
   Cmd.v
-    (Cmd.info "solve"
+    (Cmd.info "solve" ~exits:solver_exits
        ~doc:"Run approxPSDP (Theorem 1.1) on an instance file.")
     Term.(const run $ file_arg $ eps_arg $ backend_arg $ mode_arg $ verbose_arg)
 
@@ -176,7 +208,7 @@ let solve_cmd =
 let cover_cmd =
   let run file eps mode verbosity =
     setup_logs verbosity;
-    let inst = Loader.load file in
+    let inst = load_or_die file in
     let r = Solver.solve_covering ~eps ~mode:(to_mode mode) inst in
     Printf.printf "covering objective (Tr Z): %.6f\n" r.Solver.objective;
     Printf.printf "packing lower bound      : %.6f\n" r.Solver.lower_bound;
@@ -184,10 +216,10 @@ let cover_cmd =
     Printf.printf "verified min A_i.Z       : %.6f (>= 1: %b)\n"
       cert.Certificate.min_dot
       (cert.Certificate.min_dot >= 1.0 -. 1e-6);
-    if cert.Certificate.min_dot < 1.0 -. 1e-6 then exit 1
+    if cert.Certificate.min_dot < 1.0 -. 1e-6 then exit exit_infeasible
   in
   Cmd.v
-    (Cmd.info "cover"
+    (Cmd.info "cover" ~exits:solver_exits
        ~doc:"Solve the covering side (min Tr Y s.t. A_i.Y >= 1).")
     Term.(const run $ file_arg $ eps_arg $ mode_arg $ verbose_arg)
 
@@ -200,33 +232,227 @@ let threshold_arg =
 
 let decide_cmd =
   let run file eps backend mode v =
-    let inst = Loader.load file in
+    let inst = load_or_die file in
     let scaled = Instance.scale v inst in
     let r =
       Decision.solve ~eps ~backend:(to_backend backend) ~mode:(to_mode mode)
         scaled
     in
-    (match r.Decision.outcome with
-    | Decision.Dual { x; _ } ->
-        let value = Util.sum_array x in
-        (* x feasible for {v·Aᵢ} ⇒ v·x feasible for {Aᵢ}. *)
-        Printf.printf
-          "DUAL: a packing of value %.4f exists at threshold %.4g\n\
-           => OPT >= %.6g\n"
-          value v (v *. value)
-    | Decision.Primal { dots; _ } ->
-        let min_dot = Util.min_array dots in
-        Printf.printf
-          "PRIMAL: covering certificate with min A_i.Y = %.4f\n=> OPT <= %.6g\n"
-          min_dot
-          (v /. min_dot));
+    let rejected =
+      match r.Decision.outcome with
+      | Decision.Dual { x; _ } ->
+          let value = Util.sum_array x in
+          (* x feasible for {v·Aᵢ} ⇒ v·x feasible for {Aᵢ}. *)
+          Printf.printf
+            "DUAL: a packing of value %.4f exists at threshold %.4g\n\
+             => OPT >= %.6g\n"
+            value v (v *. value);
+          false
+      | Decision.Primal { dots; _ } ->
+          let min_dot = Util.min_array dots in
+          Printf.printf
+            "PRIMAL: covering certificate with min A_i.Y = %.4f\n\
+             => OPT <= %.6g\n"
+            min_dot
+            (v /. min_dot);
+          true
+    in
     Printf.printf "iterations: %d (cap R = %d)\n" r.Decision.iterations
-      r.Decision.params.Params.r_cap
+      r.Decision.params.Params.r_cap;
+    if rejected then exit exit_infeasible
   in
   Cmd.v
-    (Cmd.info "decide"
-       ~doc:"Run one epsilon-decision call (Algorithm 3.1) at a threshold.")
+    (Cmd.info "decide" ~exits:solver_exits
+       ~doc:
+         "Run one epsilon-decision call (Algorithm 3.1) at a threshold. \
+          Exits 0 when a packing exists at the threshold, 1 when the \
+          threshold is rejected by a covering certificate.")
     Term.(const run $ file_arg $ eps_arg $ backend_arg $ mode_arg $ threshold_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch / serve: the persistent engine *)
+
+let jobs_arg =
+  let doc = "Maximum jobs in flight (runner domains over the shared pool)." in
+  Arg.(value & opt int 2 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let domains_arg =
+  let doc = "Size of the shared worker pool (default: pool default)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
+let trace_file_arg =
+  let doc = "Write a JSONL telemetry trace of every engine event to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let cache_file_arg =
+  let doc =
+    "Persist the result cache to $(docv) (append-only JSONL). A repeated \
+     run against the same cache file answers repeated jobs without solver \
+     work and warm-starts epsilon refinements."
+  in
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
+
+let with_engine_env ~jobs ~domains ~trace_path ~cache_path f =
+  Psdp_parallel.Pool.with_pool ?num_domains:domains (fun pool ->
+      let cache = Cache.create ?persist:cache_path () in
+      let trace_oc = Option.map open_out trace_path in
+      let trace =
+        match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Cache.close cache;
+          Option.iter close_out trace_oc)
+        (fun () -> f ~pool ~cache ~trace ~max_in_flight:jobs))
+
+let result_ok (r : Job.result) =
+  match r.Job.outcome with
+  | Job.Solved s -> s.certified
+  | Job.Decided _ -> true
+  | Job.Failed _ | Job.Cancelled | Job.Timed_out -> false
+
+let print_result oc r =
+  output_string oc (Json.to_string (Job.result_to_json r));
+  output_char oc '\n'
+
+let batch_cmd =
+  let manifest_arg =
+    let doc =
+      "Manifest file: one JSON job per line ('#' comments and blank lines \
+       allowed). Fields: $(b,file) (required), $(b,op) (solve|decide), \
+       $(b,id), $(b,eps), $(b,backend), $(b,mode), $(b,threshold), \
+       $(b,priority), $(b,timeout). Relative $(b,file) paths resolve \
+       against the manifest's directory."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
+  in
+  let run manifest jobs domains trace_path cache_path out verbosity =
+    setup_logs verbosity;
+    let text =
+      try
+        let ic = open_in manifest in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "psdp batch: %s\n" msg;
+        exit exit_bad_input
+    in
+    match Job.parse_manifest ~dir:(Filename.dirname manifest) text with
+    | Error msg ->
+        Printf.eprintf "psdp batch: %s\n" msg;
+        exit exit_bad_input
+    | Ok specs ->
+        let results =
+          with_engine_env ~jobs ~domains ~trace_path ~cache_path
+            (fun ~pool ~cache ~trace ~max_in_flight ->
+              Engine.with_engine ~pool ~max_in_flight ~cache ~trace (fun eng ->
+                  List.iter (fun s -> ignore (Engine.submit eng s)) specs;
+                  Engine.drain eng))
+        in
+        (if out = "-" then List.iter (print_result stdout) results
+         else begin
+           let oc = open_out out in
+           List.iter (print_result oc) results;
+           close_out oc
+         end);
+        let count p = List.length (List.filter p results) in
+        let bad = count (fun r -> not (result_ok r)) in
+        let hits =
+          count (fun r ->
+              match r.Job.outcome with
+              | Job.Solved { cache = Job.Hit; _ } -> true
+              | _ -> false)
+        and warm =
+          count (fun r ->
+              match r.Job.outcome with
+              | Job.Solved { cache = Job.Warm; _ } -> true
+              | _ -> false)
+        in
+        Printf.eprintf
+          "batch: %d jobs, %d ok, %d not ok; cache: %d hits, %d warm starts\n"
+          (List.length results)
+          (List.length results - bad)
+          bad hits warm;
+        if bad > 0 then exit exit_infeasible
+  in
+  Cmd.v
+    (Cmd.info "batch" ~exits:solver_exits
+       ~doc:
+         "Run a manifest of solve/decide jobs through the persistent \
+          engine: one shared worker pool, priority scheduling, result \
+          caching with warm starts, and an optional JSONL telemetry \
+          trace. Emits one JSON result line per job, in manifest order.")
+    Term.(
+      const run $ manifest_arg $ jobs_arg $ domains_arg $ trace_file_arg
+      $ cache_file_arg $ out_arg $ verbose_arg)
+
+let serve_cmd =
+  let stdin_flag =
+    let doc =
+      "Serve line-delimited JSON jobs from standard input (same fields as \
+       a $(b,batch) manifest; relative paths resolve against the working \
+       directory). One JSON result line per job is written to standard \
+       output as soon as the job completes — completion order, not \
+       submission order."
+    in
+    Arg.(value & flag & info [ "stdin" ] ~doc)
+  in
+  let run use_stdin jobs domains trace_path cache_path verbosity =
+    setup_logs verbosity;
+    if not use_stdin then begin
+      Printf.eprintf "psdp serve: only --stdin transport is implemented\n";
+      exit Cmd.Exit.cli_error
+    end;
+    let out_mutex = Mutex.create () in
+    let any_bad = ref false in
+    let on_complete r =
+      Mutex.lock out_mutex;
+      print_result stdout r;
+      flush stdout;
+      if not (result_ok r) then any_bad := true;
+      Mutex.unlock out_mutex
+    in
+    with_engine_env ~jobs ~domains ~trace_path ~cache_path
+      (fun ~pool ~cache ~trace ~max_in_flight ->
+        Engine.with_engine ~pool ~max_in_flight ~cache ~trace ~on_complete
+          (fun eng ->
+            let lineno = ref 0 in
+            (try
+               while true do
+                 let line = String.trim (input_line stdin) in
+                 incr lineno;
+                 if line <> "" && line.[0] <> '#' then
+                   match
+                     Result.bind (Json.parse line) Job.spec_of_json
+                   with
+                   | Ok spec ->
+                       let spec : Job.spec =
+                         if spec.Job.id = "" then
+                           { spec with Job.id = Printf.sprintf "req-%d" !lineno }
+                         else spec
+                       in
+                       ignore (Engine.submit eng spec)
+                   | Error msg ->
+                       on_complete
+                         {
+                           Job.id = Printf.sprintf "req-%d" !lineno;
+                           outcome = Job.Failed msg;
+                           elapsed = 0.0;
+                         }
+               done
+             with End_of_file -> ());
+            ignore (Engine.drain eng)));
+    if !any_bad then exit exit_infeasible
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits:solver_exits
+       ~doc:
+         "Serve solve/decide jobs from standard input through the \
+          persistent engine, streaming results as they complete.")
+    Term.(
+      const run $ stdin_flag $ jobs_arg $ domains_arg $ trace_file_arg
+      $ cache_file_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -234,6 +460,6 @@ let main =
   let doc = "width-independent parallel positive SDP solver (SPAA'12)" in
   Cmd.group
     (Cmd.info "psdp" ~version:"1.0.0" ~doc)
-    [ gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd ]
+    [ gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd; batch_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main)

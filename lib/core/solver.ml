@@ -17,6 +17,10 @@ type packing_result = {
   dropped_constraints : int;
 }
 
+type warm_start = { upper : float option; x0 : float array option }
+
+let cold = { upper = None; x0 = None }
+
 let default_max_calls ~eps ~ratio =
   (* Geometric bisection halves the log-gap per call; this budget reaches
      a (1+eps) bracket with slack for noisy certificate values. *)
@@ -24,7 +28,8 @@ let default_max_calls ~eps ~ratio =
   let halvings = Util.log2 (log_gap /. log (1.0 +. (eps /. 2.0))) in
   max 4 (int_of_float (Float.ceil halvings) + 8)
 
-let solve_packing ?pool ?backend ?mode ?max_calls ~eps inst =
+let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?on_iter
+    ?on_call ~eps inst =
   if eps <= 0.0 || eps >= 1.0 then
     invalid_arg "Solver.solve_packing: eps must lie in (0,1)";
   let n = Instance.num_constraints inst in
@@ -52,20 +57,44 @@ let solve_packing ?pool ?backend ?mode ?max_calls ~eps inst =
   incumbent_x.(!best_i) <- lo0;
   let incumbent_value = ref lo0 in
   let lo = ref lo0 and hi = ref hi0 in
+  (* Warm start: a candidate dual is re-verified before adoption (so the
+     returned [value] stays certified no matter what the caller hands us);
+     the upper bound is taken on trust — it must come from a certified
+     solve of this same instance, e.g. the engine's result cache. *)
+  (match warm.x0 with
+  | None -> ()
+  | Some x0 ->
+      if Array.length x0 <> n then
+        invalid_arg "Solver.solve_packing: warm x0 has wrong length";
+      let cert = Certificate.rescale_dual inst x0 in
+      if cert.Certificate.feasible && cert.Certificate.value > !incumbent_value
+      then begin
+        incumbent_value := cert.Certificate.value;
+        Array.blit cert.Certificate.x 0 incumbent_x 0 n;
+        lo := Float.max !lo cert.Certificate.value
+      end);
+  (match warm.upper with
+  | None -> ()
+  | Some u ->
+      if Float.is_finite u && u > 0.0 then
+        hi := Float.max !lo (Float.min !hi u));
   let primal_dots = ref None and primal_z = ref None in
   let calls = ref 0 and iters = ref 0 and dropped_total = ref 0 in
   let budget =
     match max_calls with
     | Some c -> c
-    | None -> default_max_calls ~eps ~ratio:(hi0 /. lo0)
+    | None -> default_max_calls ~eps ~ratio:(!hi /. !lo)
   in
   let eps_dec = eps /. 4.0 in
   let clamp_cutoff = float_of_int n ** 3.0 in
   Log.info (fun m ->
-      m "bracket [%.6g, %.6g], budget %d decision calls" lo0 hi0 budget);
+      m "bracket [%.6g, %.6g], budget %d decision calls" !lo !hi budget);
   while !hi > (1.0 +. eps) *. !lo && !calls < budget do
     incr calls;
     let v = sqrt (!lo *. !hi) in
+    (match on_call with
+    | Some f -> f ~call:!calls ~threshold:v
+    | None -> ());
     Log.debug (fun m ->
         m "call %d: threshold %.6g (bracket [%.6g, %.6g])" !calls v !lo !hi);
     (* Lemma 2.2 trace clamp: at threshold v, constraints whose rescaled
@@ -82,7 +111,7 @@ let solve_packing ?pool ?backend ?mode ?max_calls ~eps inst =
       Instance.of_factors
         (Array.map (fun i -> Factored.scale v factors.(i)) kept)
     in
-    let res = Decision.solve ?pool ?backend ?mode ~eps:eps_dec scaled in
+    let res = Decision.solve ?pool ?backend ?mode ?on_iter ~eps:eps_dec scaled in
     iters := !iters + res.Decision.iterations;
     (match res.Decision.outcome with
     | Decision.Dual { x = xd; _ } ->

@@ -26,17 +26,41 @@ type packing_result = {
   dropped_constraints : int;  (** Lemma-2.2 trace clamp casualties *)
 }
 
+type warm_start = {
+  upper : float option;
+      (** trusted upper bound on OPT. Must come from a certified solve of
+          the {e same} instance (e.g. the batch engine's result cache); it
+          tightens the bracket before bisection starts. *)
+  x0 : float array option;
+      (** candidate dual solution. Re-verified with
+          {!Certificate.rescale_dual} before adoption, so a stale or wrong
+          vector can only cost the verification, never soundness. *)
+}
+
+val cold : warm_start
+(** [{upper = None; x0 = None}] — the default. *)
+
 val solve_packing :
   ?pool:Psdp_parallel.Pool.t ->
   ?backend:Decision.backend ->
   ?mode:Decision.mode ->
   ?max_calls:int ->
+  ?warm:warm_start ->
+  ?on_iter:(Decision.iter_stats -> unit) ->
+  ?on_call:(call:int -> threshold:float -> unit) ->
   eps:float ->
   Instance.t ->
   packing_result
 (** [(1+ε)]-approximation: on return (absent [max_calls] exhaustion)
     [value <= OPT <= upper_bound] with [upper_bound <= (1+ε)·value] up to
-    the verification tolerance. Defaults follow {!Decision.solve}. *)
+    the verification tolerance. Defaults follow {!Decision.solve}.
+
+    [warm] (default {!cold}) seeds the bisection bracket from a previous
+    solve of the same instance: a coarse-ε result warm-starting a fine-ε
+    solve skips the decision calls that would re-derive the coarse
+    bracket. [on_call] observes every bisection step (decision call number
+    and threshold); [on_iter] observes every solver iteration inside every
+    decision call — both are used by the batch engine's telemetry. *)
 
 type covering_result = {
   z : Mat.t;  (** feasible covering solution: [Aᵢ•Z >= 1 − tol], [Z ≽ 0] *)

@@ -1,0 +1,156 @@
+open Psdp_prelude
+
+type entry = {
+  digest : string;
+  eps : float;
+  backend : string;
+  mode : string;
+  value : float;
+  upper_bound : float;
+  x : float array;
+  decision_calls : int;
+  iterations : int;
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, entry list) Hashtbl.t;  (* digest -> entries, newest first *)
+  mutable persist : out_channel option;
+  mutable count : int;
+}
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("digest", Json.Str e.digest);
+      ("eps", Json.Num e.eps);
+      ("backend", Json.Str e.backend);
+      ("mode", Json.Str e.mode);
+      ("value", Json.Num e.value);
+      ("upper", Json.Num e.upper_bound);
+      ("calls", Json.Num (float_of_int e.decision_calls));
+      ("iters", Json.Num (float_of_int e.iterations));
+      ("x", Json.List (Array.to_list (Array.map (fun v -> Json.Num v) e.x)));
+    ]
+
+let entry_of_json j =
+  let field name extract =
+    match Option.bind (Json.mem name j) extract with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "cache entry: missing or bad %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* digest = field "digest" Json.str in
+  let* eps = field "eps" Json.num in
+  let* backend = field "backend" Json.str in
+  let* mode = field "mode" Json.str in
+  let* value = field "value" Json.num in
+  let* upper_bound = field "upper" Json.num in
+  let* decision_calls = field "calls" Json.int in
+  let* iterations = field "iters" Json.int in
+  let* xs = field "x" Json.list in
+  let* x =
+    List.fold_left
+      (fun acc v ->
+        match (acc, Json.num v) with
+        | Ok l, Some f -> Ok (f :: l)
+        | Ok _, None -> Error "cache entry: non-numeric x element"
+        | (Error _ as e), _ -> e)
+      (Ok []) xs
+    |> Result.map (fun l -> Array.of_list (List.rev l))
+  in
+  Ok { digest; eps; backend; mode; value; upper_bound; x; decision_calls;
+       iterations }
+
+let insert t e =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.table e.digest) in
+  Hashtbl.replace t.table e.digest (e :: existing);
+  t.count <- t.count + 1
+
+let create ?persist () =
+  let t =
+    { mutex = Mutex.create (); table = Hashtbl.create 64; persist = None;
+      count = 0 }
+  in
+  (match persist with
+  | None -> ()
+  | Some path ->
+      (if Sys.file_exists path then
+         let ic = open_in path in
+         Fun.protect
+           ~finally:(fun () -> close_in ic)
+           (fun () ->
+             try
+               while true do
+                 let line = String.trim (input_line ic) in
+                 if line <> "" then
+                   match Json.parse line with
+                   | Ok j -> (
+                       match entry_of_json j with
+                       | Ok e -> insert t e
+                       | Error _ -> ())
+                   | Error _ -> ()
+               done
+             with End_of_file -> ()));
+      t.persist <- Some (open_out_gen [ Open_append; Open_creat ] 0o644 path));
+  t
+
+let find t ~digest ~eps ~backend ~mode =
+  Mutex.lock t.mutex;
+  let entries = Option.value ~default:[] (Hashtbl.find_opt t.table digest) in
+  let r =
+    List.find_opt
+      (fun e -> e.eps = eps && e.backend = backend && e.mode = mode)
+      entries
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let find_warm t ~digest ~backend ~mode =
+  Mutex.lock t.mutex;
+  let entries = Option.value ~default:[] (Hashtbl.find_opt t.table digest) in
+  let r =
+    List.fold_left
+      (fun best e ->
+        if e.backend <> backend || e.mode <> mode then best
+        else
+          match best with
+          | None -> Some e
+          | Some b ->
+              if
+                e.upper_bound < b.upper_bound
+                || (e.upper_bound = b.upper_bound && e.value > b.value)
+              then Some e
+              else best)
+      None entries
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let store t e =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      insert t e;
+      match t.persist with
+      | None -> ()
+      | Some oc ->
+          output_string oc (Json.to_string (entry_to_json e));
+          output_char oc '\n';
+          flush oc)
+
+let size t =
+  Mutex.lock t.mutex;
+  let n = t.count in
+  Mutex.unlock t.mutex;
+  n
+
+let close t =
+  Mutex.lock t.mutex;
+  (match t.persist with
+  | Some oc ->
+      close_out oc;
+      t.persist <- None
+  | None -> ());
+  Mutex.unlock t.mutex

@@ -1,0 +1,61 @@
+(** Result cache and warm-start store, keyed by instance content.
+
+    Entries are certified packing results keyed by
+    [(Loader.digest, ε, backend, mode)]. Two lookups:
+
+    - {!find}: exact key match — a repeated job is answered without any
+      solver work, with bitwise-identical [value]/[upper_bound].
+    - {!find_warm}: same digest/backend/mode at {e any} ε — the entry's
+      certified bracket ([x], [upper_bound]) seeds
+      {!Psdp_core.Solver.solve_packing}'s bisection, so an ε-refinement
+      (coarse solve, then fine) skips the decision calls that would
+      re-derive the coarse bracket. Soundness does not depend on the
+      cache being right: the warm [x0] is re-verified by the solver, and
+      [upper_bound]s come from certified covering witnesses.
+
+    Optionally persisted as append-only JSONL (one entry per line), so a
+    repeated [psdp batch --cache FILE] run starts warm. Malformed or
+    alien lines in the file are skipped, not fatal. All operations are
+    thread-safe. *)
+
+type entry = {
+  digest : string;  (** {!Psdp_instances.Loader.digest} of the instance *)
+  eps : float;
+  backend : string;  (** canonical key, {!Job.backend_key} *)
+  mode : string;  (** canonical key, {!Job.mode_key} *)
+  value : float;  (** certified lower bound (‖x‖₁) *)
+  upper_bound : float;  (** certified upper bound *)
+  x : float array;  (** the certified dual solution *)
+  decision_calls : int;
+  iterations : int;
+}
+
+type t
+
+val create : ?persist:string -> unit -> t
+(** [create ~persist ()] loads any existing entries from the JSONL file
+    at [persist] and appends future {!store}s to it. Without [persist]
+    the cache is memory-only. *)
+
+val find :
+  t -> digest:string -> eps:float -> backend:string -> mode:string ->
+  entry option
+(** Exact-key lookup; most recently stored entry wins. *)
+
+val find_warm :
+  t -> digest:string -> backend:string -> mode:string -> entry option
+(** Best warm-start source for the digest at any ε: the entry with the
+    smallest [upper_bound] (ties broken toward larger [value]). *)
+
+val store : t -> entry -> unit
+(** Insert (and append to the persist file, if any). *)
+
+val size : t -> int
+(** Number of entries held. *)
+
+val close : t -> unit
+(** Flush and close the persist channel, if any. Idempotent; the
+    in-memory side stays usable. *)
+
+val entry_to_json : entry -> Psdp_prelude.Json.t
+val entry_of_json : Psdp_prelude.Json.t -> (entry, string) result

@@ -1,0 +1,378 @@
+open Psdp_prelude
+open Psdp_parallel
+open Psdp_core
+open Psdp_instances
+
+let log_src = Logs.Src.create "psdp.engine" ~doc:"batch solve engine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+exception Cancelled_exn
+exception Timed_out_exn
+exception Bad_input of string
+
+type state = Pending | Running | Done of Job.result
+
+type handle = {
+  spec : Job.spec;
+  cancel_flag : bool Atomic.t;
+  mutable state : state;  (* protected by the engine mutex *)
+}
+
+type t = {
+  epool : Pool.t;
+  owns_pool : bool;
+  ecache : Cache.t;
+  etrace : Trace.sink;
+  sched : handle Scheduler.t;
+  mutex : Mutex.t;
+  cond : Condition.t;  (* signals job completion and resume *)
+  mutable paused : bool;
+  mutable handles : handle list;  (* newest first *)
+  mutable seq : int;
+  mutable runners : unit Domain.t list;
+  mutable stopped : bool;
+  iter_batch : int;
+  on_complete : (Job.result -> unit) option;
+}
+
+let pool t = t.epool
+let cache t = t.ecache
+let trace t = t.etrace
+let job_id h = h.spec.Job.id
+
+(* ------------------------------------------------------------------ *)
+(* Job execution (in a runner domain) *)
+
+let load_instance = function
+  | Job.Inline inst -> inst
+  | Job.File path -> (
+      match Loader.load_result path with
+      | Ok inst -> inst
+      | Error msg -> raise (Bad_input msg))
+
+let execute eng h ~deadline =
+  let spec = h.spec in
+  let id = spec.Job.id in
+  let iters = ref 0 in
+  let check () =
+    if Atomic.get h.cancel_flag then raise Cancelled_exn;
+    match deadline with
+    | Some d when Timer.now () > d -> raise Timed_out_exn
+    | _ -> ()
+  in
+  let on_iter (st : Decision.iter_stats) =
+    incr iters;
+    if !iters mod eng.iter_batch = 0 then
+      Trace.emit eng.etrace ~job:id ~kind:"iter_batch"
+        [
+          ("iters", Json.Num (float_of_int !iters));
+          ("l1", Json.Num st.Decision.l1);
+          ("trace_w", Json.Num st.Decision.trace_w);
+        ];
+    check ()
+  in
+  let inst = load_instance spec.Job.source in
+  check ();
+  match spec.Job.op with
+  | Job.Decide { threshold } ->
+      let scaled = Instance.scale threshold inst in
+      let r =
+        Decision.solve ~pool:eng.epool ~backend:spec.Job.backend
+          ~mode:spec.Job.mode ~on_iter ~eps:spec.Job.eps scaled
+      in
+      (match r.Decision.outcome with
+      | Decision.Dual { x; _ } ->
+          let value = Util.sum_array x in
+          Job.Decided
+            {
+              accepted = true;
+              bound = threshold *. value;
+              iterations = r.Decision.iterations;
+            }
+      | Decision.Primal { dots; _ } ->
+          let min_dot = Util.min_array dots in
+          Job.Decided
+            {
+              accepted = false;
+              bound =
+                (if min_dot > 0.0 then threshold /. min_dot else Float.infinity);
+              iterations = r.Decision.iterations;
+            })
+  | Job.Solve -> (
+      let digest = Loader.digest inst in
+      let backend = Job.backend_key spec.Job.backend in
+      let mode = Job.mode_key spec.Job.mode in
+      let emit_cache status =
+        Trace.emit eng.etrace ~job:id ~kind:"cache"
+          [ ("status", Json.Str status); ("digest", Json.Str digest) ]
+      in
+      match
+        Cache.find eng.ecache ~digest ~eps:spec.Job.eps ~backend ~mode
+      with
+      | Some e ->
+          emit_cache "hit";
+          Job.Solved
+            {
+              value = e.Cache.value;
+              upper_bound = e.Cache.upper_bound;
+              decision_calls = 0;
+              iterations = 0;
+              cache = Job.Hit;
+              certified = true;
+            }
+      | None ->
+          let warm_entry = Cache.find_warm eng.ecache ~digest ~backend ~mode in
+          let warm =
+            match warm_entry with
+            | Some e ->
+                emit_cache "warm";
+                { Solver.upper = Some e.Cache.upper_bound;
+                  x0 = Some e.Cache.x }
+            | None ->
+                emit_cache "miss";
+                Solver.cold
+          in
+          let on_call ~call ~threshold =
+            Trace.emit eng.etrace ~job:id ~kind:"decision_call"
+              [
+                ("call", Json.Num (float_of_int call));
+                ("threshold", Json.Num threshold);
+              ];
+            check ()
+          in
+          let r =
+            Solver.solve_packing ~pool:eng.epool ~backend:spec.Job.backend
+              ~mode:spec.Job.mode ~warm ~on_iter ~on_call ~eps:spec.Job.eps
+              inst
+          in
+          let cert = Certificate.check_dual inst r.Solver.x in
+          Trace.emit eng.etrace ~job:id ~kind:"cert_verified"
+            [
+              ("lambda_max", Json.Num cert.Certificate.lambda_max);
+              ("feasible", Json.Bool cert.Certificate.feasible);
+            ];
+          if cert.Certificate.feasible then
+            Cache.store eng.ecache
+              {
+                Cache.digest;
+                eps = spec.Job.eps;
+                backend;
+                mode;
+                value = r.Solver.value;
+                upper_bound = r.Solver.upper_bound;
+                x = r.Solver.x;
+                decision_calls = r.Solver.decision_calls;
+                iterations = r.Solver.total_iterations;
+              };
+          Job.Solved
+            {
+              value = r.Solver.value;
+              upper_bound = r.Solver.upper_bound;
+              decision_calls = r.Solver.decision_calls;
+              iterations = r.Solver.total_iterations;
+              cache = (if warm_entry <> None then Job.Warm else Job.Miss);
+              certified = cert.Certificate.feasible;
+            })
+
+let finished_fields (r : Job.result) =
+  match r.Job.outcome with
+  | Job.Solved s ->
+      [
+        ("status", Json.Str "ok");
+        ("value", Json.Num s.value);
+        ("upper", Json.Num s.upper_bound);
+        ("calls", Json.Num (float_of_int s.decision_calls));
+        ("iters", Json.Num (float_of_int s.iterations));
+      ]
+  | Job.Decided d ->
+      [
+        ("status", Json.Str (if d.accepted then "ok" else "rejected"));
+        ("iters", Json.Num (float_of_int d.iterations));
+      ]
+  | Job.Failed msg -> [ ("status", Json.Str "failed"); ("error", Json.Str msg) ]
+  | Job.Cancelled -> [ ("status", Json.Str "cancelled") ]
+  | Job.Timed_out -> [ ("status", Json.Str "timeout") ]
+
+let finish eng h (result : Job.result) =
+  Mutex.lock eng.mutex;
+  h.state <- Done result;
+  Condition.broadcast eng.cond;
+  Mutex.unlock eng.mutex;
+  Trace.emit eng.etrace ~job:result.Job.id ~kind:"job_finished"
+    (finished_fields result
+    @ [ ("elapsed", Json.Num result.Job.elapsed) ]);
+  match eng.on_complete with Some f -> f result | None -> ()
+
+let run_one eng h =
+  let id = h.spec.Job.id in
+  if Atomic.get h.cancel_flag then
+    finish eng h { Job.id; outcome = Job.Cancelled; elapsed = 0.0 }
+  else begin
+    Mutex.lock eng.mutex;
+    h.state <- Running;
+    Mutex.unlock eng.mutex;
+    Trace.emit eng.etrace ~job:id ~kind:"job_started" [];
+    let t0 = Timer.now () in
+    let deadline = Option.map (fun s -> t0 +. s) h.spec.Job.timeout in
+    let outcome =
+      try execute eng h ~deadline with
+      | Cancelled_exn -> Job.Cancelled
+      | Timed_out_exn -> Job.Timed_out
+      | Bad_input msg -> Job.Failed msg
+      | Failure msg | Invalid_argument msg -> Job.Failed msg
+      | e -> Job.Failed (Printexc.to_string e)
+    in
+    finish eng h { Job.id; outcome; elapsed = Timer.now () -. t0 }
+  end
+
+let rec runner_loop eng =
+  Mutex.lock eng.mutex;
+  while eng.paused do
+    Condition.wait eng.cond eng.mutex
+  done;
+  Mutex.unlock eng.mutex;
+  match Scheduler.pop eng.sched with
+  | None -> ()
+  | Some h ->
+      run_one eng h;
+      runner_loop eng
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle *)
+
+let create ?pool ?(max_in_flight = 2) ?cache ?trace ?(paused = false)
+    ?(iter_batch = 32) ?on_complete () =
+  if max_in_flight < 1 then
+    invalid_arg "Engine.create: max_in_flight must be >= 1";
+  if iter_batch < 1 then invalid_arg "Engine.create: iter_batch must be >= 1";
+  let epool, owns_pool =
+    match pool with Some p -> (p, false) | None -> (Pool.create (), true)
+  in
+  let eng =
+    {
+      epool;
+      owns_pool;
+      ecache = (match cache with Some c -> c | None -> Cache.create ());
+      etrace = (match trace with Some t -> t | None -> Trace.null);
+      sched = Scheduler.create ();
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      paused;
+      handles = [];
+      seq = 0;
+      runners = [];
+      stopped = false;
+      iter_batch;
+      on_complete;
+    }
+  in
+  Trace.emit eng.etrace ~kind:"engine_started"
+    [
+      ("pool_size", Json.Num (float_of_int (Pool.size epool)));
+      ("max_in_flight", Json.Num (float_of_int max_in_flight));
+    ];
+  eng.runners <-
+    List.init max_in_flight (fun _ -> Domain.spawn (fun () -> runner_loop eng));
+  eng
+
+let submit eng (spec : Job.spec) =
+  Mutex.lock eng.mutex;
+  if eng.stopped then begin
+    Mutex.unlock eng.mutex;
+    invalid_arg "Engine.submit: engine is shut down"
+  end;
+  eng.seq <- eng.seq + 1;
+  let spec : Job.spec =
+    if spec.Job.id = "" then
+      { spec with Job.id = Printf.sprintf "job-%d" eng.seq }
+    else spec
+  in
+  let h = { spec; cancel_flag = Atomic.make false; state = Pending } in
+  eng.handles <- h :: eng.handles;
+  Mutex.unlock eng.mutex;
+  Trace.emit eng.etrace ~job:spec.Job.id ~kind:"job_submitted"
+    [
+      ( "op",
+        Json.Str
+          (match spec.Job.op with Job.Solve -> "solve" | Job.Decide _ -> "decide")
+      );
+      ("eps", Json.Num spec.Job.eps);
+      ("priority", Json.Num (float_of_int spec.Job.priority));
+    ];
+  Scheduler.push eng.sched ~priority:spec.Job.priority h;
+  h
+
+let cancel eng h =
+  Atomic.set h.cancel_flag true;
+  Mutex.lock eng.mutex;
+  let took = match h.state with Done _ -> false | Pending | Running -> true in
+  Mutex.unlock eng.mutex;
+  took
+
+let peek eng h =
+  Mutex.lock eng.mutex;
+  let r = match h.state with Done r -> Some r | Pending | Running -> None in
+  Mutex.unlock eng.mutex;
+  r
+
+let await eng h =
+  Mutex.lock eng.mutex;
+  let rec wait () =
+    match h.state with
+    | Done r ->
+        Mutex.unlock eng.mutex;
+        r
+    | Pending | Running ->
+        Condition.wait eng.cond eng.mutex;
+        wait ()
+  in
+  wait ()
+
+let resume eng =
+  Mutex.lock eng.mutex;
+  eng.paused <- false;
+  Condition.broadcast eng.cond;
+  Mutex.unlock eng.mutex
+
+let drain eng =
+  Mutex.lock eng.mutex;
+  let all = List.rev eng.handles in
+  Mutex.unlock eng.mutex;
+  List.map (fun h -> await eng h) all
+
+let shutdown eng =
+  Mutex.lock eng.mutex;
+  if eng.stopped then Mutex.unlock eng.mutex
+  else begin
+    eng.stopped <- true;
+    eng.paused <- false;
+    Condition.broadcast eng.cond;
+    Mutex.unlock eng.mutex;
+    Scheduler.close eng.sched;
+    List.iter Domain.join eng.runners;
+    eng.runners <- [];
+    let stats = Pool.stats eng.epool in
+    Trace.emit eng.etrace ~kind:"engine_stopped"
+      [
+        ("jobs", Json.Num (float_of_int eng.seq));
+        ( "pool_parallel_loops",
+          Json.Num (float_of_int stats.Pool.parallel_loops) );
+        ( "pool_busy_fallbacks",
+          Json.Num (float_of_int stats.Pool.busy_fallbacks) );
+      ];
+    Log.info (fun m ->
+        m "engine stopped: %d jobs, %d parallel loops, %d busy fallbacks"
+          eng.seq stats.Pool.parallel_loops stats.Pool.busy_fallbacks);
+    if eng.owns_pool then Pool.shutdown eng.epool
+  end
+
+let with_engine ?pool ?max_in_flight ?cache ?trace ?iter_batch ?on_complete f =
+  let eng = create ?pool ?max_in_flight ?cache ?trace ?iter_batch ?on_complete () in
+  match f eng with
+  | result ->
+      shutdown eng;
+      result
+  | exception e ->
+      shutdown eng;
+      raise e

@@ -1,0 +1,109 @@
+(** The batch-solve engine: a persistent multi-job solve service.
+
+    [psdp solve] pays pool spin-up, normalization and bracketing once per
+    process. The engine amortizes all three across a stream of jobs:
+
+    {v
+    submit ──▶ scheduler (priority queue) ──▶ runner domains ──▶ results
+                                              │        │
+                                              ▼        ▼
+                                        shared Pool   Cache ⇄ warm start
+                                              │
+                                              ▼
+                                         Trace sink (JSONL)
+    v}
+
+    - {b Scheduling}: jobs queue by priority (FIFO within a class) and
+      run on [max_in_flight] runner domains — the bounded in-flight
+      limit. Pending or running jobs can be {!cancel}led; a job's
+      [timeout] turns it into a [Timed_out] result. Cancellation and
+      timeouts are checked between solver iterations, so they interrupt
+      even a single long-running solve.
+    - {b Pool sharing}: all runners issue their parallel loops on one
+      shared {!Psdp_parallel.Pool}. At most one job's loop fans out at a
+      time; contenders degrade to sequential execution with the identical
+      chunk partition, so each job's numbers are independent of scheduling
+      (see {!Psdp_parallel.Pool.stats}).
+    - {b Caching}: solve results are stored in a {!Cache} keyed by
+      instance digest; an exact repeat is answered without solver work,
+      and an ε-refinement warm-starts from the certified coarse bracket.
+      Decision jobs are not cached (they are single calls already).
+    - {b Telemetry}: every step emits a {!Trace} event; the per-job
+      counters in [job_finished] match the per-job event stream (as the
+      test suite asserts).
+
+    Runners re-verify every solve's dual certificate against the
+    instance before reporting it, so a cache or warm-start bug can
+    surface only as [certified = false], never as a silently wrong
+    answer. *)
+
+type t
+
+val create :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?max_in_flight:int ->
+  ?cache:Cache.t ->
+  ?trace:Trace.sink ->
+  ?paused:bool ->
+  ?iter_batch:int ->
+  ?on_complete:(Job.result -> unit) ->
+  unit ->
+  t
+(** [create ()] spawns [max_in_flight] (default 2) runner domains.
+    [pool] defaults to a freshly created pool owned (and shut down) by
+    the engine; a caller-supplied pool is shared and left alive.
+    [cache] defaults to a fresh memory-only cache; [trace] to
+    {!Trace.null}. With [paused = true] runners hold until {!resume} —
+    tests use this to make priority ordering deterministic.
+    [iter_batch] (default 32) is the telemetry batching period: one
+    [iter_batch] event per that many solver iterations. [on_complete]
+    fires in the runner domain after each job finishes (any terminal
+    status) — [psdp serve] streams results from it. *)
+
+type handle
+
+val submit : t -> Job.spec -> handle
+(** Enqueue a job. A spec with [id = ""] is assigned ["job-<seq>"].
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val job_id : handle -> string
+
+val cancel : t -> handle -> bool
+(** Request cancellation. Pending jobs resolve to [Cancelled] without
+    running; running jobs abort at the next iteration boundary. Returns
+    [false] if the job had already finished (the result stands). *)
+
+val peek : t -> handle -> Job.result option
+(** The result, if the job has finished. Non-blocking. *)
+
+val await : t -> handle -> Job.result
+(** Block until the job finishes. Every submitted job terminates (runs,
+    fails, cancels or times out), so [await] always returns once the
+    engine is running (not paused). *)
+
+val resume : t -> unit
+(** Release runners created with [paused = true]. Idempotent. *)
+
+val drain : t -> Job.result list
+(** Wait for every job submitted so far; results in submission order. *)
+
+val shutdown : t -> unit
+(** Stop accepting jobs, run everything still queued, join the runner
+    domains, emit [engine_stopped] (with pool contention stats), and
+    shut down the pool if the engine owns it. Idempotent. *)
+
+val with_engine :
+  ?pool:Psdp_parallel.Pool.t ->
+  ?max_in_flight:int ->
+  ?cache:Cache.t ->
+  ?trace:Trace.sink ->
+  ?iter_batch:int ->
+  ?on_complete:(Job.result -> unit) ->
+  (t -> 'a) ->
+  'a
+(** [with_engine f] creates an engine, applies [f], and shuts it down
+    even if [f] raises. *)
+
+val pool : t -> Psdp_parallel.Pool.t
+val cache : t -> Cache.t
+val trace : t -> Trace.sink

@@ -1,0 +1,191 @@
+open Psdp_prelude
+open Psdp_core
+
+type op = Solve | Decide of { threshold : float }
+type source = File of string | Inline of Instance.t
+
+type spec = {
+  id : string;
+  op : op;
+  source : source;
+  eps : float;
+  backend : Decision.backend;
+  mode : Decision.mode;
+  priority : int;
+  timeout : float option;
+}
+
+let default_backend = Decision.Exact
+let default_mode = Decision.Adaptive { check_every = 10 }
+
+let make_spec ?(id = "") ?(eps = 0.1) ?(backend = default_backend)
+    ?(mode = default_mode) ?(priority = 0) ?timeout op source =
+  { id; op; source; eps; backend; mode; priority; timeout }
+
+let solve_spec ?id ?eps ?backend ?mode ?priority ?timeout source =
+  make_spec ?id ?eps ?backend ?mode ?priority ?timeout Solve source
+
+let decide_spec ?id ?eps ?backend ?mode ?priority ?timeout ~threshold source =
+  make_spec ?id ?eps ?backend ?mode ?priority ?timeout (Decide { threshold })
+    source
+
+type cache_status = Hit | Warm | Miss
+
+type outcome =
+  | Solved of {
+      value : float;
+      upper_bound : float;
+      decision_calls : int;
+      iterations : int;
+      cache : cache_status;
+      certified : bool;
+    }
+  | Decided of { accepted : bool; bound : float; iterations : int }
+  | Failed of string
+  | Cancelled
+  | Timed_out
+
+type result = { id : string; outcome : outcome; elapsed : float }
+
+let backend_key = function
+  | Decision.Exact -> "exact"
+  | Decision.Sketched { seed; sketch_dim } ->
+      Printf.sprintf "sketched:%d:%s" seed
+        (match sketch_dim with Some d -> string_of_int d | None -> "auto")
+
+let mode_key = function
+  | Decision.Faithful -> "faithful"
+  | Decision.Adaptive { check_every } ->
+      Printf.sprintf "adaptive:%d" check_every
+
+let cache_status_string = function
+  | Hit -> "hit"
+  | Warm -> "warm"
+  | Miss -> "miss"
+
+(* ------------------------------------------------------------------ *)
+(* Decoding *)
+
+let spec_of_json j =
+  let ( let* ) = Result.bind in
+  let opt name extract ~default =
+    match Json.mem name j with
+    | None -> Ok default
+    | Some v -> (
+        match extract v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "bad %S field" name))
+  in
+  let* id = opt "id" Json.str ~default:"" in
+  let* op_name = opt "op" Json.str ~default:"solve" in
+  let* eps = opt "eps" Json.num ~default:0.1 in
+  let* priority = opt "priority" Json.int ~default:0 in
+  let* timeout =
+    opt "timeout" (fun v -> Option.map Option.some (Json.num v)) ~default:None
+  in
+  let* file =
+    match Option.bind (Json.mem "file" j) Json.str with
+    | Some f -> Ok f
+    | None -> Error "missing \"file\" field"
+  in
+  let* op =
+    match op_name with
+    | "solve" -> Ok Solve
+    | "decide" -> (
+        match Option.bind (Json.mem "threshold" j) Json.num with
+        | Some t when t > 0.0 -> Ok (Decide { threshold = t })
+        | Some _ -> Error "\"threshold\" must be positive"
+        | None -> Error "op \"decide\" requires a numeric \"threshold\"")
+    | other -> Error (Printf.sprintf "unknown op %S" other)
+  in
+  let* backend =
+    let* name = opt "backend" Json.str ~default:"exact" in
+    let* seed = opt "seed" Json.int ~default:17 in
+    let* sketch_dim =
+      opt "sketch_dim"
+        (fun v -> Option.map Option.some (Json.int v))
+        ~default:None
+    in
+    match name with
+    | "exact" -> Ok Decision.Exact
+    | "sketched" -> Ok (Decision.Sketched { seed; sketch_dim })
+    | other -> Error (Printf.sprintf "unknown backend %S" other)
+  in
+  let* mode =
+    let* name = opt "mode" Json.str ~default:"adaptive" in
+    let* check_every = opt "check_every" Json.int ~default:10 in
+    match name with
+    | "adaptive" -> Ok (Decision.Adaptive { check_every })
+    | "faithful" -> Ok Decision.Faithful
+    | other -> Error (Printf.sprintf "unknown mode %S" other)
+  in
+  if eps <= 0.0 || eps >= 1.0 then Error "\"eps\" must lie in (0,1)"
+  else
+    Ok { id; op; source = File file; eps; backend; mode; priority; timeout }
+
+(* ------------------------------------------------------------------ *)
+(* Encoding *)
+
+let result_to_json r =
+  let status, fields =
+    match r.outcome with
+    | Solved s ->
+        ( "ok",
+          [
+            ("value", Json.Num s.value);
+            ("upper", Json.Num s.upper_bound);
+            ("calls", Json.Num (float_of_int s.decision_calls));
+            ("iters", Json.Num (float_of_int s.iterations));
+            ("cache", Json.Str (cache_status_string s.cache));
+            ("certified", Json.Bool s.certified);
+          ] )
+    | Decided d ->
+        ( (if d.accepted then "ok" else "rejected"),
+          [
+            ("accepted", Json.Bool d.accepted);
+            ("bound", Json.Num d.bound);
+            ("iters", Json.Num (float_of_int d.iterations));
+          ] )
+    | Failed msg -> ("failed", [ ("error", Json.Str msg) ])
+    | Cancelled -> ("cancelled", [])
+    | Timed_out -> ("timeout", [])
+  in
+  Json.Obj
+    (("id", Json.Str r.id) :: ("status", Json.Str status)
+    :: fields
+    @ [ ("elapsed", Json.Num r.elapsed) ])
+
+(* ------------------------------------------------------------------ *)
+(* Manifests *)
+
+let resolve ?dir spec =
+  match (dir, spec.source) with
+  | Some d, File path when Filename.is_relative path ->
+      { spec with source = File (Filename.concat d path) }
+  | _ -> spec
+
+let parse_manifest ?dir text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc rest
+        else
+          let parsed =
+            match Json.parse trimmed with
+            | Error msg -> Error msg
+            | Ok j -> spec_of_json j
+          in
+          (match parsed with
+          | Error msg ->
+              Error (Printf.sprintf "manifest line %d: %s" lineno msg)
+          | Ok spec ->
+              let spec =
+                if spec.id = "" then
+                  { spec with id = Printf.sprintf "job-%d" lineno }
+                else spec
+              in
+              go (lineno + 1) (resolve ?dir spec :: acc) rest)
+  in
+  go 1 [] lines

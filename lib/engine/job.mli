@@ -1,0 +1,105 @@
+(** Job specifications and results — the engine's unit of work.
+
+    A job names an instance (a {!Psdp_instances.Loader} file or an
+    in-memory instance), an operation ([solve] = full approxPSDP,
+    [decide] = one ε-decision call at a threshold), an accuracy target,
+    a backend/mode pair, and scheduling metadata (priority, timeout).
+
+    The JSON codecs here define the engine's three wire surfaces:
+    manifest files for [psdp batch], request lines for [psdp serve], and
+    result lines for both. A manifest is line-delimited JSON with blank
+    lines and [#] comments allowed:
+    {v
+    {"id": "bf-fine", "op": "solve", "file": "bf.inst", "eps": 0.05}
+    {"op": "decide", "file": "cyc.inst", "threshold": 2.5, "eps": 0.2}
+    {"op": "solve", "file": "bf.inst", "eps": 0.05, "backend": "sketched",
+     "priority": 10, "timeout": 30.0}
+    v}
+    Unknown fields are ignored (forward compatibility); a missing [id]
+    is filled in from the line number. *)
+
+open Psdp_core
+
+type op = Solve | Decide of { threshold : float }
+
+type source =
+  | File of string  (** loaded (and digested) by the runner at start time *)
+  | Inline of Instance.t
+
+type spec = {
+  id : string;  (** ["" ] lets the engine assign ["job-<seq>"] *)
+  op : op;
+  source : source;
+  eps : float;
+  backend : Decision.backend;
+  mode : Decision.mode;
+  priority : int;  (** higher runs first; default 0 *)
+  timeout : float option;  (** wall-clock seconds; checked between solver
+                               iterations (best effort, never mid-kernel) *)
+}
+
+val solve_spec :
+  ?id:string -> ?eps:float -> ?backend:Decision.backend ->
+  ?mode:Decision.mode -> ?priority:int -> ?timeout:float -> source -> spec
+(** Defaults: [eps = 0.1], [backend = Exact],
+    [mode = Adaptive {check_every = 10}], [priority = 0], no timeout. *)
+
+val decide_spec :
+  ?id:string -> ?eps:float -> ?backend:Decision.backend ->
+  ?mode:Decision.mode -> ?priority:int -> ?timeout:float ->
+  threshold:float -> source -> spec
+
+type cache_status = Hit | Warm | Miss
+
+type outcome =
+  | Solved of {
+      value : float;
+      upper_bound : float;
+      decision_calls : int;  (** 0 on a cache hit: none were made *)
+      iterations : int;
+      cache : cache_status;
+      certified : bool;  (** final dual re-verified by the engine *)
+    }
+  | Decided of {
+      accepted : bool;
+          (** [true]: dual found, OPT ≥ [bound]. [false]: covering
+              certificate, OPT ≤ [bound] (threshold-rejected). *)
+      bound : float;
+      iterations : int;
+    }
+  | Failed of string  (** bad input, solver precondition, unexpected exn *)
+  | Cancelled
+  | Timed_out
+
+type result = { id : string; outcome : outcome; elapsed : float }
+
+(** {1 Canonical key strings}
+
+    Used as cache-key components and in the JSON codecs. They encode
+    everything that affects the numerical result: the sketched backend's
+    seed and dimension, the adaptive mode's check period. *)
+
+val backend_key : Decision.backend -> string
+val mode_key : Decision.mode -> string
+
+(** {1 JSON codecs} *)
+
+val spec_of_json : Psdp_prelude.Json.t -> (spec, string) Stdlib.result
+(** Fields: [op] ("solve" default, or "decide" with required numeric
+    [threshold]), [file] (required — inline sources have no JSON form),
+    [id], [eps], [backend] ("exact"/"sketched"), [seed] and [sketch_dim]
+    (sketched backend), [mode] ("adaptive"/"faithful"), [check_every],
+    [priority], [timeout]. *)
+
+val result_to_json : result -> Psdp_prelude.Json.t
+(** One flat object: [id], [status]
+    ("ok"/"rejected"/"failed"/"cancelled"/"timeout"), [elapsed], and the
+    outcome's fields ([value], [upper], [calls], [iters], [cache],
+    [certified] for solves; [accepted], [bound], [iters] for decisions;
+    [error] for failures). *)
+
+val parse_manifest :
+  ?dir:string -> string -> (spec list, string) Stdlib.result
+(** Parse a whole manifest text. Relative [file] paths are resolved
+    against [dir] when given (the CLI passes the manifest's directory).
+    The error names the offending line. *)

@@ -1,0 +1,102 @@
+(* Binary max-heap on (priority, -seq): higher priority first, FIFO within
+   a priority class. Protected by one mutex; [pop] waits on a condition. *)
+
+type 'a entry = { prio : int; seq : int; item : 'a }
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable heap : 'a entry array;  (* first [len] slots form the heap *)
+  mutable len : int;
+  mutable seq : int;
+  mutable closed : bool;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    heap = [||];
+    len = 0;
+    seq = 0;
+    closed = false;
+  }
+
+let before a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap h i j =
+  let tmp = h.(i) in
+  h.(i) <- h.(j);
+  h.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.(i) h.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h len i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < len && before h.(l) h.(!best) then best := l;
+  if r < len && before h.(r) h.(!best) then best := r;
+  if !best <> i then begin
+    swap h i !best;
+    sift_down h len !best
+  end
+
+let push t ~priority item =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      if t.closed then invalid_arg "Scheduler.push: queue is closed";
+      let e = { prio = priority; seq = t.seq; item } in
+      t.seq <- t.seq + 1;
+      if t.len = Array.length t.heap then begin
+        let cap = max 16 (2 * t.len) in
+        let bigger = Array.make cap e in
+        Array.blit t.heap 0 bigger 0 t.len;
+        t.heap <- bigger
+      end;
+      t.heap.(t.len) <- e;
+      t.len <- t.len + 1;
+      sift_up t.heap (t.len - 1);
+      Condition.signal t.nonempty)
+
+let pop t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if t.len > 0 then begin
+      let root = t.heap.(0) in
+      t.len <- t.len - 1;
+      if t.len > 0 then begin
+        t.heap.(0) <- t.heap.(t.len);
+        sift_down t.heap t.len 0
+      end;
+      Some root.item
+    end
+    else if t.closed then None
+    else begin
+      Condition.wait t.nonempty t.mutex;
+      wait ()
+    end
+  in
+  let r = wait () in
+  Mutex.unlock t.mutex;
+  r
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = t.len in
+  Mutex.unlock t.mutex;
+  n

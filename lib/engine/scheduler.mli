@@ -1,0 +1,25 @@
+(** Blocking priority queue feeding the engine's runner domains.
+
+    Higher priority pops first; within a priority class, submission order
+    (FIFO). All operations are thread-safe; {!pop} blocks until an item
+    is available or the queue is closed {e and} empty — closing does not
+    discard queued items, so a drain-then-join shutdown runs everything
+    that was accepted. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> priority:int -> 'a -> unit
+(** Raises [Invalid_argument] if the queue is closed. *)
+
+val pop : 'a t -> 'a option
+(** Highest-priority item, blocking while the queue is open but empty.
+    [None] once the queue is closed and exhausted. *)
+
+val close : 'a t -> unit
+(** No further pushes; blocked and future pops drain the remaining items
+    and then return [None]. Idempotent. *)
+
+val length : 'a t -> int
+(** Items currently queued (not yet popped). *)

@@ -1,0 +1,60 @@
+open Psdp_prelude
+
+type target = Null | Memory of Json.t list ref | Channel of out_channel
+
+type sink = {
+  mutex : Mutex.t;
+  t0 : float;
+  mutable last : float;  (* latest stamp handed out; enforces monotonicity *)
+  target : target;
+}
+
+let make target =
+  { mutex = Mutex.create (); t0 = Timer.now (); last = 0.0; target }
+
+let null = make Null
+let memory () = make (Memory (ref []))
+let channel oc = make (Channel oc)
+
+let stamp sink =
+  let t = Float.max sink.last (Timer.now () -. sink.t0) in
+  sink.last <- t;
+  t
+
+let emit sink ?job ~kind fields =
+  match sink.target with
+  | Null -> ()
+  | target ->
+      Mutex.lock sink.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock sink.mutex)
+        (fun () ->
+          let t = stamp sink in
+          let header =
+            ("t", Json.Num t) :: ("kind", Json.Str kind)
+            ::
+            (match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
+          in
+          let ev = Json.Obj (header @ fields) in
+          match target with
+          | Null -> ()
+          | Memory buf -> buf := ev :: !buf
+          | Channel oc ->
+              output_string oc (Json.to_string ev);
+              output_char oc '\n';
+              flush oc)
+
+let events sink =
+  match sink.target with
+  | Memory buf ->
+      Mutex.lock sink.mutex;
+      let evs = !buf in
+      Mutex.unlock sink.mutex;
+      List.rev evs
+  | Null | Channel _ -> []
+
+let elapsed sink =
+  Mutex.lock sink.mutex;
+  let t = stamp sink in
+  Mutex.unlock sink.mutex;
+  t

@@ -1,0 +1,47 @@
+(** Structured telemetry for the batch engine.
+
+    Every observable step of a batch run — job lifecycle, decision calls,
+    iteration batches, cache traffic, certificate checks — is emitted as
+    one JSON object with a per-sink monotonic timestamp. A sink decides
+    where events go: nowhere, an in-memory buffer (tests introspect it),
+    or an output channel as JSONL (one compact object per line — the
+    format `psdp batch --trace` writes and the bench harness consumes).
+
+    Emission is thread-safe; events from concurrent runner domains are
+    serialized by the sink and their timestamps are non-decreasing in
+    emission order ([Unix.gettimeofday] is not monotonic under clock
+    adjustment, so the sink clamps each stamp to be at least the previous
+    one).
+
+    Event schema: [{"t": seconds_since_sink_creation, "kind": str,
+    "job": str?, ...kind-specific fields}]. Kinds used by the engine:
+    [job_submitted], [job_started], [job_finished], [decision_call],
+    [iter_batch], [cache], [cert_verified], [engine_started],
+    [engine_stopped]. *)
+
+open Psdp_prelude
+
+type sink
+
+val null : sink
+(** Discards everything (the default — telemetry is strictly opt-in). *)
+
+val memory : unit -> sink
+(** Buffers events in memory; read them back with {!events}. *)
+
+val channel : out_channel -> sink
+(** Writes each event as one JSON line and flushes, so a concurrent
+    reader (or a crashed run's post-mortem) sees complete records. The
+    channel is not closed by the sink. *)
+
+val emit : sink -> ?job:string -> kind:string -> (string * Json.t) list -> unit
+(** [emit sink ~job ~kind fields] records one event. [fields] must not
+    rebind ["t"], ["kind"] or ["job"]. *)
+
+val events : sink -> Json.t list
+(** Events recorded so far, oldest first. Empty for {!null} and
+    {!channel} sinks. *)
+
+val elapsed : sink -> float
+(** Seconds since the sink was created, clamped to be monotone with the
+    event stream. *)

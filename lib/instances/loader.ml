@@ -114,3 +114,18 @@ let load path =
       let len = in_channel_length ic in
       really_input_string ic len)
   |> of_string
+
+let of_string_result text =
+  match of_string text with
+  | inst -> Ok inst
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+let load_result path =
+  match load path with
+  | inst -> Ok inst
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+  | exception Sys_error msg -> Error msg
+
+let digest inst = Digest.to_hex (Digest.string (to_string inst))

@@ -17,3 +17,17 @@ val of_string : string -> Psdp_core.Instance.t
 
 val save : string -> Psdp_core.Instance.t -> unit
 val load : string -> Psdp_core.Instance.t
+
+val of_string_result : string -> (Psdp_core.Instance.t, string) result
+val load_result : string -> (Psdp_core.Instance.t, string) result
+(** Non-raising variants: malformed content and I/O errors come back as
+    [Error msg]. Batch drivers use these to distinguish "bad input" from
+    solver verdicts. *)
+
+val digest : Psdp_core.Instance.t -> string
+(** Content hash (hex) of the canonical {!to_string} serialization.
+    Because [to_string] emits entries in a canonical order (constraints by
+    index, factor entries row-major) and [of_string] rebuilds exactly that
+    form, the digest is invariant under save/load round-trips — two
+    instances share a digest iff they serialize identically. The batch
+    engine keys its result cache and warm-start lookups on this. *)

@@ -19,6 +19,8 @@ type pool = {
   mutable domains : unit Domain.t list;
   busy : bool Atomic.t;  (* a loop is in flight; nested loops go sequential *)
   mutable alive : bool;
+  loops : int Atomic.t;  (* loops that actually fanned out to the workers *)
+  fallbacks : int Atomic.t;  (* loops run sequentially because [busy] was set *)
 }
 
 type t = Sequential | Pool of pool
@@ -92,6 +94,8 @@ let create ?num_domains () =
         domains = [];
         busy = Atomic.make false;
         alive = true;
+        loops = Atomic.make 0;
+        fallbacks = Atomic.make 0;
       }
     in
     pool.domains <-
@@ -102,6 +106,16 @@ let create ?num_domains () =
 let sequential = Sequential
 
 let size = function Sequential -> 1 | Pool p -> p.n_workers + 1
+
+type stats = { parallel_loops : int; busy_fallbacks : int }
+
+let stats = function
+  | Sequential -> { parallel_loops = 0; busy_fallbacks = 0 }
+  | Pool p ->
+      {
+        parallel_loops = Atomic.get p.loops;
+        busy_fallbacks = Atomic.get p.fallbacks;
+      }
 
 let shutdown = function
   | Sequential -> ()
@@ -172,11 +186,22 @@ let parallel_for_chunks t ?grain ~lo ~hi body =
         sequential_chunks ~lo ~hi ~grain:g body
     | Pool p ->
         let g = choose_grain ?grain ~lo ~hi (p.n_workers + 1) in
-        if hi - lo <= g || not (Atomic.compare_and_set p.busy false true) then
-          (* Range too small to split, or a loop is already in flight
-             (nested parallelism): run in the caller. *)
+        if hi - lo <= g then
+          (* Range too small to split: run in the caller. The grain is the
+             same one a fanned-out loop would use, so the chunk partition —
+             and therefore every chunked reduction — is identical either
+             way. *)
           sequential_chunks ~lo ~hi ~grain:g body
+        else if not (Atomic.compare_and_set p.busy false true) then begin
+          (* A loop is already in flight — either a nested loop from the
+             same submitter or a concurrent loop from another domain
+             sharing the pool. Run in the caller; same grain, same
+             partition, same results. *)
+          Atomic.incr p.fallbacks;
+          sequential_chunks ~lo ~hi ~grain:g body
+        end
         else begin
+          Atomic.incr p.loops;
           let n_chunks = Psdp_prelude.Util.ceil_div (hi - lo) g in
           let task =
             {

@@ -9,6 +9,13 @@
     - Loops are {e flat}: a [parallel_for] issued while another one is
       running on the same pool (nesting) degrades gracefully to sequential
       execution in the caller. The solvers only need flat data parallelism.
+    - Pools may be {e shared across concurrent submitters}: several
+      domains (e.g. the batch engine's job runners) can issue loops on one
+      pool simultaneously. Exactly one loop fans out to the workers at a
+      time; the others run sequentially in their callers with the same
+      grain — and therefore the same chunk partition — so results are
+      independent of who won the race. {!stats} counts how often each
+      path was taken.
     - Reductions are {e deterministic}: chunk results are combined in chunk
       order, so floating-point results do not depend on scheduling. This is
       what lets the test suite assert parallel == sequential exactly. *)
@@ -27,6 +34,17 @@ val sequential : t
 
 val size : t -> int
 (** Total workers, including the calling domain. [size sequential = 1]. *)
+
+type stats = { parallel_loops : int; busy_fallbacks : int }
+(** Lifetime loop counters: loops that fanned out to the workers vs.
+    loops that ran sequentially because the pool was busy (nested or
+    concurrent submission). Loops too small to split are counted in
+    neither. *)
+
+val stats : t -> stats
+(** Current counter values (monotone; both 0 for {!sequential}). The
+    batch engine reports these in its telemetry to expose pool
+    contention. *)
 
 val shutdown : t -> unit
 (** Join the worker domains. The pool must not be used afterwards.

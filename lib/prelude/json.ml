@@ -1,0 +1,265 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let num_to_string v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v <= 9.007199254740992e15 then
+    Printf.sprintf "%.0f" v
+  else
+    (* Shortest representation that round-trips through float_of_string. *)
+    let s = Printf.sprintf "%.15g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
+let rec print_into buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> Buffer.add_string buf (num_to_string v)
+  | Str s -> escape_into buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          print_into buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_into buf k;
+          Buffer.add_char buf ':';
+          print_into buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print_into buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: recursive descent over the raw string. *)
+
+exception Bad of int * string
+
+let parse_exn text =
+  let len = String.length text in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < len then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail (Printf.sprintf "expected '%c', got '%c'" c c')
+    | None -> fail (Printf.sprintf "expected '%c', got end of input" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= len && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let hex4 () =
+    if !pos + 4 > len then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match text.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad hex digit in \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'u' ->
+              advance ();
+              let cp = hex4 () in
+              let cp =
+                (* Combine a UTF-16 surrogate pair when one follows. *)
+                if cp >= 0xD800 && cp <= 0xDBFF
+                   && !pos + 1 < len
+                   && text.[!pos] = '\\'
+                   && text.[!pos + 1] = 'u'
+                then begin
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo >= 0xDC00 && lo <= 0xDFFF then
+                    0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+                  else fail "unpaired UTF-16 surrogate"
+                end
+                else cp
+              in
+              (match Uchar.of_int cp with
+              | u -> Buffer.add_utf_8_uchar buf u
+              | exception Invalid_argument _ -> fail "invalid codepoint")
+          | _ -> fail "bad escape");
+          go ()
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let digit () =
+      match peek () with
+      | Some ('0' .. '9') -> advance (); true
+      | _ -> false
+    in
+    let digits () = if digit () then (while digit () do () done; true) else false in
+    if peek () = Some '-' then advance ();
+    if not (digits ()) then fail "bad number";
+    if peek () = Some '.' then begin
+      advance ();
+      if not (digits ()) then fail "bad number: digits required after '.'"
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        if not (digits ()) then fail "bad number: bad exponent"
+    | _ -> ());
+    float_of_string (String.sub text start (!pos - start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let fields = ref [] in
+          let rec field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); field ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          field ();
+          Obj (List.rev !fields)
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let items = ref [] in
+          let rec item () =
+            let v = parse_value () in
+            items := v :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); item ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          item ();
+          List (List.rev !items)
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_number ())
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos < len then fail "trailing content after value";
+    v
+  with
+  | v -> v
+  | exception Bad (at, msg) ->
+      failwith (Printf.sprintf "Json: at offset %d: %s" at msg)
+
+let parse text =
+  match parse_exn text with v -> Ok v | exception Failure msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let mem k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let str = function Str s -> Some s | _ -> None
+let num = function Num v -> Some v | _ -> None
+let bool = function Bool b -> Some b | _ -> None
+let list = function List l -> Some l | _ -> None
+
+let int = function
+  | Num v when Float.is_integer v && Float.abs v <= 9.007199254740992e15 ->
+      Some (int_of_float v)
+  | _ -> None

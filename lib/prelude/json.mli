@@ -1,0 +1,51 @@
+(** Minimal JSON, from scratch like everything else in this repository.
+
+    The batch engine speaks line-delimited JSON on three surfaces — job
+    manifests, result reports, and telemetry traces — and none of the
+    preinstalled libraries provide a JSON codec, so this module implements
+    the subset of RFC 8259 those surfaces need: the full value grammar on
+    input, and a compact single-line printer on output (no newlines ever
+    appear inside a printed value, which is what makes JSONL framing
+    trivial).
+
+    Numbers are represented as [float]. Integers up to 2⁵³ round-trip
+    exactly; non-finite floats print as [null] (JSON has no spelling for
+    them). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value (surrounding whitespace allowed, nothing else
+    after it). Errors carry a character offset and a description. *)
+
+val parse_exn : string -> t
+(** Like {!parse}; raises [Failure] on malformed input. *)
+
+val to_string : t -> string
+(** Compact single-line rendering: no spaces, no newlines, strings
+    escaped per RFC 8259. [parse (to_string v)] succeeds for every [v]
+    whose numbers are finite. *)
+
+(** {1 Accessors}
+
+    Total lookups used by the decoders in [Psdp_engine.Job]; they return
+    [None] rather than raising so callers can produce field-level error
+    messages. *)
+
+val mem : string -> t -> t option
+(** [mem k (Obj ...)] is the value bound to [k], if any. [None] on
+    non-objects. First binding wins if a key repeats. *)
+
+val str : t -> string option
+val num : t -> float option
+val bool : t -> bool option
+val list : t -> t list option
+
+val int : t -> int option
+(** [Num] values that are exact integers (within [2⁵³]). *)

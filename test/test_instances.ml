@@ -295,6 +295,40 @@ let test_loader_comments_and_blanks () =
   let back = Loader.of_string text in
   Alcotest.(check int) "parsed with comments" 2 (Instance.num_constraints back)
 
+let test_loader_save_is_canonical () =
+  (* gen → save → load → save is byte-identical for every family, which
+     is what makes [Loader.digest] a stable content key: the digest of an
+     instance equals the digest of its loaded copy. *)
+  let rng = Rng.create 61 in
+  let families =
+    [
+      ("random", Random_psd.factored ~rng ~dim:7 ~n:4 ~rank:3 ~density:0.4 ());
+      ("diagonal", Diagonal.random ~rng ~dim:6 ~n:4 ());
+      ("projectors", fst (Known_opt.orthogonal_projectors ~rng ~dim:8 ~n:3));
+      ("rank-one", fst (Known_opt.rank_one_orthonormal ~rng ~dim:7 ~n:5));
+      ("cycle", Graph_packing.edge_packing (Graph.cycle 6));
+      ("beamforming", Beamforming.instance ~rng ~antennas:6 ~users:4 ());
+    ]
+  in
+  List.iter
+    (fun (name, inst) ->
+      let text1 = Loader.to_string inst in
+      let back = Loader.of_string text1 in
+      let text2 = Loader.to_string back in
+      Alcotest.(check string) (name ^ ": save∘load∘save byte-identical")
+        text1 text2;
+      Alcotest.(check string) (name ^ ": digest invariant")
+        (Loader.digest inst) (Loader.digest back))
+    families
+
+let test_loader_digest_separates () =
+  let rng = Rng.create 67 in
+  let a = Diagonal.random ~rng ~dim:5 ~n:3 () in
+  let b = Diagonal.random ~rng ~dim:5 ~n:3 () in
+  Alcotest.(check bool) "distinct instances, distinct digests" true
+    (Loader.digest a <> Loader.digest b);
+  Alcotest.(check int) "hex digest length" 32 (String.length (Loader.digest a))
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -312,7 +346,8 @@ let prop_loader_roundtrip =
       let inst = Random_psd.factored ~rng ~dim:4 ~n:3 ~rank:2 ~density:0.5 () in
       let back = Loader.of_string (Loader.to_string inst) in
       let ma = Instance.dense_mats inst and mb = Instance.dense_mats back in
-      Array.for_all2 (fun a b -> Mat.equal ~tol:1e-14 a b) ma mb)
+      Loader.digest inst = Loader.digest back
+      && Array.for_all2 (fun a b -> Mat.equal ~tol:1e-14 a b) ma mb)
 
 let qcheck_cases =
   List.map
@@ -376,6 +411,10 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_loader_file_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_loader_rejects_garbage;
           Alcotest.test_case "comments" `Quick test_loader_comments_and_blanks;
+          Alcotest.test_case "canonical save" `Quick
+            test_loader_save_is_canonical;
+          Alcotest.test_case "digest separates" `Quick
+            test_loader_digest_separates;
         ] );
       ("properties", qcheck_cases);
     ]

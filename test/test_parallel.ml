@@ -116,6 +116,59 @@ let test_invalid_sizes () =
     (Invalid_argument "Pool.create: num_domains must be >= 1") (fun () ->
       ignore (Pool.create ~num_domains:0 ()))
 
+let test_stats_count_loops_and_fallbacks () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      let s0 = Pool.stats pool in
+      Alcotest.(check int) "fresh pool: no loops" 0 s0.Pool.parallel_loops;
+      Alcotest.(check int) "fresh pool: no fallbacks" 0 s0.Pool.busy_fallbacks;
+      (* One big loop fans out; the nested loops inside it find the pool
+         busy and are counted as fallbacks. *)
+      Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:64 (fun _ ->
+          Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:8 (fun _ -> ()));
+      let s = Pool.stats pool in
+      Alcotest.(check bool) "outer loop counted" true (s.Pool.parallel_loops >= 1);
+      Alcotest.(check bool) "nested loops fell back" true
+        (s.Pool.busy_fallbacks >= 1));
+  (* The sequential pool never fans out, so it counts nothing. *)
+  Pool.parallel_for Pool.sequential ~grain:1 ~lo:0 ~hi:64 (fun _ -> ());
+  let s = Pool.stats Pool.sequential in
+  Alcotest.(check int) "sequential: no loops" 0 s.Pool.parallel_loops;
+  Alcotest.(check int) "sequential: no fallbacks" 0 s.Pool.busy_fallbacks
+
+let test_concurrent_submitters_share_pool () =
+  (* The batch engine's sharing pattern: several domains issue loops on
+     one pool at once. Losers of the busy flag degrade to sequential with
+     the same chunking, so every submitter gets the bitwise-identical
+     answer it would get alone. *)
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      let n = 50_000 in
+      let f i = sin (float_of_int i) *. 1e-3 in
+      let expected = Pool.sum_floats Pool.sequential ~grain:512 ~lo:0 ~hi:n f in
+      let submitter () =
+        Domain.spawn (fun () ->
+            Array.init 20 (fun _ ->
+                Pool.sum_floats pool ~grain:512 ~lo:0 ~hi:n f))
+      in
+      let doms = List.init 4 (fun _ -> submitter ()) in
+      List.iter
+        (fun d ->
+          Array.iter
+            (fun v -> Alcotest.(check (float 0.0)) "bitwise identical" expected v)
+            (Domain.join d))
+        doms)
+
+let test_nested_exception_propagates () =
+  Pool.with_pool ~num_domains:2 (fun pool ->
+      (match
+         Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:16 (fun _ ->
+             Pool.parallel_for pool ~lo:0 ~hi:16 (fun j ->
+                 if j = 7 then failwith "inner"))
+       with
+      | () -> Alcotest.fail "expected exception"
+      | exception Failure msg -> Alcotest.(check string) "message" "inner" msg);
+      let total = Pool.sum_floats pool ~lo:0 ~hi:10 (fun _ -> 1.0) in
+      Alcotest.(check (float 0.0)) "pool survives nested failure" 10.0 total)
+
 let test_heavy_imbalanced_load () =
   (* Chunks with wildly different costs: chunk stealing must still cover
      everything and outperform nothing-crashes as a baseline. *)
@@ -168,6 +221,12 @@ let () =
           Alcotest.test_case "shutdown idempotent" `Quick
             test_shutdown_idempotent;
           Alcotest.test_case "invalid sizes" `Quick test_invalid_sizes;
+          Alcotest.test_case "stats counters" `Quick
+            test_stats_count_loops_and_fallbacks;
+          Alcotest.test_case "concurrent submitters" `Quick
+            test_concurrent_submitters_share_pool;
+          Alcotest.test_case "nested exception" `Quick
+            test_nested_exception_propagates;
           Alcotest.test_case "imbalanced load" `Quick test_heavy_imbalanced_load;
         ] );
       ("properties", qcheck_cases);
