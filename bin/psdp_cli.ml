@@ -292,18 +292,43 @@ let cache_file_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE" ~doc)
 
-let with_engine_env ~jobs ~domains ~trace_path ~cache_path f =
+let checkpoint_dir_arg =
+  let doc =
+    "Attach a durable checkpoint store at $(docv): job submissions, \
+     periodic solver-state snapshots and completions are journaled there \
+     (crash-safe: atomic writes, checksummed records). After a crash, \
+     $(b,psdp resume) $(docv) re-runs what was interrupted."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Snapshot solver state every $(docv) decision calls." in
+  Arg.(value & opt int 1 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let open_store_or_die dir =
+  match Psdp_store.Store.open_store dir with
+  | Ok store -> store
+  | Error msg ->
+      Printf.eprintf "psdp: %s\n" msg;
+      exit exit_bad_input
+
+let with_engine_env ~jobs ~domains ~trace_path ~cache_path ?store_dir f =
   Psdp_parallel.Pool.with_pool ?num_domains:domains (fun pool ->
       let cache = Cache.create ?persist:cache_path () in
       let trace_oc = Option.map open_out trace_path in
       let trace =
         match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
       in
+      let store = Option.map open_store_or_die store_dir in
       Fun.protect
         ~finally:(fun () ->
+          Option.iter Psdp_store.Store.close store;
           Cache.close cache;
           Option.iter close_out trace_oc)
-        (fun () -> f ~pool ~cache ~trace ~max_in_flight:jobs))
+        (fun () -> f ~pool ~cache ~trace ~store ~max_in_flight:jobs))
 
 let result_ok (r : Job.result) =
   match r.Job.outcome with
@@ -326,7 +351,8 @@ let batch_cmd =
     in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
   in
-  let run manifest jobs domains trace_path cache_path out verbosity =
+  let run manifest jobs domains trace_path cache_path ckpt_dir ckpt_every out
+      verbosity =
     setup_logs verbosity;
     let text =
       try
@@ -345,8 +371,10 @@ let batch_cmd =
     | Ok specs ->
         let results =
           with_engine_env ~jobs ~domains ~trace_path ~cache_path
-            (fun ~pool ~cache ~trace ~max_in_flight ->
-              Engine.with_engine ~pool ~max_in_flight ~cache ~trace (fun eng ->
+            ?store_dir:ckpt_dir
+            (fun ~pool ~cache ~trace ~store ~max_in_flight ->
+              Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
+                ~checkpoint_every:ckpt_every (fun eng ->
                   List.iter (fun s -> ignore (Engine.submit eng s)) specs;
                   Engine.drain eng))
         in
@@ -385,7 +413,8 @@ let batch_cmd =
           trace. Emits one JSON result line per job, in manifest order.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ domains_arg $ trace_file_arg
-      $ cache_file_arg $ out_arg $ verbose_arg)
+      $ cache_file_arg $ checkpoint_dir_arg $ checkpoint_every_arg $ out_arg
+      $ verbose_arg)
 
 let serve_cmd =
   let stdin_flag =
@@ -398,7 +427,8 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "stdin" ] ~doc)
   in
-  let run use_stdin jobs domains trace_path cache_path verbosity =
+  let run use_stdin jobs domains trace_path cache_path ckpt_dir ckpt_every
+      verbosity =
     setup_logs verbosity;
     if not use_stdin then begin
       Printf.eprintf "psdp serve: only --stdin transport is implemented\n";
@@ -413,10 +443,10 @@ let serve_cmd =
       if not (result_ok r) then any_bad := true;
       Mutex.unlock out_mutex
     in
-    with_engine_env ~jobs ~domains ~trace_path ~cache_path
-      (fun ~pool ~cache ~trace ~max_in_flight ->
-        Engine.with_engine ~pool ~max_in_flight ~cache ~trace ~on_complete
-          (fun eng ->
+    with_engine_env ~jobs ~domains ~trace_path ~cache_path ?store_dir:ckpt_dir
+      (fun ~pool ~cache ~trace ~store ~max_in_flight ->
+        Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
+          ~checkpoint_every:ckpt_every ~on_complete (fun eng ->
             let lineno = ref 0 in
             (try
                while true do
@@ -452,7 +482,65 @@ let serve_cmd =
           persistent engine, streaming results as they complete.")
     Term.(
       const run $ stdin_flag $ jobs_arg $ domains_arg $ trace_file_arg
-      $ cache_file_arg $ verbose_arg)
+      $ cache_file_arg $ checkpoint_dir_arg $ checkpoint_every_arg
+      $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* resume: crash recovery from a checkpoint store *)
+
+let resume_cmd =
+  let store_dir_arg =
+    let doc =
+      "Checkpoint store directory written by a previous \
+       $(b,--checkpoint-dir) run."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE_DIR" ~doc)
+  in
+  let run store_dir jobs domains trace_path cache_path ckpt_every out
+      verbosity =
+    setup_logs verbosity;
+    if not (Sys.file_exists (Filename.concat store_dir "journal.jsonl")) then begin
+      Printf.eprintf "psdp resume: no journal in %s\n" store_dir;
+      exit exit_bad_input
+    end;
+    let results =
+      with_engine_env ~jobs ~domains ~trace_path ~cache_path
+        ~store_dir
+        (fun ~pool ~cache ~trace ~store ~max_in_flight ->
+          Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
+            ~checkpoint_every:ckpt_every (fun eng ->
+              let handles = Engine.recover eng in
+              List.map (fun h -> Engine.await eng h) handles))
+    in
+    if results = [] then Printf.eprintf "resume: nothing to resume\n"
+    else begin
+      (if out = "-" then List.iter (print_result stdout) results
+       else begin
+         let oc = open_out out in
+         List.iter (print_result oc) results;
+         close_out oc
+       end);
+      let bad = List.length (List.filter (fun r -> not (result_ok r)) results) in
+      Printf.eprintf "resume: %d jobs recovered, %d ok, %d not ok\n"
+        (List.length results)
+        (List.length results - bad)
+        bad;
+      if bad > 0 then exit exit_infeasible
+    end
+  in
+  Cmd.v
+    (Cmd.info "resume" ~exits:solver_exits
+       ~doc:
+         "Recover a crashed or cancelled $(b,batch)/$(b,serve) run from \
+          its checkpoint store: every job that was submitted but never \
+          completed is re-run, continuing from its latest valid snapshot \
+          (corrupt or mismatched snapshots are discarded and the job \
+          restarts from scratch). Exits 0 when everything recovered \
+          cleanly or there was nothing to do, 1 when a recovered job \
+          failed, 2 when $(i,STORE_DIR) has no journal.")
+    Term.(
+      const run $ store_dir_arg $ jobs_arg $ domains_arg $ trace_file_arg
+      $ cache_file_arg $ checkpoint_every_arg $ out_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -460,6 +548,9 @@ let main =
   let doc = "width-independent parallel positive SDP solver (SPAA'12)" in
   Cmd.group
     (Cmd.info "psdp" ~version:"1.0.0" ~doc)
-    [ gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd; batch_cmd; serve_cmd ]
+    [
+      gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd; batch_cmd;
+      serve_cmd; resume_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

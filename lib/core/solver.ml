@@ -21,6 +21,16 @@ type warm_start = { upper : float option; x0 : float array option }
 
 let cold = { upper = None; x0 = None }
 
+type bisection_state = {
+  lo : float;
+  hi : float;
+  incumbent : float array;
+  incumbent_value : float;
+  calls_done : int;
+  iterations_done : int;
+  dropped : int;
+}
+
 let default_max_calls ~eps ~ratio =
   (* Geometric bisection halves the log-gap per call; this budget reaches
      a (1+eps) bracket with slack for noisy certificate values. *)
@@ -28,8 +38,8 @@ let default_max_calls ~eps ~ratio =
   let halvings = Util.log2 (log_gap /. log (1.0 +. (eps /. 2.0))) in
   max 4 (int_of_float (Float.ceil halvings) + 8)
 
-let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?on_iter
-    ?on_call ~eps inst =
+let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
+    ?checkpoint ?on_iter ?on_call ~eps inst =
   if eps <= 0.0 || eps >= 1.0 then
     invalid_arg "Solver.solve_packing: eps must lie in (0,1)";
   let n = Instance.num_constraints inst in
@@ -78,9 +88,37 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?on_iter
   | Some u ->
       if Float.is_finite u && u > 0.0 then
         hi := Float.max !lo (Float.min !hi u));
+  (* Resume from a checkpoint of an interrupted solve of this same
+     instance. The incumbent is re-verified exactly like a warm x0; the
+     saved upper end of the bracket is trusted like [warm.upper] (the
+     caller is responsible for validating the snapshot's provenance —
+     the engine matches instance digests before handing it to us). *)
+  (match resume with
+  | None -> ()
+  | Some s ->
+      if Array.length s.incumbent <> n then
+        invalid_arg "Solver.solve_packing: resume incumbent has wrong length";
+      let cert = Certificate.rescale_dual inst s.incumbent in
+      if cert.Certificate.feasible && cert.Certificate.value > !incumbent_value
+      then begin
+        incumbent_value := cert.Certificate.value;
+        Array.blit cert.Certificate.x 0 incumbent_x 0 n
+      end;
+      lo := Float.max !lo !incumbent_value;
+      if Float.is_finite s.hi && s.hi > 0.0 then
+        hi := Float.max !lo (Float.min !hi s.hi));
   let primal_dots = ref None and primal_z = ref None in
-  let calls = ref 0 and iters = ref 0 and dropped_total = ref 0 in
+  let base_calls, base_iters, base_dropped =
+    match resume with
+    | None -> (0, 0, 0)
+    | Some s -> (s.calls_done, s.iterations_done, s.dropped)
+  in
+  let calls = ref base_calls
+  and iters = ref base_iters
+  and dropped_total = ref base_dropped in
   let budget =
+    (* The call budget covers the remaining work, not the lifetime total:
+       a resumed solve gets as many fresh calls as a cold one would. *)
     match max_calls with
     | Some c -> c
     | None -> default_max_calls ~eps ~ratio:(!hi /. !lo)
@@ -89,7 +127,7 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?on_iter
   let clamp_cutoff = float_of_int n ** 3.0 in
   Log.info (fun m ->
       m "bracket [%.6g, %.6g], budget %d decision calls" !lo !hi budget);
-  while !hi > (1.0 +. eps) *. !lo && !calls < budget do
+  while !hi > (1.0 +. eps) *. !lo && !calls - base_calls < budget do
     incr calls;
     let v = sqrt (!lo *. !hi) in
     (match on_call with
@@ -145,7 +183,19 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?on_iter
               Option.map (fun y -> Mat.scale (v /. min_dot) y) y
           end
         end);
-    ()
+    (match checkpoint with
+    | Some f ->
+        f
+          {
+            lo = !lo;
+            hi = !hi;
+            incumbent = Array.copy incumbent_x;
+            incumbent_value = !incumbent_value;
+            calls_done = !calls;
+            iterations_done = !iters;
+            dropped = !dropped_total;
+          }
+    | None -> ())
   done;
   {
     x = incumbent_x;

@@ -40,12 +40,28 @@ type warm_start = {
 val cold : warm_start
 (** [{upper = None; x0 = None}] — the default. *)
 
+type bisection_state = {
+  lo : float;  (** certified lower end of the bracket *)
+  hi : float;  (** certified upper end of the bracket *)
+  incumbent : float array;  (** best verified dual so far *)
+  incumbent_value : float;
+  calls_done : int;
+  iterations_done : int;
+  dropped : int;
+}
+(** Everything the bisection loop needs to continue after an
+    interruption. Handed to [checkpoint] after every decision call (the
+    [incumbent] array is a fresh copy, safe to retain) and accepted back
+    through [resume]. *)
+
 val solve_packing :
   ?pool:Psdp_parallel.Pool.t ->
   ?backend:Decision.backend ->
   ?mode:Decision.mode ->
   ?max_calls:int ->
   ?warm:warm_start ->
+  ?resume:bisection_state ->
+  ?checkpoint:(bisection_state -> unit) ->
   ?on_iter:(Decision.iter_stats -> unit) ->
   ?on_call:(call:int -> threshold:float -> unit) ->
   eps:float ->
@@ -60,7 +76,16 @@ val solve_packing :
     solve skips the decision calls that would re-derive the coarse
     bracket. [on_call] observes every bisection step (decision call number
     and threshold); [on_iter] observes every solver iteration inside every
-    decision call — both are used by the batch engine's telemetry. *)
+    decision call — both are used by the batch engine's telemetry.
+
+    [checkpoint] fires after every completed decision call with the
+    current {!bisection_state}; the checkpoint subsystem serializes it.
+    [resume] continues an interrupted solve: the saved incumbent is
+    re-verified before adoption (like [warm.x0]), the saved [hi] is
+    trusted like [warm.upper] — the caller must have validated the
+    snapshot's provenance (instance digest, checksum) first. Progress
+    counters continue from the saved values; the call budget applies to
+    the calls made in {e this} invocation only. *)
 
 type covering_result = {
   z : Mat.t;  (** feasible covering solution: [Aᵢ•Z >= 1 − tol], [Z ≽ 0] *)

@@ -7,15 +7,21 @@ let log_src = Logs.Src.create "psdp.engine" ~doc:"batch solve engine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Store = Psdp_store.Store
+module Journal = Psdp_store.Journal
+module Snapshot = Psdp_store.Snapshot
+
 exception Cancelled_exn
 exception Timed_out_exn
 exception Bad_input of string
+exception Store_crash of string
 
 type state = Pending | Running | Done of Job.result
 
 type handle = {
   spec : Job.spec;
   cancel_flag : bool Atomic.t;
+  resume_from : Snapshot.t option;  (* recovery: seed the bisection *)
   mutable state : state;  (* protected by the engine mutex *)
 }
 
@@ -24,6 +30,8 @@ type t = {
   owns_pool : bool;
   ecache : Cache.t;
   etrace : Trace.sink;
+  store : Store.t option;
+  checkpoint_every : int;
   sched : handle Scheduler.t;
   mutex : Mutex.t;
   cond : Condition.t;  (* signals job completion and resume *)
@@ -133,6 +141,89 @@ let execute eng h ~deadline =
                 emit_cache "miss";
                 Solver.cold
           in
+          (* A recovery snapshot is adopted only if it provably belongs
+             to this exact work item: same instance content (digest),
+             same accuracy, same backend/mode. Anything else is traced
+             and discarded — the job simply solves cold. *)
+          let resume =
+            match h.resume_from with
+            | None -> None
+            | Some snap
+              when snap.Snapshot.digest = digest
+                   && snap.Snapshot.eps = spec.Job.eps
+                   && snap.Snapshot.backend = backend
+                   && snap.Snapshot.mode = mode ->
+                Trace.emit eng.etrace ~job:id ~kind:"resume"
+                  [
+                    ("from_call", Json.Num (float_of_int snap.Snapshot.calls));
+                    ("lo", Json.Num snap.Snapshot.lo);
+                    ("hi", Json.Num snap.Snapshot.hi);
+                  ];
+                Some
+                  {
+                    Solver.lo = snap.Snapshot.lo;
+                    hi = snap.Snapshot.hi;
+                    incumbent = snap.Snapshot.x;
+                    incumbent_value = snap.Snapshot.value;
+                    calls_done = snap.Snapshot.calls;
+                    iterations_done = snap.Snapshot.iterations;
+                    dropped = snap.Snapshot.dropped;
+                  }
+            | Some snap ->
+                Trace.emit eng.etrace ~job:id ~kind:"snapshot_rejected"
+                  [
+                    ("reason", Json.Str "identity mismatch");
+                    ("snapshot_digest", Json.Str snap.Snapshot.digest);
+                    ("instance_digest", Json.Str digest);
+                  ];
+                None
+          in
+          let checkpoint =
+            match eng.store with
+            | None -> None
+            | Some store ->
+                Some
+                  (fun (s : Solver.bisection_state) ->
+                    if s.Solver.calls_done mod eng.checkpoint_every = 0 then begin
+                      let snap =
+                        {
+                          Snapshot.digest;
+                          eps = spec.Job.eps;
+                          backend;
+                          mode;
+                          threshold = sqrt (s.Solver.lo *. s.Solver.hi);
+                          lo = s.Solver.lo;
+                          hi = s.Solver.hi;
+                          value = s.Solver.incumbent_value;
+                          calls = s.Solver.calls_done;
+                          iterations = s.Solver.iterations_done;
+                          dropped = s.Solver.dropped;
+                          x = s.Solver.incumbent;
+                          rng = [||];
+                        }
+                      in
+                      match
+                        let rel = Store.save_snapshot store ~job:id snap in
+                        Store.append store
+                          (Journal.Checkpoint
+                             { job = id; call = s.Solver.calls_done;
+                               snapshot = rel })
+                      with
+                      | () ->
+                          Trace.emit eng.etrace ~job:id ~kind:"checkpoint"
+                            [
+                              ( "call",
+                                Json.Num (float_of_int s.Solver.calls_done) );
+                              ("lo", Json.Num s.Solver.lo);
+                              ("hi", Json.Num s.Solver.hi);
+                            ]
+                      | exception e ->
+                          (* A broken store must not masquerade as a solver
+                             verdict — and must leave no completion record,
+                             so the job stays recoverable. *)
+                          raise (Store_crash (Printexc.to_string e))
+                    end)
+          in
           let on_call ~call ~threshold =
             Trace.emit eng.etrace ~job:id ~kind:"decision_call"
               [
@@ -143,8 +234,8 @@ let execute eng h ~deadline =
           in
           let r =
             Solver.solve_packing ~pool:eng.epool ~backend:spec.Job.backend
-              ~mode:spec.Job.mode ~warm ~on_iter ~on_call ~eps:spec.Job.eps
-              inst
+              ~mode:spec.Job.mode ~warm ?resume ?checkpoint ~on_iter ~on_call
+              ~eps:spec.Job.eps inst
           in
           let cert = Certificate.check_dual inst r.Solver.x in
           Trace.emit eng.etrace ~job:id ~kind:"cert_verified"
@@ -194,7 +285,33 @@ let finished_fields (r : Job.result) =
   | Job.Cancelled -> [ ("status", Json.Str "cancelled") ]
   | Job.Timed_out -> [ ("status", Json.Str "timeout") ]
 
-let finish eng h (result : Job.result) =
+(* Journal the terminal record. Solver verdicts (including failures) are
+   [Completed] — the job is settled and recovery must not rerun it.
+   Cancellations and timeouts are deliberate interruptions: a [Cancelled]
+   record keeps the job's snapshots and leaves it resumable. A failing
+   append is swallowed — rerunning a job on recovery is safe, crashing
+   the runner is not. *)
+let journal_finish eng (result : Job.result) =
+  match eng.store with
+  | None -> ()
+  | Some store -> (
+      let record =
+        match result.Job.outcome with
+        | Job.Solved _ ->
+            Journal.Completed { job = result.Job.id; status = "ok" }
+        | Job.Decided _ ->
+            Journal.Completed { job = result.Job.id; status = "decided" }
+        | Job.Failed msg ->
+            Journal.Completed { job = result.Job.id; status = "failed: " ^ msg }
+        | Job.Cancelled ->
+            Journal.Cancelled { job = result.Job.id; reason = "cancel" }
+        | Job.Timed_out ->
+            Journal.Cancelled { job = result.Job.id; reason = "timeout" }
+      in
+      try Store.append store record with _ -> ())
+
+let finish ?(record = true) eng h (result : Job.result) =
+  if record then journal_finish eng result;
   Mutex.lock eng.mutex;
   h.state <- Done result;
   Condition.broadcast eng.cond;
@@ -215,15 +332,21 @@ let run_one eng h =
     Trace.emit eng.etrace ~job:id ~kind:"job_started" [];
     let t0 = Timer.now () in
     let deadline = Option.map (fun s -> t0 +. s) h.spec.Job.timeout in
-    let outcome =
-      try execute eng h ~deadline with
-      | Cancelled_exn -> Job.Cancelled
-      | Timed_out_exn -> Job.Timed_out
-      | Bad_input msg -> Job.Failed msg
-      | Failure msg | Invalid_argument msg -> Job.Failed msg
-      | e -> Job.Failed (Printexc.to_string e)
+    let outcome, record =
+      match execute eng h ~deadline with
+      | outcome -> (outcome, true)
+      | exception Cancelled_exn -> (Job.Cancelled, true)
+      | exception Timed_out_exn -> (Job.Timed_out, true)
+      | exception Store_crash msg ->
+          (* The store died mid-checkpoint: report the failure but leave
+             no completion record, so the job stays pending for
+             recovery. *)
+          (Job.Failed ("checkpoint store: " ^ msg), false)
+      | exception Bad_input msg -> (Job.Failed msg, true)
+      | exception (Failure msg | Invalid_argument msg) -> (Job.Failed msg, true)
+      | exception e -> (Job.Failed (Printexc.to_string e), true)
     in
-    finish eng h { Job.id; outcome; elapsed = Timer.now () -. t0 }
+    finish ~record eng h { Job.id; outcome; elapsed = Timer.now () -. t0 }
   end
 
 let rec runner_loop eng =
@@ -241,11 +364,14 @@ let rec runner_loop eng =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
-let create ?pool ?(max_in_flight = 2) ?cache ?trace ?(paused = false)
-    ?(iter_batch = 32) ?on_complete () =
+let create ?pool ?(max_in_flight = 2) ?cache ?trace ?store
+    ?(checkpoint_every = 1) ?(paused = false) ?(iter_batch = 32) ?on_complete
+    () =
   if max_in_flight < 1 then
     invalid_arg "Engine.create: max_in_flight must be >= 1";
   if iter_batch < 1 then invalid_arg "Engine.create: iter_batch must be >= 1";
+  if checkpoint_every < 1 then
+    invalid_arg "Engine.create: checkpoint_every must be >= 1";
   let epool, owns_pool =
     match pool with Some p -> (p, false) | None -> (Pool.create (), true)
   in
@@ -255,6 +381,8 @@ let create ?pool ?(max_in_flight = 2) ?cache ?trace ?(paused = false)
       owns_pool;
       ecache = (match cache with Some c -> c | None -> Cache.create ());
       etrace = (match trace with Some t -> t | None -> Trace.null);
+      store;
+      checkpoint_every;
       sched = Scheduler.create ();
       mutex = Mutex.create ();
       cond = Condition.create ();
@@ -276,7 +404,30 @@ let create ?pool ?(max_in_flight = 2) ?cache ?trace ?(paused = false)
     List.init max_in_flight (fun _ -> Domain.spawn (fun () -> runner_loop eng));
   eng
 
-let submit eng (spec : Job.spec) =
+(* Make a spec journalable: inline instances are persisted into the
+   store's [instances/] directory (idempotently, keyed by digest) so the
+   WAL always refers to a file a later process can reload. *)
+let journal_submit eng (spec : Job.spec) =
+  match eng.store with
+  | None -> spec
+  | Some store ->
+      let spec =
+        match spec.Job.source with
+        | Job.File _ -> spec
+        | Job.Inline inst ->
+            let digest = Loader.digest inst in
+            let path =
+              Store.save_instance store ~digest ~text:(Loader.to_string inst)
+            in
+            { spec with Job.source = Job.File path }
+      in
+      (match Job.spec_to_json spec with
+      | Ok json ->
+          Store.append store (Journal.Submitted { job = spec.Job.id; spec = json })
+      | Error _ -> ());
+      spec
+
+let submit_with ?resume eng (spec : Job.spec) =
   Mutex.lock eng.mutex;
   if eng.stopped then begin
     Mutex.unlock eng.mutex;
@@ -288,7 +439,13 @@ let submit eng (spec : Job.spec) =
       { spec with Job.id = Printf.sprintf "job-%d" eng.seq }
     else spec
   in
-  let h = { spec; cancel_flag = Atomic.make false; state = Pending } in
+  Mutex.unlock eng.mutex;
+  let spec = journal_submit eng spec in
+  Mutex.lock eng.mutex;
+  let h =
+    { spec; cancel_flag = Atomic.make false; resume_from = resume;
+      state = Pending }
+  in
   eng.handles <- h :: eng.handles;
   Mutex.unlock eng.mutex;
   Trace.emit eng.etrace ~job:spec.Job.id ~kind:"job_submitted"
@@ -302,6 +459,62 @@ let submit eng (spec : Job.spec) =
     ];
   Scheduler.push eng.sched ~priority:spec.Job.priority h;
   h
+
+let submit eng spec = submit_with eng spec
+
+let recover eng =
+  match eng.store with
+  | None -> []
+  | Some store ->
+      let pend = Store.pending store in
+      Trace.emit eng.etrace ~kind:"recovery_started"
+        [ ("pending", Json.Num (float_of_int (List.length pend))) ];
+      (match Store.torn_tail store with
+      | Some msg ->
+          Trace.emit eng.etrace ~kind:"journal_torn"
+            [ ("error", Json.Str msg) ]
+      | None -> ());
+      List.filter_map
+        (fun (p : Store.pending) ->
+          match Job.spec_of_json p.Store.spec with
+          | Error msg ->
+              Trace.emit eng.etrace ~job:p.Store.job ~kind:"recovery_skipped"
+                [ ("error", Json.Str msg) ];
+              None
+          | Ok spec ->
+              let spec = { spec with Job.id = p.Store.job } in
+              let resume =
+                match p.Store.snapshot with
+                | None -> None
+                | Some rel -> (
+                    match Store.load_snapshot store rel with
+                    | Ok snap -> Some snap
+                    | Error msg ->
+                        (* Corrupt snapshot: the spec is still good, so
+                           the job reruns from scratch rather than being
+                           dropped or trusted. *)
+                        Trace.emit eng.etrace ~job:p.Store.job
+                          ~kind:"snapshot_rejected"
+                          [ ("reason", Json.Str msg) ];
+                        None)
+              in
+              let h = submit_with ?resume eng spec in
+              Trace.emit eng.etrace ~job:p.Store.job ~kind:"job_recovered"
+                [
+                  ( "from_call",
+                    Json.Num
+                      (float_of_int
+                         (match resume with
+                         | Some s -> s.Snapshot.calls
+                         | None -> 0)) );
+                  ( "interrupted",
+                    Json.Str
+                      (match p.Store.interrupted with
+                      | Some reason -> reason
+                      | None -> "crash") );
+                ];
+              Some h)
+        pend
 
 let cancel eng h =
   Atomic.set h.cancel_flag true;
@@ -367,8 +580,12 @@ let shutdown eng =
     if eng.owns_pool then Pool.shutdown eng.epool
   end
 
-let with_engine ?pool ?max_in_flight ?cache ?trace ?iter_batch ?on_complete f =
-  let eng = create ?pool ?max_in_flight ?cache ?trace ?iter_batch ?on_complete () in
+let with_engine ?pool ?max_in_flight ?cache ?trace ?store ?checkpoint_every
+    ?iter_batch ?on_complete f =
+  let eng =
+    create ?pool ?max_in_flight ?cache ?trace ?store ?checkpoint_every
+      ?iter_batch ?on_complete ()
+  in
   match f eng with
   | result ->
       shutdown eng;

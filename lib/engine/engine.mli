@@ -35,15 +35,35 @@
     Runners re-verify every solve's dual certificate against the
     instance before reporting it, so a cache or warm-start bug can
     surface only as [certified = false], never as a silently wrong
-    answer. *)
+    answer.
+
+    {b Durability}: with a {!Psdp_store.Store} attached, the engine
+    writes a WAL record at submission, a solver-state snapshot every
+    [checkpoint_every] decision calls, and a terminal record at
+    completion. After a crash, {!recover} re-enqueues every job that
+    was submitted but never completed, resuming each from its latest
+    snapshot once the snapshot's instance digest, ε and backend/mode
+    keys are revalidated against the freshly loaded instance (a
+    mismatching or corrupt snapshot is traced as [snapshot_rejected]
+    and the job reruns cold). A store failure mid-checkpoint fails the
+    job {e without} journaling completion, so the work stays
+    recoverable. *)
 
 type t
+
+exception Store_crash of string
+(** The checkpoint store failed while persisting a snapshot or WAL
+    record. Internal: surfaced to results as
+    [Failed "checkpoint store: ..."]; the job keeps its pending status
+    in the journal. *)
 
 val create :
   ?pool:Psdp_parallel.Pool.t ->
   ?max_in_flight:int ->
   ?cache:Cache.t ->
   ?trace:Trace.sink ->
+  ?store:Psdp_store.Store.t ->
+  ?checkpoint_every:int ->
   ?paused:bool ->
   ?iter_batch:int ->
   ?on_complete:(Job.result -> unit) ->
@@ -58,13 +78,32 @@ val create :
     [iter_batch] (default 32) is the telemetry batching period: one
     [iter_batch] event per that many solver iterations. [on_complete]
     fires in the runner domain after each job finishes (any terminal
-    status) — [psdp serve] streams results from it. *)
+    status) — [psdp serve] streams results from it.
+
+    [store] (default none — no durability) attaches a checkpoint store;
+    the engine appends to its journal and snapshots solver state every
+    [checkpoint_every] (default 1) decision calls. The store is not
+    owned: the caller closes it after {!shutdown}. *)
 
 type handle
 
 val submit : t -> Job.spec -> handle
 (** Enqueue a job. A spec with [id = ""] is assigned ["job-<seq>"].
-    Raises [Invalid_argument] after {!shutdown}. *)
+    Raises [Invalid_argument] after {!shutdown}. With a store attached,
+    the submission is journaled first; an [Inline] instance is saved
+    under the store's [instances/] directory so the journal always
+    refers to a reloadable file. *)
+
+val recover : t -> handle list
+(** Re-enqueue every pending job from the attached store's journal —
+    jobs submitted (possibly by a previous, crashed process) but never
+    completed. Each is resumed from its latest valid snapshot, or rerun
+    from scratch when it has none (or the snapshot is corrupt or
+    belongs to different work). Emits [recovery_started],
+    [job_recovered], [recovery_skipped] and [snapshot_rejected] trace
+    events. Returns [[]] without a store. Call once, after {!create}
+    and before submitting new work, so recovered jobs keep their
+    journal identities. *)
 
 val job_id : handle -> string
 
@@ -97,6 +136,8 @@ val with_engine :
   ?max_in_flight:int ->
   ?cache:Cache.t ->
   ?trace:Trace.sink ->
+  ?store:Psdp_store.Store.t ->
+  ?checkpoint_every:int ->
   ?iter_batch:int ->
   ?on_complete:(Job.result -> unit) ->
   (t -> 'a) ->

@@ -126,6 +126,49 @@ let spec_of_json j =
 (* ------------------------------------------------------------------ *)
 (* Encoding *)
 
+let spec_to_json spec =
+  match spec.source with
+  | Inline _ -> Error "inline sources have no JSON form"
+  | File path ->
+      let op_fields =
+        match spec.op with
+        | Solve -> [ ("op", Json.Str "solve") ]
+        | Decide { threshold } ->
+            [ ("op", Json.Str "decide"); ("threshold", Json.Num threshold) ]
+      in
+      let backend_fields =
+        match spec.backend with
+        | Decision.Exact -> [ ("backend", Json.Str "exact") ]
+        | Decision.Sketched { seed; sketch_dim } ->
+            ("backend", Json.Str "sketched")
+            :: ("seed", Json.Num (float_of_int seed))
+            ::
+            (match sketch_dim with
+            | Some d -> [ ("sketch_dim", Json.Num (float_of_int d)) ]
+            | None -> [])
+      in
+      let mode_fields =
+        match spec.mode with
+        | Decision.Faithful -> [ ("mode", Json.Str "faithful") ]
+        | Decision.Adaptive { check_every } ->
+            [
+              ("mode", Json.Str "adaptive");
+              ("check_every", Json.Num (float_of_int check_every));
+            ]
+      in
+      let timeout_fields =
+        match spec.timeout with
+        | Some s -> [ ("timeout", Json.Num s) ]
+        | None -> []
+      in
+      Ok
+        (Json.Obj
+           (("id", Json.Str spec.id) :: op_fields
+           @ [ ("file", Json.Str path); ("eps", Json.Num spec.eps) ]
+           @ backend_fields @ mode_fields
+           @ [ ("priority", Json.Num (float_of_int spec.priority)) ]
+           @ timeout_fields))
+
 let result_to_json r =
   let status, fields =
     match r.outcome with

@@ -91,6 +91,12 @@ val spec_of_json : Psdp_prelude.Json.t -> (spec, string) Stdlib.result
     (sketched backend), [mode] ("adaptive"/"faithful"), [check_every],
     [priority], [timeout]. *)
 
+val spec_to_json : spec -> (Psdp_prelude.Json.t, string) Stdlib.result
+(** Inverse of {!spec_of_json} for [File] specs — the form the
+    checkpoint store's journal records. [spec_of_json (spec_to_json s)]
+    rebuilds [s] exactly. [Inline] sources have no JSON form and return
+    [Error]; the engine saves them to a file first. *)
+
 val result_to_json : result -> Psdp_prelude.Json.t
 (** One flat object: [id], [status]
     ("ok"/"rejected"/"failed"/"cancelled"/"timeout"), [elapsed], and the

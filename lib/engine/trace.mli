@@ -17,7 +17,9 @@
     "job": str?, ...kind-specific fields}]. Kinds used by the engine:
     [job_submitted], [job_started], [job_finished], [decision_call],
     [iter_batch], [cache], [cert_verified], [engine_started],
-    [engine_stopped]. *)
+    [engine_stopped]; and, when a checkpoint store is attached,
+    [checkpoint], [recovery_started], [job_recovered], [resume],
+    [snapshot_rejected], [recovery_skipped], [journal_torn]. *)
 
 open Psdp_prelude
 

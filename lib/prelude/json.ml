@@ -184,7 +184,11 @@ let parse_exn text =
         (match peek () with Some ('+' | '-') -> advance () | _ -> ());
         if not (digits ()) then fail "bad number: bad exponent"
     | _ -> ());
-    float_of_string (String.sub text start (!pos - start))
+    let v = float_of_string (String.sub text start (!pos - start)) in
+    (* Overflowing literals like 1e999 parse to infinity, which the
+       printer has no spelling for; reject rather than round-trip badly. *)
+    if not (Float.is_finite v) then fail "number out of range";
+    v
   in
   let rec parse_value () =
     skip_ws ();

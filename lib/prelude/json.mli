@@ -22,7 +22,9 @@ type t =
 
 val parse : string -> (t, string) result
 (** Parse one JSON value (surrounding whitespace allowed, nothing else
-    after it). Errors carry a character offset and a description. *)
+    after it). Errors carry a character offset and a description.
+    Number literals that overflow to infinity (e.g. [1e999]) are
+    rejected: every [Num] a parse produces is finite. *)
 
 val parse_exn : string -> t
 (** Like {!parse}; raises [Failure] on malformed input. *)

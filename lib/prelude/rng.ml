@@ -45,6 +45,15 @@ let bits64 t =
 
 let split t = of_seed64 (bits64 t)
 
+let state t = [| t.s0; t.s1; t.s2; t.s3 |]
+
+let of_state a =
+  if Array.length a <> 4 then invalid_arg "Rng.of_state: expected 4 words";
+  if Array.for_all (fun w -> w = 0L) a then
+    invalid_arg "Rng.of_state: all-zero state";
+  { s0 = a.(0); s1 = a.(1); s2 = a.(2); s3 = a.(3);
+    spare = 0.0; has_spare = false }
+
 let copy t =
   { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3;
     spare = t.spare; has_spare = t.has_spare }

@@ -19,6 +19,16 @@ val split : t -> t
 val copy : t -> t
 (** Structural copy; both generators continue the same stream. *)
 
+val state : t -> int64 array
+(** The four xoshiro256++ state words, for serialization. The cached
+    Gaussian spare is not included. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state}. The uniform/integer stream
+    continues exactly; a pending Gaussian spare is dropped, so the
+    Gaussian stream may skip one cached value. Raises [Invalid_argument]
+    unless given exactly four words, not all zero. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

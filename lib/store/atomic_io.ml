@@ -1,0 +1,40 @@
+type kill_point = Kill_before_write | Kill_after_write | Kill_after_rename
+
+let kill_hook : (kill_point -> string -> unit) option ref = ref None
+let set_kill_hook h = kill_hook := h
+
+let kill point path =
+  match !kill_hook with Some f -> f point path | None -> ()
+
+let fsync_path path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+
+let write_atomic path data =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  let written =
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        kill Kill_before_write path;
+        output_string oc data;
+        flush oc;
+        Unix.fsync (Unix.descr_of_out_channel oc))
+  in
+  ignore written;
+  kill Kill_after_write path;
+  Sys.rename tmp path;
+  kill Kill_after_rename path;
+  (* Make the rename itself durable: fsync the containing directory. *)
+  fsync_path (Filename.dirname path)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | data -> Ok data
+  | exception Sys_error msg -> Error msg

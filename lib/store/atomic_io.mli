@@ -1,0 +1,33 @@
+(** Crash-safe file writes: write-to-temp + fsync + rename.
+
+    Every durable artifact in the store (snapshots, persisted instances)
+    goes through {!write_atomic}, so a reader never observes a partially
+    written file at the final path: at any kill point the path holds
+    either the previous complete content or the new complete content.
+    Leftover [*.tmp.*] files from a crash are garbage, never truth;
+    [Store.open_store] sweeps them.
+
+    The kill-point hook exists for the fault-injection tests: it is
+    invoked at each stage of the write protocol and may raise to simulate
+    the process dying at exactly that point. Production code never sets
+    it. *)
+
+type kill_point =
+  | Kill_before_write  (** temp file created, nothing written yet *)
+  | Kill_after_write  (** temp written and fsynced, not yet renamed *)
+  | Kill_after_rename  (** renamed into place, directory not yet fsynced *)
+
+val set_kill_hook : (kill_point -> string -> unit) option -> unit
+(** [set_kill_hook (Some f)] arranges for [f point final_path] to be
+    called at every kill point of every subsequent {!write_atomic}. [f]
+    raising simulates a crash mid-write. [set_kill_hook None] (the
+    initial state) disables injection. Test-only; global. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path data] durably replaces the content of [path]:
+    writes [data] to [path ^ ".tmp.<pid>"], fsyncs it, renames it over
+    [path], then fsyncs the parent directory so the rename itself is
+    durable. Raises [Sys_error] / [Unix.Unix_error] on I/O failure. *)
+
+val read_file : string -> (string, string) result
+(** Whole-file read; I/O errors come back as [Error msg]. *)

@@ -1,0 +1,9 @@
+let fnv1a64 s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+let fnv1a64_hex s = Printf.sprintf "%016Lx" (fnv1a64 s)

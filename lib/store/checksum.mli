@@ -1,0 +1,11 @@
+(** Content checksums for the durable store.
+
+    FNV-1a is not cryptographic; it guards against torn writes and bit
+    rot, not adversaries. Instance *identity* is established separately
+    by [Loader.digest]. *)
+
+val fnv1a64 : string -> int64
+(** 64-bit FNV-1a over the bytes of the string. *)
+
+val fnv1a64_hex : string -> string
+(** {!fnv1a64} rendered as 16 lowercase hex digits. *)

@@ -1,0 +1,105 @@
+open Psdp_prelude
+
+type record =
+  | Submitted of { job : string; spec : Json.t }
+  | Checkpoint of { job : string; call : int; snapshot : string }
+  | Completed of { job : string; status : string }
+  | Cancelled of { job : string; reason : string }
+
+let fields = function
+  | Submitted { job; spec } ->
+      [ ("kind", Json.Str "submitted"); ("job", Json.Str job); ("spec", spec) ]
+  | Checkpoint { job; call; snapshot } ->
+      [
+        ("kind", Json.Str "checkpoint");
+        ("job", Json.Str job);
+        ("call", Json.Num (float_of_int call));
+        ("snapshot", Json.Str snapshot);
+      ]
+  | Completed { job; status } ->
+      [
+        ("kind", Json.Str "completed");
+        ("job", Json.Str job);
+        ("status", Json.Str status);
+      ]
+  | Cancelled { job; reason } ->
+      [
+        ("kind", Json.Str "cancelled");
+        ("job", Json.Str job);
+        ("reason", Json.Str reason);
+      ]
+
+let to_line r =
+  let fs = fields r in
+  let body = Json.to_string (Json.Obj fs) in
+  Json.to_string (Json.Obj (fs @ [ ("crc", Json.Str (Checksum.fnv1a64_hex body)) ]))
+
+let decode_fields j =
+  let str name =
+    match Option.bind (Json.mem name j) Json.str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "journal: missing or bad %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* kind = str "kind" in
+  let* job = str "job" in
+  match kind with
+  | "submitted" -> (
+      match Json.mem "spec" j with
+      | Some spec -> Ok (Submitted { job; spec })
+      | None -> Error "journal: submitted record without spec")
+  | "checkpoint" ->
+      let* snapshot = str "snapshot" in
+      let* call =
+        match Option.bind (Json.mem "call" j) Json.int with
+        | Some c -> Ok c
+        | None -> Error "journal: missing or bad \"call\""
+      in
+      Ok (Checkpoint { job; call; snapshot })
+  | "completed" ->
+      let* status = str "status" in
+      Ok (Completed { job; status })
+  | "cancelled" ->
+      let* reason = str "reason" in
+      Ok (Cancelled { job; reason })
+  | other -> Error (Printf.sprintf "journal: unknown record kind %S" other)
+
+let of_line line =
+  match Json.parse line with
+  | Error e -> Error ("journal: " ^ e)
+  | Ok (Json.Obj fs as j) -> (
+      match Json.mem "crc" j with
+      | Some (Json.Str crc) ->
+          let body =
+            Json.to_string
+              (Json.Obj (List.filter (fun (k, _) -> k <> "crc") fs))
+          in
+          if Checksum.fnv1a64_hex body <> crc then
+            Error "journal: crc mismatch"
+          else decode_fields j
+      | Some _ | None -> Error "journal: missing crc")
+  | Ok _ -> Error "journal: record is not an object"
+
+let replay path =
+  if not (Sys.file_exists path) then ([], None)
+  else
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let records = ref [] in
+        let error = ref None in
+        (try
+           let lineno = ref 0 in
+           while !error = None do
+             let line = String.trim (input_line ic) in
+             incr lineno;
+             if line <> "" then
+               match of_line line with
+               | Ok r -> records := r :: !records
+               | Error msg ->
+                   (* Torn tail: keep the valid prefix, stop here. *)
+                   error := Some (Printf.sprintf "line %d: %s" !lineno msg)
+           done
+         with End_of_file -> ());
+        (List.rev !records, !error))

@@ -1,0 +1,47 @@
+(** Write-ahead job journal.
+
+    One append-only JSONL file records the engine's durable job
+    lifecycle: submission (with the full job spec), checkpoints (the
+    decision-call index and the snapshot file they produced), completion
+    (terminal outcomes), and cancellation (deliberate interruptions —
+    cancel or timeout — which keep their snapshots and stay resumable).
+    A job that appears in the journal with neither a [Completed] nor a
+    process that finished writing anything else was interrupted by a
+    crash; recovery re-enqueues it from its latest snapshot.
+
+    {2 Record layout}
+
+    Each record is one JSON object on one line:
+    {v
+    {"kind":"submitted","job":ID,"spec":{...},"crc":HEX}
+    {"kind":"checkpoint","job":ID,"call":N,"snapshot":PATH,"crc":HEX}
+    {"kind":"completed","job":ID,"status":STR,"crc":HEX}
+    {"kind":"cancelled","job":ID,"reason":STR,"crc":HEX}
+    v}
+    [crc] is the FNV-1a-64 hex of the record's canonical serialization
+    without the [crc] field, and is always the last field. A line that
+    fails to parse or whose crc does not match is treated as a torn tail:
+    {!replay} keeps every record before it and stops there, so a crash
+    mid-append can lose at most the record being written. The [spec]
+    object is opaque to this module; the engine encodes and decodes it
+    with [Job.spec_to_json] / [Job.spec_of_json]. *)
+
+open Psdp_prelude
+
+type record =
+  | Submitted of { job : string; spec : Json.t }
+  | Checkpoint of { job : string; call : int; snapshot : string }
+      (** [snapshot] is relative to the store directory *)
+  | Completed of { job : string; status : string }
+  | Cancelled of { job : string; reason : string }
+
+val to_line : record -> string
+(** One JSON line (no trailing newline), crc field included. *)
+
+val of_line : string -> (record, string) result
+(** Parse and crc-verify one line. *)
+
+val replay : string -> record list * string option
+(** Read a journal file: the valid record prefix, plus a description of
+    the torn/corrupt line that stopped the replay (if any). A missing
+    file replays as [([], None)]. *)

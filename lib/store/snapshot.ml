@@ -1,0 +1,127 @@
+type t = {
+  digest : string;
+  eps : float;
+  backend : string;
+  mode : string;
+  threshold : float;
+  lo : float;
+  hi : float;
+  value : float;
+  calls : int;
+  iterations : int;
+  dropped : int;
+  x : float array;
+  rng : int64 array;
+}
+
+let magic = "PSDPSNAP"
+let version = 1
+let header_len = 8 + 4 + 8 (* magic + version + payload length *)
+
+let encode t =
+  let buf = Buffer.create (256 + (8 * Array.length t.x)) in
+  let str s =
+    Buffer.add_int32_le buf (Int32.of_int (String.length s));
+    Buffer.add_string buf s
+  in
+  let f64 v = Buffer.add_int64_le buf (Int64.bits_of_float v) in
+  let u32 v = Buffer.add_int32_le buf (Int32.of_int v) in
+  str t.digest;
+  f64 t.eps;
+  str t.backend;
+  str t.mode;
+  f64 t.threshold;
+  f64 t.lo;
+  f64 t.hi;
+  f64 t.value;
+  u32 t.calls;
+  u32 t.iterations;
+  u32 t.dropped;
+  u32 (Array.length t.x);
+  Array.iter f64 t.x;
+  u32 (Array.length t.rng);
+  Array.iter (Buffer.add_int64_le buf) t.rng;
+  let payload = Buffer.contents buf in
+  let out = Buffer.create (String.length payload + header_len + 8) in
+  Buffer.add_string out magic;
+  Buffer.add_int32_le out (Int32.of_int version);
+  Buffer.add_int64_le out (Int64.of_int (String.length payload));
+  Buffer.add_string out payload;
+  Buffer.add_int64_le out (Checksum.fnv1a64 payload);
+  Buffer.contents out
+
+exception Bad of string
+
+let decode s =
+  try
+    let len = String.length s in
+    if len < header_len + 8 then raise (Bad "truncated header");
+    if String.sub s 0 8 <> magic then raise (Bad "bad magic");
+    let v = Int32.to_int (String.get_int32_le s 8) in
+    if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
+    let plen = Int64.to_int (String.get_int64_le s 12) in
+    if plen < 0 || header_len + plen + 8 > len then raise (Bad "truncated payload");
+    if header_len + plen + 8 <> len then raise (Bad "trailing bytes");
+    let payload = String.sub s header_len plen in
+    if String.get_int64_le s (header_len + plen) <> Checksum.fnv1a64 payload then
+      raise (Bad "checksum mismatch");
+    let pos = ref 0 in
+    let need n =
+      if n < 0 || !pos + n > plen then raise (Bad "field overruns payload")
+    in
+    let u32 () =
+      need 4;
+      let v = Int32.to_int (String.get_int32_le payload !pos) in
+      pos := !pos + 4;
+      if v < 0 then raise (Bad "negative count");
+      v
+    in
+    let i64 () =
+      need 8;
+      let v = String.get_int64_le payload !pos in
+      pos := !pos + 8;
+      v
+    in
+    let f64 () = Int64.float_of_bits (i64 ()) in
+    let str () =
+      let n = u32 () in
+      need n;
+      let r = String.sub payload !pos n in
+      pos := !pos + n;
+      r
+    in
+    let digest = str () in
+    let eps = f64 () in
+    let backend = str () in
+    let mode = str () in
+    let threshold = f64 () in
+    let lo = f64 () in
+    let hi = f64 () in
+    let value = f64 () in
+    let calls = u32 () in
+    let iterations = u32 () in
+    let dropped = u32 () in
+    let x =
+      let n = u32 () in
+      need (8 * n);
+      Array.init n (fun _ -> f64 ())
+    in
+    let rng =
+      let n = u32 () in
+      need (8 * n);
+      Array.init n (fun _ -> i64 ())
+    in
+    if !pos <> plen then raise (Bad "trailing payload bytes");
+    Ok
+      {
+        digest; eps; backend; mode; threshold; lo; hi; value; calls;
+        iterations; dropped; x; rng;
+      }
+  with Bad msg -> Error ("Snapshot: " ^ msg)
+
+let save path t = Atomic_io.write_atomic path (encode t)
+
+let load path =
+  match Atomic_io.read_file path with
+  | Error msg -> Error ("Snapshot: " ^ msg)
+  | Ok data -> decode data

@@ -1,0 +1,63 @@
+(** Durable solver-state snapshots.
+
+    A snapshot captures everything [Solver.solve_packing] needs to
+    continue a run after process death: the identity of the work
+    (instance digest, ε, backend/mode keys), the certified bisection
+    bracket [lo, hi] with the next threshold, the incumbent MW dual
+    [x] and its verified value, progress counters, and a generic RNG
+    slot for stochastic backends (the sketched backend derives its
+    per-iteration sketches deterministically from the seed recorded in
+    the backend key, so the engine stores the empty state there).
+
+    On resume nothing in a snapshot is trusted blindly: the digest must
+    match [Loader.digest] of the re-loaded instance, the codec verifies a
+    checksum before decoding a single field, and the solver re-verifies
+    the incumbent against the instance before adopting it — a corrupt or
+    stale snapshot costs work, never soundness.
+
+    {2 Binary format (version 1, little-endian)}
+
+    {v
+    offset 0   magic  "PSDPSNAP"                      (8 bytes)
+    offset 8   u32    format version                  (currently 1)
+    offset 12  u64    payload length L
+    offset 20  payload                                (L bytes)
+    offset 20+L u64   FNV-1a-64 checksum of payload
+    v}
+
+    Payload fields, in order: [digest] (str), [eps] (f64), [backend]
+    (str), [mode] (str), [threshold] [lo] [hi] [value] (f64 each),
+    [calls] [iterations] [dropped] (u32 each), [x] (u32 count + f64s),
+    [rng] (u32 count + i64s). Strings are u32 length + bytes; floats are
+    IEEE-754 bit patterns. Any truncation, overrun, bad magic,
+    unsupported version, or checksum mismatch decodes to [Error] — never
+    an exception, never a partially filled record. *)
+
+type t = {
+  digest : string;  (** [Loader.digest] of the instance being solved *)
+  eps : float;
+  backend : string;  (** [Job.backend_key] *)
+  mode : string;  (** [Job.mode_key] *)
+  threshold : float;  (** next bisection threshold [sqrt (lo·hi)] *)
+  lo : float;  (** certified lower end of the bisection bracket *)
+  hi : float;  (** certified upper end of the bisection bracket *)
+  value : float;  (** verified value of the incumbent dual [x] *)
+  calls : int;  (** decision calls completed *)
+  iterations : int;  (** solver iterations summed over those calls *)
+  dropped : int;  (** Lemma-2.2 trace-clamp casualties so far *)
+  x : float array;  (** incumbent MW dual weights *)
+  rng : int64 array;  (** RNG state slot (see above) *)
+}
+
+val version : int
+
+val encode : t -> string
+val decode : string -> (t, string) result
+(** [decode (encode t)] = [Ok t] for every [t]. *)
+
+val save : string -> t -> unit
+(** Atomic persistence via {!Atomic_io.write_atomic}. *)
+
+val load : string -> (t, string) result
+(** Read + decode; I/O errors and corruption both come back as
+    [Error]. *)

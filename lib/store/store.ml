@@ -1,0 +1,132 @@
+open Psdp_prelude
+
+type pending = {
+  job : string;
+  spec : Json.t;
+  snapshot : string option;
+  interrupted : string option;
+}
+
+type t = {
+  dir : string;
+  oc : out_channel;
+  lock : Mutex.t;
+  pending : pending list;
+  torn : string option;
+}
+
+let journal_file = "journal.jsonl"
+
+let ensure_dir path =
+  try Unix.mkdir path 0o755
+  with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* Remove leftovers of atomic writes that died between create and
+   rename; they are garbage by construction. *)
+let sweep_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      Array.iter
+        (fun name ->
+          if contains_sub ~sub:".tmp." name then
+            try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        names
+
+let compute_pending records =
+  let tbl : (string, pending) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun record ->
+      match record with
+      | Journal.Submitted { job; spec } -> (
+          match Hashtbl.find_opt tbl job with
+          | None ->
+              Hashtbl.replace tbl job
+                { job; spec; snapshot = None; interrupted = None };
+              order := job :: !order
+          | Some p ->
+              (* Re-submission of a recovered job: refresh the spec but
+                 keep the snapshot it already earned. *)
+              Hashtbl.replace tbl job { p with spec; interrupted = None })
+      | Journal.Checkpoint { job; snapshot; _ } -> (
+          match Hashtbl.find_opt tbl job with
+          | Some p -> Hashtbl.replace tbl job { p with snapshot = Some snapshot }
+          | None -> ())
+      | Journal.Completed { job; _ } -> Hashtbl.remove tbl job
+      | Journal.Cancelled { job; reason } -> (
+          match Hashtbl.find_opt tbl job with
+          | Some p -> Hashtbl.replace tbl job { p with interrupted = Some reason }
+          | None -> ()))
+    records;
+  List.rev !order
+  |> List.filter_map (fun job -> Hashtbl.find_opt tbl job)
+
+let open_store dir =
+  try
+    ensure_dir dir;
+    ensure_dir (Filename.concat dir "snapshots");
+    ensure_dir (Filename.concat dir "instances");
+    sweep_tmp dir;
+    sweep_tmp (Filename.concat dir "snapshots");
+    sweep_tmp (Filename.concat dir "instances");
+    let journal_path = Filename.concat dir journal_file in
+    let records, torn = Journal.replay journal_path in
+    let oc =
+      open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 journal_path
+    in
+    Ok { dir; oc; lock = Mutex.create (); pending = compute_pending records; torn }
+  with
+  | Sys_error msg -> Error ("store: " ^ msg)
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "store: %s: %s %s" fn (Unix.error_message e) arg)
+
+let dir t = t.dir
+let pending t = t.pending
+let torn_tail t = t.torn
+
+let append t record =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      output_string t.oc (Journal.to_line record);
+      output_char t.oc '\n';
+      flush t.oc;
+      Unix.fsync (Unix.descr_of_out_channel t.oc))
+
+let sanitize job =
+  let keep c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+    | _ -> '_'
+  in
+  let s = String.map keep job in
+  if String.length s > 40 then String.sub s 0 40 else s
+
+let snapshot_rel ~job =
+  Filename.concat "snapshots"
+    (Printf.sprintf "%s-%s.snap" (sanitize job) (Checksum.fnv1a64_hex job))
+
+let save_snapshot t ~job snap =
+  let rel = snapshot_rel ~job in
+  Snapshot.save (Filename.concat t.dir rel) snap;
+  rel
+
+let load_snapshot t rel = Snapshot.load (Filename.concat t.dir rel)
+
+let save_instance t ~digest ~text =
+  let path = Filename.concat (Filename.concat t.dir "instances") (digest ^ ".inst") in
+  if not (Sys.file_exists path) then Atomic_io.write_atomic path text;
+  path
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> close_out_noerr t.oc)

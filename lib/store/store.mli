@@ -1,0 +1,63 @@
+(** A checkpoint store: one directory owning a write-ahead job journal
+    plus the snapshot and instance files it refers to.
+
+    {2 Layout}
+
+    {v
+    STORE_DIR/
+      journal.jsonl        append-only WAL (see {!Journal})
+      snapshots/*.snap     solver-state snapshots (see {!Snapshot})
+      instances/*.inst     inline instances saved at submission time
+    v}
+
+    Snapshot paths inside journal records are relative to [STORE_DIR],
+    so a store directory can be moved or copied wholesale. Opening a
+    store replays the journal (tolerating a torn tail), sweeps stale
+    [*.tmp.*] files left by interrupted atomic writes, and computes the
+    set of {!pending} jobs — submitted but never completed — that a
+    recovery pass should re-enqueue. *)
+
+open Psdp_prelude
+
+type t
+
+type pending = {
+  job : string;
+  spec : Json.t;  (** as journaled at submission *)
+  snapshot : string option;  (** latest checkpoint, relative path *)
+  interrupted : string option;
+      (** cancellation/timeout reason, [None] for a hard crash *)
+}
+
+val open_store : string -> (t, string) result
+(** Create the directory tree if needed, replay the journal, sweep
+    stale temp files, and open the journal for appending. *)
+
+val dir : t -> string
+val pending : t -> pending list
+(** Unfinished jobs in submission order, as of {!open_store}. *)
+
+val torn_tail : t -> string option
+(** Description of the corrupt journal line replay stopped at, if any. *)
+
+val append : t -> Journal.record -> unit
+(** Append one record and fsync. Thread-safe. *)
+
+val snapshot_rel : job:string -> string
+(** Deterministic relative snapshot path for a job id (sanitized name
+    plus an FNV-1a-64 suffix so distinct ids never collide). *)
+
+val save_snapshot : t -> job:string -> Snapshot.t -> string
+(** Atomically persist a snapshot; returns its relative path (suitable
+    for a [Checkpoint] journal record). *)
+
+val load_snapshot : t -> string -> (Snapshot.t, string) result
+(** Load by relative path. *)
+
+val save_instance : t -> digest:string -> text:string -> string
+(** Persist an inline instance's text under [instances/<digest>.inst]
+    (atomically; idempotent) and return the path, relative to the
+    process — not the store — so it can be slotted into a [File] job
+    spec directly. *)
+
+val close : t -> unit

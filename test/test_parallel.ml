@@ -157,6 +157,43 @@ let test_concurrent_submitters_share_pool () =
             (Domain.join d))
         doms)
 
+let test_stats_concurrent_consistency () =
+  (* Every loop whose range exceeds its grain takes exactly one of the
+     two counted paths (fan-out or busy fallback). Hammer the pool from
+     several submitter domains — with readers polling [Pool.stats] the
+     whole time — and check no increment was lost or double-counted. *)
+  Pool.with_pool ~num_domains:3 (fun pool ->
+      let submitters = 4 and loops_each = 50 in
+      let stop = Atomic.make false in
+      let readers =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let last = ref 0 in
+                while not (Atomic.get stop) do
+                  let s = Pool.stats pool in
+                  let total = s.Pool.parallel_loops + s.Pool.busy_fallbacks in
+                  if total < !last then
+                    Alcotest.failf "stats went backwards: %d -> %d" !last total;
+                  last := total
+                done))
+      in
+      let subs =
+        List.init submitters (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to loops_each do
+                  Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:64 (fun _ -> ())
+                done))
+      in
+      List.iter Domain.join subs;
+      Atomic.set stop true;
+      List.iter Domain.join readers;
+      let s = Pool.stats pool in
+      Alcotest.(check int) "every loop counted exactly once"
+        (submitters * loops_each)
+        (s.Pool.parallel_loops + s.Pool.busy_fallbacks);
+      Alcotest.(check bool) "no negative counters" true
+        (s.Pool.parallel_loops >= 0 && s.Pool.busy_fallbacks >= 0))
+
 let test_nested_exception_propagates () =
   Pool.with_pool ~num_domains:2 (fun pool ->
       (match
@@ -225,6 +262,8 @@ let () =
             test_stats_count_loops_and_fallbacks;
           Alcotest.test_case "concurrent submitters" `Quick
             test_concurrent_submitters_share_pool;
+          Alcotest.test_case "stats under concurrency" `Quick
+            test_stats_concurrent_consistency;
           Alcotest.test_case "nested exception" `Quick
             test_nested_exception_propagates;
           Alcotest.test_case "imbalanced load" `Quick test_heavy_imbalanced_load;

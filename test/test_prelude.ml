@@ -112,6 +112,23 @@ let test_rng_copy () =
   let b = Rng.copy a in
   Alcotest.(check int64) "copy continues stream" (Rng.bits64 a) (Rng.bits64 b)
 
+let test_rng_state_roundtrip () =
+  let a = Rng.create 91 in
+  for _ = 1 to 17 do
+    ignore (Rng.bits64 a)
+  done;
+  let b = Rng.of_state (Rng.state a) in
+  for i = 1 to 32 do
+    Alcotest.(check int64)
+      (Printf.sprintf "word %d continues stream" i)
+      (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  Alcotest.check_raises "wrong length" (Invalid_argument "Rng.of_state: expected 4 words")
+    (fun () -> ignore (Rng.of_state [| 1L; 2L |]));
+  Alcotest.check_raises "all-zero state"
+    (Invalid_argument "Rng.of_state: all-zero state") (fun () ->
+      ignore (Rng.of_state [| 0L; 0L; 0L; 0L |]))
+
 (* ------------------------------------------------------------------ *)
 (* Stats *)
 
@@ -182,6 +199,62 @@ let test_timer_median () =
   Alcotest.(check bool) "elapsed >= 0" true (dt >= 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* Json: the non-finite corner of the codec. The printer has no spelling
+   for NaN/infinity (it emits null), so the parser must never produce
+   one either — including via overflowing literals. *)
+
+let test_json_nonfinite_emits_null () =
+  List.iter
+    (fun v ->
+      Alcotest.(check string)
+        (Printf.sprintf "print %h" v)
+        "null"
+        (Json.to_string (Json.Num v));
+      Alcotest.(check string) "inside a list" "[null]"
+        (Json.to_string (Json.List [ Json.Num v ]));
+      Alcotest.(check string) "inside an object" "{\"k\":null}"
+        (Json.to_string (Json.Obj [ ("k", Json.Num v) ])))
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_json_rejects_nonfinite_tokens () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok v -> Alcotest.failf "accepted %S as %s" s (Json.to_string v)
+      | Error _ -> ())
+    [
+      "nan"; "NaN"; "inf"; "Infinity"; "-Infinity";
+      (* overflow to infinity through a syntactically valid literal *)
+      "1e999"; "-1e999"; "1e308999"; "[1, 2e999]"; "{\"v\": -3e999}";
+    ]
+
+let test_json_finite_roundtrip_edges () =
+  List.iter
+    (fun v ->
+      let s = Json.to_string (Json.Num v) in
+      match Json.parse s with
+      | Ok (Json.Num v') ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%h survives as %s" v s)
+            true
+            (Int64.bits_of_float v = Int64.bits_of_float v')
+      | Ok _ -> Alcotest.failf "%s parsed as non-number" s
+      | Error e -> Alcotest.failf "%s rejected: %s" s e)
+    [
+      0.0; -0.0; 1e-308; -1e-308; 4.9e-324; Float.max_float;
+      -.Float.max_float; 0.1; 1.0 /. 3.0; 9.007199254740992e15;
+    ]
+
+let prop_json_num_roundtrip =
+  QCheck.Test.make ~name:"finite Json.Num round-trips bitwise" ~count:500
+    QCheck.(float)
+    (fun v ->
+      QCheck.assume (Float.is_finite v);
+      match Json.parse (Json.to_string (Json.Num v)) with
+      | Ok (Json.Num v') -> Int64.bits_of_float v = Int64.bits_of_float v'
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let prop_quantile_monotone =
@@ -210,7 +283,10 @@ let prop_permutation_valid =
 let qcheck_cases =
   List.map
     (QCheck_alcotest.to_alcotest ~long:false)
-    [ prop_quantile_monotone; prop_clamp_in_range; prop_permutation_valid ]
+    [
+      prop_quantile_monotone; prop_clamp_in_range; prop_permutation_valid;
+      prop_json_num_roundtrip;
+    ]
 
 let () =
   Alcotest.run "prelude"
@@ -224,6 +300,15 @@ let () =
           Alcotest.test_case "kahan sum" `Quick test_sum_kahan;
           Alcotest.test_case "min/max" `Quick test_minmax;
         ] );
+      ( "json",
+        [
+          Alcotest.test_case "non-finite prints null" `Quick
+            test_json_nonfinite_emits_null;
+          Alcotest.test_case "rejects non-finite" `Quick
+            test_json_rejects_nonfinite_tokens;
+          Alcotest.test_case "finite edge round-trips" `Quick
+            test_json_finite_roundtrip_edges;
+        ] );
       ( "rng",
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
@@ -235,6 +320,7 @@ let () =
             test_rng_split_independence;
           Alcotest.test_case "permutation" `Quick test_rng_permutation;
           Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "state roundtrip" `Quick test_rng_state_roundtrip;
         ] );
       ( "stats",
         [
