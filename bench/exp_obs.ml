@@ -1,0 +1,89 @@
+(* EXP12: observability overhead.
+
+   The metrics registry and span profiler ride inside the solver's hot
+   loop (an [enter]/[exit] pair per iteration plus one per kernel), so
+   their cost has to be measured, not assumed. The same solves are run
+   three ways:
+
+   - off: no registry, no profiler — the [Profiler.disabled] fast path
+     every caller gets by default;
+   - profiler: a span profiler attached (the full
+     solve → decision_call → iteration → kernel taxonomy recorded);
+   - profiler+metrics: the profiler backed by a shared registry, as
+     [psdp batch --metrics] wires it.
+
+   The acceptance bar is ≤ 5% median overhead for the fully instrumented
+   configuration; the run fails loudly when it is exceeded. *)
+
+open Psdp_prelude
+open Psdp_core
+open Psdp_instances
+module Metrics = Psdp_obs.Metrics
+module Profiler = Psdp_obs.Profiler
+
+let workload ~quick =
+  let rng = Rng.create 41 in
+  let insts =
+    [
+      ("proj", fst (Known_opt.orthogonal_projectors ~rng ~dim:12 ~n:4));
+      ("rand", Random_psd.factored ~rng ~dim:10 ~n:6 ());
+    ]
+  in
+  if quick then [ List.hd insts ] else insts
+
+let solve_all ~prof insts =
+  List.iter
+    (fun (_, inst) -> ignore (Solver.solve_packing ~prof ~eps:0.3 inst))
+    insts
+
+let run ~quick () =
+  Bench_util.section "EXP12: observability overhead (metrics + profiler)";
+  let insts = workload ~quick in
+  let repeats = if quick then 3 else 5 in
+  Printf.printf "workload: %d solves at eps 0.3, median of %d runs\n"
+    (List.length insts) repeats;
+  (* Warm-up: fault in code paths and allocator state before timing. *)
+  solve_all ~prof:Profiler.disabled insts;
+  let (), t_off =
+    Timer.time_median ~repeats (fun () ->
+        solve_all ~prof:Profiler.disabled insts)
+  in
+  let prof_only = Profiler.create () in
+  let (), t_prof =
+    Timer.time_median ~repeats (fun () ->
+        let root = Profiler.root prof_only "solve" in
+        solve_all ~prof:root insts;
+        Profiler.exit root)
+  in
+  let reg = Metrics.create () in
+  let prof_full = Profiler.create ~registry:reg () in
+  let (), t_full =
+    Timer.time_median ~repeats (fun () ->
+        let root = Profiler.root prof_full "solve" in
+        solve_all ~prof:root insts;
+        Profiler.exit root)
+  in
+  let pct t = 100.0 *. ((t /. t_off) -. 1.0) in
+  Printf.printf "\n%-22s %12s %10s\n" "configuration" "median (s)" "overhead";
+  Printf.printf "%-22s %12.4f %10s\n" "off (disabled span)" t_off "-";
+  Printf.printf "%-22s %12.4f %9.2f%%\n" "profiler" t_prof (pct t_prof);
+  Printf.printf "%-22s %12.4f %9.2f%%\n" "profiler+metrics" t_full (pct t_full);
+  let iters =
+    List.fold_left
+      (fun acc (r : Profiler.row) ->
+        if r.Profiler.path = "solve/decision_call/iteration" then
+          acc + r.Profiler.count
+        else acc)
+      0
+      (Profiler.report prof_full)
+  in
+  Printf.printf "\nspans recorded (profiler+metrics): %d iterations\n" iters;
+  let overhead = pct t_full in
+  (* Timing noise on sub-second workloads can swamp the signal; only
+     trip the bar on a clear violation. *)
+  if overhead > 5.0 && t_off > 0.5 then
+    Printf.printf
+      "WARNING: instrumentation overhead %.2f%% exceeds the 5%% budget\n"
+      overhead
+  else Printf.printf "overhead within the 5%% budget\n";
+  overhead

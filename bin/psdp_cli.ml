@@ -15,6 +15,9 @@ open Psdp_prelude
 open Psdp_core
 open Psdp_instances
 open Psdp_engine
+module Metrics = Psdp_obs.Metrics
+module Profiler = Psdp_obs.Profiler
+module Trace_summary = Psdp_obs.Trace_summary
 
 (* ------------------------------------------------------------------ *)
 (* Exit codes (documented in every command's man page): batch drivers
@@ -97,6 +100,32 @@ let to_mode = function
   | `Faithful -> Decision.Faithful
 
 (* ------------------------------------------------------------------ *)
+(* Observability: --metrics writes a Prometheus snapshot; the registry
+   and span profiler are shared by the engine and the solver layers. *)
+
+let metrics_file_arg =
+  let doc =
+    "Write a Prometheus text-exposition (v0.0.4) snapshot of solver and \
+     engine metrics to $(docv) at exit. The write is atomic (temp file + \
+     rename), so a concurrent scraper never sees a torn snapshot."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let write_metrics path reg =
+  try Psdp_store.Atomic_io.write_atomic path (Metrics.render reg)
+  with e ->
+    Printf.eprintf "psdp: failed to write metrics snapshot %s: %s\n" path
+      (Printexc.to_string e)
+
+(* (path, registry, profiler-into-that-registry) when --metrics is on. *)
+let make_obs metrics_path =
+  Option.map
+    (fun path ->
+      let reg = Metrics.create () in
+      (path, reg, Profiler.create ~registry:reg ()))
+    metrics_path
+
+(* ------------------------------------------------------------------ *)
 (* gen *)
 
 let family_arg =
@@ -176,13 +205,23 @@ let info_cmd =
 (* solve *)
 
 let solve_cmd =
-  let run file eps backend mode verbosity =
+  let run file eps backend mode metrics_path verbosity =
     setup_logs verbosity;
     let inst = load_or_die file in
+    let obs = make_obs metrics_path in
+    let prof =
+      match obs with
+      | None -> Profiler.disabled
+      | Some (_, _, p) -> Profiler.root p "solve"
+    in
     let r =
-      Solver.solve_packing ~eps ~backend:(to_backend backend)
+      Solver.solve_packing ~prof ~eps ~backend:(to_backend backend)
         ~mode:(to_mode mode) inst
     in
+    Profiler.exit prof;
+    (match obs with
+    | Some (path, reg, _) -> write_metrics path reg
+    | None -> ());
     Printf.printf "value       : %.6f\n" r.Solver.value;
     Printf.printf "upper bound : %.6f\n" r.Solver.upper_bound;
     Printf.printf "gap         : %.4f%%\n"
@@ -200,7 +239,9 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~exits:solver_exits
        ~doc:"Run approxPSDP (Theorem 1.1) on an instance file.")
-    Term.(const run $ file_arg $ eps_arg $ backend_arg $ mode_arg $ verbose_arg)
+    Term.(
+      const run $ file_arg $ eps_arg $ backend_arg $ mode_arg
+      $ metrics_file_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cover *)
@@ -315,7 +356,8 @@ let open_store_or_die dir =
       Printf.eprintf "psdp: %s\n" msg;
       exit exit_bad_input
 
-let with_engine_env ~jobs ~domains ~trace_path ~cache_path ?store_dir f =
+let with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
+    ?metrics_every ?store_dir f =
   Psdp_parallel.Pool.with_pool ?num_domains:domains (fun pool ->
       let cache = Cache.create ?persist:cache_path () in
       let trace_oc = Option.map open_out trace_path in
@@ -323,12 +365,45 @@ let with_engine_env ~jobs ~domains ~trace_path ~cache_path ?store_dir f =
         match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
       in
       let store = Option.map open_store_or_die store_dir in
+      let obs = make_obs metrics_path in
+      (* [serve] keeps a fresh snapshot on disk while running: a sampler
+         domain rewrites the file every [metrics_every] seconds. Each
+         write is atomic, so scrapers never observe a torn file. *)
+      let stop_sampler = Atomic.make false in
+      let sampler =
+        match (obs, metrics_every) with
+        | Some (path, reg, _), Some period when period > 0.0 ->
+            Some
+              (Domain.spawn (fun () ->
+                   let rec loop slept =
+                     if not (Atomic.get stop_sampler) then
+                       if slept >= period then begin
+                         write_metrics path reg;
+                         loop 0.0
+                       end
+                       else begin
+                         Unix.sleepf 0.05;
+                         loop (slept +. 0.05)
+                       end
+                   in
+                   loop 0.0))
+        | _ -> None
+      in
       Fun.protect
         ~finally:(fun () ->
+          Atomic.set stop_sampler true;
+          Option.iter Domain.join sampler;
+          (match obs with
+          | Some (path, reg, _) -> write_metrics path reg
+          | None -> ());
           Option.iter Psdp_store.Store.close store;
           Cache.close cache;
           Option.iter close_out trace_oc)
-        (fun () -> f ~pool ~cache ~trace ~store ~max_in_flight:jobs))
+        (fun () ->
+          f ~pool ~cache ~trace ~store
+            ~metrics:(Option.map (fun (_, r, _) -> r) obs)
+            ~profiler:(Option.map (fun (_, _, p) -> p) obs)
+            ~max_in_flight:jobs))
 
 let result_ok (r : Job.result) =
   match r.Job.outcome with
@@ -351,8 +426,8 @@ let batch_cmd =
     in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
   in
-  let run manifest jobs domains trace_path cache_path ckpt_dir ckpt_every out
-      verbosity =
+  let run manifest jobs domains trace_path cache_path metrics_path ckpt_dir
+      ckpt_every out verbosity =
     setup_logs verbosity;
     let text =
       try
@@ -371,10 +446,10 @@ let batch_cmd =
     | Ok specs ->
         let results =
           with_engine_env ~jobs ~domains ~trace_path ~cache_path
-            ?store_dir:ckpt_dir
-            (fun ~pool ~cache ~trace ~store ~max_in_flight ->
+            ?metrics_path ?store_dir:ckpt_dir
+            (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
               Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
-                ~checkpoint_every:ckpt_every (fun eng ->
+                ?metrics ?profiler ~checkpoint_every:ckpt_every (fun eng ->
                   List.iter (fun s -> ignore (Engine.submit eng s)) specs;
                   Engine.drain eng))
         in
@@ -413,8 +488,8 @@ let batch_cmd =
           trace. Emits one JSON result line per job, in manifest order.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ domains_arg $ trace_file_arg
-      $ cache_file_arg $ checkpoint_dir_arg $ checkpoint_every_arg $ out_arg
-      $ verbose_arg)
+      $ cache_file_arg $ metrics_file_arg $ checkpoint_dir_arg
+      $ checkpoint_every_arg $ out_arg $ verbose_arg)
 
 let serve_cmd =
   let stdin_flag =
@@ -427,8 +502,17 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "stdin" ] ~doc)
   in
-  let run use_stdin jobs domains trace_path cache_path ckpt_dir ckpt_every
-      verbosity =
+  let metrics_every_arg =
+    let doc =
+      "With $(b,--metrics), also rewrite the snapshot every $(docv) \
+       seconds while serving (0 disables periodic writes; the final \
+       snapshot at exit is always written)."
+    in
+    Arg.(
+      value & opt float 10.0 & info [ "metrics-every" ] ~docv:"SECONDS" ~doc)
+  in
+  let run use_stdin jobs domains trace_path cache_path metrics_path
+      metrics_every ckpt_dir ckpt_every verbosity =
     setup_logs verbosity;
     if not use_stdin then begin
       Printf.eprintf "psdp serve: only --stdin transport is implemented\n";
@@ -443,10 +527,11 @@ let serve_cmd =
       if not (result_ok r) then any_bad := true;
       Mutex.unlock out_mutex
     in
-    with_engine_env ~jobs ~domains ~trace_path ~cache_path ?store_dir:ckpt_dir
-      (fun ~pool ~cache ~trace ~store ~max_in_flight ->
-        Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
-          ~checkpoint_every:ckpt_every ~on_complete (fun eng ->
+    with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
+      ~metrics_every ?store_dir:ckpt_dir
+      (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
+        Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store ?metrics
+          ?profiler ~checkpoint_every:ckpt_every ~on_complete (fun eng ->
             let lineno = ref 0 in
             (try
                while true do
@@ -482,8 +567,8 @@ let serve_cmd =
           persistent engine, streaming results as they complete.")
     Term.(
       const run $ stdin_flag $ jobs_arg $ domains_arg $ trace_file_arg
-      $ cache_file_arg $ checkpoint_dir_arg $ checkpoint_every_arg
-      $ verbose_arg)
+      $ cache_file_arg $ metrics_file_arg $ metrics_every_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* resume: crash recovery from a checkpoint store *)
@@ -496,19 +581,19 @@ let resume_cmd =
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE_DIR" ~doc)
   in
-  let run store_dir jobs domains trace_path cache_path ckpt_every out
-      verbosity =
+  let run store_dir jobs domains trace_path cache_path metrics_path ckpt_every
+      out verbosity =
     setup_logs verbosity;
     if not (Sys.file_exists (Filename.concat store_dir "journal.jsonl")) then begin
       Printf.eprintf "psdp resume: no journal in %s\n" store_dir;
       exit exit_bad_input
     end;
     let results =
-      with_engine_env ~jobs ~domains ~trace_path ~cache_path
+      with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
         ~store_dir
-        (fun ~pool ~cache ~trace ~store ~max_in_flight ->
+        (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
           Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
-            ~checkpoint_every:ckpt_every (fun eng ->
+            ?metrics ?profiler ~checkpoint_every:ckpt_every (fun eng ->
               let handles = Engine.recover eng in
               List.map (fun h -> Engine.await eng h) handles))
     in
@@ -540,9 +625,41 @@ let resume_cmd =
           failed, 2 when $(i,STORE_DIR) has no journal.")
     Term.(
       const run $ store_dir_arg $ jobs_arg $ domains_arg $ trace_file_arg
-      $ cache_file_arg $ checkpoint_every_arg $ out_arg $ verbose_arg)
+      $ cache_file_arg $ metrics_file_arg $ checkpoint_every_arg $ out_arg
+      $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
+(* trace: analytics over JSONL telemetry files *)
+
+let trace_group_cmd =
+  let summarize_cmd =
+    let trace_pos =
+      let doc =
+        "JSONL trace file written by $(b,psdp batch --trace) or \
+         $(b,psdp serve --trace)."
+      in
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+    in
+    let run file =
+      match Trace_summary.load file with
+      | Error msg ->
+          Printf.eprintf "psdp trace summarize: %s\n" msg;
+          exit exit_bad_input
+      | Ok s -> Format.printf "%a@?" Trace_summary.pp s
+    in
+    Cmd.v
+      (Cmd.info "summarize" ~exits:solver_exits
+         ~doc:
+           "Summarize a telemetry trace: per-job queue wait and run time, \
+            per-phase latency quantiles (p50/p90/p99), a work-attribution \
+            table over solver span paths (from the engine's $(b,profile) \
+            events, present when the run had $(b,--metrics)), and cache \
+            hit/warm/miss counts.")
+      Term.(const run $ trace_pos)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Analytics over JSONL telemetry traces.")
+    [ summarize_cmd ]
 
 let main =
   let doc = "width-independent parallel positive SDP solver (SPAA'12)" in
@@ -550,7 +667,7 @@ let main =
     (Cmd.info "psdp" ~version:"1.0.0" ~doc)
     [
       gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd; batch_cmd;
-      serve_cmd; resume_cmd;
+      serve_cmd; resume_cmd; trace_group_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,5 +1,6 @@
 open Psdp_prelude
 open Psdp_linalg
+module Profiler = Psdp_obs.Profiler
 
 let log_src = Logs.Src.create "psdp.decision" ~doc:"decisionPSDP (Alg 3.1)"
 
@@ -30,7 +31,7 @@ let initial_point inst =
   Array.init n (fun i -> 1.0 /. (float_of_int n *. traces.(i)))
 
 let solve ?pool ?(backend = Exact) ?(mode = Adaptive { check_every = 10 })
-    ?on_iter ~eps inst =
+    ?(prof = Profiler.disabled) ?on_iter ~eps inst =
   let n = Instance.num_constraints inst in
   let m = Instance.dim inst in
   let params = Params.of_eps ~eps ~n in
@@ -95,28 +96,32 @@ let solve ?pool ?(backend = Exact) ?(mode = Adaptive { check_every = 10 })
   in
   while !early = None && !l1 <= k_cap && !t < r_cap do
     incr t;
-    let { Evaluator.dots; trace_w; degree; w } = evaluate x in
+    let it_span = Profiler.enter prof "iteration" in
+    let { Evaluator.dots; trace_w; degree; w } = evaluate ~span:it_span x in
     (match (y_acc, w) with
     | Some acc, Some w -> Mat.axpy acc ~alpha:(1.0 /. trace_w) w
     | _ -> ());
     (* B⁽ᵗ⁾ = { i : W•Aᵢ <= (1+ε)·Tr W } — the constraints whose penalty
        is still small get their weight multiplied by (1+α). *)
-    let threshold = (1.0 +. eps) *. trace_w in
     let updated = ref 0 in
-    for i = 0 to n - 1 do
-      if dots.(i) <= threshold then begin
-        x.(i) <- x.(i) *. (1.0 +. alpha);
-        incr updated
-      end;
-      avg_dots.(i) <- avg_dots.(i) +. (dots.(i) /. trace_w)
-    done;
-    l1 := Util.sum_array x;
+    Profiler.with_span it_span "select" (fun () ->
+        let threshold = (1.0 +. eps) *. trace_w in
+        for i = 0 to n - 1 do
+          if dots.(i) <= threshold then begin
+            x.(i) <- x.(i) *. (1.0 +. alpha);
+            incr updated
+          end;
+          avg_dots.(i) <- avg_dots.(i) +. (dots.(i) /. trace_w)
+        done;
+        l1 := Util.sum_array x);
     (match on_iter with
     | Some f -> f { t = !t; l1 = !l1; trace_w; updated = !updated; degree }
     | None -> ());
-    match mode with
-    | Adaptive { check_every } when !t mod check_every = 0 -> check_early ()
-    | Adaptive _ | Faithful -> ()
+    (match mode with
+    | Adaptive { check_every } when !t mod check_every = 0 ->
+        Profiler.with_span it_span "cert" check_early
+    | Adaptive _ | Faithful -> ());
+    Profiler.exit it_span
   done;
   let outcome =
     match !early with

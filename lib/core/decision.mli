@@ -64,6 +64,7 @@ val solve :
   ?pool:Psdp_parallel.Pool.t ->
   ?backend:backend ->
   ?mode:mode ->
+  ?prof:Psdp_obs.Profiler.span ->
   ?on_iter:(iter_stats -> unit) ->
   eps:float ->
   Instance.t ->
@@ -72,7 +73,12 @@ val solve :
     [eps] must lie in (0, 1); it is the decision problem's ε (callers
     wanting the paper's end-to-end guarantee pass [ε/10], cf. the proof of
     Theorem 3.1). [on_iter] observes every iteration (used by the
-    invariant bench and the traces in EXPERIMENTS.md). *)
+    invariant bench and the traces in EXPERIMENTS.md).
+
+    [prof] (default {!Psdp_obs.Profiler.disabled} — free) charges each
+    iteration to an ["iteration"] child span, with the evaluator's
+    kernels ([expm]/[sketch]/[gram]), the weight-update ([select]) and
+    the adaptive certificate checks ([cert]) as grandchildren. *)
 
 val initial_point : Instance.t -> float array
 (** [x⁽⁰⁾ᵢ = 1/(n·Tr Aᵢ)] — exposed for the invariant tests

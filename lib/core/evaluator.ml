@@ -1,6 +1,7 @@
 open Psdp_prelude
 open Psdp_linalg
 open Psdp_sparse
+module Profiler = Psdp_obs.Profiler
 
 type backend = Exact | Sketched of { seed : int; sketch_dim : int option }
 
@@ -11,18 +12,22 @@ type evaluation = {
   w : Mat.t option;
 }
 
-type t = float array -> evaluation
+type t = ?span:Profiler.span -> float array -> evaluation
 
 let exact inst =
   let mats = Instance.dense_mats inst in
   let m = Instance.dim inst in
-  fun x ->
+  fun ?(span = Profiler.disabled) x ->
     let psi = Mat.create m m in
-    Array.iteri
-      (fun i a -> if x.(i) <> 0.0 then Mat.axpy psi ~alpha:x.(i) a)
-      mats;
-    let w = Matfun.expm psi in
-    let dots = Array.map (fun a -> Mat.dot a w) mats in
+    Profiler.with_span span "gram" (fun () ->
+        Array.iteri
+          (fun i a -> if x.(i) <> 0.0 then Mat.axpy psi ~alpha:x.(i) a)
+          mats);
+    let w = Profiler.with_span span "expm" (fun () -> Matfun.expm psi) in
+    let dots =
+      Profiler.with_span span "gram" (fun () ->
+          Array.map (fun a -> Mat.dot a w) mats)
+    in
     { dots; trace_w = Mat.trace w; degree = 0; w = Some w }
 
 let sketched ?pool inst ~params ~seed ~sketch_dim =
@@ -41,21 +46,24 @@ let sketched ?pool inst ~params ~seed ~sketch_dim =
   let analytic_cap =
     (1.0 +. (10.0 *. params.Params.eps)) *. params.Params.k_cap
   in
-  fun x ->
-    Weighted_gram.set_weights gram x;
+  fun ?(span = Profiler.disabled) x ->
     let kappa =
-      Float.min analytic_cap (Weighted_gram.lambda_max_upper_bound gram)
+      Profiler.with_span span "gram" (fun () ->
+          Weighted_gram.set_weights gram x;
+          Float.min analytic_cap (Weighted_gram.lambda_max_upper_bound gram))
     in
     (* A fresh sketch per iteration keeps the estimates independent of the
        adaptively-chosen trajectory; at full dimension the identity sketch
        is exact and the randomness is unnecessary. *)
     let sketch =
-      if k >= m then Psdp_sketch.Jl.identity m
-      else
-        Psdp_sketch.Jl.create ~rng:(Rng.split rng) ~target_dim:k ~source_dim:m
+      Profiler.with_span span "sketch" (fun () ->
+          if k >= m then Psdp_sketch.Jl.identity m
+          else
+            Psdp_sketch.Jl.create ~rng:(Rng.split rng) ~target_dim:k
+              ~source_dim:m)
     in
     let { Psdp_expm.Big_dot_exp.dots; trace_estimate; degree } =
-      Psdp_expm.Big_dot_exp.compute ?pool
+      Psdp_expm.Big_dot_exp.compute ?pool ~prof:span
         ~matvec:(Weighted_gram.apply ?pool gram)
         ~dim:m ~kappa ~eps:(params.Params.eps /. 2.0) ~sketch factors
     in

@@ -21,7 +21,12 @@ type evaluation = {
   w : Mat.t option;  (** [exp(Ψ)] itself ({!Exact} only) *)
 }
 
-type t = float array -> evaluation
+type t = ?span:Psdp_obs.Profiler.span -> float array -> evaluation
+(** An evaluation optionally charges its kernel phases as children of
+    [span] (default {!Psdp_obs.Profiler.disabled}, which is free):
+    ["gram"] for weighted-Gram assembly and constraint products,
+    ["expm"] for the matrix exponential (dense or polynomial chains),
+    ["sketch"] for drawing the per-iteration JL sketch. *)
 
 val create :
   ?pool:Psdp_parallel.Pool.t -> backend:backend -> params:Params.t ->

@@ -39,7 +39,8 @@ let default_max_calls ~eps ~ratio =
   max 4 (int_of_float (Float.ceil halvings) + 8)
 
 let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
-    ?checkpoint ?on_iter ?on_call ~eps inst =
+    ?checkpoint ?(prof = Psdp_obs.Profiler.disabled) ?on_iter ?on_call ~eps
+    inst =
   if eps <= 0.0 || eps >= 1.0 then
     invalid_arg "Solver.solve_packing: eps must lie in (0,1)";
   let n = Instance.num_constraints inst in
@@ -133,6 +134,7 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
     (match on_call with
     | Some f -> f ~call:!calls ~threshold:v
     | None -> ());
+    let dc_span = Psdp_obs.Profiler.enter prof "decision_call" in
     Log.debug (fun m ->
         m "call %d: threshold %.6g (bracket [%.6g, %.6g])" !calls v !lo !hi);
     (* Lemma 2.2 trace clamp: at threshold v, constraints whose rescaled
@@ -149,7 +151,10 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
       Instance.of_factors
         (Array.map (fun i -> Factored.scale v factors.(i)) kept)
     in
-    let res = Decision.solve ?pool ?backend ?mode ?on_iter ~eps:eps_dec scaled in
+    let res =
+      Decision.solve ?pool ?backend ?mode ~prof:dc_span ?on_iter ~eps:eps_dec
+        scaled
+    in
     iters := !iters + res.Decision.iterations;
     (match res.Decision.outcome with
     | Decision.Dual { x = xd; _ } ->
@@ -183,6 +188,7 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
               Option.map (fun y -> Mat.scale (v /. min_dot) y) y
           end
         end);
+    Psdp_obs.Profiler.exit dc_span;
     (match checkpoint with
     | Some f ->
         f

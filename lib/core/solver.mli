@@ -62,6 +62,7 @@ val solve_packing :
   ?warm:warm_start ->
   ?resume:bisection_state ->
   ?checkpoint:(bisection_state -> unit) ->
+  ?prof:Psdp_obs.Profiler.span ->
   ?on_iter:(Decision.iter_stats -> unit) ->
   ?on_call:(call:int -> threshold:float -> unit) ->
   eps:float ->
@@ -85,7 +86,13 @@ val solve_packing :
     trusted like [warm.upper] — the caller must have validated the
     snapshot's provenance (instance digest, checksum) first. Progress
     counters continue from the saved values; the call budget applies to
-    the calls made in {e this} invocation only. *)
+    the calls made in {e this} invocation only.
+
+    [prof] (default {!Psdp_obs.Profiler.disabled}) charges every
+    bisection step to a ["decision_call"] child span, under which
+    {!Decision.solve} charges iterations and kernels — the full span
+    taxonomy is [solve → decision_call → iteration →
+    {expm, sketch, gram, select, cert}]. *)
 
 type covering_result = {
   z : Mat.t;  (** feasible covering solution: [Aᵢ•Z >= 1 − tol], [Z ≽ 0] *)

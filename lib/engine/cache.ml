@@ -12,11 +12,17 @@ type entry = {
   iterations : int;
 }
 
+type stats = { hits : int; misses : int; warm_hits : int; stores : int }
+
 type t = {
   mutex : Mutex.t;
   table : (string, entry list) Hashtbl.t;  (* digest -> entries, newest first *)
   mutable persist : out_channel option;
   mutable count : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  warm_hits : int Atomic.t;
+  store_count : int Atomic.t;
 }
 
 let entry_to_json e =
@@ -70,7 +76,8 @@ let insert t e =
 let create ?persist () =
   let t =
     { mutex = Mutex.create (); table = Hashtbl.create 64; persist = None;
-      count = 0 }
+      count = 0; hits = Atomic.make 0; misses = Atomic.make 0;
+      warm_hits = Atomic.make 0; store_count = Atomic.make 0 }
   in
   (match persist with
   | None -> ()
@@ -104,6 +111,7 @@ let find t ~digest ~eps ~backend ~mode =
       entries
   in
   Mutex.unlock t.mutex;
+  Atomic.incr (match r with Some _ -> t.hits | None -> t.misses);
   r
 
 let find_warm t ~digest ~backend ~mode =
@@ -125,9 +133,11 @@ let find_warm t ~digest ~backend ~mode =
       None entries
   in
   Mutex.unlock t.mutex;
+  (match r with Some _ -> Atomic.incr t.warm_hits | None -> ());
   r
 
 let store t e =
+  Atomic.incr t.store_count;
   Mutex.lock t.mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
@@ -145,6 +155,14 @@ let size t =
   let n = t.count in
   Mutex.unlock t.mutex;
   n
+
+let stats t =
+  {
+    hits = Atomic.get t.hits;
+    misses = Atomic.get t.misses;
+    warm_hits = Atomic.get t.warm_hits;
+    stores = Atomic.get t.store_count;
+  }
 
 let close t =
   Mutex.lock t.mutex;

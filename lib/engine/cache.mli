@@ -53,6 +53,17 @@ val store : t -> entry -> unit
 val size : t -> int
 (** Number of entries held. *)
 
+type stats = { hits : int; misses : int; warm_hits : int; stores : int }
+(** Lifetime traffic counters, mirroring {!Psdp_parallel.Pool.stats}:
+    [hits]/[misses] count exact {!find} lookups, [warm_hits] counts
+    {!find_warm} lookups that produced a warm-start source, [stores]
+    counts {!store}s. A warm-started job contributes one miss {e and}
+    one warm hit. *)
+
+val stats : t -> stats
+(** Current counter values (monotone). The batch engine mirrors these
+    into its metrics registry to expose the cache hit rate. *)
+
 val close : t -> unit
 (** Flush and close the persist channel, if any. Idempotent; the
     in-memory side stays usable. *)

@@ -10,11 +10,83 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 module Store = Psdp_store.Store
 module Journal = Psdp_store.Journal
 module Snapshot = Psdp_store.Snapshot
+module Metrics = Psdp_obs.Metrics
+module Profiler = Psdp_obs.Profiler
 
 exception Cancelled_exn
 exception Timed_out_exn
 exception Bad_input of string
 exception Store_crash of string
+
+(* Series the engine feeds when a metrics registry is attached. All are
+   registered once at [create]; updates are O(1) and lock-free or
+   per-series, so runner domains never contend on the registry. *)
+type meters = {
+  reg : Metrics.t;
+  m_submitted : Metrics.counter;
+  m_iterations : Metrics.counter;
+  m_decision_calls : Metrics.counter;
+  m_queue_depth : Metrics.gauge;
+  m_in_flight : Metrics.gauge;
+  m_job_seconds : Metrics.histogram;
+  m_decision_iterations : Metrics.histogram;
+  m_cache_hits : Metrics.counter;
+  m_cache_misses : Metrics.counter;
+  m_cache_warm : Metrics.counter;
+  m_cache_stores : Metrics.counter;
+  m_pool_parallel : Metrics.counter;
+  m_pool_fallbacks : Metrics.counter;
+  m_cost_work : Metrics.gauge;
+  m_cost_depth : Metrics.gauge;
+}
+
+let make_meters reg =
+  {
+    reg;
+    m_submitted =
+      Metrics.counter reg ~help:"jobs accepted by the engine"
+        "psdp_jobs_submitted_total";
+    m_iterations =
+      Metrics.counter reg ~help:"solver iterations across all jobs"
+        "psdp_solver_iterations_total";
+    m_decision_calls =
+      Metrics.counter reg ~help:"bisection decision calls across all jobs"
+        "psdp_decision_calls_total";
+    m_queue_depth =
+      Metrics.gauge reg ~help:"jobs queued, not yet picked up by a runner"
+        "psdp_queue_depth";
+    m_in_flight =
+      Metrics.gauge reg ~help:"jobs currently executing" "psdp_jobs_in_flight";
+    m_job_seconds =
+      Metrics.histogram reg ~help:"end-to-end job latency, seconds"
+        "psdp_job_seconds";
+    m_decision_iterations =
+      Metrics.histogram reg ~lo:1.0 ~ratio:2.0 ~buckets:24
+        ~help:"solver iterations per decision call" "psdp_decision_iterations";
+    m_cache_hits =
+      Metrics.counter reg ~help:"result cache exact hits"
+        "psdp_cache_hits_total";
+    m_cache_misses =
+      Metrics.counter reg ~help:"result cache misses" "psdp_cache_misses_total";
+    m_cache_warm =
+      Metrics.counter reg ~help:"warm-start sources found"
+        "psdp_cache_warm_hits_total";
+    m_cache_stores =
+      Metrics.counter reg ~help:"results stored in the cache"
+        "psdp_cache_stores_total";
+    m_pool_parallel =
+      Metrics.counter reg ~help:"pool loops that fanned out to workers"
+        "psdp_pool_parallel_loops_total";
+    m_pool_fallbacks =
+      Metrics.counter reg ~help:"pool loops that ran sequentially (busy pool)"
+        "psdp_pool_busy_fallbacks_total";
+    m_cost_work =
+      Metrics.gauge reg ~help:"abstract work charged by the cost model"
+        "psdp_cost_work";
+    m_cost_depth =
+      Metrics.gauge reg ~help:"abstract depth charged by the cost model"
+        "psdp_cost_depth";
+  }
 
 type state = Pending | Running | Done of Job.result
 
@@ -42,12 +114,35 @@ type t = {
   mutable stopped : bool;
   iter_batch : int;
   on_complete : (Job.result -> unit) option;
+  meters : meters option;
+  oprofiler : Profiler.t option;  (* process-wide; per-job merged in *)
+  in_flight : int Atomic.t;
 }
 
 let pool t = t.epool
 let cache t = t.ecache
 let trace t = t.etrace
 let job_id h = h.spec.Job.id
+
+(* Mirror the counters other subsystems keep for themselves (cache,
+   pool, cost model) into the registry. [record] raises-to-at-least, so
+   sampling at every job boundary and at shutdown never double-counts. *)
+let sample_meters eng =
+  match eng.meters with
+  | None -> ()
+  | Some m ->
+      Metrics.set m.m_queue_depth (float_of_int (Scheduler.length eng.sched));
+      let cs = Cache.stats eng.ecache in
+      Metrics.record m.m_cache_hits cs.Cache.hits;
+      Metrics.record m.m_cache_misses cs.Cache.misses;
+      Metrics.record m.m_cache_warm cs.Cache.warm_hits;
+      Metrics.record m.m_cache_stores cs.Cache.stores;
+      let ps = Pool.stats eng.epool in
+      Metrics.record m.m_pool_parallel ps.Pool.parallel_loops;
+      Metrics.record m.m_pool_fallbacks ps.Pool.busy_fallbacks;
+      let c = Cost.read () in
+      Metrics.set m.m_cost_work (float_of_int c.Cost.work);
+      Metrics.set m.m_cost_depth (float_of_int c.Cost.depth)
 
 (* ------------------------------------------------------------------ *)
 (* Job execution (in a runner domain) *)
@@ -59,7 +154,7 @@ let load_instance = function
       | Ok inst -> inst
       | Error msg -> raise (Bad_input msg))
 
-let execute eng h ~deadline =
+let execute eng h ~deadline ~prof =
   let spec = h.spec in
   let id = spec.Job.id in
   let iters = ref 0 in
@@ -71,6 +166,9 @@ let execute eng h ~deadline =
   in
   let on_iter (st : Decision.iter_stats) =
     incr iters;
+    (match eng.meters with
+    | Some m -> Metrics.inc m.m_iterations
+    | None -> ());
     if !iters mod eng.iter_batch = 0 then
       Trace.emit eng.etrace ~job:id ~kind:"iter_batch"
         [
@@ -87,8 +185,13 @@ let execute eng h ~deadline =
       let scaled = Instance.scale threshold inst in
       let r =
         Decision.solve ~pool:eng.epool ~backend:spec.Job.backend
-          ~mode:spec.Job.mode ~on_iter ~eps:spec.Job.eps scaled
+          ~mode:spec.Job.mode ~prof ~on_iter ~eps:spec.Job.eps scaled
       in
+      (match eng.meters with
+      | Some m ->
+          Metrics.observe m.m_decision_iterations
+            (float_of_int r.Decision.iterations)
+      | None -> ());
       (match r.Decision.outcome with
       | Decision.Dual { x; _ } ->
           let value = Util.sum_array x in
@@ -224,7 +327,25 @@ let execute eng h ~deadline =
                           raise (Store_crash (Printexc.to_string e))
                     end)
           in
+          (* Iterations-per-call histogram: [on_call] fires before each
+             decision call, so the delta since the previous firing is the
+             previous call's iteration count; the last call is flushed
+             after the solver returns. *)
+          let seen_call = ref false and iters_at_call = ref 0 in
+          let bump_call_histogram () =
+            match eng.meters with
+            | Some m when !seen_call ->
+                Metrics.observe m.m_decision_iterations
+                  (float_of_int (!iters - !iters_at_call));
+                iters_at_call := !iters
+            | _ -> ()
+          in
           let on_call ~call ~threshold =
+            bump_call_histogram ();
+            seen_call := true;
+            (match eng.meters with
+            | Some m -> Metrics.inc m.m_decision_calls
+            | None -> ());
             Trace.emit eng.etrace ~job:id ~kind:"decision_call"
               [
                 ("call", Json.Num (float_of_int call));
@@ -234,9 +355,10 @@ let execute eng h ~deadline =
           in
           let r =
             Solver.solve_packing ~pool:eng.epool ~backend:spec.Job.backend
-              ~mode:spec.Job.mode ~warm ?resume ?checkpoint ~on_iter ~on_call
-              ~eps:spec.Job.eps inst
+              ~mode:spec.Job.mode ~warm ?resume ?checkpoint ~prof ~on_iter
+              ~on_call ~eps:spec.Job.eps inst
           in
+          bump_call_histogram ();
           let cert = Certificate.check_dual inst r.Solver.x in
           Trace.emit eng.etrace ~job:id ~kind:"cert_verified"
             [
@@ -330,10 +452,26 @@ let run_one eng h =
     h.state <- Running;
     Mutex.unlock eng.mutex;
     Trace.emit eng.etrace ~job:id ~kind:"job_started" [];
+    (match eng.meters with
+    | Some m ->
+        Metrics.set m.m_in_flight
+          (float_of_int (1 + Atomic.fetch_and_add eng.in_flight 1));
+        Metrics.set m.m_queue_depth
+          (float_of_int (Scheduler.length eng.sched))
+    | None -> ());
+    (* Each job profiles into a private registry — runner domains never
+       share span state — and the result is merged into the process-wide
+       profiler after the fact. *)
+    let job_prof = Option.map (fun _ -> Profiler.create ()) eng.oprofiler in
+    let prof =
+      match job_prof with
+      | None -> Profiler.disabled
+      | Some p -> Profiler.root p "solve"
+    in
     let t0 = Timer.now () in
     let deadline = Option.map (fun s -> t0 +. s) h.spec.Job.timeout in
     let outcome, record =
-      match execute eng h ~deadline with
+      match execute eng h ~deadline ~prof with
       | outcome -> (outcome, true)
       | exception Cancelled_exn -> (Job.Cancelled, true)
       | exception Timed_out_exn -> (Job.Timed_out, true)
@@ -346,7 +484,45 @@ let run_one eng h =
       | exception (Failure msg | Invalid_argument msg) -> (Job.Failed msg, true)
       | exception e -> (Job.Failed (Printexc.to_string e), true)
     in
-    finish ~record eng h { Job.id; outcome; elapsed = Timer.now () -. t0 }
+    let elapsed = Timer.now () -. t0 in
+    Profiler.exit prof;
+    (match (job_prof, eng.oprofiler) with
+    | Some p, Some shared ->
+        Trace.emit eng.etrace ~job:id ~kind:"profile"
+          [
+            ( "spans",
+              Json.Obj
+                (List.map
+                   (fun (r : Profiler.row) ->
+                     ( r.Profiler.path,
+                       Json.Obj
+                         [
+                           ("count", Json.Num (float_of_int r.Profiler.count));
+                           ("total", Json.Num r.Profiler.total);
+                         ] ))
+                   (Profiler.report p)) );
+          ];
+        Profiler.merge ~into:shared p
+    | _ -> ());
+    (match eng.meters with
+    | Some m ->
+        Metrics.observe m.m_job_seconds elapsed;
+        let in_flight = Atomic.fetch_and_add eng.in_flight (-1) - 1 in
+        Metrics.set m.m_in_flight (float_of_int in_flight);
+        let status =
+          match outcome with
+          | Job.Solved _ -> "ok"
+          | Job.Decided { accepted; _ } -> if accepted then "ok" else "rejected"
+          | Job.Failed _ -> "failed"
+          | Job.Cancelled -> "cancelled"
+          | Job.Timed_out -> "timeout"
+        in
+        Metrics.inc
+          (Metrics.counter m.reg ~help:"jobs finished, by terminal status"
+             ~labels:[ ("status", status) ] "psdp_jobs_finished_total");
+        sample_meters eng
+    | None -> ());
+    finish ~record eng h { Job.id; outcome; elapsed }
   end
 
 let rec runner_loop eng =
@@ -365,8 +541,8 @@ let rec runner_loop eng =
 (* Lifecycle *)
 
 let create ?pool ?(max_in_flight = 2) ?cache ?trace ?store
-    ?(checkpoint_every = 1) ?(paused = false) ?(iter_batch = 32) ?on_complete
-    () =
+    ?(checkpoint_every = 1) ?(paused = false) ?(iter_batch = 32) ?metrics
+    ?profiler ?on_complete () =
   if max_in_flight < 1 then
     invalid_arg "Engine.create: max_in_flight must be >= 1";
   if iter_batch < 1 then invalid_arg "Engine.create: iter_batch must be >= 1";
@@ -393,6 +569,9 @@ let create ?pool ?(max_in_flight = 2) ?cache ?trace ?store
       stopped = false;
       iter_batch;
       on_complete;
+      meters = Option.map make_meters metrics;
+      oprofiler = profiler;
+      in_flight = Atomic.make 0;
     }
   in
   Trace.emit eng.etrace ~kind:"engine_started"
@@ -458,6 +637,11 @@ let submit_with ?resume eng (spec : Job.spec) =
       ("priority", Json.Num (float_of_int spec.Job.priority));
     ];
   Scheduler.push eng.sched ~priority:spec.Job.priority h;
+  (match eng.meters with
+  | Some m ->
+      Metrics.inc m.m_submitted;
+      Metrics.set m.m_queue_depth (float_of_int (Scheduler.length eng.sched))
+  | None -> ());
   h
 
 let submit eng spec = submit_with eng spec
@@ -566,6 +750,7 @@ let shutdown eng =
     List.iter Domain.join eng.runners;
     eng.runners <- [];
     let stats = Pool.stats eng.epool in
+    sample_meters eng;
     Trace.emit eng.etrace ~kind:"engine_stopped"
       [
         ("jobs", Json.Num (float_of_int eng.seq));
@@ -574,6 +759,7 @@ let shutdown eng =
         ( "pool_busy_fallbacks",
           Json.Num (float_of_int stats.Pool.busy_fallbacks) );
       ];
+    Trace.flush_sink eng.etrace;
     Log.info (fun m ->
         m "engine stopped: %d jobs, %d parallel loops, %d busy fallbacks"
           eng.seq stats.Pool.parallel_loops stats.Pool.busy_fallbacks);
@@ -581,10 +767,10 @@ let shutdown eng =
   end
 
 let with_engine ?pool ?max_in_flight ?cache ?trace ?store ?checkpoint_every
-    ?iter_batch ?on_complete f =
+    ?iter_batch ?metrics ?profiler ?on_complete f =
   let eng =
     create ?pool ?max_in_flight ?cache ?trace ?store ?checkpoint_every
-      ?iter_batch ?on_complete ()
+      ?iter_batch ?metrics ?profiler ?on_complete ()
   in
   match f eng with
   | result ->

@@ -31,6 +31,17 @@
     - {b Telemetry}: every step emits a {!Trace} event; the per-job
       counters in [job_finished] match the per-job event stream (as the
       test suite asserts).
+    - {b Observability}: with a {!Psdp_obs.Metrics} registry attached,
+      the engine feeds counters (jobs submitted / finished by status,
+      solver iterations, decision calls, mirrored cache / pool stats),
+      gauges (queue depth, jobs in flight, cost-model work / depth) and
+      histograms ([psdp_job_seconds], [psdp_decision_iterations]).
+      With a {!Psdp_obs.Profiler} attached, each job is profiled into a
+      private per-job profiler (runner domains share no span state)
+      whose root ["solve"] span covers the whole solve; the per-job
+      rows are emitted as a ["profile"] trace event and then merged
+      into the shared profiler. Pointing the profiler at the same
+      registry puts span histograms in the same Prometheus snapshot.
 
     Runners re-verify every solve's dual certificate against the
     instance before reporting it, so a cache or warm-start bug can
@@ -66,6 +77,8 @@ val create :
   ?checkpoint_every:int ->
   ?paused:bool ->
   ?iter_batch:int ->
+  ?metrics:Psdp_obs.Metrics.t ->
+  ?profiler:Psdp_obs.Profiler.t ->
   ?on_complete:(Job.result -> unit) ->
   unit ->
   t
@@ -83,7 +96,12 @@ val create :
     [store] (default none — no durability) attaches a checkpoint store;
     the engine appends to its journal and snapshots solver state every
     [checkpoint_every] (default 1) decision calls. The store is not
-    owned: the caller closes it after {!shutdown}. *)
+    owned: the caller closes it after {!shutdown}.
+
+    [metrics] (default none — zero overhead) attaches a metrics
+    registry; [profiler] (default none) a span profiler. Neither is
+    owned — the caller renders/reports them after {!shutdown} (or
+    concurrently: both are domain-safe). *)
 
 type handle
 
@@ -139,6 +157,8 @@ val with_engine :
   ?store:Psdp_store.Store.t ->
   ?checkpoint_every:int ->
   ?iter_batch:int ->
+  ?metrics:Psdp_obs.Metrics.t ->
+  ?profiler:Psdp_obs.Profiler.t ->
   ?on_complete:(Job.result -> unit) ->
   (t -> 'a) ->
   'a

@@ -7,42 +7,85 @@ type sink = {
   t0 : float;
   mutable last : float;  (* latest stamp handed out; enforces monotonicity *)
   target : target;
+  flush_every : int;
+  mutable unflushed : int;  (* events written since the last flush *)
 }
 
-let make target =
-  { mutex = Mutex.create (); t0 = Timer.now (); last = 0.0; target }
+let make ?(flush_every = 1) target =
+  if flush_every < 1 then invalid_arg "Trace: flush_every must be >= 1";
+  {
+    mutex = Mutex.create ();
+    t0 = Timer.now ();
+    last = 0.0;
+    target;
+    flush_every;
+    unflushed = 0;
+  }
 
 let null = make Null
 let memory () = make (Memory (ref []))
-let channel oc = make (Channel oc)
+let channel ?flush_every oc = make ?flush_every (Channel oc)
 
 let stamp sink =
   let t = Float.max sink.last (Timer.now () -. sink.t0) in
   sink.last <- t;
   t
 
+(* The timestamp is the one field that must be taken under the sink mutex
+   (the monotonic clamp reads and writes [last], and the stamp order must
+   match the write order so readers see non-decreasing [t] line by line).
+   Everything else about the event is rendered before taking the lock, so
+   concurrent runner domains serialize only on stamp + write, never on
+   JSON formatting. *)
 let emit sink ?job ~kind fields =
   match sink.target with
   | Null -> ()
-  | target ->
+  | Memory buf ->
+      let header =
+        ("kind", Json.Str kind)
+        :: (match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
+      in
       Mutex.lock sink.mutex;
       Fun.protect
         ~finally:(fun () -> Mutex.unlock sink.mutex)
         (fun () ->
           let t = stamp sink in
-          let header =
-            ("t", Json.Num t) :: ("kind", Json.Str kind)
-            ::
-            (match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
-          in
-          let ev = Json.Obj (header @ fields) in
-          match target with
-          | Null -> ()
-          | Memory buf -> buf := ev :: !buf
-          | Channel oc ->
-              output_string oc (Json.to_string ev);
-              output_char oc '\n';
-              flush oc)
+          buf := Json.Obj (("t", Json.Num t) :: (header @ fields)) :: !buf)
+  | Channel oc ->
+      (* Rendered as {"t":<stamp>,<tail>}: the tail is the event minus its
+         leading "t" field, formatted outside the lock. *)
+      let header =
+        ("kind", Json.Str kind)
+        :: (match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
+      in
+      let tail =
+        match Json.to_string (Json.Obj (header @ fields)) with
+        | "{}" -> "}"
+        | s -> "," ^ String.sub s 1 (String.length s - 1)
+      in
+      Mutex.lock sink.mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock sink.mutex)
+        (fun () ->
+          let t = stamp sink in
+          output_string oc "{\"t\":";
+          output_string oc (Json.to_string (Json.Num t));
+          output_string oc tail;
+          output_char oc '\n';
+          sink.unflushed <- sink.unflushed + 1;
+          if sink.unflushed >= sink.flush_every then begin
+            flush oc;
+            sink.unflushed <- 0
+          end)
+
+let flush_sink sink =
+  match sink.target with
+  | Null | Memory _ -> ()
+  | Channel oc ->
+      Mutex.lock sink.mutex;
+      flush oc;
+      sink.unflushed <- 0;
+      Mutex.unlock sink.mutex
 
 let events sink =
   match sink.target with

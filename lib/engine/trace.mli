@@ -5,18 +5,23 @@
     one JSON object with a per-sink monotonic timestamp. A sink decides
     where events go: nowhere, an in-memory buffer (tests introspect it),
     or an output channel as JSONL (one compact object per line — the
-    format `psdp batch --trace` writes and the bench harness consumes).
+    format `psdp batch --trace` writes and the bench harness and
+    [psdp trace summarize] consume).
 
-    Emission is thread-safe; events from concurrent runner domains are
-    serialized by the sink and their timestamps are non-decreasing in
-    emission order ([Unix.gettimeofday] is not monotonic under clock
-    adjustment, so the sink clamps each stamp to be at least the previous
-    one).
+    Emission is thread-safe. Events are formatted {e outside} the sink
+    mutex; only the timestamp (whose clamp must match write order) and
+    the channel write itself are serialized, so runner domains never
+    contend on JSON rendering. Timestamps come from the monotonic
+    {!Psdp_prelude.Timer.now}, so they are non-decreasing by
+    construction; the sink additionally clamps each stamp to be at least
+    the previous one as a backstop (and to make [elapsed] monotone with
+    the event stream).
 
     Event schema: [{"t": seconds_since_sink_creation, "kind": str,
     "job": str?, ...kind-specific fields}]. Kinds used by the engine:
     [job_submitted], [job_started], [job_finished], [decision_call],
-    [iter_batch], [cache], [cert_verified], [engine_started],
+    [iter_batch], [cache], [cert_verified], [profile] (per-job span
+    totals, when a profiler is attached), [engine_started],
     [engine_stopped]; and, when a checkpoint store is attached,
     [checkpoint], [recovery_started], [job_recovered], [resume],
     [snapshot_rejected], [recovery_skipped], [journal_torn]. *)
@@ -31,14 +36,22 @@ val null : sink
 val memory : unit -> sink
 (** Buffers events in memory; read them back with {!events}. *)
 
-val channel : out_channel -> sink
-(** Writes each event as one JSON line and flushes, so a concurrent
-    reader (or a crashed run's post-mortem) sees complete records. The
-    channel is not closed by the sink. *)
+val channel : ?flush_every:int -> out_channel -> sink
+(** Writes each event as one JSON line. [flush_every] (default 1)
+    batches flushes: the channel is flushed after every [flush_every]th
+    event rather than after each one. The default preserves crash
+    post-mortem semantics — a concurrent reader (or a crashed run's
+    post-mortem) sees every complete record; raise it to take per-event
+    I/O off the emission path on high-frequency traces. The channel is
+    not closed by the sink. *)
 
 val emit : sink -> ?job:string -> kind:string -> (string * Json.t) list -> unit
 (** [emit sink ~job ~kind fields] records one event. [fields] must not
     rebind ["t"], ["kind"] or ["job"]. *)
+
+val flush_sink : sink -> unit
+(** Force any batched events out to the channel. No-op for {!null} and
+    {!memory} sinks. *)
 
 val events : sink -> Json.t list
 (** Events recorded so far, oldest first. Empty for {!null} and

@@ -5,8 +5,9 @@ open Psdp_sparse
 type result = { dots : float array; trace_estimate : float; degree : int }
 type polynomial = Taylor | Chebyshev
 
-let compute ?(pool = Psdp_parallel.Pool.sequential) ?(poly = Taylor) ~matvec
-    ~dim ~kappa ~eps ~sketch factors =
+let compute ?(pool = Psdp_parallel.Pool.sequential) ?(poly = Taylor)
+    ?(prof = Psdp_obs.Profiler.disabled) ~matvec ~dim ~kappa ~eps ~sketch
+    factors =
   if Psdp_sketch.Jl.source_dim sketch <> dim then
     invalid_arg "Big_dot_exp.compute: sketch dimension mismatch";
   Array.iter
@@ -30,21 +31,23 @@ let compute ?(pool = Psdp_parallel.Pool.sequential) ?(poly = Taylor) ~matvec
   let k = Psdp_sketch.Jl.target_dim sketch in
   (* z.(r) = p̂(Φ/2) · πᵣ ; the k chains are independent. *)
   let z = Array.make k [||] in
-  Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:k (fun r ->
-      z.(r) <- apply_poly (Psdp_sketch.Jl.row sketch r));
+  Psdp_obs.Profiler.with_span prof "expm" (fun () ->
+      Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:k (fun r ->
+          z.(r) <- apply_poly (Psdp_sketch.Jl.row sketch r)));
   let trace_estimate =
     Util.sum_array (Array.map (fun zr -> Vec.dot zr zr) z)
   in
   let n = Array.length factors in
   let dots = Array.make n 0.0 in
-  Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
-      let qt = Factored.factor_t factors.(i) in
-      let s = ref 0.0 in
-      for r = 0 to k - 1 do
-        let u = Csr.spmv qt z.(r) in
-        s := !s +. Vec.dot u u
-      done;
-      dots.(i) <- !s);
+  Psdp_obs.Profiler.with_span prof "gram" (fun () ->
+      Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
+          let qt = Factored.factor_t factors.(i) in
+          let s = ref 0.0 in
+          for r = 0 to k - 1 do
+            let u = Csr.spmv qt z.(r) in
+            s := !s +. Vec.dot u u
+          done;
+          dots.(i) <- !s));
   { dots; trace_estimate; degree }
 
 let compute_exact phi factors =

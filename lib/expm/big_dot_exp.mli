@@ -26,6 +26,7 @@ type polynomial = Taylor | Chebyshev
 val compute :
   ?pool:Psdp_parallel.Pool.t ->
   ?poly:polynomial ->
+  ?prof:Psdp_obs.Profiler.span ->
   matvec:(Vec.t -> Vec.t) ->
   dim:int ->
   kappa:float ->
@@ -37,7 +38,9 @@ val compute :
     [Φ] (symmetric PSD, [‖Φ‖₂ <= kappa]); the sketch must have
     [source_dim = dim]. The polynomial ([poly] defaults to [Taylor]) is
     sized for accuracy [eps/2], leaving the rest of the error budget to
-    the sketch. *)
+    the sketch. [prof] (default {!Psdp_obs.Profiler.disabled}) charges
+    the polynomial chains to an ["expm"] child span and the Gram
+    products to a ["gram"] child span. *)
 
 val compute_exact : Mat.t -> Factored.t array -> result
 (** Dense reference implementation via the exact eigendecomposition

@@ -1,0 +1,348 @@
+(* The registry is a hashtable from (family name, rendered label set) to
+   series, plus a family table carrying help/kind for exposition. The
+   registry mutex guards registration and render only; updates go through
+   per-series synchronization (atomics for counters, a small mutex for
+   gauges and histograms) so hot paths from concurrent runner domains
+   never serialize on the registry. *)
+
+type hist_state = {
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* per-bucket, non-cumulative; counts.(n) = +Inf *)
+  mutable sum : float;
+  mutable total : int;
+  hmutex : Mutex.t;
+}
+
+type counter = int Atomic.t
+type gauge = { gmutex : Mutex.t; mutable value : float }
+type histogram = hist_state
+
+type series =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type kind = Kcounter | Kgauge | Khistogram
+
+type family = {
+  fname : string;
+  help : string;
+  kind : kind;
+  mutable series : (string * series) list;  (* rendered labels, oldest first *)
+}
+
+type t = {
+  mutex : Mutex.t;
+  table : (string * string, series) Hashtbl.t;  (* (name, labels) -> series *)
+  families : (string, family) Hashtbl.t;
+  mutable order : string list;  (* family registration order, newest first *)
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    table = Hashtbl.create 64;
+    families = Hashtbl.create 64;
+    order = [];
+  }
+
+let valid_name name =
+  String.length name > 0
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let valid_label_name name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* Canonical label rendering: sorted by label name, so the same label set
+   always maps to the same series regardless of argument order. *)
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      let labels =
+        List.sort (fun (a, _) (b, _) -> compare a b) labels
+      in
+      let parts =
+        List.map
+          (fun (k, v) ->
+            if not (valid_label_name k) then
+              invalid_arg (Printf.sprintf "Metrics: bad label name %S" k);
+            Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+          labels
+      in
+      "{" ^ String.concat "," parts ^ "}"
+
+let kind_of = function
+  | Counter _ -> Kcounter
+  | Gauge _ -> Kgauge
+  | Histogram _ -> Khistogram
+
+let register reg ~help ~labels ~name ~kind ~make =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: bad metric name %S" name);
+  let lbl = render_labels labels in
+  Mutex.lock reg.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock reg.mutex)
+    (fun () ->
+      match Hashtbl.find_opt reg.table (name, lbl) with
+      | Some s ->
+          if kind_of s <> kind then
+            invalid_arg
+              (Printf.sprintf "Metrics: %s already registered with another kind"
+                 name);
+          s
+      | None ->
+          let fam =
+            match Hashtbl.find_opt reg.families name with
+            | Some f ->
+                if f.kind <> kind then
+                  invalid_arg
+                    (Printf.sprintf
+                       "Metrics: %s already registered with another kind" name);
+                f
+            | None ->
+                let f = { fname = name; help; kind; series = [] } in
+                Hashtbl.replace reg.families name f;
+                reg.order <- name :: reg.order;
+                f
+          in
+          let s = make () in
+          Hashtbl.replace reg.table (name, lbl) s;
+          fam.series <- fam.series @ [ (lbl, s) ];
+          s)
+
+(* --------------------------------------------------------------- *)
+(* Counters *)
+
+let counter reg ?(help = "") ?(labels = []) name =
+  match
+    register reg ~help ~labels ~name ~kind:Kcounter ~make:(fun () ->
+        Counter (Atomic.make 0))
+  with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> assert false
+
+let inc c = Atomic.incr c
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: negative increment";
+  ignore (Atomic.fetch_and_add c n)
+
+let rec record c v =
+  let cur = Atomic.get c in
+  if v > cur && not (Atomic.compare_and_set c cur v) then record c v
+
+let counter_value c = Atomic.get c
+
+(* --------------------------------------------------------------- *)
+(* Gauges *)
+
+let gauge reg ?(help = "") ?(labels = []) name =
+  match
+    register reg ~help ~labels ~name ~kind:Kgauge ~make:(fun () ->
+        Gauge { gmutex = Mutex.create (); value = 0.0 })
+  with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> assert false
+
+let set g v =
+  Mutex.lock g.gmutex;
+  g.value <- v;
+  Mutex.unlock g.gmutex
+
+let gauge_value g =
+  Mutex.lock g.gmutex;
+  let v = g.value in
+  Mutex.unlock g.gmutex;
+  v
+
+(* --------------------------------------------------------------- *)
+(* Histograms *)
+
+let default_lo = 1e-6
+let default_ratio = 2.0
+let default_buckets = 40
+
+let histogram reg ?(help = "") ?(labels = []) ?(lo = default_lo)
+    ?(ratio = default_ratio) ?(buckets = default_buckets) name =
+  if lo <= 0.0 || ratio <= 1.0 || buckets < 1 then
+    invalid_arg "Metrics.histogram: need lo > 0, ratio > 1, buckets >= 1";
+  let make () =
+    let bounds = Array.init buckets (fun i -> lo *. (ratio ** float_of_int i)) in
+    Histogram
+      {
+        bounds;
+        counts = Array.make (buckets + 1) 0;
+        sum = 0.0;
+        total = 0;
+        hmutex = Mutex.create ();
+      }
+  in
+  match register reg ~help ~labels ~name ~kind:Khistogram ~make with
+  | Histogram h ->
+      if
+        Array.length h.bounds <> buckets
+        || h.bounds.(0) <> lo
+        || (buckets > 1 && h.bounds.(1) <> lo *. ratio)
+      then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s re-registered with a different bucket \
+                           scheme" name);
+      h
+  | Counter _ | Gauge _ -> assert false
+
+(* First bound >= v, by binary search; Array.length bounds = +Inf. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  if v > bounds.(n - 1) then n
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let observe h v =
+  Mutex.lock h.hmutex;
+  let i = bucket_index h.bounds v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.total <- h.total + 1;
+  Mutex.unlock h.hmutex
+
+let hist_count h =
+  Mutex.lock h.hmutex;
+  let n = h.total in
+  Mutex.unlock h.hmutex;
+  n
+
+let hist_sum h =
+  Mutex.lock h.hmutex;
+  let s = h.sum in
+  Mutex.unlock h.hmutex;
+  s
+
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q outside [0,1]";
+  Mutex.lock h.hmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock h.hmutex)
+    (fun () ->
+      if h.total = 0 then Float.nan
+      else begin
+        let target = q *. float_of_int h.total in
+        let n = Array.length h.bounds in
+        let cum = ref 0 and idx = ref n in
+        (try
+           for i = 0 to n do
+             cum := !cum + h.counts.(i);
+             if float_of_int !cum >= target then begin
+               idx := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !idx >= n then h.bounds.(n - 1)  (* overflow bucket: pin to top *)
+        else begin
+          let upper = h.bounds.(!idx) in
+          let lower = if !idx = 0 then 0.0 else h.bounds.(!idx - 1) in
+          let before = !cum - h.counts.(!idx) in
+          let within =
+            if h.counts.(!idx) = 0 then 1.0
+            else
+              (target -. float_of_int before) /. float_of_int h.counts.(!idx)
+          in
+          lower +. ((upper -. lower) *. Float.max 0.0 (Float.min 1.0 within))
+        end
+      end)
+
+let absorb ~into src =
+  if Array.length into.bounds <> Array.length src.bounds
+     || into.bounds.(0) <> src.bounds.(0)
+  then invalid_arg "Metrics.absorb: bucket schemes differ";
+  (* Lock ordering: into before src; absorb is only ever called to fold a
+     private per-job histogram into a shared one, so no cycle arises. *)
+  Mutex.lock into.hmutex;
+  Mutex.lock src.hmutex;
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.sum <- into.sum +. src.sum;
+  into.total <- into.total + src.total;
+  Mutex.unlock src.hmutex;
+  Mutex.unlock into.hmutex
+
+(* --------------------------------------------------------------- *)
+(* Exposition *)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let render_series buf name lbl = function
+  | Counter c -> Printf.bprintf buf "%s%s %d\n" name lbl (Atomic.get c)
+  | Gauge g -> Printf.bprintf buf "%s%s %s\n" name lbl (float_str (gauge_value g))
+  | Histogram h ->
+      Mutex.lock h.hmutex;
+      let bounds = h.bounds and counts = Array.copy h.counts in
+      let sum = h.sum and total = h.total in
+      Mutex.unlock h.hmutex;
+      (* [le] joins any user labels inside the braces. *)
+      let with_le le =
+        if lbl = "" then Printf.sprintf "{le=\"%s\"}" le
+        else Printf.sprintf "%s,le=\"%s\"}" (String.sub lbl 0 (String.length lbl - 1)) le
+      in
+      let cum = ref 0 in
+      Array.iteri
+        (fun i bound ->
+          cum := !cum + counts.(i);
+          Printf.bprintf buf "%s_bucket%s %d\n" name (with_le (float_str bound))
+            !cum)
+        bounds;
+      Printf.bprintf buf "%s_bucket%s %d\n" name (with_le "+Inf") total;
+      Printf.bprintf buf "%s_sum%s %s\n" name lbl (float_str sum);
+      Printf.bprintf buf "%s_count%s %d\n" name lbl total
+
+let render reg =
+  Mutex.lock reg.mutex;
+  let fams =
+    List.rev_map (fun name -> Hashtbl.find reg.families name) reg.order
+  in
+  Mutex.unlock reg.mutex;
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun fam ->
+      if fam.help <> "" then
+        Printf.bprintf buf "# HELP %s %s\n" fam.fname fam.help;
+      Printf.bprintf buf "# TYPE %s %s\n" fam.fname
+        (match fam.kind with
+        | Kcounter -> "counter"
+        | Kgauge -> "gauge"
+        | Khistogram -> "histogram");
+      List.iter (fun (lbl, s) -> render_series buf fam.fname lbl s) fam.series)
+    fams;
+  Buffer.contents buf

@@ -1,0 +1,101 @@
+(** Domain-safe metrics registry with Prometheus text exposition.
+
+    A registry holds named time series of three kinds — monotonic
+    {e counters}, free-floating {e gauges}, and log-bucketed
+    {e histograms} — and renders them all as one Prometheus text
+    exposition (v0.0.4) snapshot. Series are identified by family name
+    plus an optional label set; registering the same (name, labels) pair
+    twice returns the same series, so independent subsystems can share a
+    registry without coordination.
+
+    Concurrency: every operation is safe to call from any domain.
+    Counters are lock-free atomics; gauges and histograms take a
+    per-series mutex held only for the O(1) update. Nothing here blocks
+    on I/O — {!render} produces a string and leaves writing it to the
+    caller (the CLI writes snapshots via [Psdp_store.Atomic_io]).
+
+    Histograms use geometric ("log") buckets [lo·ratioⁱ]: a fixed number
+    of buckets covers many orders of magnitude of latency, and quantiles
+    (p50/p90/p99) are recovered by interpolating within the bucket — see
+    {!quantile}. The defaults (1 µs lower edge, ×2 ratio, 40 buckets)
+    cover 1 µs to ≈ 9 minutes. *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+type counter
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** [counter reg name] registers (or finds) the counter series
+    [name{labels}]. Raises [Invalid_argument] if [name] is not a valid
+    Prometheus metric name or is already registered with a different
+    kind. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+(** Add [n >= 0]; counters are monotone by contract. *)
+
+val record : counter -> int -> unit
+(** [record c v] raises the counter to at least [v] — for mirroring an
+    external monotone counter (e.g. {!Psdp_engine.Cache.stats}) into the
+    registry without double counting. *)
+
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+type gauge
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?lo:float ->
+  ?ratio:float ->
+  ?buckets:int ->
+  string ->
+  histogram
+(** Log-bucketed histogram: bucket [i] has upper bound [lo·ratioⁱ]
+    (defaults: [lo = 1e-6], [ratio = 2.0], [buckets = 40]), plus the
+    implicit [+Inf] bucket. Re-registration must use the same bucket
+    scheme. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q ∈ [0,1]]: the value below which a fraction [q]
+    of the observations fall, linearly interpolated inside the bucket
+    (the first bucket interpolates from 0; observations above the last
+    bound are pinned to it). [nan] when the histogram is empty. *)
+
+val absorb : into:histogram -> histogram -> unit
+(** Add the source histogram's bucket counts and sum into [into]. Both
+    must use the same bucket scheme ([Invalid_argument] otherwise).
+    Used to merge per-job profiles into a shared registry. *)
+
+(** {1 Exposition} *)
+
+val render : t -> string
+(** Prometheus text exposition format v0.0.4: one [# HELP]/[# TYPE]
+    header per family (families in registration order), then one line
+    per series; histograms expand to cumulative [_bucket{le="…"}] lines
+    plus [_sum] and [_count]. The output always ends with a newline —
+    ready to write to a [.prom] file or serve as
+    [text/plain; version=0.0.4]. *)

@@ -1,0 +1,189 @@
+(* Every span path owns one log-bucketed histogram in the backing
+   registry, labeled {path="solve/decision_call/..."}. A span handle is
+   an immutable record private to the domain that entered it — nesting is
+   explicit (child handles point at their parent's path), so concurrent
+   runner domains never share a mutable frame; only the O(1) histogram
+   update at exit synchronizes. *)
+
+open Psdp_prelude
+
+type t = {
+  reg : Metrics.t;
+  family : string;
+  mutex : Mutex.t;  (* guards [table], [children] and [order] *)
+  table : (string, Metrics.histogram) Hashtbl.t;  (* path → histogram *)
+  children : (string * string, string * Metrics.histogram) Hashtbl.t;
+      (* (parent path, name) → (child path, histogram): the hot-loop
+         cache, so re-entering the same child costs one lookup and no
+         string building *)
+  mutable order : string list;  (* newest first *)
+}
+
+(* A handle carries its path's histogram, resolved once at [enter], so
+   [exit] touches only the clock and that histogram — no profiler lock,
+   no path hashing on the close path. *)
+type span =
+  | Disabled
+  | Open of { t : t; path : string; hist : Metrics.histogram; t0 : float }
+
+let disabled = Disabled
+
+let create ?registry ?(family = "psdp_span_seconds") () =
+  let reg = match registry with Some r -> r | None -> Metrics.create () in
+  {
+    reg;
+    family;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 32;
+    children = Hashtbl.create 32;
+    order = [];
+  }
+
+(* Under [t.mutex]. *)
+let intern t path =
+  match Hashtbl.find_opt t.table path with
+  | Some h -> h
+  | None ->
+      let h =
+        Metrics.histogram t.reg ~labels:[ ("path", path) ]
+          ~help:"hierarchical span durations by path" t.family
+      in
+      Hashtbl.replace t.table path h;
+      t.order <- path :: t.order;
+      h
+
+let resolve t parent name =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.children (parent, name) with
+  | Some hit ->
+      Mutex.unlock t.mutex;
+      hit
+  | None -> (
+      match
+        let path = if parent = "" then name else parent ^ "/" ^ name in
+        let entry = (path, intern t path) in
+        Hashtbl.replace t.children (parent, name) entry;
+        entry
+      with
+      | entry ->
+          Mutex.unlock t.mutex;
+          entry
+      | exception e ->
+          Mutex.unlock t.mutex;
+          raise e)
+
+let hist_for t path =
+  Mutex.lock t.mutex;
+  match intern t path with
+  | h ->
+      Mutex.unlock t.mutex;
+      h
+  | exception e ->
+      Mutex.unlock t.mutex;
+      raise e
+
+let open_span t parent name =
+  let path, hist = resolve t parent name in
+  Open { t; path; hist; t0 = Timer.now () }
+
+let root t name = open_span t "" name
+
+let enter parent name =
+  match parent with
+  | Disabled -> Disabled
+  | Open { t; path; _ } -> open_span t path name
+
+let exit span =
+  match span with
+  | Disabled -> ()
+  | Open { hist; t0; _ } -> Metrics.observe hist (Timer.now () -. t0)
+
+let with_span parent name f =
+  match parent with
+  | Disabled -> f ()
+  | Open _ -> (
+      let s = enter parent name in
+      match f () with
+      | v ->
+          exit s;
+          v
+      | exception e ->
+          exit s;
+          raise e)
+
+type row = { path : string; count : int; total : float; self : float }
+
+let rows t =
+  Mutex.lock t.mutex;
+  let order = List.rev t.order in
+  let hists = List.map (fun p -> (p, Hashtbl.find t.table p)) order in
+  Mutex.unlock t.mutex;
+  List.map
+    (fun (p, h) ->
+      (p, Metrics.hist_count h, Metrics.hist_sum h))
+    hists
+
+let report t =
+  let raw = rows t in
+  (* Self time: total minus the totals of direct children. *)
+  let parent_of p =
+    match String.rindex_opt p '/' with
+    | None -> None
+    | Some i -> Some (String.sub p 0 i)
+  in
+  let child_total = Hashtbl.create 16 in
+  List.iter
+    (fun (p, _, total) ->
+      match parent_of p with
+      | None -> ()
+      | Some parent ->
+          let cur =
+            Option.value ~default:0.0 (Hashtbl.find_opt child_total parent)
+          in
+          Hashtbl.replace child_total parent (cur +. total))
+    raw;
+  raw
+  |> List.map (fun (path, count, total) ->
+         let children =
+           Option.value ~default:0.0 (Hashtbl.find_opt child_total path)
+         in
+         { path; count; total; self = Float.max 0.0 (total -. children) })
+  |> List.sort (fun a b -> compare a.path b.path)
+
+let merge ~into src =
+  List.iter
+    (fun { path; count; total = _; self = _ } ->
+      if count >= 0 then
+        let src_h =
+          Mutex.lock src.mutex;
+          let h = Hashtbl.find src.table path in
+          Mutex.unlock src.mutex;
+          h
+        in
+        Metrics.absorb ~into:(hist_for into path) src_h)
+    (report src)
+
+let quantile t path q =
+  Mutex.lock t.mutex;
+  let h = Hashtbl.find_opt t.table path in
+  Mutex.unlock t.mutex;
+  match h with None -> Float.nan | Some h -> Metrics.quantile h q
+
+let registry t = t.reg
+
+let pp_report ppf rows =
+  let total_root =
+    List.fold_left
+      (fun acc r ->
+        if String.contains r.path '/' then acc else acc +. r.total)
+      0.0 rows
+  in
+  Format.fprintf ppf "@[<v>%-44s %10s %12s %12s %7s@,"
+    "span path" "count" "total(s)" "self(s)" "share";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-44s %10d %12.6f %12.6f %6.1f%%@,"
+        r.path r.count r.total r.self
+        (if total_root > 0.0 then 100.0 *. r.self /. total_root else 0.0))
+    rows;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,77 @@
+(** Hierarchical span profiler over explicit handles.
+
+    A profiler attributes wall-clock time to a tree of named phases —
+    the solver taxonomy is
+    [solve → decision_call → iteration → kernel{expm, sketch, gram,
+    select}]. Entering a span returns a fresh immutable {e handle};
+    children are opened from their parent's handle, never from ambient
+    state, so concurrent runner domains profiling different jobs never
+    share a mutable frame (there is no thread-local "current span").
+
+    Aggregation is by {e path} ("solve/decision_call/iteration"): each
+    path owns a log-bucketed {!Metrics.histogram} of durations in the
+    backing registry, labeled [{path="…"}] under one family (default
+    [psdp_span_seconds]) — so a profiler backed by a shared registry
+    exports its spans in the same Prometheus snapshot as everything
+    else, with per-path p50/p90/p99 recoverable via {!Metrics.quantile}.
+
+    Cost: entering a span reads the monotonic clock; exiting reads it
+    again and does one O(1) histogram update under a per-path mutex.
+    The {!disabled} span makes the whole tree free: entering from a
+    disabled handle yields a disabled handle and exits are no-ops, so
+    instrumented code takes an optional handle and defaults to
+    {!disabled}. *)
+
+type t
+
+val create : ?registry:Metrics.t -> ?family:string -> unit -> t
+(** [create ~registry ()] aggregates into [registry] (default: a fresh
+    private one) under the family name [family] (default
+    ["psdp_span_seconds"]). *)
+
+type span
+(** A handle to an open span. Immutable; owned by the opening domain. *)
+
+val disabled : span
+(** The inert handle: all spans derived from it are free no-ops. *)
+
+val root : t -> string -> span
+(** Open a top-level span. *)
+
+val enter : span -> string -> span
+(** [enter parent name] opens a child span [parent.path ^ "/" ^ name].
+    From a {!disabled} parent, returns {!disabled}. *)
+
+val exit : span -> unit
+(** Close the span and record its duration under its path. No-op for
+    {!disabled}; closing the same handle twice records twice (don't). *)
+
+val with_span : span -> string -> (unit -> 'a) -> 'a
+(** [with_span parent name f]: enter, run [f], exit (also on raise). *)
+
+type row = {
+  path : string;
+  count : int;
+  total : float;  (** summed duration, seconds *)
+  self : float;  (** [total] minus direct children's totals *)
+}
+
+val report : t -> row list
+(** One row per path seen so far, sorted by path (so children follow
+    their parent). *)
+
+val merge : into:t -> t -> unit
+(** Fold every path's histogram of the source into [into] — the engine
+    merges per-job profiles into the process-wide profiler. Both must
+    use the default bucket scheme. *)
+
+val quantile : t -> string -> float -> float
+(** [quantile t path q]: duration quantile for one span path ([nan] if
+    the path was never recorded). *)
+
+val registry : t -> Metrics.t
+(** The backing registry (useful when the profiler created its own). *)
+
+val pp_report : Format.formatter -> row list -> unit
+(** Aligned table: path, count, total, self, and self's share of the
+    root spans' total. *)

@@ -1,0 +1,297 @@
+open Psdp_prelude
+
+type phase_stat = {
+  phase : string;
+  samples : int;
+  total : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type job_row = {
+  job : string;
+  status : string;
+  queue_wait : float;
+  run : float;
+  calls : int;
+  iters : int;
+}
+
+type attribution_row = {
+  path : string;
+  count : int;
+  seconds : float;
+  share : float;  (* of the summed root-span time *)
+}
+
+type t = {
+  events : int;
+  span : float;  (* time covered by the trace, seconds *)
+  jobs : job_row list;
+  latencies : phase_stat list;
+  attribution : attribution_row list;
+  cache : (string * int) list;  (* status -> count, e.g. hit/warm/miss *)
+}
+
+(* ---------------------------------------------------------------- *)
+(* Accumulation *)
+
+type job_acc = {
+  mutable submitted : float option;
+  mutable started : float option;
+  mutable finished : float option;
+  mutable jstatus : string;
+  mutable elapsed : float option;
+  mutable jcalls : int;
+  mutable jiters : int;
+  mutable call_stamps : float list;  (* newest first *)
+}
+
+let quantiles name samples =
+  let arr = Array.of_list samples in
+  {
+    phase = name;
+    samples = Array.length arr;
+    total = Util.sum_array arr;
+    p50 = (if arr = [||] then Float.nan else Stats.quantile arr 0.5);
+    p90 = (if arr = [||] then Float.nan else Stats.quantile arr 0.9);
+    p99 = (if arr = [||] then Float.nan else Stats.quantile arr 0.99);
+  }
+
+let of_events events =
+  let jobs : (string, job_acc) Hashtbl.t = Hashtbl.create 16 in
+  let job_order = ref [] in
+  let acc id =
+    match Hashtbl.find_opt jobs id with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            submitted = None;
+            started = None;
+            finished = None;
+            jstatus = "?";
+            elapsed = None;
+            jcalls = 0;
+            jiters = 0;
+            call_stamps = [];
+          }
+        in
+        Hashtbl.replace jobs id a;
+        job_order := id :: !job_order;
+        a
+  in
+  let cache_counts : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let spans : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let span_order = ref [] in
+  let t_min = ref Float.infinity and t_max = ref Float.neg_infinity in
+  let n_events = ref 0 in
+  List.iter
+    (fun ev ->
+      match (Option.bind (Json.mem "t" ev) Json.num,
+             Option.bind (Json.mem "kind" ev) Json.str) with
+      | None, _ | _, None -> ()  (* alien line: not a trace event *)
+      | Some t, Some kind -> (
+          incr n_events;
+          if t < !t_min then t_min := t;
+          if t > !t_max then t_max := t;
+          let job = Option.bind (Json.mem "job" ev) Json.str in
+          let num field =
+            Option.bind (Json.mem field ev) Json.num
+          in
+          match (kind, job) with
+          | "job_submitted", Some id -> (acc id).submitted <- Some t
+          | "job_started", Some id -> (acc id).started <- Some t
+          | "job_finished", Some id ->
+              let a = acc id in
+              a.finished <- Some t;
+              a.jstatus <-
+                Option.value ~default:"?"
+                  (Option.bind (Json.mem "status" ev) Json.str);
+              a.elapsed <- num "elapsed";
+              (match num "calls" with
+              | Some c -> a.jcalls <- int_of_float c
+              | None -> ());
+              (match num "iters" with
+              | Some i -> a.jiters <- int_of_float i
+              | None -> ())
+          | "decision_call", Some id ->
+              let a = acc id in
+              a.call_stamps <- t :: a.call_stamps
+          | "cache", _ ->
+              let status =
+                Option.value ~default:"?"
+                  (Option.bind (Json.mem "status" ev) Json.str)
+              in
+              Hashtbl.replace cache_counts status
+                (1 + Option.value ~default:0 (Hashtbl.find_opt cache_counts status))
+          | "profile", _ -> (
+              match Json.mem "spans" ev with
+              | Some (Json.Obj paths) ->
+                  List.iter
+                    (fun (path, v) ->
+                      let c =
+                        Option.value ~default:0
+                          (Option.bind (Json.mem "count" v) Json.int)
+                      and s =
+                        Option.value ~default:0.0
+                          (Option.bind (Json.mem "total" v) Json.num)
+                      in
+                      (match Hashtbl.find_opt spans path with
+                      | Some (c0, s0) ->
+                          Hashtbl.replace spans path (c0 + c, s0 +. s)
+                      | None ->
+                          Hashtbl.replace spans path (c, s);
+                          span_order := path :: !span_order))
+                    paths
+              | _ -> ())
+          | _ -> ()))
+    events;
+  let job_rows =
+    List.rev_map
+      (fun id ->
+        let a = Hashtbl.find jobs id in
+        let queue_wait =
+          match (a.submitted, a.started) with
+          | Some s, Some r -> Float.max 0.0 (r -. s)
+          | _ -> Float.nan
+        in
+        let run =
+          match a.elapsed with
+          | Some e -> e
+          | None -> (
+              match (a.started, a.finished) with
+              | Some s, Some f -> f -. s
+              | _ -> Float.nan)
+        in
+        { job = id; status = a.jstatus; queue_wait; run;
+          calls = a.jcalls; iters = a.jiters })
+      !job_order
+  in
+  (* Per-decision-call latency: gaps between consecutive decision_call
+     stamps within one job, closed by the job_finished stamp (the last
+     call's work ends when the job does). *)
+  let call_latencies =
+    Hashtbl.fold
+      (fun _ a l ->
+        let stamps =
+          match a.finished with
+          | Some f when a.call_stamps <> [] -> f :: a.call_stamps
+          | _ -> a.call_stamps
+        in
+        let rec gaps = function
+          | later :: (earlier :: _ as rest) -> (later -. earlier) :: gaps rest
+          | _ -> []
+        in
+        gaps stamps @ l)
+      jobs []
+  in
+  let collect f = List.filter (fun v -> Float.is_finite v) (List.map f job_rows) in
+  let latencies =
+    [
+      quantiles "queue_wait" (collect (fun j -> j.queue_wait));
+      quantiles "job_run" (collect (fun j -> j.run));
+      quantiles "decision_call" call_latencies;
+    ]
+  in
+  let root_total =
+    Hashtbl.fold
+      (fun path (_, s) acc ->
+        if String.contains path '/' then acc else acc +. s)
+      spans 0.0
+  in
+  let attribution =
+    List.rev !span_order
+    |> List.map (fun path ->
+           let count, seconds = Hashtbl.find spans path in
+           { path; count; seconds;
+             share = (if root_total > 0.0 then seconds /. root_total else 0.0) })
+    |> List.sort (fun a b -> compare a.path b.path)
+  in
+  let cache =
+    List.sort compare
+      (Hashtbl.fold (fun k v l -> (k, v) :: l) cache_counts [])
+  in
+  {
+    events = !n_events;
+    span = (if !n_events = 0 then 0.0 else !t_max -. !t_min);
+    jobs = job_rows;
+    latencies;
+    attribution;
+    cache;
+  }
+
+let of_lines lines =
+  let rec parse acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let line = String.trim line in
+        if line = "" then parse acc (lineno + 1) rest
+        else (
+          match Json.parse line with
+          | Ok ev -> parse (ev :: acc) (lineno + 1) rest
+          | Error msg ->
+              Error (Printf.sprintf "trace line %d: %s" lineno msg))
+  in
+  Result.map of_events (parse [] 1 lines)
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> ());
+        List.rev !lines)
+  with
+  | lines -> of_lines lines
+  | exception Sys_error msg -> Error msg
+
+(* ---------------------------------------------------------------- *)
+(* Rendering *)
+
+let pf = Format.fprintf
+
+let pp_val ppf v =
+  if Float.is_nan v then pf ppf "%9s" "-" else pf ppf "%9.4f" v
+
+let pp ppf t =
+  pf ppf "@[<v>trace: %d events over %.3f s, %d jobs@,@," t.events t.span
+    (List.length t.jobs);
+  pf ppf "per-job:@,";
+  pf ppf "  %-16s %-9s %9s %9s %7s %8s@," "job" "status" "wait(s)" "run(s)"
+    "calls" "iters";
+  List.iter
+    (fun j ->
+      pf ppf "  %-16s %-9s %a %a %7d %8d@," j.job j.status pp_val j.queue_wait
+        pp_val j.run j.calls j.iters)
+    t.jobs;
+  pf ppf "@,phase latency quantiles (s):@,";
+  pf ppf "  %-16s %7s %10s %9s %9s %9s@," "phase" "samples" "total" "p50"
+    "p90" "p99";
+  List.iter
+    (fun s ->
+      pf ppf "  %-16s %7d %10.4f %a %a %a@," s.phase s.samples s.total pp_val
+        s.p50 pp_val s.p90 pp_val s.p99)
+    t.latencies;
+  if t.attribution <> [] then begin
+    pf ppf "@,work attribution (profiled spans):@,";
+    pf ppf "  %-44s %9s %11s %7s@," "path" "count" "seconds" "share";
+    List.iter
+      (fun a ->
+        pf ppf "  %-44s %9d %11.6f %6.1f%%@," a.path a.count a.seconds
+          (100.0 *. a.share))
+      t.attribution
+  end;
+  if t.cache <> [] then begin
+    pf ppf "@,cache:";
+    List.iter (fun (k, v) -> pf ppf " %s=%d" k v) t.cache;
+    pf ppf "@,"
+  end;
+  pf ppf "@]"

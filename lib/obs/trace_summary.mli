@@ -1,0 +1,62 @@
+(** Post-hoc analytics over an engine telemetry trace.
+
+    Turns the JSONL stream written by [psdp batch --trace] /
+    [psdp serve --trace] (schema: {!Psdp_engine.Trace}) into the tables
+    behind [psdp trace summarize]: per-job queue wait and run time,
+    per-phase latency quantiles (p50/p90/p99 via
+    {!Psdp_prelude.Stats.quantile}), a work-attribution table from the
+    engine's per-job [profile] events (present when the engine runs with
+    a profiler attached), and cache hit/warm/miss counts.
+
+    The summarizer is schema-tolerant in the same way the engine's other
+    consumers are: unknown event kinds are skipped, and only lines that
+    fail to parse as JSON at all are errors. *)
+
+type phase_stat = {
+  phase : string;
+  samples : int;
+  total : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;  (** quantiles are [nan] when there are no samples *)
+}
+
+type job_row = {
+  job : string;
+  status : string;
+  queue_wait : float;  (** [job_submitted] → [job_started], seconds *)
+  run : float;  (** the job's reported [elapsed] (fallback: stamp delta) *)
+  calls : int;
+  iters : int;
+}
+
+type attribution_row = {
+  path : string;  (** span path, e.g. ["solve/decision_call/iteration"] *)
+  count : int;
+  seconds : float;
+  share : float;  (** fraction of the summed root-span seconds *)
+}
+
+type t = {
+  events : int;
+  span : float;  (** seconds between first and last event stamp *)
+  jobs : job_row list;  (** in first-appearance order *)
+  latencies : phase_stat list;
+      (** [queue_wait], [job_run], and [decision_call] (gaps between
+          consecutive decision-call stamps within a job) *)
+  attribution : attribution_row list;  (** empty without [profile] events *)
+  cache : (string * int) list;  (** cache event status → count *)
+}
+
+val of_events : Psdp_prelude.Json.t list -> t
+(** Summarize parsed events. Objects without [t]/[kind] are ignored. *)
+
+val of_lines : string list -> (t, string) result
+(** Parse JSONL lines (blank lines allowed) and summarize. The error
+    names the first malformed line. *)
+
+val load : string -> (t, string) result
+(** [of_lines] over a file's contents; I/O errors come back as [Error]. *)
+
+val pp : Format.formatter -> t -> unit
+(** The human-readable report [psdp trace summarize] prints. *)

@@ -1,0 +1,18 @@
+/* Monotonic clock for Timer.now.
+ *
+ * OCaml's Unix library exposes only gettimeofday (wall clock, steps
+ * backwards under NTP adjustment) and Sys.time (CPU time, over-counts
+ * parallel regions).  Interval measurement needs CLOCK_MONOTONIC, which
+ * needs one line of C. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value psdp_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+}

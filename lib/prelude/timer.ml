@@ -1,4 +1,7 @@
-let now () = Unix.gettimeofday ()
+external monotonic_seconds : unit -> float = "psdp_monotonic_seconds"
+
+let now () = monotonic_seconds ()
+let wall () = Unix.gettimeofday ()
 
 let time f =
   let t0 = now () in

@@ -1,11 +1,21 @@
-(** Wall-clock timing helpers for the examples and the benchmark harness. *)
+(** Timing helpers for the solvers, the engine and the benchmark harness. *)
 
 val now : unit -> float
-(** Wall-clock seconds ([Unix.gettimeofday]); [Sys.time] would report CPU
-    time, which over-counts parallel regions by the number of domains. *)
+(** Monotonic seconds ([clock_gettime(CLOCK_MONOTONIC)] via a one-line C
+    stub — OCaml's [Unix] exposes no monotonic clock). The epoch is
+    arbitrary: only differences are meaningful. Unlike
+    [Unix.gettimeofday] it never steps backwards under clock adjustment,
+    so interval measurements (trace stamps, deadlines, span durations)
+    are trustworthy; [Sys.time] would report CPU time, which over-counts
+    parallel regions by the number of domains. *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the Unix epoch ([Unix.gettimeofday]) — for
+    human-facing report timestamps only, never for measuring
+    durations. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] is [(f (), elapsed_wall_seconds)]. *)
+(** [time f] is [(f (), elapsed_monotonic_seconds)]. *)
 
 val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
 (** Run [f] [repeats] times (default 3) and report the median elapsed

@@ -1,0 +1,524 @@
+(* Tests for the observability layer: metrics registry (counters,
+   gauges, log-bucketed histograms, Prometheus rendering), the span
+   profiler, trace analytics, the trace event schema, trace flush
+   batching, and the cache traffic counters the engine mirrors. *)
+
+open Psdp_prelude
+open Psdp_obs
+open Psdp_engine
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters and gauges *)
+
+let test_counter_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"test" "test_total" in
+  Alcotest.(check int) "starts at 0" 0 (Metrics.counter_value c);
+  Metrics.inc c;
+  Metrics.add c 4;
+  Alcotest.(check int) "inc + add" 5 (Metrics.counter_value c);
+  Metrics.record c 3;
+  Alcotest.(check int) "record below is a no-op" 5 (Metrics.counter_value c);
+  Metrics.record c 11;
+  Alcotest.(check int) "record raises to at least" 11 (Metrics.counter_value c);
+  (* Same (name, labels) resolves to the same series. *)
+  let c' = Metrics.counter reg "test_total" in
+  Metrics.inc c';
+  Alcotest.(check int) "shared series" 12 (Metrics.counter_value c)
+
+let test_counter_labels () =
+  let reg = Metrics.create () in
+  let ok = Metrics.counter reg ~labels:[ ("status", "ok") ] "jobs_total" in
+  let bad = Metrics.counter reg ~labels:[ ("status", "failed") ] "jobs_total" in
+  Metrics.inc ok;
+  Metrics.inc ok;
+  Metrics.inc bad;
+  Alcotest.(check int) "ok series" 2 (Metrics.counter_value ok);
+  Alcotest.(check int) "failed series" 1 (Metrics.counter_value bad);
+  let txt = Metrics.render reg in
+  let has s = contains_substring txt s in
+  Alcotest.(check bool) "labeled ok line" true (has {|jobs_total{status="ok"} 2|});
+  Alcotest.(check bool)
+    "labeled failed line" true
+    (has {|jobs_total{status="failed"} 1|})
+
+let test_invalid_registrations () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "fine_name");
+  (match Metrics.counter reg "2bad" with
+  | _ -> Alcotest.fail "bad metric name accepted"
+  | exception Invalid_argument _ -> ());
+  ignore (Metrics.gauge reg "some_gauge");
+  (match Metrics.counter reg "some_gauge" with
+  | _ -> Alcotest.fail "kind clash accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_gauge () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg ~help:"depth" "queue_depth" in
+  Metrics.set g 4.0;
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "last write wins" 2.5 (Metrics.gauge_value g)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: histograms *)
+
+let test_histogram_quantiles () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~lo:1.0 ~ratio:2.0 ~buckets:10 "lat_seconds" in
+  Alcotest.(check bool)
+    "empty quantile is nan" true
+    (Float.is_nan (Metrics.quantile h 0.5));
+  (* 100 observations of 3.0 land in the (2,4] bucket; the median
+     interpolates to its middle. *)
+  for _ = 1 to 100 do
+    Metrics.observe h 3.0
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 300.0 (Metrics.hist_sum h);
+  let p50 = Metrics.quantile h 0.5 in
+  Alcotest.(check bool)
+    "p50 within bucket" true
+    (p50 >= 2.0 && p50 <= 4.0);
+  Alcotest.(check bool)
+    "quantiles are monotone" true
+    (Metrics.quantile h 0.9 >= p50);
+  (* Observations beyond the last bound are pinned to it (lo·ratio⁹). *)
+  let top = Metrics.histogram reg ~lo:1.0 ~ratio:2.0 ~buckets:10 "top_seconds" in
+  Metrics.observe top 1e12;
+  Alcotest.(check (float 1e-6)) "overflow pinned" 512.0 (Metrics.quantile top 1.0)
+
+let test_histogram_absorb () =
+  let reg = Metrics.create () in
+  let a = Metrics.histogram reg "a_seconds" in
+  let b = Metrics.histogram reg "b_seconds" in
+  Metrics.observe a 0.5;
+  Metrics.observe b 0.25;
+  Metrics.observe b 2.0;
+  Metrics.absorb ~into:a b;
+  Alcotest.(check int) "absorbed count" 3 (Metrics.hist_count a);
+  Alcotest.(check (float 1e-9)) "absorbed sum" 2.75 (Metrics.hist_sum a);
+  Alcotest.(check int) "source untouched" 2 (Metrics.hist_count b)
+
+let test_render_exposition () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"a counter" "c_total" in
+  Metrics.add c 3;
+  let h = Metrics.histogram reg ~lo:1.0 ~ratio:2.0 ~buckets:3 "h_seconds" in
+  Metrics.observe h 1.5;
+  Metrics.observe h 100.0;
+  let txt = Metrics.render reg in
+  let lines = String.split_on_char '\n' txt in
+  let has l = List.mem l lines in
+  Alcotest.(check bool) "help line" true (has "# HELP c_total a counter");
+  Alcotest.(check bool) "type line" true (has "# TYPE c_total counter");
+  Alcotest.(check bool) "counter sample" true (has "c_total 3");
+  Alcotest.(check bool)
+    "histogram type" true
+    (has "# TYPE h_seconds histogram");
+  Alcotest.(check bool)
+    "cumulative bucket" true
+    (has {|h_seconds_bucket{le="2"} 1|});
+  Alcotest.(check bool)
+    "+Inf bucket counts everything" true
+    (has {|h_seconds_bucket{le="+Inf"} 2|});
+  Alcotest.(check bool) "count line" true (has "h_seconds_count 2");
+  Alcotest.(check bool)
+    "ends with newline" true
+    (String.length txt > 0 && txt.[String.length txt - 1] = '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Profiler *)
+
+let test_profiler_disabled_is_free () =
+  let d = Profiler.disabled in
+  let child = Profiler.enter d "x" in
+  Profiler.exit child;
+  Profiler.exit d;
+  Alcotest.(check int)
+    "with_span passes the result through" 7
+    (Profiler.with_span d "y" (fun () -> 7))
+
+let test_profiler_taxonomy () =
+  let prof = Profiler.create () in
+  let solve = Profiler.root prof "solve" in
+  for _ = 1 to 2 do
+    let dc = Profiler.enter solve "decision_call" in
+    for _ = 1 to 3 do
+      Profiler.with_span dc "iteration" (fun () -> ignore (Sys.opaque_identity 0))
+    done;
+    Profiler.exit dc
+  done;
+  Profiler.exit solve;
+  let rows = Profiler.report prof in
+  let paths = List.map (fun (r : Profiler.row) -> r.Profiler.path) rows in
+  Alcotest.(check (list string))
+    "paths sorted, children after parents"
+    [ "solve"; "solve/decision_call"; "solve/decision_call/iteration" ]
+    paths;
+  let row p = List.find (fun (r : Profiler.row) -> r.Profiler.path = p) rows in
+  Alcotest.(check int) "one root" 1 (row "solve").Profiler.count;
+  Alcotest.(check int) "two calls" 2 (row "solve/decision_call").Profiler.count;
+  Alcotest.(check int)
+    "six iterations" 6
+    (row "solve/decision_call/iteration").Profiler.count;
+  List.iter
+    (fun (r : Profiler.row) ->
+      Alcotest.(check bool)
+        (r.Profiler.path ^ ": self <= total")
+        true
+        (r.Profiler.self <= r.Profiler.total +. 1e-12 && r.Profiler.total >= 0.0))
+    rows;
+  (* Parent totals dominate their children's. *)
+  Alcotest.(check bool)
+    "root covers decision calls" true
+    ((row "solve").Profiler.total
+    >= (row "solve/decision_call").Profiler.total -. 1e-12);
+  Alcotest.(check bool)
+    "quantile for a recorded path is finite" true
+    (Float.is_finite (Profiler.quantile prof "solve" 0.5));
+  Alcotest.(check bool)
+    "quantile for an unknown path is nan" true
+    (Float.is_nan (Profiler.quantile prof "nope" 0.5))
+
+let test_profiler_merge () =
+  let shared = Profiler.create () in
+  let per_job () =
+    let p = Profiler.create () in
+    let s = Profiler.root p "solve" in
+    Profiler.with_span s "iteration" (fun () -> ());
+    Profiler.exit s;
+    p
+  in
+  Profiler.merge ~into:shared (per_job ());
+  Profiler.merge ~into:shared (per_job ());
+  let rows = Profiler.report shared in
+  let row p = List.find (fun (r : Profiler.row) -> r.Profiler.path = p) rows in
+  Alcotest.(check int) "merged roots" 2 (row "solve").Profiler.count;
+  Alcotest.(check int)
+    "merged children" 2
+    (row "solve/iteration").Profiler.count
+
+let test_profiler_exports_to_registry () =
+  let reg = Metrics.create () in
+  let prof = Profiler.create ~registry:reg () in
+  let s = Profiler.root prof "solve" in
+  Profiler.exit s;
+  let txt = Metrics.render reg in
+  let has l = List.mem l (String.split_on_char '\n' txt) in
+  Alcotest.(check bool)
+    "span histogram in the shared snapshot" true
+    (has {|psdp_span_seconds_count{path="solve"} 1|})
+
+(* ------------------------------------------------------------------ *)
+(* Trace analytics *)
+
+let test_trace_summary_of_events () =
+  let ev ?job t kind fields =
+    Json.Obj
+      ([ ("t", Json.Num t); ("kind", Json.Str kind) ]
+      @ (match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
+      @ fields)
+  in
+  let events =
+    [
+      ev 0.0 "engine_started" [];
+      ev ~job:"j1" 0.1 "job_submitted" [];
+      ev ~job:"j1" 0.2 "cache" [ ("status", Json.Str "miss") ];
+      ev ~job:"j1" 0.6 "job_started" [];
+      ev ~job:"j1" 0.7 "decision_call" [ ("call", Json.Num 1.0) ];
+      ev ~job:"j1" 1.2 "decision_call" [ ("call", Json.Num 2.0) ];
+      ev ~job:"j1" 1.5 "profile"
+        [
+          ( "spans",
+            Json.Obj
+              [
+                ( "solve",
+                  Json.Obj
+                    [ ("count", Json.Num 1.0); ("total", Json.Num 0.8) ] );
+                ( "solve/decision_call",
+                  Json.Obj
+                    [ ("count", Json.Num 2.0); ("total", Json.Num 0.6) ] );
+              ] );
+        ];
+      ev ~job:"j1" 1.6 "job_finished"
+        [
+          ("status", Json.Str "ok");
+          ("elapsed", Json.Num 1.0);
+          ("calls", Json.Num 2.0);
+          ("iters", Json.Num 40.0);
+        ];
+      ev 1.7 "engine_stopped" [];
+    ]
+  in
+  let s = Trace_summary.of_events events in
+  Alcotest.(check int) "event count" 9 s.Trace_summary.events;
+  Alcotest.(check (float 1e-9)) "span" 1.7 s.Trace_summary.span;
+  (match s.Trace_summary.jobs with
+  | [ j ] ->
+      Alcotest.(check string) "job id" "j1" j.Trace_summary.job;
+      Alcotest.(check string) "status" "ok" j.Trace_summary.status;
+      Alcotest.(check (float 1e-9)) "queue wait" 0.5 j.Trace_summary.queue_wait;
+      Alcotest.(check (float 1e-9)) "run = elapsed" 1.0 j.Trace_summary.run;
+      Alcotest.(check int) "calls" 2 j.Trace_summary.calls;
+      Alcotest.(check int) "iters" 40 j.Trace_summary.iters
+  | l -> Alcotest.failf "expected 1 job, got %d" (List.length l));
+  let phase name =
+    List.find
+      (fun (p : Trace_summary.phase_stat) -> p.Trace_summary.phase = name)
+      s.Trace_summary.latencies
+  in
+  Alcotest.(check int)
+    "one queue-wait sample" 1
+    (phase "queue_wait").Trace_summary.samples;
+  (* Two decision-call gaps: 0.7→1.2 and 1.2→(finish) 1.6. *)
+  Alcotest.(check int)
+    "decision-call samples" 2
+    (phase "decision_call").Trace_summary.samples;
+  Alcotest.(check (float 1e-9))
+    "decision-call total" 0.9
+    (phase "decision_call").Trace_summary.total;
+  (match s.Trace_summary.attribution with
+  | [ a; b ] ->
+      Alcotest.(check string) "root path" "solve" a.Trace_summary.path;
+      Alcotest.(check (float 1e-9)) "root share" 1.0 a.Trace_summary.share;
+      Alcotest.(check string)
+        "child path" "solve/decision_call" b.Trace_summary.path;
+      Alcotest.(check (float 1e-9)) "child share" 0.75 b.Trace_summary.share
+  | l -> Alcotest.failf "expected 2 attribution rows, got %d" (List.length l));
+  Alcotest.(check (list (pair string int)))
+    "cache counts"
+    [ ("miss", 1) ]
+    s.Trace_summary.cache
+
+let test_trace_summary_rejects_malformed () =
+  match Trace_summary.of_lines [ {|{"t":0,"kind":"cache"}|}; "{oops" ] with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error msg ->
+      Alcotest.(check bool)
+        "error names the line" true
+        (contains_substring msg "line 2")
+
+(* ------------------------------------------------------------------ *)
+(* Trace schema: one event of every documented kind round-trips *)
+
+(* One representative emission per kind documented in trace.mli. *)
+let documented_events =
+  [
+    (Some "j1", "job_submitted",
+     [ ("op", Json.Str "solve"); ("eps", Json.Num 0.1);
+       ("priority", Json.Num 0.0) ]);
+    (Some "j1", "job_started", []);
+    (Some "j1", "decision_call",
+     [ ("call", Json.Num 1.0); ("threshold", Json.Num 0.5) ]);
+    (Some "j1", "iter_batch",
+     [ ("iters", Json.Num 32.0); ("l1", Json.Num 0.7);
+       ("trace_w", Json.Num 3.0) ]);
+    (Some "j1", "cache",
+     [ ("status", Json.Str "miss"); ("digest", Json.Str "abc") ]);
+    (Some "j1", "cert_verified",
+     [ ("lambda_max", Json.Num 0.99); ("feasible", Json.Bool true) ]);
+    (Some "j1", "profile",
+     [ ("spans",
+        Json.Obj
+          [ ("solve",
+             Json.Obj [ ("count", Json.Num 1.0); ("total", Json.Num 0.2) ]) ])
+     ]);
+    (Some "j1", "job_finished",
+     [ ("status", Json.Str "ok"); ("elapsed", Json.Num 0.2) ]);
+    (None, "engine_started", [ ("pool_size", Json.Num 2.0) ]);
+    (None, "engine_stopped", [ ("jobs", Json.Num 1.0) ]);
+    (Some "j1", "checkpoint", [ ("call", Json.Num 3.0) ]);
+    (None, "recovery_started", [ ("pending", Json.Num 1.0) ]);
+    (Some "j1", "job_recovered", [ ("from_call", Json.Num 3.0) ]);
+    (Some "j1", "resume", [ ("from_call", Json.Num 3.0) ]);
+    (Some "j1", "snapshot_rejected", [ ("reason", Json.Str "checksum") ]);
+    (Some "j1", "recovery_skipped", [ ("error", Json.Str "bad spec") ]);
+    (None, "journal_torn", [ ("error", Json.Str "truncated") ]);
+  ]
+
+let check_schema events =
+  let last_t = ref Float.neg_infinity in
+  List.iteri
+    (fun i ev ->
+      let job_expected, kind_expected, _ = List.nth documented_events i in
+      (match Option.bind (Json.mem "t" ev) Json.num with
+      | Some t ->
+          Alcotest.(check bool)
+            (Printf.sprintf "event %d: non-decreasing stamp" i)
+            true (t >= !last_t);
+          Alcotest.(check bool)
+            (Printf.sprintf "event %d: stamp is finite" i)
+            true (Float.is_finite t);
+          last_t := t
+      | None -> Alcotest.failf "event %d: missing t" i);
+      (match Option.bind (Json.mem "kind" ev) Json.str with
+      | Some k ->
+          Alcotest.(check string)
+            (Printf.sprintf "event %d: kind" i)
+            kind_expected k
+      | None -> Alcotest.failf "event %d: missing kind" i);
+      match (job_expected, Option.bind (Json.mem "job" ev) Json.str) with
+      | Some j, Some j' ->
+          Alcotest.(check string) (Printf.sprintf "event %d: job" i) j j'
+      | None, None -> ()
+      | Some _, None -> Alcotest.failf "event %d: job field dropped" i
+      | None, Some _ -> Alcotest.failf "event %d: spurious job field" i)
+    events
+
+let test_trace_schema_memory () =
+  let sink = Trace.memory () in
+  List.iter
+    (fun (job, kind, fields) -> Trace.emit sink ?job ~kind fields)
+    documented_events;
+  let events = Trace.events sink in
+  Alcotest.(check int)
+    "all kinds recorded"
+    (List.length documented_events)
+    (List.length events);
+  check_schema events
+
+let test_trace_schema_channel_roundtrip () =
+  let path = Filename.temp_file "psdp_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Trace.channel oc in
+      List.iter
+        (fun (job, kind, fields) -> Trace.emit sink ?job ~kind fields)
+        documented_events;
+      close_out oc;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int)
+        "one line per event"
+        (List.length documented_events)
+        (List.length lines);
+      let events =
+        List.map
+          (fun line ->
+            match Json.parse line with
+            | Ok ev -> ev
+            | Error e -> Alcotest.failf "unparseable line %S: %s" line e)
+          lines
+      in
+      check_schema events)
+
+let test_trace_flush_batching () =
+  let path = Filename.temp_file "psdp_flush" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let sink = Trace.channel ~flush_every:100 oc in
+      let count_lines () =
+        let ic = open_in path in
+        let n = ref 0 in
+        (try
+           while true do
+             ignore (input_line ic);
+             incr n
+           done
+         with End_of_file -> close_in ic);
+        !n
+      in
+      for i = 1 to 5 do
+        Trace.emit sink ~kind:"cache"
+          [ ("status", Json.Str "miss"); ("i", Json.Num (float_of_int i)) ]
+      done;
+      (* Below the batch threshold nothing has reached the file yet… *)
+      Alcotest.(check int) "writes are batched" 0 (count_lines ());
+      (* …until a flush forces the batch out. *)
+      Trace.flush_sink sink;
+      Alcotest.(check int) "flush_sink drains the batch" 5 (count_lines ());
+      close_out oc)
+
+(* ------------------------------------------------------------------ *)
+(* Cache traffic counters *)
+
+let entry digest eps : Cache.entry =
+  {
+    Cache.digest;
+    eps;
+    backend = "exact";
+    mode = "adaptive";
+    value = 1.0;
+    upper_bound = 1.1;
+    x = [| 1.0 |];
+    decision_calls = 2;
+    iterations = 10;
+  }
+
+let test_cache_stats () =
+  let c = Cache.create () in
+  let s = Cache.stats c in
+  Alcotest.(check int) "fresh: no hits" 0 s.Cache.hits;
+  Alcotest.(check int) "fresh: no misses" 0 s.Cache.misses;
+  Alcotest.(check int) "fresh: no warm hits" 0 s.Cache.warm_hits;
+  Alcotest.(check int) "fresh: no stores" 0 s.Cache.stores;
+  ignore (Cache.find c ~digest:"d1" ~eps:0.1 ~backend:"exact" ~mode:"adaptive");
+  Cache.store c (entry "d1" 0.1);
+  ignore (Cache.find c ~digest:"d1" ~eps:0.1 ~backend:"exact" ~mode:"adaptive");
+  ignore (Cache.find_warm c ~digest:"d1" ~backend:"exact" ~mode:"adaptive");
+  ignore (Cache.find_warm c ~digest:"nope" ~backend:"exact" ~mode:"adaptive");
+  let s = Cache.stats c in
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "warm lookup that found a source" 1 s.Cache.warm_hits;
+  Alcotest.(check int) "one store" 1 s.Cache.stores
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counter labels" `Quick test_counter_labels;
+          Alcotest.test_case "invalid registrations" `Quick
+            test_invalid_registrations;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "histogram absorb" `Quick test_histogram_absorb;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_render_exposition;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "disabled is free" `Quick
+            test_profiler_disabled_is_free;
+          Alcotest.test_case "taxonomy report" `Quick test_profiler_taxonomy;
+          Alcotest.test_case "merge" `Quick test_profiler_merge;
+          Alcotest.test_case "exports to shared registry" `Quick
+            test_profiler_exports_to_registry;
+        ] );
+      ( "trace-summary",
+        [
+          Alcotest.test_case "of_events" `Quick test_trace_summary_of_events;
+          Alcotest.test_case "rejects malformed lines" `Quick
+            test_trace_summary_rejects_malformed;
+        ] );
+      ( "trace-schema",
+        [
+          Alcotest.test_case "memory sink" `Quick test_trace_schema_memory;
+          Alcotest.test_case "channel JSONL roundtrip" `Quick
+            test_trace_schema_channel_roundtrip;
+          Alcotest.test_case "flush batching" `Quick test_trace_flush_batching;
+        ] );
+      ( "cache-stats",
+        [ Alcotest.test_case "traffic counters" `Quick test_cache_stats ] );
+    ]
