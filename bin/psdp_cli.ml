@@ -317,6 +317,62 @@ let jobs_arg =
   let doc = "Maximum jobs in flight (runner domains over the shared pool)." in
   Arg.(value & opt int 2 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let retries_arg =
+  let doc =
+    "Re-run a job up to $(docv) extra times after a transient fault \
+     (injected faults, I/O errors, checkpoint-store failures) with \
+     decorrelated-jitter backoff between attempts. 0 disables retries. \
+     Permanent faults (bad input) and crashes are never retried."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let backoff_arg =
+  let doc =
+    "Base retry backoff in seconds. Actual delays use decorrelated \
+     jitter: each delay is drawn from [base, 3*previous], capped at \
+     40x the base."
+  in
+  Arg.(value & opt float 0.05 & info [ "backoff" ] ~docv:"SECONDS" ~doc)
+
+let quarantine_after_arg =
+  let doc =
+    "Quarantine a job whose final failure happened on attempt $(docv) \
+     or later: the job is journaled as poisonous (when a checkpoint \
+     store is attached), listed in the batch summary, and never \
+     re-run by $(b,psdp resume) until re-submitted explicitly."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quarantine-after" ] ~docv:"N" ~doc)
+
+let failpoint_arg =
+  let doc =
+    "Arm a fault-injection failpoint (repeatable): \
+     $(i,NAME=ACTION[@TRIGGER]) with $(i,ACTION) one of $(b,fail), \
+     $(b,crash), $(b,delay:SECONDS), $(b,corrupt) and $(i,TRIGGER) one \
+     of $(b,always) (default), $(b,nth:N), $(b,prob:P[:SEED]). \
+     Example: $(b,store.append=fail\\@prob:0.1:42). For chaos testing \
+     only — injected faults are real faults."
+  in
+  Arg.(value & opt_all string [] & info [ "failpoint" ] ~docv:"SPEC" ~doc)
+
+let retry_policy ~retries ~backoff =
+  if retries <= 0 then Psdp_fault.Retry.no_retry
+  else
+    Psdp_fault.Retry.make ~base:backoff ~cap:(40.0 *. backoff)
+      ~max_attempts:(retries + 1) ()
+
+let arm_failpoints specs =
+  List.iter
+    (fun spec ->
+      match Psdp_fault.Failpoint.arm_spec spec with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "psdp: --failpoint %s\n" msg;
+          exit exit_bad_input)
+    specs
+
 let domains_arg =
   let doc = "Size of the shared worker pool (default: pool default)." in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
@@ -427,8 +483,9 @@ let batch_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
   in
   let run manifest jobs domains trace_path cache_path metrics_path ckpt_dir
-      ckpt_every out verbosity =
+      ckpt_every retries backoff quarantine_after failpoints out verbosity =
     setup_logs verbosity;
+    arm_failpoints failpoints;
     let text =
       try
         let ic = open_in manifest in
@@ -444,14 +501,17 @@ let batch_cmd =
         Printf.eprintf "psdp batch: %s\n" msg;
         exit exit_bad_input
     | Ok specs ->
-        let results =
+        let results, quarantined =
           with_engine_env ~jobs ~domains ~trace_path ~cache_path
             ?metrics_path ?store_dir:ckpt_dir
             (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
               Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
-                ?metrics ?profiler ~checkpoint_every:ckpt_every (fun eng ->
+                ?metrics ?profiler ~checkpoint_every:ckpt_every
+                ~retry:(retry_policy ~retries ~backoff) ?quarantine_after
+                (fun eng ->
                   List.iter (fun s -> ignore (Engine.submit eng s)) specs;
-                  Engine.drain eng))
+                  let results = Engine.drain eng in
+                  (results, Engine.quarantined eng)))
         in
         (if out = "-" then List.iter (print_result stdout) results
          else begin
@@ -477,6 +537,15 @@ let batch_cmd =
           (List.length results)
           (List.length results - bad)
           bad hits warm;
+        if quarantined <> [] then begin
+          Printf.eprintf "batch: %d job(s) quarantined:\n"
+            (List.length quarantined);
+          List.iter
+            (fun (q : Psdp_store.Store.quarantined) ->
+              Printf.eprintf "  %s (after %d attempts): %s\n" q.Psdp_store.Store.job
+                q.Psdp_store.Store.attempts q.Psdp_store.Store.reason)
+            quarantined
+        end;
         if bad > 0 then exit exit_infeasible
   in
   Cmd.v
@@ -489,7 +558,8 @@ let batch_cmd =
     Term.(
       const run $ manifest_arg $ jobs_arg $ domains_arg $ trace_file_arg
       $ cache_file_arg $ metrics_file_arg $ checkpoint_dir_arg
-      $ checkpoint_every_arg $ out_arg $ verbose_arg)
+      $ checkpoint_every_arg $ retries_arg $ backoff_arg
+      $ quarantine_after_arg $ failpoint_arg $ out_arg $ verbose_arg)
 
 let serve_cmd =
   let stdin_flag =
@@ -512,8 +582,10 @@ let serve_cmd =
       value & opt float 10.0 & info [ "metrics-every" ] ~docv:"SECONDS" ~doc)
   in
   let run use_stdin jobs domains trace_path cache_path metrics_path
-      metrics_every ckpt_dir ckpt_every verbosity =
+      metrics_every ckpt_dir ckpt_every retries backoff quarantine_after
+      failpoints verbosity =
     setup_logs verbosity;
+    arm_failpoints failpoints;
     if not use_stdin then begin
       Printf.eprintf "psdp serve: only --stdin transport is implemented\n";
       exit Cmd.Exit.cli_error
@@ -531,7 +603,9 @@ let serve_cmd =
       ~metrics_every ?store_dir:ckpt_dir
       (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
         Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store ?metrics
-          ?profiler ~checkpoint_every:ckpt_every ~on_complete (fun eng ->
+          ?profiler ~checkpoint_every:ckpt_every
+          ~retry:(retry_policy ~retries ~backoff) ?quarantine_after
+          ~on_complete (fun eng ->
             let lineno = ref 0 in
             (try
                while true do
@@ -568,7 +642,8 @@ let serve_cmd =
     Term.(
       const run $ stdin_flag $ jobs_arg $ domains_arg $ trace_file_arg
       $ cache_file_arg $ metrics_file_arg $ metrics_every_arg
-      $ checkpoint_dir_arg $ checkpoint_every_arg $ verbose_arg)
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ retries_arg
+      $ backoff_arg $ quarantine_after_arg $ failpoint_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* resume: crash recovery from a checkpoint store *)
@@ -582,8 +657,9 @@ let resume_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE_DIR" ~doc)
   in
   let run store_dir jobs domains trace_path cache_path metrics_path ckpt_every
-      out verbosity =
+      retries backoff quarantine_after failpoints out verbosity =
     setup_logs verbosity;
+    arm_failpoints failpoints;
     if not (Sys.file_exists (Filename.concat store_dir "journal.jsonl")) then begin
       Printf.eprintf "psdp resume: no journal in %s\n" store_dir;
       exit exit_bad_input
@@ -593,7 +669,9 @@ let resume_cmd =
         ~store_dir
         (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
           Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
-            ?metrics ?profiler ~checkpoint_every:ckpt_every (fun eng ->
+            ?metrics ?profiler ~checkpoint_every:ckpt_every
+            ~retry:(retry_policy ~retries ~backoff) ?quarantine_after
+            (fun eng ->
               let handles = Engine.recover eng in
               List.map (fun h -> Engine.await eng h) handles))
     in
@@ -625,8 +703,9 @@ let resume_cmd =
           failed, 2 when $(i,STORE_DIR) has no journal.")
     Term.(
       const run $ store_dir_arg $ jobs_arg $ domains_arg $ trace_file_arg
-      $ cache_file_arg $ metrics_file_arg $ checkpoint_every_arg $ out_arg
-      $ verbose_arg)
+      $ cache_file_arg $ metrics_file_arg $ checkpoint_every_arg
+      $ retries_arg $ backoff_arg $ quarantine_after_arg $ failpoint_arg
+      $ out_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: analytics over JSONL telemetry files *)
@@ -653,8 +732,10 @@ let trace_group_cmd =
            "Summarize a telemetry trace: per-job queue wait and run time, \
             per-phase latency quantiles (p50/p90/p99), a work-attribution \
             table over solver span paths (from the engine's $(b,profile) \
-            events, present when the run had $(b,--metrics)), and cache \
-            hit/warm/miss counts.")
+            events, present when the run had $(b,--metrics)), cache \
+            hit/warm/miss counts, and fault-layer event counts (retries, \
+            quarantines, store faults, breaker trips, runner restarts, \
+            sketch resamples).")
       Term.(const run $ trace_pos)
   in
   Cmd.group

@@ -1,23 +1,39 @@
 open Psdp_linalg
 
+let log_src = Logs.Src.create "psdp.normalize" ~doc:"Appendix-A normalization"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type t = {
   instance : Instance.t;
   cholesky_factor : Mat.t;
   thresholds : float array;
 }
 
+(* Numerical graceful degradation: a Cholesky breakdown on a
+   numerically full-rank objective is absorbed with a traced diagonal
+   shift (and counted as a transient fault) instead of failing the job;
+   genuinely singular or indefinite objectives still raise. *)
+let robust_factor ~who objective =
+  match Cholesky.factor_robust objective with
+  | l, shift ->
+      if shift > 0.0 then begin
+        Psdp_fault.Fault.record Psdp_fault.Fault.Transient;
+        Log.warn (fun m ->
+            m "%s: Cholesky breakdown absorbed with diagonal shift %.3e" who
+              shift)
+      end;
+      l
+  | exception Cholesky.Not_positive_definite i ->
+      invalid_arg
+        (Printf.sprintf
+           "%s: objective C is singular (pivot %d); the Appendix-A \
+            reduction requires C to be positive definite on the \
+            constraints' support"
+           who i)
+
 let normalize (g : Instance.general) =
-  let l =
-    match Cholesky.factor g.Instance.objective with
-    | l -> l
-    | exception Cholesky.Not_positive_definite i ->
-        invalid_arg
-          (Printf.sprintf
-             "Normalize.normalize: objective C is singular (pivot %d); the \
-              Appendix-A reduction requires C to be positive definite on \
-              the constraints' support"
-             i)
-  in
+  let l = robust_factor ~who:"Normalize.normalize" g.Instance.objective in
   let mats =
     Array.map
       (fun (a, b) -> Mat.scale (1.0 /. b) (Cholesky.congruence ~l a))
@@ -33,15 +49,7 @@ let normalize_factored ~objective ~constraints =
   let m = Mat.rows objective in
   if not (Mat.is_symmetric ~tol:1e-8 objective) then
     invalid_arg "Normalize.normalize_factored: objective not symmetric";
-  let l =
-    match Cholesky.factor objective with
-    | l -> l
-    | exception Cholesky.Not_positive_definite i ->
-        invalid_arg
-          (Printf.sprintf
-             "Normalize.normalize_factored: objective C is singular (pivot %d)"
-             i)
-  in
+  let l = robust_factor ~who:"Normalize.normalize_factored" objective in
   let factors =
     Array.mapi
       (fun idx (f, b) ->

@@ -134,6 +134,7 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
     (match on_call with
     | Some f -> f ~call:!calls ~threshold:v
     | None -> ());
+    Psdp_fault.Failpoint.hit "solver.decision_call";
     let dc_span = Psdp_obs.Profiler.enter prof "decision_call" in
     Log.debug (fun m ->
         m "call %d: threshold %.6g (bracket [%.6g, %.6g])" !calls v !lo !hi);

@@ -12,11 +12,21 @@ module Journal = Psdp_store.Journal
 module Snapshot = Psdp_store.Snapshot
 module Metrics = Psdp_obs.Metrics
 module Profiler = Psdp_obs.Profiler
+module Failpoint = Psdp_fault.Failpoint
+module Fault = Psdp_fault.Fault
+module Retry = Psdp_fault.Retry
+module Breaker = Psdp_fault.Breaker
 
 exception Cancelled_exn
 exception Timed_out_exn
 exception Bad_input of string
 exception Store_crash of string
+
+(* Engine-specific fault classes layered over the generic taxonomy. *)
+let classify = function
+  | Store_crash _ -> Fault.Transient
+  | Bad_input _ -> Fault.Permanent
+  | e -> Fault.classify e
 
 (* Series the engine feeds when a metrics registry is attached. All are
    registered once at [create]; updates are O(1) and lock-free or
@@ -38,6 +48,11 @@ type meters = {
   m_pool_fallbacks : Metrics.counter;
   m_cost_work : Metrics.gauge;
   m_cost_depth : Metrics.gauge;
+  m_retries : Metrics.counter;
+  m_quarantined : Metrics.gauge;
+  m_breaker_open : Metrics.gauge;
+  m_runner_restarts : Metrics.counter;
+  m_sketch_resamples : Metrics.counter;
 }
 
 let make_meters reg =
@@ -86,6 +101,24 @@ let make_meters reg =
     m_cost_depth =
       Metrics.gauge reg ~help:"abstract depth charged by the cost model"
         "psdp_cost_depth";
+    m_retries =
+      Metrics.counter reg ~help:"job attempts retried after transient faults"
+        "psdp_retries_total";
+    m_quarantined =
+      Metrics.gauge reg ~help:"jobs currently quarantined as poison"
+        "psdp_quarantined_jobs";
+    m_breaker_open =
+      Metrics.gauge reg
+        ~help:"1 when the store circuit breaker is open (non-durable mode)"
+        "psdp_store_breaker_open";
+    m_runner_restarts =
+      Metrics.counter reg
+        ~help:"runner domains restarted after an escaped exception"
+        "psdp_runner_restarts_total";
+    m_sketch_resamples =
+      Metrics.counter reg
+        ~help:"JL-sketch resamples after a failed certificate"
+        "psdp_sketch_resamples_total";
   }
 
 type state = Pending | Running | Done of Job.result
@@ -117,12 +150,60 @@ type t = {
   meters : meters option;
   oprofiler : Profiler.t option;  (* process-wide; per-job merged in *)
   in_flight : int Atomic.t;
+  retry : Retry.policy;
+  retry_budget : Retry.budget;
+  quarantine_after : int option;
+  breaker : Breaker.t;
+  mutable quarantined : Store.quarantined list;  (* engine mutex; newest first *)
 }
 
 let pool t = t.epool
 let cache t = t.ecache
 let trace t = t.etrace
 let job_id h = h.spec.Job.id
+
+let quarantined t =
+  Mutex.lock t.mutex;
+  let q = List.rev t.quarantined in
+  Mutex.unlock t.mutex;
+  q
+
+let store_degraded t = Breaker.is_open t.breaker
+
+(* Every store call goes through the breaker: [K] consecutive faults
+   latch it open and the engine degrades to non-durable mode — jobs keep
+   solving, nothing more is journaled or snapshotted — instead of paying
+   a fault (and a retry) per job on a dead store. *)
+let breaker_guard eng ~what f =
+  if Breaker.is_open eng.breaker then None
+  else
+    match f () with
+    | v ->
+        Breaker.success eng.breaker;
+        Some v
+    | exception e ->
+        Fault.record Fault.Transient;
+        let opened = Breaker.failure eng.breaker in
+        Trace.emit eng.etrace ~kind:"store_fault"
+          [
+            ("op", Json.Str what);
+            ("error", Json.Str (Printexc.to_string e));
+            ( "consecutive",
+              Json.Num (float_of_int (Breaker.failures eng.breaker)) );
+          ];
+        if opened then begin
+          Log.warn (fun m ->
+              m
+                "store circuit breaker open after %d consecutive faults \
+                 (last: %s during %s); degrading to non-durable mode"
+                (Breaker.failures eng.breaker) (Printexc.to_string e) what);
+          Trace.emit eng.etrace ~kind:"breaker_open"
+            [ ("op", Json.Str what) ];
+          match eng.meters with
+          | Some m -> Metrics.set m.m_breaker_open 1.0
+          | None -> ()
+        end;
+        raise e
 
 (* Mirror the counters other subsystems keep for themselves (cache,
    pool, cost model) into the registry. [record] raises-to-at-least, so
@@ -142,7 +223,22 @@ let sample_meters eng =
       Metrics.record m.m_pool_fallbacks ps.Pool.busy_fallbacks;
       let c = Cost.read () in
       Metrics.set m.m_cost_work (float_of_int c.Cost.work);
-      Metrics.set m.m_cost_depth (float_of_int c.Cost.depth)
+      Metrics.set m.m_cost_depth (float_of_int c.Cost.depth);
+      List.iter
+        (fun k ->
+          Metrics.record
+            (Metrics.counter m.reg ~help:"faults absorbed, by class"
+               ~labels:[ ("class", Fault.klass_label k) ] "psdp_faults_total")
+            (Fault.count k))
+        [ Fault.Transient; Fault.Permanent; Fault.Crash ];
+      Metrics.set m.m_breaker_open (if Breaker.is_open eng.breaker then 1.0 else 0.0);
+      let quarantine_depth =
+        Mutex.lock eng.mutex;
+        let n = List.length eng.quarantined in
+        Mutex.unlock eng.mutex;
+        n
+      in
+      Metrics.set m.m_quarantined (float_of_int quarantine_depth)
 
 (* ------------------------------------------------------------------ *)
 (* Job execution (in a runner domain) *)
@@ -306,13 +402,14 @@ let execute eng h ~deadline ~prof =
                         }
                       in
                       match
-                        let rel = Store.save_snapshot store ~job:id snap in
-                        Store.append store
-                          (Journal.Checkpoint
-                             { job = id; call = s.Solver.calls_done;
-                               snapshot = rel })
+                        breaker_guard eng ~what:"checkpoint" (fun () ->
+                            let rel = Store.save_snapshot store ~job:id snap in
+                            Store.append store
+                              (Journal.Checkpoint
+                                 { job = id; call = s.Solver.calls_done;
+                                   snapshot = rel }))
                       with
-                      | () ->
+                      | Some () ->
                           Trace.emit eng.etrace ~job:id ~kind:"checkpoint"
                             [
                               ( "call",
@@ -320,6 +417,11 @@ let execute eng h ~deadline ~prof =
                               ("lo", Json.Num s.Solver.lo);
                               ("hi", Json.Num s.Solver.hi);
                             ]
+                      | None ->
+                          (* Breaker open: the engine is running
+                             non-durable; solving continues without
+                             snapshots. *)
+                          ()
                       | exception e ->
                           (* A broken store must not masquerade as a solver
                              verdict — and must leave no completion record,
@@ -353,24 +455,52 @@ let execute eng h ~deadline ~prof =
               ];
             check ()
           in
-          let r =
-            Solver.solve_packing ~pool:eng.epool ~backend:spec.Job.backend
-              ~mode:spec.Job.mode ~warm ?resume ?checkpoint ~prof ~on_iter
-              ~on_call ~eps:spec.Job.eps inst
+          let run_solver ?checkpoint backend_v =
+            let r =
+              Solver.solve_packing ~pool:eng.epool ~backend:backend_v
+                ~mode:spec.Job.mode ~warm ?resume ?checkpoint ~prof ~on_iter
+                ~on_call ~eps:spec.Job.eps inst
+            in
+            bump_call_histogram ();
+            let cert = Certificate.check_dual inst r.Solver.x in
+            Trace.emit eng.etrace ~job:id ~kind:"cert_verified"
+              [
+                ("lambda_max", Json.Num cert.Certificate.lambda_max);
+                ("feasible", Json.Bool cert.Certificate.feasible);
+              ];
+            (r, cert)
           in
-          bump_call_histogram ();
-          let cert = Certificate.check_dual inst r.Solver.x in
-          Trace.emit eng.etrace ~job:id ~kind:"cert_verified"
-            [
-              ("lambda_max", Json.Num cert.Certificate.lambda_max);
-              ("feasible", Json.Bool cert.Certificate.feasible);
-            ];
+          let r, cert = run_solver ?checkpoint spec.Job.backend in
+          (* Numerical graceful degradation: an uncertified sketched
+             solve gets exactly one resample with a fresh sketch seed —
+             an unlucky JL projection should not fail the job — before
+             the result is reported uncertified. The resample runs
+             without checkpointing (its snapshots would carry the wrong
+             backend identity) and caches under its own backend key. *)
+          let backend_used, r, cert =
+            match spec.Job.backend with
+            | Decision.Sketched { seed; sketch_dim }
+              when not cert.Certificate.feasible ->
+                let fresh = Decision.Sketched { seed = seed + 1; sketch_dim } in
+                Fault.record Fault.Transient;
+                (match eng.meters with
+                | Some m -> Metrics.inc m.m_sketch_resamples
+                | None -> ());
+                Trace.emit eng.etrace ~job:id ~kind:"sketch_resample"
+                  [
+                    ("seed", Json.Num (float_of_int seed));
+                    ("fresh_seed", Json.Num (float_of_int (seed + 1)));
+                  ];
+                let r2, cert2 = run_solver fresh in
+                (fresh, r2, cert2)
+            | _ -> (spec.Job.backend, r, cert)
+          in
           if cert.Certificate.feasible then
             Cache.store eng.ecache
               {
                 Cache.digest;
                 eps = spec.Job.eps;
-                backend;
+                backend = Job.backend_key backend_used;
                 mode;
                 value = r.Solver.value;
                 upper_bound = r.Solver.upper_bound;
@@ -430,7 +560,22 @@ let journal_finish eng (result : Job.result) =
         | Job.Timed_out ->
             Journal.Cancelled { job = result.Job.id; reason = "timeout" }
       in
-      try Store.append store record with _ -> ())
+      try
+        ignore
+          (breaker_guard eng ~what:"journal_finish" (fun () ->
+               Store.append store record))
+      with _ -> ())
+
+let journal_quarantine eng ~job ~reason ~attempts =
+  match eng.store with
+  | None -> ()
+  | Some store -> (
+      try
+        ignore
+          (breaker_guard eng ~what:"journal_quarantine" (fun () ->
+               Store.append store
+                 (Journal.Quarantined { job; reason; attempts })))
+      with _ -> ())
 
 let finish ?(record = true) eng h (result : Job.result) =
   if record then journal_finish eng result;
@@ -459,6 +604,16 @@ let run_one eng h =
         Metrics.set m.m_queue_depth
           (float_of_int (Scheduler.length eng.sched))
     | None -> ());
+    (* The in-flight gauge must come back down even when a crash-class
+       fault escapes to the supervisor. *)
+    let decr_in_flight () =
+      match eng.meters with
+      | Some m ->
+          Metrics.set m.m_in_flight
+            (float_of_int (Atomic.fetch_and_add eng.in_flight (-1) - 1))
+      | None -> ()
+    in
+    Fun.protect ~finally:decr_in_flight @@ fun () ->
     (* Each job profiles into a private registry — runner domains never
        share span state — and the result is merged into the process-wide
        profiler after the fact. *)
@@ -470,20 +625,96 @@ let run_one eng h =
     in
     let t0 = Timer.now () in
     let deadline = Option.map (fun s -> t0 +. s) h.spec.Job.timeout in
-    let outcome, record =
-      match execute eng h ~deadline ~prof with
+    let fail_message = function
+      | Store_crash msg -> "checkpoint store: " ^ msg
+      | Bad_input msg | Failure msg | Invalid_argument msg -> msg
+      | e -> Printexc.to_string e
+    in
+    (* Per-job deterministic jitter stream: retries of different jobs
+       decorrelate without sharing RNG state across domains. *)
+    let retry_rng = Rng.create (Hashtbl.hash id) in
+    let prev_backoff = ref 0.0 in
+    let may_retry n =
+      n < eng.retry.Retry.max_attempts
+      && (not (Atomic.get h.cancel_flag))
+      && (match deadline with Some d -> Timer.now () < d | None -> true)
+      && Retry.try_consume eng.retry_budget
+    in
+    (* The attempt loop: transient faults are retried with decorrelated
+       jitter (within the per-job policy and the engine-wide budget),
+       permanent faults fail immediately, and crash-class faults
+       re-raise to the runner's supervisor. A job whose terminal failure
+       burned [quarantine_after] or more attempts is poison: it is
+       journaled as quarantined and never re-run automatically. *)
+    let rec attempt n =
+      match
+        Failpoint.hit ~arg:id "engine.job_attempt";
+        execute eng h ~deadline ~prof
+      with
       | outcome -> (outcome, true)
       | exception Cancelled_exn -> (Job.Cancelled, true)
       | exception Timed_out_exn -> (Job.Timed_out, true)
-      | exception Store_crash msg ->
-          (* The store died mid-checkpoint: report the failure but leave
-             no completion record, so the job stays pending for
-             recovery. *)
-          (Job.Failed ("checkpoint store: " ^ msg), false)
-      | exception Bad_input msg -> (Job.Failed msg, true)
-      | exception (Failure msg | Invalid_argument msg) -> (Job.Failed msg, true)
-      | exception e -> (Job.Failed (Printexc.to_string e), true)
+      | exception e -> (
+          let klass = classify e in
+          (* Crash-class faults are tallied by the supervisor. *)
+          (match klass with
+          | Fault.Crash -> ()
+          | k -> Fault.record k);
+          Trace.emit eng.etrace ~job:id ~kind:"job_fault"
+            [
+              ("attempt", Json.Num (float_of_int n));
+              ("class", Json.Str (Fault.klass_label klass));
+              ("error", Json.Str (fail_message e));
+            ];
+          match klass with
+          | Fault.Crash -> raise e
+          | Fault.Transient when may_retry n ->
+              let d =
+                Retry.backoff eng.retry ~rng:retry_rng ~prev:!prev_backoff
+              in
+              prev_backoff := d;
+              (match eng.meters with
+              | Some m -> Metrics.inc m.m_retries
+              | None -> ());
+              Trace.emit eng.etrace ~job:id ~kind:"job_retry"
+                [
+                  ("attempt", Json.Num (float_of_int n));
+                  ("backoff", Json.Num d);
+                ];
+              if d > 0.0 then Unix.sleepf d;
+              attempt (n + 1)
+          | _ -> (
+              let msg = fail_message e in
+              match eng.quarantine_after with
+              | Some q when n >= q ->
+                  journal_quarantine eng ~job:id ~reason:msg ~attempts:n;
+                  Mutex.lock eng.mutex;
+                  eng.quarantined <-
+                    { Store.job = id; reason = msg; attempts = n }
+                    :: eng.quarantined;
+                  Mutex.unlock eng.mutex;
+                  Trace.emit eng.etrace ~job:id ~kind:"job_quarantined"
+                    [
+                      ("attempts", Json.Num (float_of_int n));
+                      ("error", Json.Str msg);
+                    ];
+                  Log.warn (fun m ->
+                      m "job %s quarantined after %d attempts: %s" id n msg);
+                  (* The Quarantined record above is the terminal journal
+                     entry; no Completed record must follow it. *)
+                  ( Job.Failed
+                      (Printf.sprintf "quarantined after %d attempts: %s" n
+                         msg),
+                    false )
+              | _ ->
+                  (* A store fault leaves no completion record, so the
+                     job stays pending for recovery. *)
+                  let record =
+                    match e with Store_crash _ -> false | _ -> true
+                  in
+                  (Job.Failed msg, record)))
     in
+    let outcome, record = attempt 1 in
     let elapsed = Timer.now () -. t0 in
     Profiler.exit prof;
     (match (job_prof, eng.oprofiler) with
@@ -507,8 +738,6 @@ let run_one eng h =
     (match eng.meters with
     | Some m ->
         Metrics.observe m.m_job_seconds elapsed;
-        let in_flight = Atomic.fetch_and_add eng.in_flight (-1) - 1 in
-        Metrics.set m.m_in_flight (float_of_int in_flight);
         let status =
           match outcome with
           | Job.Solved _ -> "ok"
@@ -525,6 +754,39 @@ let run_one eng h =
     finish ~record eng h { Job.id; outcome; elapsed }
   end
 
+(* Supervision: an exception escaping [run_one] must not kill the
+   runner domain — with it would go one unit of the engine's capacity,
+   silently. The crash is tallied and traced, the job is settled as
+   failed (when the crash left it unsettled), and the loop restarts
+   with the next job. *)
+let supervise eng h e =
+  let id = h.spec.Job.id in
+  Fault.record Fault.Crash;
+  (match eng.meters with
+  | Some m -> Metrics.inc m.m_runner_restarts
+  | None -> ());
+  (try
+     Trace.emit eng.etrace ~job:id ~kind:"runner_restarted"
+       [ ("error", Json.Str (Printexc.to_string e)) ];
+     Log.warn (fun m ->
+         m "runner crashed on job %s (%s); restarting" id
+           (Printexc.to_string e))
+   with _ -> ());
+  Mutex.lock eng.mutex;
+  let settled =
+    match h.state with Done _ -> true | Pending | Running -> false
+  in
+  Mutex.unlock eng.mutex;
+  if not settled then
+    try
+      finish eng h
+        {
+          Job.id;
+          outcome = Job.Failed ("runner crashed: " ^ Printexc.to_string e);
+          elapsed = 0.0;
+        }
+    with _ -> ()
+
 let rec runner_loop eng =
   Mutex.lock eng.mutex;
   while eng.paused do
@@ -534,7 +796,7 @@ let rec runner_loop eng =
   match Scheduler.pop eng.sched with
   | None -> ()
   | Some h ->
-      run_one eng h;
+      (try run_one eng h with e -> supervise eng h e);
       runner_loop eng
 
 (* ------------------------------------------------------------------ *)
@@ -542,12 +804,17 @@ let rec runner_loop eng =
 
 let create ?pool ?(max_in_flight = 2) ?cache ?trace ?store
     ?(checkpoint_every = 1) ?(paused = false) ?(iter_batch = 32) ?metrics
-    ?profiler ?on_complete () =
+    ?profiler ?on_complete ?(retry = Retry.no_retry) ?retry_budget
+    ?quarantine_after ?(breaker_threshold = 5) () =
   if max_in_flight < 1 then
     invalid_arg "Engine.create: max_in_flight must be >= 1";
   if iter_batch < 1 then invalid_arg "Engine.create: iter_batch must be >= 1";
   if checkpoint_every < 1 then
     invalid_arg "Engine.create: checkpoint_every must be >= 1";
+  (match quarantine_after with
+  | Some q when q < 1 ->
+      invalid_arg "Engine.create: quarantine_after must be >= 1"
+  | _ -> ());
   let epool, owns_pool =
     match pool with Some p -> (p, false) | None -> (Pool.create (), true)
   in
@@ -572,6 +839,11 @@ let create ?pool ?(max_in_flight = 2) ?cache ?trace ?store
       meters = Option.map make_meters metrics;
       oprofiler = profiler;
       in_flight = Atomic.make 0;
+      retry;
+      retry_budget = Retry.budget retry_budget;
+      quarantine_after;
+      breaker = Breaker.create ~threshold:breaker_threshold ();
+      quarantined = [];
     }
   in
   Trace.emit eng.etrace ~kind:"engine_started"
@@ -589,22 +861,34 @@ let create ?pool ?(max_in_flight = 2) ?cache ?trace ?store
 let journal_submit eng (spec : Job.spec) =
   match eng.store with
   | None -> spec
-  | Some store ->
-      let spec =
-        match spec.Job.source with
-        | Job.File _ -> spec
-        | Job.Inline inst ->
-            let digest = Loader.digest inst in
-            let path =
-              Store.save_instance store ~digest ~text:(Loader.to_string inst)
+  | Some store -> (
+      match
+        breaker_guard eng ~what:"journal_submit" (fun () ->
+            let spec =
+              match spec.Job.source with
+              | Job.File _ -> spec
+              | Job.Inline inst ->
+                  let digest = Loader.digest inst in
+                  let path =
+                    Store.save_instance store ~digest
+                      ~text:(Loader.to_string inst)
+                  in
+                  { spec with Job.source = Job.File path }
             in
-            { spec with Job.source = Job.File path }
-      in
-      (match Job.spec_to_json spec with
-      | Ok json ->
-          Store.append store (Journal.Submitted { job = spec.Job.id; spec = json })
-      | Error _ -> ());
-      spec
+            (match Job.spec_to_json spec with
+            | Ok json ->
+                Store.append store
+                  (Journal.Submitted { job = spec.Job.id; spec = json })
+            | Error _ -> ());
+            spec)
+      with
+      | Some spec -> spec
+      | None -> spec (* breaker open: accept the job non-durably *)
+      | exception _ ->
+          (* A store fault at submission degrades durability, never
+             availability: the job is accepted unjournaled (the breaker
+             counted the fault). *)
+          spec)
 
 let submit_with ?resume eng (spec : Job.spec) =
   Mutex.lock eng.mutex;
@@ -767,10 +1051,12 @@ let shutdown eng =
   end
 
 let with_engine ?pool ?max_in_flight ?cache ?trace ?store ?checkpoint_every
-    ?iter_batch ?metrics ?profiler ?on_complete f =
+    ?iter_batch ?metrics ?profiler ?on_complete ?retry ?retry_budget
+    ?quarantine_after ?breaker_threshold f =
   let eng =
     create ?pool ?max_in_flight ?cache ?trace ?store ?checkpoint_every
-      ?iter_batch ?metrics ?profiler ?on_complete ()
+      ?iter_batch ?metrics ?profiler ?on_complete ?retry ?retry_budget
+      ?quarantine_after ?breaker_threshold ()
   in
   match f eng with
   | result ->

@@ -66,7 +66,8 @@ exception Store_crash of string
 (** The checkpoint store failed while persisting a snapshot or WAL
     record. Internal: surfaced to results as
     [Failed "checkpoint store: ..."]; the job keeps its pending status
-    in the journal. *)
+    in the journal. Classified {e transient} by the fault taxonomy, so
+    a retry policy covers it. *)
 
 val create :
   ?pool:Psdp_parallel.Pool.t ->
@@ -80,6 +81,10 @@ val create :
   ?metrics:Psdp_obs.Metrics.t ->
   ?profiler:Psdp_obs.Profiler.t ->
   ?on_complete:(Job.result -> unit) ->
+  ?retry:Psdp_fault.Retry.policy ->
+  ?retry_budget:int ->
+  ?quarantine_after:int ->
+  ?breaker_threshold:int ->
   unit ->
   t
 (** [create ()] spawns [max_in_flight] (default 2) runner domains.
@@ -101,7 +106,28 @@ val create :
     [metrics] (default none — zero overhead) attaches a metrics
     registry; [profiler] (default none) a span profiler. Neither is
     owned — the caller renders/reports them after {!shutdown} (or
-    concurrently: both are domain-safe). *)
+    concurrently: both are domain-safe).
+
+    {b Fault tolerance}: [retry] (default {!Psdp_fault.Retry.no_retry})
+    governs how {e transient} faults (store failures, injected faults,
+    system errors) are retried per job — decorrelated-jitter backoff
+    between attempts; [retry_budget] (default unlimited) caps total
+    retries engine-wide. Permanent faults (bad input, violated
+    invariants) never retry. Crash-class faults re-raise to the runner's
+    supervisor: the job fails as ["runner crashed: ..."], the runner
+    restarts ([psdp_runner_restarts_total]), and subsequent jobs are
+    unaffected. With [quarantine_after = N], a job whose terminal
+    failure consumed at least [N] attempts is poison: it is journaled
+    as [Quarantined] (terminal — {!recover} never re-enqueues it, a
+    fresh submission releases it), listed by {!quarantined}, and
+    reported as [Failed "quarantined after ..."]. [breaker_threshold]
+    (default 5) consecutive store faults open a circuit breaker:
+    the engine degrades to non-durable mode (journaling and
+    checkpointing stop, jobs keep solving) with a [breaker_open] trace
+    event and the [psdp_store_breaker_open] gauge set. A sketched solve
+    whose certificate fails verification is resampled once with a fresh
+    sketch seed ([sketch_resample] trace event) before being reported
+    uncertified. *)
 
 type handle
 
@@ -144,6 +170,15 @@ val resume : t -> unit
 val drain : t -> Job.result list
 (** Wait for every job submitted so far; results in submission order. *)
 
+val quarantined : t -> Psdp_store.Store.quarantined list
+(** Jobs this engine quarantined, oldest first. (Jobs quarantined by a
+    {e previous} process are listed by
+    {!Psdp_store.Store.quarantined}.) *)
+
+val store_degraded : t -> bool
+(** [true] once the store circuit breaker has opened: the engine is
+    running non-durable. *)
+
 val shutdown : t -> unit
 (** Stop accepting jobs, run everything still queued, join the runner
     domains, emit [engine_stopped] (with pool contention stats), and
@@ -160,6 +195,10 @@ val with_engine :
   ?metrics:Psdp_obs.Metrics.t ->
   ?profiler:Psdp_obs.Profiler.t ->
   ?on_complete:(Job.result -> unit) ->
+  ?retry:Psdp_fault.Retry.policy ->
+  ?retry_budget:int ->
+  ?quarantine_after:int ->
+  ?breaker_threshold:int ->
   (t -> 'a) ->
   'a
 (** [with_engine f] creates an engine, applies [f], and shuts it down

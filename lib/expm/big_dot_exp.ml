@@ -8,6 +8,7 @@ type polynomial = Taylor | Chebyshev
 let compute ?(pool = Psdp_parallel.Pool.sequential) ?(poly = Taylor)
     ?(prof = Psdp_obs.Profiler.disabled) ~matvec ~dim ~kappa ~eps ~sketch
     factors =
+  Psdp_fault.Failpoint.hit "expm.eval";
   if Psdp_sketch.Jl.source_dim sketch <> dim then
     invalid_arg "Big_dot_exp.compute: sketch dimension mismatch";
   Array.iter

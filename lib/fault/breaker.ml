@@ -1,0 +1,35 @@
+type t = {
+  threshold : int;
+  lock : Mutex.t;
+  mutable consecutive : int;
+  mutable opened : bool;
+}
+
+let create ?(threshold = 5) () =
+  { threshold = max 1 threshold; lock = Mutex.create (); consecutive = 0;
+    opened = false }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let is_open t = locked t (fun () -> t.opened)
+
+let success t =
+  locked t (fun () -> if not t.opened then t.consecutive <- 0)
+
+let failure t =
+  locked t (fun () ->
+      t.consecutive <- t.consecutive + 1;
+      if (not t.opened) && t.consecutive >= t.threshold then begin
+        t.opened <- true;
+        true
+      end
+      else false)
+
+let failures t = locked t (fun () -> t.consecutive)
+
+let reset t =
+  locked t (fun () ->
+      t.opened <- false;
+      t.consecutive <- 0)

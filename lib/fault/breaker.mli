@@ -1,0 +1,31 @@
+(** Circuit breaker over a flaky dependency (the checkpoint store).
+
+    [K] consecutive failures open the breaker; while open, callers skip
+    the dependency entirely (the engine degrades to non-durable mode)
+    instead of paying a fault per job. A success while still closed
+    resets the consecutive-failure count. The breaker only reports the
+    open transition once ({!tripped}) so the caller can trace a single
+    warning. *)
+
+type t
+
+val create : ?threshold:int -> unit -> t
+(** [threshold] consecutive failures open the breaker (default 5,
+    clamped to >= 1). *)
+
+val is_open : t -> bool
+
+val success : t -> unit
+(** Record a successful call; zeroes the consecutive-failure count
+    unless the breaker is already open (open is latched until
+    {!reset}). *)
+
+val failure : t -> bool
+(** Record a failed call. Returns [true] exactly once: on the failure
+    that opens the breaker. *)
+
+val failures : t -> int
+(** Consecutive failures recorded since the last success. *)
+
+val reset : t -> unit
+(** Close the breaker and zero the count (tests / manual override). *)

@@ -1,0 +1,174 @@
+open Psdp_prelude
+
+type trigger = Always | Nth of int | Prob of { p : float; seed : int }
+type action = Fail of string | Crash of string | Delay of float | Corrupt
+
+exception Injected of string
+exception Injected_crash of string
+
+type entry = {
+  action : action;
+  trigger : trigger;
+  filter : (string -> bool) option;
+  rng : Rng.t option;  (* drawn under the registry lock (Prob only) *)
+  mutable hits : int;
+  mutable fired : int;
+}
+
+(* One global registry. The armed count rides in an atomic so the
+   hot-path check in unarmed processes is a single load, never a lock. *)
+let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+let armed_count = Atomic.make 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let arm ?(trigger = Always) ?filter name action =
+  locked (fun () ->
+      if not (Hashtbl.mem table name) then Atomic.incr armed_count;
+      let rng =
+        match trigger with
+        | Prob { seed; _ } -> Some (Rng.create seed)
+        | Always | Nth _ -> None
+      in
+      Hashtbl.replace table name
+        { action; trigger; filter; rng; hits = 0; fired = 0 })
+
+let disarm name =
+  locked (fun () ->
+      if Hashtbl.mem table name then begin
+        Hashtbl.remove table name;
+        Atomic.decr armed_count
+      end)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Atomic.set armed_count 0)
+
+let hits name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with Some e -> e.hits | None -> 0)
+
+let fired name =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with Some e -> e.fired | None -> 0)
+
+let armed () =
+  locked (fun () ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) table []))
+
+(* Decide (under the lock) whether the point fires; the action itself is
+   performed by the caller outside the lock, so a Delay never stalls
+   other failpoint evaluations. *)
+let evaluate name arg =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | None -> None
+      | Some e -> (
+          match e.filter with
+          | Some keep when not (keep arg) -> None
+          | _ ->
+              e.hits <- e.hits + 1;
+              let fire =
+                match e.trigger with
+                | Always -> true
+                | Nth n -> e.hits = n
+                | Prob { p; _ } -> (
+                    match e.rng with
+                    | Some rng -> Rng.float rng 1.0 < p
+                    | None -> false)
+              in
+              if fire then begin
+                e.fired <- e.fired + 1;
+                Some e.action
+              end
+              else None))
+
+let corrupt_bytes data =
+  if String.length data = 0 then data
+  else begin
+    let b = Bytes.of_string data in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    Bytes.to_string b
+  end
+
+let perform name data = function
+  | Fail msg -> raise (Injected (Printf.sprintf "failpoint %s: %s" name msg))
+  | Crash msg ->
+      raise (Injected_crash (Printf.sprintf "failpoint %s: %s" name msg))
+  | Delay s ->
+      Unix.sleepf s;
+      data
+  | Corrupt -> corrupt_bytes data
+
+let hit ?(arg = "") name =
+  if Atomic.get armed_count > 0 then
+    match evaluate name arg with
+    | None -> ()
+    | Some Corrupt -> ()
+    | Some action -> ignore (perform name "" action)
+
+let with_data ?(arg = "") name data =
+  if Atomic.get armed_count = 0 then data
+  else
+    match evaluate name arg with
+    | None -> data
+    | Some action -> perform name data action
+
+(* ------------------------------------------------------------------ *)
+(* CLI chaos specs: NAME=ACTION[@TRIGGER] *)
+
+let parse_trigger s =
+  match String.split_on_char ':' s with
+  | [ "always" ] -> Ok Always
+  | [ "nth"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> Ok (Nth n)
+      | _ -> Error (Printf.sprintf "bad nth count %S" n))
+  | [ "prob"; p ] | [ "prob"; p; _ ] as parts -> (
+      let seed =
+        match parts with
+        | [ _; _; seed ] -> int_of_string_opt seed
+        | _ -> Some 1
+      in
+      match (float_of_string_opt p, seed) with
+      | Some p, Some seed when p >= 0.0 && p <= 1.0 -> Ok (Prob { p; seed })
+      | _ -> Error (Printf.sprintf "bad probability %S" s))
+  | _ -> Error (Printf.sprintf "unknown trigger %S" s)
+
+let parse_action s =
+  match String.split_on_char ':' s with
+  | [ "fail" ] -> Ok (Fail "injected")
+  | [ "crash" ] -> Ok (Crash "injected crash")
+  | [ "corrupt" ] -> Ok Corrupt
+  | [ "delay"; sec ] -> (
+      match float_of_string_opt sec with
+      | Some v when v >= 0.0 -> Ok (Delay v)
+      | _ -> Error (Printf.sprintf "bad delay %S" sec))
+  | _ -> Error (Printf.sprintf "unknown action %S" s)
+
+let arm_spec spec =
+  match String.index_opt spec '=' with
+  | None -> Error (Printf.sprintf "failpoint spec %S: expected NAME=ACTION" spec)
+  | Some i -> (
+      let name = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      let action_s, trigger_s =
+        match String.index_opt rest '@' with
+        | None -> (rest, "always")
+        | Some j ->
+            ( String.sub rest 0 j,
+              String.sub rest (j + 1) (String.length rest - j - 1) )
+      in
+      if name = "" then Error (Printf.sprintf "failpoint spec %S: empty name" spec)
+      else
+        match (parse_action action_s, parse_trigger trigger_s) with
+        | Ok action, Ok trigger ->
+            arm ~trigger name action;
+            Ok ()
+        | Error e, _ | _, Error e ->
+            Error (Printf.sprintf "failpoint spec %S: %s" spec e))

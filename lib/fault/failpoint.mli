@@ -1,0 +1,99 @@
+(** Named failpoint registry — structured fault injection.
+
+    A failpoint is a named hook compiled into a production code path
+    ([Store.append], the atomic-write protocol, the solver's decision
+    loop, the exp kernels). In normal operation an unarmed failpoint
+    costs one atomic load; tests and chaos runs {e arm} points by name
+    with a trigger policy and an action, turning deterministic or
+    probabilistic fault injection on without touching the code under
+    test. This generalizes (and replaced) the old ad-hoc
+    [Atomic_io.set_kill_hook]: any subsystem can expose injection sites
+    under stable names, and one registry arms them all.
+
+    Registered point names in this codebase:
+    - ["store.write.before"], ["store.write.after_write"],
+      ["store.write.after_rename"] — the atomic-write kill points
+      (argument: the destination path)
+    - ["store.write.data"] — the atomic-write payload (data point:
+      supports [Corrupt])
+    - ["store.append"] — every journal append (argument: journal path)
+    - ["solver.decision_call"] — entry of every bisection decision call
+    - ["expm.eval"] — every sketched exponential kernel evaluation
+    - ["engine.job_attempt"] — start of every engine job attempt
+      (argument: the job id — filter on it to poison one job)
+
+    The registry is global and domain-safe. Trigger counters are
+    per-point and survive re-arming only through {!reset}. *)
+
+type trigger =
+  | Always  (** fire on every matching evaluation *)
+  | Nth of int  (** fire on exactly the [n]-th matching evaluation (1-based) *)
+  | Prob of { p : float; seed : int }
+      (** fire on each matching evaluation independently with probability
+          [p], from a deterministic stream seeded by [seed] *)
+
+type action =
+  | Fail of string
+      (** raise {!Injected} — a {e transient} fault (see
+          {!Fault.classify}) *)
+  | Crash of string
+      (** raise {!Injected_crash} — classified as a {e crash}, used to
+          exercise runner supervision *)
+  | Delay of float  (** sleep that many seconds, then continue *)
+  | Corrupt
+      (** at a data point ({!with_data}), flip one byte of the payload;
+          at a unit point ({!hit}), a no-op *)
+
+exception Injected of string
+(** Raised by a fired [Fail] action; the message names the point. *)
+
+exception Injected_crash of string
+(** Raised by a fired [Crash] action. *)
+
+val arm :
+  ?trigger:trigger -> ?filter:(string -> bool) -> string -> action -> unit
+(** [arm name action] arms the failpoint [name] (default trigger
+    {!Always}). [filter] restricts matching to evaluations whose
+    argument satisfies it (e.g. only paths ending in [".snap"]);
+    non-matching evaluations neither count nor fire. Re-arming a name
+    replaces its entry and resets its counters. *)
+
+val disarm : string -> unit
+(** Remove one armed point. Unknown names are ignored. *)
+
+val reset : unit -> unit
+(** Disarm everything and zero all counters. Tests call this in
+    [Fun.protect] finalizers so injection never leaks across cases. *)
+
+val hit : ?arg:string -> string -> unit
+(** Evaluate a unit failpoint. Free (one atomic load) when nothing is
+    armed anywhere; a no-op when [name] is not armed or [arg] fails its
+    filter. May raise {!Injected} / {!Injected_crash} or sleep,
+    according to the armed action. *)
+
+val with_data : ?arg:string -> string -> string -> string
+(** [with_data name data] evaluates a data failpoint: behaves like
+    {!hit}, and a fired [Corrupt] action returns [data] with one byte
+    flipped (other actions return [data] unchanged, after their
+    effect). *)
+
+val hits : string -> int
+(** Matching evaluations of an armed point since it was armed. [0] for
+    unarmed names. *)
+
+val fired : string -> int
+(** How often the point's action actually triggered. *)
+
+val armed : unit -> string list
+(** Names currently armed, sorted. *)
+
+val arm_spec : string -> (unit, string) result
+(** Parse and arm one CLI chaos spec: [NAME=ACTION[@TRIGGER]] with
+    [ACTION] one of [fail], [crash], [delay:SECONDS], [corrupt] and
+    [TRIGGER] one of [always] (default), [nth:N], [prob:P] or
+    [prob:P:SEED]. Examples:
+    {v
+    store.append=fail@prob:0.1:42
+    solver.decision_call=crash@nth:3
+    store.write.data=corrupt@nth:1
+    v} *)

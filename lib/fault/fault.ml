@@ -1,0 +1,31 @@
+type klass = Transient | Permanent | Crash
+
+let klass_label = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+  | Crash -> "crash"
+
+let classify = function
+  | Failpoint.Injected _ -> Transient
+  | Failpoint.Injected_crash _ -> Crash
+  | Out_of_memory | Stack_overflow | Assert_failure _ -> Crash
+  | Sys_error _ | Unix.Unix_error _ -> Transient
+  | _ -> Permanent
+
+let transient = Atomic.make 0
+let permanent = Atomic.make 0
+let crash = Atomic.make 0
+
+let cell = function
+  | Transient -> transient
+  | Permanent -> permanent
+  | Crash -> crash
+
+let record k = Atomic.incr (cell k)
+let count k = Atomic.get (cell k)
+let total () = count Transient + count Permanent + count Crash
+
+let reset () =
+  Atomic.set transient 0;
+  Atomic.set permanent 0;
+  Atomic.set crash 0

@@ -1,0 +1,46 @@
+(** Fault taxonomy and ambient fault tallies.
+
+    Every failure the engine absorbs is classified into one of three
+    classes, which drive the retry policy:
+
+    - {e Transient}: worth retrying — injected failpoint faults, store
+      I/O errors, system errors. The cause is expected to go away.
+    - {e Permanent}: retrying cannot help — malformed input, violated
+      invariants ([Bad_input], [Failure], [Invalid_argument]).
+    - {e Crash}: the executing context itself is suspect — an injected
+      crash, [Out_of_memory], [Stack_overflow], [Assert_failure]. The
+      job fails without retry and the runner is restarted by its
+      supervisor.
+
+    The classifier here only knows generic exceptions; the engine layers
+    its own mapping ([Store_crash] → transient, [Bad_input] → permanent)
+    in front of it.
+
+    Like the ambient {!Psdp_prelude.Cost} tallies, faults recorded via
+    {!record} accumulate in a global, domain-safe counter set that the
+    engine mirrors into the metrics registry
+    ([psdp_faults_total{class=...}]). *)
+
+type klass = Transient | Permanent | Crash
+
+val klass_label : klass -> string
+(** ["transient"], ["permanent"], ["crash"] — stable label values for
+    metrics and trace events. *)
+
+val classify : exn -> klass
+(** Generic classification: {!Failpoint.Injected} and system errors are
+    transient; {!Failpoint.Injected_crash}, [Out_of_memory],
+    [Stack_overflow] and [Assert_failure] are crashes; everything else
+    (including [Failure] and [Invalid_argument]) is permanent. *)
+
+val record : klass -> unit
+(** Bump the ambient tally for [klass]. *)
+
+val count : klass -> int
+(** Ambient tally for [klass] since the last {!reset}. *)
+
+val total : unit -> int
+(** Sum over all classes. *)
+
+val reset : unit -> unit
+(** Zero all tallies (tests). *)

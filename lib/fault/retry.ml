@@ -1,0 +1,40 @@
+open Psdp_prelude
+
+type policy = { max_attempts : int; base : float; cap : float }
+
+let make ?(base = 0.05) ?(cap = 2.0) ~max_attempts () =
+  let base = Float.max 0.0 base in
+  { max_attempts = max 1 max_attempts; base; cap = Float.max base cap }
+
+let no_retry = make ~base:0.0 ~cap:0.0 ~max_attempts:1 ()
+let default = make ~max_attempts:3 ()
+
+(* Decorrelated jitter (Brooker): sleep_{n+1} ~ U(base, 3*sleep_n),
+   clamped to cap. Spreads correlated retries apart without the
+   synchronized waves plain exponential backoff produces. *)
+let backoff p ~rng ~prev =
+  if p.cap <= 0.0 then 0.0
+  else
+    let hi = 3.0 *. Float.max prev p.base in
+    let span = Float.max 0.0 (hi -. p.base) in
+    Float.min p.cap (p.base +. Rng.float rng span)
+
+type budget = { limit : int option; used : int Atomic.t }
+
+let budget limit = { limit; used = Atomic.make 0 }
+
+let try_consume b =
+  match b.limit with
+  | None ->
+      Atomic.incr b.used;
+      true
+  | Some n ->
+      let rec go () =
+        let u = Atomic.get b.used in
+        if u >= n then false
+        else if Atomic.compare_and_set b.used u (u + 1) then true
+        else go ()
+      in
+      go ()
+
+let consumed b = Atomic.get b.used

@@ -1,0 +1,41 @@
+(** Retry policy: bounded attempts with decorrelated-jitter backoff.
+
+    The engine retries {e transient} faults only (see {!Fault.classify});
+    a policy caps attempts per job while a shared {!budget} caps total
+    retries per engine so a correlated outage cannot multiply load. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, first try included; >= 1 *)
+  base : float;  (** minimum backoff before the 2nd attempt, seconds *)
+  cap : float;  (** upper bound on any single backoff, seconds *)
+}
+
+val no_retry : policy
+(** One attempt, no backoff — the default engine policy, preserving
+    pre-fault-layer behaviour. *)
+
+val default : policy
+(** Three attempts, 50ms base, 2s cap. *)
+
+val make : ?base:float -> ?cap:float -> max_attempts:int -> unit -> policy
+(** Clamps [max_attempts] to at least 1 and [base]/[cap] to
+    non-negative (default base 0.05, cap 2.0). *)
+
+val backoff : policy -> rng:Psdp_prelude.Rng.t -> prev:float -> float
+(** Next sleep from the decorrelated-jitter scheme:
+    [min cap (uniform base (3 * max prev base))]. Pass [~prev:0.] for
+    the first backoff. *)
+
+type budget
+(** Domain-safe counter of retries an engine may still perform. *)
+
+val budget : int option -> budget
+(** [budget (Some n)] allows [n] retries engine-wide; [budget None] is
+    unlimited. *)
+
+val try_consume : budget -> bool
+(** Take one retry token; [false] when the budget is exhausted (the
+    caller must then fail instead of retrying). *)
+
+val consumed : budget -> int
+(** Retries granted so far. *)

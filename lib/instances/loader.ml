@@ -38,7 +38,8 @@ let of_string text =
   in
   let parse_float ln s =
     match float_of_string_opt s with
-    | Some v -> v
+    | Some v when Float.is_finite v -> v
+    | Some _ -> fail ln (Printf.sprintf "non-finite value %S" s)
     | None -> fail ln (Printf.sprintf "expected number, got %S" s)
   in
   match numbered with
@@ -48,7 +49,11 @@ let of_string text =
         match rest with
         | (ln, l) :: rest -> (
             match String.split_on_char ' ' l with
-            | [ "dim"; v ] -> (parse_int ln v, rest)
+            | [ "dim"; v ] ->
+                let dim = parse_int ln v in
+                if dim < 1 || dim > 1_000_000 then
+                  fail ln (Printf.sprintf "dim %d out of range [1, 1e6]" dim);
+                (dim, rest)
             | _ -> fail ln "expected 'dim <m>'")
         | [] -> fail ln0 "truncated file"
       in
@@ -56,7 +61,12 @@ let of_string text =
         match rest with
         | (ln, l) :: rest -> (
             match String.split_on_char ' ' l with
-            | [ "constraints"; v ] -> (parse_int ln v, rest)
+            | [ "constraints"; v ] ->
+                let n = parse_int ln v in
+                if n < 1 || n > 10_000_000 then
+                  fail ln
+                    (Printf.sprintf "constraints %d out of range [1, 1e7]" n);
+                (n, rest)
             | _ -> fail ln "expected 'constraints <n>'")
         | [] -> fail ln0 "truncated file"
       in
@@ -80,14 +90,25 @@ let of_string text =
                 and cols = parse_int ln cols
                 and nnz = parse_int ln nnz in
                 if rows <> dim then fail ln "factor rows <> dim";
+                if cols < 1 || cols > 1_000_000 then
+                  fail ln (Printf.sprintf "factor cols %d out of range" cols);
+                if nnz < 0 || nnz > rows * cols then
+                  fail ln
+                    (Printf.sprintf "factor nnz %d out of range [0, %d]" nnz
+                       (rows * cols));
                 let entries = ref [] in
                 for _ = 1 to nnz do
                   let ln, l = next () in
                   match String.split_on_char ' ' l with
                   | [ r; c; v ] ->
-                      entries :=
-                        (parse_int ln r, parse_int ln c, parse_float ln v)
-                        :: !entries
+                      let r = parse_int ln r and c = parse_int ln c in
+                      if r < 0 || r >= rows then
+                        fail ln
+                          (Printf.sprintf "row %d out of bounds [0, %d)" r rows);
+                      if c < 0 || c >= cols then
+                        fail ln
+                          (Printf.sprintf "col %d out of bounds [0, %d)" c cols);
+                      entries := (r, c, parse_float ln v) :: !entries
                   | _ -> fail ln "expected '<row> <col> <value>'"
                 done;
                 Factored.of_csr (Csr.of_coo ~rows ~cols !entries)
@@ -120,6 +141,7 @@ let of_string_result text =
   | inst -> Ok inst
   | exception Failure msg -> Error msg
   | exception Invalid_argument msg -> Error msg
+  | exception e -> Error ("Loader: " ^ Printexc.to_string e)
 
 let load_result path =
   match load path with
@@ -127,5 +149,8 @@ let load_result path =
   | exception Failure msg -> Error msg
   | exception Invalid_argument msg -> Error msg
   | exception Sys_error msg -> Error msg
+  (* Catch-all: a malformed file must surface as a clean bad-input
+     error (CLI exit 2), never as an escaped backtrace. *)
+  | exception e -> Error ("Loader: " ^ Printexc.to_string e)
 
 let digest inst = Digest.to_hex (Digest.string (to_string inst))

@@ -135,6 +135,34 @@ let pivoted ?(tol = 1e-12) a =
    with Exit -> ());
   (Mat.init m !rank (fun i j -> Mat.get f i j), !rank)
 
+let factor_robust ?(eps = 1e-12) a =
+  match factor ~eps a with
+  | l -> (l, 0.0)
+  | exception Not_positive_definite i -> (
+      let n = Mat.rows a in
+      (* Rank-revealing probe at a tolerance well below the working one:
+         genuine rank deficiency or indefiniteness has no meaningful
+         shifted factorization, so those re-raise. Only a numerically
+         full-rank matrix that plain elimination mishandled earns the
+         diagonal-shift fallback. *)
+      match pivoted ~tol:(eps *. 1e-3) a with
+      | _, rank when rank < n -> raise (Not_positive_definite i)
+      | _ ->
+          let max_diag =
+            Util.fold_range n ~init:0.0 ~f:(fun acc j ->
+                Float.max acc (Float.abs (Mat.get a j j)))
+          in
+          let scale = Float.max 1.0 max_diag in
+          let rec go shift =
+            if shift > scale then raise (Not_positive_definite i)
+            else
+              let shifted = Mat.add a (Mat.scale shift (Mat.identity n)) in
+              match factor ~eps shifted with
+              | l -> (l, shift)
+              | exception Not_positive_definite _ -> go (shift *. 10.0)
+          in
+          go (10.0 *. eps *. scale))
+
 let is_psd ?(tol = 1e-8) a =
   Mat.is_symmetric ~tol:1e-6 a
   &&

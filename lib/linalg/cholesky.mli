@@ -48,6 +48,18 @@ val pivoted : ?tol:float -> Mat.t -> Mat.t * int
     @raise Not_positive_definite when a pivot is significantly negative
     (the input was not PSD). *)
 
+val factor_robust : ?eps:float -> Mat.t -> Mat.t * float
+(** [factor_robust a] is {!factor} with numerical graceful degradation:
+    on success it is [(factor a, 0.)]. When a pivot breaks down, a
+    rank-revealing {!pivoted} probe (at tolerance [eps·1e-3]) decides
+    whether the matrix is numerically full rank; if so, the smallest
+    escalating diagonal shift [σ] (powers of ten from
+    [10·eps·max(1,max-diagonal)]) that makes [A + σI] factor is applied
+    and [(L, σ)] returned so the caller can trace the degradation.
+    @raise Not_positive_definite when the input is indefinite or
+    genuinely rank-deficient — shifting those would silently change the
+    problem rather than absorb roundoff. *)
+
 val is_psd : ?tol:float -> Mat.t -> bool
 (** Numerical PSD test: attempts a Cholesky factorization of
     [A + tol·max(1,‖A‖)·I]. Cheap and robust enough for input

@@ -32,7 +32,14 @@ type t = {
   latencies : phase_stat list;
   attribution : attribution_row list;
   cache : (string * int) list;  (* status -> count, e.g. hit/warm/miss *)
+  faults : (string * int) list;  (* fault event kind -> count *)
 }
+
+let fault_kinds =
+  [
+    "job_fault"; "job_retry"; "job_quarantined"; "store_fault";
+    "breaker_open"; "runner_restarted"; "sketch_resample";
+  ]
 
 (* ---------------------------------------------------------------- *)
 (* Accumulation *)
@@ -83,6 +90,7 @@ let of_events events =
         a
   in
   let cache_counts : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let fault_counts : (string, int) Hashtbl.t = Hashtbl.create 4 in
   let spans : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
   let span_order = ref [] in
   let t_min = ref Float.infinity and t_max = ref Float.neg_infinity in
@@ -126,6 +134,9 @@ let of_events events =
               in
               Hashtbl.replace cache_counts status
                 (1 + Option.value ~default:0 (Hashtbl.find_opt cache_counts status))
+          | k, _ when List.mem k fault_kinds ->
+              Hashtbl.replace fault_counts k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt fault_counts k))
           | "profile", _ -> (
               match Json.mem "spans" ev with
               | Some (Json.Obj paths) ->
@@ -213,6 +224,11 @@ let of_events events =
     List.sort compare
       (Hashtbl.fold (fun k v l -> (k, v) :: l) cache_counts [])
   in
+  let faults =
+    List.filter_map
+      (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find_opt fault_counts k))
+      fault_kinds
+  in
   {
     events = !n_events;
     span = (if !n_events = 0 then 0.0 else !t_max -. !t_min);
@@ -220,6 +236,7 @@ let of_events events =
     latencies;
     attribution;
     cache;
+    faults;
   }
 
 let of_lines lines =
@@ -292,6 +309,11 @@ let pp ppf t =
   if t.cache <> [] then begin
     pf ppf "@,cache:";
     List.iter (fun (k, v) -> pf ppf " %s=%d" k v) t.cache;
+    pf ppf "@,"
+  end;
+  if t.faults <> [] then begin
+    pf ppf "@,faults:";
+    List.iter (fun (k, v) -> pf ppf " %s=%d" k v) t.faults;
     pf ppf "@,"
   end;
   pf ppf "@]"

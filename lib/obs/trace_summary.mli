@@ -46,6 +46,10 @@ type t = {
           consecutive decision-call stamps within a job) *)
   attribution : attribution_row list;  (** empty without [profile] events *)
   cache : (string * int) list;  (** cache event status → count *)
+  faults : (string * int) list;
+      (** fault-layer event counts ([job_fault], [job_retry],
+          [job_quarantined], [store_fault], [breaker_open],
+          [runner_restarted], [sketch_resample]); empty for clean runs *)
 }
 
 val of_events : Psdp_prelude.Json.t list -> t

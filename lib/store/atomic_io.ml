@@ -1,10 +1,4 @@
-type kill_point = Kill_before_write | Kill_after_write | Kill_after_rename
-
-let kill_hook : (kill_point -> string -> unit) option ref = ref None
-let set_kill_hook h = kill_hook := h
-
-let kill point path =
-  match !kill_hook with Some f -> f point path | None -> ()
+module Failpoint = Psdp_fault.Failpoint
 
 let fsync_path path =
   let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
@@ -17,15 +11,16 @@ let write_atomic path data =
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        kill Kill_before_write path;
+        Failpoint.hit ~arg:path "store.write.before";
+        let data = Failpoint.with_data ~arg:path "store.write.data" data in
         output_string oc data;
         flush oc;
         Unix.fsync (Unix.descr_of_out_channel oc))
   in
   ignore written;
-  kill Kill_after_write path;
+  Failpoint.hit ~arg:path "store.write.after_write";
   Sys.rename tmp path;
-  kill Kill_after_rename path;
+  Failpoint.hit ~arg:path "store.write.after_rename";
   (* Make the rename itself durable: fsync the containing directory. *)
   fsync_path (Filename.dirname path)
 

@@ -7,21 +7,21 @@
     Leftover [*.tmp.*] files from a crash are garbage, never truth;
     [Store.open_store] sweeps them.
 
-    The kill-point hook exists for the fault-injection tests: it is
-    invoked at each stage of the write protocol and may raise to simulate
-    the process dying at exactly that point. Production code never sets
-    it. *)
+    Fault injection goes through the {!Psdp_fault.Failpoint} registry —
+    the write protocol evaluates named failpoints (argument: the
+    destination path) at each stage:
 
-type kill_point =
-  | Kill_before_write  (** temp file created, nothing written yet *)
-  | Kill_after_write  (** temp written and fsynced, not yet renamed *)
-  | Kill_after_rename  (** renamed into place, directory not yet fsynced *)
+    - ["store.write.before"] — temp file created, nothing written yet
+    - ["store.write.data"] — data point over the payload (supports
+      [Corrupt])
+    - ["store.write.after_write"] — temp written and fsynced, not yet
+      renamed
+    - ["store.write.after_rename"] — renamed into place, directory not
+      yet fsynced
 
-val set_kill_hook : (kill_point -> string -> unit) option -> unit
-(** [set_kill_hook (Some f)] arranges for [f point final_path] to be
-    called at every kill point of every subsequent {!write_atomic}. [f]
-    raising simulates a crash mid-write. [set_kill_hook None] (the
-    initial state) disables injection. Test-only; global. *)
+    Arming one with a raising action simulates the process dying at
+    exactly that point. Production runs never arm them; an unarmed
+    point costs one atomic load. *)
 
 val write_atomic : string -> string -> unit
 (** [write_atomic path data] durably replaces the content of [path]:

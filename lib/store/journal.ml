@@ -5,6 +5,7 @@ type record =
   | Checkpoint of { job : string; call : int; snapshot : string }
   | Completed of { job : string; status : string }
   | Cancelled of { job : string; reason : string }
+  | Quarantined of { job : string; reason : string; attempts : int }
 
 let fields = function
   | Submitted { job; spec } ->
@@ -27,6 +28,13 @@ let fields = function
         ("kind", Json.Str "cancelled");
         ("job", Json.Str job);
         ("reason", Json.Str reason);
+      ]
+  | Quarantined { job; reason; attempts } ->
+      [
+        ("kind", Json.Str "quarantined");
+        ("job", Json.Str job);
+        ("reason", Json.Str reason);
+        ("attempts", Json.Num (float_of_int attempts));
       ]
 
 let to_line r =
@@ -62,6 +70,14 @@ let decode_fields j =
   | "cancelled" ->
       let* reason = str "reason" in
       Ok (Cancelled { job; reason })
+  | "quarantined" ->
+      let* reason = str "reason" in
+      let* attempts =
+        match Option.bind (Json.mem "attempts" j) Json.int with
+        | Some a -> Ok a
+        | None -> Error "journal: missing or bad \"attempts\""
+      in
+      Ok (Quarantined { job; reason; attempts })
   | other -> Error (Printf.sprintf "journal: unknown record kind %S" other)
 
 let of_line line =

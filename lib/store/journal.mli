@@ -17,6 +17,7 @@
     {"kind":"checkpoint","job":ID,"call":N,"snapshot":PATH,"crc":HEX}
     {"kind":"completed","job":ID,"status":STR,"crc":HEX}
     {"kind":"cancelled","job":ID,"reason":STR,"crc":HEX}
+    {"kind":"quarantined","job":ID,"reason":STR,"attempts":N,"crc":HEX}
     v}
     [crc] is the FNV-1a-64 hex of the record's canonical serialization
     without the [crc] field, and is always the last field. A line that
@@ -34,6 +35,10 @@ type record =
       (** [snapshot] is relative to the store directory *)
   | Completed of { job : string; status : string }
   | Cancelled of { job : string; reason : string }
+  | Quarantined of { job : string; reason : string; attempts : int }
+      (** the job exhausted its retry attempts on a poison failure; it
+          is terminal (never re-run automatically) but kept listed so an
+          operator can inspect or resubmit it deliberately *)
 
 val to_line : record -> string
 (** One JSON line (no trailing newline), crc field included. *)

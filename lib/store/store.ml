@@ -7,11 +7,14 @@ type pending = {
   interrupted : string option;
 }
 
+type quarantined = { job : string; reason : string; attempts : int }
+
 type t = {
   dir : string;
   oc : out_channel;
   lock : Mutex.t;
   pending : pending list;
+  quarantined : quarantined list;
   torn : string option;
 }
 
@@ -41,10 +44,14 @@ let sweep_tmp dir =
 let compute_pending records =
   let tbl : (string, pending) Hashtbl.t = Hashtbl.create 16 in
   let order = ref [] in
+  let poison : (string, quarantined) Hashtbl.t = Hashtbl.create 4 in
+  let poison_order = ref [] in
   List.iter
     (fun record ->
       match record with
       | Journal.Submitted { job; spec } -> (
+          (* An explicit re-submission releases a job from quarantine. *)
+          Hashtbl.remove poison job;
           match Hashtbl.find_opt tbl job with
           | None ->
               Hashtbl.replace tbl job
@@ -62,10 +69,22 @@ let compute_pending records =
       | Journal.Cancelled { job; reason } -> (
           match Hashtbl.find_opt tbl job with
           | Some p -> Hashtbl.replace tbl job { p with interrupted = Some reason }
-          | None -> ()))
+          | None -> ())
+      | Journal.Quarantined { job; reason; attempts } ->
+          (* Terminal for recovery purposes: never re-enqueued
+             automatically, but kept listed for operators. *)
+          Hashtbl.remove tbl job;
+          if not (Hashtbl.mem poison job) then poison_order := job :: !poison_order;
+          Hashtbl.replace poison job { job; reason; attempts })
     records;
-  List.rev !order
-  |> List.filter_map (fun job -> Hashtbl.find_opt tbl job)
+  let pending =
+    List.rev !order |> List.filter_map (fun job -> Hashtbl.find_opt tbl job)
+  in
+  let quarantined =
+    List.rev !poison_order
+    |> List.filter_map (fun job -> Hashtbl.find_opt poison job)
+  in
+  (pending, quarantined)
 
 let open_store dir =
   try
@@ -80,7 +99,8 @@ let open_store dir =
     let oc =
       open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 journal_path
     in
-    Ok { dir; oc; lock = Mutex.create (); pending = compute_pending records; torn }
+    let pending, quarantined = compute_pending records in
+    Ok { dir; oc; lock = Mutex.create (); pending; quarantined; torn }
   with
   | Sys_error msg -> Error ("store: " ^ msg)
   | Unix.Unix_error (e, fn, arg) ->
@@ -88,9 +108,12 @@ let open_store dir =
 
 let dir t = t.dir
 let pending t = t.pending
+let quarantined t = t.quarantined
 let torn_tail t = t.torn
 
 let append t record =
+  Psdp_fault.Failpoint.hit ~arg:(Filename.concat t.dir journal_file)
+    "store.append";
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)

@@ -29,13 +29,22 @@ type pending = {
       (** cancellation/timeout reason, [None] for a hard crash *)
 }
 
+type quarantined = { job : string; reason : string; attempts : int }
+(** A poison job: it exhausted its retry attempts and was journaled as
+    quarantined. Recovery never re-enqueues it; a fresh [Submitted]
+    record for the same id (a deliberate resubmission) releases it. *)
+
 val open_store : string -> (t, string) result
 (** Create the directory tree if needed, replay the journal, sweep
     stale temp files, and open the journal for appending. *)
 
 val dir : t -> string
 val pending : t -> pending list
-(** Unfinished jobs in submission order, as of {!open_store}. *)
+(** Unfinished jobs in submission order, as of {!open_store}. Jobs in
+    quarantine are excluded. *)
+
+val quarantined : t -> quarantined list
+(** Quarantined jobs in first-quarantine order, as of {!open_store}. *)
 
 val torn_tail : t -> string option
 (** Description of the corrupt journal line replay stopped at, if any. *)

@@ -1,0 +1,551 @@
+(* Tests for the fault-tolerance layer: failpoint registry semantics
+   (triggers, filters, counters, chaos-spec parsing), the fault
+   taxonomy, retry backoff and budgets, circuit-breaker transitions —
+   and the engine acceptance scenarios: runner supervision, transient
+   retry to success, poison-job quarantine with an intact journal
+   record, breaker degradation to non-durable mode, and a 50-job chaos
+   batch with injected store faults where every non-quarantined job
+   comes back certified. *)
+
+open Psdp_prelude
+open Psdp_instances
+open Psdp_store
+open Psdp_engine
+open Psdp_fault
+
+let mktempdir () =
+  let path = Filename.temp_file "psdp_fault" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tempdir f =
+  let dir = mktempdir () in
+  Fun.protect ~finally:(fun () -> try rm_rf dir with _ -> ()) (fun () -> f dir)
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: %s" what msg
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let with_failpoints f =
+  Fun.protect ~finally:(fun () -> Failpoint.reset ()) f
+
+(* ------------------------------------------------------------------ *)
+(* Failpoint registry *)
+
+let test_failpoint_unarmed_is_noop () =
+  Failpoint.reset ();
+  Failpoint.hit "nonexistent.point";
+  Alcotest.(check string)
+    "data passes through" "payload"
+    (Failpoint.with_data "nonexistent.point" "payload");
+  Alcotest.(check int) "no hits recorded" 0 (Failpoint.hits "nonexistent.point")
+
+let test_failpoint_always_fires () =
+  with_failpoints (fun () ->
+      Failpoint.arm "p" (Failpoint.Fail "boom");
+      (match Failpoint.hit "p" with
+      | () -> Alcotest.fail "did not fire"
+      | exception Failpoint.Injected msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "message names the point: %s" msg)
+            true
+            (contains_sub msg "p"));
+      Alcotest.(check int) "hits" 1 (Failpoint.hits "p");
+      Alcotest.(check int) "fired" 1 (Failpoint.fired "p");
+      Failpoint.disarm "p";
+      Failpoint.hit "p";
+      Alcotest.(check (list string)) "disarmed" [] (Failpoint.armed ()))
+
+let test_failpoint_nth_trigger () =
+  with_failpoints (fun () ->
+      Failpoint.arm ~trigger:(Failpoint.Nth 3) "p" (Failpoint.Fail "boom");
+      Failpoint.hit "p";
+      Failpoint.hit "p";
+      (match Failpoint.hit "p" with
+      | () -> Alcotest.fail "3rd hit did not fire"
+      | exception Failpoint.Injected _ -> ());
+      (* Strictly the nth, not every hit from the nth on. *)
+      Failpoint.hit "p";
+      Alcotest.(check int) "4 hits" 4 (Failpoint.hits "p");
+      Alcotest.(check int) "fired once" 1 (Failpoint.fired "p"))
+
+let test_failpoint_filter () =
+  with_failpoints (fun () ->
+      Failpoint.arm
+        ~filter:(fun arg -> Filename.check_suffix arg ".snap")
+        "p" (Failpoint.Fail "boom");
+      Failpoint.hit ~arg:"journal.jsonl" "p";
+      Alcotest.(check int) "filtered evaluations do not count" 0
+        (Failpoint.hits "p");
+      match Failpoint.hit ~arg:"x.snap" "p" with
+      | () -> Alcotest.fail "matching arg did not fire"
+      | exception Failpoint.Injected _ -> ())
+
+let test_failpoint_prob_deterministic () =
+  let count () =
+    with_failpoints (fun () ->
+        Failpoint.arm
+          ~trigger:(Failpoint.Prob { p = 0.3; seed = 11 })
+          "p" (Failpoint.Fail "boom");
+        for _ = 1 to 200 do
+          try Failpoint.hit "p" with Failpoint.Injected _ -> ()
+        done;
+        Failpoint.fired "p")
+  in
+  let a = count () and b = count () in
+  Alcotest.(check int) "same seed, same stream" a b;
+  Alcotest.(check bool)
+    (Printf.sprintf "fired a plausible fraction (%d/200)" a)
+    true
+    (a > 30 && a < 90)
+
+let test_failpoint_crash_and_delay () =
+  with_failpoints (fun () ->
+      Failpoint.arm "c" (Failpoint.Crash "dead");
+      (match Failpoint.hit "c" with
+      | () -> Alcotest.fail "crash did not fire"
+      | exception Failpoint.Injected_crash _ -> ());
+      Failpoint.arm "d" (Failpoint.Delay 0.001);
+      Failpoint.hit "d";
+      Alcotest.(check int) "delay fired" 1 (Failpoint.fired "d"))
+
+let test_failpoint_corrupt_data () =
+  with_failpoints (fun () ->
+      Failpoint.arm "p" Failpoint.Corrupt;
+      let out = Failpoint.with_data "p" "payload" in
+      Alcotest.(check int) "length preserved" (String.length "payload")
+        (String.length out);
+      Alcotest.(check bool) "one byte flipped" true (out <> "payload");
+      (* At a unit point, Corrupt is a no-op rather than an error. *)
+      Failpoint.hit "p")
+
+let test_failpoint_arm_spec () =
+  with_failpoints (fun () ->
+      ok_or_fail "prob spec" (Failpoint.arm_spec "store.append=fail@prob:0.1:42");
+      ok_or_fail "nth spec" (Failpoint.arm_spec "solver.decision_call=crash@nth:3");
+      ok_or_fail "corrupt spec" (Failpoint.arm_spec "store.write.data=corrupt");
+      ok_or_fail "delay spec" (Failpoint.arm_spec "x=delay:0.5@always");
+      Alcotest.(check (list string))
+        "all armed"
+        [ "solver.decision_call"; "store.append"; "store.write.data"; "x" ]
+        (Failpoint.armed ());
+      List.iter
+        (fun bad ->
+          match Failpoint.arm_spec bad with
+          | Ok () -> Alcotest.failf "accepted %S" bad
+          | Error _ -> ())
+        [
+          "";
+          "noequals";
+          "=fail";
+          "p=explode";
+          "p=fail@nth:0";
+          "p=fail@prob:1.5";
+          "p=fail@sometimes";
+          "p=delay:x";
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy, retry, breaker *)
+
+let test_fault_classify () =
+  let check name expect e =
+    Alcotest.(check string) name
+      (Fault.klass_label expect)
+      (Fault.klass_label (Fault.classify e))
+  in
+  check "injected is transient" Fault.Transient (Failpoint.Injected "x");
+  check "sys_error is transient" Fault.Transient (Sys_error "io");
+  check "injected crash" Fault.Crash (Failpoint.Injected_crash "x");
+  check "out of memory is crash" Fault.Crash Out_of_memory;
+  check "stack overflow is crash" Fault.Crash Stack_overflow;
+  check "failure is permanent" Fault.Permanent (Failure "bad");
+  check "invalid_arg is permanent" Fault.Permanent (Invalid_argument "bad");
+  Fault.reset ();
+  Fault.record Fault.Transient;
+  Fault.record Fault.Transient;
+  Fault.record Fault.Crash;
+  Alcotest.(check int) "transient tally" 2 (Fault.count Fault.Transient);
+  Alcotest.(check int) "total tally" 3 (Fault.total ());
+  Fault.reset ();
+  Alcotest.(check int) "reset" 0 (Fault.total ())
+
+let test_retry_backoff_bounds () =
+  let p = Retry.make ~base:0.05 ~cap:2.0 ~max_attempts:5 () in
+  let rng = Rng.create 3 in
+  let prev = ref 0.0 in
+  for _ = 1 to 100 do
+    let d = Retry.backoff p ~rng ~prev:!prev in
+    Alcotest.(check bool) "at least base" true (d >= p.Retry.base -. 1e-12);
+    Alcotest.(check bool) "at most cap" true (d <= p.Retry.cap +. 1e-12);
+    Alcotest.(check bool) "decorrelated: at most 3x prev (or base)" true
+      (d <= (3.0 *. Float.max !prev p.Retry.base) +. 1e-12);
+    prev := d
+  done;
+  Alcotest.(check int) "no_retry is one attempt" 1
+    Retry.no_retry.Retry.max_attempts;
+  let z = Retry.backoff Retry.no_retry ~rng ~prev:0.0 in
+  Alcotest.(check (float 0.0)) "no_retry backoff is zero" 0.0 z
+
+let test_retry_budget () =
+  let b = Retry.budget (Some 2) in
+  Alcotest.(check bool) "first" true (Retry.try_consume b);
+  Alcotest.(check bool) "second" true (Retry.try_consume b);
+  Alcotest.(check bool) "exhausted" false (Retry.try_consume b);
+  Alcotest.(check int) "consumed" 2 (Retry.consumed b);
+  let u = Retry.budget None in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "unlimited" true (Retry.try_consume u)
+  done
+
+let test_breaker_transitions () =
+  let b = Breaker.create ~threshold:3 () in
+  Alcotest.(check bool) "starts closed" false (Breaker.is_open b);
+  Alcotest.(check bool) "1st failure" false (Breaker.failure b);
+  Alcotest.(check bool) "2nd failure" false (Breaker.failure b);
+  Breaker.success b;
+  Alcotest.(check int) "success resets the count" 0 (Breaker.failures b);
+  Alcotest.(check bool) "f1" false (Breaker.failure b);
+  Alcotest.(check bool) "f2" false (Breaker.failure b);
+  Alcotest.(check bool) "threshold opens, reported once" true
+    (Breaker.failure b);
+  Alcotest.(check bool) "open" true (Breaker.is_open b);
+  Alcotest.(check bool) "further failures not re-reported" false
+    (Breaker.failure b);
+  Breaker.success b;
+  Alcotest.(check bool) "open is latched" true (Breaker.is_open b);
+  Breaker.reset b;
+  Alcotest.(check bool) "reset closes" false (Breaker.is_open b);
+  Alcotest.(check int) "reset zeroes" 0 (Breaker.failures b)
+
+(* ------------------------------------------------------------------ *)
+(* Engine acceptance *)
+
+let proj () = Known_opt.orthogonal_projectors ~rng:(Rng.create 7) ~dim:8 ~n:3
+let eps = 0.25
+
+let kind_of v = Option.bind (Json.mem "kind" v) Json.str
+
+let count_kind events kind =
+  List.length (List.filter (fun e -> kind_of e = Some kind) events)
+
+let certified (r : Job.result) =
+  match r.Job.outcome with
+  | Job.Solved { certified; _ } -> certified
+  | _ -> false
+
+let failed_msg (r : Job.result) =
+  match r.Job.outcome with
+  | Job.Failed msg -> msg
+  | o ->
+      Alcotest.failf "job %s: expected Failed, got %s" r.Job.id
+        (match o with
+        | Job.Solved _ -> "Solved"
+        | Job.Decided _ -> "Decided"
+        | Job.Cancelled -> "Cancelled"
+        | Job.Timed_out -> "Timed_out"
+        | Job.Failed _ -> assert false)
+
+let fast_retry attempts =
+  Retry.make ~base:0.001 ~cap:0.005 ~max_attempts:attempts ()
+
+let test_supervision_restarts_runner () =
+  with_failpoints (fun () ->
+      let inst, _ = proj () in
+      let trace = Trace.memory () in
+      Engine.with_engine ~pool:Psdp_parallel.Pool.sequential ~max_in_flight:1
+        ~trace (fun eng ->
+          (* Poison exactly the crashing job; the arbitrary-exception
+             crash escapes execute and must not kill the runner. *)
+          Failpoint.arm
+            ~filter:(fun id -> id = "crasher")
+            "engine.job_attempt" (Failpoint.Crash "simulated runner death");
+          let r1 =
+            Engine.await eng
+              (Engine.submit eng
+                 (Job.solve_spec ~id:"crasher" ~eps (Job.Inline inst)))
+          in
+          Alcotest.(check bool) "crash fails the job cleanly" true
+            (contains_sub (failed_msg r1) "runner crashed");
+          (* The same engine (and its restarted runner) still certifies
+             subsequent jobs. *)
+          let r2 =
+            Engine.await eng
+              (Engine.submit eng
+                 (Job.solve_spec ~id:"after" ~eps (Job.Inline inst)))
+          in
+          Alcotest.(check bool) "subsequent job certified" true (certified r2));
+      let events = Trace.events trace in
+      Alcotest.(check int) "runner restart traced" 1
+        (count_kind events "runner_restarted"))
+
+let test_transient_retry_succeeds () =
+  with_failpoints (fun () ->
+      let inst, _ = proj () in
+      let trace = Trace.memory () in
+      Engine.with_engine ~pool:Psdp_parallel.Pool.sequential ~max_in_flight:1
+        ~trace ~retry:(fast_retry 3) (fun eng ->
+          (* First attempt faults transiently; the retry must succeed. *)
+          Failpoint.arm ~trigger:(Failpoint.Nth 1) "engine.job_attempt"
+            (Failpoint.Fail "flaky");
+          let r =
+            Engine.await eng
+              (Engine.submit eng
+                 (Job.solve_spec ~id:"flaky" ~eps (Job.Inline inst)))
+          in
+          Alcotest.(check bool) "retried to success" true (certified r));
+      let events = Trace.events trace in
+      Alcotest.(check int) "one retry traced" 1 (count_kind events "job_retry");
+      Alcotest.(check int) "one fault traced" 1 (count_kind events "job_fault"))
+
+let test_retry_budget_exhaustion () =
+  with_failpoints (fun () ->
+      let inst, _ = proj () in
+      Engine.with_engine ~pool:Psdp_parallel.Pool.sequential ~max_in_flight:1
+        ~retry:(fast_retry 5) ~retry_budget:0 (fun eng ->
+          Failpoint.arm "engine.job_attempt" (Failpoint.Fail "always");
+          let r =
+            Engine.await eng
+              (Engine.submit eng
+                 (Job.solve_spec ~id:"j" ~eps (Job.Inline inst)))
+          in
+          (* Budget 0: the policy would allow 5 attempts, but no retry
+             token is granted — the first fault is terminal. *)
+          Alcotest.(check bool) "failed without retry" true
+            (contains_sub (failed_msg r) "always")))
+
+let test_quarantine_after_exact_attempts () =
+  with_failpoints (fun () ->
+      let inst, _ = proj () in
+      let quarantine_after = 3 in
+      with_tempdir (fun dir ->
+          let store = ok_or_fail "open store" (Store.open_store dir) in
+          let trace = Trace.memory () in
+          Fun.protect
+            ~finally:(fun () -> Store.close store)
+            (fun () ->
+              Engine.with_engine ~pool:Psdp_parallel.Pool.sequential
+                ~max_in_flight:1 ~store ~trace ~retry:(fast_retry 3)
+                ~quarantine_after (fun eng ->
+                  (* Poison one job: every attempt faults transiently. *)
+                  Failpoint.arm
+                    ~filter:(fun id -> id = "poison")
+                    "engine.job_attempt" (Failpoint.Fail "always fails");
+                  let poison =
+                    Engine.submit eng
+                      (Job.solve_spec ~id:"poison" ~eps (Job.Inline inst))
+                  in
+                  let healthy =
+                    Engine.submit eng
+                      (Job.solve_spec ~id:"healthy" ~eps (Job.Inline inst))
+                  in
+                  let rp = Engine.await eng poison in
+                  Alcotest.(check bool) "reported quarantined" true
+                    (contains_sub (failed_msg rp) "quarantined after 3 attempts");
+                  Alcotest.(check bool) "healthy job certified" true
+                    (certified (Engine.await eng healthy));
+                  match Engine.quarantined eng with
+                  | [ q ] ->
+                      Alcotest.(check string) "listed" "poison" q.Store.job;
+                      Alcotest.(check int) "exactly N attempts"
+                        quarantine_after q.Store.attempts
+                  | l ->
+                      Alcotest.failf "expected 1 quarantined, got %d"
+                        (List.length l)));
+          let events = Trace.events trace in
+          Alcotest.(check int) "exactly N-1 retries" (quarantine_after - 1)
+            (count_kind events "job_retry");
+          Alcotest.(check int) "quarantine traced" 1
+            (count_kind events "job_quarantined");
+          (* The journal record is intact: a fresh store lists the job
+             as quarantined, and recovery never re-enqueues it. *)
+          Failpoint.reset ();
+          let store = ok_or_fail "reopen" (Store.open_store dir) in
+          Fun.protect
+            ~finally:(fun () -> Store.close store)
+            (fun () ->
+              (match Store.quarantined store with
+              | [ q ] ->
+                  Alcotest.(check string) "journaled job" "poison" q.Store.job;
+                  Alcotest.(check int) "journaled attempts" quarantine_after
+                    q.Store.attempts;
+                  Alcotest.(check bool) "journaled reason" true
+                    (contains_sub q.Store.reason "always fails")
+              | l ->
+                  Alcotest.failf "expected 1 journaled quarantine, got %d"
+                    (List.length l));
+              Engine.with_engine ~pool:Psdp_parallel.Pool.sequential
+                ~max_in_flight:1 ~store (fun eng ->
+                  Alcotest.(check int) "recovery skips quarantined jobs" 0
+                    (List.length (Engine.recover eng))))))
+
+let test_breaker_degrades_to_nondurable () =
+  with_failpoints (fun () ->
+      let inst, _ = proj () in
+      with_tempdir (fun dir ->
+          let store = ok_or_fail "open store" (Store.open_store dir) in
+          let trace = Trace.memory () in
+          Fun.protect
+            ~finally:(fun () -> Store.close store)
+            (fun () ->
+              Engine.with_engine ~pool:Psdp_parallel.Pool.sequential
+                ~max_in_flight:1 ~store ~trace ~checkpoint_every:1
+                ~retry:(fast_retry 2) ~breaker_threshold:2 (fun eng ->
+                  (* Every journal append fails: the breaker must open
+                     and the engine keep solving non-durably. *)
+                  Failpoint.arm "store.append" (Failpoint.Fail "disk gone");
+                  let results =
+                    List.map
+                      (fun i ->
+                        Engine.await eng
+                          (Engine.submit eng
+                             (Job.solve_spec
+                                ~id:(Printf.sprintf "j%d" i)
+                                ~eps (Job.Inline inst))))
+                      [ 1; 2; 3 ]
+                  in
+                  Alcotest.(check bool) "breaker open" true
+                    (Engine.store_degraded eng);
+                  List.iter
+                    (fun r ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s certified despite dead store"
+                           r.Job.id)
+                        true (certified r))
+                    results));
+          let events = Trace.events trace in
+          Alcotest.(check int) "breaker_open traced once" 1
+            (count_kind events "breaker_open");
+          Alcotest.(check bool) "store faults traced" true
+            (count_kind events "store_fault" >= 2)))
+
+(* The ISSUE's chaos acceptance: 50 jobs under a 10% transient
+   store-fault rate plus an nth-hit kernel failure — zero engine
+   crashes, every non-quarantined job certified, and the poison job
+   quarantined after exactly N attempts with its journal record
+   intact. *)
+let test_chaos_batch () =
+  with_failpoints (fun () ->
+      let inst, _ = proj () in
+      let jobs = 50 in
+      (* Matches the retry policy: the poison job exhausts all 5
+         attempts, which is also the quarantine threshold. *)
+      let quarantine_after = 5 in
+      with_tempdir (fun dir ->
+          let store = ok_or_fail "open store" (Store.open_store dir) in
+          Fun.protect
+            ~finally:(fun () -> Store.close store)
+            (fun () ->
+              Engine.with_engine ~pool:Psdp_parallel.Pool.sequential
+                ~max_in_flight:1 ~store ~checkpoint_every:5
+                ~retry:(fast_retry 5) ~quarantine_after (fun eng ->
+                  (* 10% of store writes fault transiently. *)
+                  ok_or_fail "chaos spec"
+                    (Failpoint.arm_spec "store.append=fail@prob:0.1:42");
+                  (* One kernel-level failure partway through the run. *)
+                  Failpoint.arm ~trigger:(Failpoint.Nth 7)
+                    "solver.decision_call" (Failpoint.Fail "kernel hiccup");
+                  (* And one poison job that never succeeds. *)
+                  Failpoint.arm
+                    ~filter:(fun id -> id = "poison")
+                    "engine.job_attempt" (Failpoint.Fail "poison");
+                  let handles =
+                    List.init jobs (fun i ->
+                        Engine.submit eng
+                          (Job.solve_spec
+                             ~id:
+                               (if i = jobs / 2 then "poison"
+                                else Printf.sprintf "chaos-%02d" i)
+                             ~eps (Job.Inline inst)))
+                  in
+                  let results = List.map (Engine.await eng) handles in
+                  let q, ok =
+                    List.partition (fun r -> r.Job.id = "poison") results
+                  in
+                  Alcotest.(check int) "49 healthy jobs" (jobs - 1)
+                    (List.length ok);
+                  List.iter
+                    (fun r ->
+                      Alcotest.(check bool)
+                        (Printf.sprintf "%s certified" r.Job.id)
+                        true (certified r))
+                    ok;
+                  (match q with
+                  | [ r ] ->
+                      Alcotest.(check bool) "poison quarantined" true
+                        (contains_sub (failed_msg r)
+                           "quarantined after 5 attempts")
+                  | _ -> Alcotest.fail "poison job missing");
+                  match Engine.quarantined eng with
+                  | [ q ] ->
+                      Alcotest.(check int) "exactly N attempts"
+                        quarantine_after q.Store.attempts
+                  | l ->
+                      Alcotest.failf "expected 1 quarantined, got %d"
+                        (List.length l)));
+          (* Journal record survives process "restart". *)
+          Failpoint.reset ();
+          let store = ok_or_fail "reopen" (Store.open_store dir) in
+          Fun.protect
+            ~finally:(fun () -> Store.close store)
+            (fun () ->
+              match Store.quarantined store with
+              | [ q ] -> Alcotest.(check string) "intact" "poison" q.Store.job
+              | l ->
+                  Alcotest.failf "expected 1 journaled quarantine, got %d"
+                    (List.length l))))
+
+let () =
+  Alcotest.run "psdp_fault"
+    [
+      ( "failpoint",
+        [
+          Alcotest.test_case "unarmed no-op" `Quick
+            test_failpoint_unarmed_is_noop;
+          Alcotest.test_case "always fires" `Quick test_failpoint_always_fires;
+          Alcotest.test_case "nth trigger" `Quick test_failpoint_nth_trigger;
+          Alcotest.test_case "filter" `Quick test_failpoint_filter;
+          Alcotest.test_case "prob deterministic" `Quick
+            test_failpoint_prob_deterministic;
+          Alcotest.test_case "crash and delay" `Quick
+            test_failpoint_crash_and_delay;
+          Alcotest.test_case "corrupt data" `Quick test_failpoint_corrupt_data;
+          Alcotest.test_case "arm_spec parsing" `Quick test_failpoint_arm_spec;
+        ] );
+      ( "taxonomy",
+        [ Alcotest.test_case "classify + tallies" `Quick test_fault_classify ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff bounds" `Quick test_retry_backoff_bounds;
+          Alcotest.test_case "budget" `Quick test_retry_budget;
+        ] );
+      ( "breaker",
+        [ Alcotest.test_case "transitions" `Quick test_breaker_transitions ] );
+      ( "engine",
+        [
+          Alcotest.test_case "supervision restarts runner" `Quick
+            test_supervision_restarts_runner;
+          Alcotest.test_case "transient retry succeeds" `Quick
+            test_transient_retry_succeeds;
+          Alcotest.test_case "retry budget exhaustion" `Quick
+            test_retry_budget_exhaustion;
+          Alcotest.test_case "quarantine after exact attempts" `Quick
+            test_quarantine_after_exact_attempts;
+          Alcotest.test_case "breaker degrades to non-durable" `Quick
+            test_breaker_degrades_to_nondurable;
+        ] );
+      ("chaos", [ Alcotest.test_case "50-job batch" `Slow test_chaos_batch ]);
+    ]

@@ -286,6 +286,18 @@ let test_loader_rejects_garbage () =
       "psdp-instance v1\ndim x\n";
       "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 1 1\n0 0\n";
       "psdp-instance v1\ndim 3\nconstraints 2\nfactor 0 3 1 1\n0 0 1.0\n";
+      (* Bounds and finiteness validation. *)
+      "psdp-instance v1\ndim 0\n";
+      "psdp-instance v1\ndim -4\n";
+      "psdp-instance v1\ndim 3\nconstraints 0\n";
+      "psdp-instance v1\ndim 3\nconstraints -1\n";
+      "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 1 -2\n";
+      "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 1 9\n";
+      "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 0 0\n";
+      "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 1 1\n3 0 1.0\n";
+      "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 1 1\n0 1 1.0\n";
+      "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 1 1\n0 0 nan\n";
+      "psdp-instance v1\ndim 3\nconstraints 1\nfactor 0 3 1 1\n0 0 inf\n";
     ]
 
 let test_loader_comments_and_blanks () =

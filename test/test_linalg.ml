@@ -192,6 +192,41 @@ let test_cholesky_pivoted_zero_and_indefinite () =
   | (_ : Mat.t * int) -> Alcotest.fail "factored an indefinite matrix"
   | exception Cholesky.Not_positive_definite _ -> ()
 
+let test_factor_robust_pd_no_shift () =
+  let rng = Rng.create 43 in
+  let a = random_psd rng 6 in
+  let l, shift = Cholesky.factor_robust a in
+  Alcotest.(check (float 0.0)) "no shift needed" 0.0 shift;
+  Alcotest.(check bool) "LL^T = A" true
+    (Mat.equal ~tol:1e-7 (Mat.mul l (Mat.transpose l)) a)
+
+let test_factor_robust_near_singular_shifts () =
+  (* Full-rank but numerically borderline: diag(1, 1e-12). The plain
+     factorization at working tolerance 1e-10 fails, the robust one
+     absorbs it with a small positive diagonal shift (the rank probe
+     at 1e-13 still sees full rank). *)
+  let a = Mat.of_rows [| [| 1.0; 0.0 |]; [| 0.0; 1e-12 |] |] in
+  (match Cholesky.factor a with
+  | (_ : Mat.t) -> ()
+  | exception Cholesky.Not_positive_definite _ -> ());
+  let l, shift = Cholesky.factor_robust ~eps:1e-10 a in
+  Alcotest.(check bool) "positive shift" true (shift > 0.0);
+  let shifted = Mat.add a (Mat.scale shift (Mat.identity 2)) in
+  Alcotest.(check bool) "LL^T = A + shift*I" true
+    (Mat.equal ~tol:1e-7 (Mat.mul l (Mat.transpose l)) shifted)
+
+let test_factor_robust_rejects_rank_deficient () =
+  (* Genuinely rank-deficient inputs are not papered over: the caller
+     must still see Not_positive_definite. *)
+  let a = Mat.outer [| 1.0; 0.0; 0.0 |] in
+  (match Cholesky.factor_robust a with
+  | (_ : Mat.t * float) -> Alcotest.fail "factored a rank-1 matrix"
+  | exception Cholesky.Not_positive_definite _ -> ());
+  let indef = Mat.of_rows [| [| 1.0; 2.0 |]; [| 2.0; 1.0 |] |] in
+  match Cholesky.factor_robust indef with
+  | (_ : Mat.t * float) -> Alcotest.fail "factored an indefinite matrix"
+  | exception Cholesky.Not_positive_definite _ -> ()
+
 let test_cholesky_is_psd () =
   let rng = Rng.create 41 in
   let a = random_psd rng 6 in
@@ -570,6 +605,12 @@ let () =
           Alcotest.test_case "pivoted zero/indefinite" `Quick
             test_cholesky_pivoted_zero_and_indefinite;
           Alcotest.test_case "is_psd" `Quick test_cholesky_is_psd;
+          Alcotest.test_case "robust: PD no shift" `Quick
+            test_factor_robust_pd_no_shift;
+          Alcotest.test_case "robust: near-singular shifts" `Quick
+            test_factor_robust_near_singular_shifts;
+          Alcotest.test_case "robust: rejects rank-deficient" `Quick
+            test_factor_robust_rejects_rank_deficient;
         ] );
       ("qr", [ Alcotest.test_case "reconstruct" `Quick test_qr_reconstruct ]);
       ( "eig",

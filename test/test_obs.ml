@@ -294,7 +294,42 @@ let test_trace_summary_of_events () =
   Alcotest.(check (list (pair string int)))
     "cache counts"
     [ ("miss", 1) ]
-    s.Trace_summary.cache
+    s.Trace_summary.cache;
+  Alcotest.(check (list (pair string int)))
+    "no fault events, no fault counts" []
+    s.Trace_summary.faults
+
+let test_trace_summary_fault_counts () =
+  let ev t kind fields =
+    Json.Obj ([ ("t", Json.Num t); ("kind", Json.Str kind) ] @ fields)
+  in
+  let events =
+    [
+      ev 0.0 "engine_started" [];
+      ev 0.1 "job_fault" [ ("job", Json.Str "j1"); ("class", Json.Str "transient") ];
+      ev 0.2 "job_retry" [ ("job", Json.Str "j1") ];
+      ev 0.3 "job_fault" [ ("job", Json.Str "j1"); ("class", Json.Str "transient") ];
+      ev 0.4 "job_retry" [ ("job", Json.Str "j1") ];
+      ev 0.5 "store_fault" [ ("op", Json.Str "append") ];
+      ev 0.6 "breaker_open" [];
+      ev 0.7 "runner_restarted" [ ("error", Json.Str "boom") ];
+      ev 0.8 "job_quarantined" [ ("job", Json.Str "j2") ];
+      ev 0.9 "sketch_resample" [ ("job", Json.Str "j3") ];
+    ]
+  in
+  let s = Trace_summary.of_events events in
+  Alcotest.(check (list (pair string int)))
+    "fault counts in canonical order"
+    [
+      ("job_fault", 2); ("job_retry", 2); ("job_quarantined", 1);
+      ("store_fault", 1); ("breaker_open", 1); ("runner_restarted", 1);
+      ("sketch_resample", 1);
+    ]
+    s.Trace_summary.faults;
+  (* Rendered report includes the faults section. *)
+  let text = Format.asprintf "%a" Trace_summary.pp s in
+  Alcotest.(check bool) "report has faults line" true
+    (contains_substring text "faults:")
 
 let test_trace_summary_rejects_malformed () =
   match Trace_summary.of_lines [ {|{"t":0,"kind":"cache"}|}; "{oops" ] with
@@ -509,6 +544,8 @@ let () =
       ( "trace-summary",
         [
           Alcotest.test_case "of_events" `Quick test_trace_summary_of_events;
+          Alcotest.test_case "fault counts" `Quick
+            test_trace_summary_fault_counts;
           Alcotest.test_case "rejects malformed lines" `Quick
             test_trace_summary_rejects_malformed;
         ] );

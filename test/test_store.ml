@@ -10,6 +10,7 @@ open Psdp_core
 open Psdp_instances
 open Psdp_store
 open Psdp_engine
+module Failpoint = Psdp_fault.Failpoint
 
 let mktempdir () =
   let path = Filename.temp_file "psdp_store" "" in
@@ -188,37 +189,43 @@ let test_snapshot_save_load () =
 (* ------------------------------------------------------------------ *)
 (* Atomic writes under injected crashes *)
 
-exception Boom
-
 let test_atomic_write_kill_points () =
   with_tempdir (fun dir ->
       let path = Filename.concat dir "target" in
       Atomic_io.write_atomic path "original";
       let crash_at point =
-        Atomic_io.set_kill_hook
-          (Some (fun p _ -> if p = point then raise Boom));
+        Failpoint.arm point (Failpoint.Fail "boom");
         Fun.protect
-          ~finally:(fun () -> Atomic_io.set_kill_hook None)
+          ~finally:(fun () -> Failpoint.reset ())
           (fun () ->
             match Atomic_io.write_atomic path "replacement" with
-            | () -> Alcotest.fail "kill hook did not fire"
-            | exception Boom -> ())
+            | () -> Alcotest.fail "failpoint did not fire"
+            | exception Failpoint.Injected _ -> ())
       in
       (* Crash before/after writing the temp file: target untouched. *)
-      crash_at Atomic_io.Kill_before_write;
+      crash_at "store.write.before";
       Alcotest.(check string) "before_write: old content intact" "original"
         (ok_or_fail "read" (Atomic_io.read_file path));
-      crash_at Atomic_io.Kill_after_write;
+      crash_at "store.write.after_write";
       Alcotest.(check string) "after_write: old content intact" "original"
         (ok_or_fail "read" (Atomic_io.read_file path));
       (* Crash after the rename: new content fully in place. *)
-      crash_at Atomic_io.Kill_after_rename;
+      crash_at "store.write.after_rename";
       Alcotest.(check string) "after_rename: new content" "replacement"
         (ok_or_fail "read" (Atomic_io.read_file path));
       (* Never a torn mix, and a clean retry succeeds. *)
       Atomic_io.write_atomic path "final";
       Alcotest.(check string) "clean write" "final"
-        (ok_or_fail "read" (Atomic_io.read_file path)))
+        (ok_or_fail "read" (Atomic_io.read_file path));
+      (* A corrupt-bytes failpoint at the data point flips one byte:
+         the write completes but the payload differs. *)
+      Failpoint.arm "store.write.data" Failpoint.Corrupt;
+      Fun.protect
+        ~finally:(fun () -> Failpoint.reset ())
+        (fun () ->
+          Atomic_io.write_atomic path "untainted";
+          Alcotest.(check bool) "payload corrupted in flight" true
+            (ok_or_fail "read" (Atomic_io.read_file path) <> "untainted")))
 
 (* ------------------------------------------------------------------ *)
 (* Journal *)
@@ -230,6 +237,7 @@ let journal_samples =
     Journal.Checkpoint { job = "j1"; call = 3; snapshot = "snapshots/j1.snap" };
     Journal.Completed { job = "j1"; status = "ok" };
     Journal.Cancelled { job = "j2"; reason = "timeout" };
+    Journal.Quarantined { job = "j3"; reason = "poison"; attempts = 3 };
   ]
 
 let test_journal_line_roundtrip () =
@@ -345,6 +353,40 @@ let test_store_pending_lifecycle () =
           .Store.snapshot;
       Store.close store)
 
+let test_store_quarantine_listing () =
+  with_tempdir (fun dir ->
+      let store = ok_or_fail "open" (Store.open_store dir) in
+      Store.append store (submit_record "poison");
+      Store.append store
+        (Journal.Quarantined
+           { job = "poison"; reason = "always fails"; attempts = 3 });
+      Store.append store (submit_record "healthy");
+      Store.close store;
+      let store = ok_or_fail "reopen" (Store.open_store dir) in
+      (* Quarantine is terminal for recovery: the job leaves pending. *)
+      Alcotest.(check (list string))
+        "quarantined job not pending" [ "healthy" ]
+        (List.map (fun (p : Store.pending) -> p.Store.job)
+           (Store.pending store));
+      (match Store.quarantined store with
+      | [ q ] ->
+          Alcotest.(check string) "job listed" "poison" q.Store.job;
+          Alcotest.(check string) "reason kept" "always fails" q.Store.reason;
+          Alcotest.(check int) "attempts kept" 3 q.Store.attempts
+      | l -> Alcotest.failf "expected one quarantined job, got %d"
+               (List.length l));
+      (* A deliberate re-submission releases the job from quarantine. *)
+      Store.append store (submit_record "poison");
+      Store.close store;
+      let store = ok_or_fail "reopen 2" (Store.open_store dir) in
+      Alcotest.(check int) "released from quarantine" 0
+        (List.length (Store.quarantined store));
+      Alcotest.(check bool) "pending again" true
+        (List.exists
+           (fun (p : Store.pending) -> p.Store.job = "poison")
+           (Store.pending store));
+      Store.close store)
+
 let test_store_snapshot_files_and_tmp_sweep () =
   with_tempdir (fun dir ->
       let store = ok_or_fail "open" (Store.open_store dir) in
@@ -415,14 +457,10 @@ let run_store_engine ?(trace = Trace.null) dir f =
 
 (* Kill the store on the [n]-th snapshot write, at the given point. *)
 let arm_snapshot_kill point n =
-  let writes = ref 0 in
-  Atomic_io.set_kill_hook
-    (Some
-       (fun p path ->
-         if p = point && Filename.check_suffix path ".snap" then begin
-           incr writes;
-           if !writes = n then raise Boom
-         end))
+  Failpoint.arm ~trigger:(Failpoint.Nth n)
+    ~filter:(fun path -> Filename.check_suffix path ".snap")
+    point
+    (Failpoint.Fail "snapshot write crash")
 
 let eps = 0.2
 
@@ -439,7 +477,7 @@ let crash_recover_at point ~kill_after =
       (* Phase 1: crash mid-solve. *)
       let r1 =
         Fun.protect
-          ~finally:(fun () -> Atomic_io.set_kill_hook None)
+          ~finally:(fun () -> Failpoint.reset ())
           (fun () ->
             arm_snapshot_kill point kill_after;
             run_store_engine dir (fun eng ->
@@ -486,7 +524,7 @@ let crash_recover_at point ~kill_after =
 
 let test_crash_before_write () =
   let events, s =
-    crash_recover_at Atomic_io.Kill_before_write ~kill_after:2
+    crash_recover_at "store.write.before" ~kill_after:2
   in
   (* The first snapshot survived, so recovery resumes rather than
      restarting: the resumed run's counters continue past the crash
@@ -496,17 +534,17 @@ let test_crash_before_write () =
     (s.calls > 1)
 
 let test_crash_after_write () =
-  ignore (crash_recover_at Atomic_io.Kill_after_write ~kill_after:2)
+  ignore (crash_recover_at "store.write.after_write" ~kill_after:2)
 
 let test_crash_after_rename () =
   (* Snapshot file landed but the journal checkpoint record did not; the
      deterministic snapshot path still lets recovery find it. *)
-  ignore (crash_recover_at Atomic_io.Kill_after_rename ~kill_after:2)
+  ignore (crash_recover_at "store.write.after_rename" ~kill_after:2)
 
 let test_crash_on_first_snapshot () =
   (* Crash before any snapshot lands: recovery reruns from scratch. *)
   let events, _ =
-    crash_recover_at Atomic_io.Kill_before_write ~kill_after:1
+    crash_recover_at "store.write.before" ~kill_after:1
   in
   Alcotest.(check int) "no resume without a snapshot" 0
     (count_kind events "resume")
@@ -731,6 +769,8 @@ let () =
         [
           Alcotest.test_case "pending lifecycle" `Quick
             test_store_pending_lifecycle;
+          Alcotest.test_case "quarantine listing" `Quick
+            test_store_quarantine_listing;
           Alcotest.test_case "snapshot files + tmp sweep" `Quick
             test_store_snapshot_files_and_tmp_sweep;
         ] );
