@@ -1,0 +1,74 @@
+(* EXP14: conformance-harness throughput and oracle overhead.
+
+   The QA layer's value is checks per second: a nightly `psdp fuzz
+   --budget 300s` only earns its keep if a budget that size covers
+   hundreds of sampled instances. Two measurements:
+
+   - campaign throughput: a clean, time-unboxed campaign over the
+     default property set, reporting cases/s and checks/s — the number
+     to read a fuzz budget against;
+   - per-oracle cost on one representative spec, as a multiple of the
+     raw exact [Solver.solve_packing] on the same instance. Every
+     differential oracle runs the solver at least twice (plus its own
+     verification), so multiples in the low single digits mean the
+     harness adds little beyond the solves it fundamentally needs. *)
+
+open Psdp_prelude
+open Psdp_core
+open Psdp_qa
+
+let rep_spec =
+  { Spec.family = Spec.Diagonal_identities; dim = 4; n = 4; seed = 5 }
+
+let run ~quick () =
+  Bench_util.section "EXP14: QA conformance harness (lib/qa)";
+  let max_cases = if quick then 2 else 12 in
+  let reg = Psdp_obs.Metrics.create () in
+  let config =
+    {
+      Fuzz.default with
+      Fuzz.seed = 14;
+      budget = 0.0;
+      max_cases;
+      registry = Some reg;
+    }
+  in
+  let outcome =
+    match Fuzz.run config with
+    | Ok o -> o
+    | Error msg -> failwith ("EXP14: " ^ msg)
+  in
+  Printf.printf
+    "campaign: %d cases, %d checks in %.2fs  (%.1f cases/s, %.1f checks/s)\n"
+    outcome.Fuzz.cases outcome.Fuzz.checks outcome.Fuzz.elapsed
+    (float_of_int outcome.Fuzz.cases /. outcome.Fuzz.elapsed)
+    (float_of_int outcome.Fuzz.checks /. outcome.Fuzz.elapsed);
+  if outcome.Fuzz.failures <> [] then
+    Printf.printf "WARNING: clean campaign produced %d failures\n"
+      (List.length outcome.Fuzz.failures);
+  (* Oracle overhead relative to one raw exact solve. *)
+  let inst, _ = Spec.build rep_spec in
+  let repeats = if quick then 3 else 5 in
+  let _, t_solve =
+    Timer.time_median ~repeats (fun () ->
+        ignore (Solver.solve_packing ~eps:Oracle.eps inst))
+  in
+  Printf.printf "\nraw exact solve on %s: %.3fms (median of %d)\n"
+    (Spec.to_string rep_spec) (1e3 *. t_solve) repeats;
+  Printf.printf "%-26s %12s %10s\n" "oracle" "median (ms)" "x solve";
+  List.iter
+    (fun (p : Property.t) ->
+      if p.Property.applies rep_spec then begin
+        let _, t =
+          Timer.time_median ~repeats (fun () ->
+              match p.Property.check rep_spec with
+              | Ok () -> ()
+              | Error msg ->
+                  failwith
+                    (Printf.sprintf "EXP14: %s failed: %s" p.Property.name msg))
+        in
+        Printf.printf "%-26s %12.3f %10.2f\n" p.Property.name (1e3 *. t)
+          (t /. t_solve)
+      end)
+    Property.all;
+  outcome.Fuzz.checks

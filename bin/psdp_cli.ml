@@ -742,13 +742,190 @@ let trace_group_cmd =
     (Cmd.info "trace" ~doc:"Analytics over JSONL telemetry traces.")
     [ summarize_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* fuzz — property-based conformance campaigns (lib/qa) *)
+
+let budget_conv =
+  let parse s =
+    let num str =
+      match float_of_string_opt str with
+      | Some v when v >= 0.0 && Float.is_finite v -> Ok v
+      | _ -> Error (`Msg (Printf.sprintf "bad budget %S (try 300s or 5m)" s))
+    in
+    let n = String.length s in
+    if n = 0 then Error (`Msg "empty budget")
+    else
+      match s.[n - 1] with
+      | 's' -> num (String.sub s 0 (n - 1))
+      | 'm' -> Result.map (fun v -> 60.0 *. v) (num (String.sub s 0 (n - 1)))
+      | _ -> num s
+  in
+  let print ppf v = Format.fprintf ppf "%gs" v in
+  Arg.conv (parse, print)
+
+let fuzz_cmd =
+  let budget_arg =
+    let doc =
+      "Wall-clock budget for the campaign: $(i,SECONDS), $(i,N)s or \
+       $(i,N)m. 0 disables the time box (only $(b,--max-cases) bounds \
+       the run)."
+    in
+    Arg.(value & opt budget_conv 10.0 & info [ "budget" ] ~docv:"DURATION" ~doc)
+  in
+  let max_cases_arg =
+    let doc = "Stop after sampling this many instance specs." in
+    Arg.(value & opt int 200 & info [ "max-cases" ] ~docv:"N" ~doc)
+  in
+  let corpus_arg =
+    let doc =
+      "JSONL failure corpus: previously distilled failures are replayed \
+       as regressions at campaign start, and fresh failures are appended \
+       (shrunk, deduplicated by content id)."
+    in
+    Arg.(
+      value
+      & opt string "psdp-fuzz-corpus.jsonl"
+      & info [ "corpus" ] ~docv:"FILE" ~doc)
+  in
+  let props_arg =
+    let doc =
+      "Comma-separated property names to run (default: all; see \
+       $(b,--list-props))."
+    in
+    Arg.(value & opt (list string) [] & info [ "props" ] ~docv:"NAMES" ~doc)
+  in
+  let list_props_arg =
+    let doc = "List the registered conformance properties and exit." in
+    Arg.(value & flag & info [ "list-props" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay one corpus entry by id (or unique id prefix) under its \
+       recorded failpoints instead of running a campaign. Exits 1 when \
+       the failure reproduces, 0 when it no longer does."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"ID" ~doc)
+  in
+  let fuzz_seed_arg =
+    let doc =
+      "Campaign seed (drives spec sampling; every failure is replayable \
+       independently of it). Also read from $(b,SEED), which is how the \
+       printed replay one-liners pass it along."
+    in
+    Arg.(
+      value
+      & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~env:(Cmd.Env.info "SEED") ~doc)
+  in
+  let run budget max_cases corpus props list_props replay seed failpoints
+      metrics_path verbosity =
+    setup_logs verbosity;
+    if list_props then begin
+      List.iter
+        (fun (p : Psdp_qa.Property.t) ->
+          Printf.printf "%-26s %s\n" p.Psdp_qa.Property.name
+            p.Psdp_qa.Property.doc)
+        Psdp_qa.Property.all;
+      exit 0
+    end;
+    let obs = make_obs metrics_path in
+    let registry = Option.map (fun (_, reg, _) -> reg) obs in
+    let finish code =
+      (match obs with
+      | None -> ()
+      | Some (path, reg, _) -> write_metrics path reg);
+      exit code
+    in
+    match replay with
+    | Some id -> (
+        match Psdp_qa.Fuzz.replay ?registry ~corpus ~id () with
+        | Error msg ->
+            Printf.eprintf "psdp fuzz: %s\n" msg;
+            finish exit_bad_input
+        | Ok (Psdp_qa.Fuzz.Reproduced msg, entry) ->
+            Printf.printf "reproduced %s: %s on %s\n  %s\n"
+              entry.Psdp_qa.Corpus.id entry.Psdp_qa.Corpus.prop
+              (Psdp_qa.Spec.to_string entry.Psdp_qa.Corpus.spec)
+              msg;
+            finish exit_infeasible
+        | Ok (Psdp_qa.Fuzz.Not_reproduced, entry) ->
+            Printf.printf "not reproduced: %s (%s) now passes\n"
+              entry.Psdp_qa.Corpus.id entry.Psdp_qa.Corpus.prop;
+            finish 0)
+    | None -> (
+        match Psdp_qa.Property.select props with
+        | Error msg ->
+            Printf.eprintf "psdp fuzz: %s\n" msg;
+            finish exit_bad_input
+        | Ok props -> (
+            let config =
+              {
+                Psdp_qa.Fuzz.default with
+                Psdp_qa.Fuzz.seed;
+                budget;
+                max_cases;
+                props;
+                corpus_path = Some corpus;
+                failpoint_specs = failpoints;
+                registry;
+                log = prerr_endline;
+              }
+            in
+            match Psdp_qa.Fuzz.run config with
+            | Error msg ->
+                Printf.eprintf "psdp fuzz: %s\n" msg;
+                finish exit_bad_input
+            | Ok o ->
+                let failed =
+                  List.length o.Psdp_qa.Fuzz.failures
+                  + List.length o.Psdp_qa.Fuzz.regressions
+                in
+                Printf.printf
+                  "fuzz: %d cases, %d checks in %.1fs; %d new failures, %d \
+                   regressions\n"
+                  o.Psdp_qa.Fuzz.cases o.Psdp_qa.Fuzz.checks
+                  o.Psdp_qa.Fuzz.elapsed
+                  (List.length o.Psdp_qa.Fuzz.failures)
+                  (List.length o.Psdp_qa.Fuzz.regressions);
+                finish (if failed > 0 then exit_infeasible else 0)))
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~exits:solver_exits
+       ~doc:
+         "Run a property-based conformance campaign (differential oracles \
+          + metamorphic invariants) with deterministic shrinking and a \
+          replayable failure corpus."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Samples instance specs from the campaign seed and checks \
+              every applicable conformance property: solver backends must \
+              produce intersecting certified brackets, diagonal SDPs must \
+              agree with the scalar LP solver, families with closed-form \
+              optima must bracket them, and the optimum must be invariant \
+              under constraint scaling, permutation and orthogonal \
+              congruence. Failures are shrunk to minimal specs and \
+              appended to the JSONL corpus together with a $(b,SEED=... \
+              psdp fuzz --replay ID) one-liner that reproduces them \
+              byte-for-byte.";
+           `P
+             "With $(b,--failpoint), the named fault-injection points are \
+              re-armed before every check, so chaos campaigns are as \
+              replayable as clean ones.";
+         ])
+    Term.(
+      const run $ budget_arg $ max_cases_arg $ corpus_arg $ props_arg
+      $ list_props_arg $ replay_arg $ fuzz_seed_arg $ failpoint_arg
+      $ metrics_file_arg $ verbose_arg)
+
 let main =
   let doc = "width-independent parallel positive SDP solver (SPAA'12)" in
   Cmd.group
     (Cmd.info "psdp" ~version:"1.0.0" ~doc)
     [
       gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd; batch_cmd;
-      serve_cmd; resume_cmd; trace_group_cmd;
+      serve_cmd; resume_cmd; trace_group_cmd; fuzz_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -14,6 +14,24 @@ type evaluation = {
 
 type t = ?span:Profiler.span -> float array -> evaluation
 
+(* Fault-injection sites for the QA differential oracles: when armed,
+   the named point sees the first gradient dot product as a data payload
+   and may corrupt it, silently breaking exactly one backend. Unarmed
+   cost is one atomic load. *)
+let tamper_dots point dots =
+  if Array.length dots > 0 && Psdp_fault.Failpoint.is_armed point then begin
+    let raw = Printf.sprintf "%.17g" dots.(0) in
+    let seen = Psdp_fault.Failpoint.with_data point raw in
+    if not (String.equal seen raw) then
+      dots.(0) <-
+        (match float_of_string_opt seen with
+        (* A byte flip can yield an unparseable literal; perturb
+           deterministically so the corruption never goes unnoticed. *)
+        | Some v when Float.is_finite v -> v
+        | Some _ | None -> (-1.0) -. dots.(0))
+  end;
+  dots
+
 let exact inst =
   let mats = Instance.dense_mats inst in
   let m = Instance.dim inst in
@@ -28,6 +46,7 @@ let exact inst =
       Profiler.with_span span "gram" (fun () ->
           Array.map (fun a -> Mat.dot a w) mats)
     in
+    let dots = tamper_dots "evaluator.dots.exact" dots in
     { dots; trace_w = Mat.trace w; degree = 0; w = Some w }
 
 let sketched ?pool inst ~params ~seed ~sketch_dim =
@@ -67,6 +86,7 @@ let sketched ?pool inst ~params ~seed ~sketch_dim =
         ~matvec:(Weighted_gram.apply ?pool gram)
         ~dim:m ~kappa ~eps:(params.Params.eps /. 2.0) ~sketch factors
     in
+    let dots = tamper_dots "evaluator.dots.sketched" dots in
     { dots; trace_w = trace_estimate; degree; w = None }
 
 let create ?pool ~backend ~params inst =

@@ -60,6 +60,9 @@ let armed () =
   locked (fun () ->
       List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) table []))
 
+let is_armed name =
+  Atomic.get armed_count > 0 && locked (fun () -> Hashtbl.mem table name)
+
 (* Decide (under the lock) whether the point fires; the action itself is
    performed by the caller outside the lock, so a Delay never stalls
    other failpoint evaluations. *)

@@ -21,6 +21,11 @@
     - ["expm.eval"] — every sketched exponential kernel evaluation
     - ["engine.job_attempt"] — start of every engine job attempt
       (argument: the job id — filter on it to poison one job)
+    - ["evaluator.dots.exact"], ["evaluator.dots.sketched"] — the first
+      gradient dot product each oracle evaluation produces, per backend
+      (data point: supports [Corrupt]); arming exactly one of these is
+      how the QA self-test breaks a single solver backend and checks
+      that the differential oracle notices
 
     The registry is global and domain-safe. Trigger counters are
     per-point and survive re-arming only through {!reset}. *)
@@ -86,6 +91,11 @@ val fired : string -> int
 
 val armed : unit -> string list
 (** Names currently armed, sorted. *)
+
+val is_armed : string -> bool
+(** Whether [name] is armed right now — a cheap pre-check that lets hot
+    paths skip building a {!with_data} payload when no fault is
+    injected. A single atomic load when nothing at all is armed. *)
 
 val arm_spec : string -> (unit, string) result
 (** Parse and arm one CLI chaos spec: [NAME=ACTION[@TRIGGER]] with

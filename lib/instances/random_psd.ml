@@ -49,3 +49,22 @@ let with_width ~rng ~dim ~n ~width =
      family stays comparable across the ramp. *)
   factors.(0) <- Factored.scale width factors.(0);
   Psdp_core.Instance.of_factors factors
+
+let conditioned ~rng ~dim ~n ~cond () =
+  if dim < 1 || n < 1 then invalid_arg "Random_psd.conditioned: dim, n >= 1";
+  if cond < 1.0 then invalid_arg "Random_psd.conditioned: cond >= 1";
+  let module Mat = Psdp_linalg.Mat in
+  let module Qr = Psdp_linalg.Qr in
+  (* Shared spectrum, log-spaced on [1/cond, 1]. *)
+  let sqrt_lambda =
+    Array.init dim (fun i ->
+        let t = if dim = 1 then 0.0 else float_of_int i /. float_of_int (dim - 1) in
+        exp (-0.5 *. t *. log cond))
+  in
+  let constraint_ () =
+    let u = Qr.orthonormal_columns (Mat.init dim dim (fun _ _ -> Rng.gaussian rng)) in
+    (* Factor U·diag(√λ): then A = (U√Λ)(U√Λ)ᵀ = U Λ Uᵀ with κ(A) = cond. *)
+    let f = Mat.init dim dim (fun i j -> Mat.get u i j *. sqrt_lambda.(j)) in
+    Factored.of_dense_factor f
+  in
+  Psdp_core.Instance.of_factors (Array.init n (fun _ -> constraint_ ()))

@@ -29,3 +29,16 @@ val with_width :
     matrices normalized to [λmax ≈ 1], except one "heavy" constraint
     scaled to [λmax = width]. OPT stays within a constant factor across
     the ramp while the width parameter grows as requested. *)
+
+val conditioned :
+  rng:Psdp_prelude.Rng.t ->
+  dim:int ->
+  n:int ->
+  cond:float ->
+  unit ->
+  Psdp_core.Instance.t
+(** Full-rank constraints with a prescribed condition number: each
+    [Aᵢ = Uᵢ Λ Uᵢᵀ] where [Uᵢ] is a Haar-ish random orthonormal basis
+    (QR of a Gaussian matrix) and [Λ] is log-spaced on [[1/cond, 1]] —
+    the conformance harness's knob for probing eigensolver and
+    exponential-kernel accuracy at [κ = cond]. *)

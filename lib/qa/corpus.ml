@@ -1,0 +1,129 @@
+open Psdp_prelude
+
+type entry = {
+  id : string;
+  prop : string;
+  spec : Spec.t;
+  failpoints : string list;
+  message : string;
+  shrink_steps : int;
+}
+
+let id_of ~prop ~spec ~failpoints =
+  let canonical =
+    String.concat "|" (prop :: Spec.to_string spec :: failpoints)
+  in
+  String.sub (Digest.to_hex (Digest.string canonical)) 0 12
+
+let make ~prop ~spec ~failpoints ~message ~shrink_steps =
+  { id = id_of ~prop ~spec ~failpoints; prop; spec; failpoints; message; shrink_steps }
+
+let to_json e =
+  Json.Obj
+    [
+      ("id", Json.Str e.id);
+      ("prop", Json.Str e.prop);
+      ("spec", Spec.to_json e.spec);
+      ("failpoints", Json.List (List.map (fun s -> Json.Str s) e.failpoints));
+      ("message", Json.Str e.message);
+      ("shrink_steps", Json.Num (float_of_int e.shrink_steps));
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.mem name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "corpus entry: missing or bad field %S" name)
+  in
+  let* id = field "id" Json.str in
+  let* prop = field "prop" Json.str in
+  let* spec_json =
+    match Json.mem "spec" j with
+    | Some s -> Ok s
+    | None -> Error "corpus entry: missing field \"spec\""
+  in
+  let* spec = Spec.of_json spec_json in
+  let* failpoints =
+    match Option.bind (Json.mem "failpoints" j) Json.list with
+    | None -> Ok []
+    | Some items ->
+        let rec strs acc = function
+          | [] -> Ok (List.rev acc)
+          | it :: tl -> (
+              match Json.str it with
+              | Some s -> strs (s :: acc) tl
+              | None -> Error "corpus entry: non-string failpoint spec")
+        in
+        strs [] items
+  in
+  let* message = field "message" Json.str in
+  let* shrink_steps =
+    match Json.mem "shrink_steps" j with
+    | None -> Ok 0
+    | Some v -> (
+        match Json.int v with
+        | Some i -> Ok i
+        | None -> Error "corpus entry: bad field \"shrink_steps\"")
+  in
+  Ok { id; prop; spec; failpoints; message; shrink_steps }
+
+let append path e =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json e));
+      output_char oc '\n')
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            lines := input_line ic :: !lines
+          done
+        with End_of_file -> ());
+    let ( let* ) = Result.bind in
+    let rec decode acc lineno = function
+      | [] -> Ok (List.rev acc)
+      | line :: tl ->
+          if String.trim line = "" then decode acc (lineno + 1) tl
+          else
+            let* j =
+              Result.map_error
+                (fun e -> Printf.sprintf "%s:%d: %s" path lineno e)
+                (Json.parse line)
+            in
+            let* e =
+              Result.map_error
+                (fun e -> Printf.sprintf "%s:%d: %s" path lineno e)
+                (of_json j)
+            in
+            decode (e :: acc) (lineno + 1) tl
+    in
+    decode [] 1 (List.rev !lines)
+  end
+
+let find ~entries id =
+  match List.find_opt (fun e -> e.id = id) entries with
+  | Some e -> Some e
+  | None ->
+      if String.length id < 4 then None
+      else begin
+        let prefixed =
+          List.filter
+            (fun e ->
+              String.length e.id >= String.length id
+              && String.sub e.id 0 (String.length id) = id)
+            entries
+        in
+        match prefixed with [ e ] -> Some e | _ -> None
+      end

@@ -1,0 +1,49 @@
+(** Persistent failure corpus — JSONL, one entry per distilled failure.
+
+    Every campaign failure is shrunk and then appended here; the same
+    file is re-ingested at the start of the next campaign (regression
+    pass) and addressed by {!Fuzz.replay}. Entries are self-contained:
+    the spec, the property name and the exact failpoint arm-specs that
+    were active are enough to reproduce the failure byte-for-byte,
+    because every layer underneath (instance generation, the solvers,
+    the failpoint trigger streams) is deterministic in its seeds. *)
+
+type entry = {
+  id : string;
+      (** content hash of (prop, spec, failpoints) — stable across
+          campaigns, so duplicates dedupe naturally *)
+  prop : string;  (** {!Property.t} name *)
+  spec : Spec.t;  (** the (shrunk) failing instance spec *)
+  failpoints : string list;
+      (** [Psdp_fault.Failpoint.arm_spec] strings active during the
+          check ([[]] for organic failures) *)
+  message : string;  (** the oracle's failure message *)
+  shrink_steps : int;  (** how many shrink steps distilled the spec *)
+}
+
+val id_of : prop:string -> spec:Spec.t -> failpoints:string list -> string
+(** 12-hex-char digest of the canonical content. *)
+
+val make :
+  prop:string ->
+  spec:Spec.t ->
+  failpoints:string list ->
+  message:string ->
+  shrink_steps:int ->
+  entry
+
+val to_json : entry -> Psdp_prelude.Json.t
+val of_json : Psdp_prelude.Json.t -> (entry, string) result
+
+val append : string -> entry -> unit
+(** Append one entry as a single JSONL line to the given path, creating
+    the file if needed. *)
+
+val load : string -> (entry list, string) result
+(** All entries, in file order; a missing file is [Ok []]; a malformed
+    line is an [Error] naming the line number. Blank lines are
+    skipped. *)
+
+val find : entries:entry list -> string -> entry option
+(** Look up an entry by id (exact match, or unique prefix of length
+    [>= 4]). *)

@@ -1,0 +1,298 @@
+open Psdp_prelude
+module Metrics = Psdp_obs.Metrics
+module Failpoint = Psdp_fault.Failpoint
+
+type config = {
+  seed : int;
+  budget : float;
+  max_cases : int;
+  props : Property.t list;
+  focus : Spec.t list;
+  corpus_path : string option;
+  failpoint_specs : string list;
+  registry : Metrics.t option;
+  log : string -> unit;
+}
+
+let default =
+  {
+    seed = 0;
+    budget = 10.0;
+    max_cases = 200;
+    props = Property.all;
+    focus = [];
+    corpus_path = None;
+    failpoint_specs = [];
+    registry = None;
+    log = ignore;
+  }
+
+type failure = { entry : Corpus.entry; replay : string option }
+
+type outcome = {
+  cases : int;
+  checks : int;
+  failures : failure list;
+  regressions : failure list;
+  elapsed : float;
+}
+
+let replay_command ~seed ~corpus ~id =
+  Printf.sprintf "SEED=%d psdp fuzz --replay %s --corpus %s" seed id
+    (Filename.quote corpus)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+type meters = {
+  m_cases : Metrics.counter;
+  m_shrinks : Metrics.counter;
+  m_regressions : Metrics.counter;
+  m_seconds : Metrics.histogram;
+  m_checks : string -> Metrics.counter;
+  m_failures : string -> Metrics.counter;
+}
+
+let meters_of registry =
+  Option.map
+    (fun reg ->
+      {
+        m_cases =
+          Metrics.counter reg ~help:"Sampled fuzz cases" "psdp_fuzz_cases_total";
+        m_shrinks =
+          Metrics.counter reg ~help:"Shrink probes that ran"
+            "psdp_fuzz_shrink_steps_total";
+        m_regressions =
+          Metrics.counter reg ~help:"Corpus entries that still fail"
+            "psdp_fuzz_regressions_total";
+        m_seconds =
+          Metrics.histogram reg ~help:"Per-check wall time"
+            "psdp_fuzz_check_seconds";
+        m_checks =
+          (fun prop ->
+            Metrics.counter reg ~help:"Property evaluations"
+              ~labels:[ ("prop", prop) ] "psdp_fuzz_checks_total");
+        m_failures =
+          (fun prop ->
+            Metrics.counter reg ~help:"Distinct distilled failures"
+              ~labels:[ ("prop", prop) ] "psdp_fuzz_failures_total");
+      })
+    registry
+
+let with_meters meters f = Option.iter f meters
+
+(* ------------------------------------------------------------------ *)
+(* Hermetic single checks *)
+
+(* Arming resets per-point counters and the Prob trigger stream, so each
+   check sees the exact same injection schedule — the root of the
+   byte-for-byte replay guarantee. *)
+let arm_all specs =
+  Failpoint.reset ();
+  List.iter
+    (fun s ->
+      match Failpoint.arm_spec s with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("fuzz: failpoint spec: " ^ e))
+    specs
+
+(* [Some message] when the property fails on [spec] under [failpoints];
+   oracle errors and escaped exceptions are both failures. *)
+let check_once ~meters ~checks ~failpoints (prop : Property.t) spec =
+  arm_all failpoints;
+  incr checks;
+  let t0 = Timer.now () in
+  let verdict =
+    match prop.Property.check spec with
+    | Ok () -> None
+    | Error msg -> Some msg
+    | exception e -> Some (Printf.sprintf "exception: %s" (Printexc.to_string e))
+  in
+  with_meters meters (fun m ->
+      Metrics.observe m.m_seconds (Timer.now () -. t0);
+      Metrics.inc (m.m_checks prop.Property.name));
+  verdict
+
+let max_shrink_steps = 200
+
+let shrink ~meters ~checks ~failpoints prop spec message =
+  let rec go spec message steps =
+    if steps >= max_shrink_steps then (spec, message, steps)
+    else
+      let next =
+        List.find_map
+          (fun candidate ->
+            with_meters meters (fun m -> Metrics.inc m.m_shrinks);
+            Option.map
+              (fun msg -> (candidate, msg))
+              (check_once ~meters ~checks ~failpoints prop candidate))
+          (Spec.shrink spec)
+      in
+      match next with
+      | None -> (spec, message, steps)
+      | Some (candidate, msg) -> go candidate msg (steps + 1)
+  in
+  go spec message 0
+
+(* ------------------------------------------------------------------ *)
+(* Campaign *)
+
+let validate_failpoints specs =
+  let rec go = function
+    | [] -> Ok ()
+    | s :: tl -> (
+        match Failpoint.arm_spec s with
+        | Ok () -> go tl
+        | Error e -> Error (Printf.sprintf "bad failpoint spec %S: %s" s e))
+  in
+  let r = go specs in
+  Failpoint.reset ();
+  r
+
+let run config =
+  let ( let* ) = Result.bind in
+  let* () = validate_failpoints config.failpoint_specs in
+  let* corpus_entries =
+    match config.corpus_path with
+    | None -> Ok []
+    | Some path -> Corpus.load path
+  in
+  let meters = meters_of config.registry in
+  let started = Timer.now () in
+  let deadline =
+    if config.budget > 0.0 then Some (started +. config.budget) else None
+  in
+  let expired () =
+    match deadline with None -> false | Some d -> Timer.now () > d
+  in
+  let checks = ref 0 in
+  let replay_of entry =
+    Option.map
+      (fun corpus ->
+        replay_command ~seed:config.seed ~corpus ~id:entry.Corpus.id)
+      config.corpus_path
+  in
+  Fun.protect ~finally:Failpoint.reset @@ fun () ->
+  (* Regression pass: previously distilled failures, replayed under
+     their own recorded failpoints. Entries that still fail are
+     reported but not re-appended (their id is already present). *)
+  let regressions =
+    List.filter_map
+      (fun (entry : Corpus.entry) ->
+        if expired () then None
+        else
+          match Property.find entry.Corpus.prop with
+          | None ->
+              config.log
+                (Printf.sprintf "corpus %s: unknown property %s, skipped"
+                   entry.Corpus.id entry.Corpus.prop);
+              None
+          | Some prop -> (
+              match
+                check_once ~meters ~checks
+                  ~failpoints:entry.Corpus.failpoints prop entry.Corpus.spec
+              with
+              | None -> None
+              | Some message ->
+                  with_meters meters (fun m -> Metrics.inc m.m_regressions);
+                  config.log
+                    (Printf.sprintf "regression %s: %s still fails: %s"
+                       entry.Corpus.id entry.Corpus.prop message);
+                  Some { entry = { entry with Corpus.message }; replay = replay_of entry }))
+      corpus_entries
+  in
+  (* Campaign pass. *)
+  let rng = Rng.create config.seed in
+  let known_ids =
+    List.fold_left
+      (fun acc (e : Corpus.entry) -> e.Corpus.id :: acc)
+      [] corpus_entries
+  in
+  let seen = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace seen id ()) known_ids;
+  let failures = ref [] in
+  let cases = ref 0 in
+  let focus = Array.of_list config.focus in
+  while !cases < config.max_cases && not (expired ()) do
+       let spec =
+         if Array.length focus > 0 then focus.(!cases mod Array.length focus)
+         else Spec.sample rng
+       in
+       List.iter
+         (fun (prop : Property.t) ->
+           if prop.Property.applies spec && not (expired ()) then
+             match
+               check_once ~meters ~checks
+                 ~failpoints:config.failpoint_specs prop spec
+             with
+             | None -> ()
+             | Some message ->
+                 let spec, message, steps =
+                   shrink ~meters ~checks
+                     ~failpoints:config.failpoint_specs prop spec message
+                 in
+                 let entry =
+                   Corpus.make ~prop:prop.Property.name ~spec
+                     ~failpoints:config.failpoint_specs ~message
+                     ~shrink_steps:steps
+                 in
+                 if not (Hashtbl.mem seen entry.Corpus.id) then begin
+                   Hashtbl.replace seen entry.Corpus.id ();
+                   with_meters meters (fun m ->
+                       Metrics.inc (m.m_failures prop.Property.name));
+                   Option.iter
+                     (fun path -> Corpus.append path entry)
+                     config.corpus_path;
+                   let replay = replay_of entry in
+                   failures := { entry; replay } :: !failures;
+                   config.log
+                     (Printf.sprintf "FAIL %s %s after %d shrinks: %s"
+                        prop.Property.name (Spec.to_string spec) steps message);
+                   Option.iter config.log replay
+                 end)
+         config.props;
+    incr cases;
+    with_meters meters (fun m -> Metrics.inc m.m_cases)
+  done;
+  Ok
+    {
+      cases = !cases;
+      checks = !checks;
+      failures = List.rev !failures;
+      regressions;
+      elapsed = Timer.now () -. started;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Replay *)
+
+type replay_result = Reproduced of string | Not_reproduced
+
+let replay ?registry ~corpus ~id () =
+  let ( let* ) = Result.bind in
+  let* entries = Corpus.load corpus in
+  let* entry =
+    match Corpus.find ~entries id with
+    | Some e -> Ok e
+    | None -> Error (Printf.sprintf "corpus %s: no entry with id %s" corpus id)
+  in
+  let* prop =
+    match Property.find entry.Corpus.prop with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (Printf.sprintf "corpus entry %s names unknown property %S"
+             entry.Corpus.id entry.Corpus.prop)
+  in
+  let meters = meters_of registry in
+  let checks = ref 0 in
+  Fun.protect ~finally:Failpoint.reset @@ fun () ->
+  match
+    check_once ~meters ~checks ~failpoints:entry.Corpus.failpoints prop
+      entry.Corpus.spec
+  with
+  | Some message ->
+      with_meters meters (fun m ->
+          Metrics.inc (m.m_failures prop.Property.name));
+      Ok (Reproduced message, entry)
+  | None -> Ok (Not_reproduced, entry)

@@ -1,0 +1,74 @@
+(** The fuzz driver: time-boxed conformance campaigns with deterministic
+    replay.
+
+    A campaign (1) re-runs every persisted corpus entry as a regression
+    check, (2) samples instance specs from the campaign seed and runs
+    every applicable {!Property} against each, (3) greedily shrinks any
+    failure to a minimal spec, and (4) persists the distilled failure to
+    the JSONL corpus together with a one-line replay command.
+
+    Determinism contract: each individual property check is {e
+    hermetic}. The failpoint registry is reset and the configured
+    arm-specs re-armed immediately before {e every} check (arming resets
+    trigger counters and the [prob] trigger's random stream), so a check
+    never observes trigger state leaked from an earlier check — which is
+    what makes [replay] reproduce a campaign failure byte-for-byte from
+    its corpus entry alone. *)
+
+type config = {
+  seed : int;  (** campaign seed; drives spec sampling only *)
+  budget : float;  (** wall-clock seconds; [<= 0] means no time box *)
+  max_cases : int;  (** hard cap on sampled cases *)
+  props : Property.t list;  (** properties to run (see {!Property.select}) *)
+  focus : Spec.t list;
+      (** when non-empty, cycle through these specs instead of sampling
+          — used by targeted campaigns and the self-test *)
+  corpus_path : string option;
+      (** JSONL failure corpus to regression-check and append to *)
+  failpoint_specs : string list;
+      (** [Psdp_fault.Failpoint.arm_spec] strings re-armed before every
+          check (chaos-mode campaigns) *)
+  registry : Psdp_obs.Metrics.t option;
+      (** export [psdp_fuzz_*] series here when provided *)
+  log : string -> unit;  (** progress lines (one per event) *)
+}
+
+val default : config
+(** seed 0, 10-second budget, 200 cases, all properties, no corpus, no
+    failpoints, no registry, silent. *)
+
+type failure = {
+  entry : Corpus.entry;
+  replay : string option;
+      (** the [SEED=… psdp fuzz --replay …] one-liner, when a corpus
+          path is configured *)
+}
+
+type outcome = {
+  cases : int;  (** sampled specs (regression entries not included) *)
+  checks : int;  (** property evaluations, including shrink probes *)
+  failures : failure list;  (** fresh failures, already shrunk + persisted *)
+  regressions : failure list;
+      (** corpus entries that still fail when replayed *)
+  elapsed : float;
+}
+
+val replay_command : seed:int -> corpus:string -> id:string -> string
+
+val run : config -> (outcome, string) result
+(** Execute a campaign. [Error] only for configuration problems (bad
+    failpoint spec, unreadable corpus); oracle failures are reported in
+    the outcome. The failpoint registry is left fully reset. *)
+
+type replay_result =
+  | Reproduced of string  (** the check failed again, with this message *)
+  | Not_reproduced  (** the check passed — the failure is gone *)
+
+val replay :
+  ?registry:Psdp_obs.Metrics.t ->
+  corpus:string ->
+  id:string ->
+  unit ->
+  (replay_result * Corpus.entry, string) result
+(** Re-run one corpus entry under its recorded failpoints. [Error] for
+    an unreadable corpus, unknown id, or unknown property name. *)

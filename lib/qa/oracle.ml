@@ -1,0 +1,240 @@
+open Psdp_prelude
+open Psdp_linalg
+open Psdp_core
+
+type check = Spec.t -> (unit, string) result
+
+let eps = 0.3
+
+(* Certified facts have verification tolerance ~1e-6; the sketched
+   backend's upper bounds additionally carry the Theorem-4.1 estimate
+   error (<= eps/2 relative). [slack] absorbs both plus bisection
+   termination noise. *)
+let slack = 0.05
+
+let ok = Ok ()
+let failf fmt = Printf.ksprintf Result.error fmt
+
+let bracket_of (r : Solver.packing_result) = (r.Solver.value, r.Solver.upper_bound)
+
+let valid_bracket name (l, h) =
+  if not (Float.is_finite l && Float.is_finite h) then
+    failf "%s: non-finite bracket [%.6g, %.6g]" name l h
+  else if l <= 0.0 then failf "%s: non-positive lower bound %.6g" name l
+  else if h < l *. (1.0 -. 1e-9) then
+    failf "%s: inverted bracket [%.6g, %.6g]" name l h
+  else ok
+
+let intersect ?(tol = slack) name_a (la, ha) name_b (lb, hb) =
+  if Float.max la lb > Float.min ha hb *. (1.0 +. tol) then
+    failf "brackets disjoint: %s=[%.6g, %.6g] vs %s=[%.6g, %.6g]" name_a la ha
+      name_b lb hb
+  else ok
+
+let gap_within name (l, h) bound =
+  if h > l *. bound *. (1.0 +. slack) then
+    failf "%s: gap %.4f exceeds %.4f" name (h /. l) bound
+  else ok
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracles *)
+
+let backends_agree spec =
+  let inst, _ = Spec.build spec in
+  let exact = Solver.solve_packing ~eps inst in
+  let sketched =
+    Solver.solve_packing
+      ~backend:(Decision.Sketched { seed = spec.Spec.seed lxor 0x5D17; sketch_dim = None })
+      ~eps inst
+  in
+  let be = bracket_of exact and bs = bracket_of sketched in
+  let* () = valid_bracket "exact" be in
+  let* () = valid_bracket "sketched" bs in
+  let* () = gap_within "exact" be (1.0 +. eps) in
+  let* () = gap_within "sketched" bs ((1.0 +. eps) *. (1.0 +. (eps /. 2.0))) in
+  let* () = intersect ~tol:(slack +. (eps /. 2.0)) "exact" be "sketched" bs in
+  (* The width-dependent MMW baseline is the third independent answer;
+     its iteration budget scales with the width, so skip it on the rare
+     wide draws to keep campaign cases uniformly cheap. *)
+  if Instance.width inst > 32.0 then ok
+  else begin
+    let b = Baseline.maximize ~eps inst in
+    let bb = (b.Baseline.value, b.Baseline.upper_bound) in
+    let* () = valid_bracket "baseline" bb in
+    let* () = gap_within "baseline" bb (1.0 +. eps) in
+    intersect "exact" be "baseline" bb
+  end
+
+let bucketed_agrees spec =
+  let inst, _ = Spec.build spec in
+  let r = Solver.solve_packing ~eps inst in
+  let lo, hi = bracket_of r in
+  let* () = valid_bracket "exact" (lo, hi) in
+  let v = sqrt (lo *. hi) in
+  let scaled = Instance.scale v inst in
+  let b = Bucketed.solve ~eps scaled in
+  match b.Bucketed.outcome with
+  | Decision.Dual { x; _ } ->
+      (* x packs {v·Aᵢ} ⇒ OPT >= v·‖x‖₁ (after re-verification). *)
+      let cert = Certificate.rescale_dual scaled x in
+      if not cert.Certificate.feasible then
+        failf "bucketed: dual certificate failed verification (λmax %.6g)"
+          cert.Certificate.lambda_max
+      else if v *. cert.Certificate.value > hi *. (1.0 +. slack) then
+        failf "bucketed: dual bound %.6g contradicts exact upper bound %.6g"
+          (v *. cert.Certificate.value)
+          hi
+      else ok
+  | Decision.Primal { dots; _ } ->
+      let d = Util.min_array dots in
+      if d <= 0.0 then failf "bucketed: primal certificate with min dot %.6g" d
+      else if v /. d < lo *. (1.0 -. slack) then
+        failf "bucketed: primal bound %.6g contradicts exact lower bound %.6g"
+          (v /. d) lo
+      else ok
+
+let lp_oracle spec =
+  let inst, _ = Spec.build spec in
+  match Lp.of_diagonal_instance inst with
+  | exception Invalid_argument msg -> failf "lp_oracle: %s" msg
+  | lp ->
+      let l = Lp.maximize ~eps lp in
+      let r = Solver.solve_packing ~eps inst in
+      let bl = (l.Lp.value, l.Lp.upper_bound) and bs = bracket_of r in
+      let* () = valid_bracket "lp" bl in
+      let* () = valid_bracket "sdp" bs in
+      intersect "lp" bl "sdp" bs
+
+let known_opt spec =
+  let inst, opt = Spec.build spec in
+  match opt with
+  | None -> ok
+  | Some opt ->
+      let r = Solver.solve_packing ~eps inst in
+      let lo, hi = bracket_of r in
+      let* () = valid_bracket "solver" (lo, hi) in
+      if lo > opt *. (1.0 +. 1e-4) then
+        failf "known_opt: certified lower bound %.6g exceeds OPT %.6g" lo opt
+      else if hi < opt *. (1.0 -. 1e-4) then
+        failf "known_opt: certified upper bound %.6g below OPT %.6g" hi opt
+      else if lo < opt /. (1.0 +. eps) *. (1.0 -. slack) then
+        failf "known_opt: value %.6g below (1+eps)-approximation of OPT %.6g" lo
+          opt
+      else ok
+
+let resume_replay spec =
+  let inst, _ = Spec.build spec in
+  let states = ref [] in
+  let full =
+    Solver.solve_packing ~eps ~checkpoint:(fun s -> states := s :: !states) inst
+  in
+  let states = Array.of_list (List.rev !states) in
+  if Array.length states < 2 then ok
+  else begin
+    (* "Crash" after an intermediate decision call and continue from the
+       captured snapshot; the bisection is deterministic, so the resumed
+       run must land on the same bracket with the same lifetime
+       counters. *)
+    let mid = states.((Array.length states / 2) - 1) in
+    let resumed = Solver.solve_packing ~eps ~resume:mid inst in
+    let close a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.abs b) in
+    if not (close resumed.Solver.value full.Solver.value) then
+      failf "resume: value %.17g <> uninterrupted %.17g" resumed.Solver.value
+        full.Solver.value
+    else if not (close resumed.Solver.upper_bound full.Solver.upper_bound) then
+      failf "resume: upper bound %.17g <> uninterrupted %.17g"
+        resumed.Solver.upper_bound full.Solver.upper_bound
+    else if resumed.Solver.decision_calls <> full.Solver.decision_calls then
+      failf "resume: %d lifetime decision calls <> uninterrupted %d"
+        resumed.Solver.decision_calls full.Solver.decision_calls
+    else ok
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic invariants *)
+
+let scale_equivariance spec =
+  let inst, _ = Spec.build spec in
+  let rng = Rng.create (spec.Spec.seed lxor 0xA5A5) in
+  let v = 0.5 +. (2.5 *. Rng.uniform rng) in
+  let r1 = Solver.solve_packing ~eps inst in
+  let r2 = Solver.solve_packing ~eps (Instance.scale v inst) in
+  let b1 = bracket_of r1 in
+  let b2 = (v *. r2.Solver.value, v *. r2.Solver.upper_bound) in
+  let* () = valid_bracket "original" b1 in
+  let* () = valid_bracket "scaled" b2 in
+  intersect "original" b1
+    (Printf.sprintf "scaled(v=%.4g, unscaled)" v)
+    b2
+
+let permutation_equivariance spec =
+  let inst, _ = Spec.build spec in
+  let n = Instance.num_constraints inst in
+  let rng = Rng.create (spec.Spec.seed lxor 0x9E37) in
+  let perm = Rng.permutation rng n in
+  let factors = Instance.factors inst in
+  let permuted = Instance.of_factors (Array.map (fun i -> factors.(i)) perm) in
+  let r1 = Solver.solve_packing ~eps inst in
+  let r2 = Solver.solve_packing ~eps permuted in
+  let* () = valid_bracket "original" (bracket_of r1) in
+  let* () = valid_bracket "permuted" (bracket_of r2) in
+  intersect "original" (bracket_of r1) "permuted" (bracket_of r2)
+
+let congruence_equivariance spec =
+  let inst, _ = Spec.build spec in
+  let m = Instance.dim inst in
+  let rng = Rng.create (spec.Spec.seed lxor 0x517C) in
+  let u =
+    Qr.orthonormal_columns (Mat.init m m (fun _ _ -> Rng.gaussian rng))
+  in
+  let ut = Mat.transpose u in
+  let rotated =
+    Array.map
+      (fun a -> Mat.symmetrize (Mat.mul (Mat.mul u a) ut))
+      (Instance.dense_mats inst)
+  in
+  match Instance.of_dense rotated with
+  | exception Invalid_argument msg -> failf "congruence: rebuild failed: %s" msg
+  | rot ->
+      let r1 = Solver.solve_packing ~eps inst in
+      let r2 = Solver.solve_packing ~eps rot in
+      let* () = valid_bracket "original" (bracket_of r1) in
+      let* () = valid_bracket "rotated" (bracket_of r2) in
+      intersect "original" (bracket_of r1) "rotated" (bracket_of r2)
+
+let eps_refinement spec =
+  let inst, _ = Spec.build spec in
+  let coarse = Solver.solve_packing ~eps inst in
+  let fine = Solver.solve_packing ~eps:(eps /. 2.0) inst in
+  let bc = bracket_of coarse and bf = bracket_of fine in
+  let* () = valid_bracket "coarse" bc in
+  let* () = valid_bracket "fine" bf in
+  let* () = gap_within "coarse" bc (1.0 +. eps) in
+  let* () = gap_within "fine" bf (1.0 +. (eps /. 2.0)) in
+  intersect "coarse" bc "fine" bf
+
+let certificates_verify spec =
+  let inst, _ = Spec.build spec in
+  let r = Decision.solve ~eps inst in
+  let* () =
+    match r.Decision.outcome with
+    | Decision.Dual { x; _ } ->
+        let cert = Certificate.check_dual ~tol:1e-5 inst x in
+        if not cert.Certificate.feasible then
+          failf "decision dual infeasible: λmax %.6g" cert.Certificate.lambda_max
+        else if cert.Certificate.value < 1.0 -. eps -. 1e-6 then
+          failf "decision dual value %.6g below 1 - eps" cert.Certificate.value
+        else ok
+    | Decision.Primal { dots; _ } ->
+        let d = Util.min_array dots in
+        if d < 1.0 -. eps -. 1e-6 then
+          failf "decision primal min dot %.6g below 1 - eps" d
+        else ok
+  in
+  let s = Solver.solve_packing ~eps inst in
+  let cert = Certificate.check_dual ~tol:1e-5 inst s.Solver.x in
+  if not cert.Certificate.feasible then
+    failf "solver incumbent infeasible: λmax %.6g" cert.Certificate.lambda_max
+  else ok

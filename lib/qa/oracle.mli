@@ -1,0 +1,75 @@
+(** Differential oracles and metamorphic invariants.
+
+    Every check takes a {!Spec.t}, materializes the instance(s) it needs
+    and returns [Ok ()] or [Error msg]. Checks only rely on {e certified}
+    facts: each solver run returns a verified bracket [value <= OPT <=
+    upper_bound], so two independent runs of anything that brackets the
+    same optimum must produce intersecting brackets — no oracle ever
+    assumes a particular trajectory, iteration count or float-for-float
+    agreement between backends.
+
+    Differential oracles (three independently-derived answers per
+    instance, plus the scalar LP solver and closed-form optima):
+    {!backends_agree}, {!bucketed_agrees}, {!lp_oracle}, {!known_opt},
+    {!resume_replay}. Metamorphic invariants (paper-level equivariances
+    shared with [ALO15]/[JY12]): {!scale_equivariance},
+    {!permutation_equivariance}, {!congruence_equivariance},
+    {!eps_refinement}, {!certificates_verify}. *)
+
+type check = Spec.t -> (unit, string) result
+
+val eps : float
+(** Accuracy every oracle solve uses (0.3 — cheap, and all tolerances
+    derive from it). *)
+
+val backends_agree : check
+(** Dense-exact {!Psdp_core.Solver.solve_packing}, the JL-sketched
+    backend (Theorem 4.1) and the width-dependent MMW baseline must
+    produce pairwise-intersecting certified brackets, each with relative
+    gap at most [(1+eps)] (plus verification slack). *)
+
+val bucketed_agrees : check
+(** A {!Psdp_core.Bucketed} decision at the geometric midpoint of the
+    exact solve's bracket must not contradict that bracket: a dual
+    outcome's implied lower bound stays below [upper_bound], a primal
+    outcome's implied upper bound stays above [value]. *)
+
+val lp_oracle : check
+(** Diagonal instances only: the independent scalar LP solver
+    ({!Psdp_core.Lp}, Young's algorithm) and the SDP solver bracket the
+    same optimum (paper §1.2). *)
+
+val known_opt : check
+(** Families with analytic optima: the certified bracket contains OPT,
+    and [value >= OPT/(1+eps)] up to verification slack. *)
+
+val resume_replay : check
+(** Crash-consistency: interrupt a checkpointed
+    {!Psdp_core.Solver.solve_packing} after an intermediate decision
+    call, resume from the captured {!Psdp_core.Solver.bisection_state},
+    and require the resumed solve to reproduce the uninterrupted run's
+    bracket and call count exactly (the bisection is deterministic). *)
+
+val scale_equivariance : check
+(** [OPT(v·A) = OPT(A)/v]: solve both, unscale, brackets must
+    intersect. The scale factor is drawn deterministically from the
+    spec's seed. *)
+
+val permutation_equivariance : check
+(** Permuting the constraints leaves the bracket (up to tolerance)
+    unchanged. *)
+
+val congruence_equivariance : check
+(** [Aᵢ ↦ U Aᵢ Uᵀ] for orthonormal [U] preserves the optimum (the
+    spectrum of [Σ xᵢAᵢ] is invariant); brackets must intersect. *)
+
+val eps_refinement : check
+(** Solving at [eps] and [eps/2] yields valid intersecting brackets
+    whose relative gaps respect their respective [(1+ε)] guarantees —
+    accuracy is monotone in ε. *)
+
+val certificates_verify : check
+(** The decision procedure's outcome on the normalized instance
+    re-verifies against {!Psdp_core.Certificate} (dual feasible with
+    [‖x‖₁ >= 1−ε], or primal [min dot >= 1−ε]), and the optimizer's
+    incumbent is dual-feasible. *)

@@ -1,0 +1,110 @@
+type t = {
+  name : string;
+  doc : string;
+  applies : Spec.t -> bool;
+  check : Oracle.check;
+}
+
+let always _ = true
+
+let diagonal_only (s : Spec.t) =
+  match s.Spec.family with
+  | Spec.Diagonal _ | Spec.Diagonal_identities -> true
+  | _ -> false
+
+let has_known_opt (s : Spec.t) =
+  match s.Spec.family with
+  | Spec.Diagonal_identities | Spec.Graph_cycle | Spec.Known_projectors
+  | Spec.Known_rank_one | Spec.Known_simplex ->
+      true
+  | _ -> false
+
+let all =
+  [
+    {
+      name = "backends_agree";
+      doc =
+        "exact, JL-sketched and width-dependent-baseline solves produce \
+         intersecting certified brackets";
+      applies = always;
+      check = Oracle.backends_agree;
+    };
+    {
+      name = "bucketed_agrees";
+      doc =
+        "a bucketed-step decision at the exact bracket's midpoint never \
+         contradicts the bracket";
+      applies = always;
+      check = Oracle.bucketed_agrees;
+    };
+    {
+      name = "lp_oracle";
+      doc =
+        "diagonal SDPs and the independent scalar LP solver bracket the same \
+         optimum (paper \xc2\xa71.2)";
+      applies = diagonal_only;
+      check = Oracle.lp_oracle;
+    };
+    {
+      name = "known_opt";
+      doc = "certified brackets contain the family's closed-form optimum";
+      applies = has_known_opt;
+      check = Oracle.known_opt;
+    };
+    {
+      name = "resume_replay";
+      doc =
+        "resuming an interrupted checkpointed solve reproduces the \
+         uninterrupted bracket exactly";
+      applies = always;
+      check = Oracle.resume_replay;
+    };
+    {
+      name = "scale_equivariance";
+      doc = "OPT(v\xc2\xb7A) = OPT(A)/v through certified brackets";
+      applies = always;
+      check = Oracle.scale_equivariance;
+    };
+    {
+      name = "permutation_equivariance";
+      doc = "constraint order does not move the certified bracket";
+      applies = always;
+      check = Oracle.permutation_equivariance;
+    };
+    {
+      name = "congruence_equivariance";
+      doc = "orthogonal congruence A \xe2\x86\xa6 UAU\xe1\xb5\x80 preserves the optimum";
+      applies = always;
+      check = Oracle.congruence_equivariance;
+    };
+    {
+      name = "eps_refinement";
+      doc = "halving eps yields a nested-accuracy, still-consistent bracket";
+      applies = always;
+      check = Oracle.eps_refinement;
+    };
+    {
+      name = "certificates_verify";
+      doc = "decision outcomes and solver incumbents re-verify independently";
+      applies = always;
+      check = Oracle.certificates_verify;
+    };
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+let names () = List.map (fun p -> p.name) all
+
+let select = function
+  | [] -> Ok all
+  | wanted ->
+      let rec resolve acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: tl -> (
+            match find n with
+            | Some p -> resolve (p :: acc) tl
+            | None ->
+                Error
+                  (Printf.sprintf "unknown property %S (known: %s)" n
+                     (String.concat ", " (names ()))))
+      in
+      resolve [] wanted

@@ -1,0 +1,24 @@
+(** The named-property registry the fuzz driver iterates.
+
+    Each property pairs an {!Oracle} check with an applicability filter
+    (the LP oracle only makes sense on diagonal instances, the known-OPT
+    oracle only on families with closed-form optima). Names are stable:
+    they appear in corpus entries, replay commands and
+    [psdp_fuzz_*{prop=...}] metric labels. *)
+
+type t = {
+  name : string;
+  doc : string;  (** one-line description for [psdp fuzz --list-props] *)
+  applies : Spec.t -> bool;
+  check : Oracle.check;
+}
+
+val all : t list
+(** Every registered property, in a stable order. *)
+
+val find : string -> t option
+val names : unit -> string list
+
+val select : string list -> (t list, string) result
+(** Resolve a list of names ([[]] means {!all}); [Error] names the first
+    unknown property. *)

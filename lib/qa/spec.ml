@@ -1,0 +1,314 @@
+open Psdp_prelude
+open Psdp_instances
+
+type family =
+  | Random of { rank : int; density : float; spread : float }
+  | Conditioned of { cond : float }
+  | Diagonal of { density : float }
+  | Diagonal_identities
+  | Graph_cycle
+  | Graph_gnp of { p : float }
+  | Beamforming of { corr : float }
+  | Known_projectors
+  | Known_rank_one
+  | Known_simplex
+
+type t = { family : family; dim : int; n : int; seed : int }
+
+let family_name = function
+  | Random _ -> "random"
+  | Conditioned _ -> "conditioned"
+  | Diagonal _ -> "diagonal"
+  | Diagonal_identities -> "identities"
+  | Graph_cycle -> "cycle"
+  | Graph_gnp _ -> "gnp"
+  | Beamforming _ -> "beamforming"
+  | Known_projectors -> "projectors"
+  | Known_rank_one -> "rank_one"
+  | Known_simplex -> "simplex"
+
+let validate s =
+  let err fmt = Printf.ksprintf Result.error fmt in
+  if s.dim < 1 then err "spec: dim %d < 1" s.dim
+  else if s.n < 1 then err "spec: n %d < 1" s.n
+  else
+    match s.family with
+    | Random { rank; density; spread } ->
+        if rank < 1 then err "spec: rank %d < 1" rank
+        else if not (density > 0.0 && density <= 1.0) then
+          err "spec: density %g outside (0,1]" density
+        else if spread < 1.0 then err "spec: spread %g < 1" spread
+        else Ok s
+    | Conditioned { cond } ->
+        if cond < 1.0 then err "spec: cond %g < 1" cond else Ok s
+    | Diagonal { density } ->
+        if not (density > 0.0 && density <= 1.0) then
+          err "spec: density %g outside (0,1]" density
+        else Ok s
+    | Diagonal_identities -> Ok s
+    | Graph_cycle ->
+        if s.dim < 3 then err "spec: cycle needs dim >= 3"
+        else Ok { s with n = s.dim }
+    | Graph_gnp { p } ->
+        if s.dim < 2 then err "spec: gnp needs dim >= 2"
+        else if not (p >= 0.0 && p <= 1.0) then err "spec: p %g outside [0,1]" p
+        else Ok s
+    | Beamforming { corr } ->
+        if not (corr >= 0.0 && corr < 1.0) then
+          err "spec: corr %g outside [0,1)" corr
+        else Ok s
+    | Known_projectors | Known_rank_one ->
+        if s.n > s.dim then err "spec: %s needs n <= dim" (family_name s.family)
+        else Ok s
+    | Known_simplex -> Ok { s with n = s.dim }
+
+let build s =
+  let s =
+    match validate s with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("Spec.build: " ^ msg)
+  in
+  let rng = Rng.create s.seed in
+  match s.family with
+  | Random { rank; density; spread } ->
+      ( Random_psd.factored ~rng ~dim:s.dim ~n:s.n ~rank ~density
+          ~scale_spread:spread (),
+        None )
+  | Conditioned { cond } ->
+      (Random_psd.conditioned ~rng ~dim:s.dim ~n:s.n ~cond (), None)
+  | Diagonal { density } ->
+      (Diagonal.random ~rng ~dim:s.dim ~n:s.n ~density (), None)
+  | Diagonal_identities ->
+      (* Log-spread positive coefficients; OPT = 1/min cᵢ exactly. *)
+      let cs =
+        Array.init s.n (fun _ -> 0.25 +. (4.0 *. Rng.uniform rng))
+      in
+      let inst, opt = Diagonal.scaled_identities cs ~dim:s.dim in
+      (inst, Some opt)
+  | Graph_cycle ->
+      ( Graph_packing.edge_packing (Graph.cycle s.dim),
+        Some (Graph_packing.edge_packing_opt_cycle s.dim) )
+  | Graph_gnp { p } ->
+      (Graph_packing.edge_packing (Graph.gnp ~rng ~vertices:s.dim ~p), None)
+  | Beamforming { corr } ->
+      let model =
+        if corr = 0.0 then Beamforming.Rayleigh else Beamforming.Correlated corr
+      in
+      (Beamforming.instance ~rng ~antennas:s.dim ~users:s.n ~model (), None)
+  | Known_projectors ->
+      let inst, opt = Known_opt.orthogonal_projectors ~rng ~dim:s.dim ~n:s.n in
+      (inst, Some opt)
+  | Known_rank_one ->
+      let inst, opt = Known_opt.rank_one_orthonormal ~rng ~dim:s.dim ~n:s.n in
+      (inst, Some opt)
+  | Known_simplex ->
+      let inst, opt = Known_opt.simplex_corner ~dim:s.dim in
+      (inst, Some opt)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical rendering and JSON codec *)
+
+let params_string = function
+  | Random { rank; density; spread } ->
+      Printf.sprintf "{rank=%d,density=%.17g,spread=%.17g}" rank density spread
+  | Conditioned { cond } -> Printf.sprintf "{cond=%.17g}" cond
+  | Diagonal { density } -> Printf.sprintf "{density=%.17g}" density
+  | Graph_gnp { p } -> Printf.sprintf "{p=%.17g}" p
+  | Beamforming { corr } -> Printf.sprintf "{corr=%.17g}" corr
+  | Diagonal_identities | Graph_cycle | Known_projectors | Known_rank_one
+  | Known_simplex ->
+      ""
+
+let to_string s =
+  Printf.sprintf "%s%s:dim=%d,n=%d,seed=%d" (family_name s.family)
+    (params_string s.family) s.dim s.n s.seed
+
+let to_json s =
+  let params =
+    match s.family with
+    | Random { rank; density; spread } ->
+        [
+          ("rank", Json.Num (float_of_int rank));
+          ("density", Json.Num density);
+          ("spread", Json.Num spread);
+        ]
+    | Conditioned { cond } -> [ ("cond", Json.Num cond) ]
+    | Diagonal { density } -> [ ("density", Json.Num density) ]
+    | Graph_gnp { p } -> [ ("p", Json.Num p) ]
+    | Beamforming { corr } -> [ ("corr", Json.Num corr) ]
+    | Diagonal_identities | Graph_cycle | Known_projectors | Known_rank_one
+    | Known_simplex ->
+        []
+  in
+  Json.Obj
+    ([
+       ("family", Json.Str (family_name s.family));
+       ("dim", Json.Num (float_of_int s.dim));
+       ("n", Json.Num (float_of_int s.n));
+       ("seed", Json.Num (float_of_int s.seed));
+     ]
+    @ params)
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (Json.mem name j) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "spec: missing or bad field %S" name)
+  in
+  let num_or name default =
+    match Json.mem name j with
+    | None -> Ok default
+    | Some v -> (
+        match Json.num v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "spec: bad field %S" name))
+  in
+  let* fam = field "family" Json.str in
+  let* dim = field "dim" Json.int in
+  let* n = field "n" Json.int in
+  let* seed = field "seed" Json.int in
+  let* family =
+    match fam with
+    | "random" ->
+        let* rank =
+          match Option.bind (Json.mem "rank" j) Json.int with
+          | Some r -> Ok r
+          | None -> Error "spec: missing or bad field \"rank\""
+        in
+        let* density = num_or "density" 0.5 in
+        let* spread = num_or "spread" 1.0 in
+        Ok (Random { rank; density; spread })
+    | "conditioned" ->
+        let* cond = num_or "cond" 1.0 in
+        Ok (Conditioned { cond })
+    | "diagonal" ->
+        let* density = num_or "density" 0.6 in
+        Ok (Diagonal { density })
+    | "identities" -> Ok Diagonal_identities
+    | "cycle" -> Ok Graph_cycle
+    | "gnp" ->
+        let* p = num_or "p" 0.3 in
+        Ok (Graph_gnp { p })
+    | "beamforming" ->
+        let* corr = num_or "corr" 0.0 in
+        Ok (Beamforming { corr })
+    | "projectors" -> Ok Known_projectors
+    | "rank_one" -> Ok Known_rank_one
+    | "simplex" -> Ok Known_simplex
+    | other -> Error (Printf.sprintf "spec: unknown family %S" other)
+  in
+  validate { family; dim; n; seed }
+
+(* ------------------------------------------------------------------ *)
+(* Sampling and shrinking *)
+
+let sample rng =
+  let pick lo hi = lo + Rng.int rng (hi - lo + 1) in
+  let seed = Rng.int rng 1_000_000 in
+  let spec =
+    match Rng.int rng 10 with
+    | 0 ->
+        let dim = pick 2 10 in
+        {
+          family =
+            Random
+              {
+                rank = pick 1 (max 1 (dim / 2));
+                density = 0.3 +. (0.7 *. Rng.uniform rng);
+                spread = (if Rng.int rng 2 = 0 then 1.0 else 4.0);
+              };
+          dim;
+          n = pick 1 8;
+          seed;
+        }
+    | 1 ->
+        {
+          family = Conditioned { cond = Rng.choose rng [| 1.0; 1e2; 1e4 |] };
+          dim = pick 2 8;
+          n = pick 1 6;
+          seed;
+        }
+    | 2 ->
+        {
+          family = Diagonal { density = 0.4 +. (0.6 *. Rng.uniform rng) };
+          dim = pick 1 10;
+          n = pick 1 8;
+          seed;
+        }
+    | 3 -> { family = Diagonal_identities; dim = pick 1 8; n = pick 1 6; seed }
+    | 4 ->
+        let dim = pick 3 12 in
+        { family = Graph_cycle; dim; n = dim; seed }
+    | 5 ->
+        {
+          family = Graph_gnp { p = 0.2 +. (0.5 *. Rng.uniform rng) };
+          dim = pick 2 9;
+          n = 1;
+          seed;
+        }
+    | 6 ->
+        {
+          family =
+            Beamforming { corr = (if Rng.int rng 2 = 0 then 0.0 else 0.6) };
+          dim = pick 2 8;
+          n = pick 1 8;
+          seed;
+        }
+    | 7 ->
+        let dim = pick 2 10 in
+        { family = Known_projectors; dim; n = pick 1 dim; seed }
+    | 8 ->
+        let dim = pick 2 10 in
+        { family = Known_rank_one; dim; n = pick 1 dim; seed }
+    | _ ->
+        let dim = pick 1 8 in
+        { family = Known_simplex; dim; n = dim; seed }
+  in
+  match validate spec with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Spec.sample: internal: " ^ msg)
+
+let size s =
+  let rank = match s.family with Random { rank; _ } -> rank | _ -> 0 in
+  (s.dim * 16) + (s.n * 4) + rank
+
+let shrink s =
+  let candidates = ref [] in
+  let push c = candidates := c :: !candidates in
+  (* Shape reductions, halving first. *)
+  let dims d = if d > 1 then List.filter (fun v -> v < d) [ d / 2; d - 1 ] else [] in
+  List.iter (fun dim -> push { s with dim }) (dims s.dim);
+  List.iter (fun n -> push { s with n }) (dims s.n);
+  (* Family-parameter simplifications. *)
+  (match s.family with
+  | Random { rank; density; spread } ->
+      List.iter
+        (fun rank -> push { s with family = Random { rank; density; spread } })
+        (dims rank);
+      if spread > 1.0 then
+        push { s with family = Random { rank; density; spread = 1.0 } };
+      if density < 1.0 then
+        push { s with family = Random { rank; density = 1.0; spread } }
+  | Conditioned { cond } ->
+      if cond > 1.0 then
+        push { s with family = Conditioned { cond = Float.max 1.0 (sqrt cond) } }
+  | Graph_gnp _ -> push { s with family = Graph_cycle; dim = max 3 s.dim }
+  | Beamforming { corr } when corr > 0.0 ->
+      push { s with family = Beamforming { corr = 0.0 } }
+  | _ -> ());
+  (* Keep only valid, strictly smaller candidates; a same-size candidate
+     (e.g. the cycle fallback for gnp) is allowed only if it simplifies
+     the family, which the size metric cannot see — drop those to keep
+     shrinking well-founded. *)
+  List.filter_map
+    (fun c ->
+      match validate c with
+      | Ok c when size c < size s -> Some c
+      | Ok _ | Error _ -> None)
+    (List.rev !candidates)
+
+let arbitrary =
+  let gen st = sample (Rng.create (Random.State.bits st)) in
+  let shrink_iter s yield = List.iter yield (shrink s) in
+  QCheck.make gen ~print:to_string ~shrink:shrink_iter

@@ -1,0 +1,81 @@
+(** Generator specifications — the seeds of the conformance harness.
+
+    A spec is a small, fully deterministic description of one instance:
+    the family, its shape parameters (dimension, constraint count, rank,
+    density, conditioning) and the PRNG seed. Every instance the harness
+    ever solves is [build] of some spec, so a failing case is replayed
+    exactly by persisting the spec (one JSON object) rather than the
+    instance itself, and shrinking operates on specs — candidates are
+    re-{!build}able smaller descriptions, never ad-hoc matrix surgery.
+
+    Families cover every generator in [lib/instances]; the ones with
+    closed-form packing optima ({!Known_projectors}, {!Known_rank_one},
+    {!Known_simplex}, {!Graph_cycle}, and {!Diagonal_identities}) return
+    the analytic OPT from [build], which the [known_opt] oracle checks
+    against the solver's certified bracket. *)
+
+type family =
+  | Random of { rank : int; density : float; spread : float }
+      (** {!Psdp_instances.Random_psd.factored} *)
+  | Conditioned of { cond : float }
+      (** {!Psdp_instances.Random_psd.conditioned} — constraints with
+          spectrum log-spaced in [[1/cond, 1]] *)
+  | Diagonal of { density : float }
+      (** {!Psdp_instances.Diagonal.random} — ≡ a positive packing LP *)
+  | Diagonal_identities
+      (** {!Psdp_instances.Diagonal.scaled_identities}: OPT = 1/min cᵢ *)
+  | Graph_cycle  (** edge packing on [C_dim]; OPT known in closed form *)
+  | Graph_gnp of { p : float }  (** edge packing on [G(dim, p)] *)
+  | Beamforming of { corr : float }
+      (** IPS10 §2.2 channels; [corr = 0] is Rayleigh, otherwise the
+          correlated Toeplitz model *)
+  | Known_projectors  (** orthogonal projectors: OPT = n *)
+  | Known_rank_one  (** rank-one orthonormal: OPT = n *)
+  | Known_simplex  (** simplex corner: OPT = dim/2 *)
+
+type t = { family : family; dim : int; n : int; seed : int }
+(** [n] is normalized by {!validate}/[build] where the family fixes it
+    (cycles have [dim] edges, the simplex corner has [n = dim]). *)
+
+val validate : t -> (t, string) result
+(** Check family-specific constraints (e.g. [n <= dim] for projector
+    families, [dim >= 3] for cycles) and normalize [n] where the family
+    determines it. [build] only accepts validated specs. *)
+
+val build : t -> Psdp_core.Instance.t * float option
+(** Materialize the instance, together with its analytic packing optimum
+    when the family has one. Deterministic in the spec: two calls return
+    instances with identical {!Psdp_instances.Loader.digest}s. Raises
+    [Invalid_argument] on specs that {!validate} would reject. *)
+
+val family_name : family -> string
+(** Short family tag: ["random"], ["diagonal"], ["cycle"], … *)
+
+val to_string : t -> string
+(** Canonical one-line rendering, e.g.
+    ["random{rank=2,density=0.5,spread=1}:dim=6,n=4,seed=123"]. Stable —
+    corpus entry ids are derived from it. *)
+
+val to_json : t -> Psdp_prelude.Json.t
+val of_json : Psdp_prelude.Json.t -> (t, string) result
+(** Inverse of {!to_json}; validates the decoded spec. *)
+
+val sample : Psdp_prelude.Rng.t -> t
+(** Draw a small random valid spec (dimensions are kept modest — the
+    oracles solve each instance several times over). Deterministic in the
+    RNG stream. *)
+
+val shrink : t -> t list
+(** Strictly smaller valid specs to try when [t] fails a property,
+    largest reductions first (halve [dim]/[n]/[rank], then decrements,
+    then parameter simplifications toward 1). Every candidate passes
+    {!validate}. *)
+
+val size : t -> int
+(** Shrinking measure: [shrink] candidates all have strictly smaller
+    [size]. *)
+
+val arbitrary : t QCheck.arbitrary
+(** QCheck generator over {!sample}d specs with {!shrink}-based
+    shrinking and {!to_string} printing — for property tests that want
+    instance-family coverage without hand-rolling generators. *)

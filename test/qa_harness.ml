@@ -1,0 +1,42 @@
+(* Shared QCheck <-> Alcotest glue for every property suite in this
+   directory. Two guarantees the stock [QCheck_alcotest.to_alcotest]
+   does not give:
+
+   - determinism: the stock default seeds from [Random.self_init], so
+     `dune runtest` would exercise different random cases on every run.
+     Here every property gets a fresh generator state pinned to one
+     seed (override with PSDP_QA_SEED to explore; QCHECK_SEED is
+     deliberately bypassed so CI can't drift).
+   - replayability: a failing property prints the exact environment
+     line that reproduces it before re-raising.
+
+   Deeper conformance fuzzing (differential oracles, failure corpus,
+   `psdp fuzz --replay`) lives in lib/qa and is exercised by
+   test_qa.ml; this file only keeps the unit-level properties honest. *)
+
+let default_seed = 0x5eed
+
+let seed =
+  match Option.bind (Sys.getenv_opt "PSDP_QA_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> default_seed
+
+(* A fresh state per property: each test is deterministic on its own,
+   independent of suite ordering and of how many cases its neighbours
+   consumed. *)
+let rand () = Random.State.make [| seed |]
+
+let to_alcotest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~long:false ~rand:(rand ()) test
+  in
+  let run () =
+    try run ()
+    with e ->
+      Printf.printf "replay: PSDP_QA_SEED=%d dune runtest (failed: %s)\n%!"
+        seed name;
+      raise e
+  in
+  (name, speed, run)
+
+let cases tests = List.map to_alcotest tests

@@ -755,7 +755,7 @@ let prop_scaling_inverts_opt =
 
 let qcheck_cases =
   List.map
-    (QCheck_alcotest.to_alcotest ~long:false)
+    Qa_harness.to_alcotest
     [ prop_solver_bracket_valid; prop_decision_certificates; prop_scaling_inverts_opt ]
 
 let () =

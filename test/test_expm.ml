@@ -376,7 +376,7 @@ let prop_bigdotexp_nonneg =
 
 let qcheck_cases =
   List.map
-    (QCheck_alcotest.to_alcotest ~long:false)
+    Qa_harness.to_alcotest
     [ prop_poly_monotone_degree; prop_bigdotexp_nonneg ]
 
 let () =

@@ -363,7 +363,7 @@ let prop_loader_roundtrip =
 
 let qcheck_cases =
   List.map
-    (QCheck_alcotest.to_alcotest ~long:false)
+    Qa_harness.to_alcotest
     [ prop_generators_produce_valid_instances; prop_loader_roundtrip ]
 
 let () =

@@ -227,6 +227,52 @@ let test_factor_robust_rejects_rank_deficient () =
   | (_ : Mat.t * float) -> Alcotest.fail "factored an indefinite matrix"
   | exception Cholesky.Not_positive_definite _ -> ()
 
+let test_factor_robust_badly_scaled () =
+  (* A = D R D with row scales spanning 4 orders of magnitude (entries
+     over [1e-4, 1e4], condition ~1e8): well inside double precision, so
+     the factorization must succeed without a shift and reconstruct
+     every entry to {e relative} accuracy — an absolute tolerance would
+     pass vacuously on the small rows. *)
+  let rng = Rng.create 47 in
+  let n = 5 in
+  let r = Mat.add (random_psd rng n) (Mat.scale 3.0 (Mat.identity n)) in
+  let d = Array.init n (fun i -> 10.0 ** float_of_int (i - 2)) in
+  let a = Mat.init n n (fun i j -> d.(i) *. d.(j) *. Mat.get r i j) in
+  let l, shift = Cholesky.factor_robust a in
+  Alcotest.(check (float 0.0)) "no shift needed" 0.0 shift;
+  let recon = Mat.mul l (Mat.transpose l) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let rel =
+        Float.abs (Mat.get recon i j -. Mat.get a i j) /. (d.(i) *. d.(j))
+      in
+      if rel > 1e-8 then
+        Alcotest.failf "relative error %g at (%d,%d)" rel i j
+    done
+  done;
+  (* Scales spanning 16 orders (condition ~1e32) exceed what double
+     precision can represent as full rank: the relative pivot probe
+     must classify this as numerically rank-deficient and refuse,
+     rather than apply a shift that would wipe out the small rows. *)
+  let d = Array.init n (fun i -> 10.0 ** float_of_int ((4 * i) - 8)) in
+  let a = Mat.init n n (fun i j -> d.(i) *. d.(j) *. Mat.get r i j) in
+  match Cholesky.factor_robust a with
+  | (_ : Mat.t * float) ->
+      Alcotest.fail "factored a numerically rank-deficient matrix"
+  | exception Cholesky.Not_positive_definite _ -> ()
+
+let test_factor_robust_tiny_scale () =
+  (* Uniformly tiny PD input: the pivot tolerance is relative to the
+     largest diagonal entry, so 1e-12 · A must factor as cleanly as A
+     itself. *)
+  let rng = Rng.create 53 in
+  let a = Mat.scale 1e-12 (Mat.add (random_psd rng 4) (Mat.identity 4)) in
+  let l, shift = Cholesky.factor_robust a in
+  Alcotest.(check (float 0.0)) "no shift needed" 0.0 shift;
+  let recon = Mat.mul l (Mat.transpose l) in
+  Alcotest.(check bool) "relative reconstruction" true
+    (Mat.max_abs (Mat.sub recon a) <= 1e-8 *. Mat.max_abs a)
+
 let test_cholesky_is_psd () =
   let rng = Rng.create 41 in
   let a = random_psd rng 6 in
@@ -369,6 +415,49 @@ let test_expm_vs_taylor () =
       if err > 1e-9 then
         Alcotest.failf "expm implementations disagree at n=%d (err %g)" n err)
     [ 2; 5; 11 ]
+
+let test_expm_taylor_conditioned () =
+  (* Accuracy of the Taylor-and-squaring path against the
+     eigendecomposition oracle across condition numbers: eigenvalues
+     log-spaced on [3/κ, 3] for κ up to 1e8, in a random orthonormal
+     basis. Errors are measured relative to ‖exp A‖, which is dominated
+     by exp(λmax). *)
+  let rng = Rng.create 71 in
+  List.iter
+    (fun cond ->
+      let n = 6 in
+      let basis = Qr.orthonormal_columns (random_matrix rng n n) in
+      let eigs =
+        Array.init n (fun i ->
+            3.0 *. exp (-.log cond *. float_of_int i /. float_of_int (n - 1)))
+      in
+      let a =
+        Mat.symmetrize
+          (Mat.mul basis (Mat.mul (Mat.diag eigs) (Mat.transpose basis)))
+      in
+      let oracle = Matfun.expm a in
+      let taylor = Matfun.expm_taylor_squaring a in
+      let err = Mat.max_abs (Mat.sub oracle taylor) /. Mat.max_abs oracle in
+      if err > 1e-10 then
+        Alcotest.failf "taylor-squaring off by %g at cond %g" err cond)
+    [ 1.0; 1e2; 1e4; 1e6; 1e8 ]
+
+let test_expm_taylor_wide_spectrum () =
+  (* Mixed-sign spectrum with large norm: ‖A‖_F starts far above the
+     1/4 scaling threshold, so the squaring chain is long and error
+     amplification would show here if the term count were too small. *)
+  let rng = Rng.create 73 in
+  let n = 5 in
+  let basis = Qr.orthonormal_columns (random_matrix rng n n) in
+  let eigs = [| 30.0; 5.0; 0.0; -5.0; -30.0 |] in
+  let a =
+    Mat.symmetrize
+      (Mat.mul basis (Mat.mul (Mat.diag eigs) (Mat.transpose basis)))
+  in
+  let oracle = Matfun.expm a in
+  let taylor = Matfun.expm_taylor_squaring a in
+  let err = Mat.max_abs (Mat.sub oracle taylor) /. Mat.max_abs oracle in
+  if err > 1e-9 then Alcotest.failf "wide-spectrum error %g" err
 
 let test_expm_additivity_commuting () =
   (* exp(A+B) = exp(A)exp(B) when A and B commute (same eigenbasis). *)
@@ -558,7 +647,7 @@ let prop_lambda_max_subadditive =
 
 let qcheck_cases =
   List.map
-    (QCheck_alcotest.to_alcotest ~long:false)
+    Qa_harness.to_alcotest
     [
       prop_eig_reconstruct;
       prop_cholesky_roundtrip;
@@ -611,6 +700,10 @@ let () =
             test_factor_robust_near_singular_shifts;
           Alcotest.test_case "robust: rejects rank-deficient" `Quick
             test_factor_robust_rejects_rank_deficient;
+          Alcotest.test_case "robust: badly scaled" `Quick
+            test_factor_robust_badly_scaled;
+          Alcotest.test_case "robust: tiny uniform scale" `Quick
+            test_factor_robust_tiny_scale;
         ] );
       ("qr", [ Alcotest.test_case "reconstruct" `Quick test_qr_reconstruct ]);
       ( "eig",
@@ -632,6 +725,10 @@ let () =
           Alcotest.test_case "exp diagonal" `Quick test_expm_diagonal;
           Alcotest.test_case "expm vs taylor-squaring" `Quick
             test_expm_vs_taylor;
+          Alcotest.test_case "taylor-squaring across cond numbers" `Quick
+            test_expm_taylor_conditioned;
+          Alcotest.test_case "taylor-squaring wide spectrum" `Quick
+            test_expm_taylor_wide_spectrum;
           Alcotest.test_case "commuting additivity" `Quick
             test_expm_additivity_commuting;
           Alcotest.test_case "sqrtm" `Quick test_sqrtm;

@@ -119,5 +119,5 @@ let () =
           Alcotest.test_case "dotted gain" `Quick test_dotted_gain_accumulates;
         ] );
       ( "properties",
-        List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_regret ] );
+        List.map Qa_harness.to_alcotest [ prop_regret ] );
     ]

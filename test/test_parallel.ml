@@ -233,7 +233,7 @@ let prop_sum_matches_sequential =
           Float.abs (par -. seq) < 1e-6))
 
 let qcheck_cases =
-  List.map (QCheck_alcotest.to_alcotest ~long:false) [ prop_sum_matches_sequential ]
+  List.map Qa_harness.to_alcotest [ prop_sum_matches_sequential ]
 
 let () =
   Alcotest.run "parallel"

@@ -282,7 +282,7 @@ let prop_permutation_valid =
 
 let qcheck_cases =
   List.map
-    (QCheck_alcotest.to_alcotest ~long:false)
+    Qa_harness.to_alcotest
     [
       prop_quantile_monotone; prop_clamp_in_range; prop_permutation_valid;
       prop_json_num_roundtrip;

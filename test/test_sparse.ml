@@ -284,7 +284,7 @@ let prop_factored_psd =
 
 let qcheck_cases =
   List.map
-    (QCheck_alcotest.to_alcotest ~long:false)
+    Qa_harness.to_alcotest
     [ prop_csr_roundtrip; prop_csr_spmv; prop_transpose_involution; prop_factored_psd ]
 
 let () =

@@ -801,6 +801,6 @@ let () =
         ] );
       ( "properties",
         List.map
-          (QCheck_alcotest.to_alcotest ~long:false)
+          Qa_harness.to_alcotest
           [ prop_snapshot_roundtrip ] );
     ]

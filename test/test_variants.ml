@@ -305,7 +305,7 @@ let prop_variant_outcomes_verify =
 
 let qcheck_cases =
   List.map
-    (QCheck_alcotest.to_alcotest ~long:false)
+    Qa_harness.to_alcotest
     [ prop_variant_outcomes_verify; prop_mixed_feasible_by_construction ]
 
 let () =
