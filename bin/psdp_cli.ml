@@ -919,13 +919,264 @@ let fuzz_cmd =
       $ list_props_arg $ replay_arg $ fuzz_seed_arg $ failpoint_arg
       $ metrics_file_arg $ verbose_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Distributed service: coordinator / worker / submit (lib/dist) *)
+
+module Dist = Psdp_dist
+
+let addr_conv =
+  let parse s =
+    match Dist.Transport.addr_of_string s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf a =
+    Format.pp_print_string ppf (Dist.Transport.addr_to_string a)
+  in
+  Arg.conv (parse, print)
+
+let connect_arg =
+  let doc =
+    "Coordinator address: $(b,unix:)$(i,PATH) or $(i,HOST):$(i,PORT) (a \
+     bare port means 127.0.0.1)."
+  in
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let coordinator_cmd =
+  let listen_arg =
+    let doc =
+      "Address to listen on: $(b,unix:)$(i,PATH) or $(i,HOST):$(i,PORT)."
+    in
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let heartbeat_arg =
+    let doc = "Seconds between worker heartbeats." in
+    Arg.(value & opt float 1.0 & info [ "heartbeat" ] ~docv:"SECONDS" ~doc)
+  in
+  let grace_arg =
+    let doc =
+      "Declare a worker dead after $(docv) seconds of silence and reroute \
+       its jobs (must exceed $(b,--heartbeat))."
+    in
+    Arg.(value & opt float 5.0 & info [ "grace" ] ~docv:"SECONDS" ~doc)
+  in
+  let run listen heartbeat grace ckpt_dir trace_path metrics_path verbosity =
+    setup_logs verbosity;
+    if grace <= heartbeat then begin
+      Printf.eprintf "psdp coordinator: --grace must exceed --heartbeat\n";
+      exit exit_bad_input
+    end;
+    let store = Option.map open_store_or_die ckpt_dir in
+    let trace_oc = Option.map open_out trace_path in
+    let trace =
+      match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
+    in
+    let obs = make_obs metrics_path in
+    let config =
+      {
+        Dist.Coordinator.default_config with
+        Dist.Coordinator.heartbeat_every = heartbeat;
+        heartbeat_grace = grace;
+      }
+    in
+    let outcome =
+      Fun.protect
+        ~finally:(fun () ->
+          (match obs with
+          | Some (path, reg, _) -> write_metrics path reg
+          | None -> ());
+          Option.iter Psdp_store.Store.close store;
+          Option.iter close_out trace_oc)
+        (fun () ->
+          Dist.Coordinator.run ~config ?store
+            ?metrics:(Option.map (fun (_, reg, _) -> reg) obs)
+            ~trace ~listen ())
+    in
+    match outcome with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "psdp coordinator: %s\n" msg;
+        exit exit_bad_input
+  in
+  Cmd.v
+    (Cmd.info "coordinator" ~exits:solver_exits
+       ~doc:
+         "Run the distributed coordinator: accept jobs from $(b,psdp \
+          submit) clients, shard them across registered $(b,psdp worker) \
+          processes by instance digest (rendezvous hashing), and reroute \
+          the jobs of a worker that dies or misses heartbeats. With \
+          $(b,--checkpoint-dir), every submission, assignment and \
+          completion is journaled to the store's WAL and unfinished jobs \
+          are re-queued on restart. Serves until a client sends a \
+          shutdown ($(b,psdp submit --shutdown)).")
+    Term.(
+      const run $ listen_arg $ heartbeat_arg $ grace_arg $ checkpoint_dir_arg
+      $ trace_file_arg $ metrics_file_arg $ verbose_arg)
+
+let worker_cmd =
+  let name_arg =
+    let doc =
+      "Worker name announced to the coordinator (must be unique per \
+       cluster; default $(b,worker-)$(i,PID))."
+    in
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let capacity_arg =
+    let doc =
+      "Assignment capacity advertised to the coordinator (default: the \
+       $(b,--jobs) in-flight limit)."
+    in
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let run connect name capacity jobs domains trace_path cache_path
+      metrics_path ckpt_dir ckpt_every retries backoff quarantine_after
+      failpoints verbosity =
+    setup_logs verbosity;
+    arm_failpoints failpoints;
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
+    in
+    let outcome =
+      with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
+        ?store_dir:ckpt_dir
+        (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
+          let make_engine ~on_complete =
+            Engine.create ~pool ~max_in_flight ~cache ~trace ?store ?metrics
+              ?profiler ~checkpoint_every:ckpt_every
+              ~retry:(retry_policy ~retries ~backoff) ?quarantine_after
+              ~on_complete ()
+          in
+          Dist.Worker.run ?metrics ~connect ~name
+            ~capacity:(Option.value capacity ~default:max_in_flight)
+            ~make_engine ())
+    in
+    match outcome with
+    | Ok () -> ()
+    | Error msg ->
+        Printf.eprintf "psdp worker: %s\n" msg;
+        exit exit_bad_input
+  in
+  Cmd.v
+    (Cmd.info "worker" ~exits:solver_exits
+       ~doc:
+         "Run one distributed worker: connect to a coordinator, receive \
+          sharded jobs, solve them on the full local supervised engine \
+          (retries, backoff, quarantine, circuit breaker, checkpoints — \
+          identical to $(b,psdp batch)) and stream results back. The \
+          process serves until the coordinator dismisses it or the \
+          connection drops.")
+    Term.(
+      const run $ connect_arg $ name_arg $ capacity_arg $ jobs_arg
+      $ domains_arg $ trace_file_arg $ cache_file_arg $ metrics_file_arg
+      $ checkpoint_dir_arg $ checkpoint_every_arg $ retries_arg $ backoff_arg
+      $ quarantine_after_arg $ failpoint_arg $ verbose_arg)
+
+let submit_cmd =
+  let manifest_arg =
+    let doc =
+      "Manifest file (same format as $(b,psdp batch)): one JSON job per \
+       line. Relative $(b,file) paths resolve against the manifest's \
+       directory; the files must be readable by the workers (shared \
+       filesystem)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Give up after $(docv) seconds without all results." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let shutdown_flag =
+    let doc =
+      "After collecting every result, ask the coordinator to stop the \
+       whole cluster."
+    in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let run connect manifest timeout shutdown out verbosity =
+    setup_logs verbosity;
+    let text =
+      try
+        let ic = open_in manifest in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "psdp submit: %s\n" msg;
+        exit exit_bad_input
+    in
+    match Job.parse_manifest ~dir:(Filename.dirname manifest) text with
+    | Error msg ->
+        Printf.eprintf "psdp submit: %s\n" msg;
+        exit exit_bad_input
+    | Ok specs -> (
+        match Dist.Client.connect connect with
+        | Error msg ->
+            Printf.eprintf "psdp submit: %s\n" msg;
+            exit exit_bad_input
+        | Ok client ->
+            Fun.protect
+              ~finally:(fun () -> Dist.Client.close client)
+              (fun () ->
+                List.iter
+                  (fun spec ->
+                    match Dist.Client.submit client spec with
+                    | Ok () -> ()
+                    | Error msg ->
+                        Printf.eprintf "psdp submit: %s\n" msg;
+                        exit exit_bad_input)
+                  specs;
+                match
+                  Dist.Client.collect ?timeout client
+                    ~expected:(List.length specs)
+                with
+                | Error msg ->
+                    Printf.eprintf "psdp submit: %s\n" msg;
+                    exit exit_infeasible
+                | Ok results ->
+                    if shutdown then Dist.Client.shutdown_cluster client;
+                    (if out = "-" then List.iter (print_result stdout) results
+                     else begin
+                       let oc = open_out out in
+                       List.iter (print_result oc) results;
+                       close_out oc
+                     end);
+                    let bad =
+                      List.length
+                        (List.filter (fun r -> not (result_ok r)) results)
+                    in
+                    Printf.eprintf "submit: %d jobs, %d ok, %d not ok\n"
+                      (List.length results)
+                      (List.length results - bad)
+                      bad;
+                    if bad > 0 then exit exit_infeasible))
+  in
+  Cmd.v
+    (Cmd.info "submit" ~exits:solver_exits
+       ~doc:
+         "Submit a manifest of jobs to a running coordinator and wait for \
+          the results (streamed back in completion order). Exits 1 when a \
+          job failed or results did not arrive in time, 2 on connection \
+          or manifest errors.")
+    Term.(
+      const run $ connect_arg $ manifest_arg $ timeout_arg $ shutdown_flag
+      $ out_arg $ verbose_arg)
+
 let main =
   let doc = "width-independent parallel positive SDP solver (SPAA'12)" in
   Cmd.group
     (Cmd.info "psdp" ~version:"1.0.0" ~doc)
     [
       gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd; batch_cmd;
-      serve_cmd; resume_cmd; trace_group_cmd; fuzz_cmd;
+      serve_cmd; resume_cmd; trace_group_cmd; fuzz_cmd; coordinator_cmd;
+      worker_cmd; submit_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,60 @@
+open Psdp_engine
+
+type t = { conn : Transport.conn }
+
+let connect ?max_payload addr =
+  Result.map (fun conn -> { conn }) (Transport.connect ?max_payload addr)
+
+let submit t (spec : Job.spec) =
+  if spec.Job.id = "" then Error "submit: spec needs a non-empty id"
+  else
+    match spec.Job.source with
+    | Job.Inline _ -> Error "submit: inline instances cannot travel the wire"
+    | Job.File _ -> (
+        try
+          Transport.send t.conn (Proto.Submit { spec });
+          Ok ()
+        with Transport.Closed | Unix.Unix_error _ ->
+          Error "submit: connection to coordinator lost")
+
+let collect ?timeout t ~expected =
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
+  let results = ref [] in
+  let err = ref None in
+  (try
+     while !err = None && List.length !results < expected do
+       match Transport.pop t.conn with
+       | Some (Proto.Result { result }) -> results := result :: !results
+       | Some (Proto.Error_msg { message }) -> err := Some message
+       | Some (Proto.Goodbye { reason }) ->
+           err := Some ("coordinator said goodbye: " ^ reason)
+       | Some _ -> ()
+       | None ->
+           let wait =
+             match deadline with
+             | None -> 60.0
+             | Some d ->
+                 let left = d -. Unix.gettimeofday () in
+                 if left <= 0.0 then raise Exit else left
+           in
+           let readable, _, _ =
+             try Unix.select [ Transport.fd t.conn ] [] [] wait
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+           in
+           if readable <> [] && not (Transport.fill t.conn) then
+             err := Some "connection to coordinator lost"
+     done
+   with
+  | Exit ->
+      err :=
+        Some
+          (Printf.sprintf "timed out with %d of %d results"
+             (List.length !results) expected)
+  | Transport.Protocol_failure why -> err := Some ("protocol failure: " ^ why));
+  match !err with None -> Ok (List.rev !results) | Some e -> Error e
+
+let shutdown_cluster t =
+  try Transport.send t.conn Proto.Shutdown
+  with Transport.Closed | Unix.Unix_error _ -> ()
+
+let close t = Transport.close t.conn

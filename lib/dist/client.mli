@@ -1,0 +1,30 @@
+(** A submitting client for the distributed service — what
+    [psdp submit], the chaos tests and the throughput bench speak.
+
+    The client is deliberately thin: it pushes [Submit] frames and
+    collects [Result] frames; sharding, journaling and rerouting are
+    entirely the coordinator's business. *)
+
+open Psdp_engine
+
+type t
+
+val connect : ?max_payload:int -> Transport.addr -> (t, string) result
+
+val submit : t -> Job.spec -> (unit, string) result
+(** Send one job. Specs must carry a non-empty [id] (the coordinator
+    rejects empty ids — auto-numbering is a per-engine notion) and a
+    [File] source. *)
+
+val collect :
+  ?timeout:float -> t -> expected:int -> (Job.result list, string) result
+(** Wait for [expected] results, in completion order. [timeout]
+    (default none) bounds the {e total} wait. An [Error_msg] from the
+    coordinator (rejected submit) aborts with its message; so do a
+    dropped connection and a protocol violation. *)
+
+val shutdown_cluster : t -> unit
+(** Ask the coordinator to stop (it dismisses its workers first).
+    Send-and-forget. *)
+
+val close : t -> unit

@@ -1,0 +1,565 @@
+open Psdp_prelude
+open Psdp_engine
+module Store = Psdp_store.Store
+module Journal = Psdp_store.Journal
+module Checksum = Psdp_store.Checksum
+module Metrics = Psdp_obs.Metrics
+
+let log_src = Logs.Src.create "psdp.dist.coord" ~doc:"distributed coordinator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  name : string;
+  heartbeat_every : float;
+  heartbeat_grace : float;
+  max_payload : int;
+}
+
+let default_config =
+  {
+    name = "coordinator";
+    heartbeat_every = 1.0;
+    heartbeat_grace = 5.0;
+    max_payload = Frame.default_max_payload;
+  }
+
+type meters = {
+  m_workers : Metrics.gauge;
+  m_submitted : Metrics.counter;
+  m_completed : Metrics.counter;
+  m_queued : Metrics.gauge;
+  m_reroutes : Metrics.counter;
+  m_hb_misses : Metrics.counter;
+  m_rx_bytes : Metrics.counter;
+  m_tx_bytes : Metrics.counter;
+  m_reg : Metrics.t;
+}
+
+let make_meters reg =
+  {
+    m_workers =
+      Metrics.gauge reg ~help:"workers currently registered"
+        "psdp_dist_workers";
+    m_submitted =
+      Metrics.counter reg ~help:"jobs accepted from clients"
+        "psdp_dist_jobs_submitted_total";
+    m_completed =
+      Metrics.counter reg ~help:"results received from workers"
+        "psdp_dist_jobs_completed_total";
+    m_queued =
+      Metrics.gauge reg ~help:"jobs accepted but not yet assigned"
+        "psdp_dist_jobs_queued";
+    m_reroutes =
+      Metrics.counter reg ~help:"jobs re-queued after a worker death"
+        "psdp_dist_reroutes_total";
+    m_hb_misses =
+      Metrics.counter reg ~help:"heartbeat periods a worker went silent"
+        "psdp_dist_heartbeat_misses_total";
+    m_rx_bytes =
+      Metrics.counter reg ~labels:[ ("dir", "rx") ]
+        ~help:"raw bytes crossing coordinator sockets"
+        "psdp_dist_frame_bytes_total";
+    m_tx_bytes =
+      Metrics.counter reg ~labels:[ ("dir", "tx") ]
+        ~help:"raw bytes crossing coordinator sockets"
+        "psdp_dist_frame_bytes_total";
+    m_reg = reg;
+  }
+
+type role = Pending | Worker_role of string | Client_role
+
+type peer = { pid : int; conn : Transport.conn; mutable role : role }
+
+type wstate = {
+  w_name : string;
+  w_peer : peer;
+  w_capacity : int;
+  w_jobs : (string, unit) Hashtbl.t;  (* assigned, not yet completed *)
+  mutable w_last_seen : float;
+  mutable w_missed : int;  (* heartbeat periods counted silent so far *)
+  w_gauge : Metrics.gauge option;
+}
+
+type jstate = {
+  j_spec : Job.spec;
+  mutable j_worker : string option;
+  mutable j_client : int option;  (* peer id to return the result to *)
+  mutable j_done : bool;
+}
+
+type t = {
+  cfg : config;
+  store : Store.t option;
+  meters : meters option;
+  trace : Trace.sink;
+  conns : (int, peer) Hashtbl.t;
+  workers : (string, wstate) Hashtbl.t;
+  jobs : (string, jstate) Hashtbl.t;
+  queue : string Queue.t;
+  digests : (string, string) Hashtbl.t;  (* instance path -> shard key *)
+  mutable next_pid : int;
+  mutable running : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sharding *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The shard key is the digest of the instance *content* when the file
+   is readable here (coordinator and workers share a filesystem in the
+   local-cluster deployments this serves), falling back to the path —
+   still deterministic, just blind to renames. *)
+let shard_key t (spec : Job.spec) =
+  match spec.Job.source with
+  | Job.Inline _ -> spec.Job.id
+  | Job.File path -> (
+      match Hashtbl.find_opt t.digests path with
+      | Some k -> k
+      | None ->
+          let k =
+            match read_file path with
+            | text -> Checksum.fnv1a64_hex text
+            | exception _ -> Checksum.fnv1a64_hex path
+          in
+          Hashtbl.replace t.digests path k;
+          k)
+
+let rendezvous t key =
+  Hashtbl.fold
+    (fun name w best ->
+      if Hashtbl.length w.w_jobs >= w.w_capacity then best
+      else
+        let score = Checksum.fnv1a64 (key ^ "|" ^ name) in
+        match best with
+        | Some (s, _) when Int64.unsigned_compare s score >= 0 -> best
+        | _ -> Some (score, w))
+    t.workers None
+  |> Option.map snd
+
+(* ------------------------------------------------------------------ *)
+(* Journaling and metrics helpers *)
+
+let journal t record =
+  match t.store with
+  | None -> ()
+  | Some store -> (
+      try Store.append store record
+      with e ->
+        Log.warn (fun m ->
+            m "journal append failed (%s); continuing non-durable"
+              (Printexc.to_string e)))
+
+let set_queue_gauge t =
+  match t.meters with
+  | None -> ()
+  | Some m -> Metrics.set m.m_queued (float_of_int (Queue.length t.queue))
+
+let set_worker_gauges t =
+  match t.meters with
+  | None -> ()
+  | Some m ->
+      Metrics.set m.m_workers (float_of_int (Hashtbl.length t.workers));
+      Hashtbl.iter
+        (fun _ w ->
+          match w.w_gauge with
+          | Some g -> Metrics.set g (float_of_int (Hashtbl.length w.w_jobs))
+          | None -> ())
+        t.workers
+
+let safe_send peer msg =
+  try
+    Transport.send peer.conn msg;
+    true
+  with Transport.Closed | Unix.Unix_error _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch *)
+
+let rec dispatch t =
+  if not (Queue.is_empty t.queue) then
+    match
+      let id = Queue.peek t.queue in
+      match Hashtbl.find_opt t.jobs id with
+      | None -> `Drop
+      | Some j when j.j_done || j.j_worker <> None -> `Drop
+      | Some j -> (
+          match rendezvous t (shard_key t j.j_spec) with
+          | None -> `Stall  (* every live worker is at capacity *)
+          | Some w -> `Assign (id, j, w))
+    with
+    | `Drop ->
+        ignore (Queue.pop t.queue);
+        dispatch t
+    | `Stall -> ()
+    | `Assign (id, j, w) ->
+        ignore (Queue.pop t.queue);
+        if safe_send w.w_peer (Proto.Submit { spec = j.j_spec }) then begin
+          j.j_worker <- Some w.w_name;
+          Hashtbl.replace w.w_jobs id ();
+          journal t (Journal.Assigned { job = id; worker = w.w_name });
+          Trace.emit t.trace ~job:id ~kind:"job_assigned"
+            [ ("worker", Json.Str w.w_name) ];
+          Log.debug (fun m -> m "assigned %s to %s" id w.w_name);
+          set_worker_gauges t;
+          set_queue_gauge t;
+          dispatch t
+        end
+        else begin
+          (* The write failed: the worker is dead. Re-queue and let the
+             death path (triggered by EOF or the heartbeat sweep) clean
+             the rest up; here we just avoid losing this job. *)
+          Queue.push id t.queue;
+          dispatch_after_death t w.w_name
+        end
+
+and dispatch_after_death t name =
+  match Hashtbl.find_opt t.workers name with
+  | None -> ()
+  | Some w -> worker_dead t w ~reason:"send failed"
+
+and worker_dead t w ~reason =
+  Log.warn (fun m ->
+      m "worker %s dead (%s); rerouting %d job(s)" w.w_name reason
+        (Hashtbl.length w.w_jobs));
+  Trace.emit t.trace ~kind:"worker_dead"
+    [ ("worker", Json.Str w.w_name); ("reason", Json.Str reason) ];
+  Hashtbl.remove t.workers w.w_name;
+  Hashtbl.remove t.conns w.w_peer.pid;
+  Transport.close w.w_peer.conn;
+  let rerouted = ref 0 in
+  Hashtbl.iter
+    (fun id () ->
+      match Hashtbl.find_opt t.jobs id with
+      | Some j when not j.j_done ->
+          j.j_worker <- None;
+          Queue.push id t.queue;
+          incr rerouted;
+          Trace.emit t.trace ~job:id ~kind:"job_rerouted"
+            [ ("from", Json.Str w.w_name) ]
+      | _ -> ())
+    w.w_jobs;
+  (match t.meters with
+  | Some m -> Metrics.add m.m_reroutes !rerouted
+  | None -> ());
+  set_worker_gauges t;
+  set_queue_gauge t;
+  dispatch t
+
+(* ------------------------------------------------------------------ *)
+(* Message handling *)
+
+let accept_job t peer (spec : Job.spec) =
+  if spec.Job.id = "" then
+    ignore
+      (safe_send peer
+         (Proto.Error_msg { message = "submit: job id must not be empty" }))
+  else if Hashtbl.mem t.jobs spec.Job.id then
+    ignore
+      (safe_send peer
+         (Proto.Error_msg
+            {
+              message =
+                Printf.sprintf "submit: duplicate job id %S" spec.Job.id;
+            }))
+  else begin
+    if peer.role = Pending then peer.role <- Client_role;
+    let j =
+      { j_spec = spec; j_worker = None; j_client = Some peer.pid; j_done = false }
+    in
+    Hashtbl.replace t.jobs spec.Job.id j;
+    Queue.push spec.Job.id t.queue;
+    (match Job.spec_to_json spec with
+    | Ok json -> journal t (Journal.Submitted { job = spec.Job.id; spec = json })
+    | Error _ -> ());
+    (match t.meters with Some m -> Metrics.inc m.m_submitted | None -> ());
+    Trace.emit t.trace ~job:spec.Job.id ~kind:"job_accepted" [];
+    set_queue_gauge t;
+    dispatch t
+  end
+
+let accept_result t peer (result : Job.result) =
+  let id = result.Job.id in
+  match Hashtbl.find_opt t.jobs id with
+  | None -> Log.warn (fun m -> m "result for unknown job %s; dropped" id)
+  | Some j when j.j_done ->
+      Log.debug (fun m -> m "duplicate result for %s; dropped" id)
+  | Some j ->
+      j.j_done <- true;
+      (match peer.role with
+      | Worker_role name -> (
+          match Hashtbl.find_opt t.workers name with
+          | Some w -> Hashtbl.remove w.w_jobs id
+          | None -> ())
+      | _ -> ());
+      let status =
+        match result.Job.outcome with
+        | Job.Solved _ -> "ok"
+        | Job.Decided { accepted; _ } -> if accepted then "ok" else "rejected"
+        | Job.Failed _ -> "failed"
+        | Job.Cancelled -> "cancelled"
+        | Job.Timed_out -> "timeout"
+      in
+      journal t (Journal.Completed { job = id; status });
+      (match t.meters with Some m -> Metrics.inc m.m_completed | None -> ());
+      Trace.emit t.trace ~job:id ~kind:"job_completed"
+        [ ("status", Json.Str status) ];
+      (match Option.bind j.j_client (Hashtbl.find_opt t.conns) with
+      | Some client -> ignore (safe_send client (Proto.Result { result }))
+      | None -> ());
+      set_worker_gauges t;
+      dispatch t
+
+let drop_peer t peer ~reason =
+  match peer.role with
+  | Worker_role name -> (
+      match Hashtbl.find_opt t.workers name with
+      | Some w -> worker_dead t w ~reason
+      | None ->
+          Hashtbl.remove t.conns peer.pid;
+          Transport.close peer.conn)
+  | Pending | Client_role ->
+      (* A gone client orphans its jobs: they still run to completion
+         and are journaled, the results just have nowhere to go. *)
+      Hashtbl.iter
+        (fun _ j -> if j.j_client = Some peer.pid then j.j_client <- None)
+        t.jobs;
+      Hashtbl.remove t.conns peer.pid;
+      Transport.close peer.conn
+
+let handle_msg t peer msg =
+  match msg with
+  | Proto.Hello { worker; capacity } ->
+      if Hashtbl.mem t.workers worker then begin
+        ignore
+          (safe_send peer
+             (Proto.Goodbye
+                { reason = Printf.sprintf "worker name %S taken" worker }));
+        drop_peer t peer ~reason:"duplicate name"
+      end
+      else begin
+        peer.role <- Worker_role worker;
+        let w =
+          {
+            w_name = worker;
+            w_peer = peer;
+            w_capacity = capacity;
+            w_jobs = Hashtbl.create 8;
+            w_last_seen = Unix.gettimeofday ();
+            w_missed = 0;
+            w_gauge =
+              Option.map
+                (fun m ->
+                  Metrics.gauge m.m_reg
+                    ~labels:[ ("worker", worker) ]
+                    ~help:"jobs currently assigned to this worker"
+                    "psdp_dist_worker_inflight")
+                t.meters;
+          }
+        in
+        Hashtbl.replace t.workers worker w;
+        Trace.emit t.trace ~kind:"worker_joined"
+          [
+            ("worker", Json.Str worker);
+            ("capacity", Json.Num (float_of_int capacity));
+          ];
+        Log.info (fun m -> m "worker %s joined (capacity %d)" worker capacity);
+        ignore
+          (safe_send peer
+             (Proto.Welcome
+                {
+                  coordinator = t.cfg.name;
+                  heartbeat_every = t.cfg.heartbeat_every;
+                }));
+        set_worker_gauges t;
+        dispatch t
+      end
+  | Proto.Submit { spec } -> accept_job t peer spec
+  | Proto.Result { result } -> accept_result t peer result
+  | Proto.Heartbeat { worker; _ } -> (
+      match Hashtbl.find_opt t.workers worker with
+      | Some w ->
+          w.w_last_seen <- Unix.gettimeofday ();
+          w.w_missed <- 0;
+          ignore (safe_send w.w_peer Proto.Heartbeat_ack)
+      | None ->
+          (* A heartbeat from a worker we already declared dead: tell it
+             to go away so it can reconnect fresh. *)
+          ignore (safe_send peer (Proto.Goodbye { reason = "unknown worker" })))
+  | Proto.Goodbye { reason } -> drop_peer t peer ~reason
+  | Proto.Shutdown ->
+      Log.info (fun m -> m "shutdown requested");
+      t.running <- false
+  | Proto.Welcome _ | Proto.Heartbeat_ack | Proto.Error_msg _ ->
+      drop_peer t peer ~reason:"unexpected message"
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat sweep *)
+
+let sweep t =
+  let now = Unix.gettimeofday () in
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun _ w ->
+      let silent = now -. w.w_last_seen in
+      let periods = int_of_float (silent /. t.cfg.heartbeat_every) in
+      if periods > w.w_missed then begin
+        (match t.meters with
+        | Some m -> Metrics.add m.m_hb_misses (periods - w.w_missed)
+        | None -> ());
+        w.w_missed <- periods
+      end;
+      if silent > t.cfg.heartbeat_grace then dead := w :: !dead)
+    t.workers;
+  List.iter (fun w -> worker_dead t w ~reason:"heartbeat timeout") !dead
+
+(* ------------------------------------------------------------------ *)
+(* Recovery *)
+
+let recover t =
+  match t.store with
+  | None -> ()
+  | Some store ->
+      List.iter
+        (fun (p : Store.pending) ->
+          match Job.spec_of_json p.Store.spec with
+          | Error msg ->
+              Log.warn (fun m ->
+                  m "recovery: cannot decode spec for %s: %s" p.Store.job msg)
+          | Ok spec ->
+              let spec =
+                if spec.Job.id = "" then { spec with Job.id = p.Store.job }
+                else spec
+              in
+              if not (Hashtbl.mem t.jobs spec.Job.id) then begin
+                Hashtbl.replace t.jobs spec.Job.id
+                  {
+                    j_spec = spec;
+                    j_worker = None;
+                    j_client = None;
+                    j_done = false;
+                  };
+                Queue.push spec.Job.id t.queue;
+                Trace.emit t.trace ~job:spec.Job.id ~kind:"job_recovered"
+                  (match p.Store.assigned with
+                  | Some w -> [ ("last_worker", Json.Str w) ]
+                  | None -> [])
+              end)
+        (Store.pending store);
+      if not (Queue.is_empty t.queue) then
+        Log.info (fun m ->
+            m "recovered %d unfinished job(s) from the journal"
+              (Queue.length t.queue));
+      set_queue_gauge t
+
+(* ------------------------------------------------------------------ *)
+(* Main loop *)
+
+let run ?(config = default_config) ?store ?metrics ?(trace = Trace.null)
+    ?on_ready ~listen () =
+  match Transport.listen listen with
+  | Error e -> Error e
+  | Ok lfd ->
+      let meters = Option.map make_meters metrics in
+      let t =
+        {
+          cfg = config;
+          store;
+          meters;
+          trace;
+          conns = Hashtbl.create 16;
+          workers = Hashtbl.create 8;
+          jobs = Hashtbl.create 64;
+          queue = Queue.create ();
+          digests = Hashtbl.create 16;
+          next_pid = 0;
+          running = true;
+        }
+      in
+      Trace.emit t.trace ~kind:"coordinator_started"
+        [ ("listen", Json.Str (Transport.addr_to_string listen)) ];
+      recover t;
+      (match on_ready with Some f -> f () | None -> ());
+      let count_rx n =
+        match meters with Some m -> Metrics.add m.m_rx_bytes n | None -> ()
+      in
+      let count_tx n =
+        match meters with Some m -> Metrics.add m.m_tx_bytes n | None -> ()
+      in
+      while t.running do
+        let fds =
+          lfd
+          :: Hashtbl.fold (fun _ p acc -> Transport.fd p.conn :: acc) t.conns []
+        in
+        let tick = config.heartbeat_every /. 2.0 in
+        let readable, _, _ =
+          try Unix.select fds [] [] tick
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            if fd = lfd then begin
+              match Unix.accept lfd with
+              | cfd, _ ->
+                  Unix.set_nonblock cfd;
+                  let conn =
+                    Transport.of_fd ~max_payload:config.max_payload ~count_rx
+                      ~count_tx cfd
+                  in
+                  let pid = t.next_pid in
+                  t.next_pid <- pid + 1;
+                  Hashtbl.replace t.conns pid { pid; conn; role = Pending }
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              let peer =
+                Hashtbl.fold
+                  (fun _ p acc ->
+                    if Transport.fd p.conn = fd then Some p else acc)
+                  t.conns None
+              in
+              match peer with
+              | None -> ()
+              | Some peer -> (
+                  match Transport.fill peer.conn with
+                  | false -> drop_peer t peer ~reason:"connection closed"
+                  | true -> (
+                      try
+                        let continue = ref true in
+                        while !continue do
+                          match Transport.pop peer.conn with
+                          | Some msg ->
+                              handle_msg t peer msg;
+                              (* the peer may have been dropped *)
+                              if not (Hashtbl.mem t.conns peer.pid) then
+                                continue := false
+                          | None -> continue := false
+                        done
+                      with Transport.Protocol_failure why ->
+                        Log.warn (fun m ->
+                            m "protocol failure from peer %d: %s" peer.pid why);
+                        Trace.emit t.trace ~kind:"protocol_failure"
+                          [ ("why", Json.Str why) ];
+                        drop_peer t peer ~reason:("protocol: " ^ why))))
+          readable;
+        sweep t
+      done;
+      (* Graceful stop: tell everyone, close everything. *)
+      Hashtbl.iter
+        (fun _ p ->
+          ignore (safe_send p (Proto.Goodbye { reason = "coordinator stopped" }));
+          Transport.close p.conn)
+        t.conns;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      (match listen with
+      | Transport.Unix_sock path -> (
+          try Sys.remove path with Sys_error _ -> ())
+      | Transport.Tcp _ -> ());
+      Trace.emit t.trace ~kind:"coordinator_stopped"
+        [ ("unfinished", Json.Num (float_of_int (Queue.length t.queue))) ];
+      Ok ()

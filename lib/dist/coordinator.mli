@@ -1,0 +1,68 @@
+(** The distributed coordinator: accepts jobs from clients, shards them
+    across registered workers, and reroutes work when a worker dies.
+
+    {2 Sharding}
+
+    Jobs are placed by {e rendezvous (highest-random-weight) hashing}
+    on the instance digest: among live workers with spare capacity, the
+    job goes to the one maximizing [fnv1a64(digest ^ "|" ^ worker)].
+    Two properties follow: repeated solves of the same instance land on
+    the same worker (whose engine cache then answers warm or hot), and
+    a worker joining or leaving moves only the jobs that hash to it —
+    no global reshuffle.
+
+    {2 Durability and rerouting}
+
+    With a {!Psdp_store.Store} attached, the coordinator journals
+    [Submitted] when it accepts a job, [Assigned] each time it hands
+    the job to a worker, and [Completed] when the result arrives — the
+    same WAL the single-process engine writes, so [psdp journal] tools
+    read it unchanged. A worker that misses heartbeats past the grace
+    period (or whose connection drops) is declared dead; its
+    unfinished jobs are re-queued and re-journaled as [Assigned] to
+    their new worker. On startup the coordinator replays its journal
+    and re-queues every job that was submitted but never completed, so
+    a coordinator crash loses no accepted work (results for recovered
+    jobs have no client to return to; they are journaled and
+    dropped).
+
+    {2 Concurrency model}
+
+    One thread, one [select] loop. Frame decoding is pure and
+    incremental, so slow or malicious peers cannot wedge the loop;
+    writes are blocking (results and acks are small). Protocol
+    violations drop the offending connection only. *)
+
+type config = {
+  name : string;  (** announced in [Welcome] *)
+  heartbeat_every : float;  (** seconds between worker heartbeats *)
+  heartbeat_grace : float;
+      (** silence after which a worker is declared dead; must exceed
+          [heartbeat_every] *)
+  max_payload : int;  (** per-frame payload acceptance limit, bytes *)
+}
+
+val default_config : config
+(** [{name = "coordinator"; heartbeat_every = 1.0;
+     heartbeat_grace = 5.0; max_payload = Frame.default_max_payload}] *)
+
+val run :
+  ?config:config ->
+  ?store:Psdp_store.Store.t ->
+  ?metrics:Psdp_obs.Metrics.t ->
+  ?trace:Psdp_engine.Trace.sink ->
+  ?on_ready:(unit -> unit) ->
+  listen:Transport.addr ->
+  unit ->
+  (unit, string) result
+(** Serve until a client sends [Shutdown] (all workers then receive
+    [Goodbye] and every connection is closed) — or return [Error] if
+    the listen address cannot be bound. [on_ready] fires once the
+    socket is listening (in-process tests synchronize on it).
+
+    Metrics registered when [metrics] is given:
+    [psdp_dist_workers], [psdp_dist_worker_inflight{worker}],
+    [psdp_dist_jobs_submitted_total], [psdp_dist_jobs_completed_total],
+    [psdp_dist_jobs_queued], [psdp_dist_reroutes_total],
+    [psdp_dist_heartbeat_misses_total],
+    [psdp_dist_frame_bytes_total{dir="rx"|"tx"}]. *)

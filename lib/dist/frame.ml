@@ -1,0 +1,92 @@
+module Checksum = Psdp_store.Checksum
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Oversized of { length : int; limit : int }
+  | Truncated
+  | Checksum_mismatch
+
+let error_to_string = function
+  | Bad_magic -> "bad magic (not a PSDP frame)"
+  | Bad_version v -> Printf.sprintf "unsupported protocol version %d" v
+  | Oversized { length; limit } ->
+      Printf.sprintf "declared payload of %d bytes exceeds the %d-byte limit"
+        length limit
+  | Truncated -> "truncated frame"
+  | Checksum_mismatch -> "frame checksum mismatch"
+
+let magic = "PSDP"
+let version = 1
+let header_size = 12
+let trailer_size = 8
+let default_max_payload = 16 * 1024 * 1024
+
+let encode ~tag payload =
+  if tag < 0 || tag > 255 then
+    invalid_arg (Printf.sprintf "Frame.encode: tag %d out of range" tag);
+  let n = String.length payload in
+  let b = Bytes.create (header_size + n + trailer_size) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_uint8 b 4 version;
+  Bytes.set_uint8 b 5 tag;
+  Bytes.set_uint8 b 6 0;
+  Bytes.set_uint8 b 7 0;
+  Bytes.set_uint8 b 8 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 9 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 10 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 11 (n land 0xff);
+  Bytes.blit_string payload 0 b header_size n;
+  let sum = Checksum.fnv1a64 (Bytes.sub_string b 0 (header_size + n)) in
+  Bytes.set_int64_be b (header_size + n) sum;
+  Bytes.unsafe_to_string b
+
+type decoded =
+  | Incomplete
+  | Frame of { tag : int; payload : string; size : int }
+
+let decode ?(max_payload = default_max_payload) buf ~off ~len =
+  (* Validate the prefix as it arrives: magic byte-by-byte, then the
+     version, then the declared length against the limit — all before a
+     payload-sized allocation can happen. *)
+  let ok_magic =
+    let n = min len 4 in
+    let rec go i = i >= n || (Bytes.get buf (off + i) = magic.[i] && go (i + 1)) in
+    go 0
+  in
+  if not ok_magic then Error Bad_magic
+  else if len < 5 then Ok Incomplete
+  else
+    let v = Bytes.get_uint8 buf (off + 4) in
+    if v <> version then Error (Bad_version v)
+    else if len < header_size then Ok Incomplete
+    else
+      let plen =
+        (Bytes.get_uint8 buf (off + 8) lsl 24)
+        lor (Bytes.get_uint8 buf (off + 9) lsl 16)
+        lor (Bytes.get_uint8 buf (off + 10) lsl 8)
+        lor Bytes.get_uint8 buf (off + 11)
+      in
+      if plen > max_payload then
+        Error (Oversized { length = plen; limit = max_payload })
+      else
+        let size = header_size + plen + trailer_size in
+        if len < size then Ok Incomplete
+        else
+          let body = Bytes.sub_string buf off (header_size + plen) in
+          let sum = Bytes.get_int64_be buf (off + header_size + plen) in
+          if not (Int64.equal (Checksum.fnv1a64 body) sum) then
+            Error Checksum_mismatch
+          else
+            let tag = Bytes.get_uint8 buf (off + 5) in
+            let payload = String.sub body header_size plen in
+            Ok (Frame { tag; payload; size })
+
+let decode_exact ?max_payload s =
+  let buf = Bytes.unsafe_of_string s in
+  match decode ?max_payload buf ~off:0 ~len:(String.length s) with
+  | Error e -> Error e
+  | Ok Incomplete -> Error Truncated
+  | Ok (Frame { tag; payload; size }) ->
+      if size <> String.length s then Error Bad_magic
+      else Ok (tag, payload)

@@ -1,0 +1,79 @@
+(** The distributed layer's wire frame — a from-scratch length-prefixed
+    binary envelope.
+
+    {2 Layout}
+
+    {v
+    offset  size  field
+    0       4     magic "PSDP"
+    4       1     protocol version (currently 1)
+    5       1     message type tag (opaque here; Proto assigns meaning)
+    6       2     reserved, sent as zero (ignored on read)
+    8       4     payload length, u32 big-endian
+    12      N     payload bytes
+    12+N    8     FNV-1a-64 of bytes [0, 12+N), big-endian
+    v}
+
+    The checksum covers the whole header {e and} the payload, so a
+    corrupted length or tag is caught, not just corrupted payload
+    bytes. Because each FNV-1a absorption step [(h xor b) * prime] is a
+    bijection of the 64-bit state, any {e single} flipped byte is
+    detected with certainty (multi-byte corruption with probability
+    [1 - 2⁻⁶⁴] per the usual hash argument).
+
+    {2 Hardening}
+
+    The decoder validates everything it can {e before} allocating: the
+    magic is checked byte-by-byte as input arrives, the version next,
+    and the declared payload length is bounded by [max_payload]
+    (default {!default_max_payload}, 16 MiB) before any
+    payload-sized buffer exists. A peer therefore cannot make the
+    process allocate attacker-controlled amounts of memory by sending
+    a 12-byte header with a huge length field. *)
+
+type error =
+  | Bad_magic  (** leading bytes are not ["PSDP"] — not our protocol *)
+  | Bad_version of int  (** version byte we do not speak *)
+  | Oversized of { length : int; limit : int }
+      (** declared payload length exceeds the reader's limit; rejected
+          before allocation *)
+  | Truncated  (** a complete buffer ended mid-frame ({!decode_exact}) *)
+  | Checksum_mismatch  (** frame arrived complete but corrupt *)
+
+val error_to_string : error -> string
+
+val header_size : int
+(** 12: magic + version + tag + reserved + length. *)
+
+val trailer_size : int
+(** 8: the checksum. *)
+
+val default_max_payload : int
+(** 16 MiB. *)
+
+val version : int
+(** The protocol version this build speaks (1). *)
+
+val encode : tag:int -> string -> string
+(** [encode ~tag payload] renders one complete frame. Raises
+    [Invalid_argument] unless [0 <= tag < 256]. *)
+
+type decoded =
+  | Incomplete  (** no full frame yet — read more bytes and retry *)
+  | Frame of { tag : int; payload : string; size : int }
+      (** one frame; [size] bytes of input were consumed *)
+
+val decode :
+  ?max_payload:int -> Bytes.t -> off:int -> len:int -> (decoded, error) result
+(** Try to decode one frame from [len] bytes starting at [off].
+    Incremental: [Incomplete] means the prefix seen so far is a valid
+    partial frame; errors are definitive (the connection should be
+    dropped — resynchronising a corrupt byte stream is not
+    attempted). *)
+
+val decode_exact : ?max_payload:int -> string -> (int * string, error) result
+(** Decode a string holding exactly one frame, returning
+    [(tag, payload)]. Partial input is [Error Truncated]; bytes after
+    the frame are decoded as the start of a next frame, so trailing
+    garbage surfaces as [Error Bad_magic]. Used by tests and the QA
+    corruption properties. *)

@@ -1,0 +1,118 @@
+open Psdp_prelude
+open Psdp_engine
+
+type msg =
+  | Hello of { worker : string; capacity : int }
+  | Welcome of { coordinator : string; heartbeat_every : float }
+  | Submit of { spec : Job.spec }
+  | Result of { result : Job.result }
+  | Heartbeat of { worker : string; inflight : int }
+  | Heartbeat_ack
+  | Goodbye of { reason : string }
+  | Error_msg of { message : string }
+  | Shutdown
+
+let tag = function
+  | Hello _ -> 1
+  | Welcome _ -> 2
+  | Submit _ -> 3
+  | Result _ -> 4
+  | Heartbeat _ -> 5
+  | Heartbeat_ack -> 6
+  | Goodbye _ -> 7
+  | Error_msg _ -> 8
+  | Shutdown -> 9
+
+let describe = function
+  | Hello { worker; _ } -> "hello:" ^ worker
+  | Welcome { coordinator; _ } -> "welcome:" ^ coordinator
+  | Submit { spec } -> "submit:" ^ spec.Job.id
+  | Result { result } -> "result:" ^ result.Job.id
+  | Heartbeat { worker; _ } -> "heartbeat:" ^ worker
+  | Heartbeat_ack -> "heartbeat_ack"
+  | Goodbye { reason } -> "goodbye:" ^ reason
+  | Error_msg { message } -> "error:" ^ message
+  | Shutdown -> "shutdown"
+
+let payload_json = function
+  | Hello { worker; capacity } ->
+      Json.Obj
+        [
+          ("worker", Json.Str worker);
+          ("capacity", Json.Num (float_of_int capacity));
+        ]
+  | Welcome { coordinator; heartbeat_every } ->
+      Json.Obj
+        [
+          ("coordinator", Json.Str coordinator);
+          ("heartbeat_every", Json.Num heartbeat_every);
+        ]
+  | Submit { spec } -> (
+      match Job.spec_to_json spec with
+      | Ok j -> j
+      | Error msg -> invalid_arg ("Proto.encode: " ^ msg))
+  | Result { result } -> Job.result_to_json result
+  | Heartbeat { worker; inflight } ->
+      Json.Obj
+        [
+          ("worker", Json.Str worker);
+          ("inflight", Json.Num (float_of_int inflight));
+        ]
+  | Heartbeat_ack -> Json.Obj []
+  | Goodbye { reason } -> Json.Obj [ ("reason", Json.Str reason) ]
+  | Error_msg { message } -> Json.Obj [ ("message", Json.Str message) ]
+  | Shutdown -> Json.Obj []
+
+let encode msg = Frame.encode ~tag:(tag msg) (Json.to_string (payload_json msg))
+
+let decode ~tag payload =
+  let ( let* ) = Result.bind in
+  let* j =
+    match Json.parse payload with
+    | Ok j -> Ok j
+    | Error e -> Error ("payload is not JSON: " ^ e)
+  in
+  let str name =
+    match Option.bind (Json.mem name j) Json.str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing or bad %S" name)
+  in
+  let int name =
+    match Option.bind (Json.mem name j) Json.int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "missing or bad %S" name)
+  in
+  let num name =
+    match Option.bind (Json.mem name j) Json.num with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "missing or bad %S" name)
+  in
+  match tag with
+  | 1 ->
+      let* worker = str "worker" in
+      let* capacity = int "capacity" in
+      if capacity < 1 then Error "hello: capacity must be positive"
+      else Ok (Hello { worker; capacity })
+  | 2 ->
+      let* coordinator = str "coordinator" in
+      let* heartbeat_every = num "heartbeat_every" in
+      Ok (Welcome { coordinator; heartbeat_every })
+  | 3 ->
+      let* spec = Job.spec_of_json j in
+      Ok (Submit { spec })
+  | 4 ->
+      let* result = Job.result_of_json j in
+      Ok (Result { result })
+  | 5 ->
+      let* worker = str "worker" in
+      let* inflight = int "inflight" in
+      Ok (Heartbeat { worker; inflight })
+  | 6 -> Ok Heartbeat_ack
+  | 7 ->
+      let* reason = str "reason" in
+      Ok (Goodbye { reason })
+  | 8 ->
+      let* message = str "message" in
+      Ok (Error_msg { message })
+  | 9 -> Ok Shutdown
+  | other -> Error (Printf.sprintf "unknown message tag %d" other)

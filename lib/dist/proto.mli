@@ -1,0 +1,50 @@
+(** Messages of the coordinator/worker/client protocol, and their frame
+    codecs.
+
+    Payloads are JSON (the prelude codec) inside {!Frame} envelopes —
+    job specs and results travel in exactly the form the engine's own
+    codecs journal and report, so a frame captured off the wire can be
+    replayed against [psdp batch] unchanged.
+
+    {2 Conversation shape}
+
+    {v
+    worker  ──Hello{worker,capacity}──────▶ coordinator
+    worker  ◀─Welcome{coordinator,heartbeat_every}── coordinator
+    client  ──Submit{spec}────────────────▶ coordinator
+    coordinator ──Submit{spec}────────────▶ worker      (sharded)
+    worker  ──Result{result}──────────────▶ coordinator
+    coordinator ──Result{result}──────────▶ client
+    worker  ──Heartbeat{worker,inflight}──▶ coordinator (every heartbeat_every)
+    worker  ◀─Heartbeat_ack───────────────  coordinator
+    any     ──Goodbye{reason}─────────────▶ peer        (graceful close)
+    coordinator ──Error{message}──────────▶ client      (rejected submit)
+    client  ──Shutdown────────────────────▶ coordinator (stop the cluster)
+    v} *)
+
+open Psdp_engine
+
+type msg =
+  | Hello of { worker : string; capacity : int }
+  | Welcome of { coordinator : string; heartbeat_every : float }
+  | Submit of { spec : Job.spec }
+  | Result of { result : Job.result }
+  | Heartbeat of { worker : string; inflight : int }
+  | Heartbeat_ack
+  | Goodbye of { reason : string }
+  | Error_msg of { message : string }
+  | Shutdown
+
+val tag : msg -> int
+val describe : msg -> string
+(** One-word message name plus its key field, for logs. *)
+
+val encode : msg -> string
+(** Render a message as one complete wire frame. Raises
+    [Invalid_argument] for a [Submit] whose spec has an [Inline] source
+    (those have no JSON form; callers persist them to a file first). *)
+
+val decode : tag:int -> string -> (msg, string) result
+(** Decode a frame's payload. Unknown tags and malformed payloads are
+    [Error] — the transport layer turns them into a typed protocol
+    failure and drops the connection. *)

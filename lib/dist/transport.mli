@@ -1,0 +1,73 @@
+(** Framed message transport over TCP or Unix-domain sockets.
+
+    A {!conn} wraps a connected socket with a growable read buffer and
+    a write mutex. Reads are {e pull}-based so both I/O styles work:
+
+    - blocking peers (worker, client) call {!recv}, which loops
+      [fill] → [pop] until a whole message arrives;
+    - the coordinator's select loop calls {!fill} when the descriptor
+      is readable and then drains {!pop} — decoding is pure, so one
+      [read] may yield zero or many messages.
+
+    Protocol violations (bad magic/version, oversized or corrupt
+    frames, undecodable payloads) raise {!Protocol_failure}; the only
+    sane response is to drop the connection, which callers do. A peer
+    closing the socket surfaces as {!Closed}.
+
+    Writes are blocking and serialized per connection by a mutex, so a
+    worker's runner domains can push results while its main thread
+    heartbeats. [SIGPIPE] is disabled process-wide on first use —
+    writing to a dead peer raises [EPIPE], which callers treat exactly
+    like {!Closed}. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:PATH"] or ["HOST:PORT"]; a bare [PORT] means
+    [127.0.0.1:PORT]. *)
+
+val addr_to_string : addr -> string
+
+exception Closed
+exception Protocol_failure of string
+
+type conn
+
+val listen : ?backlog:int -> addr -> (Unix.file_descr, string) result
+(** Bind and listen. A pre-existing Unix socket path is unlinked first
+    (a stale path from a killed process would otherwise block
+    rebinding forever). *)
+
+val connect :
+  ?max_payload:int -> ?count_rx:(int -> unit) -> ?count_tx:(int -> unit) ->
+  addr -> (conn, string) result
+
+val of_fd :
+  ?max_payload:int -> ?count_rx:(int -> unit) -> ?count_tx:(int -> unit) ->
+  Unix.file_descr -> conn
+(** Wrap an accepted descriptor. [count_rx]/[count_tx] observe raw byte
+    counts as they cross the socket (the coordinator feeds
+    [psdp_dist_frame_bytes_total]). [max_payload] bounds what this side
+    will {e accept} (default {!Frame.default_max_payload}). *)
+
+val fd : conn -> Unix.file_descr
+
+val send : conn -> Proto.msg -> unit
+(** Encode and write the whole frame under the connection's write
+    mutex. Raises {!Closed} on [EPIPE]/[ECONNRESET]. *)
+
+val fill : conn -> bool
+(** One [read] into the buffer. [false] means end-of-stream (the peer
+    closed); [true] means bytes (possibly few) arrived. Blocks unless
+    the caller knows the descriptor is readable. *)
+
+val pop : conn -> Proto.msg option
+(** Decode one message from the buffer, or [None] if no complete frame
+    is buffered. Raises {!Protocol_failure} on a malformed stream. *)
+
+val recv : conn -> Proto.msg
+(** [pop] or block in [fill] until a message arrives; {!Closed} if the
+    stream ends first. *)
+
+val close : conn -> unit
+(** Close the descriptor; double-close is harmless. *)

@@ -1,0 +1,112 @@
+open Psdp_engine
+module Metrics = Psdp_obs.Metrics
+module Failpoint = Psdp_fault.Failpoint
+
+let log_src = Logs.Src.create "psdp.dist.worker" ~doc:"distributed worker"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let run ?metrics ?max_payload ~connect ~name ~capacity ~make_engine () =
+  let count dir =
+    match metrics with
+    | None -> ignore
+    | Some reg ->
+        let c =
+          Metrics.counter reg
+            ~labels:[ ("dir", dir) ]
+            ~help:"raw bytes crossing the worker's coordinator link"
+            "psdp_dist_frame_bytes_total"
+        in
+        fun n -> Metrics.add c n
+  in
+  match
+    Transport.connect ?max_payload ~count_rx:(count "rx") ~count_tx:(count "tx")
+      connect
+  with
+  | Error e -> Error e
+  | Ok conn -> (
+      Transport.send conn (Proto.Hello { worker = name; capacity });
+      match Transport.recv conn with
+      | exception Transport.Closed ->
+          Transport.close conn;
+          Error "coordinator closed the connection during handshake"
+      | exception Transport.Protocol_failure why ->
+          Transport.close conn;
+          Error ("handshake: " ^ why)
+      | Proto.Goodbye { reason } ->
+          Transport.close conn;
+          Error ("coordinator refused us: " ^ reason)
+      | ( Proto.Hello _ | Proto.Submit _ | Proto.Result _ | Proto.Heartbeat _
+        | Proto.Heartbeat_ack | Proto.Error_msg _ | Proto.Shutdown ) as other ->
+          Transport.close conn;
+          Error
+            (Printf.sprintf "handshake: expected welcome, got %s"
+               (Proto.describe other))
+      | Proto.Welcome { coordinator; heartbeat_every } ->
+          Log.info (fun m ->
+              m "registered with %s (heartbeat every %gs)" coordinator
+                heartbeat_every);
+          let inflight = Atomic.make 0 in
+          let link_up = Atomic.make true in
+          let on_complete result =
+            Atomic.decr inflight;
+            if Atomic.get link_up then
+              try Transport.send conn (Proto.Result { result })
+              with Transport.Closed | Unix.Unix_error _ ->
+                Atomic.set link_up false
+          in
+          let engine = make_engine ~on_complete in
+          let stop = ref None in
+          Fun.protect
+            ~finally:(fun () ->
+              (* Drain first: jobs already accepted finish and (if the
+                 link survives) their results still ship. *)
+              Engine.shutdown engine;
+              Atomic.set link_up false;
+              Transport.close conn)
+            (fun () ->
+              while !stop = None do
+                Failpoint.hit ~arg:name "dist.worker.tick";
+                let readable, _, _ =
+                  try Unix.select [ Transport.fd conn ] [] [] heartbeat_every
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+                in
+                if readable = [] then begin
+                  try
+                    Transport.send conn
+                      (Proto.Heartbeat
+                         { worker = name; inflight = Atomic.get inflight })
+                  with Transport.Closed | Unix.Unix_error _ ->
+                    stop := Some "connection lost"
+                end
+                else
+                  match Transport.fill conn with
+                  | false -> stop := Some "connection closed"
+                  | true -> (
+                      try
+                        let continue = ref true in
+                        while !continue do
+                          match Transport.pop conn with
+                          | None -> continue := false
+                          | Some (Proto.Submit { spec }) ->
+                              Failpoint.hit ~arg:spec.Job.id "dist.worker.tick";
+                              Atomic.incr inflight;
+                              ignore (Engine.submit engine spec)
+                          | Some Proto.Heartbeat_ack -> ()
+                          | Some (Proto.Goodbye { reason }) ->
+                              stop := Some ("dismissed: " ^ reason);
+                              continue := false
+                          | Some Proto.Shutdown ->
+                              stop := Some "shutdown";
+                              continue := false
+                          | Some other ->
+                              Log.warn (fun m ->
+                                  m "unexpected %s from coordinator; ignored"
+                                    (Proto.describe other))
+                        done
+                      with Transport.Protocol_failure why ->
+                        stop := Some ("protocol failure: " ^ why))
+              done;
+              Log.info (fun m ->
+                  m "stopping (%s)" (Option.value ~default:"?" !stop));
+              Ok ()))

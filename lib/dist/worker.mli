@@ -1,0 +1,43 @@
+(** A distributed worker: one process wrapping one supervised
+    {!Psdp_engine.Engine} behind the wire protocol.
+
+    The worker connects out to the coordinator, announces itself
+    ([Hello] with its name and capacity), and then loops: [Submit]
+    frames become {!Psdp_engine.Engine.submit} calls, and the engine's
+    [on_complete] hook ships each finished result back as a [Result]
+    frame (runner domains write concurrently; the transport's write
+    mutex serializes them). Every retry/backoff/quarantine/breaker
+    semantic of the single-process engine applies unchanged per node —
+    the worker adds only the wire.
+
+    Every pass through the main loop (each received message and each
+    heartbeat tick) evaluates the ["dist.worker.tick"] failpoint, so
+    chaos runs can kill a worker mid-stream with
+    [--failpoint dist.worker.tick=crash\@nth:N]: the injected crash
+    escapes {!run} (it is deliberately {e not} caught), unwinds main,
+    and takes the whole process down — a real death, which the
+    coordinator detects by heartbeat silence and reroutes around. *)
+
+open Psdp_engine
+
+val run :
+  ?metrics:Psdp_obs.Metrics.t ->
+  ?max_payload:int ->
+  connect:Transport.addr ->
+  name:string ->
+  capacity:int ->
+  make_engine:(on_complete:(Job.result -> unit) -> Engine.t) ->
+  unit ->
+  (unit, string) result
+(** Connect, register, and serve until the coordinator says [Goodbye]
+    / [Shutdown] or the connection drops; then drain the engine
+    ({!Engine.shutdown} finishes everything already accepted, shipping
+    those results if the connection still stands) and return.
+    [make_engine] must wire the given [on_complete] into the engine it
+    builds — the worker owns the engine and shuts it down.
+    [capacity] is advertised to the coordinator as the assignment
+    limit; sensible values match the engine's [max_in_flight] (the
+    coordinator stops assigning above it, keeping queueing central
+    where rerouting can reach it). With [metrics], the worker registers
+    [psdp_dist_frame_bytes_total{dir}] for its connection alongside
+    whatever the engine itself feeds. Failpoint crashes escape. *)

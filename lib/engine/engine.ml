@@ -1,7 +1,6 @@
 open Psdp_prelude
 open Psdp_parallel
-open Psdp_core
-open Psdp_instances
+module Loader = Psdp_instances.Loader
 
 let log_src = Logs.Src.create "psdp.engine" ~doc:"batch solve engine"
 
@@ -17,15 +16,12 @@ module Fault = Psdp_fault.Fault
 module Retry = Psdp_fault.Retry
 module Breaker = Psdp_fault.Breaker
 
-exception Cancelled_exn
-exception Timed_out_exn
-exception Bad_input of string
-exception Store_crash of string
+exception Store_crash = Exec.Store_crash
 
 (* Engine-specific fault classes layered over the generic taxonomy. *)
 let classify = function
-  | Store_crash _ -> Fault.Transient
-  | Bad_input _ -> Fault.Permanent
+  | Exec.Store_crash _ -> Fault.Transient
+  | Exec.Bad_input _ -> Fault.Permanent
   | e -> Fault.classify e
 
 (* Series the engine feeds when a metrics registry is attached. All are
@@ -143,6 +139,9 @@ type t = {
   mutable paused : bool;
   mutable handles : handle list;  (* newest first *)
   mutable seq : int;
+  nonce : string;  (* per-engine submit nonce: auto ids never collide
+                      across engines or processes (coordinator journals
+                      mix ids from many workers) *)
   mutable runners : unit Domain.t list;
   mutable stopped : bool;
   iter_batch : int;
@@ -241,282 +240,61 @@ let sample_meters eng =
       Metrics.set m.m_quarantined (float_of_int quarantine_depth)
 
 (* ------------------------------------------------------------------ *)
-(* Job execution (in a runner domain) *)
+(* Job execution (in a runner domain) — the solve path itself lives in
+   {!Exec}; the engine contributes the policy-bearing pieces of the
+   execution context: metric taps and the durable checkpoint sink. *)
 
-let load_instance = function
-  | Job.Inline inst -> inst
-  | Job.File path -> (
-      match Loader.load_result path with
-      | Ok inst -> inst
-      | Error msg -> raise (Bad_input msg))
+let exec_hooks eng =
+  match eng.meters with
+  | None -> Exec.no_hooks
+  | Some m ->
+      {
+        Exec.on_iteration = (fun () -> Metrics.inc m.m_iterations);
+        on_decision_call = (fun () -> Metrics.inc m.m_decision_calls);
+        observe_call_iterations =
+          (fun n -> Metrics.observe m.m_decision_iterations (float_of_int n));
+        on_sketch_resample = (fun () -> Metrics.inc m.m_sketch_resamples);
+      }
 
-let execute eng h ~deadline ~prof =
-  let spec = h.spec in
-  let id = spec.Job.id in
-  let iters = ref 0 in
-  let check () =
-    if Atomic.get h.cancel_flag then raise Cancelled_exn;
-    match deadline with
-    | Some d when Timer.now () > d -> raise Timed_out_exn
-    | _ -> ()
-  in
-  let on_iter (st : Decision.iter_stats) =
-    incr iters;
-    (match eng.meters with
-    | Some m -> Metrics.inc m.m_iterations
-    | None -> ());
-    if !iters mod eng.iter_batch = 0 then
-      Trace.emit eng.etrace ~job:id ~kind:"iter_batch"
-        [
-          ("iters", Json.Num (float_of_int !iters));
-          ("l1", Json.Num st.Decision.l1);
-          ("trace_w", Json.Num st.Decision.trace_w);
-        ];
-    check ()
-  in
-  let inst = load_instance spec.Job.source in
-  check ();
-  match spec.Job.op with
-  | Job.Decide { threshold } ->
-      let scaled = Instance.scale threshold inst in
-      let r =
-        Decision.solve ~pool:eng.epool ~backend:spec.Job.backend
-          ~mode:spec.Job.mode ~prof ~on_iter ~eps:spec.Job.eps scaled
-      in
-      (match eng.meters with
-      | Some m ->
-          Metrics.observe m.m_decision_iterations
-            (float_of_int r.Decision.iterations)
-      | None -> ());
-      (match r.Decision.outcome with
-      | Decision.Dual { x; _ } ->
-          let value = Util.sum_array x in
-          Job.Decided
-            {
-              accepted = true;
-              bound = threshold *. value;
-              iterations = r.Decision.iterations;
-            }
-      | Decision.Primal { dots; _ } ->
-          let min_dot = Util.min_array dots in
-          Job.Decided
-            {
-              accepted = false;
-              bound =
-                (if min_dot > 0.0 then threshold /. min_dot else Float.infinity);
-              iterations = r.Decision.iterations;
-            })
-  | Job.Solve -> (
-      let digest = Loader.digest inst in
-      let backend = Job.backend_key spec.Job.backend in
-      let mode = Job.mode_key spec.Job.mode in
-      let emit_cache status =
-        Trace.emit eng.etrace ~job:id ~kind:"cache"
-          [ ("status", Json.Str status); ("digest", Json.Str digest) ]
-      in
-      match
-        Cache.find eng.ecache ~digest ~eps:spec.Job.eps ~backend ~mode
-      with
-      | Some e ->
-          emit_cache "hit";
-          Job.Solved
-            {
-              value = e.Cache.value;
-              upper_bound = e.Cache.upper_bound;
-              decision_calls = 0;
-              iterations = 0;
-              cache = Job.Hit;
-              certified = true;
-            }
-      | None ->
-          let warm_entry = Cache.find_warm eng.ecache ~digest ~backend ~mode in
-          let warm =
-            match warm_entry with
-            | Some e ->
-                emit_cache "warm";
-                { Solver.upper = Some e.Cache.upper_bound;
-                  x0 = Some e.Cache.x }
-            | None ->
-                emit_cache "miss";
-                Solver.cold
-          in
-          (* A recovery snapshot is adopted only if it provably belongs
-             to this exact work item: same instance content (digest),
-             same accuracy, same backend/mode. Anything else is traced
-             and discarded — the job simply solves cold. *)
-          let resume =
-            match h.resume_from with
-            | None -> None
-            | Some snap
-              when snap.Snapshot.digest = digest
-                   && snap.Snapshot.eps = spec.Job.eps
-                   && snap.Snapshot.backend = backend
-                   && snap.Snapshot.mode = mode ->
-                Trace.emit eng.etrace ~job:id ~kind:"resume"
+(* The checkpoint sink: every [checkpoint_every]-th decision call's
+   snapshot is persisted through the breaker. A broken store must not
+   masquerade as a solver verdict — and must leave no completion record,
+   so the job stays recoverable — hence [Store_crash]. When the breaker
+   is open the engine runs non-durable; solving continues without
+   snapshots. *)
+let exec_persist eng =
+  match eng.store with
+  | None -> None
+  | Some store ->
+      Some
+        (fun ~job (snap : Snapshot.t) ->
+          if snap.Snapshot.calls mod eng.checkpoint_every = 0 then
+            match
+              breaker_guard eng ~what:"checkpoint" (fun () ->
+                  let rel = Store.save_snapshot store ~job snap in
+                  Store.append store
+                    (Journal.Checkpoint
+                       { job; call = snap.Snapshot.calls; snapshot = rel }))
+            with
+            | Some () ->
+                Trace.emit eng.etrace ~job ~kind:"checkpoint"
                   [
-                    ("from_call", Json.Num (float_of_int snap.Snapshot.calls));
+                    ("call", Json.Num (float_of_int snap.Snapshot.calls));
                     ("lo", Json.Num snap.Snapshot.lo);
                     ("hi", Json.Num snap.Snapshot.hi);
-                  ];
-                Some
-                  {
-                    Solver.lo = snap.Snapshot.lo;
-                    hi = snap.Snapshot.hi;
-                    incumbent = snap.Snapshot.x;
-                    incumbent_value = snap.Snapshot.value;
-                    calls_done = snap.Snapshot.calls;
-                    iterations_done = snap.Snapshot.iterations;
-                    dropped = snap.Snapshot.dropped;
-                  }
-            | Some snap ->
-                Trace.emit eng.etrace ~job:id ~kind:"snapshot_rejected"
-                  [
-                    ("reason", Json.Str "identity mismatch");
-                    ("snapshot_digest", Json.Str snap.Snapshot.digest);
-                    ("instance_digest", Json.Str digest);
-                  ];
-                None
-          in
-          let checkpoint =
-            match eng.store with
-            | None -> None
-            | Some store ->
-                Some
-                  (fun (s : Solver.bisection_state) ->
-                    if s.Solver.calls_done mod eng.checkpoint_every = 0 then begin
-                      let snap =
-                        {
-                          Snapshot.digest;
-                          eps = spec.Job.eps;
-                          backend;
-                          mode;
-                          threshold = sqrt (s.Solver.lo *. s.Solver.hi);
-                          lo = s.Solver.lo;
-                          hi = s.Solver.hi;
-                          value = s.Solver.incumbent_value;
-                          calls = s.Solver.calls_done;
-                          iterations = s.Solver.iterations_done;
-                          dropped = s.Solver.dropped;
-                          x = s.Solver.incumbent;
-                          rng = [||];
-                        }
-                      in
-                      match
-                        breaker_guard eng ~what:"checkpoint" (fun () ->
-                            let rel = Store.save_snapshot store ~job:id snap in
-                            Store.append store
-                              (Journal.Checkpoint
-                                 { job = id; call = s.Solver.calls_done;
-                                   snapshot = rel }))
-                      with
-                      | Some () ->
-                          Trace.emit eng.etrace ~job:id ~kind:"checkpoint"
-                            [
-                              ( "call",
-                                Json.Num (float_of_int s.Solver.calls_done) );
-                              ("lo", Json.Num s.Solver.lo);
-                              ("hi", Json.Num s.Solver.hi);
-                            ]
-                      | None ->
-                          (* Breaker open: the engine is running
-                             non-durable; solving continues without
-                             snapshots. *)
-                          ()
-                      | exception e ->
-                          (* A broken store must not masquerade as a solver
-                             verdict — and must leave no completion record,
-                             so the job stays recoverable. *)
-                          raise (Store_crash (Printexc.to_string e))
-                    end)
-          in
-          (* Iterations-per-call histogram: [on_call] fires before each
-             decision call, so the delta since the previous firing is the
-             previous call's iteration count; the last call is flushed
-             after the solver returns. *)
-          let seen_call = ref false and iters_at_call = ref 0 in
-          let bump_call_histogram () =
-            match eng.meters with
-            | Some m when !seen_call ->
-                Metrics.observe m.m_decision_iterations
-                  (float_of_int (!iters - !iters_at_call));
-                iters_at_call := !iters
-            | _ -> ()
-          in
-          let on_call ~call ~threshold =
-            bump_call_histogram ();
-            seen_call := true;
-            (match eng.meters with
-            | Some m -> Metrics.inc m.m_decision_calls
-            | None -> ());
-            Trace.emit eng.etrace ~job:id ~kind:"decision_call"
-              [
-                ("call", Json.Num (float_of_int call));
-                ("threshold", Json.Num threshold);
-              ];
-            check ()
-          in
-          let run_solver ?checkpoint backend_v =
-            let r =
-              Solver.solve_packing ~pool:eng.epool ~backend:backend_v
-                ~mode:spec.Job.mode ~warm ?resume ?checkpoint ~prof ~on_iter
-                ~on_call ~eps:spec.Job.eps inst
-            in
-            bump_call_histogram ();
-            let cert = Certificate.check_dual inst r.Solver.x in
-            Trace.emit eng.etrace ~job:id ~kind:"cert_verified"
-              [
-                ("lambda_max", Json.Num cert.Certificate.lambda_max);
-                ("feasible", Json.Bool cert.Certificate.feasible);
-              ];
-            (r, cert)
-          in
-          let r, cert = run_solver ?checkpoint spec.Job.backend in
-          (* Numerical graceful degradation: an uncertified sketched
-             solve gets exactly one resample with a fresh sketch seed —
-             an unlucky JL projection should not fail the job — before
-             the result is reported uncertified. The resample runs
-             without checkpointing (its snapshots would carry the wrong
-             backend identity) and caches under its own backend key. *)
-          let backend_used, r, cert =
-            match spec.Job.backend with
-            | Decision.Sketched { seed; sketch_dim }
-              when not cert.Certificate.feasible ->
-                let fresh = Decision.Sketched { seed = seed + 1; sketch_dim } in
-                Fault.record Fault.Transient;
-                (match eng.meters with
-                | Some m -> Metrics.inc m.m_sketch_resamples
-                | None -> ());
-                Trace.emit eng.etrace ~job:id ~kind:"sketch_resample"
-                  [
-                    ("seed", Json.Num (float_of_int seed));
-                    ("fresh_seed", Json.Num (float_of_int (seed + 1)));
-                  ];
-                let r2, cert2 = run_solver fresh in
-                (fresh, r2, cert2)
-            | _ -> (spec.Job.backend, r, cert)
-          in
-          if cert.Certificate.feasible then
-            Cache.store eng.ecache
-              {
-                Cache.digest;
-                eps = spec.Job.eps;
-                backend = Job.backend_key backend_used;
-                mode;
-                value = r.Solver.value;
-                upper_bound = r.Solver.upper_bound;
-                x = r.Solver.x;
-                decision_calls = r.Solver.decision_calls;
-                iterations = r.Solver.total_iterations;
-              };
-          Job.Solved
-            {
-              value = r.Solver.value;
-              upper_bound = r.Solver.upper_bound;
-              decision_calls = r.Solver.decision_calls;
-              iterations = r.Solver.total_iterations;
-              cache = (if warm_entry <> None then Job.Warm else Job.Miss);
-              certified = cert.Certificate.feasible;
-            })
+                  ]
+            | None -> ()
+            | exception e -> raise (Exec.Store_crash (Printexc.to_string e)))
+
+let exec_ctx eng =
+  {
+    Exec.pool = eng.epool;
+    cache = eng.ecache;
+    trace = eng.etrace;
+    iter_batch = eng.iter_batch;
+    persist = exec_persist eng;
+    hooks = exec_hooks eng;
+  }
 
 let finished_fields (r : Job.result) =
   match r.Job.outcome with
@@ -626,9 +404,16 @@ let run_one eng h =
     let t0 = Timer.now () in
     let deadline = Option.map (fun s -> t0 +. s) h.spec.Job.timeout in
     let fail_message = function
-      | Store_crash msg -> "checkpoint store: " ^ msg
-      | Bad_input msg | Failure msg | Invalid_argument msg -> msg
+      | Exec.Store_crash msg -> "checkpoint store: " ^ msg
+      | Exec.Bad_input msg | Failure msg | Invalid_argument msg -> msg
       | e -> Printexc.to_string e
+    in
+    let ctx = exec_ctx eng in
+    let check () =
+      if Atomic.get h.cancel_flag then raise Exec.Cancelled_exn;
+      match deadline with
+      | Some d when Timer.now () > d -> raise Exec.Timed_out_exn
+      | _ -> ()
     in
     (* Per-job deterministic jitter stream: retries of different jobs
        decorrelate without sharing RNG state across domains. *)
@@ -649,11 +434,11 @@ let run_one eng h =
     let rec attempt n =
       match
         Failpoint.hit ~arg:id "engine.job_attempt";
-        execute eng h ~deadline ~prof
+        Exec.run ctx ?resume:h.resume_from ~check ~prof h.spec
       with
       | outcome -> (outcome, true)
-      | exception Cancelled_exn -> (Job.Cancelled, true)
-      | exception Timed_out_exn -> (Job.Timed_out, true)
+      | exception Exec.Cancelled_exn -> (Job.Cancelled, true)
+      | exception Exec.Timed_out_exn -> (Job.Timed_out, true)
       | exception e -> (
           let klass = classify e in
           (* Crash-class faults are tallied by the supervisor. *)
@@ -802,6 +587,20 @@ let rec runner_loop eng =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)
 
+(* Submit nonce: 8 hex chars mixing pid, wall clock and a process-wide
+   counter, so auto-assigned job ids are unique across engines in one
+   process {e and} across processes. Distributed reroutes re-journal a
+   job under its original id; two workers inventing "job-3" would
+   corrupt the coordinator's assignment bookkeeping. *)
+let nonce_counter = Atomic.make 0
+
+let fresh_nonce () =
+  String.sub
+    (Psdp_store.Checksum.fnv1a64_hex
+       (Printf.sprintf "%d.%.9f.%d" (Unix.getpid ()) (Unix.gettimeofday ())
+          (Atomic.fetch_and_add nonce_counter 1)))
+    0 8
+
 let create ?pool ?(max_in_flight = 2) ?cache ?trace ?store
     ?(checkpoint_every = 1) ?(paused = false) ?(iter_batch = 32) ?metrics
     ?profiler ?on_complete ?(retry = Retry.no_retry) ?retry_budget
@@ -832,6 +631,7 @@ let create ?pool ?(max_in_flight = 2) ?cache ?trace ?store
       paused;
       handles = [];
       seq = 0;
+      nonce = fresh_nonce ();
       runners = [];
       stopped = false;
       iter_batch;
@@ -899,7 +699,7 @@ let submit_with ?resume eng (spec : Job.spec) =
   eng.seq <- eng.seq + 1;
   let spec : Job.spec =
     if spec.Job.id = "" then
-      { spec with Job.id = Printf.sprintf "job-%d" eng.seq }
+      { spec with Job.id = Printf.sprintf "job-%s-%d" eng.nonce eng.seq }
     else spec
   in
   Mutex.unlock eng.mutex;

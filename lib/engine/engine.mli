@@ -132,7 +132,11 @@ val create :
 type handle
 
 val submit : t -> Job.spec -> handle
-(** Enqueue a job. A spec with [id = ""] is assigned ["job-<seq>"].
+(** Enqueue a job. A spec with [id = ""] is assigned
+    ["job-<nonce>-<seq>"], where the 8-hex-digit nonce is unique per
+    engine (and per process), so auto ids from independently running
+    engines — e.g. distributed workers sharing a coordinator journal —
+    never collide.
     Raises [Invalid_argument] after {!shutdown}. With a store attached,
     the submission is journaled first; an [Inline] instance is saved
     under the store's [instances/] directory so the journal always

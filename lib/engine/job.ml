@@ -198,6 +198,76 @@ let result_to_json r =
     :: fields
     @ [ ("elapsed", Json.Num r.elapsed) ])
 
+let result_of_json j =
+  let ( let* ) = Result.bind in
+  let str name =
+    match Option.bind (Json.mem name j) Json.str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "result: missing or bad %S" name)
+  in
+  (* [result_to_json] prints non-finite floats as [null] (JSON has no
+     spelling for them); accept that and substitute a stated default so
+     the codec round-trips every result the engine can produce. *)
+  let num ?(default = 0.0) name =
+    match Json.mem name j with
+    | None -> Error (Printf.sprintf "result: missing %S" name)
+    | Some Json.Null -> Ok default
+    | Some v -> (
+        match Json.num v with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "result: bad %S" name))
+  in
+  let int name = Result.map int_of_float (num name) in
+  let bool name =
+    match Option.bind (Json.mem name j) Json.bool with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "result: missing or bad %S" name)
+  in
+  let* id = str "id" in
+  let* status = str "status" in
+  let* elapsed = num "elapsed" in
+  let* outcome =
+    match status with
+    | "cancelled" -> Ok Cancelled
+    | "timeout" -> Ok Timed_out
+    | "failed" ->
+        let* msg = str "error" in
+        Ok (Failed msg)
+    | "ok" | "rejected" -> (
+        match Json.mem "accepted" j with
+        | Some _ ->
+            let* accepted = bool "accepted" in
+            let* bound = num ~default:Float.infinity "bound" in
+            let* iterations = int "iters" in
+            Ok (Decided { accepted; bound; iterations })
+        | None ->
+            let* value = num "value" in
+            let* upper_bound = num "upper" in
+            let* decision_calls = int "calls" in
+            let* iterations = int "iters" in
+            let* certified = bool "certified" in
+            let* cache =
+              let* c = str "cache" in
+              match c with
+              | "hit" -> Ok Hit
+              | "warm" -> Ok Warm
+              | "miss" -> Ok Miss
+              | other -> Error (Printf.sprintf "result: bad cache %S" other)
+            in
+            Ok
+              (Solved
+                 {
+                   value;
+                   upper_bound;
+                   decision_calls;
+                   iterations;
+                   cache;
+                   certified;
+                 }))
+    | other -> Error (Printf.sprintf "result: unknown status %S" other)
+  in
+  Ok { id; outcome; elapsed }
+
 (* ------------------------------------------------------------------ *)
 (* Manifests *)
 

@@ -104,6 +104,14 @@ val result_to_json : result -> Psdp_prelude.Json.t
     [certified] for solves; [accepted], [bound], [iters] for decisions;
     [error] for failures). *)
 
+val result_of_json : Psdp_prelude.Json.t -> (result, string) Stdlib.result
+(** Inverse of {!result_to_json} — the distributed layer ships results
+    between worker and coordinator in exactly the reported form.
+    [result_of_json (result_to_json r)] rebuilds [r] (up to non-finite
+    floats, which JSON cannot carry: {!result_to_json} emits them as
+    [null], which decodes back as [infinity] for a decision's [bound]
+    and [0] elsewhere). *)
+
 val parse_manifest :
   ?dir:string -> string -> (spec list, string) Stdlib.result
 (** Parse a whole manifest text. Relative [file] paths are resolved

@@ -89,6 +89,22 @@ let all =
       applies = always;
       check = Oracle.certificates_verify;
     };
+    {
+      name = "wire_roundtrip";
+      doc =
+        "distributed wire codecs (frame + JSON payloads) round-trip job \
+         specs, results and binary blobs byte-for-byte";
+      applies = always;
+      check = Wire.roundtrip;
+    };
+    {
+      name = "wire_corruption";
+      doc =
+        "the frame decoder rejects single-bit corruption at every byte, \
+         truncation, trailing garbage and oversized declared lengths";
+      applies = always;
+      check = Wire.corruption;
+    };
   ]
 
 let find name = List.find_opt (fun p -> p.name = name) all

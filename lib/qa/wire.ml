@@ -1,0 +1,184 @@
+open Psdp_prelude
+module Frame = Psdp_dist.Frame
+module Proto = Psdp_dist.Proto
+module Job = Psdp_engine.Job
+module Decision = Psdp_core.Decision
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+(* Deterministic payload pool for a spec: sizes scale with the spec's
+   shape (so shrinking the spec shrinks the frames) plus the fixed edge
+   cases 0 and 1. *)
+let payloads (spec : Spec.t) =
+  let rng = Rng.create (spec.Spec.seed lxor 0x51F3) in
+  let blob size = String.init size (fun _ -> Char.chr (Rng.int rng 256)) in
+  Json.to_string (Spec.to_json spec)
+  :: List.map blob [ 0; 1; spec.Spec.dim; (spec.Spec.dim * spec.Spec.n) + 3 ]
+
+(* A job spec exercising the fields the wire must carry; varied by the
+   instance spec's seed so campaigns cover both backends and ops. *)
+let wire_spec (spec : Spec.t) =
+  let seed = spec.Spec.seed in
+  let backend =
+    if seed land 1 = 0 then Decision.Exact
+    else
+      Decision.Sketched
+        { seed; sketch_dim = (if seed land 2 = 0 then None else Some 7) }
+  in
+  let mode =
+    if seed land 4 = 0 then Decision.Adaptive { check_every = 10 }
+    else Decision.Faithful
+  in
+  let source = Job.File ("instances/" ^ Spec.family_name spec.Spec.family) in
+  if seed land 8 = 0 then
+    Job.solve_spec ~id:(Printf.sprintf "qa-%d" seed) ~eps:0.25 ~backend ~mode
+      ~priority:(seed mod 7) ~timeout:4.5 source
+  else
+    Job.decide_spec ~id:(Printf.sprintf "qa-%d" seed) ~eps:0.25 ~backend ~mode
+      ~threshold:1.5 source
+
+let results (spec : Spec.t) =
+  let seed = spec.Spec.seed in
+  [
+    {
+      Job.id = "r-solved";
+      outcome =
+        Job.Solved
+          {
+            value = float_of_int seed *. 0.125;
+            upper_bound = (float_of_int seed *. 0.125) +. 0.5;
+            decision_calls = seed mod 13;
+            iterations = seed mod 9973;
+            cache = (match seed mod 3 with 0 -> Job.Hit | 1 -> Job.Warm | _ -> Job.Miss);
+            certified = seed land 16 = 0;
+          };
+      elapsed = 0.0625;
+    };
+    (* A rejected decision at an unbounded threshold carries bound = inf,
+       which JSON can only spell as null — the codec must survive it. *)
+    {
+      Job.id = "r-rejected";
+      outcome =
+        Job.Decided
+          { accepted = false; bound = Float.infinity; iterations = 41 };
+      elapsed = 0.125;
+    };
+    { Job.id = "r-failed"; outcome = Job.Failed "injected"; elapsed = 0.25 };
+    { Job.id = "r-cancelled"; outcome = Job.Cancelled; elapsed = 0.0 };
+    { Job.id = "r-timeout"; outcome = Job.Timed_out; elapsed = 1.5 };
+  ]
+
+let roundtrip_frame ~tag payload =
+  let frame = Frame.encode ~tag payload in
+  match Frame.decode_exact frame with
+  | Error e -> fail "frame %d/%dB: decode failed: %s" tag
+                 (String.length payload) (Frame.error_to_string e)
+  | Ok (tag', payload') ->
+      if tag' <> tag then fail "frame: tag %d decoded as %d" tag tag'
+      else if payload' <> payload then
+        fail "frame %d/%dB: payload mutated in flight" tag
+          (String.length payload)
+      else Ok ()
+
+let roundtrip_msg msg =
+  match Frame.decode_exact (Proto.encode msg) with
+  | Error e ->
+      fail "proto %s: frame decode failed: %s" (Proto.describe msg)
+        (Frame.error_to_string e)
+  | Ok (tag, payload) -> (
+      match Proto.decode ~tag payload with
+      | Error e -> fail "proto %s: payload decode failed: %s"
+                     (Proto.describe msg) e
+      | Ok msg' ->
+          if msg' = msg then Ok ()
+          else
+            fail "proto %s: decoded as %s" (Proto.describe msg)
+              (Proto.describe msg'))
+
+let roundtrip (spec : Spec.t) =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc p ->
+        Result.bind acc (fun () ->
+            roundtrip_frame ~tag:(String.length p mod 256) p))
+      (Ok ()) (payloads spec)
+  in
+  let* () = roundtrip_msg (Proto.Submit { spec = wire_spec spec }) in
+  let* () =
+    List.fold_left
+      (fun acc r -> Result.bind acc (fun () ->
+           roundtrip_msg (Proto.Result { result = r })))
+      (Ok ()) (results spec)
+  in
+  let* () =
+    roundtrip_msg (Proto.Hello { worker = "w-1"; capacity = 1 + (spec.Spec.n mod 8) })
+  in
+  let* () =
+    roundtrip_msg
+      (Proto.Welcome { coordinator = "qa"; heartbeat_every = 0.25 })
+  in
+  let* () =
+    roundtrip_msg (Proto.Heartbeat { worker = "w-1"; inflight = spec.Spec.dim })
+  in
+  let* () = roundtrip_msg Proto.Heartbeat_ack in
+  let* () = roundtrip_msg (Proto.Goodbye { reason = "qa done" }) in
+  let* () = roundtrip_msg (Proto.Error_msg { message = "qa error" }) in
+  roundtrip_msg Proto.Shutdown
+
+let corruption (spec : Spec.t) =
+  let rng = Rng.create (spec.Spec.seed lxor 0x0C0F) in
+  let payload =
+    String.init
+      ((spec.Spec.dim mod 64) + 5)
+      (fun _ -> Char.chr (Rng.int rng 256))
+  in
+  let frame = Frame.encode ~tag:(spec.Spec.seed mod 256) payload in
+  let n = String.length frame in
+  let flipped = ref (Ok ()) in
+  (* Every byte position, one flipped bit: FNV-1a's absorption step is a
+     state bijection, so single-byte damage is always detectable — and
+     the decoder must actually reject it, wherever it lands. *)
+  for i = 0 to n - 1 do
+    if !flipped = Ok () then begin
+      let bit = 1 lsl (i mod 8) in
+      let corrupt =
+        String.mapi
+          (fun j c -> if j = i then Char.chr (Char.code c lxor bit) else c)
+          frame
+      in
+      match Frame.decode_exact corrupt with
+      | Error _ -> ()
+      | Ok _ -> flipped := fail "flip of byte %d/%d went undetected" i n
+    end
+  done;
+  let ( let* ) = Result.bind in
+  let* () = !flipped in
+  (* Truncation: every proper prefix must be rejected, not decoded. *)
+  let truncated = ref (Ok ()) in
+  let step = max 1 (n / 17) in
+  let i = ref 0 in
+  while !i < n do
+    (if !truncated = Ok () then
+       match Frame.decode_exact (String.sub frame 0 !i) with
+       | Error _ -> ()
+       | Ok _ -> truncated := fail "prefix of %d/%d bytes decoded" !i n);
+    i := !i + step
+  done;
+  let* () = !truncated in
+  (* Trailing garbage is not silently swallowed. *)
+  let* () =
+    match Frame.decode_exact (frame ^ "x") with
+    | Error _ -> Ok ()
+    | Ok _ -> fail "frame with trailing garbage decoded"
+  in
+  (* The length field is bounded before any allocation happens: a frame
+     declaring more than max_payload must be refused as Oversized. *)
+  match Frame.decode_exact ~max_payload:4 frame with
+  | Error (Frame.Oversized { length; limit }) ->
+      if length = String.length payload && limit = 4 then Ok ()
+      else fail "oversized error misreports: length=%d limit=%d" length limit
+  | Error e ->
+      fail "oversized frame rejected as %s, not Oversized"
+        (Frame.error_to_string e)
+  | Ok _ -> fail "frame above max_payload decoded"

@@ -1,0 +1,19 @@
+(** Conformance properties for the distributed wire codecs.
+
+    Both checks are driven by an instance {!Spec} like every other
+    property — payload shapes and sizes derive from the spec's
+    dimensions and seed, so shrinking a failing case shrinks the wire
+    payloads with it, and a corpus entry replays the exact bytes. *)
+
+val roundtrip : Oracle.check
+(** Frame and JSON payload codecs are mutually inverse: binary blobs,
+    job specs (both backends, both ops) and every result status
+    round-trip byte-for-byte through {!Psdp_dist.Frame} +
+    {!Psdp_dist.Proto} — including the non-finite [bound] a rejected
+    decision can carry, which JSON spells [null]. *)
+
+val corruption : Oracle.check
+(** The frame decoder rejects every single-bit corruption at {e every}
+    byte position of an encoded frame, every proper prefix
+    (truncation), trailing garbage, and frames whose declared payload
+    length exceeds the reader's limit (checked before allocation). *)

@@ -2,6 +2,7 @@ open Psdp_prelude
 
 type record =
   | Submitted of { job : string; spec : Json.t }
+  | Assigned of { job : string; worker : string }
   | Checkpoint of { job : string; call : int; snapshot : string }
   | Completed of { job : string; status : string }
   | Cancelled of { job : string; reason : string }
@@ -10,6 +11,12 @@ type record =
 let fields = function
   | Submitted { job; spec } ->
       [ ("kind", Json.Str "submitted"); ("job", Json.Str job); ("spec", spec) ]
+  | Assigned { job; worker } ->
+      [
+        ("kind", Json.Str "assigned");
+        ("job", Json.Str job);
+        ("worker", Json.Str worker);
+      ]
   | Checkpoint { job; call; snapshot } ->
       [
         ("kind", Json.Str "checkpoint");
@@ -56,6 +63,9 @@ let decode_fields j =
       match Json.mem "spec" j with
       | Some spec -> Ok (Submitted { job; spec })
       | None -> Error "journal: submitted record without spec")
+  | "assigned" ->
+      let* worker = str "worker" in
+      Ok (Assigned { job; worker })
   | "checkpoint" ->
       let* snapshot = str "snapshot" in
       let* call =

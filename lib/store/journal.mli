@@ -14,6 +14,7 @@
     Each record is one JSON object on one line:
     {v
     {"kind":"submitted","job":ID,"spec":{...},"crc":HEX}
+    {"kind":"assigned","job":ID,"worker":STR,"crc":HEX}
     {"kind":"checkpoint","job":ID,"call":N,"snapshot":PATH,"crc":HEX}
     {"kind":"completed","job":ID,"status":STR,"crc":HEX}
     {"kind":"cancelled","job":ID,"reason":STR,"crc":HEX}
@@ -31,6 +32,11 @@ open Psdp_prelude
 
 type record =
   | Submitted of { job : string; spec : Json.t }
+  | Assigned of { job : string; worker : string }
+      (** the distributed coordinator handed the job to [worker]; a
+          later [Assigned] for the same job supersedes (reroute after a
+          worker death). Plain engines never write this record and
+          recovery treats it as progress metadata, not completion. *)
   | Checkpoint of { job : string; call : int; snapshot : string }
       (** [snapshot] is relative to the store directory *)
   | Completed of { job : string; status : string }

@@ -5,6 +5,7 @@ type pending = {
   spec : Json.t;
   snapshot : string option;
   interrupted : string option;
+  assigned : string option;
 }
 
 type quarantined = { job : string; reason : string; attempts : int }
@@ -55,12 +56,22 @@ let compute_pending records =
           match Hashtbl.find_opt tbl job with
           | None ->
               Hashtbl.replace tbl job
-                { job; spec; snapshot = None; interrupted = None };
+                {
+                  job;
+                  spec;
+                  snapshot = None;
+                  interrupted = None;
+                  assigned = None;
+                };
               order := job :: !order
           | Some p ->
               (* Re-submission of a recovered job: refresh the spec but
                  keep the snapshot it already earned. *)
               Hashtbl.replace tbl job { p with spec; interrupted = None })
+      | Journal.Assigned { job; worker } -> (
+          match Hashtbl.find_opt tbl job with
+          | Some p -> Hashtbl.replace tbl job { p with assigned = Some worker }
+          | None -> ())
       | Journal.Checkpoint { job; snapshot; _ } -> (
           match Hashtbl.find_opt tbl job with
           | Some p -> Hashtbl.replace tbl job { p with snapshot = Some snapshot }

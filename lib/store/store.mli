@@ -27,6 +27,9 @@ type pending = {
   snapshot : string option;  (** latest checkpoint, relative path *)
   interrupted : string option;
       (** cancellation/timeout reason, [None] for a hard crash *)
+  assigned : string option;
+      (** last worker a distributed coordinator handed the job to
+          ([Assigned] record), [None] for single-process engines *)
 }
 
 type quarantined = { job : string; reason : string; attempts : int }

@@ -1,0 +1,453 @@
+(* lib/dist — the distributed solve service.
+
+   Covers: the binary frame codec (round-trip, incremental decode,
+   every typed rejection path), the message layer, the framed transport
+   over a socketpair (including peer-death and protocol-violation
+   surfacing), the WAL [Assigned] record and the store's
+   last-assignment tracking, engine-unique auto job ids, and the
+   ISSUE's multi-process chaos acceptance test: coordinator + two
+   worker processes on a Unix socket, one worker SIGKILLed mid-solve,
+   every job completing with a verified certificate and the journal
+   showing the reroute. *)
+
+open Psdp_prelude
+open Psdp_engine
+open Psdp_dist
+module Journal = Psdp_store.Journal
+module Store = Psdp_store.Store
+
+let cli = "../bin/psdp_cli.exe"
+
+let run_cli args =
+  let null = "/dev/null" in
+  Sys.command (Filename.quote_command cli ~stdout:null ~stderr:null args)
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec *)
+
+let sample_payloads =
+  [
+    "";
+    "x";
+    String.init 257 (fun i -> Char.chr (i * 31 mod 256));
+    String.make 4096 '\xff';
+    "{\"id\":\"j\",\"op\":\"solve\"}";
+  ]
+
+let test_frame_roundtrip () =
+  List.iteri
+    (fun i payload ->
+      let tag = (i * 53) mod 256 in
+      match Frame.decode_exact (Frame.encode ~tag payload) with
+      | Ok (tag', payload') ->
+          Alcotest.(check int) "tag" tag tag';
+          Alcotest.(check string) "payload" payload payload'
+      | Error e -> Alcotest.failf "payload %d: %s" i (Frame.error_to_string e))
+    sample_payloads
+
+let test_frame_incremental () =
+  let frame = Frame.encode ~tag:7 "incremental decode" in
+  let n = String.length frame in
+  let buf = Bytes.of_string frame in
+  for len = 0 to n - 1 do
+    match Frame.decode buf ~off:0 ~len with
+    | Ok Frame.Incomplete -> ()
+    | Ok (Frame.Frame _) -> Alcotest.failf "decoded with %d of %d bytes" len n
+    | Error e ->
+        Alcotest.failf "prefix %d rejected: %s" len (Frame.error_to_string e)
+  done;
+  match Frame.decode buf ~off:0 ~len:n with
+  | Ok (Frame.Frame { tag; payload; size }) ->
+      Alcotest.(check int) "tag" 7 tag;
+      Alcotest.(check string) "payload" "incremental decode" payload;
+      Alcotest.(check int) "size" n size
+  | Ok Frame.Incomplete -> Alcotest.fail "still incomplete at full length"
+  | Error e -> Alcotest.fail (Frame.error_to_string e)
+
+let test_frame_rejects () =
+  let frame = Frame.encode ~tag:3 "hardening" in
+  (* Wrong magic: definitive after one byte. *)
+  (match
+     Frame.decode (Bytes.of_string ("Q" ^ frame)) ~off:0 ~len:(String.length frame)
+   with
+  | Error Frame.Bad_magic -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  (* Wrong version. *)
+  let wrong_v = Bytes.of_string frame in
+  Bytes.set_uint8 wrong_v 4 9;
+  (match Frame.decode wrong_v ~off:0 ~len:(Bytes.length wrong_v) with
+  | Error (Frame.Bad_version 9) -> ()
+  | _ -> Alcotest.fail "bad version accepted");
+  (* Oversized declared length is refused from the 12-byte header alone,
+     before any payload-sized allocation. *)
+  let huge = Bytes.of_string frame in
+  Bytes.set_uint8 huge 8 0x7f;
+  (match Frame.decode ~max_payload:1024 huge ~off:0 ~len:Frame.header_size with
+  | Error (Frame.Oversized { limit = 1024; _ }) -> ()
+  | _ -> Alcotest.fail "oversized length accepted");
+  (* Flipped payload byte: checksum catches it. *)
+  let corrupt = Bytes.of_string frame in
+  Bytes.set_uint8 corrupt 13 (Bytes.get_uint8 corrupt 13 lxor 1);
+  (match Frame.decode corrupt ~off:0 ~len:(Bytes.length corrupt) with
+  | Error Frame.Checksum_mismatch -> ()
+  | _ -> Alcotest.fail "corrupt payload accepted");
+  (* decode_exact flags truncation. *)
+  match Frame.decode_exact (String.sub frame 0 (String.length frame - 1)) with
+  | Error Frame.Truncated -> ()
+  | _ -> Alcotest.fail "truncated frame accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Proto *)
+
+let all_msgs =
+  [
+    Proto.Hello { worker = "w-0"; capacity = 4 };
+    Proto.Welcome { coordinator = "c"; heartbeat_every = 0.5 };
+    Proto.Submit
+      {
+        spec =
+          Job.solve_spec ~id:"j-1" ~eps:0.25 ~priority:3 ~timeout:9.5
+            (Job.File "inst/a.inst");
+      };
+    Proto.Result
+      {
+        result =
+          {
+            Job.id = "j-1";
+            outcome =
+              Job.Solved
+                {
+                  value = 2.5;
+                  upper_bound = 2.75;
+                  decision_calls = 4;
+                  iterations = 123;
+                  cache = Job.Miss;
+                  certified = true;
+                };
+            elapsed = 0.25;
+          };
+      };
+    Proto.Heartbeat { worker = "w-0"; inflight = 2 };
+    Proto.Heartbeat_ack;
+    Proto.Goodbye { reason = "test" };
+    Proto.Error_msg { message = "nope" };
+    Proto.Shutdown;
+  ]
+
+let test_proto_roundtrip () =
+  List.iter
+    (fun msg ->
+      match Frame.decode_exact (Proto.encode msg) with
+      | Error e ->
+          Alcotest.failf "%s: %s" (Proto.describe msg) (Frame.error_to_string e)
+      | Ok (tag, payload) -> (
+          Alcotest.(check int) "tag" (Proto.tag msg) tag;
+          match Proto.decode ~tag payload with
+          | Ok msg' ->
+              Alcotest.(check bool) (Proto.describe msg) true (msg = msg')
+          | Error e -> Alcotest.failf "%s: %s" (Proto.describe msg) e))
+    all_msgs
+
+let test_proto_rejects () =
+  (match Proto.decode ~tag:250 "{}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag accepted");
+  (match Proto.decode ~tag:1 "{\"worker\":\"w\",\"capacity\":0}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-positive capacity accepted");
+  match Proto.decode ~tag:3 "not json at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage submit accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Transport over a socketpair *)
+
+let test_transport_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ca = Transport.of_fd a and cb = Transport.of_fd b in
+  Transport.send ca (Proto.Hello { worker = "w"; capacity = 2 });
+  Transport.send ca Proto.Heartbeat_ack;
+  (match Transport.recv cb with
+  | Proto.Hello { worker; capacity } ->
+      Alcotest.(check string) "worker" "w" worker;
+      Alcotest.(check int) "capacity" 2 capacity
+  | other -> Alcotest.failf "expected hello, got %s" (Proto.describe other));
+  (match Transport.recv cb with
+  | Proto.Heartbeat_ack -> ()
+  | other -> Alcotest.failf "expected ack, got %s" (Proto.describe other));
+  Transport.close ca;
+  (match Transport.recv cb with
+  | exception Transport.Closed -> ()
+  | msg -> Alcotest.failf "expected Closed, got %s" (Proto.describe msg));
+  Transport.close cb
+
+let test_transport_protocol_failure () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cb = Transport.of_fd b in
+  ignore (Unix.write_substring a "garbage that is not a frame" 0 27);
+  (match Transport.recv cb with
+  | exception Transport.Protocol_failure _ -> ()
+  | msg -> Alcotest.failf "expected failure, got %s" (Proto.describe msg));
+  Unix.close a;
+  Transport.close cb
+
+(* ------------------------------------------------------------------ *)
+(* WAL: Assigned records and last-assignment tracking *)
+
+let test_journal_assigned () =
+  let r = Journal.Assigned { job = "j-1"; worker = "w-2" } in
+  (match Journal.of_line (Journal.to_line r) with
+  | Ok r' -> Alcotest.(check bool) "round-trip" true (r = r')
+  | Error e -> Alcotest.fail e);
+  let tampered =
+    String.concat "w-3"
+      (String.split_on_char 'w' (Journal.to_line r) |> function
+       | a :: _ :: rest -> [ a; String.concat "w" rest ]
+       | l -> l)
+  in
+  match Journal.of_line tampered with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tampered assigned record accepted"
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "psdp-dist-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () -> f dir)
+
+let test_store_tracks_assignment () =
+  with_temp_dir (fun dir ->
+      let store_dir = Filename.concat dir "store" in
+      let spec = Json.Obj [ ("file", Json.Str "a.inst") ] in
+      (match Store.open_store store_dir with
+      | Error e -> Alcotest.fail e
+      | Ok store ->
+          Store.append store (Journal.Submitted { job = "j-1"; spec });
+          Store.append store (Journal.Assigned { job = "j-1"; worker = "w-1" });
+          Store.append store (Journal.Assigned { job = "j-1"; worker = "w-2" });
+          Store.append store (Journal.Submitted { job = "j-2"; spec });
+          Store.append store (Journal.Assigned { job = "j-2"; worker = "w-1" });
+          Store.append store (Journal.Completed { job = "j-2"; status = "ok" });
+          Store.close store);
+      match Store.open_store store_dir with
+      | Error e -> Alcotest.fail e
+      | Ok store ->
+          (match Store.pending store with
+          | [ p ] ->
+              Alcotest.(check string) "job" "j-1" p.Store.job;
+              (* the *latest* assignment wins: a reroute supersedes *)
+              Alcotest.(check (option string))
+                "assigned" (Some "w-2") p.Store.assigned
+          | ps -> Alcotest.failf "expected 1 pending, got %d" (List.length ps));
+          Store.close store)
+
+(* ------------------------------------------------------------------ *)
+(* Globally unique engine job ids *)
+
+let tiny_instance seed =
+  let rng = Rng.create seed in
+  Psdp_instances.Diagonal.random ~rng ~dim:3 ~n:2 ()
+
+let test_unique_auto_ids () =
+  let grab () =
+    Engine.with_engine ~max_in_flight:1 (fun eng ->
+        let h1 = Engine.submit eng (Job.solve_spec ~eps:0.3 (Job.Inline (tiny_instance 1))) in
+        let h2 = Engine.submit eng (Job.solve_spec ~eps:0.3 (Job.Inline (tiny_instance 2))) in
+        ignore (Engine.drain eng);
+        (Engine.job_id h1, Engine.job_id h2))
+  in
+  let a1, a2 = grab () in
+  let b1, b2 = grab () in
+  let ids = [ a1; a2; b1; b2 ] in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has job-<nonce>-<seq> shape" id)
+        true
+        (String.length id > 5
+        && String.sub id 0 4 = "job-"
+        && String.contains_from id 4 '-'))
+    ids;
+  Alcotest.(check int)
+    "all four auto ids are distinct" 4
+    (List.length (List.sort_uniq compare ids));
+  (* Same engine, consecutive seqs share the nonce; engines do not. *)
+  let nonce id = List.nth (String.split_on_char '-' id) 1 in
+  Alcotest.(check string) "within-engine nonce stable" (nonce a1) (nonce a2);
+  Alcotest.(check bool)
+    "across-engine nonces differ" false
+    (nonce a1 = nonce b1)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos acceptance: kill a worker mid-solve, everything still lands *)
+
+let spawn args =
+  let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close null)
+    (fun () -> Unix.create_process cli (Array.of_list (cli :: args)) null null null)
+
+let connect_with_retry addr =
+  let rec go n =
+    match Client.connect addr with
+    | Ok c -> c
+    | Error e ->
+        if n = 0 then Alcotest.failf "coordinator never came up: %s" e
+        else begin
+          Unix.sleepf 0.1;
+          go (n - 1)
+        end
+  in
+  go 100
+
+let test_chaos_reroute () =
+  with_temp_dir (fun dir ->
+      let inst1 = Filename.concat dir "p.inst" in
+      let inst2 = Filename.concat dir "c.inst" in
+      Alcotest.(check int)
+        "gen projectors" 0
+        (run_cli
+           [ "gen"; "--family"; "projectors"; "--dim"; "10"; "-n"; "5";
+             "-o"; inst1 ]);
+      Alcotest.(check int)
+        "gen cycle" 0
+        (run_cli [ "gen"; "--family"; "cycle"; "--dim"; "6"; "-o"; inst2 ]);
+      let sock = Filename.concat dir "c.sock" in
+      let addr = Transport.Unix_sock sock in
+      let store_dir = Filename.concat dir "store" in
+      let coord =
+        spawn
+          [ "coordinator"; "--listen"; "unix:" ^ sock; "--checkpoint-dir";
+            store_dir; "--heartbeat"; "0.25"; "--grace"; "1.0" ]
+      in
+      let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill coord Sys.sigkill with Unix.Unix_error _ -> ());
+          reap coord)
+        (fun () ->
+          let client = connect_with_retry addr in
+          let w1 =
+            spawn [ "worker"; "--connect"; "unix:" ^ sock; "--name"; "w1";
+                    "--capacity"; "5" ]
+          in
+          let w2 =
+            spawn [ "worker"; "--connect"; "unix:" ^ sock; "--name"; "w2";
+                    "--capacity"; "5" ]
+          in
+          Fun.protect
+            ~finally:(fun () ->
+              (try Unix.kill w2 Sys.sigkill with Unix.Unix_error _ -> ());
+              reap w1;
+              reap w2)
+            (fun () ->
+              let jobs =
+                List.init 10 (fun i ->
+                    Job.solve_spec
+                      ~id:(Printf.sprintf "chaos-%d" i)
+                      ~eps:0.07
+                      (Job.File (if i mod 2 = 0 then inst1 else inst2)))
+              in
+              List.iter
+                (fun spec ->
+                  match Client.submit client spec with
+                  | Ok () -> ()
+                  | Error e -> Alcotest.fail e)
+                jobs;
+              (* Let assignments land and solves start, then murder w1:
+                 SIGKILL — no goodbye, no flush, a real crash. *)
+              Unix.sleepf 1.0;
+              Unix.kill w1 Sys.sigkill;
+              (match Client.collect ~timeout:240.0 client ~expected:10 with
+              | Error e -> Alcotest.fail e
+              | Ok results ->
+                  Alcotest.(check int) "all results" 10 (List.length results);
+                  List.iter
+                    (fun (r : Job.result) ->
+                      match r.Job.outcome with
+                      | Job.Solved { certified; _ } ->
+                          Alcotest.(check bool)
+                            (r.Job.id ^ " certified") true certified
+                      | other ->
+                          Alcotest.failf "%s did not solve: %s" r.Job.id
+                            (match other with
+                            | Job.Failed m -> m
+                            | Job.Cancelled -> "cancelled"
+                            | Job.Timed_out -> "timeout"
+                            | _ -> "?"))
+                    results);
+              Client.shutdown_cluster client;
+              Client.close client;
+              (* The WAL must show the story: 10 submissions, 10
+                 completions, and at least one job assigned twice —
+                 first to the murdered worker, then elsewhere. *)
+              let records, torn =
+                Journal.replay (Filename.concat store_dir "journal.jsonl")
+              in
+              Alcotest.(check (option string)) "journal intact" None torn;
+              let count k =
+                List.length
+                  (List.filter
+                     (fun r ->
+                       match (r, k) with
+                       | Journal.Submitted _, `S -> true
+                       | Journal.Completed _, `C -> true
+                       | _ -> false)
+                     records)
+              in
+              Alcotest.(check int) "submitted" 10 (count `S);
+              Alcotest.(check int) "completed" 10 (count `C);
+              let assignments = Hashtbl.create 16 in
+              List.iter
+                (function
+                  | Journal.Assigned { job; worker } ->
+                      Hashtbl.replace assignments job
+                        (worker
+                        :: (Option.value ~default:[]
+                              (Hashtbl.find_opt assignments job)))
+                  | _ -> ())
+                records;
+              let rerouted =
+                Hashtbl.fold
+                  (fun _ ws acc -> acc || List.length ws >= 2)
+                  assignments false
+              in
+              Alcotest.(check bool)
+                "some job was assigned twice (rerouted)" true rerouted)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "incremental" `Quick test_frame_incremental;
+          Alcotest.test_case "rejects" `Quick test_frame_rejects;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "round-trip" `Quick test_proto_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_proto_rejects;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "round-trip" `Quick test_transport_roundtrip;
+          Alcotest.test_case "protocol failure" `Quick
+            test_transport_protocol_failure;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "assigned record" `Quick test_journal_assigned;
+          Alcotest.test_case "store tracks assignment" `Quick
+            test_store_tracks_assignment;
+        ] );
+      ( "engine-ids",
+        [ Alcotest.test_case "globally unique" `Quick test_unique_auto_ids ] );
+      ( "chaos",
+        [ Alcotest.test_case "kill worker mid-solve" `Slow test_chaos_reroute ]
+      );
+    ]
