@@ -166,30 +166,24 @@ let run ~quick () =
         (fun (w, t, thr) ->
           Printf.printf "%-10d %12.2f %12.2f %9.2fx\n" w t thr (t1 /. t))
         runs;
-      let json =
-        Json.Obj
-          [
-            ("experiment", Json.Str "exp15");
-            ("mode", Json.Str (if quick then "quick" else "full"));
-            ("cores", Json.Num (float_of_int cores));
-            ("jobs", Json.Num (float_of_int njobs));
-            ( "runs",
-              Json.List
-                (List.map
-                   (fun (w, t, thr) ->
-                     Json.Obj
-                       [
-                         ("workers", Json.Num (float_of_int w));
-                         ("elapsed_s", Json.Num t);
-                         ("jobs_per_s", Json.Num thr);
-                         ("speedup_vs_1", Json.Num (t1 /. t));
-                       ])
-                   runs) );
-          ]
-      in
-      let oc = open_out "BENCH_dist.json" in
-      output_string oc (Json.to_string json);
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "wrote BENCH_dist.json\n";
+      Bench_util.bench_append ~file:"BENCH_dist.json"
+        [
+          ("experiment", Json.Str "exp15");
+          ("mode", Json.Str (if quick then "quick" else "full"));
+          ("cores", Json.Num (float_of_int cores));
+          ("jobs", Json.Num (float_of_int njobs));
+          ( "runs",
+            Json.List
+              (List.map
+                 (fun (w, t, thr) ->
+                   Json.Obj
+                     [
+                       ("workers", Json.Num (float_of_int w));
+                       ("elapsed_s", Json.Num t);
+                       ("jobs_per_s", Json.Num thr);
+                       ("speedup_vs_1", Json.Num (t1 /. t));
+                     ])
+                 runs) );
+        ];
+      Printf.printf "appended BENCH_dist.json\n";
       runs)

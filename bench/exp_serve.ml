@@ -1,0 +1,52 @@
+(* EXP16 — online serving under a drifting-instance open-loop workload.
+
+   The question the serve tier exists to answer: does warm-start lineage
+   buy iterations, and does admission control + ε-degradation keep the
+   tail bounded under a burst, without ever serving an uncertified
+   answer? The workload alternates parent-declaring and cold arrivals
+   over one drifting family (see Psdp_serve.Bench), so the
+   parent-vs-cold iteration ratio is an interleaved A/B on identical
+   load. Appends one record per run to BENCH_serve.json. *)
+
+open Psdp_prelude
+module Arrival = Psdp_serve.Arrival
+module SBench = Psdp_serve.Bench
+
+let run ~quick () =
+  Bench_util.section
+    (Printf.sprintf "EXP16 (%s): serve latency/shed/warm-start trajectory"
+       (if quick then "quick" else "full"));
+  let degrade =
+    match Psdp_fault.Degrade.make ~cap:0.5 [ (4, 1.5); (8, 2.0) ] with
+    | Ok d -> d
+    | Error msg -> failwith msg
+  in
+  let cfg =
+    {
+      SBench.default_config with
+      SBench.process =
+        (if quick then Arrival.Poisson { rate = 6.0 }
+         else Arrival.Burst { rate = 4.0; peak = 24.0; period = 5.0; duty = 0.2 });
+      duration = (if quick then 6.0 else 20.0);
+      seed = 42;
+      eps = (if quick then 0.3 else 0.25);
+      dim = (if quick then 8 else 12);
+      n = (if quick then 4 else 6);
+      drift = 0.05;
+      queue_cap = 12;
+      degrade;
+      domains = 2;
+    }
+  in
+  let r = SBench.run cfg in
+  Format.printf "%a@." SBench.pp_report r;
+  (match SBench.report_to_json r with
+  | Json.Obj fields ->
+      Bench_util.bench_append ~file:"BENCH_serve.json"
+        (("experiment", Json.Str "exp16")
+        :: ("mode", Json.Str (if quick then "quick" else "full"))
+        :: ("arrival", Json.Str (Arrival.to_string cfg.SBench.process))
+        :: fields)
+  | _ -> ());
+  Printf.printf "appended BENCH_serve.json\n";
+  r

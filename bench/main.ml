@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every experiment of DESIGN.md §4
-   (EXP1–EXP15) and runs the bechamel kernel suite.
+   (EXP1–EXP16) and runs the bechamel kernel suite.
 
    Usage:
      dune exec bench/main.exe              # full run, all experiments
@@ -12,7 +12,7 @@
 let all_names =
   [
     "exp1"; "exp2"; "exp3"; "exp4"; "exp5"; "exp6"; "exp7"; "exp8"; "exp9";
-    "exp10"; "exp11"; "exp12"; "exp13"; "exp14"; "exp15"; "kernels";
+    "exp10"; "exp11"; "exp12"; "exp13"; "exp14"; "exp15"; "exp16"; "kernels";
   ]
 
 let () =
@@ -45,5 +45,6 @@ let () =
   if want "exp13" then ignore (Exp_fault.run ~quick ());
   if want "exp14" then ignore (Exp_fuzz.run ~quick ());
   if want "exp15" then ignore (Exp_dist.run ~quick ());
+  if want "exp16" then ignore (Exp_serve.run ~quick ());
   if want "kernels" then Kernels.run ();
   Printf.printf "\nAll selected experiments completed.\n"

@@ -72,6 +72,7 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
      returned [value] stays certified no matter what the caller hands us);
      the upper bound is taken on trust — it must come from a certified
      solve of this same instance, e.g. the engine's result cache. *)
+  let creep_budget = ref 0 in
   (match warm.x0 with
   | None -> ()
   | Some x0 ->
@@ -82,7 +83,8 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
       then begin
         incumbent_value := cert.Certificate.value;
         Array.blit cert.Certificate.x 0 incumbent_x 0 n;
-        lo := Float.max !lo cert.Certificate.value
+        lo := Float.max !lo cert.Certificate.value;
+        creep_budget := 2
       end);
   (match warm.upper with
   | None -> ()
@@ -130,7 +132,30 @@ let solve_packing ?pool ?backend ?mode ?max_calls ?(warm = cold) ?resume
       m "bracket [%.6g, %.6g], budget %d decision calls" !lo !hi budget);
   while !hi > (1.0 +. eps) *. !lo && !calls - base_calls < budget do
     incr calls;
-    let v = sqrt (!lo *. !hi) in
+    (* Probe placement. Geometric bisection probes sqrt(lo·hi) — optimal
+       when nothing is known about OPT's position in the bracket. A
+       verified warm incumbent changes that: lineage warm starts hand us
+       lo ≈ OPT(1−δ) for small drift δ, while hi is still the trivial
+       bound, and sqrt(lo·hi) then lands deep in the expensive
+       covering-side band well above OPT (per-call decision cost peaks
+       just past OPT — see EXP16). So while the warm {e creep budget}
+       lasts, probe v = lo·√(1+ε), just above the incumbent. If the
+       lineage hypothesis holds, a creep probe's covering certificate
+       collapses hi to ≈ v and the solve ends within a call or two; if
+       it answers dual instead (OPT drifted further up), lo advances
+       past the probe and the next creep fires from there. Two dual
+       answers exhaust the budget — the incumbent was not near OPT
+       after all — and geometric bisection resumes having spent two
+       cheap dual-side calls that both advanced lo. Soundness is
+       untouched: only the probe position changes, and every bound
+       still comes from a verified certificate. *)
+    let v =
+      if !creep_budget > 0 then begin
+        decr creep_budget;
+        Float.min (sqrt (!lo *. !hi)) (!lo *. sqrt (1.0 +. eps))
+      end
+      else sqrt (!lo *. !hi)
+    in
     (match on_call with
     | Some f -> f ~call:!calls ~threshold:v
     | None -> ());

@@ -73,9 +73,17 @@ val solve_packing :
     the verification tolerance. Defaults follow {!Decision.solve}.
 
     [warm] (default {!cold}) seeds the bisection bracket from a previous
-    solve of the same instance: a coarse-ε result warm-starting a fine-ε
-    solve skips the decision calls that would re-derive the coarse
-    bracket. [on_call] observes every bisection step (decision call number
+    solve: a coarse-ε result warm-starting a fine-ε solve of the same
+    instance skips the decision calls that would re-derive the coarse
+    bracket, and a {e verified} warm incumbent additionally redirects the
+    first two probes from the geometric midpoint [sqrt(lo·hi)] to the
+    creeping [lo·sqrt(1+ε)] — under the lineage hypothesis (the incumbent
+    is near OPT, e.g. it came from a certified solve of a slightly
+    drifted ancestor instance) a creep probe's covering certificate
+    collapses the bracket and the solve ends within a call or two, while
+    a wrong hypothesis costs two cheap dual-side calls (each of which
+    still advances [lo]) before geometric bisection resumes.
+    [on_call] observes every bisection step (decision call number
     and threshold); [on_iter] observes every solver iteration inside every
     decision call — both are used by the batch engine's telemetry.
 

@@ -114,7 +114,23 @@ let find t ~digest ~eps ~backend ~mode =
   Atomic.incr (match r with Some _ -> t.hits | None -> t.misses);
   r
 
-let find_warm t ~digest ~backend ~mode =
+let find_warm ?eps t ~digest ~backend ~mode =
+  (* Without [eps]: tightest certified bracket wins (smallest upper
+     bound, ties toward larger value). With [eps]: the entry whose ε is
+     closest to the requested one wins — its incumbent was shaped at the
+     nearest accuracy regime — with the tightness order as tie-break. *)
+  let better e b =
+    let tightness_pref () =
+      e.upper_bound < b.upper_bound
+      || (e.upper_bound = b.upper_bound && e.value > b.value)
+    in
+    match eps with
+    | None -> tightness_pref ()
+    | Some target ->
+        let de = Float.abs (e.eps -. target)
+        and db = Float.abs (b.eps -. target) in
+        de < db || (de = db && tightness_pref ())
+  in
   Mutex.lock t.mutex;
   let entries = Option.value ~default:[] (Hashtbl.find_opt t.table digest) in
   let r =
@@ -124,12 +140,7 @@ let find_warm t ~digest ~backend ~mode =
         else
           match best with
           | None -> Some e
-          | Some b ->
-              if
-                e.upper_bound < b.upper_bound
-                || (e.upper_bound = b.upper_bound && e.value > b.value)
-              then Some e
-              else best)
+          | Some b -> if better e b then Some e else best)
       None entries
   in
   Mutex.unlock t.mutex;
@@ -163,6 +174,20 @@ let stats t =
     warm_hits = Atomic.get t.warm_hits;
     stores = Atomic.get t.store_count;
   }
+
+let export_metrics reg t =
+  let set name help v =
+    Psdp_obs.Metrics.set (Psdp_obs.Metrics.gauge reg ~help name) (float_of_int v)
+  in
+  set "psdp_cache_hits" "result cache exact hits (lifetime)"
+    (Atomic.get t.hits);
+  set "psdp_cache_misses" "result cache misses (lifetime)"
+    (Atomic.get t.misses);
+  set "psdp_cache_warm_hits" "warm-start sources found (lifetime)"
+    (Atomic.get t.warm_hits);
+  set "psdp_cache_stores" "results stored in the cache (lifetime)"
+    (Atomic.get t.store_count);
+  set "psdp_cache_size" "entries currently held" (size t)
 
 let close t =
   Mutex.lock t.mutex;

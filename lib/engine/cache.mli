@@ -43,9 +43,15 @@ val find :
 (** Exact-key lookup; most recently stored entry wins. *)
 
 val find_warm :
+  ?eps:float ->
   t -> digest:string -> backend:string -> mode:string -> entry option
-(** Best warm-start source for the digest at any ε: the entry with the
-    smallest [upper_bound] (ties broken toward larger [value]). *)
+(** Best warm-start source for the digest at any ε. Without [eps], the
+    entry with the smallest [upper_bound] wins (ties broken toward
+    larger [value]). With [eps] — the serving path, which knows the
+    accuracy it is about to solve at — the entry whose ε is {e closest}
+    to the request wins (ties broken by the tightness order): a
+    same-regime incumbent is a better seed than a much coarser or much
+    finer one. *)
 
 val store : t -> entry -> unit
 (** Insert (and append to the persist file, if any). *)
@@ -63,6 +69,15 @@ type stats = { hits : int; misses : int; warm_hits : int; stores : int }
 val stats : t -> stats
 (** Current counter values (monotone). The batch engine mirrors these
     into its metrics registry to expose the cache hit rate. *)
+
+val export_metrics : Psdp_obs.Metrics.t -> t -> unit
+(** Snapshot {!stats} (plus {!size}) into the registry as the
+    [psdp_cache_hits] / [psdp_cache_misses] / [psdp_cache_warm_hits] /
+    [psdp_cache_stores] / [psdp_cache_size] gauges. Idempotent —
+    re-registration finds the same series — so callers sample it as
+    often as they like (the serve tier does so on every response). The
+    gauge names are distinct from the engine's [psdp_cache_*_total]
+    counters, so both views can share one registry. *)
 
 val close : t -> unit
 (** Flush and close the persist channel, if any. Idempotent; the

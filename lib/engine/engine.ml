@@ -680,6 +680,14 @@ let journal_submit eng (spec : Job.spec) =
                 Store.append store
                   (Journal.Submitted { job = spec.Job.id; spec = json })
             | Error _ -> ());
+            (* Lineage is pure provenance on top of the spec (which
+               already carries [parent] through its JSON form): it makes
+               warm-start ancestry auditable from the WAL alone. *)
+            (match spec.Job.parent with
+            | Some parent ->
+                Store.append store
+                  (Journal.Lineage { job = spec.Job.id; parent })
+            | None -> ());
             spec)
       with
       | Some spec -> spec

@@ -106,13 +106,42 @@ let run ctx ?resume:resume_from ~check ~prof (spec : Job.spec) =
             }
       | None ->
           let warm_entry = Cache.find_warm ctx.cache ~digest ~backend ~mode in
+          (* Lineage fallback: no incumbent for this exact instance, but
+             the spec names a parent digest — adopt the parent's closest-ε
+             solution vector as a seed. Only [x0] crosses instances: the
+             solver re-verifies it against {e this} instance, so a stale
+             or drifted-away parent costs nothing. The parent's
+             [upper_bound] is never reused — it certifies a different
+             instance and would be trusted unverified. *)
+          let parent_entry =
+            match (warm_entry, spec.Job.parent) with
+            | Some _, _ | _, None -> None
+            | None, Some p -> (
+                match
+                  Cache.find_warm ~eps:spec.Job.eps ctx.cache ~digest:p
+                    ~backend ~mode
+                with
+                | Some e
+                  when Array.length e.Cache.x = Instance.num_constraints inst
+                  ->
+                    Some e
+                | Some _ | None -> None)
+          in
           let warm =
-            match warm_entry with
-            | Some e ->
+            match (warm_entry, parent_entry) with
+            | Some e, _ ->
                 emit_cache "warm";
                 { Solver.upper = Some e.Cache.upper_bound;
                   x0 = Some e.Cache.x }
-            | None ->
+            | None, Some e ->
+                Trace.emit ctx.trace ~job:id ~kind:"cache"
+                  [
+                    ("status", Json.Str "parent");
+                    ("digest", Json.Str digest);
+                    ("parent", Json.Str e.Cache.digest);
+                  ];
+                { Solver.upper = None; x0 = Some e.Cache.x }
+            | None, None ->
                 emit_cache "miss";
                 Solver.cold
           in
@@ -255,6 +284,9 @@ let run ctx ?resume:resume_from ~check ~prof (spec : Job.spec) =
               upper_bound = r.Solver.upper_bound;
               decision_calls = r.Solver.decision_calls;
               iterations = r.Solver.total_iterations;
-              cache = (if warm_entry <> None then Job.Warm else Job.Miss);
+              cache =
+                (if warm_entry <> None then Job.Warm
+                 else if parent_entry <> None then Job.Parent
+                 else Job.Miss);
               certified = cert.Certificate.feasible;
             })

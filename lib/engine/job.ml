@@ -13,23 +13,24 @@ type spec = {
   mode : Decision.mode;
   priority : int;
   timeout : float option;
+  parent : string option;
 }
 
 let default_backend = Decision.Exact
 let default_mode = Decision.Adaptive { check_every = 10 }
 
 let make_spec ?(id = "") ?(eps = 0.1) ?(backend = default_backend)
-    ?(mode = default_mode) ?(priority = 0) ?timeout op source =
-  { id; op; source; eps; backend; mode; priority; timeout }
+    ?(mode = default_mode) ?(priority = 0) ?timeout ?parent op source =
+  { id; op; source; eps; backend; mode; priority; timeout; parent }
 
-let solve_spec ?id ?eps ?backend ?mode ?priority ?timeout source =
-  make_spec ?id ?eps ?backend ?mode ?priority ?timeout Solve source
+let solve_spec ?id ?eps ?backend ?mode ?priority ?timeout ?parent source =
+  make_spec ?id ?eps ?backend ?mode ?priority ?timeout ?parent Solve source
 
 let decide_spec ?id ?eps ?backend ?mode ?priority ?timeout ~threshold source =
   make_spec ?id ?eps ?backend ?mode ?priority ?timeout (Decide { threshold })
     source
 
-type cache_status = Hit | Warm | Miss
+type cache_status = Hit | Warm | Parent | Miss
 
 type outcome =
   | Solved of {
@@ -61,6 +62,7 @@ let mode_key = function
 let cache_status_string = function
   | Hit -> "hit"
   | Warm -> "warm"
+  | Parent -> "parent"
   | Miss -> "miss"
 
 (* ------------------------------------------------------------------ *)
@@ -82,6 +84,9 @@ let spec_of_json j =
   let* priority = opt "priority" Json.int ~default:0 in
   let* timeout =
     opt "timeout" (fun v -> Option.map Option.some (Json.num v)) ~default:None
+  in
+  let* parent =
+    opt "parent" (fun v -> Option.map Option.some (Json.str v)) ~default:None
   in
   let* file =
     match Option.bind (Json.mem "file" j) Json.str with
@@ -121,7 +126,18 @@ let spec_of_json j =
   in
   if eps <= 0.0 || eps >= 1.0 then Error "\"eps\" must lie in (0,1)"
   else
-    Ok { id; op; source = File file; eps; backend; mode; priority; timeout }
+    Ok
+      {
+        id;
+        op;
+        source = File file;
+        eps;
+        backend;
+        mode;
+        priority;
+        timeout;
+        parent;
+      }
 
 (* ------------------------------------------------------------------ *)
 (* Encoding *)
@@ -161,13 +177,18 @@ let spec_to_json spec =
         | Some s -> [ ("timeout", Json.Num s) ]
         | None -> []
       in
+      let parent_fields =
+        match spec.parent with
+        | Some p -> [ ("parent", Json.Str p) ]
+        | None -> []
+      in
       Ok
         (Json.Obj
            (("id", Json.Str spec.id) :: op_fields
            @ [ ("file", Json.Str path); ("eps", Json.Num spec.eps) ]
            @ backend_fields @ mode_fields
            @ [ ("priority", Json.Num (float_of_int spec.priority)) ]
-           @ timeout_fields))
+           @ timeout_fields @ parent_fields))
 
 let result_to_json r =
   let status, fields =
@@ -251,6 +272,7 @@ let result_of_json j =
               match c with
               | "hit" -> Ok Hit
               | "warm" -> Ok Warm
+              | "parent" -> Ok Parent
               | "miss" -> Ok Miss
               | other -> Error (Printf.sprintf "result: bad cache %S" other)
             in

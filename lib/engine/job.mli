@@ -36,20 +36,35 @@ type spec = {
   priority : int;  (** higher runs first; default 0 *)
   timeout : float option;  (** wall-clock seconds; checked between solver
                                iterations (best effort, never mid-kernel) *)
+  parent : string option;
+      (** warm-start lineage: instance-content digest of a previously
+          solved ancestor. When the job's own digest has no cached
+          incumbent, the runner looks the parent digest up and adopts
+          its solution vector as a warm start — the vector is
+          re-verified against {e this} instance before being trusted,
+          and the parent's upper bound is never reused (it belongs to a
+          different instance), so lineage can only speed things up,
+          never corrupt the certificate. *)
 }
 
 val solve_spec :
   ?id:string -> ?eps:float -> ?backend:Decision.backend ->
-  ?mode:Decision.mode -> ?priority:int -> ?timeout:float -> source -> spec
+  ?mode:Decision.mode -> ?priority:int -> ?timeout:float ->
+  ?parent:string -> source -> spec
 (** Defaults: [eps = 0.1], [backend = Exact],
-    [mode = Adaptive {check_every = 10}], [priority = 0], no timeout. *)
+    [mode = Adaptive {check_every = 10}], [priority = 0], no timeout,
+    no parent. *)
 
 val decide_spec :
   ?id:string -> ?eps:float -> ?backend:Decision.backend ->
   ?mode:Decision.mode -> ?priority:int -> ?timeout:float ->
   threshold:float -> source -> spec
 
-type cache_status = Hit | Warm | Miss
+type cache_status =
+  | Hit  (** exact (digest, ε, backend, mode) cache entry returned *)
+  | Warm  (** warm-started from this instance's own cached incumbent *)
+  | Parent  (** warm-started from the declared parent digest's incumbent *)
+  | Miss
 
 type outcome =
   | Solved of {
@@ -82,6 +97,10 @@ type result = { id : string; outcome : outcome; elapsed : float }
 val backend_key : Decision.backend -> string
 val mode_key : Decision.mode -> string
 
+val cache_status_string : cache_status -> string
+(** ["hit"] / ["warm"] / ["parent"] / ["miss"] — the [cache] field of
+    the result JSON and the trace [cache] event's [status]. *)
+
 (** {1 JSON codecs} *)
 
 val spec_of_json : Psdp_prelude.Json.t -> (spec, string) Stdlib.result
@@ -89,7 +108,7 @@ val spec_of_json : Psdp_prelude.Json.t -> (spec, string) Stdlib.result
     [threshold]), [file] (required — inline sources have no JSON form),
     [id], [eps], [backend] ("exact"/"sketched"), [seed] and [sketch_dim]
     (sketched backend), [mode] ("adaptive"/"faithful"), [check_every],
-    [priority], [timeout]. *)
+    [priority], [timeout], [parent] (warm-start ancestor digest). *)
 
 val spec_to_json : spec -> (Psdp_prelude.Json.t, string) Stdlib.result
 (** Inverse of {!spec_of_json} for [File] specs — the form the

@@ -1,0 +1,110 @@
+type rung = { at : int; factor : float }
+
+type t = { rungs : rung list; cap : float }
+
+let none = { rungs = []; cap = 0.5 }
+
+let make ?(cap = 0.5) pairs =
+  if not (Float.is_finite cap && cap > 0.) then
+    Error (Printf.sprintf "degrade: cap must be positive, got %g" cap)
+  else
+    let rec check prev_at prev_factor = function
+      | [] -> Ok ()
+      | (at, factor) :: rest ->
+          if at <= prev_at then
+            Error
+              (Printf.sprintf
+                 "degrade: thresholds must be positive and strictly \
+                  increasing (%d after %d)"
+                 at prev_at)
+          else if not (Float.is_finite factor) || factor < 1. then
+            Error
+              (Printf.sprintf "degrade: factor at load %d must be >= 1, got %g"
+                 at factor)
+          else if factor < prev_factor then
+            Error
+              (Printf.sprintf
+                 "degrade: factors must be non-decreasing (%g after %g)" factor
+                 prev_factor)
+          else check at factor rest
+    in
+    match check 0 1. pairs with
+    | Error _ as e -> e
+    | Ok () ->
+        Ok { rungs = List.map (fun (at, factor) -> { at; factor }) pairs; cap }
+
+let rungs t = t.rungs
+let cap t = t.cap
+
+let level t ~load =
+  let rec go i best = function
+    | [] -> best
+    | r :: rest -> if load >= r.at then go (i + 1) (i + 1) rest else best
+  in
+  go 0 0 t.rungs
+
+let factor t ~load =
+  match level t ~load with 0 -> 1.0 | l -> (List.nth t.rungs (l - 1)).factor
+
+let apply t ~load v =
+  let l = level t ~load in
+  if l = 0 then (v, 0)
+  else
+    let f = (List.nth t.rungs (l - 1)).factor in
+    let v' = Float.min (v *. f) t.cap in
+    (Float.max v v', l)
+
+let to_string t =
+  if t.rungs = [] then "none"
+  else
+    let body =
+      String.concat ","
+        (List.map (fun r -> Printf.sprintf "%d:%g" r.at r.factor) t.rungs)
+    in
+    Printf.sprintf "%s@cap=%g" body t.cap
+
+let parse s =
+  let s = String.trim s in
+  if s = "" || s = "none" then Ok none
+  else
+    let body, cap =
+      match String.index_opt s '@' with
+      | None -> (s, Ok 0.5)
+      | Some i ->
+          let suffix = String.sub s (i + 1) (String.length s - i - 1) in
+          let cap =
+            match String.split_on_char '=' suffix with
+            | [ "cap"; v ] -> (
+                match float_of_string_opt v with
+                | Some c -> Ok c
+                | None -> Error (Printf.sprintf "degrade: bad cap %S" v))
+            | _ ->
+                Error
+                  (Printf.sprintf "degrade: expected @cap=C suffix, got %S"
+                     suffix)
+          in
+          (String.sub s 0 i, cap)
+    in
+    match cap with
+    | Error _ as e -> e
+    | Ok cap -> (
+        let parse_rung part =
+          match String.split_on_char ':' (String.trim part) with
+          | [ a; f ] -> (
+              match (int_of_string_opt a, float_of_string_opt f) with
+              | Some at, Some factor -> Ok (at, factor)
+              | _ -> Error (Printf.sprintf "degrade: bad rung %S" part))
+          | _ ->
+              Error
+                (Printf.sprintf "degrade: rung %S is not AT:FACTOR" part)
+        in
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | p :: rest -> (
+              match parse_rung p with
+              | Ok r -> collect (r :: acc) rest
+              | Error _ as e -> e)
+        in
+        match collect [] (String.split_on_char ',' body) with
+        | Error _ as e -> e
+        | Ok pairs -> make ~cap pairs)

@@ -1,0 +1,63 @@
+(** Bounded, load-keyed degradation ladders.
+
+    A {e ladder} maps a scalar load signal (queue depth, failure streak,
+    backlog bytes — any monotone "pressure" integer) to a bounded
+    coarsening factor. It generalizes the fault layer's ad-hoc numerical
+    degradation moves (Cholesky diagonal shifts, JL resampling) into a
+    declared, inspectable policy: rung [i] says "at load >= at_i, multiply
+    the controlled quantity by factor_i", and the result is clamped to a
+    hard [cap] so no load level can push the system outside its certified
+    operating envelope.
+
+    The serve tier uses a ladder over the admission-queue depth to
+    coarsen ε: every degraded job is still solved and certified at its
+    {e actual} served ε, so degradation trades accuracy for latency
+    without ever trading away soundness.
+
+    Ladders are pure values — applying one never mutates state — so the
+    same schedule can be consulted concurrently from every runner
+    domain. *)
+
+type rung = { at : int; factor : float }
+(** "At load >= [at], degrade by [factor]." *)
+
+type t
+(** A validated ladder: rung thresholds strictly increasing, factors
+    >= 1 and non-decreasing, plus a hard cap on the degraded value. *)
+
+val none : t
+(** The empty ladder: never degrades (level 0, factor 1) at any load. *)
+
+val make : ?cap:float -> (int * float) list -> (t, string) result
+(** [make ~cap rungs] validates [(at, factor)] pairs: thresholds must be
+    positive and strictly increasing, factors >= 1 and non-decreasing.
+    [cap] (default 0.5) is the hard ceiling {!apply} clamps to; it must
+    be positive. *)
+
+val rungs : t -> rung list
+(** The validated rungs, in increasing-threshold order. *)
+
+val cap : t -> float
+
+val level : t -> load:int -> int
+(** Index of the deepest rung whose threshold [load] meets, 1-based;
+    0 when no rung is triggered (or the ladder is {!none}). *)
+
+val factor : t -> load:int -> float
+(** The triggered rung's factor ([1.0] at level 0). *)
+
+val apply : t -> load:int -> float -> float * int
+(** [apply t ~load v] returns the degraded value
+    [min (v * factor) cap] — never below [v] itself, so an
+    already-coarse request is not refined — together with the level that
+    produced it. *)
+
+val parse : string -> (t, string) result
+(** CLI grammar: ["AT:FACTOR,AT:FACTOR,...[@cap=C]"], e.g.
+    ["4:1.5,8:2,16:3@cap=0.5"] — at queue depth 4 coarsen 1.5x, at 8
+    coarsen 2x, at 16 coarsen 3x, never past 0.5. The empty string (or
+    ["none"]) parses to {!none}. *)
+
+val to_string : t -> string
+(** Canonical rendering in the {!parse} grammar (["none"] for the empty
+    ladder). *)

@@ -1,0 +1,18 @@
+open Psdp_prelude
+open Psdp_sparse
+open Psdp_core
+
+let perturb ~rng ?(magnitude = 0.05) inst =
+  if not (Float.is_finite magnitude) || magnitude < 0. then
+    invalid_arg
+      (Printf.sprintf "Drift.perturb: magnitude must be finite and >= 0, got %g"
+         magnitude);
+  let factors = Instance.factors inst in
+  let drifted =
+    Array.map
+      (fun f ->
+        let c = Float.exp (magnitude *. Rng.gaussian rng) in
+        Factored.scale c f)
+      factors
+  in
+  Instance.of_factors drifted

@@ -1,0 +1,21 @@
+(** Drifted variants of an instance — the serving workload shape.
+
+    Live traffic re-solves the {e same} instance family with slightly
+    changed data (beamforming channels moving, edge weights updating).
+    [perturb] models that: each constraint [Aᵢ] is rescaled by an
+    independent positive factor close to 1, which keeps every constraint
+    PSD and non-zero, so the drifted instance is always valid and its
+    optimum stays near the parent's — exactly the situation where a
+    warm start from the parent's incumbent pays off. Deterministic in
+    the supplied [rng]. *)
+
+open Psdp_prelude
+open Psdp_core
+
+val perturb : rng:Rng.t -> ?magnitude:float -> Instance.t -> Instance.t
+(** [perturb ~rng ~magnitude inst] rescales each constraint by
+    [exp (magnitude * g)] with [g ~ N(0,1)] drawn from [rng].
+    [magnitude] defaults to [0.05] (a few percent of drift) and must be
+    non-negative and finite, else [Invalid_argument]. [magnitude = 0.]
+    still re-rounds through the factored representation but changes no
+    values. *)

@@ -33,6 +33,7 @@ type t = {
   attribution : attribution_row list;
   cache : (string * int) list;  (* status -> count, e.g. hit/warm/miss *)
   faults : (string * int) list;  (* fault event kind -> count *)
+  serve : (string * int) list;  (* serve event kind -> count *)
 }
 
 let fault_kinds =
@@ -40,6 +41,9 @@ let fault_kinds =
     "job_fault"; "job_retry"; "job_quarantined"; "store_fault";
     "breaker_open"; "runner_restarted"; "sketch_resample";
   ]
+
+let serve_kinds =
+  [ "serve_admitted"; "serve_rejected"; "eps_degraded"; "serve_completed" ]
 
 (* ---------------------------------------------------------------- *)
 (* Accumulation *)
@@ -91,6 +95,7 @@ let of_events events =
   in
   let cache_counts : (string, int) Hashtbl.t = Hashtbl.create 4 in
   let fault_counts : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  let serve_counts : (string, int) Hashtbl.t = Hashtbl.create 4 in
   let spans : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
   let span_order = ref [] in
   let t_min = ref Float.infinity and t_max = ref Float.neg_infinity in
@@ -137,6 +142,9 @@ let of_events events =
           | k, _ when List.mem k fault_kinds ->
               Hashtbl.replace fault_counts k
                 (1 + Option.value ~default:0 (Hashtbl.find_opt fault_counts k))
+          | k, _ when List.mem k serve_kinds ->
+              Hashtbl.replace serve_counts k
+                (1 + Option.value ~default:0 (Hashtbl.find_opt serve_counts k))
           | "profile", _ -> (
               match Json.mem "spans" ev with
               | Some (Json.Obj paths) ->
@@ -229,6 +237,11 @@ let of_events events =
       (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find_opt fault_counts k))
       fault_kinds
   in
+  let serve =
+    List.filter_map
+      (fun k -> Option.map (fun v -> (k, v)) (Hashtbl.find_opt serve_counts k))
+      serve_kinds
+  in
   {
     events = !n_events;
     span = (if !n_events = 0 then 0.0 else !t_max -. !t_min);
@@ -237,6 +250,7 @@ let of_events events =
     attribution;
     cache;
     faults;
+    serve;
   }
 
 let of_lines lines =
@@ -314,6 +328,11 @@ let pp ppf t =
   if t.faults <> [] then begin
     pf ppf "@,faults:";
     List.iter (fun (k, v) -> pf ppf " %s=%d" k v) t.faults;
+    pf ppf "@,"
+  end;
+  if t.serve <> [] then begin
+    pf ppf "@,serve:";
+    List.iter (fun (k, v) -> pf ppf " %s=%d" k v) t.serve;
     pf ppf "@,"
   end;
   pf ppf "@]"

@@ -50,6 +50,9 @@ type t = {
       (** fault-layer event counts ([job_fault], [job_retry],
           [job_quarantined], [store_fault], [breaker_open],
           [runner_restarted], [sketch_resample]); empty for clean runs *)
+  serve : (string * int) list;
+      (** serve-tier event counts ([serve_admitted], [serve_rejected],
+          [eps_degraded], [serve_completed]); empty for batch traces *)
 }
 
 val of_events : Psdp_prelude.Json.t list -> t

@@ -215,6 +215,37 @@ let eps_refinement spec =
   let* () = gap_within "fine" bf (1.0 +. (eps /. 2.0)) in
   intersect "coarse" bc "fine" bf
 
+(* Metamorphic relation behind the serve tier's warm-start lineage: a
+   solve of a drifted instance warm-started from the undrifted parent's
+   incumbent must land in the same certified bracket as the cold solve
+   of that drifted instance, at the same accuracy — the warm path may
+   only change {e how fast} the bracket is found, never {e where} it
+   is. The parent's upper bound is deliberately not reused: it is
+   instance-specific and trusted, so across instances only the
+   re-verified x0 may travel (cf. Exec's parent resolution). *)
+let warm_start_equivalence spec =
+  let inst, _ = Spec.build spec in
+  let rng = Rng.create (spec.Spec.seed lxor 0x7E57) in
+  let drifted = Psdp_instances.Drift.perturb ~rng ~magnitude:0.05 inst in
+  let parent = Solver.solve_packing ~eps inst in
+  let cold = Solver.solve_packing ~eps drifted in
+  let warmed =
+    Solver.solve_packing ~eps
+      ~warm:{ Solver.upper = None; x0 = Some parent.Solver.x }
+      drifted
+  in
+  let bc = bracket_of cold and bw = bracket_of warmed in
+  let* () = valid_bracket "cold" bc in
+  let* () = valid_bracket "warm" bw in
+  let* () = gap_within "cold" bc (1.0 +. eps) in
+  let* () = gap_within "warm" bw (1.0 +. eps) in
+  let* () = intersect "cold" bc "warm" bw in
+  let cert = Certificate.check_dual ~tol:1e-5 drifted warmed.Solver.x in
+  if not cert.Certificate.feasible then
+    failf "warm incumbent infeasible on drifted instance: λmax %.6g"
+      cert.Certificate.lambda_max
+  else ok
+
 let certificates_verify spec =
   let inst, _ = Spec.build spec in
   let r = Decision.solve ~eps inst in

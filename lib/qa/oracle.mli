@@ -68,6 +68,13 @@ val eps_refinement : check
     whose relative gaps respect their respective [(1+ε)] guarantees —
     accuracy is monotone in ε. *)
 
+val warm_start_equivalence : check
+(** Warm-starting a drifted instance from the undrifted parent's
+    incumbent ({!Psdp_core.Solver.warm_start} with [upper = None], the
+    serve tier's lineage path) yields a valid certified bracket that
+    intersects the cold solve's bracket and respects the same [(1+ε)]
+    gap — warm starts change cost, never the answer. *)
+
 val certificates_verify : check
 (** The decision procedure's outcome on the normalized instance
     re-verifies against {!Psdp_core.Certificate} (dual feasible with

@@ -84,6 +84,15 @@ let all =
       check = Oracle.eps_refinement;
     };
     {
+      name = "warm_start_equivalence";
+      doc =
+        "warm-starting a drifted instance from its parent's incumbent \
+         moves cost, not the certified bracket (serve-tier lineage \
+         soundness)";
+      applies = always;
+      check = Oracle.warm_start_equivalence;
+    };
+    {
       name = "certificates_verify";
       doc = "decision outcomes and solver incumbents re-verify independently";
       applies = always;

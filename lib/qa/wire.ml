@@ -49,7 +49,12 @@ let results (spec : Spec.t) =
             upper_bound = (float_of_int seed *. 0.125) +. 0.5;
             decision_calls = seed mod 13;
             iterations = seed mod 9973;
-            cache = (match seed mod 3 with 0 -> Job.Hit | 1 -> Job.Warm | _ -> Job.Miss);
+            cache =
+              (match seed mod 4 with
+              | 0 -> Job.Hit
+              | 1 -> Job.Warm
+              | 2 -> Job.Parent
+              | _ -> Job.Miss);
             certified = seed land 16 = 0;
           };
       elapsed = 0.0625;

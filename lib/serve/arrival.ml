@@ -1,0 +1,74 @@
+open Psdp_prelude
+
+type process =
+  | Poisson of { rate : float }
+  | Burst of { rate : float; peak : float; period : float; duty : float }
+
+let validate = function
+  | Poisson { rate } ->
+      if not (Float.is_finite rate && rate > 0.) then
+        invalid_arg (Printf.sprintf "Arrival: rate must be positive, got %g" rate)
+  | Burst { rate; peak; period; duty } ->
+      if not (Float.is_finite rate && rate > 0.) then
+        invalid_arg (Printf.sprintf "Arrival: rate must be positive, got %g" rate);
+      if not (Float.is_finite peak && peak > 0.) then
+        invalid_arg (Printf.sprintf "Arrival: peak must be positive, got %g" peak);
+      if not (Float.is_finite period && period > 0.) then
+        invalid_arg
+          (Printf.sprintf "Arrival: period must be positive, got %g" period);
+      if not (Float.is_finite duty && duty >= 0. && duty <= 1.) then
+        invalid_arg (Printf.sprintf "Arrival: duty must lie in [0,1], got %g" duty)
+
+let rate_at proc t =
+  match proc with
+  | Poisson { rate } -> rate
+  | Burst { rate; peak; period; duty } ->
+      let phase = Float.rem t period in
+      if phase < duty *. period then peak else rate
+
+let times ~seed ~duration proc =
+  validate proc;
+  if not (Float.is_finite duration && duration > 0.) then
+    invalid_arg
+      (Printf.sprintf "Arrival: duration must be positive, got %g" duration);
+  let rng = Rng.create seed in
+  let rec go t acc =
+    (* Exponential gap at the rate in force now. Rates are
+       piecewise-constant, so drawing the whole gap at the current rate
+       only blurs arrivals that straddle a phase boundary — fine for a
+       load generator, and it keeps the schedule a pure function of the
+       seed. *)
+    let r = rate_at proc t in
+    let u = Rng.uniform rng in
+    let gap = -.Float.log (1.0 -. u) /. r in
+    let t' = t +. gap in
+    if t' >= duration then List.rev acc else go t' (t' :: acc)
+  in
+  go 0.0 []
+
+let to_string = function
+  | Poisson { rate } -> Printf.sprintf "poisson:%g" rate
+  | Burst { rate; peak; period; duty } ->
+      Printf.sprintf "burst:%g:%g:%g:%g" rate peak period duty
+
+let parse s =
+  let fail () = Error (Printf.sprintf "arrival: cannot parse %S" s) in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "poisson"; r ] -> (
+      match float_of_string_opt r with
+      | Some rate when Float.is_finite rate && rate > 0. ->
+          Ok (Poisson { rate })
+      | _ -> fail ())
+  | [ "burst"; r; p; per; d ] -> (
+      match
+        ( float_of_string_opt r,
+          float_of_string_opt p,
+          float_of_string_opt per,
+          float_of_string_opt d )
+      with
+      | Some rate, Some peak, Some period, Some duty -> (
+          match validate (Burst { rate; peak; period; duty }) with
+          | () -> Ok (Burst { rate; peak; period; duty })
+          | exception Invalid_argument m -> Error m)
+      | _ -> fail ())
+  | _ -> fail ()

@@ -1,0 +1,34 @@
+(** Open-loop arrival processes for the serve bench.
+
+    Open-loop means the generator decides arrival instants up front and
+    never waits for the system: if the serve tier falls behind, requests
+    pile up — exactly the regime that exercises admission control and
+    ε-degradation. (A closed-loop generator that waits for each response
+    can never overload the system, so it cannot measure shedding.)
+
+    Times are deterministic in the seed: the same [(seed, duration,
+    process)] triple always yields the same schedule, which is what lets
+    CI pin a serve smoke run. *)
+
+type process =
+  | Poisson of { rate : float }
+      (** memoryless arrivals at [rate] requests/second *)
+  | Burst of { rate : float; peak : float; period : float; duty : float }
+      (** periodic load spikes: each [period] seconds begins with a
+          burst window of [duty·period] seconds at [peak] req/s, then
+          relaxes to the base [rate] — the classic diurnal/flash-crowd
+          shape that triggers shedding and ε-degradation *)
+
+val times : seed:int -> duration:float -> process -> float list
+(** Arrival instants in [[0, duration)], increasing. Poisson gaps are
+    exponential with mean [1/rate]; bursts draw gaps at the rate in
+    force at the current instant (piecewise-constant thinning-free
+    construction). Raises [Invalid_argument] on non-positive rates,
+    period, or duration, or [duty] outside [[0,1]]. *)
+
+val parse : string -> (process, string) result
+(** CLI grammar: ["poisson:RATE"] or ["burst:RATE:PEAK:PERIOD:DUTY"]
+    (e.g. ["burst:2:20:5:0.2"] — 2 req/s base, 20 req/s for the first
+    second of every 5). *)
+
+val to_string : process -> string

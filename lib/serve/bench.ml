@@ -1,0 +1,241 @@
+open Psdp_prelude
+open Psdp_instances
+open Psdp_engine
+
+type config = {
+  process : Arrival.process;
+  duration : float;
+  seed : int;
+  eps : float;
+  dim : int;
+  n : int;
+  drift : float;
+  queue_cap : int;
+  deadline : float option;
+  degrade : Psdp_fault.Degrade.t;
+  domains : int;
+}
+
+let default_config =
+  {
+    process = Arrival.Poisson { rate = 4.0 };
+    duration = 10.0;
+    seed = 42;
+    eps = 0.25;
+    dim = 10;
+    n = 4;
+    drift = 0.05;
+    queue_cap = 16;
+    deadline = None;
+    degrade = Psdp_fault.Degrade.none;
+    domains = 2;
+  }
+
+type report = {
+  arrivals : int;
+  served : int;
+  shed : int;
+  shed_rate : float;
+  certified : int;
+  uncertified : int;
+  timed_out : int;
+  degraded : int;
+  parent_starts : int;
+  warm_starts : int;
+  exact_hits : int;
+  cold : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  mean_parent_iters : float;
+  mean_cold_iters : float;
+  parent_cold_ratio : float;
+  eps_served : (float * int) list;
+}
+
+let mean = function
+  | [] -> Float.nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let summarize ~arrivals responses =
+  let served = ref 0 and shed = ref 0 in
+  let certified = ref 0 and uncertified = ref 0 and timed_out = ref 0 in
+  let degraded = ref 0 in
+  let parent_starts = ref 0 and warm_starts = ref 0 in
+  let exact_hits = ref 0 and cold = ref 0 in
+  let latencies = ref [] in
+  let parent_iters = ref [] and cold_iters = ref [] in
+  let eps_counts : (float, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Serve.response) ->
+      match r.Serve.outcome with
+      | Serve.Rejected _ -> incr shed
+      | Serve.Done result -> (
+          incr served;
+          latencies := r.Serve.latency :: !latencies;
+          if r.Serve.degrade_level > 0 then incr degraded;
+          match result.Job.outcome with
+          | Job.Solved s ->
+              if s.certified then incr certified else incr uncertified;
+              Hashtbl.replace eps_counts r.Serve.served_eps
+                (1
+                + Option.value ~default:0
+                    (Hashtbl.find_opt eps_counts r.Serve.served_eps));
+              let iters = float_of_int s.iterations in
+              (match s.cache with
+              | Job.Parent ->
+                  incr parent_starts;
+                  parent_iters := iters :: !parent_iters
+              | Job.Miss ->
+                  incr cold;
+                  cold_iters := iters :: !cold_iters
+              | Job.Warm -> incr warm_starts
+              | Job.Hit -> incr exact_hits)
+          | Job.Timed_out -> incr timed_out
+          | _ -> ()))
+    responses;
+  let q p =
+    match !latencies with
+    | [] -> Float.nan
+    | l -> Stats.quantile (Array.of_list l) p
+  in
+  let mean_parent_iters = mean !parent_iters in
+  let mean_cold_iters = mean !cold_iters in
+  {
+    arrivals;
+    served = !served;
+    shed = !shed;
+    shed_rate =
+      (if arrivals = 0 then 0.0 else float_of_int !shed /. float_of_int arrivals);
+    certified = !certified;
+    uncertified = !uncertified;
+    timed_out = !timed_out;
+    degraded = !degraded;
+    parent_starts = !parent_starts;
+    warm_starts = !warm_starts;
+    exact_hits = !exact_hits;
+    cold = !cold;
+    p50 = q 0.5;
+    p95 = q 0.95;
+    p99 = q 0.99;
+    mean_parent_iters;
+    mean_cold_iters;
+    parent_cold_ratio = mean_parent_iters /. mean_cold_iters;
+    eps_served =
+      List.sort compare
+        (Hashtbl.fold (fun k v l -> (k, v) :: l) eps_counts []);
+  }
+
+let run ?metrics ?trace cfg =
+  let rng = Rng.create cfg.seed in
+  let parent = Random_psd.factored ~rng ~dim:cfg.dim ~n:cfg.n () in
+  let parent_digest = Loader.digest parent in
+  let schedule =
+    Arrival.times ~seed:(cfg.seed + 1) ~duration:cfg.duration cfg.process
+  in
+  (* Materialize the whole workload before starting the clock: drifting
+     an instance inside the replay loop would charge generator work to
+     the serving latency it is supposed to measure. Arrival [i] declares
+     the parent digest iff [i] is even — the interleaved A/B split. *)
+  let workload =
+    List.mapi
+      (fun i at ->
+        let child = Drift.perturb ~rng ~magnitude:cfg.drift parent in
+        let parent = if i mod 2 = 0 then Some parent_digest else None in
+        (at, Job.solve_spec ~eps:cfg.eps ?parent (Job.Inline child)))
+      schedule
+  in
+  let responses = ref [] in
+  let resp_mutex = Mutex.create () in
+  let on_response r =
+    Mutex.lock resp_mutex;
+    responses := r :: !responses;
+    Mutex.unlock resp_mutex
+  in
+  let serve =
+    Serve.create ?metrics
+      {
+        Serve.queue_cap = cfg.queue_cap;
+        default_deadline = cfg.deadline;
+        degrade = cfg.degrade;
+      }
+      ~make_engine:(fun ~on_complete ->
+        Engine.create ?metrics ?trace ~max_in_flight:cfg.domains ~on_complete
+          ())
+      ~on_response ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown serve)
+    (fun () ->
+      (* Seed the lineage: solve the parent once, directly through the
+         engine (bypassing admission — warming the cache is setup, not
+         traffic). *)
+      let eng = Serve.engine serve in
+      let warm_up =
+        Engine.submit eng
+          (Job.solve_spec ~id:"bench-parent" ~eps:cfg.eps
+             (Job.Inline parent))
+      in
+      ignore (Engine.await eng warm_up);
+      let t0 = Timer.now () in
+      List.iter
+        (fun (at, spec) ->
+          let delay = t0 +. at -. Timer.now () in
+          if delay > 0.0 then Unix.sleepf delay;
+          Serve.submit serve spec)
+        workload);
+  summarize ~arrivals:(List.length workload) (List.rev !responses)
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("arrivals", Json.Num (float_of_int r.arrivals));
+      ("served", Json.Num (float_of_int r.served));
+      ("shed", Json.Num (float_of_int r.shed));
+      ("shed_rate", Json.Num r.shed_rate);
+      ("certified", Json.Num (float_of_int r.certified));
+      ("uncertified", Json.Num (float_of_int r.uncertified));
+      ("timed_out", Json.Num (float_of_int r.timed_out));
+      ("degraded", Json.Num (float_of_int r.degraded));
+      ("parent_starts", Json.Num (float_of_int r.parent_starts));
+      ("warm_starts", Json.Num (float_of_int r.warm_starts));
+      ("exact_hits", Json.Num (float_of_int r.exact_hits));
+      ("cold", Json.Num (float_of_int r.cold));
+      ("p50", Json.Num r.p50);
+      ("p95", Json.Num r.p95);
+      ("p99", Json.Num r.p99);
+      ("mean_parent_iters", Json.Num r.mean_parent_iters);
+      ("mean_cold_iters", Json.Num r.mean_cold_iters);
+      ("parent_cold_ratio", Json.Num r.parent_cold_ratio);
+      ( "eps_served",
+        Json.List
+          (List.map
+             (fun (eps, count) ->
+               Json.Obj
+                 [
+                   ("eps", Json.Num eps);
+                   ("count", Json.Num (float_of_int count));
+                 ])
+             r.eps_served) );
+    ]
+
+let pf = Format.fprintf
+
+let pp_report ppf r =
+  pf ppf "@[<v>arrivals %d: served %d, shed %d (%.1f%%)@," r.arrivals r.served
+    r.shed (100.0 *. r.shed_rate);
+  pf ppf "results: certified %d, uncertified %d, timed out %d, degraded %d@,"
+    r.certified r.uncertified r.timed_out r.degraded;
+  pf ppf "cache: parent %d, warm %d, hit %d, cold %d@," r.parent_starts
+    r.warm_starts r.exact_hits r.cold;
+  pf ppf "latency (s): p50 %.4f  p95 %.4f  p99 %.4f@," r.p50 r.p95 r.p99;
+  pf ppf
+    "iterations: parent-started %.1f vs cold %.1f (ratio %.2f — lower is \
+     better)@,"
+    r.mean_parent_iters r.mean_cold_iters r.parent_cold_ratio;
+  if r.eps_served <> [] then begin
+    pf ppf "served eps:";
+    List.iter (fun (e, c) -> pf ppf " %g×%d" e c) r.eps_served;
+    pf ppf "@,"
+  end;
+  pf ppf "@]"

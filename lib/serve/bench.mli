@@ -1,0 +1,70 @@
+(** Latency-percentile serving benchmark: an open-loop drifting-instance
+    workload driven against the serve tier.
+
+    The workload models live traffic over one instance family: a parent
+    instance is solved once to seed the cache, then every arrival is a
+    freshly {e drifted} child (each with a unique content digest, so the
+    result cache can never exact-hit). Arrivals alternate A/B between
+    declaring the parent digest (warm lineage path) and arriving cold —
+    an interleaved comparison that shares the same load, scheduler state
+    and machine, so the warm-vs-cold iteration ratio isolates exactly
+    the value of the lineage warm start.
+
+    The generator is open-loop ({!Arrival}): it never waits for the
+    system, so overload shows up as shed requests and ε-degradation
+    rather than as a silently slowed generator. *)
+
+open Psdp_prelude
+
+type config = {
+  process : Arrival.process;
+  duration : float;  (** generator horizon, seconds *)
+  seed : int;
+  eps : float;  (** requested accuracy (pre-degradation) *)
+  dim : int;  (** parent instance dimension *)
+  n : int;  (** parent instance constraint count *)
+  drift : float;  (** per-arrival perturbation magnitude, {!Drift} *)
+  queue_cap : int;
+  deadline : float option;
+  degrade : Psdp_fault.Degrade.t;
+  domains : int;  (** engine runner domains *)
+}
+
+val default_config : config
+(** Poisson 4 req/s for 10 s, seed 42, ε 0.25, dim 10 / n 4, drift 0.05,
+    queue cap 16, no deadline, no degradation, 2 domains. Instance sizes
+    are deliberately small: a single dim-10/ε-0.25 solve is ~1 s on one
+    core, so a 2-domain engine saturates at ~2 req/s and the admission /
+    degradation machinery actually engages. *)
+
+type report = {
+  arrivals : int;
+  served : int;  (** responses carrying an engine result *)
+  shed : int;
+  shed_rate : float;
+  certified : int;
+  uncertified : int;  (** solves whose certificate failed — must be 0 *)
+  timed_out : int;
+  degraded : int;  (** responses served at a coarsened ε *)
+  parent_starts : int;  (** solves warm-started from the parent digest *)
+  warm_starts : int;  (** own-digest warm starts (none expected here) *)
+  exact_hits : int;  (** exact cache hits (none expected here) *)
+  cold : int;
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** admission→response latency, seconds, over served *)
+  mean_parent_iters : float;  (** mean solver iterations, lineage path *)
+  mean_cold_iters : float;
+  parent_cold_ratio : float;  (** [mean_parent_iters /. mean_cold_iters] *)
+  eps_served : (float * int) list;  (** served-ε histogram, ascending ε *)
+}
+
+val run : ?metrics:Psdp_obs.Metrics.t -> ?trace:Psdp_engine.Trace.sink ->
+  config -> report
+(** Build the parent, seed the cache by solving it, replay the arrival
+    schedule in real time, drain, and summarize. Deterministic in
+    [config.seed] up to scheduling (latency numbers vary; counts of
+    arrivals and the A/B split do not). *)
+
+val report_to_json : report -> Json.t
+val pp_report : Format.formatter -> report -> unit

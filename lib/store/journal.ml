@@ -2,6 +2,7 @@ open Psdp_prelude
 
 type record =
   | Submitted of { job : string; spec : Json.t }
+  | Lineage of { job : string; parent : string }
   | Assigned of { job : string; worker : string }
   | Checkpoint of { job : string; call : int; snapshot : string }
   | Completed of { job : string; status : string }
@@ -11,6 +12,12 @@ type record =
 let fields = function
   | Submitted { job; spec } ->
       [ ("kind", Json.Str "submitted"); ("job", Json.Str job); ("spec", spec) ]
+  | Lineage { job; parent } ->
+      [
+        ("kind", Json.Str "lineage");
+        ("job", Json.Str job);
+        ("parent", Json.Str parent);
+      ]
   | Assigned { job; worker } ->
       [
         ("kind", Json.Str "assigned");
@@ -63,6 +70,9 @@ let decode_fields j =
       match Json.mem "spec" j with
       | Some spec -> Ok (Submitted { job; spec })
       | None -> Error "journal: submitted record without spec")
+  | "lineage" ->
+      let* parent = str "parent" in
+      Ok (Lineage { job; parent })
   | "assigned" ->
       let* worker = str "worker" in
       Ok (Assigned { job; worker })

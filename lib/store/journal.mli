@@ -14,6 +14,7 @@
     Each record is one JSON object on one line:
     {v
     {"kind":"submitted","job":ID,"spec":{...},"crc":HEX}
+    {"kind":"lineage","job":ID,"parent":DIGEST,"crc":HEX}
     {"kind":"assigned","job":ID,"worker":STR,"crc":HEX}
     {"kind":"checkpoint","job":ID,"call":N,"snapshot":PATH,"crc":HEX}
     {"kind":"completed","job":ID,"status":STR,"crc":HEX}
@@ -32,6 +33,12 @@ open Psdp_prelude
 
 type record =
   | Submitted of { job : string; spec : Json.t }
+  | Lineage of { job : string; parent : string }
+      (** the job declared a warm-start parent: [parent] is the
+          instance-content digest its incumbent is resolved from. Pure
+          provenance — recovery derives nothing from it (the parent also
+          rides inside the [Submitted] spec), but it makes warm-start
+          ancestry auditable from the WAL alone. *)
   | Assigned of { job : string; worker : string }
       (** the distributed coordinator handed the job to [worker]; a
           later [Assigned] for the same job supersedes (reroute after a

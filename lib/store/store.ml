@@ -16,6 +16,7 @@ type t = {
   lock : Mutex.t;
   pending : pending list;
   quarantined : quarantined list;
+  lineage : (string * string) list;
   torn : string option;
 }
 
@@ -47,6 +48,7 @@ let compute_pending records =
   let order = ref [] in
   let poison : (string, quarantined) Hashtbl.t = Hashtbl.create 4 in
   let poison_order = ref [] in
+  let lineage = ref [] in
   List.iter
     (fun record ->
       match record with
@@ -68,6 +70,8 @@ let compute_pending records =
               (* Re-submission of a recovered job: refresh the spec but
                  keep the snapshot it already earned. *)
               Hashtbl.replace tbl job { p with spec; interrupted = None })
+      | Journal.Lineage { job; parent } ->
+          lineage := (job, parent) :: !lineage
       | Journal.Assigned { job; worker } -> (
           match Hashtbl.find_opt tbl job with
           | Some p -> Hashtbl.replace tbl job { p with assigned = Some worker }
@@ -95,7 +99,7 @@ let compute_pending records =
     List.rev !poison_order
     |> List.filter_map (fun job -> Hashtbl.find_opt poison job)
   in
-  (pending, quarantined)
+  (pending, quarantined, List.rev !lineage)
 
 let open_store dir =
   try
@@ -110,8 +114,8 @@ let open_store dir =
     let oc =
       open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 journal_path
     in
-    let pending, quarantined = compute_pending records in
-    Ok { dir; oc; lock = Mutex.create (); pending; quarantined; torn }
+    let pending, quarantined, lineage = compute_pending records in
+    Ok { dir; oc; lock = Mutex.create (); pending; quarantined; lineage; torn }
   with
   | Sys_error msg -> Error ("store: " ^ msg)
   | Unix.Unix_error (e, fn, arg) ->
@@ -120,6 +124,7 @@ let open_store dir =
 let dir t = t.dir
 let pending t = t.pending
 let quarantined t = t.quarantined
+let lineage t = t.lineage
 let torn_tail t = t.torn
 
 let append t record =

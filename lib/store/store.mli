@@ -49,6 +49,11 @@ val pending : t -> pending list
 val quarantined : t -> quarantined list
 (** Quarantined jobs in first-quarantine order, as of {!open_store}. *)
 
+val lineage : t -> (string * string) list
+(** Warm-start ancestry [(job, parent_digest)] pairs in journal order,
+    as of {!open_store} — every [Lineage] record replayed, including
+    those of completed jobs. *)
+
 val torn_tail : t -> string option
 (** Description of the corrupt journal line replay stopped at, if any. *)
 
