@@ -1,0 +1,147 @@
+(* Guard against silent performance regressions.
+
+   The bench trajectory files (BENCH_*.json) are JSONL: every recorded
+   run appends one entry. This tool compares the newest entry's value
+   for one numeric key against the median of the preceding entries and
+   fails (exit 1) when it drifts past a tolerance in the bad direction
+   — higher-is-better metrics (--direction max, e.g. jobs_per_s) may
+   not fall below median·(1 − tol), lower-is-better ones
+   (--direction min, e.g. p99) may not rise above median·(1 + tol).
+
+   The key is looked up anywhere in the entry, including inside arrays
+   (an exp15 entry carries one jobs_per_s per worker count); multiple
+   hits within one entry are reduced by the direction, so the guard
+   tracks the entry's best configuration. A trajectory shorter than
+   --min-history prior entries only records (exit 0): a median of one
+   noisy run is not a baseline. Unreadable files or a key no entry
+   carries exit 2 — a misconfigured guard must not pass silently. *)
+
+open Psdp_prelude
+
+let usage =
+  "bench_guard FILE KEY [--tolerance PCT] [--direction max|min] \
+   [--min-history N]"
+
+let rec collect key acc = function
+  | Json.Obj fields ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let acc =
+            if k = key then
+              match Json.num v with Some n -> n :: acc | None -> acc
+            else acc
+          in
+          collect key acc v)
+        acc fields
+  | Json.List items -> List.fold_left (collect key) acc items
+  | _ -> acc
+
+let median values =
+  let a = Array.of_list values in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n land 1 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let read_lines file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+let () =
+  let tolerance = ref 20.0 in
+  let direction = ref "max" in
+  let min_history = ref 3 in
+  let positional = ref [] in
+  let spec =
+    [
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "PCT allowed drift from the trajectory median (default 20)" );
+      ( "--direction",
+        Arg.Symbol
+          ([ "max"; "min" ], fun s -> direction := s),
+        " max: higher is better (throughput); min: lower is better \
+         (latency). Default max" );
+      ( "--min-history",
+        Arg.Set_int min_history,
+        "N prior entries required before the guard engages (default 3)" );
+    ]
+  in
+  Arg.parse spec (fun a -> positional := a :: !positional) usage;
+  let file, key =
+    match List.rev !positional with
+    | [ file; key ] -> (file, key)
+    | _ ->
+        prerr_endline usage;
+        exit 2
+  in
+  let lines =
+    match read_lines file with
+    | lines -> lines
+    | exception Sys_error msg ->
+        Printf.eprintf "bench_guard: %s\n" msg;
+        exit 2
+  in
+  let best vs =
+    match vs with
+    | [] -> None
+    | _ ->
+        Some
+          (List.fold_left
+             (if !direction = "max" then Float.max else Float.min)
+             (List.hd vs) (List.tl vs))
+  in
+  let metrics =
+    List.filter_map
+      (fun line ->
+        if String.trim line = "" then None
+        else
+          match Json.parse line with
+          | Ok j -> best (collect key [] j)
+          | Error _ -> None)
+      lines
+  in
+  match List.rev metrics with
+  | [] ->
+      Printf.eprintf "bench_guard: no entry in %s carries a numeric %S\n" file
+        key;
+      exit 2
+  | newest :: prior_rev ->
+      let history = List.rev prior_rev in
+      if List.length history < !min_history then begin
+        Printf.printf
+          "bench_guard: %s %s = %g recorded; trajectory too short to judge \
+           (%d prior < %d)\n"
+          file key newest (List.length history) !min_history;
+        exit 0
+      end;
+      let med = median history in
+      let tol = !tolerance /. 100.0 in
+      let ok, limit =
+        if !direction = "max" then
+          let limit = med *. (1.0 -. tol) in
+          (newest >= limit, limit)
+        else
+          let limit = med *. (1.0 +. tol) in
+          (newest <= limit, limit)
+      in
+      Printf.printf
+        "bench_guard: %s %s: newest %g vs median %g over %d entries \
+         (tolerance %g%%, %s is better)\n"
+        file key newest med (List.length history) !tolerance
+        (if !direction = "max" then "higher" else "lower");
+      if ok then exit 0
+      else begin
+        Printf.eprintf
+          "bench_guard: REGRESSION: %s %s = %g is past the %g limit\n" file
+          key newest limit;
+        exit 1
+      end

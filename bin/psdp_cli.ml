@@ -18,6 +18,8 @@ open Psdp_engine
 module Metrics = Psdp_obs.Metrics
 module Profiler = Psdp_obs.Profiler
 module Trace_summary = Psdp_obs.Trace_summary
+module Trace_assemble = Psdp_obs.Trace_assemble
+module Slo = Psdp_obs.Slo
 module Degrade = Psdp_fault.Degrade
 module Serve = Psdp_serve.Serve
 module Arrival = Psdp_serve.Arrival
@@ -416,7 +418,7 @@ let open_store_or_die dir =
       Printf.eprintf "psdp: %s\n" msg;
       exit exit_bad_input
 
-let with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
+let with_engine_env ~role ~jobs ~domains ~trace_path ~cache_path ?metrics_path
     ?metrics_every ?store_dir f =
   Psdp_parallel.Pool.with_pool ?num_domains:domains (fun pool ->
       let cache = Cache.create ?persist:cache_path () in
@@ -424,6 +426,9 @@ let with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
       let trace =
         match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
       in
+      (* Tag every event with this process's role and pid so merged
+         multi-process traces stay attributable. *)
+      if Trace.enabled trace then Trace.set_role trace role;
       let store = Option.map open_store_or_die store_dir in
       let obs = make_obs metrics_path in
       (* [serve] keeps a fresh snapshot on disk while running: a sampler
@@ -533,7 +538,7 @@ let batch_cmd =
         exit exit_bad_input
     | Ok specs ->
         let results, quarantined =
-          with_engine_env ~jobs ~domains ~trace_path ~cache_path
+          with_engine_env ~role:"batch" ~jobs ~domains ~trace_path ~cache_path
             ?metrics_path ?store_dir:ckpt_dir
             (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
               Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
@@ -627,6 +632,13 @@ let degrade_arg =
   in
   Arg.(value & opt degrade_conv Degrade.none & info [ "degrade" ] ~docv:"SCHEDULE" ~doc)
 
+let slo_target_conv =
+  let parse s =
+    match Slo.parse_target s with Ok t -> Ok t | Error m -> Error (`Msg m)
+  in
+  let print ppf t = Format.pp_print_string ppf (Slo.target_to_string t) in
+  Arg.conv ~docv:"OBJECTIVE@LATENCY" (parse, print)
+
 let serve_cmd =
   let stdin_flag =
     let doc =
@@ -647,9 +659,21 @@ let serve_cmd =
     Arg.(
       value & opt float 10.0 & info [ "metrics-every" ] ~docv:"SECONDS" ~doc)
   in
-  let run use_stdin queue_cap deadline degrade jobs domains trace_path
-      cache_path metrics_path metrics_every ckpt_dir ckpt_every retries
-      backoff quarantine_after failpoints verbosity =
+  let slo_arg =
+    let doc =
+      "Track a latency SLO $(i,OBJECTIVE\\@LATENCY) (e.g. $(b,0.99\\@0.5): \
+       99% of requests under 0.5s) over the served requests. With \
+       $(b,--metrics), exports $(b,psdp_slo_*) series including \
+       multi-window error-budget burn rates."
+    in
+    Arg.(
+      value
+      & opt (some slo_target_conv) None
+      & info [ "slo" ] ~docv:"OBJECTIVE@LATENCY" ~doc)
+  in
+  let run use_stdin queue_cap deadline degrade slo_target jobs domains
+      trace_path cache_path metrics_path metrics_every ckpt_dir ckpt_every
+      retries backoff quarantine_after failpoints verbosity =
     setup_logs verbosity;
     arm_failpoints failpoints;
     if not use_stdin then begin
@@ -670,11 +694,14 @@ let serve_cmd =
       | Serve.Rejected _ -> ());
       Mutex.unlock out_mutex
     in
-    with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
-      ~metrics_every ?store_dir:ckpt_dir
+    with_engine_env ~role:"serve" ~jobs ~domains ~trace_path ~cache_path
+      ?metrics_path ~metrics_every ?store_dir:ckpt_dir
       (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
+        let slo =
+          Option.map (fun t -> Slo.create ?registry:metrics t) slo_target
+        in
         let serve =
-          Serve.create ?metrics
+          Serve.create ?metrics ?slo
             { Serve.queue_cap; default_deadline = deadline; degrade }
             ~make_engine:(fun ~on_complete ->
               Engine.create ~pool ~max_in_flight ~cache ~trace ?store
@@ -729,7 +756,7 @@ let serve_cmd =
           persistent engine, streaming results as they complete.")
     Term.(
       const run $ stdin_flag $ queue_cap_arg $ deadline_arg $ degrade_arg
-      $ jobs_arg $ domains_arg $ trace_file_arg $ cache_file_arg
+      $ slo_arg $ jobs_arg $ domains_arg $ trace_file_arg $ cache_file_arg
       $ metrics_file_arg $ metrics_every_arg $ checkpoint_dir_arg
       $ checkpoint_every_arg $ retries_arg $ backoff_arg
       $ quarantine_after_arg $ failpoint_arg $ verbose_arg)
@@ -899,8 +926,8 @@ let resume_cmd =
       exit exit_bad_input
     end;
     let results =
-      with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
-        ~store_dir
+      with_engine_env ~role:"resume" ~jobs ~domains ~trace_path ~cache_path
+        ?metrics_path ~store_dir
         (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
           Engine.with_engine ~pool ~max_in_flight ~cache ~trace ?store
             ?metrics ?profiler ~checkpoint_every:ckpt_every
@@ -972,9 +999,137 @@ let trace_group_cmd =
             sketch resamples).")
       Term.(const run $ trace_pos)
   in
+  let critical_path_cmd =
+    let files_arg =
+      let doc =
+        "Per-process JSONL trace files to merge (e.g. the coordinator's, \
+         each worker's and the client's $(b,--trace) outputs)."
+      in
+      Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE" ~doc)
+    in
+    let run files =
+      match Trace_assemble.load_files files with
+      | Error msg ->
+          Printf.eprintf "psdp trace critical-path: %s\n" msg;
+          exit exit_bad_input
+      | Ok t ->
+          Printf.printf "assembled %d trace(s) from %d span(s) in %d file(s)"
+            (List.length t.Trace_assemble.trees)
+            t.Trace_assemble.spans (List.length files);
+          if t.Trace_assemble.skipped > 0 then
+            Printf.printf " (%d non-span/torn line(s) skipped)"
+              t.Trace_assemble.skipped;
+          print_newline ();
+          if t.Trace_assemble.trees = [] then
+            print_endline "warning: no span events found"
+          else
+            List.iter
+              (fun (tree : Trace_assemble.tree) ->
+                Format.printf "@.== trace %s%s ==@." tree.Trace_assemble.trace_id
+                  (match tree.Trace_assemble.t_job with
+                  | Some j -> Printf.sprintf " (job %s)" j
+                  | None -> "");
+                Format.printf "%a" Trace_assemble.pp_tree tree;
+                Format.printf "processes: %d (%s)@."
+                  (List.length tree.Trace_assemble.procs)
+                  (String.concat ", "
+                     (List.map
+                        (fun (r, p) -> Printf.sprintf "%s/%d" r p)
+                        tree.Trace_assemble.procs));
+                (if tree.Trace_assemble.orphans > 0 then
+                   Format.printf
+                     "orphans: %d span(s) whose parent is outside the merged \
+                      streams@."
+                     tree.Trace_assemble.orphans);
+                Format.printf "critical path (full durations):@.%a"
+                  Trace_assemble.pp_segments
+                  (Trace_assemble.critical_path tree);
+                Format.printf "attribution (exclusive time):@.%a"
+                  Trace_assemble.pp_segments
+                  (Trace_assemble.attribution tree);
+                let total = Trace_assemble.total tree in
+                let attr = Trace_assemble.attributed tree in
+                Format.printf "coverage: %.1f%% of %.6fs attributed@."
+                  (if total > 0.0 then 100.0 *. attr /. total else 100.0)
+                  total)
+              t.Trace_assemble.trees
+    in
+    Cmd.v
+      (Cmd.info "critical-path" ~exits:solver_exits
+         ~doc:
+           "Merge per-process trace files into one span tree per trace id \
+            (ordered by parent links, never by cross-host timestamps) and \
+            report each job's wall-clock critical path and per-segment \
+            attribution: queue wait, assignment, reroute gaps, solve \
+            phases, certification.")
+      Term.(const run $ files_arg)
+  in
   Cmd.group
     (Cmd.info "trace" ~doc:"Analytics over JSONL telemetry traces.")
-    [ summarize_cmd ]
+    [ summarize_cmd; critical_path_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* slo: offline SLO compliance and burn-rate report *)
+
+let slo_group_cmd =
+  let report_cmd =
+    let files_arg =
+      let doc = "JSONL trace files written with $(b,--trace)." in
+      Arg.(non_empty & pos_all file [] & info [] ~docv:"TRACE" ~doc)
+    in
+    let target_arg =
+      let doc =
+        "SLO target $(i,OBJECTIVE\\@LATENCY): $(b,0.99\\@0.5) means 99% of \
+         requests under 0.5 seconds."
+      in
+      Arg.(
+        value
+        & opt slo_target_conv { Slo.objective = 0.99; latency = 1.0 }
+        & info [ "slo" ] ~docv:"OBJECTIVE@LATENCY" ~doc)
+    in
+    let json_flag =
+      let doc = "Emit the report as one JSON object instead of a table." in
+      Arg.(value & flag & info [ "json" ] ~doc)
+    in
+    let run files target json =
+      let read_events path =
+        try
+          let ic = open_in path in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () ->
+              let rec go acc =
+                match input_line ic with
+                | line -> (
+                    match Json.parse (String.trim line) with
+                    | Ok j -> go (j :: acc)
+                    | Error _ -> go acc (* torn tail / alien line *))
+                | exception End_of_file -> List.rev acc
+              in
+              go [])
+        with Sys_error msg ->
+          Printf.eprintf "psdp slo report: %s\n" msg;
+          exit exit_bad_input
+      in
+      let events = List.concat_map read_events files in
+      let report = Slo.report_of_events target events in
+      if json then
+        print_endline (Json.to_string (Slo.report_to_json report))
+      else Format.printf "%a@?" Slo.pp_report report
+    in
+    Cmd.v
+      (Cmd.info "report" ~exits:solver_exits
+         ~doc:
+           "Compute offline SLO compliance from trace files: request \
+            counts, latency quantiles, compliance against the declared \
+            target, trailing-window burn rates and total error-budget \
+            consumption. Latencies come from $(b,serve_completed) events \
+            when present, else from $(b,job_finished) elapsed times.")
+      Term.(const run $ files_arg $ target_arg $ json_flag)
+  in
+  Cmd.group
+    (Cmd.info "slo" ~doc:"Latency-objective compliance and burn rates.")
+    [ report_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* fuzz — property-based conformance campaigns (lib/qa) *)
@@ -1211,6 +1366,7 @@ let coordinator_cmd =
     let trace =
       match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
     in
+    if Trace.enabled trace then Trace.set_role trace "coordinator";
     let obs = make_obs metrics_path in
     let config =
       {
@@ -1279,8 +1435,8 @@ let worker_cmd =
       | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
     in
     let outcome =
-      with_engine_env ~jobs ~domains ~trace_path ~cache_path ?metrics_path
-        ?store_dir:ckpt_dir
+      with_engine_env ~role:"worker" ~jobs ~domains ~trace_path ~cache_path
+        ?metrics_path ?store_dir:ckpt_dir
         (fun ~pool ~cache ~trace ~store ~metrics ~profiler ~max_in_flight ->
           let make_engine ~on_complete =
             Engine.create ~pool ~max_in_flight ~cache ~trace ?store ?metrics
@@ -1334,7 +1490,7 @@ let submit_cmd =
     in
     Arg.(value & flag & info [ "shutdown" ] ~doc)
   in
-  let run connect manifest timeout shutdown out verbosity =
+  let run connect manifest timeout shutdown trace_path out verbosity =
     setup_logs verbosity;
     let text =
       try
@@ -1351,13 +1507,24 @@ let submit_cmd =
         Printf.eprintf "psdp submit: %s\n" msg;
         exit exit_bad_input
     | Ok specs -> (
-        match Dist.Client.connect connect with
+        (* With --trace, the client is the trace-root owner: each job's
+           context travels in its spec and the coordinator's and workers'
+           spans assemble under the client's "request" span. *)
+        let trace_oc = Option.map open_out trace_path in
+        let trace =
+          match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
+        in
+        if Trace.enabled trace then Trace.set_role trace "client";
+        match Dist.Client.connect ~trace connect with
         | Error msg ->
             Printf.eprintf "psdp submit: %s\n" msg;
+            Option.iter close_out trace_oc;
             exit exit_bad_input
         | Ok client ->
             Fun.protect
-              ~finally:(fun () -> Dist.Client.close client)
+              ~finally:(fun () ->
+                Dist.Client.close client;
+                Option.iter close_out trace_oc)
               (fun () ->
                 List.iter
                   (fun spec ->
@@ -1401,7 +1568,7 @@ let submit_cmd =
           or manifest errors.")
     Term.(
       const run $ connect_arg $ manifest_arg $ timeout_arg $ shutdown_flag
-      $ out_arg $ verbose_arg)
+      $ trace_file_arg $ out_arg $ verbose_arg)
 
 let main =
   let doc = "width-independent parallel positive SDP solver (SPAA'12)" in
@@ -1409,8 +1576,8 @@ let main =
     (Cmd.info "psdp" ~version:"1.0.0" ~doc)
     [
       gen_cmd; info_cmd; solve_cmd; cover_cmd; decide_cmd; batch_cmd;
-      serve_cmd; serve_bench_cmd; resume_cmd; trace_group_cmd; fuzz_cmd;
-      coordinator_cmd;
+      serve_cmd; serve_bench_cmd; resume_cmd; trace_group_cmd; slo_group_cmd;
+      fuzz_cmd; coordinator_cmd;
       worker_cmd; submit_cmd;
     ]
 

@@ -1,9 +1,18 @@
+open Psdp_prelude
 open Psdp_engine
+module Trace_context = Psdp_obs.Trace_context
 
-type t = { conn : Transport.conn }
+type t = {
+  conn : Transport.conn;
+  trace : Trace.sink;
+  (* job id -> (request span context, submit stamp); closed on result *)
+  inflight : (string, Trace_context.t * float) Hashtbl.t;
+}
 
-let connect ?max_payload addr =
-  Result.map (fun conn -> { conn }) (Transport.connect ?max_payload addr)
+let connect ?max_payload ?(trace = Trace.null) addr =
+  Result.map
+    (fun conn -> { conn; trace; inflight = Hashtbl.create 16 })
+    (Transport.connect ?max_payload addr)
 
 let submit t (spec : Job.spec) =
   if spec.Job.id = "" then Error "submit: spec needs a non-empty id"
@@ -11,11 +20,44 @@ let submit t (spec : Job.spec) =
     match spec.Job.source with
     | Job.Inline _ -> Error "submit: inline instances cannot travel the wire"
     | Job.File _ -> (
+        (* The client owns the trace root: each submission opens a
+           "request" span whose context travels in the spec, so the
+           coordinator's and worker's spans assemble under it. *)
+        let spec =
+          if Trace.enabled t.trace then begin
+            let base =
+              match spec.Job.trace with
+              | Some c -> c
+              | None -> Trace_context.mint ()
+            in
+            Hashtbl.replace t.inflight spec.Job.id (base, Timer.now ());
+            { spec with Job.trace = Some base }
+          end
+          else spec
+        in
         try
           Transport.send t.conn (Proto.Submit { spec });
           Ok ()
         with Transport.Closed | Unix.Unix_error _ ->
           Error "submit: connection to coordinator lost")
+
+let record_result t (result : Job.result) =
+  let id = result.Job.id in
+  match Hashtbl.find_opt t.inflight id with
+  | None -> ()
+  | Some (ctx, t0) ->
+      Hashtbl.remove t.inflight id;
+      let status =
+        match result.Job.outcome with
+        | Job.Solved _ -> "ok"
+        | Job.Decided { accepted; _ } -> if accepted then "ok" else "rejected"
+        | Job.Failed _ -> "failed"
+        | Job.Cancelled -> "cancelled"
+        | Job.Timed_out -> "timeout"
+      in
+      Trace.span t.trace ~job:id ~ctx ~name:"request"
+        ~dur:(Timer.now () -. t0)
+        [ ("status", Json.Str status) ]
 
 let collect ?timeout t ~expected =
   let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout in
@@ -24,7 +66,9 @@ let collect ?timeout t ~expected =
   (try
      while !err = None && List.length !results < expected do
        match Transport.pop t.conn with
-       | Some (Proto.Result { result }) -> results := result :: !results
+       | Some (Proto.Result { result }) ->
+           record_result t result;
+           results := result :: !results
        | Some (Proto.Error_msg { message }) -> err := Some message
        | Some (Proto.Goodbye { reason }) ->
            err := Some ("coordinator said goodbye: " ^ reason)

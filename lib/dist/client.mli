@@ -9,7 +9,12 @@ open Psdp_engine
 
 type t
 
-val connect : ?max_payload:int -> Transport.addr -> (t, string) result
+val connect :
+  ?max_payload:int -> ?trace:Trace.sink -> Transport.addr -> (t, string) result
+(** [trace] (default null) makes the client the trace-root owner: each
+    submission mints a context (unless the spec already carries one),
+    ships it in the spec's [trace] field, and {!collect} closes the
+    matching "request" span when the result lands. *)
 
 val submit : t -> Job.spec -> (unit, string) result
 (** Send one job. Specs must carry a non-empty [id] (the coordinator

@@ -4,6 +4,7 @@ module Store = Psdp_store.Store
 module Journal = Psdp_store.Journal
 module Checksum = Psdp_store.Checksum
 module Metrics = Psdp_obs.Metrics
+module Trace_context = Psdp_obs.Trace_context
 
 let log_src = Logs.Src.create "psdp.dist.coord" ~doc:"distributed coordinator"
 
@@ -86,6 +87,17 @@ type jstate = {
   mutable j_worker : string option;
   mutable j_client : int option;  (* peer id to return the result to *)
   mutable j_done : bool;
+  (* Tracing state. [j_ctx] is the span the coordinator parents its own
+     spans under — the client's request span when the spec carried one,
+     else a root minted here (the [bool] records that we own it and must
+     emit the enclosing "job" span at completion). [j_wait_start] anchors
+     the current queue (or reroute) wait; [j_assign] is the open
+     assignment span (context + start), closed on result or reroute. *)
+  mutable j_ctx : (Trace_context.t * bool) option;
+  j_t0 : float;
+  mutable j_wait_start : float;
+  mutable j_assign : (Trace_context.t * float) option;
+  mutable j_rerouted : bool;
 }
 
 type t = {
@@ -199,7 +211,29 @@ let rec dispatch t =
     | `Stall -> ()
     | `Assign (id, j, w) ->
         ignore (Queue.pop t.queue);
-        if safe_send w.w_peer (Proto.Submit { spec = j.j_spec }) then begin
+        (* Re-parent the context before shipping: the worker's engine
+           parents its spans under the assignment span, so each attempt
+           of a rerouted job gets its own subtree. *)
+        let assign =
+          match j.j_ctx with
+          | Some (base, _) when Trace.enabled t.trace ->
+              Some (base, Trace_context.child base, Timer.now ())
+          | _ -> None
+        in
+        let spec_out =
+          match assign with
+          | Some (_, actx, _) -> { j.j_spec with Job.trace = Some actx }
+          | None -> j.j_spec
+        in
+        if safe_send w.w_peer (Proto.Submit { spec = spec_out }) then begin
+          (match assign with
+          | Some (base, actx, now) ->
+              Trace.span t.trace ~job:id ~ctx:(Trace_context.child base)
+                ~name:(if j.j_rerouted then "reroute_wait" else "queue_wait")
+                ~dur:(now -. j.j_wait_start)
+                [ ("worker", Json.Str w.w_name) ];
+              j.j_assign <- Some (actx, now)
+          | None -> ());
           j.j_worker <- Some w.w_name;
           Hashtbl.replace w.w_jobs id ();
           journal t (Journal.Assigned { job = id; worker = w.w_name });
@@ -237,6 +271,21 @@ and worker_dead t w ~reason =
     (fun id () ->
       match Hashtbl.find_opt t.jobs id with
       | Some j when not j.j_done ->
+          (* Close the dead attempt's assignment span and restart the
+             wait clock: the gap until the next dispatch shows up in the
+             trace as an explicit "reroute_wait" segment. *)
+          (match j.j_assign with
+          | Some (actx, t0a) ->
+              Trace.span t.trace ~job:id ~ctx:actx ~name:"assign"
+                ~dur:(Timer.now () -. t0a)
+                [
+                  ("worker", Json.Str w.w_name);
+                  ("status", Json.Str "rerouted");
+                ]
+          | None -> ());
+          j.j_assign <- None;
+          j.j_rerouted <- true;
+          j.j_wait_start <- Timer.now ();
           j.j_worker <- None;
           Queue.push id t.queue;
           incr rerouted;
@@ -269,8 +318,18 @@ let accept_job t peer (spec : Job.spec) =
             }))
   else begin
     if peer.role = Pending then peer.role <- Client_role;
+    let j_ctx =
+      match spec.Job.trace with
+      | Some parent -> Some (parent, false)
+      | None ->
+          if Trace.enabled t.trace then Some (Trace_context.mint (), true)
+          else None
+    in
+    let now = Timer.now () in
     let j =
-      { j_spec = spec; j_worker = None; j_client = Some peer.pid; j_done = false }
+      { j_spec = spec; j_worker = None; j_client = Some peer.pid;
+        j_done = false; j_ctx; j_t0 = now; j_wait_start = now;
+        j_assign = None; j_rerouted = false }
     in
     Hashtbl.replace t.jobs spec.Job.id j;
     Queue.push spec.Job.id t.queue;
@@ -309,6 +368,24 @@ let accept_result t peer (result : Job.result) =
       (match t.meters with Some m -> Metrics.inc m.m_completed | None -> ());
       Trace.emit t.trace ~job:id ~kind:"job_completed"
         [ ("status", Json.Str status) ];
+      (match j.j_assign with
+      | Some (actx, t0a) ->
+          Trace.span t.trace ~job:id ~ctx:actx ~name:"assign"
+            ~dur:(Timer.now () -. t0a)
+            (("status", Json.Str status)
+            ::
+            (match j.j_worker with
+            | Some w -> [ ("worker", Json.Str w) ]
+            | None -> []))
+      | None -> ());
+      (* A coordinator-minted context means no client owns the trace:
+         emit the enclosing root span here. *)
+      (match j.j_ctx with
+      | Some (base, true) ->
+          Trace.span t.trace ~job:id ~ctx:base ~name:"job"
+            ~dur:(Timer.now () -. j.j_t0)
+            [ ("status", Json.Str status) ]
+      | _ -> ());
       (match Option.bind j.j_client (Hashtbl.find_opt t.conns) with
       | Some client -> ignore (safe_send client (Proto.Result { result }))
       | None -> ());
@@ -437,12 +514,24 @@ let recover t =
                 else spec
               in
               if not (Hashtbl.mem t.jobs spec.Job.id) then begin
+                let now = Timer.now () in
                 Hashtbl.replace t.jobs spec.Job.id
                   {
                     j_spec = spec;
                     j_worker = None;
                     j_client = None;
                     j_done = false;
+                    j_ctx =
+                      (match spec.Job.trace with
+                      | Some parent -> Some (parent, false)
+                      | None ->
+                          if Trace.enabled t.trace then
+                            Some (Trace_context.mint (), true)
+                          else None);
+                    j_t0 = now;
+                    j_wait_start = now;
+                    j_assign = None;
+                    j_rerouted = false;
                   };
                 Queue.push spec.Job.id t.queue;
                 Trace.emit t.trace ~job:spec.Job.id ~kind:"job_recovered"

@@ -11,6 +11,7 @@ module Journal = Psdp_store.Journal
 module Snapshot = Psdp_store.Snapshot
 module Metrics = Psdp_obs.Metrics
 module Profiler = Psdp_obs.Profiler
+module Trace_context = Psdp_obs.Trace_context
 module Failpoint = Psdp_fault.Failpoint
 module Fault = Psdp_fault.Fault
 module Retry = Psdp_fault.Retry
@@ -123,6 +124,7 @@ type handle = {
   spec : Job.spec;
   cancel_flag : bool Atomic.t;
   resume_from : Snapshot.t option;  (* recovery: seed the bisection *)
+  submitted_at : float;  (* Timer.now at acceptance; queue-wait span base *)
   mutable state : state;  (* protected by the engine mutex *)
 }
 
@@ -392,16 +394,41 @@ let run_one eng h =
       | None -> ()
     in
     Fun.protect ~finally:decr_in_flight @@ fun () ->
+    (* Distributed tracing: [spec.trace] is the span the submitter owns
+       (a client's request, a coordinator's assignment); everything this
+       engine emits parents under it. With no inherited context — a
+       plain [psdp batch] run — the engine mints a fresh root and emits
+       the enclosing "job" span itself, so a single-process trace still
+       assembles into one tree. All span bookkeeping is skipped when the
+       sink is null. *)
+    let base =
+      if Trace.enabled eng.etrace then
+        match h.spec.Job.trace with
+        | Some parent -> Some (parent, false)
+        | None -> Some (Trace_context.mint (), true)
+      else None
+    in
     (* Each job profiles into a private registry — runner domains never
        share span state — and the result is merged into the process-wide
-       profiler after the fact. *)
-    let job_prof = Option.map (fun _ -> Profiler.create ()) eng.oprofiler in
+       profiler after the fact. Tracing forces a profiler even without
+       one attached: phase spans (load, solve, certify) are derived from
+       the profiler rows. *)
+    let job_prof =
+      if Option.is_some eng.oprofiler || Option.is_some base then
+        Some (Profiler.create ())
+      else None
+    in
     let prof =
       match job_prof with
       | None -> Profiler.disabled
       | Some p -> Profiler.root p "solve"
     in
     let t0 = Timer.now () in
+    (match base with
+    | Some (b, _) ->
+        Trace.span eng.etrace ~job:id ~ctx:(Trace_context.child b)
+          ~name:"queue_wait" ~dur:(t0 -. h.submitted_at) []
+    | None -> ());
     let deadline = Option.map (fun s -> t0 +. s) h.spec.Job.timeout in
     let fail_message = function
       | Exec.Store_crash msg -> "checkpoint store: " ^ msg
@@ -502,6 +529,60 @@ let run_one eng h =
     let outcome, record = attempt 1 in
     let elapsed = Timer.now () -. t0 in
     Profiler.exit prof;
+    let status =
+      match outcome with
+      | Job.Solved _ -> "ok"
+      | Job.Decided { accepted; _ } -> if accepted then "ok" else "rejected"
+      | Job.Failed _ -> "failed"
+      | Job.Cancelled -> "cancelled"
+      | Job.Timed_out -> "timeout"
+    in
+    (match base with
+    | None -> ()
+    | Some (b, minted) ->
+        let exec_span = Trace_context.child b in
+        (* Phase spans mirror the profiler tree: paths sort so a parent
+           ("solve") precedes its children ("solve/certify"), letting
+           each row's context link under its parent's. Rows whose parent
+           path never profiled fall back to the exec span. *)
+        (match job_prof with
+        | None -> ()
+        | Some p ->
+            let rows =
+              List.sort
+                (fun (a : Profiler.row) (b : Profiler.row) ->
+                  compare a.Profiler.path b.Profiler.path)
+                (Profiler.report p)
+            in
+            let ctxs = Hashtbl.create 8 in
+            List.iter
+              (fun (r : Profiler.row) ->
+                let path = r.Profiler.path in
+                let parent_ctx, name =
+                  match String.rindex_opt path '/' with
+                  | None -> (exec_span, path)
+                  | Some i ->
+                      ( (match
+                           Hashtbl.find_opt ctxs (String.sub path 0 i)
+                         with
+                        | Some c -> c
+                        | None -> exec_span),
+                        String.sub path (i + 1) (String.length path - i - 1)
+                      )
+                in
+                let c = Trace_context.child parent_ctx in
+                Hashtbl.replace ctxs path c;
+                Trace.span eng.etrace ~job:id ~ctx:c ~name
+                  ~dur:r.Profiler.total
+                  [ ("count", Json.Num (float_of_int r.Profiler.count)) ])
+              rows);
+        Trace.span eng.etrace ~job:id ~ctx:exec_span ~name:"exec"
+          ~dur:elapsed
+          [ ("status", Json.Str status) ];
+        if minted then
+          Trace.span eng.etrace ~job:id ~ctx:b ~name:"job"
+            ~dur:(Timer.now () -. h.submitted_at)
+            [ ("status", Json.Str status) ]);
     (match (job_prof, eng.oprofiler) with
     | Some p, Some shared ->
         Trace.emit eng.etrace ~job:id ~kind:"profile"
@@ -523,14 +604,6 @@ let run_one eng h =
     (match eng.meters with
     | Some m ->
         Metrics.observe m.m_job_seconds elapsed;
-        let status =
-          match outcome with
-          | Job.Solved _ -> "ok"
-          | Job.Decided { accepted; _ } -> if accepted then "ok" else "rejected"
-          | Job.Failed _ -> "failed"
-          | Job.Cancelled -> "cancelled"
-          | Job.Timed_out -> "timeout"
-        in
         Metrics.inc
           (Metrics.counter m.reg ~help:"jobs finished, by terminal status"
              ~labels:[ ("status", status) ] "psdp_jobs_finished_total");
@@ -715,7 +788,7 @@ let submit_with ?resume eng (spec : Job.spec) =
   Mutex.lock eng.mutex;
   let h =
     { spec; cancel_flag = Atomic.make false; resume_from = resume;
-      state = Pending }
+      submitted_at = Timer.now (); state = Pending }
   in
   eng.handles <- h :: eng.handles;
   Mutex.unlock eng.mutex;

@@ -2,6 +2,7 @@ open Psdp_prelude
 open Psdp_core
 open Psdp_instances
 module Snapshot = Psdp_store.Snapshot
+module Profiler = Psdp_obs.Profiler
 
 exception Cancelled_exn
 exception Timed_out_exn
@@ -54,7 +55,13 @@ let run ctx ?resume:resume_from ~check ~prof (spec : Job.spec) =
         ];
     check ()
   in
-  let inst = load_instance spec.Job.source in
+  (* Load and certification get their own profiler phases: they are the
+     two non-solver segments of a job's wall clock, and the trace
+     critical path should name them rather than lump them into the
+     parent's self time. *)
+  let inst =
+    Profiler.with_span prof "load" (fun () -> load_instance spec.Job.source)
+  in
   check ();
   match spec.Job.op with
   | Job.Decide { threshold } ->
@@ -234,7 +241,10 @@ let run ctx ?resume:resume_from ~check ~prof (spec : Job.spec) =
                 ~on_call ~eps:spec.Job.eps inst
             in
             bump_call_histogram ();
-            let cert = Certificate.check_dual inst r.Solver.x in
+            let cert =
+              Profiler.with_span prof "certify" (fun () ->
+                  Certificate.check_dual inst r.Solver.x)
+            in
             Trace.emit ctx.trace ~job:id ~kind:"cert_verified"
               [
                 ("lambda_max", Json.Num cert.Certificate.lambda_max);

@@ -4,6 +4,8 @@ open Psdp_core
 type op = Solve | Decide of { threshold : float }
 type source = File of string | Inline of Instance.t
 
+module Trace_context = Psdp_obs.Trace_context
+
 type spec = {
   id : string;
   op : op;
@@ -14,21 +16,25 @@ type spec = {
   priority : int;
   timeout : float option;
   parent : string option;
+  trace : Trace_context.t option;
 }
 
 let default_backend = Decision.Exact
 let default_mode = Decision.Adaptive { check_every = 10 }
 
 let make_spec ?(id = "") ?(eps = 0.1) ?(backend = default_backend)
-    ?(mode = default_mode) ?(priority = 0) ?timeout ?parent op source =
-  { id; op; source; eps; backend; mode; priority; timeout; parent }
+    ?(mode = default_mode) ?(priority = 0) ?timeout ?parent ?trace op source =
+  { id; op; source; eps; backend; mode; priority; timeout; parent; trace }
 
-let solve_spec ?id ?eps ?backend ?mode ?priority ?timeout ?parent source =
-  make_spec ?id ?eps ?backend ?mode ?priority ?timeout ?parent Solve source
-
-let decide_spec ?id ?eps ?backend ?mode ?priority ?timeout ~threshold source =
-  make_spec ?id ?eps ?backend ?mode ?priority ?timeout (Decide { threshold })
+let solve_spec ?id ?eps ?backend ?mode ?priority ?timeout ?parent ?trace
+    source =
+  make_spec ?id ?eps ?backend ?mode ?priority ?timeout ?parent ?trace Solve
     source
+
+let decide_spec ?id ?eps ?backend ?mode ?priority ?timeout ?trace ~threshold
+    source =
+  make_spec ?id ?eps ?backend ?mode ?priority ?timeout ?trace
+    (Decide { threshold }) source
 
 type cache_status = Hit | Warm | Parent | Miss
 
@@ -124,6 +130,15 @@ let spec_of_json j =
     | "faithful" -> Ok Decision.Faithful
     | other -> Error (Printf.sprintf "unknown mode %S" other)
   in
+  (* The trace context is deliberately outside the strict codec: a
+     corrupt, truncated or foreign context string must degrade to "no
+     context" (the receiver mints a fresh root) — a mangled trace id
+     must never fail a frame or a manifest line. *)
+  let trace =
+    match Option.bind (Json.mem "trace" j) Json.str with
+    | Some s -> Trace_context.of_string s
+    | None -> None
+  in
   if eps <= 0.0 || eps >= 1.0 then Error "\"eps\" must lie in (0,1)"
   else
     Ok
@@ -137,6 +152,7 @@ let spec_of_json j =
         priority;
         timeout;
         parent;
+        trace;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -182,13 +198,18 @@ let spec_to_json spec =
         | Some p -> [ ("parent", Json.Str p) ]
         | None -> []
       in
+      let trace_fields =
+        match spec.trace with
+        | Some c -> [ ("trace", Json.Str (Trace_context.to_string c)) ]
+        | None -> []
+      in
       Ok
         (Json.Obj
            (("id", Json.Str spec.id) :: op_fields
            @ [ ("file", Json.Str path); ("eps", Json.Num spec.eps) ]
            @ backend_fields @ mode_fields
            @ [ ("priority", Json.Num (float_of_int spec.priority)) ]
-           @ timeout_fields @ parent_fields))
+           @ timeout_fields @ parent_fields @ trace_fields))
 
 let result_to_json r =
   let status, fields =

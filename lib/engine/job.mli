@@ -45,20 +45,27 @@ type spec = {
           and the parent's upper bound is never reused (it belongs to a
           different instance), so lineage can only speed things up,
           never corrupt the certificate. *)
+  trace : Psdp_obs.Trace_context.t option;
+      (** distributed trace context: the span the submitter owns, under
+          which the executing engine parents its own spans. Travels as
+          an optional ["trace"] string field in the spec's JSON form,
+          parsed leniently — an absent or corrupt context decodes to
+          [None] (the receiver mints a fresh root), never to an
+          error. *)
 }
 
 val solve_spec :
   ?id:string -> ?eps:float -> ?backend:Decision.backend ->
   ?mode:Decision.mode -> ?priority:int -> ?timeout:float ->
-  ?parent:string -> source -> spec
+  ?parent:string -> ?trace:Psdp_obs.Trace_context.t -> source -> spec
 (** Defaults: [eps = 0.1], [backend = Exact],
     [mode = Adaptive {check_every = 10}], [priority = 0], no timeout,
-    no parent. *)
+    no parent, no trace context. *)
 
 val decide_spec :
   ?id:string -> ?eps:float -> ?backend:Decision.backend ->
   ?mode:Decision.mode -> ?priority:int -> ?timeout:float ->
-  threshold:float -> source -> spec
+  ?trace:Psdp_obs.Trace_context.t -> threshold:float -> source -> spec
 
 type cache_status =
   | Hit  (** exact (digest, ε, backend, mode) cache entry returned *)

@@ -9,6 +9,7 @@ type sink = {
   target : target;
   flush_every : int;
   mutable unflushed : int;  (* events written since the last flush *)
+  mutable ident : (string * int) option;  (* process role + pid tag *)
 }
 
 let make ?(flush_every = 1) target =
@@ -20,11 +21,26 @@ let make ?(flush_every = 1) target =
     target;
     flush_every;
     unflushed = 0;
+    ident = None;
   }
 
 let null = make Null
 let memory () = make (Memory (ref []))
 let channel ?flush_every oc = make ?flush_every (Channel oc)
+let enabled sink =
+  match sink.target with Null -> false | Memory _ | Channel _ -> true
+
+(* Identity tagging is what lets Trace_assemble tell which process a
+   span came from once several streams are merged: set once per
+   process, before the first event, with the command's role. *)
+let set_role sink role =
+  sink.ident <- Some (role, Unix.getpid ())
+
+let ident_fields sink =
+  match sink.ident with
+  | None -> []
+  | Some (role, pid) ->
+      [ ("role", Json.Str role); ("pid", Json.Num (float_of_int pid)) ]
 
 let stamp sink =
   let t = Float.max sink.last (Timer.now () -. sink.t0) in
@@ -43,7 +59,8 @@ let emit sink ?job ~kind fields =
   | Memory buf ->
       let header =
         ("kind", Json.Str kind)
-        :: (match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
+        :: ((match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
+           @ ident_fields sink)
       in
       Mutex.lock sink.mutex;
       Fun.protect
@@ -56,7 +73,8 @@ let emit sink ?job ~kind fields =
          leading "t" field, formatted outside the lock. *)
       let header =
         ("kind", Json.Str kind)
-        :: (match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
+        :: ((match job with Some j -> [ ("job", Json.Str j) ] | None -> [])
+           @ ident_fields sink)
       in
       let tail =
         match Json.to_string (Json.Obj (header @ fields)) with
@@ -101,3 +119,15 @@ let elapsed sink =
   let t = stamp sink in
   Mutex.unlock sink.mutex;
   t
+
+(* A span event: a named, durationed segment identified by a trace
+   context (the context's span id IS the span; its parent id links it
+   into the cross-process tree). The event's own stamp marks the span's
+   end on this process's clock — Trace_assemble derives the local start
+   as [t - dur] and never compares stamps across processes. *)
+let span sink ?job ~ctx ~name ~dur fields =
+  emit sink ?job ~kind:"span"
+    (("name", Json.Str name)
+    :: ("ctx", Json.Str (Psdp_obs.Trace_context.to_string ctx))
+    :: ("dur", Json.Num (Float.max 0.0 dur))
+    :: fields)

@@ -45,9 +45,33 @@ val channel : ?flush_every:int -> out_channel -> sink
     I/O off the emission path on high-frequency traces. The channel is
     not closed by the sink. *)
 
+val enabled : sink -> bool
+(** [false] exactly for {!null} — lets callers skip span bookkeeping
+    (context derivation, duration math) when telemetry is off. *)
+
+val set_role : sink -> string -> unit
+(** Tag every subsequent event with this process's role (e.g.
+    ["worker"]) and pid, so merged multi-process streams stay
+    attributable. Call once, before the first event. *)
+
 val emit : sink -> ?job:string -> kind:string -> (string * Json.t) list -> unit
 (** [emit sink ~job ~kind fields] records one event. [fields] must not
     rebind ["t"], ["kind"] or ["job"]. *)
+
+val span :
+  sink ->
+  ?job:string ->
+  ctx:Psdp_obs.Trace_context.t ->
+  name:string ->
+  dur:float ->
+  (string * Json.t) list ->
+  unit
+(** Emit a [span] event: a named segment of [dur] seconds whose
+    identity and tree position are the given context (its span id is
+    this span; its parent id links it under the owner's span). The
+    event stamp marks the span's end on the local clock;
+    {!Psdp_obs.Trace_assemble} orders strictly by parent links across
+    processes. *)
 
 val flush_sink : sink -> unit
 (** Force any batched events out to the channel. No-op for {!null} and

@@ -327,6 +327,19 @@ let render_series buf name lbl = function
       Printf.bprintf buf "%s_sum%s %s\n" name lbl (float_str sum);
       Printf.bprintf buf "%s_count%s %d\n" name lbl total
 
+(* HELP text travels on a single exposition line: the format reserves
+   backslash and newline there (escaped as \\ and \n), and a literal
+   newline would otherwise corrupt every line after it. *)
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let render reg =
   Mutex.lock reg.mutex;
   let fams =
@@ -337,7 +350,7 @@ let render reg =
   List.iter
     (fun fam ->
       if fam.help <> "" then
-        Printf.bprintf buf "# HELP %s %s\n" fam.fname fam.help;
+        Printf.bprintf buf "# HELP %s %s\n" fam.fname (escape_help fam.help);
       Printf.bprintf buf "# TYPE %s %s\n" fam.fname
         (match fam.kind with
         | Kcounter -> "counter"

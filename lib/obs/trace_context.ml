@@ -1,0 +1,137 @@
+(* Distributed trace context: the identity a request carries across
+   process boundaries so per-process span streams can later be merged
+   into one tree. A context names the span the *sender* owns — whatever
+   the receiver does on the request's behalf becomes children of that
+   span (via {!child}), so the tree shape is fixed entirely by parent
+   links and never by cross-host clocks.
+
+   The wire form is a single self-checking string (see {!to_string}):
+   trailing FNV-1a check hex makes any single-bit damage — and most
+   multi-bit damage — detectable, so {!of_string} can refuse a mangled
+   context instead of silently grafting spans onto a garbage trace id.
+   Decoders must treat [None] as "start a fresh root", never as an
+   error: a corrupt or absent context degrades tracing, not service. *)
+
+open Psdp_prelude
+
+type t = {
+  trace_id : string;  (* 32 lowercase hex chars, not all zero *)
+  span_id : string;  (* 16 lowercase hex chars *)
+  parent_id : string option;  (* 16 lowercase hex chars *)
+  sampled : bool;
+}
+
+let equal a b =
+  a.trace_id = b.trace_id && a.span_id = b.span_id
+  && a.parent_id = b.parent_id && a.sampled = b.sampled
+
+(* Local FNV-1a-64 (same constants as Psdp_store.Checksum, re-stated
+   here so obs keeps its prelude-only dependency footprint). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let check_hex body =
+  Printf.sprintf "%08Lx" (Int64.logand (fnv1a64 body) 0xFFFFFFFFL)
+
+(* ------------------------------------------------------------------ *)
+(* Minting *)
+
+(* Process-wide id stream, seeded once per process from pid + wall
+   clock so two processes minting at the same instant still diverge.
+   Minting is rare (once per request, never per iteration), so a mutex
+   around the shared generator costs nothing measurable. *)
+let gen =
+  lazy
+    (Rng.create
+       (Hashtbl.hash
+          (Unix.getpid (), Unix.gettimeofday (), "psdp-trace-context")))
+
+let gen_mutex = Mutex.create ()
+
+let fresh_hex16 () =
+  Mutex.lock gen_mutex;
+  let v = Rng.bits64 (Lazy.force gen) in
+  Mutex.unlock gen_mutex;
+  Printf.sprintf "%016Lx" v
+
+let zero_trace = String.make 32 '0'
+
+let rec fresh_trace_id () =
+  let id = fresh_hex16 () ^ fresh_hex16 () in
+  if id = zero_trace then fresh_trace_id () else id
+
+let mint ?(sampled = true) () =
+  {
+    trace_id = fresh_trace_id ();
+    span_id = fresh_hex16 ();
+    parent_id = None;
+    sampled;
+  }
+
+let child ctx =
+  {
+    trace_id = ctx.trace_id;
+    span_id = fresh_hex16 ();
+    parent_id = Some ctx.span_id;
+    sampled = ctx.sampled;
+  }
+
+let is_root ctx = ctx.parent_id = None
+
+(* ------------------------------------------------------------------ *)
+(* Codec *)
+
+(* <trace32>-<span16>-<parent16|empty>-<0|1>-<check8>, e.g.
+   4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7--1-9d2c08a5 *)
+let to_string ctx =
+  let body =
+    Printf.sprintf "%s-%s-%s-%c" ctx.trace_id ctx.span_id
+      (Option.value ~default:"" ctx.parent_id)
+      (if ctx.sampled then '1' else '0')
+  in
+  body ^ "-" ^ check_hex body
+
+let is_hex s =
+  String.for_all (function 'a' .. 'f' | '0' .. '9' -> true | _ -> false) s
+
+let of_string s =
+  match String.split_on_char '-' s with
+  | [ trace_id; span_id; parent; flag; check ]
+    when String.length trace_id = 32
+         && is_hex trace_id && trace_id <> zero_trace
+         && String.length span_id = 16
+         && is_hex span_id
+         && (parent = "" || (String.length parent = 16 && is_hex parent))
+         && (flag = "0" || flag = "1")
+         && check = check_hex (String.sub s 0 (String.length s - 9)) ->
+      Some
+        {
+          trace_id;
+          span_id;
+          parent_id = (if parent = "" then None else Some parent);
+          sampled = flag = "1";
+        }
+  | _ -> None
+
+(* Deterministic construction for tests and replayable QA campaigns:
+   validated like {!of_string}, so a property cannot accidentally build
+   a context the codec would refuse. *)
+let of_parts ~trace_id ~span_id ?parent ~sampled () =
+  if
+    String.length trace_id = 32
+    && is_hex trace_id && trace_id <> zero_trace
+    && String.length span_id = 16
+    && is_hex span_id
+    && match parent with
+       | None -> true
+       | Some p -> String.length p = 16 && is_hex p
+  then Some { trace_id; span_id; parent_id = parent; sampled }
+  else None

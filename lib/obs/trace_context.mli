@@ -1,0 +1,54 @@
+(** Distributed trace context: the identity a request carries across
+    process boundaries (client → coordinator → worker, or into the
+    serve tier) so per-process span streams can be merged into one tree
+    by {!Trace_assemble}.
+
+    A context names the span its *sender* owns. A receiver derives
+    {!child} contexts for the work it does on the request's behalf, so
+    the assembled tree's shape is fixed entirely by parent links —
+    never by cross-host clocks.
+
+    On the wire the context rides as a versioned optional field inside
+    the job-spec JSON ({!Psdp_engine.Job.spec_of_json} parses it
+    leniently). The string form is self-checking: a trailing FNV-1a
+    check makes single-bit damage detectable, so {!of_string} returns
+    [None] for a mangled context and the receiver mints a fresh root —
+    corruption degrades tracing, never service. *)
+
+type t = {
+  trace_id : string;  (** 32 lowercase hex chars, not all zero *)
+  span_id : string;  (** 16 lowercase hex chars: the sender's span *)
+  parent_id : string option;  (** 16 lowercase hex chars *)
+  sampled : bool;
+}
+
+val equal : t -> t -> bool
+
+val mint : ?sampled:bool -> unit -> t
+(** A fresh root context (no parent), ids drawn from a process-wide
+    generator seeded with pid + wall clock. [sampled] defaults true. *)
+
+val child : t -> t
+(** Same trace and sampling flag, fresh span id, parented under the
+    given context's span. *)
+
+val is_root : t -> bool
+
+val to_string : t -> string
+(** [<trace32>-<span16>-<parent16|empty>-<0|1>-<check8>]; the trailing
+    8 hex chars are an FNV-1a-64 check over everything before them. *)
+
+val of_string : string -> t option
+(** Strict parse of {!to_string}'s format — wrong lengths, non-hex,
+    an all-zero trace id or a check mismatch all yield [None]. Never
+    raises: [None] means "start a fresh root", not "error". *)
+
+val of_parts :
+  trace_id:string ->
+  span_id:string ->
+  ?parent:string ->
+  sampled:bool ->
+  unit ->
+  t option
+(** Deterministic construction for tests and replayable QA campaigns,
+    validated like {!of_string}. *)

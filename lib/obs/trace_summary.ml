@@ -27,6 +27,7 @@ type attribution_row = {
 
 type t = {
   events : int;
+  skipped : int;  (* unparseable lines (torn tail, alien content) *)
   span : float;  (* time covered by the trace, seconds *)
   jobs : job_row list;
   latencies : phase_stat list;
@@ -244,6 +245,7 @@ let of_events events =
   in
   {
     events = !n_events;
+    skipped = 0;
     span = (if !n_events = 0 then 0.0 else !t_max -. !t_min);
     jobs = job_rows;
     latencies;
@@ -253,19 +255,21 @@ let of_events events =
     serve;
   }
 
+(* Lenient by design: a trace file from a crashed or still-writing
+   process routinely ends in a torn line, and operators summarize such
+   files mid-incident. Unparseable lines are counted, never fatal. *)
 let of_lines lines =
-  let rec parse acc lineno = function
-    | [] -> Ok (List.rev acc)
-    | line :: rest ->
-        let line = String.trim line in
-        if line = "" then parse acc (lineno + 1) rest
-        else (
-          match Json.parse line with
-          | Ok ev -> parse (ev :: acc) (lineno + 1) rest
-          | Error msg ->
-              Error (Printf.sprintf "trace line %d: %s" lineno msg))
-  in
-  Result.map of_events (parse [] 1 lines)
+  let events = ref [] and bad = ref 0 in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line <> "" then
+        match Json.parse line with
+        | Ok ev -> events := ev :: !events
+        | Error _ -> incr bad)
+    lines;
+  let t = of_events (List.rev !events) in
+  { t with skipped = !bad }
 
 let load path =
   match
@@ -281,7 +285,7 @@ let load path =
          with End_of_file -> ());
         List.rev !lines)
   with
-  | lines -> of_lines lines
+  | lines -> Ok (of_lines lines)
   | exception Sys_error msg -> Error msg
 
 (* ---------------------------------------------------------------- *)
@@ -293,8 +297,11 @@ let pp_val ppf v =
   if Float.is_nan v then pf ppf "%9s" "-" else pf ppf "%9.4f" v
 
 let pp ppf t =
-  pf ppf "@[<v>trace: %d events over %.3f s, %d jobs@,@," t.events t.span
+  pf ppf "@[<v>trace: %d events over %.3f s, %d jobs@," t.events t.span
     (List.length t.jobs);
+  if t.skipped > 0 then
+    pf ppf "warning: %d unparseable line(s) skipped (torn tail?)@," t.skipped;
+  pf ppf "@,";
   pf ppf "per-job:@,";
   pf ppf "  %-16s %-9s %9s %9s %7s %8s@," "job" "status" "wait(s)" "run(s)"
     "calls" "iters";

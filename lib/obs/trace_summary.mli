@@ -9,8 +9,10 @@
     a profiler attached), and cache hit/warm/miss counts.
 
     The summarizer is schema-tolerant in the same way the engine's other
-    consumers are: unknown event kinds are skipped, and only lines that
-    fail to parse as JSON at all are errors. *)
+    consumers are: unknown event kinds are skipped, and lines that fail
+    to parse as JSON at all (a torn tail from a crashed writer, alien
+    content) are counted in {!field-t.skipped} rather than failing the
+    summary — operators read these files mid-incident. *)
 
 type phase_stat = {
   phase : string;
@@ -39,6 +41,7 @@ type attribution_row = {
 
 type t = {
   events : int;
+  skipped : int;  (** unparseable lines, skipped with a warning *)
   span : float;  (** seconds between first and last event stamp *)
   jobs : job_row list;  (** in first-appearance order *)
   latencies : phase_stat list;
@@ -58,12 +61,13 @@ type t = {
 val of_events : Psdp_prelude.Json.t list -> t
 (** Summarize parsed events. Objects without [t]/[kind] are ignored. *)
 
-val of_lines : string list -> (t, string) result
-(** Parse JSONL lines (blank lines allowed) and summarize. The error
-    names the first malformed line. *)
+val of_lines : string list -> t
+(** Parse JSONL lines (blank lines allowed) and summarize. Malformed
+    lines are skipped and counted, never fatal. *)
 
 val load : string -> (t, string) result
-(** [of_lines] over a file's contents; I/O errors come back as [Error]. *)
+(** [of_lines] over a file's contents; only I/O errors come back as
+    [Error] — an empty or partially torn file yields an [Ok] summary. *)
 
 val pp : Format.formatter -> t -> unit
 (** The human-readable report [psdp trace summarize] prints. *)

@@ -107,6 +107,15 @@ let all =
       check = Wire.roundtrip;
     };
     {
+      name = "trace_context_roundtrip";
+      doc =
+        "trace contexts round-trip the string codec and Submit frames \
+         byte-for-byte; any single-bit damage to the context string \
+         degrades to a fresh root (trace = None), never a frame failure";
+      applies = always;
+      check = Wire.trace_ctx;
+    };
+    {
       name = "wire_corruption";
       doc =
         "the frame decoder rejects single-bit corruption at every byte, \

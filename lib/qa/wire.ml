@@ -3,6 +3,7 @@ module Frame = Psdp_dist.Frame
 module Proto = Psdp_dist.Proto
 module Job = Psdp_engine.Job
 module Decision = Psdp_core.Decision
+module Trace_context = Psdp_obs.Trace_context
 
 let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
 
@@ -187,3 +188,122 @@ let corruption (spec : Spec.t) =
       fail "oversized frame rejected as %s, not Oversized"
         (Frame.error_to_string e)
   | Ok _ -> fail "frame above max_payload decoded"
+
+(* ------------------------------------------------------------------ *)
+(* Trace-context propagation *)
+
+let hex rng n = String.init n (fun _ -> "0123456789abcdef".[Rng.int rng 16])
+
+let with_trace_field j s =
+  match j with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k, v) -> if k = "trace" then (k, Json.Str s) else (k, v))
+           fields)
+  | other -> other
+
+let trace_ctx (spec : Spec.t) =
+  let ( let* ) = Result.bind in
+  let seed = spec.Spec.seed in
+  let rng = Rng.create (seed lxor 0x7C47) in
+  (* Deterministic ids so a corpus entry replays the exact context; the
+     leading trace-id digit is forced nonzero to dodge the (valid)
+     all-zero rejection. *)
+  let trace_id =
+    String.make 1 "123456789abcdef".[Rng.int rng 15] ^ hex rng 31
+  in
+  let span_id = hex rng 16 in
+  let parent = if seed land 1 = 0 then None else Some (hex rng 16) in
+  let sampled = seed land 2 = 0 in
+  let* ctx =
+    match Trace_context.of_parts ~trace_id ~span_id ?parent ~sampled () with
+    | Some c -> Ok c
+    | None ->
+        fail "of_parts rejected valid ids %s/%s" trace_id span_id
+  in
+  let s = Trace_context.to_string ctx in
+  (* The string codec is inverse on valid contexts. *)
+  let* () =
+    match Trace_context.of_string s with
+    | Some c when Trace_context.equal c ctx -> Ok ()
+    | Some _ -> fail "context %s reparsed as a different context" s
+    | None -> fail "context %s failed to reparse" s
+  in
+  (* A Submit frame carries the context byte-for-byte. *)
+  let spec_out = { (wire_spec spec) with Job.trace = Some ctx } in
+  let* () =
+    match
+      Frame.decode_exact (Proto.encode (Proto.Submit { spec = spec_out }))
+    with
+    | Error e ->
+        fail "submit-with-trace: frame decode failed: %s"
+          (Frame.error_to_string e)
+    | Ok (tag, payload) -> (
+        match Proto.decode ~tag payload with
+        | Error e -> fail "submit-with-trace: payload decode failed: %s" e
+        | Ok (Proto.Submit { spec = spec' }) -> (
+            match spec'.Job.trace with
+            | Some c when Trace_context.to_string c = s -> Ok ()
+            | Some c ->
+                fail "context mutated in flight: %s -> %s" s
+                  (Trace_context.to_string c)
+            | None -> fail "context dropped in flight")
+        | Ok other ->
+            fail "submit-with-trace decoded as %s" (Proto.describe other))
+  in
+  let* spec_json =
+    match Job.spec_to_json spec_out with
+    | Ok j -> Ok j
+    | Error e -> fail "spec_to_json: %s" e
+  in
+  (* Single-bit damage at every bit of every byte of the context string:
+     the in-string check must reject it, and a spec JSON carrying the
+     damaged string must still decode — with [trace = None] (the
+     receiver mints a fresh root), never as a frame or spec failure.
+     Frame-level flips are the [corruption] property's business; here
+     the string is damaged before encoding, which JSON string escaping
+     carries losslessly whatever byte the flip produced. *)
+  let n = String.length s in
+  let outcome = ref (Ok ()) in
+  for i = 0 to n - 1 do
+    for b = 0 to 7 do
+      if !outcome = Ok () then begin
+        let damaged =
+          String.mapi
+            (fun j c ->
+              if j = i then Char.chr (Char.code c lxor (1 lsl b)) else c)
+            s
+        in
+        (match Trace_context.of_string damaged with
+        | None -> ()
+        | Some _ ->
+            outcome := fail "bit %d of byte %d: damaged context parsed" b i);
+        if !outcome = Ok () then begin
+          let payload = Json.to_string (with_trace_field spec_json damaged) in
+          let frame = Frame.encode ~tag:3 (* Submit *) payload in
+          match Frame.decode_exact frame with
+          | Error e ->
+              outcome :=
+                fail "bit %d of byte %d: frame decode failed: %s" b i
+                  (Frame.error_to_string e)
+          | Ok (tag, payload') -> (
+              match Proto.decode ~tag payload' with
+              | Ok (Proto.Submit { spec = spec' }) ->
+                  if spec'.Job.trace <> None then
+                    outcome :=
+                      fail "bit %d of byte %d: damaged context accepted" b i
+              | Ok other ->
+                  outcome :=
+                    fail "bit %d of byte %d: decoded as %s" b i
+                      (Proto.describe other)
+              | Error e ->
+                  outcome :=
+                    fail
+                      "bit %d of byte %d: damaged context failed the spec: %s"
+                      b i e)
+        end
+      end
+    done
+  done;
+  !outcome

@@ -17,3 +17,12 @@ val corruption : Oracle.check
     byte position of an encoded frame, every proper prefix
     (truncation), trailing garbage, and frames whose declared payload
     length exceeds the reader's limit (checked before allocation). *)
+
+val trace_ctx : Oracle.check
+(** Trace contexts survive the wire and corruption degrades, never
+    fails: a deterministic {!Psdp_obs.Trace_context} round-trips the
+    string codec and a [Submit] frame byte-for-byte, while every
+    single-bit flip of the context {e string} (damaged before
+    encoding, unlike [corruption]'s frame-level flips) is rejected by
+    the in-string check — the spec still decodes, with [trace = None],
+    so the receiver mints a fresh root instead of failing the frame. *)

@@ -1,6 +1,8 @@
 open Psdp_prelude
 open Psdp_engine
 module Metrics = Psdp_obs.Metrics
+module Trace_context = Psdp_obs.Trace_context
+module Slo = Psdp_obs.Slo
 module Degrade = Psdp_fault.Degrade
 
 type config = {
@@ -97,6 +99,8 @@ type pending_meta = {
   p_served_eps : float;
   p_level : int;
   p_admitted_at : float;
+  p_ctx : Trace_context.t option;
+      (* this request's span; the engine's spans parent under it *)
 }
 
 type t = {
@@ -108,6 +112,7 @@ type t = {
   mutable seq : int;
   mutable stopped : bool;
   meters : meters option;
+  slo : Slo.t option;
   on_response : response -> unit;
 }
 
@@ -139,6 +144,15 @@ let on_engine_complete (cell : t option ref) (result : Job.result) =
       | None -> ()
       | Some (m, depth) ->
           let latency = Timer.now () -. m.p_admitted_at in
+          (match t.slo with
+          | Some slo -> Slo.observe slo latency
+          | None -> ());
+          (match m.p_ctx with
+          | Some ctx ->
+              Trace.span (Engine.trace t.eng) ~job:result.Job.id ~ctx
+                ~name:"request" ~dur:latency
+                [ ("served_eps", Json.Num m.p_served_eps) ]
+          | None -> ());
           (match t.meters with
           | Some ms ->
               Metrics.set ms.s_depth (float_of_int depth);
@@ -171,7 +185,7 @@ let on_engine_complete (cell : t option ref) (result : Job.result) =
               latency;
             })
 
-let create ?metrics cfg ~make_engine ~on_response () =
+let create ?metrics ?slo cfg ~make_engine ~on_response () =
   if cfg.queue_cap <= 0 then
     invalid_arg "Serve.create: queue_cap must be positive";
   let cell = ref None in
@@ -186,6 +200,7 @@ let create ?metrics cfg ~make_engine ~on_response () =
       seq = 0;
       stopped = false;
       meters = Option.map make_meters metrics;
+      slo;
       on_response;
     }
   in
@@ -248,12 +263,24 @@ let submit t (spec : Job.spec) =
       | (Some _ as x), None | None, (Some _ as x) -> x
       | None, None -> None
     in
+    (* The serve tier owns a "request" span per admitted request: a
+       child of whatever context the caller shipped in the spec, else a
+       fresh root. The engine's spans parent under it via the spec. *)
+    let p_ctx =
+      if Trace.enabled (Engine.trace t.eng) then
+        Some
+          (match spec.Job.trace with
+          | Some parent -> Trace_context.child parent
+          | None -> Trace_context.mint ())
+      else None
+    in
     Hashtbl.replace t.pending id
       {
         p_requested_eps = spec.Job.eps;
         p_served_eps = served_eps;
         p_level = level;
         p_admitted_at = Timer.now ();
+        p_ctx;
       };
     Mutex.unlock t.mutex;
     (match t.meters with
@@ -272,7 +299,10 @@ let submit t (spec : Job.spec) =
           ("level", Json.Num (float_of_int level));
           ("depth", Json.Num (float_of_int load));
         ];
-    let spec' = { spec with Job.id; eps = served_eps; timeout } in
+    let spec' =
+      { spec with Job.id; eps = served_eps; timeout;
+        trace = (match p_ctx with Some _ -> p_ctx | None -> spec.Job.trace) }
+    in
     match Engine.submit t.eng spec' with
     | _handle -> ()
     | exception _ ->

@@ -68,6 +68,7 @@ type t
 
 val create :
   ?metrics:Psdp_obs.Metrics.t ->
+  ?slo:Psdp_obs.Slo.t ->
   config ->
   make_engine:(on_complete:(Job.result -> unit) -> Engine.t) ->
   on_response:(response -> unit) ->
@@ -78,7 +79,12 @@ val create :
     an engine's [on_complete] is fixed at creation). The engine is owned:
     {!shutdown} shuts it down. [metrics] additionally exposes
     [psdp_serve_*] series and samples the engine cache's
-    [psdp_cache_*] gauges on every response. *)
+    [psdp_cache_*] gauges on every response. [slo] feeds every completed
+    request's admission-to-response latency into the tracker, so burn
+    rates track the serving path specifically (sheds never count: a
+    rejected request has no latency to misreport). When the engine's
+    trace sink is live, each admitted request also gets a "request" span
+    the engine's spans parent under. *)
 
 val engine : t -> Engine.t
 

@@ -159,6 +159,61 @@ let test_proto_rejects () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage submit accepted"
 
+(* Trace contexts ride the Submit payload byte-for-byte; a corrupted
+   context degrades to "no context" (the receiver mints a fresh root)
+   rather than failing the frame — tracing must never cost a job. *)
+let test_proto_trace_context () =
+  let ctx =
+    match
+      Psdp_obs.Trace_context.of_parts
+        ~trace_id:"0123456789abcdef0123456789abcdef"
+        ~span_id:"00aa11bb22cc33dd" ~parent:"fedcba9876543210" ~sampled:true ()
+    with
+    | Some c -> c
+    | None -> Alcotest.fail "of_parts rejected valid ids"
+  in
+  let spec =
+    Job.solve_spec ~id:"j-t" ~eps:0.25 ~trace:ctx (Job.File "inst/a.inst")
+  in
+  (match Frame.decode_exact (Proto.encode (Proto.Submit { spec })) with
+  | Error e -> Alcotest.fail (Frame.error_to_string e)
+  | Ok (tag, payload) -> (
+      match Proto.decode ~tag payload with
+      | Ok (Proto.Submit { spec = spec' }) -> (
+          match spec'.Job.trace with
+          | Some c ->
+              Alcotest.(check string)
+                "context survives the wire byte-for-byte"
+                (Psdp_obs.Trace_context.to_string ctx)
+                (Psdp_obs.Trace_context.to_string c)
+          | None -> Alcotest.fail "context dropped in flight")
+      | Ok other -> Alcotest.failf "decoded as %s" (Proto.describe other)
+      | Error e -> Alcotest.fail e));
+  (* Same spec with a mangled context string: still a valid Submit,
+     with [trace = None]. *)
+  let damaged =
+    let s = Psdp_obs.Trace_context.to_string ctx in
+    String.mapi (fun i c -> if i = 3 then 'x' else c) s
+  in
+  let payload =
+    match Job.spec_to_json spec with
+    | Ok (Json.Obj fields) ->
+        Json.to_string
+          (Json.Obj
+             (List.map
+                (fun (k, v) ->
+                  if k = "trace" then (k, Json.Str damaged) else (k, v))
+                fields))
+    | Ok _ | Error _ -> Alcotest.fail "spec_to_json"
+  in
+  match Proto.decode ~tag:3 payload with
+  | Ok (Proto.Submit { spec = spec' }) ->
+      Alcotest.(check bool)
+        "damaged context degrades to None" true
+        (spec'.Job.trace = None)
+  | Ok other -> Alcotest.failf "decoded as %s" (Proto.describe other)
+  | Error e -> Alcotest.failf "damaged context failed the spec: %s" e
+
 (* ------------------------------------------------------------------ *)
 (* Transport over a socketpair *)
 
@@ -432,6 +487,7 @@ let () =
         [
           Alcotest.test_case "round-trip" `Quick test_proto_roundtrip;
           Alcotest.test_case "rejects" `Quick test_proto_rejects;
+          Alcotest.test_case "trace context" `Quick test_proto_trace_context;
         ] );
       ( "transport",
         [

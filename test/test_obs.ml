@@ -132,6 +132,27 @@ let test_render_exposition () =
     "ends with newline" true
     (String.length txt > 0 && txt.[String.length txt - 1] = '\n')
 
+(* Prometheus exposition reserves backslash + newline in HELP text and
+   backslash + quote + newline in label values; anything unescaped there
+   corrupts every line after it. *)
+let test_exposition_escaping () =
+  let reg = Metrics.create () in
+  let c =
+    Metrics.counter reg
+      ~help:"line one\nline two \\ backslash"
+      ~labels:[ ("path", "a\"b\\c\nd") ]
+      "esc_total"
+  in
+  Metrics.inc c;
+  let lines = String.split_on_char '\n' (Metrics.render reg) in
+  let has l = List.mem l lines in
+  Alcotest.(check bool)
+    "HELP escapes newline and backslash" true
+    (has "# HELP esc_total line one\\nline two \\\\ backslash");
+  Alcotest.(check bool)
+    "label value escapes quote, backslash and newline" true
+    (has {|esc_total{path="a\"b\\c\nd"} 1|})
+
 (* ------------------------------------------------------------------ *)
 (* Profiler *)
 
@@ -331,13 +352,32 @@ let test_trace_summary_fault_counts () =
   Alcotest.(check bool) "report has faults line" true
     (contains_substring text "faults:")
 
-let test_trace_summary_rejects_malformed () =
-  match Trace_summary.of_lines [ {|{"t":0,"kind":"cache"}|}; "{oops" ] with
-  | Ok _ -> Alcotest.fail "malformed line accepted"
-  | Error msg ->
-      Alcotest.(check bool)
-        "error names the line" true
-        (contains_substring msg "line 2")
+(* Operators summarize trace files mid-incident: a torn tail or alien
+   line costs a warning, never the summary. *)
+let test_trace_summary_lenient () =
+  let s =
+    Trace_summary.of_lines
+      [
+        {|{"t":0.0,"kind":"cache","status":"miss"}|};
+        "{oops";
+        "";
+        "   ";
+        "not json at all";
+      ]
+  in
+  Alcotest.(check int) "parsed events" 1 s.Trace_summary.events;
+  Alcotest.(check int) "skipped lines counted" 2 s.Trace_summary.skipped;
+  let text = Format.asprintf "%a" Trace_summary.pp s in
+  Alcotest.(check bool)
+    "report warns about skipped lines" true
+    (contains_substring text "unparseable");
+  (* A completely empty trace still summarizes (the CLI prints the
+     warning and exits 0). *)
+  let empty = Trace_summary.of_lines [] in
+  Alcotest.(check int) "empty trace: no events" 0 empty.Trace_summary.events;
+  Alcotest.(check (float 0.0)) "empty trace: zero span" 0.0
+    empty.Trace_summary.span;
+  ignore (Format.asprintf "%a" Trace_summary.pp empty)
 
 (* ------------------------------------------------------------------ *)
 (* Trace schema: one event of every documented kind round-trips *)
@@ -481,6 +521,308 @@ let test_trace_flush_batching () =
       close_out oc)
 
 (* ------------------------------------------------------------------ *)
+(* Trace context: the identity a request carries across processes *)
+
+let test_trace_context_mint_child () =
+  let root = Trace_context.mint () in
+  Alcotest.(check bool) "mint is a root" true (Trace_context.is_root root);
+  Alcotest.(check bool) "mint is sampled" true root.Trace_context.sampled;
+  let c = Trace_context.child root in
+  Alcotest.(check bool) "child is not a root" false (Trace_context.is_root c);
+  Alcotest.(check string)
+    "child shares the trace" root.Trace_context.trace_id
+    c.Trace_context.trace_id;
+  Alcotest.(check (option string))
+    "child is parented under the root's span"
+    (Some root.Trace_context.span_id)
+    c.Trace_context.parent_id;
+  Alcotest.(check bool)
+    "child gets a fresh span id" true
+    (c.Trace_context.span_id <> root.Trace_context.span_id);
+  Alcotest.(check bool)
+    "mints are distinct" true
+    ((Trace_context.mint ()).Trace_context.trace_id
+    <> root.Trace_context.trace_id)
+
+let test_trace_context_roundtrip () =
+  List.iter
+    (fun ctx ->
+      let s = Trace_context.to_string ctx in
+      match Trace_context.of_string s with
+      | Some c ->
+          Alcotest.(check bool)
+            (s ^ " reparses to itself") true
+            (Trace_context.equal c ctx)
+      | None -> Alcotest.failf "%s failed to reparse" s)
+    [
+      Trace_context.mint ();
+      Trace_context.mint ~sampled:false ();
+      Trace_context.child (Trace_context.mint ());
+      Trace_context.child (Trace_context.child (Trace_context.mint ()));
+    ]
+
+let ctx_of_parts ?parent span_id =
+  match
+    Trace_context.of_parts
+      ~trace_id:"0123456789abcdef0123456789abcdef"
+      ~span_id ?parent ~sampled:true ()
+  with
+  | Some c -> c
+  | None -> Alcotest.fail "of_parts rejected valid ids"
+
+let test_trace_context_validation () =
+  let bad ~trace_id ~span_id ?parent why =
+    match Trace_context.of_parts ~trace_id ~span_id ?parent ~sampled:true () with
+    | None -> ()
+    | Some _ -> Alcotest.fail ("of_parts accepted " ^ why)
+  in
+  let tid = "0123456789abcdef0123456789abcdef" in
+  bad ~trace_id:(String.make 32 '0') ~span_id:"0123456789abcdef"
+    "an all-zero trace id";
+  bad ~trace_id:"abc" ~span_id:"0123456789abcdef" "a short trace id";
+  bad ~trace_id:(String.uppercase_ascii tid) ~span_id:"0123456789abcdef"
+    "uppercase hex";
+  bad ~trace_id:tid ~span_id:"0123456789abcdeg" "non-hex span id";
+  bad ~trace_id:tid ~span_id:"0123456789abcdef" ~parent:"short"
+    "a malformed parent";
+  Alcotest.(check (option reject)) "of_string rejects the empty string" None
+    (Option.map ignore (Trace_context.of_string ""))
+
+(* Every single-bit flip of the string form must be caught by the
+   trailing check — [None] means "mint a fresh root", so a flipped bit
+   degrades tracing rather than grafting spans onto a garbage trace. *)
+let test_trace_context_corruption () =
+  let ctx = ctx_of_parts ~parent:"fedcba9876543210" "00aa11bb22cc33dd" in
+  let s = Trace_context.to_string ctx in
+  for i = 0 to String.length s - 1 do
+    for b = 0 to 7 do
+      let damaged =
+        String.mapi
+          (fun j c ->
+            if j = i then Char.chr (Char.code c lxor (1 lsl b)) else c)
+          s
+      in
+      match Trace_context.of_string damaged with
+      | None -> ()
+      | Some _ ->
+          Alcotest.failf "bit %d of byte %d survived the check" b i
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Trace assembly: cross-process span streams -> one tree *)
+
+(* A three-process trace the way client/coordinator/worker write it:
+   the client owns the "request" root, the coordinator's spans are its
+   children, the worker's "exec" hangs under the coordinator's
+   "assign". *)
+let asm_request = ctx_of_parts "00000000000000aa"
+
+let asm_queue =
+  ctx_of_parts ~parent:"00000000000000aa" "00000000000000bb"
+
+let asm_assign =
+  ctx_of_parts ~parent:"00000000000000aa" "00000000000000cc"
+
+let asm_exec =
+  ctx_of_parts ~parent:"00000000000000cc" "00000000000000dd"
+
+let asm_solve =
+  ctx_of_parts ~parent:"00000000000000dd" "00000000000000ee"
+
+let span_ev ~t ~role ~pid ctx name dur =
+  Json.Obj
+    [
+      ("t", Json.Num t);
+      ("kind", Json.Str "span");
+      ("job", Json.Str "j1");
+      ("role", Json.Str role);
+      ("pid", Json.Num (float_of_int pid));
+      ("name", Json.Str name);
+      ("ctx", Json.Str (Trace_context.to_string ctx));
+      ("dur", Json.Num dur);
+    ]
+
+(* Stamps are deliberately hostile: the worker's clock sits a million
+   seconds behind the client's and spans arrive scrambled. Parent links
+   alone must fix the shape. *)
+let asm_events =
+  [
+    span_ev ~t:3.0 ~role:"worker" ~pid:30 asm_solve "solve" 0.6;
+    span_ev ~t:9.9 ~role:"client" ~pid:10 asm_request "request" 2.0;
+    span_ev ~t:1_000_000.0 ~role:"coordinator" ~pid:20 asm_queue "queue_wait"
+      0.3;
+    span_ev ~t:3.5 ~role:"worker" ~pid:30 asm_exec "exec" 0.8;
+    span_ev ~t:1_000_001.0 ~role:"coordinator" ~pid:20 asm_assign "assign" 1.5;
+  ]
+
+let check_assembled (a : Trace_assemble.t) =
+  Alcotest.(check int) "all spans kept" 5 a.Trace_assemble.spans;
+  match a.Trace_assemble.trees with
+  | [ tree ] ->
+      Alcotest.(check (option string))
+        "job id surfaced" (Some "j1") tree.Trace_assemble.t_job;
+      Alcotest.(check int) "no orphans" 0 tree.Trace_assemble.orphans;
+      Alcotest.(check int)
+        "three contributing processes" 3
+        (List.length tree.Trace_assemble.procs);
+      (match tree.Trace_assemble.roots with
+      | [ root ] ->
+          Alcotest.(check string)
+            "request is the root" "request"
+            root.Trace_assemble.span.Trace_assemble.name;
+          let kids =
+            List.map
+              (fun (n : Trace_assemble.node) ->
+                n.Trace_assemble.span.Trace_assemble.name)
+              root.Trace_assemble.children
+          in
+          Alcotest.(check (list string))
+            "coordinator spans hang under the request"
+            [ "assign"; "queue_wait" ]
+            (List.sort compare kids)
+      | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots));
+      let path_of (s : Trace_assemble.seg) = s.Trace_assemble.path in
+      Alcotest.(check (list string))
+        "critical path follows the heaviest child"
+        [ "request"; "request/assign"; "request/assign/exec";
+          "request/assign/exec/solve" ]
+        (List.map path_of (Trace_assemble.critical_path tree));
+      Alcotest.(check (float 1e-9))
+        "total is the root wall clock" 2.0
+        (Trace_assemble.total tree);
+      (* Exclusive times cover the whole tree: coverage 100%. *)
+      Alcotest.(check (float 1e-9))
+        "self times attribute everything" 2.0
+        (Trace_assemble.attributed tree)
+  | l -> Alcotest.failf "expected 1 tree, got %d" (List.length l)
+
+let test_assemble_out_of_order () = check_assembled (Trace_assemble.of_events asm_events)
+
+(* Same spans, any order, any clocks: the tree must not change. *)
+let test_assemble_order_invariance () =
+  let skewed =
+    List.mapi
+      (fun i ev ->
+        match ev with
+        | Json.Obj fields ->
+            Json.Obj
+              (List.map
+                 (fun (k, v) ->
+                   if k = "t" then
+                     ( k,
+                       Json.Num (float_of_int ((17 * i) mod 5) *. 1e7) )
+                   else (k, v))
+                 fields)
+        | other -> other)
+      (List.rev asm_events)
+  in
+  check_assembled (Trace_assemble.of_events skewed)
+
+let test_assemble_orphan_and_torn () =
+  let lost_parent = ctx_of_parts ~parent:"aaaaaaaaaaaaaaaa" "ffffffffffff00ff" in
+  let a =
+    Trace_assemble.of_lines
+      [
+        Json.to_string (span_ev ~t:1.0 ~role:"worker" ~pid:9 lost_parent "exec" 0.5);
+        {|{"t":2.0,"kind":"job_finished","job":"j1"}|};
+        "{torn";
+      ]
+  in
+  Alcotest.(check int) "span kept" 1 a.Trace_assemble.spans;
+  Alcotest.(check int) "non-span + torn lines skipped" 2 a.Trace_assemble.skipped;
+  match a.Trace_assemble.trees with
+  | [ tree ] ->
+      Alcotest.(check int) "orphan stays visible" 1 tree.Trace_assemble.orphans;
+      Alcotest.(check int) "orphan becomes a root" 1
+        (List.length tree.Trace_assemble.roots)
+  | l -> Alcotest.failf "expected 1 tree, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* SLO: error-budget burn rates *)
+
+let test_slo_parse_target () =
+  (match Slo.parse_target "0.99@0.5" with
+  | Ok t ->
+      Alcotest.(check (float 1e-12)) "objective" 0.99 t.Slo.objective;
+      Alcotest.(check (float 1e-12)) "latency" 0.5 t.Slo.latency;
+      Alcotest.(check (float 1e-12)) "budget" 0.01 (Slo.budget t)
+  | Error e -> Alcotest.failf "valid target rejected: %s" e);
+  List.iter
+    (fun s ->
+      match Slo.parse_target s with
+      | Ok _ -> Alcotest.failf "bad target %S accepted" s
+      | Error _ -> ())
+    [ ""; "nope"; "1.5@2"; "0.99@0"; "0.99@"; "@1"; "0@1" ]
+
+let test_slo_burn_windows () =
+  let tgt = Slo.make_target ~objective:0.9 ~latency:1.0 in
+  let t = Slo.create ~windows:[ ("1m", 60.0); ("5m", 300.0) ] tgt in
+  (* 10 requests, 2 breaches: breach fraction 0.2 against budget 0.1 —
+     burn 2.0 in every window that saw them. *)
+  for i = 1 to 10 do
+    Slo.observe ~now:(1000.0 +. float_of_int i) t
+      (if i mod 5 = 0 then 2.0 else 0.1)
+  done;
+  Alcotest.(check int) "requests" 10 (Slo.requests t);
+  Alcotest.(check int) "breaches" 2 (Slo.breaches t);
+  Alcotest.(check (float 1e-9)) "1m burn" 2.0 (Slo.burn_rate ~now:1010.0 t "1m");
+  Alcotest.(check (float 1e-9)) "5m burn" 2.0 (Slo.burn_rate ~now:1010.0 t "5m");
+  (* 200 s later the 1m ring has rotated the breaches out; the 5m ring
+     still remembers them. *)
+  Alcotest.(check (float 1e-9))
+    "1m burn decays to zero" 0.0
+    (Slo.burn_rate ~now:1210.0 t "1m");
+  Alcotest.(check bool)
+    "5m burn persists" true
+    (Slo.burn_rate ~now:1210.0 t "5m" > 1.9);
+  (match Slo.burn_rate t "nope" with
+  | _ -> Alcotest.fail "unknown window accepted"
+  | exception Invalid_argument _ -> ())
+
+let test_slo_exports_metrics () =
+  let reg = Metrics.create () in
+  let t =
+    Slo.create ~registry:reg (Slo.make_target ~objective:0.5 ~latency:1.0)
+  in
+  Slo.observe ~now:10.0 t 0.5;
+  Slo.observe ~now:11.0 t 3.0;
+  let txt = Metrics.render reg in
+  let has l = List.mem l (String.split_on_char '\n' txt) in
+  Alcotest.(check bool) "requests series" true (has "psdp_slo_requests_total 2");
+  Alcotest.(check bool) "breaches series" true (has "psdp_slo_breaches_total 1");
+  Alcotest.(check bool)
+    "burn gauge per window" true
+    (contains_substring txt {|psdp_slo_burn_rate{window="5m"}|})
+
+let test_slo_report_of_events () =
+  let ev t latency =
+    Json.Obj
+      [
+        ("t", Json.Num t);
+        ("kind", Json.Str "serve_completed");
+        ("job", Json.Str "j");
+        ("latency", Json.Num latency);
+      ]
+  in
+  let tgt = Slo.make_target ~objective:0.75 ~latency:1.0 in
+  let r =
+    Slo.report_of_events tgt [ ev 1.0 0.1; ev 2.0 0.2; ev 3.0 0.3; ev 4.0 2.0 ]
+  in
+  Alcotest.(check int) "requests" 4 r.Slo.r_requests;
+  Alcotest.(check int) "breaches" 1 r.Slo.r_breaches;
+  Alcotest.(check (float 1e-9)) "compliance" 0.75 r.Slo.r_compliance;
+  (* 1 breach of the 1 tolerated (4 * 0.25): the whole budget. *)
+  Alcotest.(check (float 1e-9)) "budget consumed" 1.0 r.Slo.r_budget_consumed;
+  Alcotest.(check bool) "p99 covers the slow tail" true (r.Slo.r_p99 > 0.3);
+  ignore (Format.asprintf "%a" Slo.pp_report r);
+  (* Empty traces still report (the CLI prints zeros, exits 0). *)
+  let empty = Slo.report_of_events tgt [] in
+  Alcotest.(check int) "empty: no requests" 0 empty.Slo.r_requests;
+  Alcotest.(check bool) "empty: nan quantiles" true (Float.is_nan empty.Slo.r_p50);
+  ignore (Format.asprintf "%a" Slo.pp_report empty)
+
+(* ------------------------------------------------------------------ *)
 (* Cache traffic counters *)
 
 let entry digest eps : Cache.entry =
@@ -531,6 +873,8 @@ let () =
           Alcotest.test_case "histogram absorb" `Quick test_histogram_absorb;
           Alcotest.test_case "prometheus exposition" `Quick
             test_render_exposition;
+          Alcotest.test_case "exposition escaping" `Quick
+            test_exposition_escaping;
         ] );
       ( "profiler",
         [
@@ -546,8 +890,34 @@ let () =
           Alcotest.test_case "of_events" `Quick test_trace_summary_of_events;
           Alcotest.test_case "fault counts" `Quick
             test_trace_summary_fault_counts;
-          Alcotest.test_case "rejects malformed lines" `Quick
-            test_trace_summary_rejects_malformed;
+          Alcotest.test_case "lenient on torn lines" `Quick
+            test_trace_summary_lenient;
+        ] );
+      ( "trace-context",
+        [
+          Alcotest.test_case "mint and child" `Quick
+            test_trace_context_mint_child;
+          Alcotest.test_case "string roundtrip" `Quick
+            test_trace_context_roundtrip;
+          Alcotest.test_case "validation" `Quick test_trace_context_validation;
+          Alcotest.test_case "single-bit corruption rejected" `Quick
+            test_trace_context_corruption;
+        ] );
+      ( "trace-assemble",
+        [
+          Alcotest.test_case "out-of-order streams" `Quick
+            test_assemble_out_of_order;
+          Alcotest.test_case "order and clock-skew invariance" `Quick
+            test_assemble_order_invariance;
+          Alcotest.test_case "orphans and torn lines" `Quick
+            test_assemble_orphan_and_torn;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse target" `Quick test_slo_parse_target;
+          Alcotest.test_case "burn-rate windows" `Quick test_slo_burn_windows;
+          Alcotest.test_case "exports metrics" `Quick test_slo_exports_metrics;
+          Alcotest.test_case "offline report" `Quick test_slo_report_of_events;
         ] );
       ( "trace-schema",
         [
