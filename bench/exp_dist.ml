@@ -67,17 +67,11 @@ let spawn args =
 let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
 
 let connect_with_retry addr =
-  let rec go n =
-    match Client.connect addr with
-    | Ok c -> c
-    | Error e ->
-        if n = 0 then failwith ("EXP15: coordinator never came up: " ^ e)
-        else begin
-          Unix.sleepf 0.1;
-          go (n - 1)
-        end
-  in
-  go 100
+  match Client.connect [ addr ] with
+  | Ok c -> c
+  | Error f ->
+      failwith
+        ("EXP15: coordinator never came up: " ^ Client.failure_to_string f)
 
 (* One race: a fresh cluster of [workers] processes, the whole batch
    submitted at once, timed to the last result. Returns elapsed seconds. *)
@@ -116,14 +110,16 @@ let race ~dir ~workers ~jobs =
             (fun spec ->
               match Client.submit client spec with
               | Ok () -> ()
-              | Error e -> failwith ("EXP15: submit: " ^ e))
+              | Error f ->
+                  failwith ("EXP15: submit: " ^ Client.failure_to_string f))
             jobs;
           let results =
             match
               Client.collect ~timeout:600.0 client ~expected:(List.length jobs)
             with
             | Ok rs -> rs
-            | Error e -> failwith ("EXP15: collect: " ^ e)
+            | Error f ->
+                failwith ("EXP15: collect: " ^ Client.failure_to_string f)
           in
           let elapsed = Timer.now () -. t0 in
           List.iter

@@ -32,6 +32,10 @@ module Serve_bench = Psdp_serve.Bench
 let exit_infeasible = 1
 let exit_bad_input = 2
 
+let exit_unreachable = 3
+(* distinct from 1/2 so batch drivers can retry connectivity failures
+   (transient) without retrying bad manifests or failed jobs *)
+
 let solver_exits =
   Cmd.Exit.info exit_infeasible
     ~doc:
@@ -43,6 +47,11 @@ let solver_exits =
        ~doc:
          "malformed input: an instance file or manifest failed to parse, \
           or an I/O error occurred while reading it."
+  :: Cmd.Exit.info exit_unreachable
+       ~doc:
+         "no coordinator was reachable: every address in $(b,--connect) \
+          was tried, with backoff, until the retry budget ran out \
+          ($(b,psdp submit) only)."
   :: Cmd.Exit.defaults
 
 let load_or_die file =
@@ -1324,15 +1333,40 @@ let addr_conv =
   in
   Arg.conv (parse, print)
 
+(* Comma-separated ordered address list: "unix:/a.sock,host:9000". The
+   first entry is the preferred (primary) coordinator; the rest are
+   standbys tried in order when it is unreachable. *)
+let addrs_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: tl -> (
+          match Dist.Transport.addr_of_string (String.trim p) with
+          | Ok a -> go (a :: acc) tl
+          | Error m -> Error (`Msg m))
+    in
+    match go [] (List.filter (fun p -> String.trim p <> "") parts) with
+    | Ok [] -> Error (`Msg "empty address list")
+    | r -> r
+  in
+  let print ppf addrs =
+    Format.pp_print_string ppf
+      (String.concat "," (List.map Dist.Transport.addr_to_string addrs))
+  in
+  Arg.conv (parse, print)
+
 let connect_arg =
   let doc =
-    "Coordinator address: $(b,unix:)$(i,PATH) or $(i,HOST):$(i,PORT) (a \
-     bare port means 127.0.0.1)."
+    "Coordinator address(es), comma-separated in preference order: \
+     $(b,unix:)$(i,PATH) or $(i,HOST):$(i,PORT) (a bare port means \
+     127.0.0.1). List the primary first and its standbys after; the \
+     client fails over down the list."
   in
   Arg.(
     required
-    & opt (some addr_conv) None
-    & info [ "connect" ] ~docv:"ADDR" ~doc)
+    & opt (some addrs_conv) None
+    & info [ "connect" ] ~docv:"ADDRS" ~doc)
 
 let coordinator_cmd =
   let listen_arg =
@@ -1355,44 +1389,128 @@ let coordinator_cmd =
     in
     Arg.(value & opt float 5.0 & info [ "grace" ] ~docv:"SECONDS" ~doc)
   in
-  let run listen heartbeat grace ckpt_dir trace_path metrics_path verbosity =
+  let standby_flag =
+    let doc =
+      "Run as a warm standby instead of serving: bind $(b,--listen), tail \
+       the primary's WAL (from $(b,--peers)) into a byte-identical \
+       replica under $(b,--checkpoint-dir), and take over — replaying \
+       the replica and bumping the fencing epoch — when the primary \
+       dies or an operator sends $(b,--takeover)."
+    in
+    Arg.(value & flag & info [ "standby" ] ~doc)
+  in
+  let peers_arg =
+    let doc =
+      "Primary address(es) a $(b,--standby) tails, comma-separated in \
+       preference order."
+    in
+    Arg.(
+      value & opt (some addrs_conv) None & info [ "peers" ] ~docv:"ADDRS" ~doc)
+  in
+  let takeover_flag =
+    let doc =
+      "Operator order: connect to the standby at $(b,--listen), tell it \
+       to promote itself, print the new reign's epoch, and exit. (A \
+       running primary answers idempotently with its current epoch.)"
+    in
+    Arg.(value & flag & info [ "takeover" ] ~doc)
+  in
+  let name_arg =
+    let doc = "Coordinator name announced in $(b,Welcome) frames." in
+    Arg.(value & opt (some string) None & info [ "name" ] ~docv:"NAME" ~doc)
+  in
+  let run listen heartbeat grace standby peers takeover name ckpt_dir
+      trace_path metrics_path verbosity =
     setup_logs verbosity;
     if grace <= heartbeat then begin
       Printf.eprintf "psdp coordinator: --grace must exceed --heartbeat\n";
       exit exit_bad_input
     end;
-    let store = Option.map open_store_or_die ckpt_dir in
-    let trace_oc = Option.map open_out trace_path in
-    let trace =
-      match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
-    in
-    if Trace.enabled trace then Trace.set_role trace "coordinator";
-    let obs = make_obs metrics_path in
-    let config =
-      {
-        Dist.Coordinator.default_config with
-        Dist.Coordinator.heartbeat_every = heartbeat;
-        heartbeat_grace = grace;
-      }
-    in
-    let outcome =
-      Fun.protect
-        ~finally:(fun () ->
-          (match obs with
-          | Some (path, reg, _) -> write_metrics path reg
-          | None -> ());
-          Option.iter Psdp_store.Store.close store;
-          Option.iter close_out trace_oc)
-        (fun () ->
-          Dist.Coordinator.run ~config ?store
-            ?metrics:(Option.map (fun (_, reg, _) -> reg) obs)
-            ~trace ~listen ())
-    in
-    match outcome with
-    | Ok () -> ()
-    | Error msg ->
-        Printf.eprintf "psdp coordinator: %s\n" msg;
-        exit exit_bad_input
+    if takeover then begin
+      (* Operator mode: no serving at all, just one frame each way. *)
+      match Dist.Transport.connect listen with
+      | Error msg ->
+          Printf.eprintf "psdp coordinator: takeover: %s\n" msg;
+          exit exit_unreachable
+      | Ok conn -> (
+          match
+            Dist.Transport.send conn Dist.Proto.Takeover;
+            Dist.Transport.recv conn
+          with
+          | Dist.Proto.Welcome { coordinator; epoch; _ } ->
+              Printf.printf "promoted: %s now serves epoch %d\n" coordinator
+                epoch;
+              Dist.Transport.close conn
+          | other ->
+              Printf.eprintf "psdp coordinator: takeover: unexpected %s\n"
+                (Dist.Proto.describe other);
+              Dist.Transport.close conn;
+              exit exit_bad_input
+          | exception e ->
+              Printf.eprintf "psdp coordinator: takeover: %s\n"
+                (Printexc.to_string e);
+              exit exit_unreachable)
+    end
+    else begin
+      let trace_oc = Option.map open_out trace_path in
+      let trace =
+        match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
+      in
+      if Trace.enabled trace then Trace.set_role trace "coordinator";
+      let obs = make_obs metrics_path in
+      let config =
+        {
+          Dist.Coordinator.default_config with
+          Dist.Coordinator.heartbeat_every = heartbeat;
+          heartbeat_grace = grace;
+        }
+      in
+      let config =
+        match name with
+        | Some n -> { config with Dist.Coordinator.name = n }
+        | None -> config
+      in
+      let metrics = Option.map (fun (_, reg, _) -> reg) obs in
+      let finally store () =
+        (match obs with
+        | Some (path, reg, _) -> write_metrics path reg
+        | None -> ());
+        Option.iter Psdp_store.Store.close store;
+        Option.iter close_out trace_oc
+      in
+      let outcome =
+        if standby then begin
+          match (peers, ckpt_dir) with
+          | None, _ | Some [], _ ->
+              Printf.eprintf "psdp coordinator: --standby needs --peers\n";
+              exit exit_bad_input
+          | _, None ->
+              Printf.eprintf
+                "psdp coordinator: --standby needs --checkpoint-dir (the \
+                 replica journal lives there)\n";
+              exit exit_bad_input
+          | Some primaries, Some dir ->
+              let sname =
+                match name with
+                | Some n -> n
+                | None -> Printf.sprintf "standby-%d" (Unix.getpid ())
+              in
+              Fun.protect ~finally:(finally None) (fun () ->
+                  Dist.Replicate.standby ~config ?metrics ~trace ~name:sname
+                    ~listen ~primaries ~dir ())
+        end
+        else begin
+          let store = Option.map open_store_or_die ckpt_dir in
+          Fun.protect ~finally:(finally store) (fun () ->
+              Dist.Coordinator.run ~config ?store ?metrics ~trace ~listen ())
+        end
+      in
+      match outcome with
+      | Ok () -> ()
+      | Error msg ->
+          Printf.eprintf "psdp coordinator: %s\n" msg;
+          exit exit_bad_input
+    end
   in
   Cmd.v
     (Cmd.info "coordinator" ~exits:solver_exits
@@ -1402,11 +1520,16 @@ let coordinator_cmd =
           processes by instance digest (rendezvous hashing), and reroute \
           the jobs of a worker that dies or misses heartbeats. With \
           $(b,--checkpoint-dir), every submission, assignment and \
-          completion is journaled to the store's WAL and unfinished jobs \
-          are re-queued on restart. Serves until a client sends a \
+          completion (result included) is journaled to the store's WAL; \
+          unfinished jobs are re-queued on restart and finished ones are \
+          answered idempotently from the journal. With $(b,--standby) the \
+          process tails a primary's WAL and takes over on its death (or \
+          on $(b,--takeover)) under a bumped fencing epoch, which locks a \
+          resurrected old primary out. Serves until a client sends a \
           shutdown ($(b,psdp submit --shutdown)).")
     Term.(
-      const run $ listen_arg $ heartbeat_arg $ grace_arg $ checkpoint_dir_arg
+      const run $ listen_arg $ heartbeat_arg $ grace_arg $ standby_flag
+      $ peers_arg $ takeover_flag $ name_arg $ checkpoint_dir_arg
       $ trace_file_arg $ metrics_file_arg $ verbose_arg)
 
 let worker_cmd =
@@ -1444,7 +1567,7 @@ let worker_cmd =
               ~retry:(retry_policy ~retries ~backoff) ?quarantine_after
               ~on_complete ()
           in
-          Dist.Worker.run ?metrics ~connect ~name
+          Dist.Worker.run ?metrics ~trace ~connect ~name
             ~capacity:(Option.value capacity ~default:max_in_flight)
             ~make_engine ())
     in
@@ -1460,9 +1583,13 @@ let worker_cmd =
          "Run one distributed worker: connect to a coordinator, receive \
           sharded jobs, solve them on the full local supervised engine \
           (retries, backoff, quarantine, circuit breaker, checkpoints — \
-          identical to $(b,psdp batch)) and stream results back. The \
-          process serves until the coordinator dismisses it or the \
-          connection drops.")
+          identical to $(b,psdp batch)) and stream results back. When \
+          the link drops (crash, failover) the worker keeps its engine \
+          alive, cycles the $(b,--connect) list with jittered backoff, \
+          re-registers with whoever answers, and replays undelivered \
+          results; frames from a deposed coordinator (stale fencing \
+          epoch) are rejected. Serves until the coordinator dismisses \
+          it with a cluster shutdown.")
     Term.(
       const run $ connect_arg $ name_arg $ capacity_arg $ jobs_arg
       $ domains_arg $ trace_file_arg $ cache_file_arg $ metrics_file_arg
@@ -1490,8 +1617,24 @@ let submit_cmd =
     in
     Arg.(value & flag & info [ "shutdown" ] ~doc)
   in
-  let run connect manifest timeout shutdown trace_path out verbosity =
+  let retry_cycles_arg =
+    let doc =
+      "Full passes over the $(b,--connect) list (with decorrelated-jitter \
+       backoff between passes) before giving up with exit code 3."
+    in
+    Arg.(value & opt int 30 & info [ "retry-cycles" ] ~docv:"N" ~doc)
+  in
+  let run connect manifest timeout shutdown retry_cycles trace_path out
+      verbosity =
     setup_logs verbosity;
+    let die (f : Dist.Client.failure) =
+      Printf.eprintf "psdp submit: %s\n" (Dist.Client.failure_to_string f);
+      exit
+        (match f with
+        | Dist.Client.Unreachable _ -> exit_unreachable
+        | Dist.Client.Refused _ -> exit_bad_input
+        | Dist.Client.Timed_out _ -> exit_infeasible)
+    in
     let text =
       try
         let ic = open_in manifest in
@@ -1515,11 +1658,14 @@ let submit_cmd =
           match trace_oc with Some oc -> Trace.channel oc | None -> Trace.null
         in
         if Trace.enabled trace then Trace.set_role trace "client";
-        match Dist.Client.connect ~trace connect with
-        | Error msg ->
-            Printf.eprintf "psdp submit: %s\n" msg;
+        let retry =
+          Psdp_fault.Retry.make ~base:0.05 ~cap:1.0
+            ~max_attempts:(max 1 retry_cycles) ()
+        in
+        match Dist.Client.connect ~trace ~retry connect with
+        | Error f ->
             Option.iter close_out trace_oc;
-            exit exit_bad_input
+            die f
         | Ok client ->
             Fun.protect
               ~finally:(fun () ->
@@ -1530,17 +1676,13 @@ let submit_cmd =
                   (fun spec ->
                     match Dist.Client.submit client spec with
                     | Ok () -> ()
-                    | Error msg ->
-                        Printf.eprintf "psdp submit: %s\n" msg;
-                        exit exit_bad_input)
+                    | Error f -> die f)
                   specs;
                 match
                   Dist.Client.collect ?timeout client
                     ~expected:(List.length specs)
                 with
-                | Error msg ->
-                    Printf.eprintf "psdp submit: %s\n" msg;
-                    exit exit_infeasible
+                | Error f -> die f
                 | Ok results ->
                     if shutdown then Dist.Client.shutdown_cluster client;
                     (if out = "-" then List.iter (print_result stdout) results
@@ -1563,12 +1705,18 @@ let submit_cmd =
     (Cmd.info "submit" ~exits:solver_exits
        ~doc:
          "Submit a manifest of jobs to a running coordinator and wait for \
-          the results (streamed back in completion order). Exits 1 when a \
-          job failed or results did not arrive in time, 2 on connection \
-          or manifest errors.")
+          the results (streamed back in completion order). The client \
+          self-heals across coordinator failovers: on a dropped link it \
+          reconnects down the $(b,--connect) list and resubmits every \
+          job whose result has not landed, idempotently by job id — the \
+          coordinator answers already-finished jobs from its journal, so \
+          nothing runs twice and nothing is lost. Exits 1 when a job \
+          failed or results did not arrive in time, 2 on manifest or \
+          rejection errors, 3 when no coordinator was reachable within \
+          $(b,--retry-cycles).")
     Term.(
       const run $ connect_arg $ manifest_arg $ timeout_arg $ shutdown_flag
-      $ trace_file_arg $ out_arg $ verbose_arg)
+      $ retry_cycles_arg $ trace_file_arg $ out_arg $ verbose_arg)
 
 let main =
   let doc = "width-independent parallel positive SDP solver (SPAA'12)" in

@@ -3,30 +3,56 @@
 
     The client is deliberately thin: it pushes [Submit] frames and
     collects [Result] frames; sharding, journaling and rerouting are
-    entirely the coordinator's business. *)
+    entirely the coordinator's business. What it does own is
+    {e self-healing}: it holds an ordered coordinator address list and,
+    whenever the link dies (crash, failover, a standby or deposed
+    primary saying [Goodbye]), it reconnects — sleeping a
+    decorrelated-jitter backoff between full unreachable cycles — and
+    replays every submission whose result has not landed yet. The job
+    id is the idempotency nonce: the coordinator answers a replayed
+    finished job from its journal instead of re-running it, and the
+    client drops duplicate deliveries, so a job is paid for once and
+    its result counted once. *)
 
 open Psdp_engine
+
+type failure =
+  | Unreachable of string
+      (** no coordinator answered within the retry budget — [psdp
+          submit] maps this to its documented "unreachable" exit code *)
+  | Refused of string  (** the coordinator rejected the request *)
+  | Timed_out of string  (** {!collect}'s deadline expired *)
+
+val failure_to_string : failure -> string
 
 type t
 
 val connect :
-  ?max_payload:int -> ?trace:Trace.sink -> Transport.addr -> (t, string) result
-(** [trace] (default null) makes the client the trace-root owner: each
-    submission mints a context (unless the spec already carries one),
-    ships it in the spec's [trace] field, and {!collect} closes the
-    matching "request" span when the result lands. *)
+  ?max_payload:int ->
+  ?trace:Trace.sink ->
+  ?retry:Psdp_fault.Retry.policy ->
+  Transport.addr list ->
+  (t, failure) result
+(** Dial the list in order until someone accepts ([Invalid_argument]
+    on an empty list); [retry.max_attempts] bounds full unreachable
+    cycles before [Unreachable]. [trace] (default null) makes the
+    client the trace-root owner: each submission mints a context
+    (unless the spec already carries one), ships it in the spec's
+    [trace] field, and {!collect} closes the matching "request" span
+    when the result lands. *)
 
-val submit : t -> Job.spec -> (unit, string) result
+val submit : t -> Job.spec -> (unit, failure) result
 (** Send one job. Specs must carry a non-empty [id] (the coordinator
     rejects empty ids — auto-numbering is a per-engine notion) and a
-    [File] source. *)
+    [File] source. A link failure triggers reconnect-and-replay; only
+    an exhausted retry budget surfaces as [Unreachable]. *)
 
 val collect :
-  ?timeout:float -> t -> expected:int -> (Job.result list, string) result
-(** Wait for [expected] results, in completion order. [timeout]
-    (default none) bounds the {e total} wait. An [Error_msg] from the
-    coordinator (rejected submit) aborts with its message; so do a
-    dropped connection and a protocol violation. *)
+  ?timeout:float -> t -> expected:int -> (Job.result list, failure) result
+(** Wait for [expected] {e distinct} results, in completion order.
+    [timeout] (default none) bounds the {e total} wait. An [Error_msg]
+    from the coordinator aborts with [Refused]; a dropped link or a
+    [Goodbye] triggers reconnect-and-replay instead of failing. *)
 
 val shutdown_cluster : t -> unit
 (** Ask the coordinator to stop (it dismisses its workers first).

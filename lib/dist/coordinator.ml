@@ -34,6 +34,14 @@ type meters = {
   m_hb_misses : Metrics.counter;
   m_rx_bytes : Metrics.counter;
   m_tx_bytes : Metrics.counter;
+  m_epoch : Metrics.gauge;
+  m_standbys : Metrics.gauge;
+  m_rep_lag : Metrics.gauge;
+  m_rep_records : Metrics.counter;
+  m_rep_bytes : Metrics.counter;
+  m_failovers : Metrics.counter;
+  m_deposed : Metrics.counter;
+  m_resubmits : Metrics.counter;
   m_reg : Metrics.t;
 }
 
@@ -65,10 +73,42 @@ let make_meters reg =
       Metrics.counter reg ~labels:[ ("dir", "tx") ]
         ~help:"raw bytes crossing coordinator sockets"
         "psdp_dist_frame_bytes_total";
+    m_epoch =
+      Metrics.gauge reg ~help:"fencing epoch of this coordinator's reign"
+        "psdp_ha_epoch";
+    m_standbys =
+      Metrics.gauge reg ~help:"standby coordinators tailing our WAL"
+        "psdp_ha_standbys";
+    m_rep_lag =
+      Metrics.gauge reg
+        ~help:"journal bytes not yet acknowledged by the slowest standby"
+        "psdp_ha_replication_lag_bytes";
+    m_rep_records =
+      Metrics.counter reg ~help:"journal records streamed to standbys"
+        "psdp_ha_replication_records_total";
+    m_rep_bytes =
+      Metrics.counter reg ~help:"journal bytes streamed to standbys"
+        "psdp_ha_replication_bytes_total";
+    m_failovers =
+      Metrics.counter reg
+        ~help:"times this process promoted from standby to primary"
+        "psdp_ha_failovers_total";
+    m_deposed =
+      Metrics.counter reg
+        ~help:"hellos carrying a fence above our epoch (a newer primary exists)"
+        "psdp_ha_deposed_hellos_total";
+    m_resubmits =
+      Metrics.counter reg
+        ~help:"idempotent resubmissions deduplicated by job id"
+        "psdp_ha_resubmits_deduped_total";
     m_reg = reg;
   }
 
-type role = Pending | Worker_role of string | Client_role
+type role =
+  | Pending
+  | Worker_role of string
+  | Client_role
+  | Standby_role of { s_name : string; mutable s_acked : int }
 
 type peer = { pid : int; conn : Transport.conn; mutable role : role }
 
@@ -110,6 +150,10 @@ type t = {
   jobs : (string, jstate) Hashtbl.t;
   queue : string Queue.t;
   digests : (string, string) Hashtbl.t;  (* instance path -> shard key *)
+  done_results : (string, Json.t) Hashtbl.t;
+      (* journaled results of finished jobs, for idempotent redelivery *)
+  mutable epoch : int;
+  mutable doomed : int list;  (* peers to drop outside iteration *)
   mutable next_pid : int;
   mutable running : bool;
 }
@@ -161,7 +205,7 @@ let journal t record =
   match t.store with
   | None -> ()
   | Some store -> (
-      try Store.append store record
+      try Store.append ~epoch:t.epoch store record
       with e ->
         Log.warn (fun m ->
             m "journal append failed (%s); continuing non-durable"
@@ -183,6 +227,29 @@ let set_worker_gauges t =
           | Some g -> Metrics.set g (float_of_int (Hashtbl.length w.w_jobs))
           | None -> ())
         t.workers
+
+let standby_count t =
+  Hashtbl.fold
+    (fun _ p acc -> match p.role with Standby_role _ -> acc + 1 | _ -> acc)
+    t.conns 0
+
+let set_rep_gauges t =
+  match t.meters with
+  | None -> ()
+  | Some m ->
+      Metrics.set m.m_standbys (float_of_int (standby_count t));
+      let size =
+        match t.store with Some s -> Store.journal_size s | None -> 0
+      in
+      let lag =
+        Hashtbl.fold
+          (fun _ p acc ->
+            match p.role with
+            | Standby_role { s_acked; _ } -> max acc (size - s_acked)
+            | _ -> acc)
+          t.conns 0
+      in
+      Metrics.set m.m_rep_lag (float_of_int lag)
 
 let safe_send peer msg =
   try
@@ -225,7 +292,9 @@ let rec dispatch t =
           | Some (_, actx, _) -> { j.j_spec with Job.trace = Some actx }
           | None -> j.j_spec
         in
-        if safe_send w.w_peer (Proto.Submit { spec = spec_out }) then begin
+        if
+          safe_send w.w_peer (Proto.Submit { spec = spec_out; epoch = t.epoch })
+        then begin
           (match assign with
           | Some (base, actx, now) ->
               Trace.span t.trace ~job:id ~ctx:(Trace_context.child base)
@@ -303,43 +372,82 @@ and worker_dead t w ~reason =
 (* ------------------------------------------------------------------ *)
 (* Message handling *)
 
+let send_stored_result t peer ~id json =
+  (match t.meters with Some m -> Metrics.inc m.m_resubmits | None -> ());
+  Trace.emit t.trace ~job:id ~kind:"job_resubmit_deduped" [];
+  match Job.result_of_json json with
+  | Ok result -> ignore (safe_send peer (Proto.Result { result }))
+  | Error e ->
+      ignore
+        (safe_send peer
+           (Proto.Error_msg
+              {
+                message =
+                  Printf.sprintf
+                    "job %s already completed but its journaled result is \
+                     unreadable: %s"
+                    id e;
+              }))
+
 let accept_job t peer (spec : Job.spec) =
   if spec.Job.id = "" then
     ignore
       (safe_send peer
          (Proto.Error_msg { message = "submit: job id must not be empty" }))
-  else if Hashtbl.mem t.jobs spec.Job.id then
-    ignore
-      (safe_send peer
-         (Proto.Error_msg
-            {
-              message =
-                Printf.sprintf "submit: duplicate job id %S" spec.Job.id;
-            }))
   else begin
     if peer.role = Pending then peer.role <- Client_role;
-    let j_ctx =
-      match spec.Job.trace with
-      | Some parent -> Some (parent, false)
-      | None ->
-          if Trace.enabled t.trace then Some (Trace_context.mint (), true)
-          else None
-    in
-    let now = Timer.now () in
-    let j =
-      { j_spec = spec; j_worker = None; j_client = Some peer.pid;
-        j_done = false; j_ctx; j_t0 = now; j_wait_start = now;
-        j_assign = None; j_rerouted = false }
-    in
-    Hashtbl.replace t.jobs spec.Job.id j;
-    Queue.push spec.Job.id t.queue;
-    (match Job.spec_to_json spec with
-    | Ok json -> journal t (Journal.Submitted { job = spec.Job.id; spec = json })
-    | Error _ -> ());
-    (match t.meters with Some m -> Metrics.inc m.m_submitted | None -> ());
-    Trace.emit t.trace ~job:spec.Job.id ~kind:"job_accepted" [];
-    set_queue_gauge t;
-    dispatch t
+    match Hashtbl.find_opt t.jobs spec.Job.id with
+    | Some j when j.j_done -> (
+        (* Idempotent resubmission of a finished job: replay the stored
+           result instead of re-running — the client paid once. *)
+        match Hashtbl.find_opt t.done_results spec.Job.id with
+        | Some json -> send_stored_result t peer ~id:spec.Job.id json
+        | None ->
+            ignore
+              (safe_send peer
+                 (Proto.Error_msg
+                    {
+                      message =
+                        Printf.sprintf "submit: duplicate job id %S"
+                          spec.Job.id;
+                    })))
+    | Some j ->
+        (* The job is already queued or running (a reconnecting client
+           resubmitting after failover): re-attach the result route, do
+           not double-enqueue. *)
+        j.j_client <- Some peer.pid;
+        (match t.meters with Some m -> Metrics.inc m.m_resubmits | None -> ());
+        Trace.emit t.trace ~job:spec.Job.id ~kind:"job_reattached" []
+    | None -> (
+        match Hashtbl.find_opt t.done_results spec.Job.id with
+        | Some json ->
+            (* Finished in an earlier reign; the replayed journal still
+               knows the answer. *)
+            send_stored_result t peer ~id:spec.Job.id json
+        | None ->
+            let j_ctx =
+              match spec.Job.trace with
+              | Some parent -> Some (parent, false)
+              | None ->
+                  if Trace.enabled t.trace then Some (Trace_context.mint (), true)
+                  else None
+            in
+            let now = Timer.now () in
+            let j =
+              { j_spec = spec; j_worker = None; j_client = Some peer.pid;
+                j_done = false; j_ctx; j_t0 = now; j_wait_start = now;
+                j_assign = None; j_rerouted = false }
+            in
+            Hashtbl.replace t.jobs spec.Job.id j;
+            Queue.push spec.Job.id t.queue;
+            (match Job.spec_to_json spec with
+            | Ok json ->
+                journal t (Journal.Submitted { job = spec.Job.id; spec = json })
+            | Error _ -> ());
+            (match t.meters with Some m -> Metrics.inc m.m_submitted | None -> ());
+            Trace.emit t.trace ~job:spec.Job.id ~kind:"job_accepted" [];
+            set_queue_gauge t;
+            dispatch t)
   end
 
 let accept_result t peer (result : Job.result) =
@@ -364,7 +472,12 @@ let accept_result t peer (result : Job.result) =
         | Job.Cancelled -> "cancelled"
         | Job.Timed_out -> "timeout"
       in
-      journal t (Journal.Completed { job = id; status });
+      (* Journal the result body too: after a failover, the promoted
+         standby answers an idempotent resubmission of this job from
+         the replicated record — the result outlives this process. *)
+      let rjson = Job.result_to_json result in
+      Hashtbl.replace t.done_results id rjson;
+      journal t (Journal.Completed { job = id; status; result = Some rjson });
       (match t.meters with Some m -> Metrics.inc m.m_completed | None -> ());
       Trace.emit t.trace ~job:id ~kind:"job_completed"
         [ ("status", Json.Str status) ];
@@ -400,6 +513,13 @@ let drop_peer t peer ~reason =
       | None ->
           Hashtbl.remove t.conns peer.pid;
           Transport.close peer.conn)
+  | Standby_role { s_name; _ } ->
+      Log.info (fun m -> m "standby %s detached (%s)" s_name reason);
+      Trace.emit t.trace ~kind:"standby_detached"
+        [ ("standby", Json.Str s_name); ("reason", Json.Str reason) ];
+      Hashtbl.remove t.conns peer.pid;
+      Transport.close peer.conn;
+      set_rep_gauges t
   | Pending | Client_role ->
       (* A gone client orphans its jobs: they still run to completion
          and are journaled, the results just have nowhere to go. *)
@@ -411,8 +531,35 @@ let drop_peer t peer ~reason =
 
 let handle_msg t peer msg =
   match msg with
-  | Proto.Hello { worker; capacity } ->
-      if Hashtbl.mem t.workers worker then begin
+  | Proto.Hello { worker; capacity; fence } ->
+      if fence > t.epoch then begin
+        (* The worker was welcomed by a higher reign: we are a deposed
+           primary that does not know it yet. Announce our (stale)
+           epoch honestly and register nothing — the worker's fence
+           check rejects the Welcome and it moves on to the live
+           primary. Assigning work here would be split-brain. *)
+        (match t.meters with Some m -> Metrics.inc m.m_deposed | None -> ());
+        Log.warn (fun m ->
+            m
+              "worker %s carries fence epoch %d > our epoch %d: a newer \
+               primary exists; refusing to register it"
+              worker fence t.epoch);
+        Trace.emit t.trace ~kind:"deposed_hello"
+          [
+            ("worker", Json.Str worker);
+            ("fence", Json.Num (float_of_int fence));
+            ("epoch", Json.Num (float_of_int t.epoch));
+          ];
+        ignore
+          (safe_send peer
+             (Proto.Welcome
+                {
+                  coordinator = t.cfg.name;
+                  heartbeat_every = t.cfg.heartbeat_every;
+                  epoch = t.epoch;
+                }))
+      end
+      else if Hashtbl.mem t.workers worker then begin
         ignore
           (safe_send peer
              (Proto.Goodbye
@@ -452,27 +599,74 @@ let handle_msg t peer msg =
                 {
                   coordinator = t.cfg.name;
                   heartbeat_every = t.cfg.heartbeat_every;
+                  epoch = t.epoch;
                 }));
         set_worker_gauges t;
         dispatch t
       end
-  | Proto.Submit { spec } -> accept_job t peer spec
+  | Proto.Submit { spec; epoch = _ } -> accept_job t peer spec
   | Proto.Result { result } -> accept_result t peer result
   | Proto.Heartbeat { worker; _ } -> (
-      match Hashtbl.find_opt t.workers worker with
-      | Some w ->
-          w.w_last_seen <- Unix.gettimeofday ();
-          w.w_missed <- 0;
-          ignore (safe_send w.w_peer Proto.Heartbeat_ack)
-      | None ->
-          (* A heartbeat from a worker we already declared dead: tell it
-             to go away so it can reconnect fresh. *)
-          ignore (safe_send peer (Proto.Goodbye { reason = "unknown worker" })))
+      match peer.role with
+      | Standby_role _ -> ignore (safe_send peer Proto.Heartbeat_ack)
+      | _ -> (
+          match Hashtbl.find_opt t.workers worker with
+          | Some w ->
+              w.w_last_seen <- Unix.gettimeofday ();
+              w.w_missed <- 0;
+              ignore (safe_send w.w_peer Proto.Heartbeat_ack)
+          | None ->
+              (* A heartbeat from a worker we already declared dead: tell
+                 it to go away so it can reconnect fresh. *)
+              ignore
+                (safe_send peer (Proto.Goodbye { reason = "unknown worker" }))))
   | Proto.Goodbye { reason } -> drop_peer t peer ~reason
   | Proto.Shutdown ->
       Log.info (fun m -> m "shutdown requested");
       t.running <- false
-  | Proto.Welcome _ | Proto.Heartbeat_ack | Proto.Error_msg _ ->
+  | Proto.Rep_hello { standby } -> (
+      match t.store with
+      | None ->
+          ignore
+            (safe_send peer
+               (Proto.Error_msg
+                  {
+                    message =
+                      "replication requires a journaling primary \
+                       (--checkpoint-dir)";
+                  }));
+          drop_peer t peer ~reason:"standby without a store"
+      | Some store ->
+          peer.role <- Standby_role { s_name = standby; s_acked = 0 };
+          Log.info (fun m -> m "standby %s attached; sending snapshot" standby);
+          Trace.emit t.trace ~kind:"standby_attached"
+            [ ("standby", Json.Str standby) ];
+          let data = Store.tail store ~from:0 in
+          if
+            not
+              (safe_send peer (Proto.Rep_snapshot { epoch = t.epoch; data }))
+          then drop_peer t peer ~reason:"snapshot send failed"
+          else set_rep_gauges t)
+  | Proto.Rep_ack { offset } -> (
+      match peer.role with
+      | Standby_role s ->
+          s.s_acked <- max s.s_acked offset;
+          set_rep_gauges t
+      | _ -> drop_peer t peer ~reason:"unexpected message")
+  | Proto.Takeover ->
+      (* We are already primary: answer idempotently with our reign so
+         an operator's [--takeover] against the wrong address reports
+         the live epoch instead of hanging. *)
+      ignore
+        (safe_send peer
+           (Proto.Welcome
+              {
+                coordinator = t.cfg.name;
+                heartbeat_every = t.cfg.heartbeat_every;
+                epoch = t.epoch;
+              }))
+  | Proto.Welcome _ | Proto.Heartbeat_ack | Proto.Error_msg _
+  | Proto.Rep_snapshot _ | Proto.Rep_append _ ->
       drop_peer t peer ~reason:"unexpected message"
 
 (* ------------------------------------------------------------------ *)
@@ -502,6 +696,9 @@ let recover t =
   match t.store with
   | None -> ()
   | Some store ->
+      List.iter
+        (fun (job, rjson) -> Hashtbl.replace t.done_results job rjson)
+        (Store.completed_results store);
       List.iter
         (fun (p : Store.pending) ->
           match Job.spec_of_json p.Store.spec with
@@ -549,106 +746,174 @@ let recover t =
 (* ------------------------------------------------------------------ *)
 (* Main loop *)
 
-let run ?(config = default_config) ?store ?metrics ?(trace = Trace.null)
-    ?on_ready ~listen () =
+let serve ?(config = default_config) ?store ?metrics ?(trace = Trace.null)
+    ?on_ready ?(takeover = false) ~lfd ~listen () =
+  let meters = Option.map make_meters metrics in
+  (* Epoch discipline: the journal's highest [Epoch] record is the last
+     reign that owned this WAL. A plain (re)start keeps it — same
+     primary, same reign, so a restarted process is *not* mistaken for
+     a failover. A promotion (takeover / standby failover) bumps it by
+     one and journals the bump, which is exactly what fences the old
+     primary out if it ever comes back. First-ever start is reign 1. *)
+  let stored = match store with Some s -> Store.epoch s | None -> 0 in
+  let epoch = if takeover then stored + 1 else max stored 1 in
+  let t =
+    {
+      cfg = config;
+      store;
+      meters;
+      trace;
+      conns = Hashtbl.create 16;
+      workers = Hashtbl.create 8;
+      jobs = Hashtbl.create 64;
+      queue = Queue.create ();
+      digests = Hashtbl.create 16;
+      done_results = Hashtbl.create 64;
+      epoch;
+      doomed = [];
+      next_pid = 0;
+      running = true;
+    }
+  in
+  if epoch > stored then journal t (Journal.Epoch { epoch });
+  (match meters with
+  | Some m ->
+      Metrics.set m.m_epoch (float_of_int epoch);
+      if takeover then Metrics.inc m.m_failovers
+  | None -> ());
+  Trace.emit t.trace ~kind:"coordinator_started"
+    [
+      ("listen", Json.Str (Transport.addr_to_string listen));
+      ("epoch", Json.Num (float_of_int epoch));
+      ("takeover", Json.Bool takeover);
+    ];
+  Log.info (fun m ->
+      m "serving %s (epoch %d%s)"
+        (Transport.addr_to_string listen)
+        epoch
+        (if takeover then ", promoted by takeover" else ""));
+  recover t;
+  (* Replication stream: every fsynced append is forwarded, byte-exact,
+     to every attached standby. The callback runs under the store lock
+     in the select-loop thread; failed sends only doom the standby (it
+     re-syncs from a snapshot when it reconnects). *)
+  (match store with
+  | Some s ->
+      Store.subscribe s (fun ~offset ~data ->
+          Hashtbl.iter
+            (fun _ p ->
+              match p.role with
+              | Standby_role _ ->
+                  if
+                    safe_send p
+                      (Proto.Rep_append { epoch = t.epoch; offset; data })
+                  then begin
+                    match t.meters with
+                    | Some m ->
+                        Metrics.inc m.m_rep_records;
+                        Metrics.add m.m_rep_bytes (String.length data)
+                    | None -> ()
+                  end
+                  else t.doomed <- p.pid :: t.doomed
+              | _ -> ())
+            t.conns)
+  | None -> ());
+  (match on_ready with Some f -> f () | None -> ());
+  let count_rx n =
+    match meters with Some m -> Metrics.add m.m_rx_bytes n | None -> ()
+  in
+  let count_tx n =
+    match meters with Some m -> Metrics.add m.m_tx_bytes n | None -> ()
+  in
+  while t.running do
+    (* Peers doomed inside a store-subscription callback (where dropping
+       them would have mutated the table being iterated) die here. *)
+    (match t.doomed with
+    | [] -> ()
+    | pids ->
+        t.doomed <- [];
+        List.iter
+          (fun pid ->
+            match Hashtbl.find_opt t.conns pid with
+            | Some p -> drop_peer t p ~reason:"replication send failed"
+            | None -> ())
+          pids);
+    let fds =
+      lfd
+      :: Hashtbl.fold (fun _ p acc -> Transport.fd p.conn :: acc) t.conns []
+    in
+    let tick = config.heartbeat_every /. 2.0 in
+    let readable, _, _ =
+      try Unix.select fds [] [] tick
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun fd ->
+        if fd = lfd then begin
+          match Unix.accept lfd with
+          | cfd, _ ->
+              Unix.set_nonblock cfd;
+              let conn =
+                Transport.of_fd ~max_payload:config.max_payload ~count_rx
+                  ~count_tx cfd
+              in
+              let pid = t.next_pid in
+              t.next_pid <- pid + 1;
+              Hashtbl.replace t.conns pid { pid; conn; role = Pending }
+          | exception Unix.Unix_error _ -> ()
+        end
+        else
+          let peer =
+            Hashtbl.fold
+              (fun _ p acc ->
+                if Transport.fd p.conn = fd then Some p else acc)
+              t.conns None
+          in
+          match peer with
+          | None -> ()
+          | Some peer -> (
+              match Transport.fill peer.conn with
+              | false -> drop_peer t peer ~reason:"connection closed"
+              | true -> (
+                  try
+                    let continue = ref true in
+                    while !continue do
+                      match Transport.pop peer.conn with
+                      | Some msg ->
+                          handle_msg t peer msg;
+                          (* the peer may have been dropped *)
+                          if not (Hashtbl.mem t.conns peer.pid) then
+                            continue := false
+                      | None -> continue := false
+                    done
+                  with Transport.Protocol_failure why ->
+                    Log.warn (fun m ->
+                        m "protocol failure from peer %d: %s" peer.pid why);
+                    Trace.emit t.trace ~kind:"protocol_failure"
+                      [ ("why", Json.Str why) ];
+                    drop_peer t peer ~reason:("protocol: " ^ why))))
+      readable;
+    sweep t
+  done;
+  (* Graceful stop: tell everyone, close everything. A standby receiving
+     this Goodbye exits without promoting — an operator shutdown is not
+     a primary death. *)
+  Hashtbl.iter
+    (fun _ p ->
+      ignore (safe_send p (Proto.Goodbye { reason = "coordinator stopped" }));
+      Transport.close p.conn)
+    t.conns;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (match listen with
+  | Transport.Unix_sock path -> (
+      try Sys.remove path with Sys_error _ -> ())
+  | Transport.Tcp _ -> ());
+  Trace.emit t.trace ~kind:"coordinator_stopped"
+    [ ("unfinished", Json.Num (float_of_int (Queue.length t.queue))) ];
+  Ok ()
+
+let run ?config ?store ?metrics ?trace ?on_ready ?takeover ~listen () =
   match Transport.listen listen with
   | Error e -> Error e
   | Ok lfd ->
-      let meters = Option.map make_meters metrics in
-      let t =
-        {
-          cfg = config;
-          store;
-          meters;
-          trace;
-          conns = Hashtbl.create 16;
-          workers = Hashtbl.create 8;
-          jobs = Hashtbl.create 64;
-          queue = Queue.create ();
-          digests = Hashtbl.create 16;
-          next_pid = 0;
-          running = true;
-        }
-      in
-      Trace.emit t.trace ~kind:"coordinator_started"
-        [ ("listen", Json.Str (Transport.addr_to_string listen)) ];
-      recover t;
-      (match on_ready with Some f -> f () | None -> ());
-      let count_rx n =
-        match meters with Some m -> Metrics.add m.m_rx_bytes n | None -> ()
-      in
-      let count_tx n =
-        match meters with Some m -> Metrics.add m.m_tx_bytes n | None -> ()
-      in
-      while t.running do
-        let fds =
-          lfd
-          :: Hashtbl.fold (fun _ p acc -> Transport.fd p.conn :: acc) t.conns []
-        in
-        let tick = config.heartbeat_every /. 2.0 in
-        let readable, _, _ =
-          try Unix.select fds [] [] tick
-          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-        in
-        List.iter
-          (fun fd ->
-            if fd = lfd then begin
-              match Unix.accept lfd with
-              | cfd, _ ->
-                  Unix.set_nonblock cfd;
-                  let conn =
-                    Transport.of_fd ~max_payload:config.max_payload ~count_rx
-                      ~count_tx cfd
-                  in
-                  let pid = t.next_pid in
-                  t.next_pid <- pid + 1;
-                  Hashtbl.replace t.conns pid { pid; conn; role = Pending }
-              | exception Unix.Unix_error _ -> ()
-            end
-            else
-              let peer =
-                Hashtbl.fold
-                  (fun _ p acc ->
-                    if Transport.fd p.conn = fd then Some p else acc)
-                  t.conns None
-              in
-              match peer with
-              | None -> ()
-              | Some peer -> (
-                  match Transport.fill peer.conn with
-                  | false -> drop_peer t peer ~reason:"connection closed"
-                  | true -> (
-                      try
-                        let continue = ref true in
-                        while !continue do
-                          match Transport.pop peer.conn with
-                          | Some msg ->
-                              handle_msg t peer msg;
-                              (* the peer may have been dropped *)
-                              if not (Hashtbl.mem t.conns peer.pid) then
-                                continue := false
-                          | None -> continue := false
-                        done
-                      with Transport.Protocol_failure why ->
-                        Log.warn (fun m ->
-                            m "protocol failure from peer %d: %s" peer.pid why);
-                        Trace.emit t.trace ~kind:"protocol_failure"
-                          [ ("why", Json.Str why) ];
-                        drop_peer t peer ~reason:("protocol: " ^ why))))
-          readable;
-        sweep t
-      done;
-      (* Graceful stop: tell everyone, close everything. *)
-      Hashtbl.iter
-        (fun _ p ->
-          ignore (safe_send p (Proto.Goodbye { reason = "coordinator stopped" }));
-          Transport.close p.conn)
-        t.conns;
-      (try Unix.close lfd with Unix.Unix_error _ -> ());
-      (match listen with
-      | Transport.Unix_sock path -> (
-          try Sys.remove path with Sys_error _ -> ())
-      | Transport.Tcp _ -> ());
-      Trace.emit t.trace ~kind:"coordinator_stopped"
-        [ ("unfinished", Json.Num (float_of_int (Queue.length t.queue))) ];
-      Ok ()
+      serve ?config ?store ?metrics ?trace ?on_ready ?takeover ~lfd ~listen ()

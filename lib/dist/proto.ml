@@ -2,15 +2,20 @@ open Psdp_prelude
 open Psdp_engine
 
 type msg =
-  | Hello of { worker : string; capacity : int }
-  | Welcome of { coordinator : string; heartbeat_every : float }
-  | Submit of { spec : Job.spec }
+  | Hello of { worker : string; capacity : int; fence : int }
+  | Welcome of { coordinator : string; heartbeat_every : float; epoch : int }
+  | Submit of { spec : Job.spec; epoch : int }
   | Result of { result : Job.result }
   | Heartbeat of { worker : string; inflight : int }
   | Heartbeat_ack
   | Goodbye of { reason : string }
   | Error_msg of { message : string }
   | Shutdown
+  | Rep_hello of { standby : string }
+  | Rep_snapshot of { epoch : int; data : string }
+  | Rep_append of { epoch : int; offset : int; data : string }
+  | Rep_ack of { offset : int }
+  | Takeover
 
 let tag = function
   | Hello _ -> 1
@@ -22,46 +27,109 @@ let tag = function
   | Goodbye _ -> 7
   | Error_msg _ -> 8
   | Shutdown -> 9
+  | Rep_hello _ -> 10
+  | Rep_snapshot _ -> 11
+  | Rep_append _ -> 12
+  | Rep_ack _ -> 13
+  | Takeover -> 14
 
 let describe = function
   | Hello { worker; _ } -> "hello:" ^ worker
   | Welcome { coordinator; _ } -> "welcome:" ^ coordinator
-  | Submit { spec } -> "submit:" ^ spec.Job.id
+  | Submit { spec; _ } -> "submit:" ^ spec.Job.id
   | Result { result } -> "result:" ^ result.Job.id
   | Heartbeat { worker; _ } -> "heartbeat:" ^ worker
   | Heartbeat_ack -> "heartbeat_ack"
   | Goodbye { reason } -> "goodbye:" ^ reason
   | Error_msg { message } -> "error:" ^ message
   | Shutdown -> "shutdown"
+  | Rep_hello { standby } -> "rep_hello:" ^ standby
+  | Rep_snapshot { epoch; data } ->
+      Printf.sprintf "rep_snapshot:e%d/%dB" epoch (String.length data)
+  | Rep_append { epoch; offset; data } ->
+      Printf.sprintf "rep_append:e%d@%d/%dB" epoch offset (String.length data)
+  | Rep_ack { offset } -> Printf.sprintf "rep_ack:%d" offset
+  | Takeover -> "takeover"
+
+(* Journal bytes travel hex-encoded inside the JSON payload: the stream
+   is byte-exact whatever the journal contains, with no dependence on
+   the JSON codec's string-escaping fidelity for raw binary. *)
+let hex_digits = "0123456789abcdef"
+
+let hex_encode s =
+  String.init
+    (2 * String.length s)
+    (fun i ->
+      let c = Char.code s.[i / 2] in
+      hex_digits.[if i land 1 = 0 then c lsr 4 else c land 0xf])
+
+let hex_decode s =
+  let n = String.length s in
+  if n land 1 = 1 then None
+  else
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Some (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+      | _ -> None
+    in
+    let bad = ref false in
+    let out =
+      String.init (n / 2) (fun i ->
+          match (nibble s.[2 * i], nibble s.[(2 * i) + 1]) with
+          | Some hi, Some lo -> Char.chr ((hi lsl 4) lor lo)
+          | _ ->
+              bad := true;
+              '\x00')
+    in
+    if !bad then None else Some out
+
+let num_int n = Json.Num (float_of_int n)
 
 let payload_json = function
-  | Hello { worker; capacity } ->
+  | Hello { worker; capacity; fence } ->
       Json.Obj
         [
           ("worker", Json.Str worker);
-          ("capacity", Json.Num (float_of_int capacity));
+          ("capacity", num_int capacity);
+          ("fence", num_int fence);
         ]
-  | Welcome { coordinator; heartbeat_every } ->
+  | Welcome { coordinator; heartbeat_every; epoch } ->
       Json.Obj
         [
           ("coordinator", Json.Str coordinator);
           ("heartbeat_every", Json.Num heartbeat_every);
+          ("epoch", num_int epoch);
         ]
-  | Submit { spec } -> (
+  | Submit { spec; epoch } -> (
       match Job.spec_to_json spec with
+      | Ok (Json.Obj fields) ->
+          if epoch = 0 then Json.Obj fields
+          else Json.Obj (fields @ [ ("epoch", num_int epoch) ])
       | Ok j -> j
       | Error msg -> invalid_arg ("Proto.encode: " ^ msg))
   | Result { result } -> Job.result_to_json result
   | Heartbeat { worker; inflight } ->
       Json.Obj
-        [
-          ("worker", Json.Str worker);
-          ("inflight", Json.Num (float_of_int inflight));
-        ]
+        [ ("worker", Json.Str worker); ("inflight", num_int inflight) ]
   | Heartbeat_ack -> Json.Obj []
   | Goodbye { reason } -> Json.Obj [ ("reason", Json.Str reason) ]
   | Error_msg { message } -> Json.Obj [ ("message", Json.Str message) ]
   | Shutdown -> Json.Obj []
+  | Rep_hello { standby } -> Json.Obj [ ("standby", Json.Str standby) ]
+  | Rep_snapshot { epoch; data } ->
+      Json.Obj
+        [ ("epoch", num_int epoch); ("data", Json.Str (hex_encode data)) ]
+  | Rep_append { epoch; offset; data } ->
+      Json.Obj
+        [
+          ("epoch", num_int epoch);
+          ("offset", num_int offset);
+          ("data", Json.Str (hex_encode data));
+        ]
+  | Rep_ack { offset } -> Json.Obj [ ("offset", num_int offset) ]
+  | Takeover -> Json.Obj []
 
 let encode msg = Frame.encode ~tag:(tag msg) (Json.to_string (payload_json msg))
 
@@ -82,24 +150,44 @@ let decode ~tag payload =
     | Some n -> Ok n
     | None -> Error (Printf.sprintf "missing or bad %S" name)
   in
+  (* Epoch fields default to 0 ("unfenced"): pre-HA peers omit them and
+     must keep interoperating with fenced ones. *)
+  let int_default name d =
+    match Json.mem name j with
+    | None -> Ok d
+    | Some v -> (
+        match Json.int v with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "missing or bad %S" name))
+  in
   let num name =
     match Option.bind (Json.mem name j) Json.num with
     | Some x -> Ok x
     | None -> Error (Printf.sprintf "missing or bad %S" name)
   in
+  let data name =
+    let* s = str name in
+    match hex_decode s with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "field %S is not hex" name)
+  in
   match tag with
   | 1 ->
       let* worker = str "worker" in
       let* capacity = int "capacity" in
+      let* fence = int_default "fence" 0 in
       if capacity < 1 then Error "hello: capacity must be positive"
-      else Ok (Hello { worker; capacity })
+      else if fence < 0 then Error "hello: fence must be non-negative"
+      else Ok (Hello { worker; capacity; fence })
   | 2 ->
       let* coordinator = str "coordinator" in
       let* heartbeat_every = num "heartbeat_every" in
-      Ok (Welcome { coordinator; heartbeat_every })
+      let* epoch = int_default "epoch" 0 in
+      Ok (Welcome { coordinator; heartbeat_every; epoch })
   | 3 ->
       let* spec = Job.spec_of_json j in
-      Ok (Submit { spec })
+      let* epoch = int_default "epoch" 0 in
+      Ok (Submit { spec; epoch })
   | 4 ->
       let* result = Job.result_of_json j in
       Ok (Result { result })
@@ -115,4 +203,22 @@ let decode ~tag payload =
       let* message = str "message" in
       Ok (Error_msg { message })
   | 9 -> Ok Shutdown
+  | 10 ->
+      let* standby = str "standby" in
+      Ok (Rep_hello { standby })
+  | 11 ->
+      let* epoch = int "epoch" in
+      let* data = data "data" in
+      Ok (Rep_snapshot { epoch; data })
+  | 12 ->
+      let* epoch = int "epoch" in
+      let* offset = int "offset" in
+      let* data = data "data" in
+      if offset < 0 then Error "rep_append: negative offset"
+      else Ok (Rep_append { epoch; offset; data })
+  | 13 ->
+      let* offset = int "offset" in
+      if offset < 0 then Error "rep_ack: negative offset"
+      else Ok (Rep_ack { offset })
+  | 14 -> Ok Takeover
   | other -> Error (Printf.sprintf "unknown message tag %d" other)

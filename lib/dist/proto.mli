@@ -9,10 +9,10 @@
     {2 Conversation shape}
 
     {v
-    worker  ──Hello{worker,capacity}──────▶ coordinator
-    worker  ◀─Welcome{coordinator,heartbeat_every}── coordinator
+    worker  ──Hello{worker,capacity,fence}─▶ coordinator
+    worker  ◀─Welcome{coordinator,heartbeat_every,epoch}── coordinator
     client  ──Submit{spec}────────────────▶ coordinator
-    coordinator ──Submit{spec}────────────▶ worker      (sharded)
+    coordinator ──Submit{spec,epoch}──────▶ worker      (sharded)
     worker  ──Result{result}──────────────▶ coordinator
     coordinator ──Result{result}──────────▶ client
     worker  ──Heartbeat{worker,inflight}──▶ coordinator (every heartbeat_every)
@@ -20,20 +20,61 @@
     any     ──Goodbye{reason}─────────────▶ peer        (graceful close)
     coordinator ──Error{message}──────────▶ client      (rejected submit)
     client  ──Shutdown────────────────────▶ coordinator (stop the cluster)
-    v} *)
+    v}
+
+    {2 Replication (standby tails the primary's WAL)}
+
+    {v
+    standby ──Rep_hello{standby}──────────▶ primary
+    standby ◀─Rep_snapshot{epoch,data}────  primary     (whole journal)
+    standby ◀─Rep_append{epoch,offset,data} primary     (per fsynced append)
+    standby ──Rep_ack{offset}─────────────▶ primary     (lag accounting)
+    standby ──Heartbeat / ◀─Heartbeat_ack─  primary     (liveness)
+    operator ──Takeover───────────────────▶ standby     (forced promote)
+    v}
+
+    Journal bytes inside [Rep_snapshot]/[Rep_append] travel hex-encoded
+    in the JSON payload, so the replica journal is byte-identical to the
+    primary's whatever bytes the journal holds.
+
+    {2 Fencing}
+
+    [fence] in [Hello] is the highest coordinator epoch the worker has
+    ever been welcomed under; [epoch] in [Welcome] and worker-bound
+    [Submit] is the sending coordinator's reign. A worker rejects any
+    coordinator frame whose epoch is below its fence — that is what
+    locks a resurrected deposed primary out after a failover. All three
+    fields default to 0 (unfenced) when absent, so pre-HA peers
+    interoperate. Client-originated [Submit] frames carry epoch 0. *)
 
 open Psdp_engine
 
 type msg =
-  | Hello of { worker : string; capacity : int }
-  | Welcome of { coordinator : string; heartbeat_every : float }
-  | Submit of { spec : Job.spec }
+  | Hello of { worker : string; capacity : int; fence : int }
+  | Welcome of { coordinator : string; heartbeat_every : float; epoch : int }
+  | Submit of { spec : Job.spec; epoch : int }
   | Result of { result : Job.result }
   | Heartbeat of { worker : string; inflight : int }
   | Heartbeat_ack
   | Goodbye of { reason : string }
   | Error_msg of { message : string }
   | Shutdown
+  | Rep_hello of { standby : string }
+      (** a standby announces itself; the primary answers with a full
+          [Rep_snapshot] and then streams [Rep_append]s *)
+  | Rep_snapshot of { epoch : int; data : string }
+      (** initial catch-up: the primary's entire journal, byte-exact,
+          plus its current fencing epoch *)
+  | Rep_append of { epoch : int; offset : int; data : string }
+      (** one fsynced journal append: [data] starts at byte [offset] of
+          the journal. A standby whose replica is not exactly [offset]
+          bytes long re-syncs from a fresh snapshot. *)
+  | Rep_ack of { offset : int }
+      (** standby → primary: replica length after applying an append;
+          feeds the primary's replication-lag gauges *)
+  | Takeover
+      (** operator order to a standby: stop tailing, bump the epoch and
+          serve (also accepted, idempotently, by a running primary) *)
 
 val tag : msg -> int
 val describe : msg -> string
@@ -48,3 +89,8 @@ val decode : tag:int -> string -> (msg, string) result
 (** Decode a frame's payload. Unknown tags and malformed payloads are
     [Error] — the transport layer turns them into a typed protocol
     failure and drops the connection. *)
+
+val hex_encode : string -> string
+val hex_decode : string -> string option
+(** The byte codec replication payloads use; exposed for the QA
+    properties. *)

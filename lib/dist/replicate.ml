@@ -1,0 +1,405 @@
+open Psdp_prelude
+module Store = Psdp_store.Store
+module Journal = Psdp_store.Journal
+module Metrics = Psdp_obs.Metrics
+module Retry = Psdp_fault.Retry
+module Trace = Psdp_engine.Trace
+
+let log_src = Logs.Src.create "psdp.dist.standby" ~doc:"standby coordinator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let journal_file = "journal.jsonl" (* must match Store's layout *)
+
+let rec ensure_dir path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    ensure_dir (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recovery plan *)
+
+type plan = {
+  valid_records : int;
+  valid_prefix : int;
+  torn : string option;
+  epoch : int;
+  requeue : string list;
+  answerable : string list;
+}
+
+let recover_plan ~dir =
+  let path = Filename.concat dir journal_file in
+  let records, torn, prefix = Journal.replay_prefix path in
+  match Store.open_store dir with
+  | Error e -> Error e
+  | Ok store ->
+      let plan =
+        {
+          valid_records = List.length records;
+          valid_prefix = prefix;
+          torn;
+          epoch = Store.epoch store;
+          requeue =
+            List.map (fun (p : Store.pending) -> p.Store.job)
+              (Store.pending store);
+          answerable = List.map fst (Store.completed_results store);
+        }
+      in
+      Store.close store;
+      Ok plan
+
+(* ------------------------------------------------------------------ *)
+(* Standby *)
+
+type replica = {
+  dir : string;
+  mutable oc : out_channel option;
+  mutable size : int;
+}
+
+let replica_path r = Filename.concat r.dir journal_file
+
+let replica_close r =
+  match r.oc with
+  | None -> ()
+  | Some oc ->
+      close_out_noerr oc;
+      r.oc <- None
+
+let replica_sync oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+(* Install a full snapshot: the replica becomes byte-identical to the
+   primary's journal as of the handshake. *)
+let replica_install r data =
+  replica_close r;
+  ensure_dir r.dir;
+  let oc =
+    open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644
+      (replica_path r)
+  in
+  output_string oc data;
+  replica_sync oc;
+  r.oc <- Some oc;
+  r.size <- String.length data
+
+let replica_append r data =
+  match r.oc with
+  | None -> invalid_arg "replica_append before snapshot"
+  | Some oc ->
+      output_string oc data;
+      replica_sync oc;
+      r.size <- r.size + String.length data
+
+type verdict =
+  | Keep_tailing
+  | Resync of string  (* drop the link, re-handshake for a snapshot *)
+  | Promote of string
+  | Dismissed of string
+
+let standby ?(config = Coordinator.default_config) ?metrics
+    ?(trace = Trace.null)
+    ?(retry = Retry.make ~base:0.2 ~cap:3.0 ~max_attempts:1_000_000 ())
+    ?on_ready ~name ~listen ~primaries ~dir () =
+  (match primaries with
+  | [] -> invalid_arg "Replicate.standby: empty primary address list"
+  | _ -> ());
+  ensure_dir dir;
+  let lag_gauge =
+    Option.map
+      (fun reg ->
+        Metrics.gauge reg ~help:"replica journal bytes applied"
+          "psdp_ha_replica_bytes")
+      metrics
+  in
+  let reconnects =
+    Option.map
+      (fun reg ->
+        Metrics.counter reg
+          ~help:"times the standby re-attached to a primary"
+          "psdp_ha_standby_reattach_total")
+      metrics
+  in
+  match Transport.listen listen with
+  | Error e -> Error e
+  | Ok lfd ->
+      (match on_ready with Some f -> f () | None -> ());
+      Log.info (fun m ->
+          m "standby %s listening on %s, tailing %s" name
+            (Transport.addr_to_string listen)
+            (String.concat ","
+               (List.map Transport.addr_to_string primaries)));
+      let r = { dir; oc = None; size = 0 } in
+      let rng = Rng.create (Hashtbl.hash (name, Unix.getpid ())) in
+      let rep : Transport.conn option ref = ref None in
+      let accepted : (int * Transport.conn) list ref = ref [] in
+      let next_acc = ref 0 in
+      let requester : Transport.conn option ref = ref None in
+      let epoch_seen = ref 0 in
+      let last_seen = ref 0.0 in
+      let last_hb = ref 0.0 in
+      let next_dial = ref 0.0 in
+      let prev_delay = ref 0.0 in
+      let drop_rep () =
+        (match !rep with Some c -> Transport.close c | None -> ());
+        rep := None
+      in
+      let dial () =
+        let attached =
+          List.exists
+            (fun addr ->
+              match Transport.connect addr with
+              | Error _ -> false
+              | Ok conn -> (
+                  match
+                    Transport.send conn (Proto.Rep_hello { standby = name });
+                    Transport.recv conn
+                  with
+                  | Proto.Rep_snapshot { epoch; data } ->
+                      replica_install r data;
+                      (match lag_gauge with
+                      | Some g -> Metrics.set g (float_of_int r.size)
+                      | None -> ());
+                      epoch_seen := max !epoch_seen epoch;
+                      rep := Some conn;
+                      last_seen := Unix.gettimeofday ();
+                      last_hb := Unix.gettimeofday ();
+                      (try Transport.send conn (Proto.Rep_ack { offset = r.size })
+                       with Transport.Closed | Unix.Unix_error _ -> ());
+                      (match reconnects with
+                      | Some c -> Metrics.inc c
+                      | None -> ());
+                      Trace.emit trace ~kind:"standby_tailing"
+                        [
+                          ("primary", Json.Str (Transport.addr_to_string addr));
+                          ("epoch", Json.Num (float_of_int epoch));
+                          ("bytes", Json.Num (float_of_int r.size));
+                        ];
+                      Log.info (fun m ->
+                          m "tailing %s (epoch %d, %dB snapshot)"
+                            (Transport.addr_to_string addr)
+                            epoch r.size);
+                      true
+                  | _ ->
+                      Transport.close conn;
+                      false
+                  | exception _ ->
+                      Transport.close conn;
+                      false))
+            primaries
+        in
+        if not attached then begin
+          let d = Retry.backoff retry ~rng ~prev:!prev_delay in
+          prev_delay := d;
+          next_dial := Unix.gettimeofday () +. d
+        end
+        else prev_delay := 0.0
+      in
+      (* One incoming replication message → what happens next. *)
+      let on_rep_msg = function
+        | Proto.Rep_append { epoch; offset; data } ->
+            if offset <> r.size then
+              Resync
+                (Printf.sprintf "append at %d but replica is %dB" offset
+                   r.size)
+            else begin
+              replica_append r data;
+              epoch_seen := max !epoch_seen epoch;
+              last_seen := Unix.gettimeofday ();
+              (match lag_gauge with
+              | Some g -> Metrics.set g (float_of_int r.size)
+              | None -> ());
+              (match !rep with
+              | Some conn -> (
+                  try Transport.send conn (Proto.Rep_ack { offset = r.size })
+                  with Transport.Closed | Unix.Unix_error _ -> ())
+              | None -> ());
+              Keep_tailing
+            end
+        | Proto.Rep_snapshot { epoch; data } ->
+            replica_install r data;
+            epoch_seen := max !epoch_seen epoch;
+            last_seen := Unix.gettimeofday ();
+            Keep_tailing
+        | Proto.Heartbeat_ack ->
+            last_seen := Unix.gettimeofday ();
+            Keep_tailing
+        | Proto.Goodbye { reason } -> Dismissed reason
+        | _ -> Keep_tailing
+      in
+      let running = ref true in
+      let outcome = ref None in
+      while !running do
+        if !rep = None && Unix.gettimeofday () >= !next_dial then dial ();
+        let fds =
+          (lfd :: (match !rep with Some c -> [ Transport.fd c ] | None -> []))
+          @ List.map (fun (_, c) -> Transport.fd c) !accepted
+        in
+        let readable, _, _ =
+          try Unix.select fds [] [] (config.heartbeat_every /. 2.0)
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            if fd = lfd then begin
+              match Unix.accept lfd with
+              | cfd, _ ->
+                  Unix.set_nonblock cfd;
+                  let id = !next_acc in
+                  incr next_acc;
+                  accepted := (id, Transport.of_fd cfd) :: !accepted
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match
+                List.find_opt (fun (_, c) -> Transport.fd c = fd) !accepted
+              with
+              | Some (id, conn) -> (
+                  let drop () =
+                    accepted := List.remove_assoc id !accepted;
+                    Transport.close conn
+                  in
+                  match Transport.fill conn with
+                  | false -> drop ()
+                  | true -> (
+                      match Transport.pop conn with
+                      | None -> ()
+                      | Some Proto.Takeover ->
+                          accepted := List.remove_assoc id !accepted;
+                          requester := Some conn;
+                          outcome := Some (Promote "operator takeover");
+                          running := false
+                      | Some Proto.Shutdown ->
+                          Transport.close conn;
+                          outcome := Some (Dismissed "operator shutdown");
+                          running := false
+                      | Some _ ->
+                          (* Workers and clients probing the standby:
+                             not serving, but the refusal names us so
+                             their retry loops know to move on. *)
+                          (try
+                             Transport.send conn
+                               (Proto.Goodbye
+                                  {
+                                    reason =
+                                      Printf.sprintf
+                                        "standby %s: not serving" name;
+                                  })
+                           with Transport.Closed | Unix.Unix_error _ -> ());
+                          drop ()
+                      | exception Transport.Protocol_failure _ -> drop ()))
+              | None -> (
+                  match !rep with
+                  | Some conn when Transport.fd conn = fd -> (
+                      match Transport.fill conn with
+                      | false ->
+                          outcome :=
+                            Some (Promote "primary connection closed");
+                          running := false
+                      | true -> (
+                          try
+                            let continue = ref true in
+                            while !continue && !running do
+                              match Transport.pop conn with
+                              | None -> continue := false
+                              | Some msg -> (
+                                  match on_rep_msg msg with
+                                  | Keep_tailing -> ()
+                                  | Resync why ->
+                                      Log.warn (fun m ->
+                                          m "replica diverged (%s); \
+                                             re-syncing" why);
+                                      drop_rep ();
+                                      continue := false
+                                  | (Promote _ | Dismissed _) as v ->
+                                      outcome := Some v;
+                                      running := false)
+                            done
+                          with Transport.Protocol_failure why ->
+                            Log.warn (fun m ->
+                                m "replication protocol failure: %s" why);
+                            drop_rep ()))
+                  | _ -> ()))
+          readable;
+        (* Liveness bookkeeping on the replication link. *)
+        (match !rep with
+        | Some conn ->
+            let now = Unix.gettimeofday () in
+            if now -. !last_seen > config.heartbeat_grace then begin
+              outcome := Some (Promote "primary heartbeat silence");
+              running := false
+            end
+            else if now -. !last_hb >= config.heartbeat_every then begin
+              last_hb := now;
+              try
+                Transport.send conn
+                  (Proto.Heartbeat { worker = name; inflight = 0 })
+              with Transport.Closed | Unix.Unix_error _ ->
+                outcome := Some (Promote "primary heartbeat send failed");
+                running := false
+            end
+        | None -> ())
+      done;
+      drop_rep ();
+      List.iter (fun (_, c) -> Transport.close c) !accepted;
+      accepted := [];
+      replica_close r;
+      let finish_listener () =
+        (try Unix.close lfd with Unix.Unix_error _ -> ());
+        match listen with
+        | Transport.Unix_sock path -> (
+            try Sys.remove path with Sys_error _ -> ())
+        | Transport.Tcp _ -> ()
+      in
+      (match !outcome with
+      | Some (Dismissed reason) ->
+          Log.info (fun m ->
+              m "dismissed (%s): primary shut down cleanly; not promoting"
+                reason);
+          Trace.emit trace ~kind:"standby_dismissed"
+            [ ("reason", Json.Str reason) ];
+          (match !requester with Some c -> Transport.close c | None -> ());
+          finish_listener ();
+          Ok ()
+      | Some (Promote reason) -> (
+          Log.info (fun m -> m "promoting: %s" reason);
+          Trace.emit trace ~kind:"standby_promoted"
+            [
+              ("reason", Json.Str reason);
+              ("replica_bytes", Json.Num (float_of_int r.size));
+            ];
+          (* The replica journal is now ours. Opening the store repairs
+             any torn tail (the snapshot/append discipline makes one
+             unlikely, but a primary dying mid-frame can leave one) and
+             replays: unfinished jobs re-queue, finished ones become
+             answerable. [serve ~takeover:true] bumps the epoch past
+             every reign this journal has seen — the fence. *)
+          match Store.open_store dir with
+          | Error e ->
+              (match !requester with Some c -> Transport.close c | None -> ());
+              finish_listener ();
+              Error ("promotion: cannot open replica store: " ^ e)
+          | Ok store ->
+              (match !requester with
+              | Some c ->
+                  (try
+                     Transport.send c
+                       (Proto.Welcome
+                          {
+                            coordinator = name;
+                            heartbeat_every = config.heartbeat_every;
+                            epoch = Store.epoch store + 1;
+                          })
+                   with Transport.Closed | Unix.Unix_error _ -> ());
+                  Transport.close c
+              | None -> ());
+              Coordinator.serve ~config:{ config with name } ~store ?metrics
+                ~trace ~takeover:true ~lfd ~listen ())
+      | Some (Keep_tailing | Resync _) | None ->
+          finish_listener ();
+          Ok ())

@@ -1,0 +1,72 @@
+(** The standby side of coordinator high availability: tail a primary's
+    WAL into a byte-identical replica journal, and take over when the
+    primary dies.
+
+    {2 Lifecycle}
+
+    A standby binds its own listen address {e immediately} (so failover
+    never races a bind) but refuses service: workers and clients that
+    dial it receive [Goodbye "standby NAME: not serving"] — their
+    self-healing loops treat that as "try the next address". It then
+    dials the primary list, announces itself with [Rep_hello], installs
+    the [Rep_snapshot] (the primary's whole journal, byte-exact),
+    and applies each [Rep_append] — verifying the offset against the
+    replica length (a mismatch forces a fresh snapshot), fsyncing, and
+    acknowledging with [Rep_ack]. It heartbeats the primary on the same
+    link.
+
+    {2 Failover}
+
+    The standby {e promotes} — replays its replica, bumps the fencing
+    epoch, and becomes the coordinator on its already-bound address —
+    when the replication link reaches end-of-stream, when the primary
+    falls silent past the heartbeat grace, or when an operator connects
+    and sends [Takeover] (answered with the new reign's [Welcome]). A
+    [Goodbye] from the primary is a {e dismissal} (clean cluster
+    shutdown): the standby exits without promoting, because an operator
+    stop is not a death. Promotion opens the replica store (repairing a
+    torn tail), re-queues every unfinished job, loads every journaled
+    result for idempotent replay, and calls
+    {!Coordinator.serve}[ ~takeover:true] — the epoch bump is what
+    fences the old primary out if it ever resurrects. *)
+
+type plan = {
+  valid_records : int;  (** journal records in the longest valid prefix *)
+  valid_prefix : int;  (** byte length of that prefix *)
+  torn : string option;  (** description of the torn tail, if any *)
+  epoch : int;  (** highest fencing epoch in the valid prefix *)
+  requeue : string list;  (** unfinished jobs a promotion re-queues *)
+  answerable : string list;
+      (** finished jobs whose results replay from the journal *)
+}
+
+val recover_plan : dir:string -> (plan, string) result
+(** What promoting over the journal in [dir] would do, computed by the
+    {e same} open-and-replay path promotion uses ({!Store.open_store}):
+    the torn tail, if any, is truncated away on disk, the longest valid
+    prefix is kept, and unfinished work is listed for re-queue. The
+    torn-tail tests drive this at every byte offset of a final
+    record. *)
+
+val standby :
+  ?config:Coordinator.config ->
+  ?metrics:Psdp_obs.Metrics.t ->
+  ?trace:Psdp_engine.Trace.sink ->
+  ?retry:Psdp_fault.Retry.policy ->
+  ?on_ready:(unit -> unit) ->
+  name:string ->
+  listen:Transport.addr ->
+  primaries:Transport.addr list ->
+  dir:string ->
+  unit ->
+  (unit, string) result
+(** Run the standby lifecycle described above. [listen] is the address
+    this standby will serve on after promotion (bound before
+    [on_ready] fires); [primaries] is dialed in order, with
+    decorrelated-jitter backoff ([retry]) between full unreachable
+    cycles; [dir] holds the replica journal and becomes the promoted
+    coordinator's store directory. Returns when the promoted
+    coordinator finishes (or on dismissal / operator shutdown).
+    With [metrics], registers [psdp_ha_replica_bytes] and
+    [psdp_ha_standby_reattach_total] while tailing, plus everything
+    {!Coordinator.serve} registers after promotion. *)

@@ -125,11 +125,17 @@ let send c msg =
          while !pos < n do
            match Unix.write_substring c.fd frame !pos (n - !pos) with
            | k -> pos := !pos + k
+           | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+               (* A signal (timer, SIGCHLD, ...) landed mid-write: the
+                  kernel wrote nothing for this call, the frame is still
+                  whole — retry the same range. *)
+               ()
            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
-             ->
+             -> (
                (* Non-blocking peers (the coordinator's accepted fds):
                   wait for writability rather than tear the frame. *)
-               ignore (Unix.select [] [ c.fd ] [] 1.0)
+               try ignore (Unix.select [] [ c.fd ] [] 1.0)
+               with Unix.Unix_error (Unix.EINTR, _, _) -> ())
          done
        with
       | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
@@ -152,7 +158,11 @@ let fill c =
       c.count_rx n;
       c.rlen <- c.rlen + n;
       true
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      (* EINTR: interrupted before any bytes moved — not end-of-stream,
+         just "nothing arrived this call"; the caller's loop retries. *)
+      true
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
     ->
       false

@@ -54,12 +54,17 @@ val fd : conn -> Unix.file_descr
 
 val send : conn -> Proto.msg -> unit
 (** Encode and write the whole frame under the connection's write
-    mutex. Raises {!Closed} on [EPIPE]/[ECONNRESET]. *)
+    mutex, looping on short writes: [EINTR] retries the same range,
+    [EAGAIN]/[EWOULDBLOCK] (non-blocking descriptors) waits for
+    writability — a frame is either delivered whole or the connection
+    is dead, never torn by a slow socket or a signal. Raises {!Closed}
+    on [EPIPE]/[ECONNRESET]. *)
 
 val fill : conn -> bool
 (** One [read] into the buffer. [false] means end-of-stream (the peer
-    closed); [true] means bytes (possibly few) arrived. Blocks unless
-    the caller knows the descriptor is readable. *)
+    closed); [true] means bytes (possibly few, possibly none on
+    [EAGAIN]/[EINTR]) arrived. Blocks unless the caller knows the
+    descriptor is readable. *)
 
 val pop : conn -> Proto.msg option
 (** Decode one message from the buffer, or [None] if no complete frame

@@ -1,16 +1,36 @@
 (** A distributed worker: one process wrapping one supervised
-    {!Psdp_engine.Engine} behind the wire protocol.
+    {!Psdp_engine.Engine} behind the wire protocol, self-healing across
+    coordinator failovers.
 
-    The worker connects out to the coordinator, announces itself
-    ([Hello] with its name and capacity), and then loops: [Submit]
-    frames become {!Psdp_engine.Engine.submit} calls, and the engine's
-    [on_complete] hook ships each finished result back as a [Result]
-    frame (runner domains write concurrently; the transport's write
-    mutex serializes them). Every retry/backoff/quarantine/breaker
-    semantic of the single-process engine applies unchanged per node —
-    the worker adds only the wire.
+    The worker connects out to the first reachable coordinator in an
+    ordered address list, announces itself ([Hello] with its name,
+    capacity, and fencing epoch), and then loops: [Submit] frames
+    become {!Psdp_engine.Engine.submit} calls, and the engine's
+    [on_complete] hook enqueues each finished result into an outbox the
+    session loop delivers as [Result] frames. Every
+    retry/backoff/quarantine/breaker semantic of the single-process
+    engine applies unchanged per node — the worker adds only the wire.
 
-    Every pass through the main loop (each received message and each
+    {2 Self-healing}
+
+    When the link dies (coordinator crash, failover, network blip) the
+    worker keeps the engine running, cycles the address list, and
+    re-registers with whoever answers — sleeping a decorrelated-jitter
+    backoff between full unreachable cycles. Undelivered results stay
+    in the outbox and ship on the next link; a re-assigned job the
+    worker already solved is answered from its recent-results table,
+    not recomputed. The worker tracks a {e fence}: the highest epoch it
+    was ever welcomed under. A [Welcome] or [Submit] carrying a lower
+    epoch is from a deposed primary — the worker emits a
+    ["fence_rejected"] trace event, sends [Goodbye], and drops the
+    connection. Post-handshake [Goodbye "coordinator stopped"] (or
+    [Shutdown]) ends the worker for good; any other dismissal (e.g.
+    ["unknown worker"] after a partition) triggers a fresh reconnect. A
+    handshake [Goodbye] whose reason starts with ["standby"] means
+    "not serving here, try the next address"; other handshake refusals
+    (name taken) are final.
+
+    Every pass through the session loop (each received message and each
     heartbeat tick) evaluates the ["dist.worker.tick"] failpoint, so
     chaos runs can kill a worker mid-stream with
     [--failpoint dist.worker.tick=crash\@nth:N]: the injected crash
@@ -23,21 +43,30 @@ open Psdp_engine
 val run :
   ?metrics:Psdp_obs.Metrics.t ->
   ?max_payload:int ->
-  connect:Transport.addr ->
+  ?trace:Trace.sink ->
+  ?retry:Psdp_fault.Retry.policy ->
+  connect:Transport.addr list ->
   name:string ->
   capacity:int ->
   make_engine:(on_complete:(Job.result -> unit) -> Engine.t) ->
   unit ->
   (unit, string) result
-(** Connect, register, and serve until the coordinator says [Goodbye]
-    / [Shutdown] or the connection drops; then drain the engine
-    ({!Engine.shutdown} finishes everything already accepted, shipping
-    those results if the connection still stands) and return.
-    [make_engine] must wire the given [on_complete] into the engine it
-    builds — the worker owns the engine and shuts it down.
-    [capacity] is advertised to the coordinator as the assignment
-    limit; sensible values match the engine's [max_in_flight] (the
-    coordinator stops assigning above it, keeping queueing central
-    where rerouting can reach it). With [metrics], the worker registers
-    [psdp_dist_frame_bytes_total{dir}] for its connection alongside
-    whatever the engine itself feeds. Failpoint crashes escape. *)
+(** Connect (first reachable address wins), register, and serve until
+    orderly dismissal or the connection drops — reconnecting and
+    re-registering on drops as described above; then drain the engine
+    ({!Engine.shutdown} finishes everything already accepted) and
+    return. [connect] must be non-empty ([Invalid_argument]
+    otherwise); list a primary and its standbys in preference order.
+    [retry] shapes the between-cycle backoff ([max_attempts] bounds
+    {e consecutive cycles with no successful registration}; once
+    registered, the worker retries forever). [make_engine] must wire
+    the given [on_complete] into the engine it builds — the worker owns
+    the engine and shuts it down. [capacity] is advertised to the
+    coordinator as the assignment limit; sensible values match the
+    engine's [max_in_flight]. With [metrics], the worker registers
+    [psdp_dist_frame_bytes_total{dir}],
+    [psdp_ha_worker_reconnects_total], and
+    [psdp_ha_fence_rejections_total]. [trace] receives
+    ["worker_registered"], ["fence_rejected"], ["result_replayed"],
+    and ["worker_reconnect_backoff"] events. Failpoint crashes
+    escape. *)

@@ -330,11 +330,14 @@ let journal_finish eng (result : Job.result) =
       let record =
         match result.Job.outcome with
         | Job.Solved _ ->
-            Journal.Completed { job = result.Job.id; status = "ok" }
+            Journal.Completed
+              { job = result.Job.id; status = "ok"; result = None }
         | Job.Decided _ ->
-            Journal.Completed { job = result.Job.id; status = "decided" }
+            Journal.Completed
+              { job = result.Job.id; status = "decided"; result = None }
         | Job.Failed msg ->
-            Journal.Completed { job = result.Job.id; status = "failed: " ^ msg }
+            Journal.Completed
+              { job = result.Job.id; status = "failed: " ^ msg; result = None }
         | Job.Cancelled ->
             Journal.Cancelled { job = result.Job.id; reason = "cancel" }
         | Job.Timed_out ->

@@ -123,6 +123,17 @@ let all =
       applies = always;
       check = Wire.corruption;
     };
+    {
+      name = "replication_frame_roundtrip";
+      doc =
+        "WAL replication and fencing frames (Rep_hello/Rep_snapshot/\
+         Rep_append/Rep_ack/Takeover, epoch-bearing Hello/Welcome) \
+         round-trip byte-for-byte, the hex byte codec is inverse on \
+         arbitrary binary, and every single-bit corruption of a \
+         Rep_append frame is caught by the FNV trailer";
+      applies = always;
+      check = Wire.replication;
+    };
   ]
 
 let find name = List.find_opt (fun p -> p.name = name) all

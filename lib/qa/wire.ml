@@ -110,7 +110,11 @@ let roundtrip (spec : Spec.t) =
             roundtrip_frame ~tag:(String.length p mod 256) p))
       (Ok ()) (payloads spec)
   in
-  let* () = roundtrip_msg (Proto.Submit { spec = wire_spec spec }) in
+  let* () = roundtrip_msg (Proto.Submit { spec = wire_spec spec; epoch = 0 }) in
+  let* () =
+    roundtrip_msg
+      (Proto.Submit { spec = wire_spec spec; epoch = 1 + (spec.Spec.seed mod 7) })
+  in
   let* () =
     List.fold_left
       (fun acc r -> Result.bind acc (fun () ->
@@ -118,11 +122,18 @@ let roundtrip (spec : Spec.t) =
       (Ok ()) (results spec)
   in
   let* () =
-    roundtrip_msg (Proto.Hello { worker = "w-1"; capacity = 1 + (spec.Spec.n mod 8) })
+    roundtrip_msg
+      (Proto.Hello
+         {
+           worker = "w-1";
+           capacity = 1 + (spec.Spec.n mod 8);
+           fence = spec.Spec.seed mod 5;
+         })
   in
   let* () =
     roundtrip_msg
-      (Proto.Welcome { coordinator = "qa"; heartbeat_every = 0.25 })
+      (Proto.Welcome
+         { coordinator = "qa"; heartbeat_every = 0.25; epoch = spec.Spec.n mod 4 })
   in
   let* () =
     roundtrip_msg (Proto.Heartbeat { worker = "w-1"; inflight = spec.Spec.dim })
@@ -234,7 +245,8 @@ let trace_ctx (spec : Spec.t) =
   let spec_out = { (wire_spec spec) with Job.trace = Some ctx } in
   let* () =
     match
-      Frame.decode_exact (Proto.encode (Proto.Submit { spec = spec_out }))
+      Frame.decode_exact
+        (Proto.encode (Proto.Submit { spec = spec_out; epoch = 0 }))
     with
     | Error e ->
         fail "submit-with-trace: frame decode failed: %s"
@@ -242,7 +254,7 @@ let trace_ctx (spec : Spec.t) =
     | Ok (tag, payload) -> (
         match Proto.decode ~tag payload with
         | Error e -> fail "submit-with-trace: payload decode failed: %s" e
-        | Ok (Proto.Submit { spec = spec' }) -> (
+        | Ok (Proto.Submit { spec = spec'; _ }) -> (
             match spec'.Job.trace with
             | Some c when Trace_context.to_string c = s -> Ok ()
             | Some c ->
@@ -289,7 +301,7 @@ let trace_ctx (spec : Spec.t) =
                   (Frame.error_to_string e)
           | Ok (tag, payload') -> (
               match Proto.decode ~tag payload' with
-              | Ok (Proto.Submit { spec = spec' }) ->
+              | Ok (Proto.Submit { spec = spec'; _ }) ->
                   if spec'.Job.trace <> None then
                     outcome :=
                       fail "bit %d of byte %d: damaged context accepted" b i
@@ -305,5 +317,113 @@ let trace_ctx (spec : Spec.t) =
         end
       end
     done
+  done;
+  !outcome
+
+(* ------------------------------------------------------------------ *)
+(* Replication stream *)
+
+(* The frames that carry the WAL to a standby, and the epoch fields
+   that fence reigns, must survive the wire byte-for-byte — a replica
+   journal diverging silently would defeat the whole failover design.
+   Journal bytes travel hex-encoded, so the check feeds the codec raw
+   binary: newlines (the journal's record separator), NULs, bit-7
+   bytes, and the empty string. *)
+let replication (spec : Spec.t) =
+  let ( let* ) = Result.bind in
+  let seed = spec.Spec.seed in
+  let rng = Rng.create (seed lxor 0x9E97) in
+  let blobs =
+    [
+      "";
+      "\n";
+      "\x00\xff\x80\n";
+      "{\"kind\":\"epoch\",\"epoch\":3}\n";
+      String.init ((spec.Spec.dim mod 96) + 7) (fun _ ->
+          Char.chr (Rng.int rng 256));
+    ]
+  in
+  (* The hex codec is inverse on every byte string, and rejects what no
+     encoder produces. *)
+  let* () =
+    List.fold_left
+      (fun acc blob ->
+        Result.bind acc (fun () ->
+            match Proto.hex_decode (Proto.hex_encode blob) with
+            | Some b when b = blob -> Ok ()
+            | Some _ -> fail "hex codec mutated a %dB blob" (String.length blob)
+            | None -> fail "hex codec rejected its own %dB output"
+                        (String.length blob)))
+      (Ok ()) blobs
+  in
+  let* () =
+    match Proto.hex_decode "abc" with
+    | None -> Ok ()
+    | Some _ -> fail "odd-length hex accepted"
+  in
+  let* () =
+    match Proto.hex_decode "0g" with
+    | None -> Ok ()
+    | Some _ -> fail "non-hex digit accepted"
+  in
+  (* Every replication / fencing message roundtrips structurally. *)
+  let epoch = seed mod 11 in
+  let offset = (seed * 37) mod 100_000 in
+  let* () =
+    List.fold_left
+      (fun acc msg -> Result.bind acc (fun () -> roundtrip_msg msg))
+      (Ok ())
+      (List.concat_map
+         (fun blob ->
+           [
+             Proto.Rep_snapshot { epoch; data = blob };
+             Proto.Rep_append { epoch; offset; data = blob };
+           ])
+         blobs
+      @ [
+          Proto.Rep_hello { standby = Printf.sprintf "sb-%d" seed };
+          Proto.Rep_ack { offset };
+          Proto.Takeover;
+          Proto.Hello { worker = "w-ha"; capacity = 2; fence = epoch };
+          Proto.Welcome
+            { coordinator = "ha"; heartbeat_every = 0.5; epoch };
+        ])
+  in
+  (* Negative offsets and lengths no encoder emits must be refused. *)
+  let* () =
+    match Proto.decode ~tag:13 "{\"offset\":-1}" with
+    | Error _ -> Ok ()
+    | Ok _ -> fail "negative rep_ack offset accepted"
+  in
+  let* () =
+    match
+      Proto.decode ~tag:12 "{\"epoch\":1,\"offset\":-4,\"data\":\"00\"}"
+    with
+    | Error _ -> Ok ()
+    | Ok _ -> fail "negative rep_append offset accepted"
+  in
+  (* Single-bit damage anywhere in an encoded Rep_append frame — header,
+     hex payload, trailer — must be caught by the FNV-1a trailer before
+     any replica byte is written. *)
+  let frame =
+    Proto.encode
+      (Proto.Rep_append { epoch; offset; data = List.nth blobs 4 })
+  in
+  let n = String.length frame in
+  let outcome = ref (Ok ()) in
+  for i = 0 to n - 1 do
+    if !outcome = Ok () then begin
+      let bit = 1 lsl (i mod 8) in
+      let corrupt =
+        String.mapi
+          (fun j c -> if j = i then Char.chr (Char.code c lxor bit) else c)
+          frame
+      in
+      match Frame.decode_exact corrupt with
+      | Error _ -> ()
+      | Ok _ ->
+          outcome :=
+            fail "rep_append: flip of byte %d/%d went undetected" i n
+    end
   done;
   !outcome

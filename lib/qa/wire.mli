@@ -26,3 +26,13 @@ val trace_ctx : Oracle.check
     encoding, unlike [corruption]'s frame-level flips) is rejected by
     the in-string check — the spec still decodes, with [trace = None],
     so the receiver mints a fresh root instead of failing the frame. *)
+
+val replication : Oracle.check
+(** The WAL replication and fencing frames are trustworthy: the hex
+    byte codec is inverse on arbitrary binary (newlines, NULs, high
+    bytes, empty) and rejects non-hex input; [Rep_hello] /
+    [Rep_snapshot] / [Rep_append] / [Rep_ack] / [Takeover] and the
+    epoch-bearing [Hello]/[Welcome] round-trip structurally; negative
+    offsets are refused; and every single-bit corruption of an encoded
+    [Rep_append] frame is caught by the FNV-1a trailer before a
+    replica byte could be written. *)

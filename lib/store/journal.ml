@@ -5,9 +5,10 @@ type record =
   | Lineage of { job : string; parent : string }
   | Assigned of { job : string; worker : string }
   | Checkpoint of { job : string; call : int; snapshot : string }
-  | Completed of { job : string; status : string }
+  | Completed of { job : string; status : string; result : Json.t option }
   | Cancelled of { job : string; reason : string }
   | Quarantined of { job : string; reason : string; attempts : int }
+  | Epoch of { epoch : int }
 
 let fields = function
   | Submitted { job; spec } ->
@@ -31,12 +32,10 @@ let fields = function
         ("call", Json.Num (float_of_int call));
         ("snapshot", Json.Str snapshot);
       ]
-  | Completed { job; status } ->
-      [
-        ("kind", Json.Str "completed");
-        ("job", Json.Str job);
-        ("status", Json.Str status);
-      ]
+  | Completed { job; status; result } ->
+      [ ("kind", Json.Str "completed"); ("job", Json.Str job);
+        ("status", Json.Str status) ]
+      @ (match result with Some r -> [ ("result", r) ] | None -> [])
   | Cancelled { job; reason } ->
       [
         ("kind", Json.Str "cancelled");
@@ -50,9 +49,23 @@ let fields = function
         ("reason", Json.Str reason);
         ("attempts", Json.Num (float_of_int attempts));
       ]
+  | Epoch { epoch } ->
+      [ ("kind", Json.Str "epoch"); ("epoch", Json.Num (float_of_int epoch)) ]
 
-let to_line r =
+let to_line ?epoch r =
   let fs = fields r in
+  let fs =
+    (* The fencing stamp. [Epoch] records already carry the field as
+       their payload; everything else gets it appended, inside the
+       crc-covered body, so a replica can prove which reign wrote each
+       line. Plain readers ignore unknown fields, so stamped journals
+       stay readable by every pre-HA tool. *)
+    match (epoch, r) with
+    | Some e, (Submitted _ | Lineage _ | Assigned _ | Checkpoint _
+              | Completed _ | Cancelled _ | Quarantined _) ->
+        fs @ [ ("epoch", Json.Num (float_of_int e)) ]
+    | _ -> fs
+  in
   let body = Json.to_string (Json.Obj fs) in
   Json.to_string (Json.Obj (fs @ [ ("crc", Json.Str (Checksum.fnv1a64_hex body)) ]))
 
@@ -62,43 +75,45 @@ let decode_fields j =
     | Some s -> Ok s
     | None -> Error (Printf.sprintf "journal: missing or bad %S" name)
   in
+  let int name =
+    match Option.bind (Json.mem name j) Json.int with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "journal: missing or bad %S" name)
+  in
   let ( let* ) = Result.bind in
   let* kind = str "kind" in
-  let* job = str "job" in
   match kind with
-  | "submitted" -> (
-      match Json.mem "spec" j with
-      | Some spec -> Ok (Submitted { job; spec })
-      | None -> Error "journal: submitted record without spec")
-  | "lineage" ->
-      let* parent = str "parent" in
-      Ok (Lineage { job; parent })
-  | "assigned" ->
-      let* worker = str "worker" in
-      Ok (Assigned { job; worker })
-  | "checkpoint" ->
-      let* snapshot = str "snapshot" in
-      let* call =
-        match Option.bind (Json.mem "call" j) Json.int with
-        | Some c -> Ok c
-        | None -> Error "journal: missing or bad \"call\""
-      in
-      Ok (Checkpoint { job; call; snapshot })
-  | "completed" ->
-      let* status = str "status" in
-      Ok (Completed { job; status })
-  | "cancelled" ->
-      let* reason = str "reason" in
-      Ok (Cancelled { job; reason })
-  | "quarantined" ->
-      let* reason = str "reason" in
-      let* attempts =
-        match Option.bind (Json.mem "attempts" j) Json.int with
-        | Some a -> Ok a
-        | None -> Error "journal: missing or bad \"attempts\""
-      in
-      Ok (Quarantined { job; reason; attempts })
-  | other -> Error (Printf.sprintf "journal: unknown record kind %S" other)
+  | "epoch" ->
+      let* epoch = int "epoch" in
+      Ok (Epoch { epoch })
+  | _ -> (
+      let* job = str "job" in
+      match kind with
+      | "submitted" -> (
+          match Json.mem "spec" j with
+          | Some spec -> Ok (Submitted { job; spec })
+          | None -> Error "journal: submitted record without spec")
+      | "lineage" ->
+          let* parent = str "parent" in
+          Ok (Lineage { job; parent })
+      | "assigned" ->
+          let* worker = str "worker" in
+          Ok (Assigned { job; worker })
+      | "checkpoint" ->
+          let* snapshot = str "snapshot" in
+          let* call = int "call" in
+          Ok (Checkpoint { job; call; snapshot })
+      | "completed" ->
+          let* status = str "status" in
+          Ok (Completed { job; status; result = Json.mem "result" j })
+      | "cancelled" ->
+          let* reason = str "reason" in
+          Ok (Cancelled { job; reason })
+      | "quarantined" ->
+          let* reason = str "reason" in
+          let* attempts = int "attempts" in
+          Ok (Quarantined { job; reason; attempts })
+      | other -> Error (Printf.sprintf "journal: unknown record kind %S" other))
 
 let of_line line =
   match Json.parse line with
@@ -116,26 +131,55 @@ let of_line line =
       | Some _ | None -> Error "journal: missing crc")
   | Ok _ -> Error "journal: record is not an object"
 
-let replay path =
-  if not (Sys.file_exists path) then ([], None)
+let epoch_of_line line =
+  match Json.parse line with
+  | Ok (Json.Obj _ as j) -> Option.bind (Json.mem "epoch" j) Json.int
+  | Ok _ | Error _ -> None
+
+(* Byte-accurate replay: only newline-terminated lines count toward the
+   valid prefix, so the returned length is always a safe truncation
+   point — appending after it can never merge with a torn half-record. *)
+let replay_prefix path =
+  if not (Sys.file_exists path) then ([], None, 0)
   else
     let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let records = ref [] in
-        let error = ref None in
-        (try
-           let lineno = ref 0 in
-           while !error = None do
-             let line = String.trim (input_line ic) in
-             incr lineno;
-             if line <> "" then
-               match of_line line with
-               | Ok r -> records := r :: !records
-               | Error msg ->
-                   (* Torn tail: keep the valid prefix, stop here. *)
-                   error := Some (Printf.sprintf "line %d: %s" !lineno msg)
-           done
-         with End_of_file -> ());
-        (List.rev !records, !error))
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let n = String.length text in
+    let records = ref [] in
+    let error = ref None in
+    let prefix = ref 0 in
+    let lineno = ref 0 in
+    let pos = ref 0 in
+    while !error = None && !pos < n do
+      match String.index_from_opt text !pos '\n' with
+      | None ->
+          (* Trailing bytes without a newline: torn, whatever they say. *)
+          error :=
+            Some
+              (Printf.sprintf "line %d: journal: unterminated tail (%d bytes)"
+                 (!lineno + 1) (n - !pos))
+      | Some nl -> (
+          incr lineno;
+          let line = String.trim (String.sub text !pos (nl - !pos)) in
+          if line = "" then begin
+            pos := nl + 1;
+            prefix := !pos
+          end
+          else
+            match of_line line with
+            | Ok r ->
+                records := r :: !records;
+                pos := nl + 1;
+                prefix := !pos
+            | Error msg ->
+                error := Some (Printf.sprintf "line %d: %s" !lineno msg))
+    done;
+    (List.rev !records, !error, !prefix)
+
+let replay path =
+  let records, error, _ = replay_prefix path in
+  (records, error)

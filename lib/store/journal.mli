@@ -3,11 +3,13 @@
     One append-only JSONL file records the engine's durable job
     lifecycle: submission (with the full job spec), checkpoints (the
     decision-call index and the snapshot file they produced), completion
-    (terminal outcomes), and cancellation (deliberate interruptions —
-    cancel or timeout — which keep their snapshots and stay resumable).
-    A job that appears in the journal with neither a [Completed] nor a
-    process that finished writing anything else was interrupted by a
-    crash; recovery re-enqueues it from its latest snapshot.
+    (terminal outcomes, optionally carrying the full result for
+    exactly-once redelivery), and cancellation (deliberate interruptions
+    — cancel or timeout — which keep their snapshots and stay
+    resumable). A job that appears in the journal with neither a
+    [Completed] nor a process that finished writing anything else was
+    interrupted by a crash; recovery re-enqueues it from its latest
+    snapshot.
 
     {2 Record layout}
 
@@ -17,9 +19,10 @@
     {"kind":"lineage","job":ID,"parent":DIGEST,"crc":HEX}
     {"kind":"assigned","job":ID,"worker":STR,"crc":HEX}
     {"kind":"checkpoint","job":ID,"call":N,"snapshot":PATH,"crc":HEX}
-    {"kind":"completed","job":ID,"status":STR,"crc":HEX}
+    {"kind":"completed","job":ID,"status":STR[,"result":{...}],"crc":HEX}
     {"kind":"cancelled","job":ID,"reason":STR,"crc":HEX}
     {"kind":"quarantined","job":ID,"reason":STR,"attempts":N,"crc":HEX}
+    {"kind":"epoch","epoch":N,"crc":HEX}
     v}
     [crc] is the FNV-1a-64 hex of the record's canonical serialization
     without the [crc] field, and is always the last field. A line that
@@ -27,7 +30,13 @@
     {!replay} keeps every record before it and stops there, so a crash
     mid-append can lose at most the record being written. The [spec]
     object is opaque to this module; the engine encodes and decodes it
-    with [Job.spec_to_json] / [Job.spec_of_json]. *)
+    with [Job.spec_to_json] / [Job.spec_of_json].
+
+    A replicated coordinator additionally stamps every record it writes
+    with the fencing epoch of the reign that wrote it ([to_line ?epoch]
+    inserts an ["epoch"] field inside the crc-covered body). Decoders
+    ignore the stamp — it exists so operators and the failover tests can
+    attribute each line to a primary, not to change replay semantics. *)
 
 open Psdp_prelude
 
@@ -46,20 +55,47 @@ type record =
           recovery treats it as progress metadata, not completion. *)
   | Checkpoint of { job : string; call : int; snapshot : string }
       (** [snapshot] is relative to the store directory *)
-  | Completed of { job : string; status : string }
+  | Completed of { job : string; status : string; result : Json.t option }
+      (** [result], when present, is the full wire-codec result JSON —
+          it lets a failed-over coordinator answer an idempotent
+          resubmission of an already-finished job without re-running it
+          (the "never lose a result" half of exactly-once delivery).
+          Single-process engines journal [None] and their lines are
+          byte-identical to the pre-HA format. *)
   | Cancelled of { job : string; reason : string }
   | Quarantined of { job : string; reason : string; attempts : int }
       (** the job exhausted its retry attempts on a poison failure; it
           is terminal (never re-run automatically) but kept listed so an
           operator can inspect or resubmit it deliberately *)
+  | Epoch of { epoch : int }
+      (** a coordinator reign began: written once at first-ever startup
+          (epoch 1) and on every failover promotion (predecessor's epoch
+          + 1). A plain restart of the same primary does {e not} bump
+          the epoch — only takeover does, which is what fences a
+          resurrected deposed primary out of the cluster. *)
 
-val to_line : record -> string
-(** One JSON line (no trailing newline), crc field included. *)
+val to_line : ?epoch:int -> record -> string
+(** One JSON line (no trailing newline), crc field included. [?epoch]
+    stamps the writing reign's fencing epoch into the record body
+    (ignored for [Epoch] records, which carry it natively). *)
 
 val of_line : string -> (record, string) result
-(** Parse and crc-verify one line. *)
+(** Parse and crc-verify one line. An epoch stamp, like any unknown
+    field, is crc-covered but not surfaced in the decoded record. *)
+
+val epoch_of_line : string -> int option
+(** The ["epoch"] field of a journal line, if present — the stamp
+    [to_line ?epoch] wrote, or an [Epoch] record's payload. Parse-only
+    (no crc check); for audits and tests. *)
 
 val replay : string -> record list * string option
 (** Read a journal file: the valid record prefix, plus a description of
     the torn/corrupt line that stopped the replay (if any). A missing
     file replays as [([], None)]. *)
+
+val replay_prefix : string -> record list * string option * int
+(** Like {!replay}, but also returns the byte length of the valid
+    prefix: every counted record is newline-terminated inside the first
+    [len] bytes, so truncating the file to [len] removes exactly the
+    torn tail and leaves a journal that replays cleanly — the repair a
+    store performs before it appends to a journal it just recovered. *)

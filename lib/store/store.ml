@@ -18,6 +18,10 @@ type t = {
   quarantined : quarantined list;
   lineage : (string * string) list;
   torn : string option;
+  epoch : int;
+  completed : (string * Json.t) list;
+  mutable size : int;  (* journal bytes on disk; append offset *)
+  mutable subscribers : (offset:int -> data:string -> unit) list;
 }
 
 let journal_file = "journal.jsonl"
@@ -49,12 +53,16 @@ let compute_pending records =
   let poison : (string, quarantined) Hashtbl.t = Hashtbl.create 4 in
   let poison_order = ref [] in
   let lineage = ref [] in
+  let done_results : (string, Json.t) Hashtbl.t = Hashtbl.create 16 in
+  let epoch = ref 0 in
   List.iter
     (fun record ->
       match record with
       | Journal.Submitted { job; spec } -> (
-          (* An explicit re-submission releases a job from quarantine. *)
+          (* An explicit re-submission releases a job from quarantine
+             and reopens a completed one. *)
           Hashtbl.remove poison job;
+          Hashtbl.remove done_results job;
           match Hashtbl.find_opt tbl job with
           | None ->
               Hashtbl.replace tbl job
@@ -80,7 +88,11 @@ let compute_pending records =
           match Hashtbl.find_opt tbl job with
           | Some p -> Hashtbl.replace tbl job { p with snapshot = Some snapshot }
           | None -> ())
-      | Journal.Completed { job; _ } -> Hashtbl.remove tbl job
+      | Journal.Completed { job; result; _ } ->
+          Hashtbl.remove tbl job;
+          (match result with
+          | Some r -> Hashtbl.replace done_results job r
+          | None -> ())
       | Journal.Cancelled { job; reason } -> (
           match Hashtbl.find_opt tbl job with
           | Some p -> Hashtbl.replace tbl job { p with interrupted = Some reason }
@@ -90,7 +102,8 @@ let compute_pending records =
              automatically, but kept listed for operators. *)
           Hashtbl.remove tbl job;
           if not (Hashtbl.mem poison job) then poison_order := job :: !poison_order;
-          Hashtbl.replace poison job { job; reason; attempts })
+          Hashtbl.replace poison job { job; reason; attempts }
+      | Journal.Epoch { epoch = e } -> if e > !epoch then epoch := e)
     records;
   let pending =
     List.rev !order |> List.filter_map (fun job -> Hashtbl.find_opt tbl job)
@@ -99,7 +112,8 @@ let compute_pending records =
     List.rev !poison_order
     |> List.filter_map (fun job -> Hashtbl.find_opt poison job)
   in
-  (pending, quarantined, List.rev !lineage)
+  let completed = Hashtbl.fold (fun j r acc -> (j, r) :: acc) done_results [] in
+  (pending, quarantined, List.rev !lineage, !epoch, completed)
 
 let open_store dir =
   try
@@ -110,12 +124,35 @@ let open_store dir =
     sweep_tmp (Filename.concat dir "snapshots");
     sweep_tmp (Filename.concat dir "instances");
     let journal_path = Filename.concat dir journal_file in
-    let records, torn = Journal.replay journal_path in
+    let records, torn, prefix = Journal.replay_prefix journal_path in
+    (* Repair before append: a torn half-record at the tail would merge
+       with the next line we write and poison the journal from there on.
+       The valid prefix is exactly what replay certified, so cutting at
+       its end loses nothing replay would have kept. *)
+    if
+      Sys.file_exists journal_path
+      && (Unix.stat journal_path).Unix.st_size > prefix
+    then Unix.truncate journal_path prefix;
     let oc =
       open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 journal_path
     in
-    let pending, quarantined, lineage = compute_pending records in
-    Ok { dir; oc; lock = Mutex.create (); pending; quarantined; lineage; torn }
+    let pending, quarantined, lineage, epoch, completed =
+      compute_pending records
+    in
+    Ok
+      {
+        dir;
+        oc;
+        lock = Mutex.create ();
+        pending;
+        quarantined;
+        lineage;
+        torn;
+        epoch;
+        completed;
+        size = prefix;
+        subscribers = [];
+      }
   with
   | Sys_error msg -> Error ("store: " ^ msg)
   | Unix.Unix_error (e, fn, arg) ->
@@ -126,18 +163,53 @@ let pending t = t.pending
 let quarantined t = t.quarantined
 let lineage t = t.lineage
 let torn_tail t = t.torn
+let epoch t = t.epoch
+let completed_results t = t.completed
 
-let append t record =
+let append ?epoch t record =
   Psdp_fault.Failpoint.hit ~arg:(Filename.concat t.dir journal_file)
     "store.append";
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      output_string t.oc (Journal.to_line record);
-      output_char t.oc '\n';
+      let data = Journal.to_line ?epoch record ^ "\n" in
+      output_string t.oc data;
       flush t.oc;
-      Unix.fsync (Unix.descr_of_out_channel t.oc))
+      Unix.fsync (Unix.descr_of_out_channel t.oc);
+      let offset = t.size in
+      t.size <- t.size + String.length data;
+      (* Notify inside the lock: subscribers see appends in order with
+         contiguous offsets, which is what replication streaming needs
+         to keep replica journals byte-identical. *)
+      List.iter (fun f -> f ~offset ~data) t.subscribers)
+
+let journal_size t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> t.size)
+
+let tail t ~from =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if from >= t.size then ""
+      else begin
+        let ic = open_in_bin (Filename.concat t.dir journal_file) in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            seek_in ic from;
+            really_input_string ic (t.size - from))
+      end)
+
+let subscribe t f =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> t.subscribers <- t.subscribers @ [ f ])
 
 let sanitize job =
   let keep c =

@@ -39,7 +39,11 @@ type quarantined = { job : string; reason : string; attempts : int }
 
 val open_store : string -> (t, string) result
 (** Create the directory tree if needed, replay the journal, sweep
-    stale temp files, and open the journal for appending. *)
+    stale temp files, and open the journal for appending. A torn tail
+    (a half-written final record) is truncated away before the append
+    channel opens — replay certified the prefix, and appending after
+    torn bytes would merge the next record into them — so a recovered
+    journal always replays cleanly on the following open. *)
 
 val dir : t -> string
 val pending : t -> pending list
@@ -55,10 +59,38 @@ val lineage : t -> (string * string) list
     those of completed jobs. *)
 
 val torn_tail : t -> string option
-(** Description of the corrupt journal line replay stopped at, if any. *)
+(** Description of the corrupt journal line replay stopped at, if any
+    (the tail has already been truncated away by {!open_store}). *)
 
-val append : t -> Journal.record -> unit
-(** Append one record and fsync. Thread-safe. *)
+val epoch : t -> int
+(** Highest fencing epoch journaled ([Journal.Epoch] records), as of
+    {!open_store}; [0] for a journal no coordinator reign ever wrote. *)
+
+val completed_results : t -> (string * Json.t) list
+(** Results journaled inside [Completed] records, keyed by job id —
+    the redelivery table a failed-over coordinator answers idempotent
+    resubmissions from. A later re-[Submitted] for the same id drops
+    the entry (the job is live again). Unordered. *)
+
+val append : ?epoch:int -> t -> Journal.record -> unit
+(** Append one record and fsync, then notify {!subscribe}rs (in order,
+    with contiguous offsets). [?epoch] stamps the record with the
+    writing coordinator's fencing epoch. Thread-safe. *)
+
+val journal_size : t -> int
+(** Current journal length in bytes — the offset the next append will
+    write at, and the point up to which {!tail} can read. *)
+
+val tail : t -> from:int -> string
+(** Raw journal bytes [\[from, journal_size)]; [""] when [from] is at
+    or past the end. What a replication stream ships to a standby so
+    the replica journal stays byte-identical. *)
+
+val subscribe : t -> (offset:int -> data:string -> unit) -> unit
+(** Register a callback invoked after every fsynced append with the
+    exact bytes written (record line plus newline) and their starting
+    offset. Callbacks run under the store lock — keep them short and
+    never re-enter the store. *)
 
 val snapshot_rel : job:string -> string
 (** Deterministic relative snapshot path for a job id (sanitized name

@@ -8,7 +8,15 @@
    ISSUE's multi-process chaos acceptance test: coordinator + two
    worker processes on a Unix socket, one worker SIGKILLed mid-solve,
    every job completing with a verified certificate and the journal
-   showing the reroute. *)
+   showing the reroute.
+
+   The HA additions ride the same harness: partial-write hardening on
+   the transport (tiny socket buffers + a signal storm), the `psdp
+   submit` unreachable exit code, torn-tail replica recovery at every
+   byte offset of the final record, and the failover acceptance test —
+   SIGKILL the primary mid-batch, the warm standby promotes under a
+   bumped fencing epoch, every job certifies exactly once, and a
+   resurrected deposed primary is rejected by the workers. *)
 
 open Psdp_prelude
 open Psdp_engine
@@ -101,13 +109,20 @@ let test_frame_rejects () =
 
 let all_msgs =
   [
-    Proto.Hello { worker = "w-0"; capacity = 4 };
-    Proto.Welcome { coordinator = "c"; heartbeat_every = 0.5 };
+    Proto.Hello { worker = "w-0"; capacity = 4; fence = 0 };
+    Proto.Hello { worker = "w-0"; capacity = 4; fence = 3 };
+    Proto.Welcome { coordinator = "c"; heartbeat_every = 0.5; epoch = 2 };
     Proto.Submit
       {
         spec =
           Job.solve_spec ~id:"j-1" ~eps:0.25 ~priority:3 ~timeout:9.5
             (Job.File "inst/a.inst");
+        epoch = 0;
+      };
+    Proto.Submit
+      {
+        spec = Job.solve_spec ~id:"j-2" ~eps:0.25 (Job.File "inst/a.inst");
+        epoch = 4;
       };
     Proto.Result
       {
@@ -132,6 +147,14 @@ let all_msgs =
     Proto.Goodbye { reason = "test" };
     Proto.Error_msg { message = "nope" };
     Proto.Shutdown;
+    (* The replication stream: arbitrary journal bytes (newlines, NULs,
+       high bytes) must survive the JSON payload via the hex codec. *)
+    Proto.Rep_hello { standby = "s-1" };
+    Proto.Rep_snapshot { epoch = 1; data = "{\"kind\":\"epoch\"}\n\x00\xff" };
+    Proto.Rep_snapshot { epoch = 1; data = "" };
+    Proto.Rep_append { epoch = 2; offset = 4096; data = "tail\nbytes\x01" };
+    Proto.Rep_ack { offset = 123 };
+    Proto.Takeover;
   ]
 
 let test_proto_roundtrip () =
@@ -175,11 +198,13 @@ let test_proto_trace_context () =
   let spec =
     Job.solve_spec ~id:"j-t" ~eps:0.25 ~trace:ctx (Job.File "inst/a.inst")
   in
-  (match Frame.decode_exact (Proto.encode (Proto.Submit { spec })) with
+  (match
+     Frame.decode_exact (Proto.encode (Proto.Submit { spec; epoch = 0 }))
+   with
   | Error e -> Alcotest.fail (Frame.error_to_string e)
   | Ok (tag, payload) -> (
       match Proto.decode ~tag payload with
-      | Ok (Proto.Submit { spec = spec' }) -> (
+      | Ok (Proto.Submit { spec = spec'; _ }) -> (
           match spec'.Job.trace with
           | Some c ->
               Alcotest.(check string)
@@ -207,7 +232,7 @@ let test_proto_trace_context () =
     | Ok _ | Error _ -> Alcotest.fail "spec_to_json"
   in
   match Proto.decode ~tag:3 payload with
-  | Ok (Proto.Submit { spec = spec' }) ->
+  | Ok (Proto.Submit { spec = spec'; _ }) ->
       Alcotest.(check bool)
         "damaged context degrades to None" true
         (spec'.Job.trace = None)
@@ -220,10 +245,10 @@ let test_proto_trace_context () =
 let test_transport_roundtrip () =
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   let ca = Transport.of_fd a and cb = Transport.of_fd b in
-  Transport.send ca (Proto.Hello { worker = "w"; capacity = 2 });
+  Transport.send ca (Proto.Hello { worker = "w"; capacity = 2; fence = 0 });
   Transport.send ca Proto.Heartbeat_ack;
   (match Transport.recv cb with
-  | Proto.Hello { worker; capacity } ->
+  | Proto.Hello { worker; capacity; _ } ->
       Alcotest.(check string) "worker" "w" worker;
       Alcotest.(check int) "capacity" 2 capacity
   | other -> Alcotest.failf "expected hello, got %s" (Proto.describe other));
@@ -245,6 +270,67 @@ let test_transport_protocol_failure () =
   | msg -> Alcotest.failf "expected failure, got %s" (Proto.describe msg));
   Unix.close a;
   Transport.close cb
+
+(* Satellite: no frame may tear under partial writes. Tiny kernel
+   buffers force the sender through many short writes; a 2 ms interval
+   timer peppers it with SIGALRM so the write loop also sees EINTR
+   mid-frame; a non-blocking sender descriptor exercises the
+   EAGAIN/select path. The frame must still arrive byte-for-byte — a
+   forked child echoes it back through the same gauntlet. *)
+let test_transport_partial_writes () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096
+   with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_int b Unix.SO_RCVBUF 4096
+   with Unix.Unix_error _ -> ());
+  let data = String.init (512 * 1024) (fun i -> Char.chr (i land 0xff)) in
+  let msg = Proto.Rep_append { epoch = 7; offset = 0; data } in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* Child: echo one message back, then vanish without running
+         the parent's at_exit machinery. *)
+      Unix.close a;
+      let cb = Transport.of_fd b in
+      let status =
+        match Transport.recv cb with
+        | m ->
+            Transport.send cb m;
+            0
+        | exception _ -> 1
+      in
+      Unix._exit status
+  | child ->
+      Unix.close b;
+      Unix.set_nonblock a;
+      let ca = Transport.of_fd a in
+      let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_value = 0.002; it_interval = 0.002 });
+      let got =
+        Fun.protect
+          ~finally:(fun () ->
+            ignore
+              (Unix.setitimer Unix.ITIMER_REAL
+                 { Unix.it_value = 0.0; it_interval = 0.0 });
+            Sys.set_signal Sys.sigalrm old)
+          (fun () ->
+            Transport.send ca msg;
+            (* Blocking reads for the echo: EAGAIN on the read side is
+               covered by the coordinator's select loop, not here. *)
+            Unix.clear_nonblock a;
+            Transport.recv ca)
+      in
+      Transport.close ca;
+      let _, st = Unix.waitpid [] child in
+      Alcotest.(check bool) "child echoed cleanly" true (st = Unix.WEXITED 0);
+      (match got with
+      | Proto.Rep_append { epoch = 7; offset = 0; data = data' } ->
+          Alcotest.(check bool)
+            "payload intact byte-for-byte" true (String.equal data data')
+      | other -> Alcotest.failf "expected the echo, got %s" (Proto.describe other))
 
 (* ------------------------------------------------------------------ *)
 (* WAL: Assigned records and last-assignment tracking *)
@@ -284,7 +370,8 @@ let test_store_tracks_assignment () =
           Store.append store (Journal.Assigned { job = "j-1"; worker = "w-2" });
           Store.append store (Journal.Submitted { job = "j-2"; spec });
           Store.append store (Journal.Assigned { job = "j-2"; worker = "w-1" });
-          Store.append store (Journal.Completed { job = "j-2"; status = "ok" });
+          Store.append store
+            (Journal.Completed { job = "j-2"; status = "ok"; result = None });
           Store.close store);
       match Store.open_store store_dir with
       | Error e -> Alcotest.fail e
@@ -297,6 +384,127 @@ let test_store_tracks_assignment () =
                 "assigned" (Some "w-2") p.Store.assigned
           | ps -> Alcotest.failf "expected 1 pending, got %d" (List.length ps));
           Store.close store)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: torn-tail replica recovery at every byte offset.
+
+   A replica journal killed mid-append can hold any prefix of its final
+   record. For every such truncation point the recovery plan (the same
+   open-and-replay path a promotion runs) must keep exactly the longest
+   valid prefix, truncate the torn bytes off the disk, know the reign's
+   epoch, and list the unfinished jobs for re-queue and the finished
+   ones it can answer from the journal. *)
+
+let test_torn_tail_every_offset () =
+  with_temp_dir (fun dir ->
+      let seed = Filename.concat dir "seed" in
+      let spec = Json.Obj [ ("file", Json.Str "a.inst") ] in
+      let result_json =
+        Json.Obj [ ("id", Json.Str "j-done"); ("status", Json.Str "ok") ]
+      in
+      (match Store.open_store seed with
+      | Error e -> Alcotest.fail e
+      | Ok store ->
+          Store.append store (Journal.Epoch { epoch = 3 });
+          Store.append store ~epoch:3 (Journal.Submitted { job = "j-1"; spec });
+          Store.append store ~epoch:3
+            (Journal.Assigned { job = "j-1"; worker = "w-1" });
+          Store.append store ~epoch:3
+            (Journal.Submitted { job = "j-done"; spec });
+          Store.append store ~epoch:3
+            (Journal.Completed
+               { job = "j-done"; status = "ok"; result = Some result_json });
+          Store.append store ~epoch:3
+            (Journal.Submitted { job = "j-tail"; spec });
+          Store.close store);
+      let journal = Filename.concat seed "journal.jsonl" in
+      let bytes =
+        let ic = open_in_bin journal in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let len = String.length bytes in
+      (* Start of the final record: the byte after the second-to-last
+         newline (every record is newline-terminated). *)
+      let start = 1 + String.rindex_from bytes (len - 2) '\n' in
+      Alcotest.(check bool) "final record is non-trivial" true (len - start > 2);
+      let plan_at cut =
+        let cutdir = Filename.concat dir (Printf.sprintf "cut-%d" cut) in
+        Unix.mkdir cutdir 0o755;
+        let oc = open_out_bin (Filename.concat cutdir "journal.jsonl") in
+        output_string oc (String.sub bytes 0 cut);
+        close_out oc;
+        match Replicate.recover_plan ~dir:cutdir with
+        | Ok plan -> (cutdir, plan)
+        | Error e -> Alcotest.failf "recover_plan at cut %d: %s" cut e
+      in
+      (* Every truncation strictly inside the final record. *)
+      for cut = start + 1 to len - 1 do
+        let cutdir, plan = plan_at cut in
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: records in valid prefix" cut)
+          5 plan.Replicate.valid_records;
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: valid prefix bytes" cut)
+          start plan.Replicate.valid_prefix;
+        Alcotest.(check bool)
+          (Printf.sprintf "cut %d: tail reported torn" cut)
+          true
+          (plan.Replicate.torn <> None);
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: epoch survives" cut)
+          3 plan.Replicate.epoch;
+        Alcotest.(check (list string))
+          (Printf.sprintf "cut %d: unfinished work re-queued" cut)
+          [ "j-1" ]
+          (List.sort compare plan.Replicate.requeue);
+        Alcotest.(check (list string))
+          (Printf.sprintf "cut %d: finished work answerable" cut)
+          [ "j-done" ]
+          (List.sort compare plan.Replicate.answerable);
+        (* The torn bytes are really gone from disk — the journal now
+           ends exactly at the valid prefix. *)
+        Alcotest.(check int)
+          (Printf.sprintf "cut %d: disk truncated to the prefix" cut)
+          start
+          (Unix.stat (Filename.concat cutdir "journal.jsonl")).Unix.st_size
+      done;
+      (* Clean boundary cases: a cut at the record boundary loses the
+         final record with no torn tail; the intact journal keeps it. *)
+      let _, plan = plan_at start in
+      Alcotest.(check bool) "boundary cut is not torn" true
+        (plan.Replicate.torn = None);
+      Alcotest.(check int) "boundary cut keeps 5 records" 5
+        plan.Replicate.valid_records;
+      let _, plan = plan_at len in
+      Alcotest.(check bool) "intact journal is not torn" true
+        (plan.Replicate.torn = None);
+      Alcotest.(check int) "intact journal keeps all 6" 6
+        plan.Replicate.valid_records;
+      Alcotest.(check (list string))
+        "intact journal re-queues the tail job too" [ "j-1"; "j-tail" ]
+        (List.sort compare plan.Replicate.requeue))
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: `psdp submit` exits with the documented code 3 when no
+   coordinator is reachable after the retry budget runs out. *)
+
+let test_submit_unreachable_exit () =
+  with_temp_dir (fun dir ->
+      let manifest = Filename.concat dir "jobs.manifest" in
+      let oc = open_out manifest in
+      output_string oc
+        "{\"id\": \"u-1\", \"op\": \"solve\", \"file\": \"/nonexistent.inst\", \
+         \"eps\": 0.3}\n";
+      close_out oc;
+      let code =
+        run_cli
+          [ "submit"; manifest; "--connect";
+            "unix:" ^ Filename.concat dir "nobody-home.sock";
+            "--retry-cycles"; "2" ]
+      in
+      Alcotest.(check int) "documented unreachable exit code" 3 code)
 
 (* ------------------------------------------------------------------ *)
 (* Globally unique engine job ids *)
@@ -344,18 +552,51 @@ let spawn args =
     ~finally:(fun () -> Unix.close null)
     (fun () -> Unix.create_process cli (Array.of_list (cli :: args)) null null null)
 
-let connect_with_retry addr =
-  let rec go n =
-    match Client.connect addr with
-    | Ok c -> c
-    | Error e ->
-        if n = 0 then Alcotest.failf "coordinator never came up: %s" e
-        else begin
-          Unix.sleepf 0.1;
-          go (n - 1)
-        end
+let kill9 pid = try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+let reap_pid pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else scan (i + 1)
   in
-  go 100
+  nn = 0 || scan 0
+
+(* Poll [path] until it contains [needle] (a trace event kind, say) or
+   the deadline passes. The writers flush every event, so the only wait
+   is for the event itself to happen. *)
+let wait_for_event ~timeout path needle =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let look () =
+    Sys.file_exists path
+    &&
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        contains_substring (really_input_string ic (in_channel_length ic)) needle)
+  in
+  let rec go () =
+    if look () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.25;
+      go ()
+    end
+  in
+  go ()
+
+(* The client now retries internally (decorrelated-jitter backoff over
+   the address list), so "wait for the coordinator to come up" is just
+   a connect with the default budget. *)
+let connect_with_retry addrs =
+  match Client.connect addrs with
+  | Ok c -> c
+  | Error f ->
+      Alcotest.failf "coordinator never came up: %s"
+        (Client.failure_to_string f)
 
 let test_chaos_reroute () =
   with_temp_dir (fun dir ->
@@ -383,7 +624,7 @@ let test_chaos_reroute () =
           (try Unix.kill coord Sys.sigkill with Unix.Unix_error _ -> ());
           reap coord)
         (fun () ->
-          let client = connect_with_retry addr in
+          let client = connect_with_retry [ addr ] in
           let w1 =
             spawn [ "worker"; "--connect"; "unix:" ^ sock; "--name"; "w1";
                     "--capacity"; "5" ]
@@ -409,14 +650,14 @@ let test_chaos_reroute () =
                 (fun spec ->
                   match Client.submit client spec with
                   | Ok () -> ()
-                  | Error e -> Alcotest.fail e)
+                  | Error f -> Alcotest.fail (Client.failure_to_string f))
                 jobs;
               (* Let assignments land and solves start, then murder w1:
                  SIGKILL — no goodbye, no flush, a real crash. *)
               Unix.sleepf 1.0;
               Unix.kill w1 Sys.sigkill;
               (match Client.collect ~timeout:240.0 client ~expected:10 with
-              | Error e -> Alcotest.fail e
+              | Error f -> Alcotest.fail (Client.failure_to_string f)
               | Ok results ->
                   Alcotest.(check int) "all results" 10 (List.length results);
                   List.iter
@@ -473,6 +714,147 @@ let test_chaos_reroute () =
                 "some job was assigned twice (rerouted)" true rerouted)))
 
 (* ------------------------------------------------------------------ *)
+(* Failover acceptance: SIGKILL the primary mid-batch with a warm
+   standby tailing its WAL. The standby must take over under a bumped
+   fencing epoch, every inflight job must certify exactly once through
+   the self-healing workers and client, and — the split-brain half — a
+   resurrected deposed primary must be refused by the workers. *)
+
+let test_failover_takeover () =
+  with_temp_dir (fun dir ->
+      let inst1 = Filename.concat dir "p.inst" in
+      let inst2 = Filename.concat dir "c.inst" in
+      Alcotest.(check int)
+        "gen projectors" 0
+        (run_cli
+           [ "gen"; "--family"; "projectors"; "--dim"; "10"; "-n"; "5";
+             "-o"; inst1 ]);
+      Alcotest.(check int)
+        "gen cycle" 0
+        (run_cli [ "gen"; "--family"; "cycle"; "--dim"; "6"; "-o"; inst2 ]);
+      let sock_a = Filename.concat dir "a.sock" in
+      let sock_b = Filename.concat dir "b.sock" in
+      let store_a = Filename.concat dir "store-a" in
+      let store_b = Filename.concat dir "store-b" in
+      let both = Printf.sprintf "unix:%s,unix:%s" sock_a sock_b in
+      let trace_w1 = Filename.concat dir "w1.trace" in
+      let trace_w2 = Filename.concat dir "w2.trace" in
+      let procs = ref [] in
+      let spawn' args =
+        let pid = spawn args in
+        procs := pid :: !procs;
+        pid
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter kill9 !procs;
+          List.iter reap_pid !procs)
+        (fun () ->
+          let coordinator_args sock store =
+            [ "coordinator"; "--listen"; "unix:" ^ sock; "--checkpoint-dir";
+              store; "--heartbeat"; "0.25"; "--grace"; "1.0" ]
+          in
+          let primary = spawn' (coordinator_args sock_a store_a) in
+          let standby =
+            spawn'
+              (coordinator_args sock_b store_b
+              @ [ "--standby"; "--peers"; "unix:" ^ sock_a; "--name"; "sb" ])
+          in
+          ignore
+            (spawn'
+               [ "worker"; "--connect"; both; "--name"; "f1"; "--capacity";
+                 "5"; "--trace"; trace_w1 ]);
+          ignore
+            (spawn'
+               [ "worker"; "--connect"; both; "--name"; "f2"; "--capacity";
+                 "5"; "--trace"; trace_w2 ]);
+          let client =
+            connect_with_retry
+              [ Transport.Unix_sock sock_a; Transport.Unix_sock sock_b ]
+          in
+          let jobs =
+            List.init 10 (fun i ->
+                Job.solve_spec
+                  ~id:(Printf.sprintf "ha-%d" i)
+                  ~eps:0.1
+                  (Job.File (if i mod 2 = 0 then inst1 else inst2)))
+          in
+          List.iter
+            (fun spec ->
+              match Client.submit client spec with
+              | Ok () -> ()
+              | Error f -> Alcotest.fail (Client.failure_to_string f))
+            jobs;
+          (* Warm phase: the cluster is demonstrably flowing — then the
+             primary dies mid-batch, no goodbye, no flush. *)
+          let warm =
+            match Client.collect ~timeout:240.0 client ~expected:3 with
+            | Ok rs -> rs
+            | Error f ->
+                Alcotest.failf "warm phase: %s" (Client.failure_to_string f)
+          in
+          kill9 primary;
+          reap_pid primary;
+          let rest =
+            match
+              Client.collect ~timeout:240.0 client
+                ~expected:(10 - List.length warm)
+            with
+            | Ok rs -> rs
+            | Error f ->
+                Alcotest.failf "post-failover collect: %s"
+                  (Client.failure_to_string f)
+          in
+          let results = warm @ rest in
+          Alcotest.(check (list string))
+            "every job delivered exactly once"
+            (List.sort compare (List.map (fun (s : Job.spec) -> s.Job.id) jobs))
+            (List.sort compare
+               (List.map (fun (r : Job.result) -> r.Job.id) results));
+          List.iter
+            (fun (r : Job.result) ->
+              match r.Job.outcome with
+              | Job.Solved { certified; _ } ->
+                  Alcotest.(check bool) (r.Job.id ^ " certified") true certified
+              | _ -> Alcotest.failf "%s did not solve" r.Job.id)
+            results;
+          Client.close client;
+          (* The replica journal tells the promotion story: intact, a
+             bumped reign, and each job completed exactly once. *)
+          let records, torn =
+            Journal.replay (Filename.concat store_b "journal.jsonl")
+          in
+          Alcotest.(check (option string)) "replica journal intact" None torn;
+          Alcotest.(check bool)
+            "standby reigns under epoch 2" true
+            (List.exists
+               (function Journal.Epoch { epoch } -> epoch = 2 | _ -> false)
+               records);
+          let completed =
+            List.filter_map
+              (function Journal.Completed { job; _ } -> Some job | _ -> None)
+              records
+          in
+          Alcotest.(check int) "10 completion records" 10
+            (List.length completed);
+          Alcotest.(check int) "no job completed twice" 10
+            (List.length (List.sort_uniq compare completed));
+          (* Split-brain: bring the deposed primary's lineage back on
+             its old address with its stale epoch-1 store, then kill
+             the promoted standby. The workers fail back to the first
+             address, meet a Welcome from the past, and must refuse
+             it. *)
+          ignore (spawn' (coordinator_args sock_a store_a));
+          kill9 standby;
+          reap_pid standby;
+          Alcotest.(check bool)
+            "worker f1 refuses the deposed coordinator" true
+            (wait_for_event ~timeout:90.0 trace_w1 "fence_rejected");
+          Alcotest.(check bool)
+            "worker f2 refuses the deposed coordinator" true
+            (wait_for_event ~timeout:90.0 trace_w2 "fence_rejected")))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "dist"
@@ -494,16 +876,30 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_transport_roundtrip;
           Alcotest.test_case "protocol failure" `Quick
             test_transport_protocol_failure;
+          Alcotest.test_case "partial writes under signals" `Quick
+            test_transport_partial_writes;
         ] );
       ( "wal",
         [
           Alcotest.test_case "assigned record" `Quick test_journal_assigned;
           Alcotest.test_case "store tracks assignment" `Quick
             test_store_tracks_assignment;
+          Alcotest.test_case "torn tail at every offset" `Quick
+            test_torn_tail_every_offset;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "submit unreachable exit code" `Quick
+            test_submit_unreachable_exit;
         ] );
       ( "engine-ids",
         [ Alcotest.test_case "globally unique" `Quick test_unique_auto_ids ] );
       ( "chaos",
         [ Alcotest.test_case "kill worker mid-solve" `Slow test_chaos_reroute ]
       );
+      ( "failover",
+        [
+          Alcotest.test_case "kill primary mid-batch" `Slow
+            test_failover_takeover;
+        ] );
     ]

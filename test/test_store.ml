@@ -235,7 +235,14 @@ let journal_samples =
     Journal.Submitted
       { job = "j1"; spec = Json.Obj [ ("file", Json.Str "a.inst") ] };
     Journal.Checkpoint { job = "j1"; call = 3; snapshot = "snapshots/j1.snap" };
-    Journal.Completed { job = "j1"; status = "ok" };
+    Journal.Completed { job = "j1"; status = "ok"; result = None };
+    Journal.Completed
+      {
+        job = "j9";
+        status = "ok";
+        result = Some (Json.Obj [ ("id", Json.Str "j9") ]);
+      };
+    Journal.Epoch { epoch = 3 };
     Journal.Cancelled { job = "j2"; reason = "timeout" };
     Journal.Quarantined { job = "j3"; reason = "poison"; attempts = 3 };
   ]
@@ -311,7 +318,8 @@ let test_store_pending_lifecycle () =
       Alcotest.(check int) "fresh store: nothing pending" 0
         (List.length (Store.pending store));
       Store.append store (submit_record "done");
-      Store.append store (Journal.Completed { job = "done"; status = "ok" });
+      Store.append store
+        (Journal.Completed { job = "done"; status = "ok"; result = None });
       Store.append store (submit_record "crashed");
       Store.append store
         (Journal.Checkpoint
