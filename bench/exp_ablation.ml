@@ -142,6 +142,7 @@ let polynomial_choice ~quick () =
     kappas;
   Printf.printf
     "(the Chebyshev expansion reaches the same accuracy with ~4-7x fewer \
-     matvecs,\n\
-     \ at the cost of Lemma 4.2's one-sided PSD sandwich — see \
-     Poly.chebyshev_apply.)\n"
+     matvecs;\n\
+     \ the production default recovers Lemma 4.2's one-sided sandwich with \
+     a certified\n\
+     \ remainder shift — see Poly.chebyshev_certified and EXP18.)\n"

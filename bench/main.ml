@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every experiment of DESIGN.md §4
-   (EXP1–EXP17) and runs the bechamel kernel suite.
+   (EXP1–EXP18) and runs the bechamel kernel suite.
 
    Usage:
      dune exec bench/main.exe              # full run, all experiments
@@ -13,7 +13,7 @@ let all_names =
   [
     "exp1"; "exp2"; "exp3"; "exp4"; "exp5"; "exp6"; "exp7"; "exp8"; "exp9";
     "exp10"; "exp11"; "exp12"; "exp13"; "exp14"; "exp15"; "exp16"; "exp17";
-    "kernels";
+    "exp18"; "kernels";
   ]
 
 let () =
@@ -48,5 +48,6 @@ let () =
   if want "exp15" then ignore (Exp_dist.run ~quick ());
   if want "exp16" then ignore (Exp_serve.run ~quick ());
   if want "exp17" then ignore (Exp_failover.run ~quick ());
+  if want "exp18" then ignore (Exp_kernels.run ~quick ());
   if want "kernels" then Kernels.run ();
   Printf.printf "\nAll selected experiments completed.\n"

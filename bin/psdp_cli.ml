@@ -114,6 +114,25 @@ let to_mode = function
   | `Adaptive -> Decision.Adaptive { check_every = 10 }
   | `Faithful -> Decision.Faithful
 
+let poly_arg =
+  let doc =
+    "Polynomial for the sketched exponential: $(b,chebyshev) (certified \
+     remainder bound, one-sided by construction; the default) or \
+     $(b,taylor) (the Lemma-4.2 prefix — escape hatch, and what \
+     Chebyshev falls back to when certification fails at extreme \u{03BA})."
+  in
+  let c =
+    Arg.enum
+      [
+        ("taylor", Psdp_expm.Big_dot_exp.Taylor);
+        ("chebyshev", Psdp_expm.Big_dot_exp.Chebyshev);
+      ]
+  in
+  Arg.(
+    value
+    & opt c Psdp_expm.Big_dot_exp.Chebyshev
+    & info [ "poly" ] ~docv:"POLY" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* Observability: --metrics writes a Prometheus snapshot; the registry
    and span profiler are shared by the engine and the solver layers. *)
@@ -127,6 +146,9 @@ let metrics_file_arg =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 let write_metrics path reg =
+  (* Kernel counters live in process-wide atomics; mirror them into the
+     registry so every snapshot carries the psdp_kernel_* series. *)
+  Psdp_expm.Kernel_stats.publish reg;
   try Psdp_store.Atomic_io.write_atomic path (Metrics.render reg)
   with e ->
     Printf.eprintf "psdp: failed to write metrics snapshot %s: %s\n" path
@@ -220,8 +242,9 @@ let info_cmd =
 (* solve *)
 
 let solve_cmd =
-  let run file eps backend mode metrics_path verbosity =
+  let run file eps backend mode poly metrics_path verbosity =
     setup_logs verbosity;
+    Psdp_expm.Big_dot_exp.set_default_poly poly;
     let inst = load_or_die file in
     let obs = make_obs metrics_path in
     let prof =
@@ -255,7 +278,7 @@ let solve_cmd =
     (Cmd.info "solve" ~exits:solver_exits
        ~doc:"Run approxPSDP (Theorem 1.1) on an instance file.")
     Term.(
-      const run $ file_arg $ eps_arg $ backend_arg $ mode_arg
+      const run $ file_arg $ eps_arg $ backend_arg $ mode_arg $ poly_arg
       $ metrics_file_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -527,9 +550,11 @@ let batch_cmd =
     in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc)
   in
-  let run manifest jobs domains trace_path cache_path metrics_path ckpt_dir
-      ckpt_every retries backoff quarantine_after failpoints out verbosity =
+  let run manifest jobs domains trace_path cache_path poly metrics_path
+      ckpt_dir ckpt_every retries backoff quarantine_after failpoints out
+      verbosity =
     setup_logs verbosity;
+    Psdp_expm.Big_dot_exp.set_default_poly poly;
     arm_failpoints failpoints;
     let text =
       try
@@ -602,7 +627,7 @@ let batch_cmd =
           trace. Emits one JSON result line per job, in manifest order.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ domains_arg $ trace_file_arg
-      $ cache_file_arg $ metrics_file_arg $ checkpoint_dir_arg
+      $ cache_file_arg $ poly_arg $ metrics_file_arg $ checkpoint_dir_arg
       $ checkpoint_every_arg $ retries_arg $ backoff_arg
       $ quarantine_after_arg $ failpoint_arg $ out_arg $ verbose_arg)
 

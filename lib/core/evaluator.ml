@@ -69,7 +69,11 @@ let sketched ?pool inst ~params ~seed ~sketch_dim =
     let kappa =
       Profiler.with_span span "gram" (fun () ->
           Weighted_gram.set_weights gram x;
-          Float.min analytic_cap (Weighted_gram.lambda_max_upper_bound gram))
+          (* Clamp the spectral estimate to the tracked analytic bound:
+             a spiked or non-finite estimate must never inflate the
+             degree-selection interval past what the invariant allows. *)
+          Psdp_expm.Poly.clamp_kappa ~cap:analytic_cap
+            (Weighted_gram.lambda_max_upper_bound gram))
     in
     (* A fresh sketch per iteration keeps the estimates independent of the
        adaptively-chosen trajectory; at full dimension the identity sketch
@@ -81,9 +85,10 @@ let sketched ?pool inst ~params ~seed ~sketch_dim =
             Psdp_sketch.Jl.create ~rng:(Rng.split rng) ~target_dim:k
               ~source_dim:m)
     in
-    let { Psdp_expm.Big_dot_exp.dots; trace_estimate; degree } =
+    let { Psdp_expm.Big_dot_exp.dots; trace_estimate; degree; _ } =
       Psdp_expm.Big_dot_exp.compute ?pool ~prof:span
         ~matvec:(Weighted_gram.apply ?pool gram)
+        ~matvec_many:(Weighted_gram.apply_many ?pool gram)
         ~dim:m ~kappa ~eps:(params.Params.eps /. 2.0) ~sketch factors
     in
     let dots = tamper_dots "evaluator.dots.sketched" dots in

@@ -2,13 +2,26 @@ open Psdp_prelude
 open Psdp_linalg
 open Psdp_sparse
 
-type result = { dots : float array; trace_estimate : float; degree : int }
-type polynomial = Taylor | Chebyshev
+type polynomial = Poly.choice = Taylor | Chebyshev
 
-let compute ?(pool = Psdp_parallel.Pool.sequential) ?(poly = Taylor)
-    ?(prof = Psdp_obs.Profiler.disabled) ~matvec ~dim ~kappa ~eps ~sketch
-    factors =
+type result = {
+  dots : float array;
+  trace_estimate : float;
+  degree : int;
+  poly_used : polynomial;
+  remainder : float;
+  matvecs : int;
+}
+
+let default_poly () = !Poly.default_choice
+let set_default_poly = Poly.set_default_choice
+let with_poly = Poly.with_choice
+
+let compute ?(pool = Psdp_parallel.Pool.sequential) ?poly
+    ?(prof = Psdp_obs.Profiler.disabled) ?matvec_many ~matvec ~dim ~kappa ~eps
+    ~sketch factors =
   Psdp_fault.Failpoint.hit "expm.eval";
+  let poly = match poly with Some p -> p | None -> !Poly.default_choice in
   if Psdp_sketch.Jl.source_dim sketch <> dim then
     invalid_arg "Big_dot_exp.compute: sketch dimension mismatch";
   Array.iter
@@ -17,24 +30,71 @@ let compute ?(pool = Psdp_parallel.Pool.sequential) ?(poly = Taylor)
         invalid_arg "Big_dot_exp.compute: factor dimension mismatch")
     factors;
   let half_matvec v = Vec.scale 0.5 (matvec v) in
+  let half_matvec_many =
+    Option.map
+      (fun mv vs ->
+        let ws = mv vs in
+        Array.iter (fun w -> Vec.scale_inplace w 0.5) ws;
+        ws)
+      matvec_many
+    |> Option.value ~default:(fun vs -> Array.map half_matvec vs)
+  in
   let half_kappa = 0.5 *. Float.max 1.0 kappa in
-  let degree, apply_poly =
+  (* The polynomial is sized for eps/2, leaving the rest of the error
+     budget to the sketch; Chebyshev certification that fails (κ past
+     double precision's reach) falls back to the Taylor prefix so every
+     answer stays one-sided. *)
+  let selection =
     match poly with
-    | Taylor ->
-        let d = Poly.degree ~kappa:half_kappa ~eps:(eps /. 2.0) in
-        (d, fun v -> Poly.apply ~matvec:half_matvec ~degree:d v)
-    | Chebyshev ->
-        let d = Poly.chebyshev_degree ~kappa:half_kappa ~eps:(eps /. 2.0) in
-        (d, fun v ->
-            Poly.chebyshev_apply ~matvec:half_matvec ~kappa:half_kappa
-              ~degree:d v)
+    | Taylor -> `Taylor (Poly.degree ~kappa:half_kappa ~eps:(eps /. 2.0))
+    | Chebyshev -> (
+        match Poly.chebyshev_certified ~kappa:half_kappa ~eps:(eps /. 2.0) with
+        | Some (d, r) -> `Chebyshev (d, r)
+        | None ->
+            Kernel_stats.record_taylor_fallback ();
+            `Taylor (Poly.degree ~kappa:half_kappa ~eps:(eps /. 2.0)))
+  in
+  let degree, remainder, poly_used, matvecs_per_chain =
+    match selection with
+    | `Taylor d -> (d, 0.0, Taylor, d - 1)
+    | `Chebyshev (d, r) -> (d, r, Chebyshev, d)
   in
   let k = Psdp_sketch.Jl.target_dim sketch in
-  (* z.(r) = p̂(Φ/2) · πᵣ ; the k chains are independent. *)
-  let z = Array.make k [||] in
-  Psdp_obs.Profiler.with_span prof "expm" (fun () ->
-      Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:k (fun r ->
-          z.(r) <- apply_poly (Psdp_sketch.Jl.row sketch r)));
+  (* z.(r) = p̂(Φ/2) · πᵣ. With a batched matvec all k chains advance in
+     lockstep — one pass over the operator data per degree step — and
+     the row-level parallelism lives inside [matvec_many]. Without one,
+     the k chains are independent and run under the pool. Per column the
+     two paths are byte-identical. *)
+  let z =
+    Psdp_obs.Profiler.with_span prof "expm" (fun () ->
+        match matvec_many with
+        | Some _ ->
+            Kernel_stats.add_panel_columns k;
+            let panel = Array.init k (Psdp_sketch.Jl.row sketch) in
+            (match selection with
+            | `Taylor d ->
+                Poly.apply_many ~matvec_many:half_matvec_many ~degree:d panel
+            | `Chebyshev (d, r) ->
+                Poly.chebyshev_apply_shifted_many ~matvec_many:half_matvec_many
+                  ~kappa:half_kappa ~degree:d ~remainder:r panel)
+        | None ->
+            let apply_poly =
+              match selection with
+              | `Taylor d -> fun v -> Poly.apply ~matvec:half_matvec ~degree:d v
+              | `Chebyshev (d, r) ->
+                  fun v ->
+                    Poly.chebyshev_apply_shifted ~matvec:half_matvec
+                      ~kappa:half_kappa ~degree:d ~remainder:r v
+            in
+            let z = Array.make k [||] in
+            Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:k (fun r ->
+                z.(r) <- apply_poly (Psdp_sketch.Jl.row sketch r));
+            z)
+  in
+  Kernel_stats.add_matvecs (k * matvecs_per_chain);
+  (match poly_used with
+  | Chebyshev -> Kernel_stats.record_cheb_eval ()
+  | Taylor -> Kernel_stats.record_taylor_eval ());
   let trace_estimate =
     Util.sum_array (Array.map (fun zr -> Vec.dot zr zr) z)
   in
@@ -42,16 +102,25 @@ let compute ?(pool = Psdp_parallel.Pool.sequential) ?(poly = Taylor)
   let dots = Array.make n 0.0 in
   Psdp_obs.Profiler.with_span prof "gram" (fun () ->
       Psdp_parallel.Pool.parallel_for pool ~grain:1 ~lo:0 ~hi:n (fun i ->
-          let qt = Factored.factor_t factors.(i) in
-          let s = ref 0.0 in
-          for r = 0 to k - 1 do
-            let u = Csr.spmv qt z.(r) in
-            s := !s +. Vec.dot u u
-          done;
-          dots.(i) <- !s));
-  { dots; trace_estimate; degree }
+          Kernel_stats.record_gram_pass ();
+          dots.(i) <- Factored.gram_dot_many factors.(i) z));
+  {
+    dots;
+    trace_estimate;
+    degree;
+    poly_used;
+    remainder;
+    matvecs = k * matvecs_per_chain;
+  }
 
 let compute_exact phi factors =
   let e = Matfun.expm phi in
   let dots = Array.map (fun f -> Factored.dot_dense f e) factors in
-  { dots; trace_estimate = Mat.trace e; degree = 0 }
+  {
+    dots;
+    trace_estimate = Mat.trace e;
+    degree = 0;
+    poly_used = Taylor;
+    remainder = 0.0;
+    matvecs = 0;
+  }

@@ -2,31 +2,54 @@
     [exp(Φ) • Aᵢ] and [Tr exp(Φ)] approximately, in near-linear work.
 
     Writing [Aᵢ = QᵢQᵢᵀ], [exp(Φ)•Aᵢ = ‖exp(Φ/2)Qᵢ‖²_F]; the algorithm
-    replaces [exp(Φ/2)] by the Lemma-4.2 Taylor prefix [p̂] and compresses
-    rows with a JL sketch [Π], returning [‖Π p̂(Φ/2) Qᵢ‖²_F]. Row [r] of
-    [Π p̂(Φ/2)] is [p̂(Φ/2)·πᵣ] by symmetry, so the whole computation is
-    [k] independent chains of [degree] matvecs — depth [O(κ·log(1/ε))]
-    times the matvec depth, work [O(k·(degree·q_Φ + q))]. *)
+    replaces [exp(Φ/2)] by a one-sided polynomial (the certified
+    Chebyshev expansion by default, the Lemma-4.2 Taylor prefix on
+    request or fallback) and compresses rows with a JL sketch [Π],
+    returning [‖Π p̂(Φ/2) Qᵢ‖²_F]. Row [r] of [Π p̂(Φ/2)] is [p̂(Φ/2)·πᵣ]
+    by symmetry; with a batched [matvec_many] all [k] chains advance in
+    lockstep so each degree step is one pass over the operator data, and
+    the Gram stage sweeps each factor's nonzeros once for all columns
+    ({!Psdp_sparse.Factored.gram_dot_many}) — work tracks nnz
+    (Corollary 1.2). *)
 
 open Psdp_linalg
 open Psdp_sparse
+
+type polynomial = Poly.choice = Taylor | Chebyshev
+(** Which polynomial approximates [exp(Φ/2)]: [Taylor] is the paper's
+    Lemma 4.2 (one-sided PSD sandwich, degree [Θ(κ)]); [Chebyshev] is
+    the {e certified} expansion with the one-sided remainder shift
+    ({!Poly.chebyshev_certified}) at degree [≈ κ/4 + O(√κ·ln(1/ε))] —
+    typically 3–6× fewer matvecs. When certification fails (κ beyond
+    double precision's reach) the kernel silently falls back to Taylor,
+    so every answer is one-sided either way. *)
 
 type result = {
   dots : float array;  (** [dots.(i) ≈ exp(Φ) • Aᵢ] *)
   trace_estimate : float;  (** [≈ Tr exp(Φ)] *)
   degree : int;  (** polynomial degree actually used *)
+  poly_used : polynomial;
+      (** which polynomial actually ran (Taylor on fallback) *)
+  remainder : float;
+      (** the certified one-sided shift [r]; [0] for Taylor and exact *)
+  matvecs : int;  (** matvec chain steps spent ([0] for exact) *)
 }
 
-type polynomial = Taylor | Chebyshev
-(** Which polynomial approximates [exp(Φ/2)]: [Taylor] is the paper's
-    Lemma 4.2 (one-sided PSD sandwich, degree [Θ(κ)]); [Chebyshev] is the
-    extension with degree [≈ κ/4 + O(√κ·ln(1/ε))] — typically 4–7× shorter
-    — at the cost of the one-sidedness (see {!Poly}). *)
+val default_poly : unit -> polynomial
+(** The process-wide default ({!Poly.default_choice}), initially
+    [Chebyshev]. *)
+
+val set_default_poly : polynomial -> unit
+(** Override the default — the CLI's [--poly taylor] escape hatch. *)
+
+val with_poly : polynomial -> (unit -> 'a) -> 'a
+(** Scoped override, restored on exit (exception-safe). *)
 
 val compute :
   ?pool:Psdp_parallel.Pool.t ->
   ?poly:polynomial ->
   ?prof:Psdp_obs.Profiler.span ->
+  ?matvec_many:(Vec.t array -> Vec.t array) ->
   matvec:(Vec.t -> Vec.t) ->
   dim:int ->
   kappa:float ->
@@ -36,13 +59,19 @@ val compute :
   result
 (** [compute ~matvec ~dim ~kappa ~eps ~sketch factors]: [matvec] applies
     [Φ] (symmetric PSD, [‖Φ‖₂ <= kappa]); the sketch must have
-    [source_dim = dim]. The polynomial ([poly] defaults to [Taylor]) is
-    sized for accuracy [eps/2], leaving the rest of the error budget to
-    the sketch. [prof] (default {!Psdp_obs.Profiler.disabled}) charges
-    the polynomial chains to an ["expm"] child span and the Gram
-    products to a ["gram"] child span. *)
+    [source_dim = dim]. The polynomial ([poly] defaults to the
+    process-wide default, normally [Chebyshev]) is sized for accuracy
+    [eps/2], leaving the rest of the error budget to the sketch.
+    [matvec_many], when given, must agree with [matvec] column-wise
+    (e.g. {!Psdp_sparse.Weighted_gram.apply_many}); the polynomial
+    chains then ride one batched pass per degree step and row-level
+    parallelism lives inside it. Without it the [k] chains run
+    independently under [pool]. Both paths produce byte-identical
+    columns. [prof] (default {!Psdp_obs.Profiler.disabled}) charges the
+    polynomial chains to an ["expm"] child span and the Gram products to
+    a ["gram"] child span. *)
 
 val compute_exact : Mat.t -> Factored.t array -> result
 (** Dense reference implementation via the exact eigendecomposition
-    ([degree] reported as 0). Used as the test oracle and by the solver's
-    exact mode. *)
+    ([degree] and [matvecs] reported as 0). Used as the test oracle and
+    by the solver's exact mode. *)

@@ -1,0 +1,73 @@
+(* Process-wide kernel counters. The exp kernels run deep inside the
+   solver where no metrics registry is in scope, so the counters live in
+   lock-free atomics here and are mirrored into a registry on demand
+   with [Metrics.record] (raise-to-at-least, so repeated publishes never
+   double count). *)
+
+type t = {
+  matvecs : int Atomic.t;
+  cheb_evals : int Atomic.t;
+  taylor_evals : int Atomic.t;
+  taylor_fallbacks : int Atomic.t;
+  panel_columns : int Atomic.t;
+  gram_passes : int Atomic.t;
+}
+
+let global =
+  {
+    matvecs = Atomic.make 0;
+    cheb_evals = Atomic.make 0;
+    taylor_evals = Atomic.make 0;
+    taylor_fallbacks = Atomic.make 0;
+    panel_columns = Atomic.make 0;
+    gram_passes = Atomic.make 0;
+  }
+
+let rec fetch_add a n =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v + n)) then fetch_add a n
+
+let add_matvecs n = fetch_add global.matvecs n
+let record_cheb_eval () = fetch_add global.cheb_evals 1
+let record_taylor_eval () = fetch_add global.taylor_evals 1
+let record_taylor_fallback () = fetch_add global.taylor_fallbacks 1
+let add_panel_columns n = fetch_add global.panel_columns n
+let record_gram_pass () = fetch_add global.gram_passes 1
+
+let matvecs () = Atomic.get global.matvecs
+let cheb_evals () = Atomic.get global.cheb_evals
+let taylor_evals () = Atomic.get global.taylor_evals
+let taylor_fallbacks () = Atomic.get global.taylor_fallbacks
+let panel_columns () = Atomic.get global.panel_columns
+let gram_passes () = Atomic.get global.gram_passes
+
+let reset () =
+  Atomic.set global.matvecs 0;
+  Atomic.set global.cheb_evals 0;
+  Atomic.set global.taylor_evals 0;
+  Atomic.set global.taylor_fallbacks 0;
+  Atomic.set global.panel_columns 0;
+  Atomic.set global.gram_passes 0
+
+module Metrics = Psdp_obs.Metrics
+
+let publish reg =
+  let mirror name help value =
+    Metrics.record (Metrics.counter reg ~help name) value
+  in
+  mirror "psdp_kernel_matvecs_total"
+    "Polynomial matvec chain steps (columns x degree steps)" (matvecs ());
+  mirror "psdp_kernel_cheb_evals_total"
+    "Exp evaluations served by the certified Chebyshev polynomial"
+    (cheb_evals ());
+  mirror "psdp_kernel_taylor_evals_total"
+    "Exp evaluations served by the Lemma-4.2 Taylor prefix" (taylor_evals ());
+  mirror "psdp_kernel_taylor_fallbacks_total"
+    "Chebyshev certifications that failed and fell back to Taylor"
+    (taylor_fallbacks ());
+  mirror "psdp_kernel_panel_columns_total"
+    "Sketch columns that rode a batched (panel) matvec pass"
+    (panel_columns ());
+  mirror "psdp_kernel_gram_passes_total"
+    "Batched gram passes (one sweep of a factor's nonzeros for all columns)"
+    (gram_passes ())

@@ -1,0 +1,34 @@
+(** Process-wide exp-kernel counters (psdp_kernel_* series).
+
+    The hot kernels ({!Big_dot_exp}, the panel matvecs) count work into
+    lock-free atomics; {!publish} mirrors the totals into a
+    {!Psdp_obs.Metrics} registry as monotonic counters. Publishing is
+    idempotent ([Metrics.record] raises-to-at-least), so the CLI calls
+    it right before every metrics render. *)
+
+val add_matvecs : int -> unit
+val record_cheb_eval : unit -> unit
+val record_taylor_eval : unit -> unit
+val record_taylor_fallback : unit -> unit
+val add_panel_columns : int -> unit
+val record_gram_pass : unit -> unit
+
+val matvecs : unit -> int
+(** Polynomial chain steps: one per (column, degree step) pair. *)
+
+val cheb_evals : unit -> int
+val taylor_evals : unit -> int
+
+val taylor_fallbacks : unit -> int
+(** How often Chebyshev certification failed and the kernel fell back to
+    the Taylor prefix. [cheb_evals + taylor_fallbacks] evaluations were
+    requested as Chebyshev; every one of them stayed certified. *)
+
+val panel_columns : unit -> int
+val gram_passes : unit -> int
+
+val reset : unit -> unit
+(** Zero all counters (benches isolate phases with this). *)
+
+val publish : Psdp_obs.Metrics.t -> unit
+(** Mirror the totals into [reg] as [psdp_kernel_*] counters. *)

@@ -1,6 +1,30 @@
 open Psdp_prelude
 open Psdp_linalg
 
+type choice = Taylor | Chebyshev
+
+(* Process-wide default for the exp-kernel polynomial. Chebyshev is the
+   default hot path (ROADMAP item 4): the certified variant below keeps
+   the one-sided sandwich the certificates need, and callers that cannot
+   certify fall back to the Lemma-4.2 Taylor prefix automatically. *)
+let default_choice = ref Chebyshev
+
+let set_default_choice c = default_choice := c
+
+let with_choice c f =
+  let prev = !default_choice in
+  default_choice := c;
+  Fun.protect ~finally:(fun () -> default_choice := prev) f
+
+let clamp_kappa ~cap estimate =
+  if not (Util.finite cap) || cap <= 0.0 then
+    invalid_arg "Poly.clamp_kappa: cap must be finite and positive";
+  (* A non-finite or negative estimate (an overflowed λmax upper bound on
+     a spiked spectrum, say) must not poison degree selection: the
+     analytic cap is always a sound interval. *)
+  if not (Util.finite estimate) || estimate < 0.0 then cap
+  else Float.min cap estimate
+
 let degree ~kappa ~eps =
   if not (Util.finite kappa) || kappa < 0.0 then
     invalid_arg "Poly.degree: kappa must be finite and non-negative";
@@ -26,6 +50,26 @@ let apply ~matvec ~degree v =
 
 let apply_exp ~matvec ~kappa ~eps v =
   apply ~matvec ~degree:(degree ~kappa ~eps) v
+
+(* Panel (multi-vector) variant of {!apply}: all columns advance through
+   the matvec chain in lockstep, so a batched [matvec_many] makes one
+   pass over the operator data per degree step. Per column the arithmetic
+   is identical to {!apply} — the differential tests rely on
+   byte-for-byte equality with the column-at-a-time loop. *)
+let apply_many ~matvec_many ~degree vs =
+  if degree < 1 then invalid_arg "Poly.apply_many: degree must be >= 1";
+  let accs = Array.map Vec.copy vs in
+  let terms = ref (Array.map Vec.copy vs) in
+  for i = 1 to degree - 1 do
+    let next = matvec_many !terms in
+    Array.iteri
+      (fun r nr ->
+        Vec.scale_inplace nr (1.0 /. float_of_int i);
+        Vec.axpy accs.(r) ~alpha:1.0 nr)
+      next;
+    terms := next
+  done;
+  accs
 
 (* Chebyshev series of e^x on [0, kappa]: with t = (2x − κ)/κ,
    e^x = e^{κ/2}·e^{(κ/2)t} and the classical expansion
@@ -68,14 +112,26 @@ let chebyshev_coefficients ~kappa ~degree =
   Array.init (degree + 1) (fun k ->
       if k = 0 then front *. j.(0) else 2.0 *. front *. j.(k))
 
+(* Largest degree any Chebyshev search will consider. Coefficients are
+   negligible past ~κ + O(√κ), so this only binds for pathological κ —
+   a clamped caller (see {!clamp_kappa}) never reaches it, and an
+   unclamped κ estimate must not allocate κ-sized arrays. *)
+let max_search_degree = 8192
+
+let term_cap ~kappa =
+  min max_search_degree
+    (max 16 (int_of_float (Float.ceil (kappa +. (20.0 *. sqrt kappa)))))
+
 let chebyshev_degree ~kappa ~eps =
   if eps <= 0.0 || eps >= 1.0 then
     invalid_arg "Poly.chebyshev_degree: eps must lie in (0,1)";
+  if not (Util.finite kappa) then
+    invalid_arg "Poly.chebyshev_degree: kappa must be finite";
   let kappa = Float.max 1.0 kappa in
   (* Coefficients decay super-exponentially past ~kappa/2; search for the
      smallest truncation whose tail bound drops below eps (absolute, and
      hence multiplicative at the spectrum's low end where e^x = Θ(1)). *)
-  let cap = max 16 (int_of_float (Float.ceil (kappa +. (20.0 *. sqrt kappa)))) in
+  let cap = term_cap ~kappa in
   let c = chebyshev_coefficients ~kappa ~degree:cap in
   let tail = Array.make (cap + 2) 0.0 in
   for k = cap downto 0 do
@@ -91,6 +147,98 @@ let chebyshev_degree ~kappa ~eps =
      done
    with Exit -> ());
   max 1 !d
+
+(* ------------------------------------------------------------------ *)
+(* Certified remainder bound (ROADMAP item 4)
+
+   On [0, κ] with t = (2x−κ)/κ, e^x = Σ_k c_k T_k(t) with c_k =
+   2e^{κ/2}I_k(κ/2) > 0 (half weight on c₀). Since |T_k| <= 1, the
+   truncation error of the degree-d prefix obeys
+
+     max_{[0,κ]} |p_d(x) − e^x| <= Σ_{k>d} c_k.
+
+   The tail splits into a computed part (d < k <= cap, summed from the
+   Miller-recurrence coefficients) and an analytic part beyond the cap:
+   term-by-term, I_{k+1}(z) <= I_k(z)·z/(2(k+1)), so past [cap] the
+   coefficients are dominated by a geometric series with ratio
+   ρ = z/(2(cap+1)) < 1. Three floating-point effects are folded in on
+   top: the computed coefficients carry Miller-recurrence rounding, the
+   three-term evaluation of p_d(X)v loses up to O(u·d·Σc_k) = O(u·d·e^κ)
+   absolutely (the coefficients are O(e^κ) while p_d(x) is Θ(1) at the
+   spectrum's low end — the cancellation is intrinsic), and the shift
+   addition itself rounds. [fp_slack] bounds all three; when it alone
+   exceeds the target (large κ), certification honestly fails and the
+   caller falls back to the Taylor prefix. *)
+
+(* e^κ must stay finite and the fp slack meaningful; beyond this no
+   degree can certify in double precision anyway. *)
+let max_certifiable_kappa = 600.0
+
+let fp_slack ~kappa ~degree =
+  1e-14 *. float_of_int (degree + 1) *. exp kappa
+
+let chebyshev_remainder ~kappa ~degree =
+  if degree < 1 then invalid_arg "Poly.chebyshev_remainder: degree must be >= 1";
+  if not (Util.finite kappa) || kappa <= 0.0 then
+    invalid_arg "Poly.chebyshev_remainder: kappa must be positive";
+  if kappa > max_certifiable_kappa then infinity
+  else begin
+    let cap = max (degree + 1) (term_cap ~kappa) in
+    let c = chebyshev_coefficients ~kappa ~degree:cap in
+    let tail = ref 0.0 in
+    for k = cap downto degree + 1 do
+      tail := !tail +. Float.abs c.(k)
+    done;
+    let z = kappa /. 2.0 in
+    let rho = z /. (2.0 *. float_of_int (cap + 1)) in
+    let beyond =
+      if rho < 1.0 then Float.abs c.(cap) *. rho /. (1.0 -. rho) else infinity
+    in
+    (* 1e-6 relative inflation covers Miller-recurrence rounding in the
+       computed tail itself; fp_slack covers evaluation-time rounding. *)
+    ((!tail +. beyond) *. (1.0 +. 1e-6)) +. fp_slack ~kappa ~degree
+  end
+
+let chebyshev_certified ~kappa ~eps =
+  if eps <= 0.0 || eps >= 1.0 then
+    invalid_arg "Poly.chebyshev_certified: eps must lie in (0,1)";
+  if not (Util.finite kappa) || kappa < 0.0 then
+    invalid_arg "Poly.chebyshev_certified: kappa must be finite and non-negative";
+  let kappa = Float.max 1.0 kappa in
+  if kappa > max_certifiable_kappa then None
+  else begin
+    (* The shift gives exp(X) ⪯ p_d(X) + r·I ⪯ (1+2r)·exp(X) (pointwise
+       on the spectrum, since both are functions of the same matrix and
+       e^x >= 1 on [0,κ]). Downstream the evaluation is squared into
+       Frobenius dots, so require (1+2r)² <= 1+eps. *)
+    let target = (sqrt (1.0 +. eps) -. 1.0) /. 2.0 in
+    let cap = term_cap ~kappa in
+    let c = chebyshev_coefficients ~kappa ~degree:cap in
+    let z = kappa /. 2.0 in
+    let rho = z /. (2.0 *. float_of_int (cap + 1)) in
+    let beyond =
+      if rho < 1.0 then Float.abs c.(cap) *. rho /. (1.0 -. rho) else infinity
+    in
+    let remainder_at d tail =
+      ((tail +. beyond) *. (1.0 +. 1e-6)) +. fp_slack ~kappa ~degree:d
+    in
+    (* Walk d upward keeping the running tail Σ_{k>d}|c_k|. *)
+    let tail = ref 0.0 in
+    for k = 2 to cap do
+      tail := !tail +. Float.abs c.(k)
+    done;
+    let found = ref None in
+    let d = ref 1 in
+    while !found = None && !d <= cap do
+      let r = remainder_at !d !tail in
+      if r <= target then found := Some (!d, r)
+      else begin
+        incr d;
+        if !d <= cap then tail := Float.max 0.0 (!tail -. Float.abs c.(!d))
+      end
+    done;
+    !found
+  end
 
 let chebyshev_apply ~matvec ~kappa ~degree v =
   let c = chebyshev_coefficients ~kappa ~degree in
@@ -117,3 +265,73 @@ let chebyshev_apply ~matvec ~kappa ~degree v =
     done
   end;
   acc
+
+(* Panel variant of {!chebyshev_apply}; per column the arithmetic is
+   identical (the differential tests check byte-for-byte equality). *)
+let chebyshev_apply_many ~matvec_many ~kappa ~degree vs =
+  let c = chebyshev_coefficients ~kappa ~degree in
+  let s us =
+    let ws = matvec_many us in
+    Array.iteri
+      (fun r w ->
+        Vec.scale_inplace w (2.0 /. kappa);
+        Vec.axpy w ~alpha:(-1.0) us.(r))
+      ws;
+    ws
+  in
+  let accs = Array.map (Vec.scale c.(0)) vs in
+  if degree >= 1 then begin
+    let t_prev = ref (Array.map Vec.copy vs) in
+    let t_curr = ref (s vs) in
+    Array.iteri (fun r t -> Vec.axpy accs.(r) ~alpha:c.(1) t) !t_curr;
+    for k = 2 to degree do
+      let next = s !t_curr in
+      Array.iteri
+        (fun r n ->
+          Vec.scale_inplace n 2.0;
+          Vec.axpy n ~alpha:(-1.0) !t_prev.(r);
+          Vec.axpy accs.(r) ~alpha:c.(k) n)
+        next;
+      t_prev := !t_curr;
+      t_curr := next
+    done
+  end;
+  accs
+
+(* ------------------------------------------------------------------ *)
+(* Certified (shifted) evaluation *)
+
+let remainder_failpoint = "expm.cheb.remainder"
+
+(* Fault-injection site for the QA chaos self-test: a fired corruption
+   models a broken remainder certificate. A mantissa byte flip of a tiny
+   shift would be observationally silent, so any tamper drives the shift
+   a full unit below zero — the polynomial loses its one-sidedness by an
+   O(1) margin and the differential oracles must notice. *)
+(* Any tamper of the remainder payload replaces the shift with a
+   deterministic unit-scale negative value: a mantissa-level byte flip
+   of a ~1e-2 shift would be observationally silent, and the solver's
+   ratio-normalized decisions (dots/trace) absorb any scalar shift, so
+   the catchable symptom of a broken bound is the loss of
+   one-sidedness itself — p̂(X) − (1+|r|)·I dips below exp(X) wherever
+   the spectrum is small, which the [cheb_remainder_sound] QA property
+   verifies against dense ground truth. *)
+let tampered_shift r =
+  if Psdp_fault.Failpoint.is_armed remainder_failpoint then begin
+    let raw = Printf.sprintf "%.17g" r in
+    let seen = Psdp_fault.Failpoint.with_data remainder_failpoint raw in
+    if String.equal seen raw then r else -1.0 -. Float.abs r
+  end
+  else r
+
+let chebyshev_apply_shifted ~matvec ~kappa ~degree ~remainder v =
+  let r = tampered_shift remainder in
+  let acc = chebyshev_apply ~matvec ~kappa ~degree v in
+  Vec.axpy acc ~alpha:r v;
+  acc
+
+let chebyshev_apply_shifted_many ~matvec_many ~kappa ~degree ~remainder vs =
+  let r = tampered_shift remainder in
+  let accs = chebyshev_apply_many ~matvec_many ~kappa ~degree vs in
+  Array.iteri (fun i acc -> Vec.axpy acc ~alpha:r vs.(i)) accs;
+  accs

@@ -23,14 +23,48 @@ let hutchinson ~rng ~samples ~dim matvec =
 let gaussian ~rng ~samples ~dim matvec =
   estimate ~probe:Rng.gaussian_array ~rng ~samples ~dim matvec
 
-let exp_trace ~rng ~samples ~dim ~kappa ~eps matvec =
+let exp_trace ?matvec_many ~rng ~samples ~dim ~kappa ~eps matvec =
   check_args ~samples ~dim;
   let half_matvec v = Vec.scale 0.5 (matvec v) in
+  let half_matvec_many =
+    match matvec_many with
+    | Some mv ->
+        fun vs ->
+          let ws = mv vs in
+          Array.iter (fun w -> Vec.scale_inplace w 0.5) ws;
+          ws
+    | None -> fun vs -> Array.map half_matvec vs
+  in
   let half_kappa = 0.5 *. Float.max 1.0 kappa in
+  (* Same polynomial policy as [Big_dot_exp.compute]: the process-wide
+     default, with Taylor fallback when certification is out of reach. *)
+  let selection =
+    match !Poly.default_choice with
+    | Poly.Taylor -> `Taylor (Poly.degree ~kappa:half_kappa ~eps)
+    | Poly.Chebyshev -> (
+        match Poly.chebyshev_certified ~kappa:half_kappa ~eps with
+        | Some (d, r) -> `Chebyshev (d, r)
+        | None ->
+            Kernel_stats.record_taylor_fallback ();
+            `Taylor (Poly.degree ~kappa:half_kappa ~eps))
+  in
+  (* All probes ride one batched panel: the rng draw order is unchanged
+     (probes are drawn before any application either way) and each
+     column is byte-identical to the one-at-a-time loop. *)
+  let zs = Array.init samples (fun _ -> rademacher rng dim) in
+  Kernel_stats.add_panel_columns samples;
+  let ws =
+    match selection with
+    | `Taylor d ->
+        Kernel_stats.record_taylor_eval ();
+        Kernel_stats.add_matvecs (samples * (d - 1));
+        Poly.apply_many ~matvec_many:half_matvec_many ~degree:d zs
+    | `Chebyshev (d, r) ->
+        Kernel_stats.record_cheb_eval ();
+        Kernel_stats.add_matvecs (samples * d);
+        Poly.chebyshev_apply_shifted_many ~matvec_many:half_matvec_many
+          ~kappa:half_kappa ~degree:d ~remainder:r zs
+  in
   let total = ref 0.0 in
-  for _ = 1 to samples do
-    let z = rademacher rng dim in
-    let w = Poly.apply_exp ~matvec:half_matvec ~kappa:half_kappa ~eps z in
-    total := !total +. Vec.dot w w
-  done;
+  Array.iter (fun w -> total := !total +. Vec.dot w w) ws;
   !total /. float_of_int samples

@@ -27,6 +27,7 @@ val gaussian :
 (** Same with standard normal probes (variance [2‖M‖²_F/samples]). *)
 
 val exp_trace :
+  ?matvec_many:(Vec.t array -> Vec.t array) ->
   rng:Psdp_prelude.Rng.t ->
   samples:int ->
   dim:int ->
@@ -35,5 +36,12 @@ val exp_trace :
   (Vec.t -> Vec.t) ->
   float
 (** [exp_trace ~kappa ~eps matvec] estimates [Tr exp(Φ)] for PSD [Φ]
-    with [‖Φ‖₂ <= kappa]: Hutchinson probes pushed through the Lemma-4.2
-    polynomial for [exp(Φ/2)], using [Tr e^Φ = E‖e^{Φ/2}z‖²]. *)
+    with [‖Φ‖₂ <= kappa]: Hutchinson probes pushed through a one-sided
+    polynomial for [exp(Φ/2)], using [Tr e^Φ = E‖e^{Φ/2}z‖²]. The
+    polynomial follows the process-wide default
+    ({!Poly.default_choice}): certified Chebyshev with its remainder
+    shift, or the Lemma-4.2 Taylor prefix (also the fallback when
+    certification is out of double precision's reach). All probes
+    advance as one batched panel; [matvec_many], when given, must agree
+    column-wise with [matvec] and makes each degree step a single pass
+    over the operator data. *)

@@ -19,6 +19,11 @@
     - ["store.append"] — every journal append (argument: journal path)
     - ["solver.decision_call"] — entry of every bisection decision call
     - ["expm.eval"] — every sketched exponential kernel evaluation
+    - ["expm.cheb.remainder"] — the certified Chebyshev remainder shift
+      (data point: supports [Corrupt]); any tamper deterministically
+      breaks the shift's one-sidedness, which the
+      [cheb_remainder_sound] QA property catches against dense
+      eigendecomposition ground truth
     - ["engine.job_attempt"] — start of every engine job attempt
       (argument: the job id — filter on it to poison one job)
     - ["evaluator.dots.exact"], ["evaluator.dots.sketched"] — the first

@@ -124,6 +124,89 @@ let gemv m x =
       done;
       !s)
 
+(* Panel gemv: one pass over the matrix serves every column (each entry
+   is loaded once for all p right-hand sides). Per (row, column) the
+   accumulation order over [j] matches {!gemv}, so column [r] of the
+   result is byte-identical to [gemv m xs.(r)]. *)
+let gemv_many m xs =
+  let p = Array.length xs in
+  Array.iter
+    (fun x ->
+      if Array.length x <> m.cols then
+        invalid_arg "Mat.gemv_many: dimension mismatch")
+    xs;
+  Cost.parallel
+    ~work:(2 * m.rows * m.cols * max 1 p)
+    ~span:(2 * m.cols);
+  let ys = Array.init p (fun _ -> Array.make m.rows 0.0) in
+  if p > 0 then begin
+    let acc = Array.make p 0.0 in
+    for i = 0 to m.rows - 1 do
+      let base = i * m.cols in
+      Array.fill acc 0 p 0.0;
+      for j = 0 to m.cols - 1 do
+        let v = m.a.(base + j) in
+        for r = 0 to p - 1 do
+          acc.(r) <- acc.(r) +. (v *. xs.(r).(j))
+        done
+      done;
+      for r = 0 to p - 1 do
+        ys.(r).(i) <- acc.(r)
+      done
+    done
+  end;
+  ys
+
+(* Tiled symmetric matvec. Diagonal tiles are read in full; an
+   off-diagonal tile (I, J) with I < J is loaded once and serves both
+   y_I += A_IJ x_J and y_J += A_IJᵀ x_I, so only the upper triangle of
+   tiles is touched — about half the memory traffic of gemv on a
+   symmetric operand, with every tile resident in cache while it is
+   used twice. *)
+let symv_tile = 64
+
+let symv_into m x ~into:y =
+  if not (is_square m) then invalid_arg "Mat.symv: not square";
+  let n = m.rows in
+  if Array.length x <> n then invalid_arg "Mat.symv: dimension mismatch";
+  if Array.length y <> n then invalid_arg "Mat.symv: output dimension mismatch";
+  (* Aliased input/output is allowed: snapshot x before clearing y. *)
+  let x = if x == y then Array.copy x else x in
+  Array.fill y 0 n 0.0;
+  Cost.parallel ~work:((n * n) + n) ~span:(2 * n);
+  let b = symv_tile in
+  let nb = Util.ceil_div n b in
+  for ib = 0 to nb - 1 do
+    let i_lo = ib * b and i_hi = min n ((ib + 1) * b) in
+    for i = i_lo to i_hi - 1 do
+      let base = i * n in
+      let s = ref 0.0 in
+      for j = i_lo to i_hi - 1 do
+        s := !s +. (m.a.(base + j) *. x.(j))
+      done;
+      y.(i) <- y.(i) +. !s
+    done;
+    for jb = ib + 1 to nb - 1 do
+      let j_lo = jb * b and j_hi = min n ((jb + 1) * b) in
+      for i = i_lo to i_hi - 1 do
+        let base = i * n in
+        let xi = x.(i) in
+        let s = ref 0.0 in
+        for j = j_lo to j_hi - 1 do
+          let v = m.a.(base + j) in
+          s := !s +. (v *. x.(j));
+          y.(j) <- y.(j) +. (v *. xi)
+        done;
+        y.(i) <- y.(i) +. !s
+      done
+    done
+  done
+
+let symv m x =
+  let y = Array.make m.rows 0.0 in
+  symv_into m x ~into:y;
+  y
+
 let gemv_t m x =
   if m.rows <> Array.length x then
     invalid_arg "Mat.gemv_t: dimension mismatch";

@@ -52,6 +52,21 @@ val gemv : t -> Vec.t -> Vec.t
 val gemv_t : t -> Vec.t -> Vec.t
 (** [gemv_t a x] is [Aᵀ x] without forming the transpose. *)
 
+val gemv_many : t -> Vec.t array -> Vec.t array
+(** [gemv_many a xs] is [[| A xs.(0); …; A xs.(p-1) |]] in one pass over
+    the matrix entries (each loaded once for all columns). Column [r]
+    is byte-identical to [gemv a xs.(r)]. *)
+
+val symv : t -> Vec.t -> Vec.t
+(** Tiled matvec for a {e symmetric} square matrix: off-diagonal tiles
+    are loaded once and serve both their row and column blocks, halving
+    memory traffic versus {!gemv}. The matrix is assumed symmetric —
+    only diagonal tiles and the upper triangle of tiles are read. *)
+
+val symv_into : t -> Vec.t -> into:Vec.t -> unit
+(** In-place {!symv}. [into] is overwritten; it may alias the input
+    vector (the input is snapshotted first). *)
+
 val outer : Vec.t -> t
 (** [outer v] is the rank-one matrix [v vᵀ]. *)
 

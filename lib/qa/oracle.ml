@@ -152,6 +152,82 @@ let resume_replay spec =
     else ok
   end
 
+(* The certified-Chebyshev default and the paper's Taylor prefix are
+   independent one-sided polynomials for the same exp(Φ/2); at matched
+   accuracy their certified brackets must agree. *)
+let taylor_chebyshev_agree spec =
+  let inst, _ = Spec.build spec in
+  let backend =
+    Decision.Sketched { seed = spec.Spec.seed lxor 0xC4EB; sketch_dim = None }
+  in
+  let solve poly =
+    Psdp_expm.Big_dot_exp.with_poly poly (fun () ->
+        Solver.solve_packing ~backend ~eps inst)
+  in
+  let bt = bracket_of (solve Psdp_expm.Big_dot_exp.Taylor) in
+  let bc = bracket_of (solve Psdp_expm.Big_dot_exp.Chebyshev) in
+  let* () = valid_bracket "taylor" bt in
+  let* () = valid_bracket "chebyshev" bc in
+  let* () = gap_within "taylor" bt ((1.0 +. eps) *. (1.0 +. (eps /. 2.0))) in
+  let* () =
+    gap_within "chebyshev" bc ((1.0 +. eps) *. (1.0 +. (eps /. 2.0)))
+  in
+  intersect ~tol:(slack +. (eps /. 2.0)) "taylor" bt "chebyshev" bc
+
+(* Soundness of the instance-computable Chebyshev remainder bound
+   itself, against dense eigendecomposition ground truth: on a random
+   matrix with spectrum inside the certified interval,
+   p̂(X) + r·I − exp(X) must be PSD with operator norm at most 2r.
+   This is the oracle that catches a corrupted remainder shift
+   (failpoint [Poly.remainder_failpoint]): the solver's
+   ratio-normalized decisions absorb scalar shifts, so a broken bound
+   is observable only as the loss of one-sidedness checked here. *)
+let cheb_remainder_sound spec =
+  let rng = Rng.create (spec.Spec.seed lxor 0xC4EB) in
+  let kappa = 0.5 +. (17.5 *. Rng.uniform rng) in
+  let eps_t = 0.05 +. (0.3 *. Rng.uniform rng) in
+  match Psdp_expm.Poly.chebyshev_certified ~kappa ~eps:eps_t with
+  | None -> failf "certification failed for kappa=%.6g eps=%.6g" kappa eps_t
+  | Some (degree, r) ->
+      let m = 6 in
+      let u =
+        Qr.orthonormal_columns (Mat.init m m (fun _ _ -> Rng.gaussian rng))
+      in
+      (* Pin one eigenvalue at each end so the interval is exercised. *)
+      let evals =
+        Array.init m (fun i ->
+            if i = 0 then kappa
+            else if i = 1 then 0.0
+            else kappa *. Rng.uniform rng)
+      in
+      let x_mat =
+        Mat.symmetrize (Mat.mul (Mat.mul u (Mat.diag evals)) (Mat.transpose u))
+      in
+      let basis j = Array.init m (fun i -> if i = j then 1.0 else 0.0) in
+      let p_mat =
+        Mat.symmetrize
+          (Mat.of_rows
+             (Array.init m (fun j ->
+                  Psdp_expm.Poly.chebyshev_apply_shifted
+                    ~matvec:(Mat.gemv x_mat) ~kappa ~degree ~remainder:r
+                    (basis j))))
+      in
+      let diff = Mat.sub p_mat (Matfun.expm x_mat) in
+      let { Eig.values; _ } = Eig.symmetric diff in
+      let tol = 1e-12 *. float_of_int m *. exp kappa in
+      let lo = values.(m - 1) and hi = values.(0) in
+      if lo < -.tol then
+        failf
+          "one-sidedness violated: λmin(p̂(X)+rI−exp(X)) = %.6g < 0 (κ=%.6g \
+           eps=%.6g degree=%d r=%.6g)"
+          lo kappa eps_t degree r
+      else if hi > (2.0 *. r) +. tol then
+        failf
+          "remainder bound violated: ‖p̂(X)+rI−exp(X)‖ = %.6g > 2r = %.6g \
+           (κ=%.6g eps=%.6g degree=%d)"
+          hi (2.0 *. r) kappa eps_t degree
+      else ok
+
 (* ------------------------------------------------------------------ *)
 (* Metamorphic invariants *)
 

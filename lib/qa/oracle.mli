@@ -43,6 +43,21 @@ val known_opt : check
 (** Families with analytic optima: the certified bracket contains OPT,
     and [value >= OPT/(1+eps)] up to verification slack. *)
 
+val taylor_chebyshev_agree : check
+(** The certified-Chebyshev default and the Lemma-4.2 Taylor prefix are
+    independent one-sided polynomials for the same [exp(Φ/2)]: sketched
+    solves under each (same sketch seed) must produce intersecting
+    certified brackets. *)
+
+val cheb_remainder_sound : check
+(** On generated spectral intervals [[0, κ]] the certified Chebyshev
+    remainder is sound against dense eigendecomposition ground truth:
+    [p̂(X) + r·I − exp(X)] is PSD with operator norm at most [2r]. This
+    is the oracle that catches a corrupted remainder shift
+    ({!Psdp_expm.Poly.remainder_failpoint}): the solver's
+    ratio-normalized decisions absorb scalar shifts, so a broken bound
+    is observable only as lost one-sidedness. *)
+
 val resume_replay : check
 (** Crash-consistency: interrupt a checkpointed
     {!Psdp_core.Solver.solve_packing} after an intermediate decision

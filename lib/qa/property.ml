@@ -52,6 +52,24 @@ let all =
       check = Oracle.known_opt;
     };
     {
+      name = "taylor_chebyshev_agree";
+      doc =
+        "the certified-Chebyshev default and the Lemma-4.2 Taylor prefix \
+         produce intersecting certified brackets at matched accuracy \
+         (catches a corrupted remainder shift)";
+      applies = always;
+      check = Oracle.taylor_chebyshev_agree;
+    };
+    {
+      name = "cheb_remainder_sound";
+      doc =
+        "on generated spectral intervals the certified Chebyshev remainder \
+         is one-sided and tight against dense eigendecomposition ground \
+         truth: p\xcc\x82(X)+rI\xe2\x88\x92exp(X) is PSD with norm <= 2r";
+      applies = always;
+      check = Oracle.cheb_remainder_sound;
+    };
+    {
       name = "resume_replay";
       doc =
         "resuming an interrupted checkpointed solve reproduces the \

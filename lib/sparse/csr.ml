@@ -131,6 +131,39 @@ let spmv ?(pool = Psdp_parallel.Pool.sequential) t x =
       done);
   y
 
+(* Panel SpMV: one pass over the nonzeros serves every column. Per
+   (row, column) the accumulation order over the row's nonzeros is
+   identical to {!spmv}, so column [r] of the result is byte-identical
+   to [spmv t xs.(r)] — the differential tests depend on it. *)
+let spmv_many ?(pool = Psdp_parallel.Pool.sequential) t xs =
+  let p = Array.length xs in
+  Array.iter
+    (fun x ->
+      if Array.length x <> t.cols then
+        invalid_arg "Csr.spmv_many: dimension mismatch")
+    xs;
+  Cost.parallel
+    ~work:(2 * nnz t * max 1 p)
+    ~span:(2 * Util.ceil_div (nnz t) (max 1 t.rows));
+  let ys = Array.init p (fun _ -> Array.make t.rows 0.0) in
+  if p > 0 then
+    Psdp_parallel.Pool.parallel_for_chunks pool ~lo:0 ~hi:t.rows
+      (fun row_lo row_hi ->
+        let acc = Array.make p 0.0 in
+        for i = row_lo to row_hi - 1 do
+          Array.fill acc 0 p 0.0;
+          for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+            let v = t.values.(k) and c = t.col_idx.(k) in
+            for r = 0 to p - 1 do
+              acc.(r) <- acc.(r) +. (v *. xs.(r).(c))
+            done
+          done;
+          for r = 0 to p - 1 do
+            ys.(r).(i) <- acc.(r)
+          done
+        done);
+  ys
+
 let spmv_t t x =
   if Array.length x <> t.rows then
     invalid_arg "Csr.spmv_t: dimension mismatch";

@@ -37,6 +37,11 @@ val transpose : t -> t
 val spmv : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t -> Vec.t
 (** [spmv a x] is [A x], parallel over rows. *)
 
+val spmv_many : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t array -> Vec.t array
+(** [spmv_many a xs] is [[| A xs.(0); …; A xs.(p-1) |]] in one pass over
+    the nonzeros (each entry is read once and serves every column),
+    parallel over rows. Column [r] is byte-identical to [spmv a xs.(r)]. *)
+
 val spmv_t : t -> Vec.t -> Vec.t
 (** [Aᵀ x] without materializing the transpose (sequential scatter). *)
 

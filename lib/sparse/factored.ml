@@ -1,3 +1,4 @@
+open Psdp_prelude
 open Psdp_linalg
 
 type t = {
@@ -52,6 +53,50 @@ let factor a = a.q
 let factor_t a = a.qt
 
 let apply ?pool a v = Csr.spmv ?pool a.q (Csr.spmv ?pool a.qt v)
+
+let apply_many ?pool a vs = Csr.spmv_many ?pool a.q (Csr.spmv_many ?pool a.qt vs)
+
+(* Σ_r ‖Qᵀ zs.(r)‖² in ONE sweep of Qᵀ's nonzeros: row j of Qᵀ yields
+   u_{r,j} for every column r before moving on, so work tracks
+   nnz(Q)·|zs| with each nonzero loaded once (Corollary 1.2's
+   nnz-proportional promise, now also cache-proportional). Accumulation
+   per (j, r) follows the row's nonzeros in order and the total sums
+   per-column subtotals in column order — byte-identical to the
+   column-at-a-time [Σ_r ‖spmv qt zs.(r)‖²]. *)
+let gram_dot_many a zs =
+  let p = Array.length zs in
+  if p = 0 then 0.0
+  else begin
+    let qt = a.qt in
+    Array.iter
+      (fun z ->
+        if Array.length z <> Csr.cols qt then
+          invalid_arg "Factored.gram_dot_many: dimension mismatch")
+      zs;
+    Cost.parallel
+      ~work:(2 * Csr.nnz qt * p)
+      ~span:(2 * Util.ceil_div (Csr.nnz qt) (max 1 (Csr.rows qt)));
+    let { Csr.row_ptr; col_idx; values; _ } = qt in
+    let partial = Array.make p 0.0 in
+    let urow = Array.make p 0.0 in
+    for j = 0 to Csr.rows qt - 1 do
+      Array.fill urow 0 p 0.0;
+      for k = row_ptr.(j) to row_ptr.(j + 1) - 1 do
+        let v = values.(k) and c = col_idx.(k) in
+        for r = 0 to p - 1 do
+          urow.(r) <- urow.(r) +. (v *. zs.(r).(c))
+        done
+      done;
+      for r = 0 to p - 1 do
+        partial.(r) <- partial.(r) +. (urow.(r) *. urow.(r))
+      done
+    done;
+    let s = ref 0.0 in
+    for r = 0 to p - 1 do
+      s := !s +. partial.(r)
+    done;
+    !s
+  end
 
 let trace a = a.trace
 

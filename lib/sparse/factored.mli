@@ -46,6 +46,17 @@ val factor_t : t -> Csr.t
 val apply : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t -> Vec.t
 (** [apply a v] is [A v = Q (Qᵀ v)] in [O(nnz)] work. *)
 
+val apply_many : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t array -> Vec.t array
+(** Panel version of {!apply}: both sparse products make one pass over
+    their nonzeros for all columns. Column [r] is byte-identical to
+    [apply a vs.(r)]. *)
+
+val gram_dot_many : t -> Vec.t array -> float
+(** [gram_dot_many a zs = Σ_r ‖Qᵀ zs.(r)‖²] in one sweep of [Qᵀ]'s
+    nonzeros — the sketched-Gram stage of [bigDotExp], where [zs] are the
+    rows of [Π p̂(Φ/2)]. Byte-identical to summing [‖spmv qt zs.(r)‖²]
+    column by column. *)
+
 val trace : t -> float
 (** [Tr A = ‖Q‖²_F]. *)
 

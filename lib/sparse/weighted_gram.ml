@@ -82,6 +82,18 @@ let apply ?pool t v =
   done;
   Csr.spmv ?pool t.q u
 
+(* Panel application: both sparse products sweep their nonzeros once for
+   all columns. Per column the arithmetic matches [apply] exactly. *)
+let apply_many ?pool t vs =
+  let us = Csr.spmv_many ?pool t.qt vs in
+  Array.iter
+    (fun u ->
+      for j = 0 to Array.length u - 1 do
+        u.(j) <- u.(j) *. t.col_weight.(j)
+      done)
+    us;
+  Csr.spmv_many ?pool t.q us
+
 let trace t =
   let s = ref 0.0 in
   for i = 0 to Array.length t.x - 1 do

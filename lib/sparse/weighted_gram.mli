@@ -29,6 +29,12 @@ val weights : t -> float array
 val apply : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t -> Vec.t
 (** [apply t v = Ψ(x) v]. *)
 
+val apply_many : ?pool:Psdp_parallel.Pool.t -> t -> Vec.t array -> Vec.t array
+(** [apply_many t vs]: all of [Ψ(x) vs.(r)] with one pass over the
+    nonzeros per sparse product (each entry read once, serving every
+    column). Column [r] is byte-identical to [apply t vs.(r)] — the
+    batched polynomial chains in [bigDotExp] rely on this. *)
+
 val trace : t -> float
 (** [Tr Ψ(x) = Σᵢ xᵢ Tr Aᵢ], O(n). *)
 

@@ -314,6 +314,34 @@ let test_evaluator_exact_vs_identity_sketch () =
   | None -> Alcotest.fail "exact evaluator must materialize W");
   Alcotest.(check bool) "sketched has no W" true (s.Evaluator.w = None)
 
+let test_evaluator_spiked_spectrum_clamped_degree () =
+  (* Regression: a spiked λmax estimate (huge weights) must not inflate
+     the degree-selection interval past the tracked Lemma-3.2 bound.
+     The clamped estimate equals the analytic cap exactly, so the
+     selected degree matches the cap's own degree. *)
+  let rng = Rng.create 229 in
+  let inst = Random_psd.factored ~rng ~dim:8 ~n:3 ~rank:2 () in
+  let params = Params.of_eps ~eps:0.3 ~n:3 in
+  let sketched =
+    Evaluator.create
+      ~backend:(Decision.Sketched { seed = 5; sketch_dim = Some 4 })
+      ~params inst
+  in
+  let analytic_cap =
+    (1.0 +. (10.0 *. params.Params.eps)) *. params.Params.k_cap
+  in
+  let half_kappa = 0.5 *. Float.max 1.0 analytic_cap in
+  let poly_eps = params.Params.eps /. 4.0 in
+  let cap_degree =
+    match Psdp_expm.Poly.chebyshev_certified ~kappa:half_kappa ~eps:poly_eps with
+    | Some (d, _) -> d
+    | None -> Psdp_expm.Poly.degree ~kappa:half_kappa ~eps:poly_eps
+  in
+  let spiked = Array.make 3 1e12 in
+  let e = sketched spiked in
+  Alcotest.(check int) "degree clamped to the analytic cap" cap_degree
+    e.Evaluator.degree
+
 (* ------------------------------------------------------------------ *)
 (* Decision (Algorithm 3.1) *)
 
@@ -805,6 +833,8 @@ let () =
         [
           Alcotest.test_case "exact vs identity sketch" `Quick
             test_evaluator_exact_vs_identity_sketch;
+          Alcotest.test_case "spiked spectrum clamps degree" `Quick
+            test_evaluator_spiked_spectrum_clamped_degree;
         ] );
       ( "decision",
         [

@@ -185,6 +185,166 @@ let test_chebyshev_validation () =
     (Invalid_argument "Poly.chebyshev_degree: eps must lie in (0,1)")
     (fun () -> ignore (Poly.chebyshev_degree ~kappa:1.0 ~eps:0.0))
 
+(* ------------------------------------------------------------------ *)
+(* Certified Chebyshev remainder *)
+
+(* One-sidedness on the scalar spectrum: for certified (d, r) the
+   shifted polynomial satisfies e^λ <= p̂(λ)+r <= e^λ+2r on a dense grid
+   of the certified interval. The 1-dimensional "matrix" λ makes
+   chebyshev_apply_shifted evaluate the scalar polynomial exactly as
+   the matrix path would on an eigenvector. *)
+let check_certified_scalar ~kappa ~eps =
+  match Poly.chebyshev_certified ~kappa ~eps with
+  | None -> Alcotest.failf "certification failed at kappa=%g eps=%g" kappa eps
+  | Some (degree, r) ->
+      let target = (sqrt (1.0 +. eps) -. 1.0) /. 2.0 in
+      if r > target then
+        Alcotest.failf "shift %g exceeds target %g (kappa=%g eps=%g)" r target
+          kappa eps;
+      let tol = 1e-13 *. exp kappa in
+      for j = 0 to 200 do
+        let lambda = kappa *. float_of_int j /. 200.0 in
+        let p =
+          (Poly.chebyshev_apply_shifted
+             ~matvec:(fun v -> [| lambda *. v.(0) |])
+             ~kappa ~degree ~remainder:r [| 1.0 |]).(0)
+        in
+        let e = exp lambda in
+        if p < e -. tol then
+          Alcotest.failf
+            "one-sidedness violated at lambda=%g: p=%.17g < e^l=%.17g \
+             (kappa=%g eps=%g d=%d r=%g)"
+            lambda p e kappa eps degree r;
+        if p > e +. (2.0 *. r) +. tol then
+          Alcotest.failf
+            "bound violated at lambda=%g: p=%.17g > e^l+2r=%.17g (kappa=%g \
+             eps=%g d=%d)"
+            lambda p
+            (e +. (2.0 *. r))
+            kappa eps degree
+      done
+
+let test_cheb_certified_one_sided () =
+  List.iter
+    (fun kappa ->
+      List.iter (fun eps -> check_certified_scalar ~kappa ~eps) [ 0.01; 0.1; 0.3 ])
+    [ 0.7; 3.0; 9.0; 14.0; 22.0 ]
+
+(* "Worst observed κ" pin: the certification frontier at the solver's
+   operating accuracy must not regress. The solver's clamped half-κ at
+   eps = 0.3 is ≈ 14; certification must comfortably cover that and
+   keep working well past it, and must honestly refuse beyond the
+   hard cap. *)
+let test_cheb_certified_frontier () =
+  let eps = 0.15 in
+  (match Poly.chebyshev_certified ~kappa:25.0 ~eps with
+  | Some (d, r) ->
+      if d > 60 then Alcotest.failf "degree blew up at the frontier: %d" d;
+      if r <= 0.0 then Alcotest.failf "non-positive shift %g" r
+  | None -> Alcotest.fail "kappa=25 must certify at eps=0.15");
+  (match Poly.chebyshev_certified ~kappa:601.0 ~eps with
+  | None -> ()
+  | Some _ -> Alcotest.fail "kappa beyond the hard cap must not certify");
+  (* the remainder bound is monotone in the degree *)
+  let r5 = Poly.chebyshev_remainder ~kappa:10.0 ~degree:5 in
+  let r15 = Poly.chebyshev_remainder ~kappa:10.0 ~degree:15 in
+  if r15 >= r5 then
+    Alcotest.failf "remainder not decreasing: r(15)=%g >= r(5)=%g" r15 r5
+
+let test_clamp_kappa () =
+  Alcotest.(check (float 0.0)) "below cap" 5.0 (Poly.clamp_kappa ~cap:28.0 5.0);
+  Alcotest.(check (float 0.0)) "above cap" 28.0 (Poly.clamp_kappa ~cap:28.0 1e9);
+  Alcotest.(check (float 0.0)) "nan falls to cap" 28.0
+    (Poly.clamp_kappa ~cap:28.0 Float.nan);
+  Alcotest.(check (float 0.0)) "inf falls to cap" 28.0
+    (Poly.clamp_kappa ~cap:28.0 Float.infinity);
+  Alcotest.(check (float 0.0)) "negative falls to cap" 28.0
+    (Poly.clamp_kappa ~cap:28.0 (-3.0));
+  Alcotest.check_raises "bad cap"
+    (Invalid_argument "Poly.clamp_kappa: cap must be finite and positive")
+    (fun () -> ignore (Poly.clamp_kappa ~cap:0.0 1.0))
+
+(* Panel applications must be byte-identical per column to the scalar
+   chains, for all three polynomial paths, when matvec_many agrees
+   column-wise with matvec (here: Mat.gemv_many vs Mat.gemv). *)
+let test_poly_apply_many_byte_identical () =
+  let rng = Rng.create 229 in
+  let a = random_psd rng 9 0.3 in
+  let kappa = Float.max 1.0 (Eig.lambda_max a) in
+  let vs = Array.init 5 (fun _ -> Rng.gaussian_array rng 9) in
+  let matvec = Mat.gemv a and matvec_many = Mat.gemv_many a in
+  let check name singles panel =
+    Array.iteri
+      (fun r want ->
+        if not (Vec.equal ~tol:0.0 want panel.(r)) then
+          Alcotest.failf "%s column %d differs from scalar chain" name r)
+      singles
+  in
+  check "apply_many"
+    (Array.map (Poly.apply ~matvec ~degree:7) vs)
+    (Poly.apply_many ~matvec_many ~degree:7 vs);
+  check "chebyshev_apply_many"
+    (Array.map (Poly.chebyshev_apply ~matvec ~kappa ~degree:9) vs)
+    (Poly.chebyshev_apply_many ~matvec_many ~kappa ~degree:9 vs);
+  let remainder = 0.01 in
+  check "chebyshev_apply_shifted_many"
+    (Array.map (Poly.chebyshev_apply_shifted ~matvec ~kappa ~degree:9 ~remainder) vs)
+    (Poly.chebyshev_apply_shifted_many ~matvec_many ~kappa ~degree:9 ~remainder vs)
+
+(* With the identity sketch and the certified Chebyshev default, the
+   dots are sandwiched: at least the exact value, at most (1+eps) of
+   it (the certified square (1+2r)² <= 1+eps/2 plus truncation). *)
+let test_bigdotexp_sketched_vs_exact_chebyshev_default () =
+  Alcotest.(check bool) "default is chebyshev" true
+    (Big_dot_exp.default_poly () = Big_dot_exp.Chebyshev);
+  let rng = Rng.create 233 in
+  let phi = random_psd rng 8 0.4 in
+  let factors = Array.init 3 (fun _ -> random_factored rng 8 2) in
+  let eps = 0.1 in
+  let r =
+    Big_dot_exp.compute ~matvec:(Mat.gemv phi) ~dim:8
+      ~kappa:(Eig.lambda_max phi) ~eps ~sketch:(Jl.identity 8) factors
+  in
+  Alcotest.(check bool) "poly_used" true
+    (r.Big_dot_exp.poly_used = Big_dot_exp.Chebyshev);
+  Alcotest.(check bool) "positive shift" true (r.Big_dot_exp.remainder > 0.0);
+  Alcotest.(check bool) "matvecs accounted" true (r.Big_dot_exp.matvecs > 0);
+  let exact = Big_dot_exp.compute_exact phi factors in
+  Array.iteri
+    (fun i d ->
+      let got = r.Big_dot_exp.dots.(i) in
+      if got < d *. (1.0 -. 1e-9) then
+        Alcotest.failf "dot %d below exact: %.17g < %.17g" i got d;
+      if got > d *. (1.0 +. eps) then
+        Alcotest.failf "dot %d above certified band: %.17g > %.17g" i got
+          (d *. (1.0 +. eps)))
+    exact.Big_dot_exp.dots
+
+(* Kernel counters: panel columns, matvecs and eval counts mirror into
+   the psdp_kernel_* metrics. *)
+let test_kernel_stats_counters () =
+  Kernel_stats.reset ();
+  let rng = Rng.create 239 in
+  let phi = random_psd rng 6 0.3 in
+  let factors = [| random_factored rng 6 2 |] in
+  let run poly =
+    ignore
+      (Big_dot_exp.compute ~poly ~matvec:(Mat.gemv phi)
+         ~matvec_many:(Mat.gemv_many phi) ~dim:6 ~kappa:(Eig.lambda_max phi)
+         ~eps:0.1 ~sketch:(Jl.identity 6) factors)
+  in
+  run Big_dot_exp.Chebyshev;
+  run Big_dot_exp.Taylor;
+  Alcotest.(check int) "cheb evals" 1 (Kernel_stats.cheb_evals ());
+  Alcotest.(check int) "taylor evals" 1 (Kernel_stats.taylor_evals ());
+  Alcotest.(check int) "panel columns" 12 (Kernel_stats.panel_columns ());
+  Alcotest.(check int) "gram passes" 2 (Kernel_stats.gram_passes ());
+  Alcotest.(check bool) "matvecs counted" true (Kernel_stats.matvecs () > 0);
+  Alcotest.(check int) "no fallback at small kappa" 0
+    (Kernel_stats.taylor_fallbacks ());
+  Kernel_stats.reset ();
+  Alcotest.(check int) "reset" 0 (Kernel_stats.matvecs ())
+
 let test_bigdotexp_chebyshev_backend () =
   let rng = Rng.create 223 in
   let phi = random_psd rng 10 0.3 in
@@ -323,19 +483,37 @@ let test_bigdotexp_gaussian_sketch_statistics () =
   if median > 0.8 then Alcotest.failf "sketched dots median error %g" median
 
 let test_bigdotexp_zero_phi () =
-  (* exp(0) = I: dots reduce to traces. *)
+  (* exp(0) = I: dots reduce to traces. The Taylor prefix is exact at
+     zero; the certified Chebyshev default is one-sided — at least the
+     trace, and within the certified eps of it. *)
   let rng = Rng.create 31 in
   let factors = Array.init 3 (fun _ -> random_factored rng 6 2) in
   let phi = Mat.create 6 6 in
-  let r =
-    Big_dot_exp.compute ~matvec:(Mat.gemv phi) ~dim:6 ~kappa:1.0 ~eps:0.01
-      ~sketch:(Jl.identity 6) factors
+  let eps = 0.01 in
+  let taylor =
+    Big_dot_exp.compute ~poly:Big_dot_exp.Taylor ~matvec:(Mat.gemv phi) ~dim:6
+      ~kappa:1.0 ~eps ~sketch:(Jl.identity 6) factors
   in
   Array.iteri
     (fun i f ->
       Alcotest.(check (float 1e-6))
         (Printf.sprintf "trace %d" i)
-        (Factored.trace f) r.Big_dot_exp.dots.(i))
+        (Factored.trace f)
+        taylor.Big_dot_exp.dots.(i))
+    factors;
+  let cheb =
+    Big_dot_exp.compute ~poly:Big_dot_exp.Chebyshev ~matvec:(Mat.gemv phi)
+      ~dim:6 ~kappa:1.0 ~eps ~sketch:(Jl.identity 6) factors
+  in
+  Alcotest.(check bool) "chebyshev ran" true (cheb.Big_dot_exp.poly_used = Big_dot_exp.Chebyshev);
+  Array.iteri
+    (fun i f ->
+      let tr = Factored.trace f and d = cheb.Big_dot_exp.dots.(i) in
+      if d < tr -. 1e-9 then
+        Alcotest.failf "dot %d below trace: %.17g < %.17g" i d tr;
+      if d > tr *. (1.0 +. eps) then
+        Alcotest.failf "dot %d above certified band: %.17g > %.17g" i d
+          (tr *. (1.0 +. eps)))
     factors
 
 let test_bigdotexp_dimension_checks () =
@@ -374,10 +552,46 @@ let prop_bigdotexp_nonneg =
       in
       r.Big_dot_exp.dots.(0) >= 0.0 && r.trace_estimate > 0.0)
 
+let prop_cheb_remainder_certified =
+  (* Generated spectral intervals and accuracies: the certified (d, r)
+     keeps the shifted polynomial one-sided within 2r of e^λ across the
+     interval. Integer-encoded κ = k/10 and ε = e/100 shrink toward the
+     smallest failing interval; failures replay via the pinned
+     PSDP_QA_SEED line printed by the harness. *)
+  QCheck.Test.make ~name:"chebyshev remainder certifies one-sidedness"
+    ~count:50
+    QCheck.(pair (int_range 1 180) (int_range 2 31))
+    (fun (k10, e100) ->
+      let kappa = float_of_int k10 /. 10.0 in
+      let eps = float_of_int e100 /. 100.0 in
+      match Poly.chebyshev_certified ~kappa ~eps with
+      | None -> false
+      | Some (degree, r) ->
+          (* κ is floored at 1 inside certification; evaluate on the
+             certified interval, not just the requested one. *)
+          let kappa = Float.max 1.0 kappa in
+          let tol = 1e-13 *. exp kappa in
+          let ok = ref (r > 0.0 && r <= (sqrt (1.0 +. eps) -. 1.0) /. 2.0) in
+          for j = 0 to 40 do
+            let lambda = kappa *. float_of_int j /. 40.0 in
+            let p =
+              (Poly.chebyshev_apply_shifted
+                 ~matvec:(fun v -> [| lambda *. v.(0) |])
+                 ~kappa ~degree ~remainder:r [| 1.0 |]).(0)
+            in
+            let e = exp lambda in
+            if p < e -. tol || p > e +. (2.0 *. r) +. tol then ok := false
+          done;
+          !ok)
+
 let qcheck_cases =
   List.map
     Qa_harness.to_alcotest
-    [ prop_poly_monotone_degree; prop_bigdotexp_nonneg ]
+    [
+      prop_poly_monotone_degree;
+      prop_bigdotexp_nonneg;
+      prop_cheb_remainder_certified;
+    ]
 
 let () =
   Alcotest.run "expm"
@@ -408,6 +622,13 @@ let () =
             test_chebyshev_validation;
           Alcotest.test_case "bigdotexp chebyshev" `Quick
             test_bigdotexp_chebyshev_backend;
+          Alcotest.test_case "certified one-sided" `Quick
+            test_cheb_certified_one_sided;
+          Alcotest.test_case "certified frontier" `Quick
+            test_cheb_certified_frontier;
+          Alcotest.test_case "clamp kappa" `Quick test_clamp_kappa;
+          Alcotest.test_case "apply_many byte-identical" `Quick
+            test_poly_apply_many_byte_identical;
         ] );
       ( "trace_est",
         [
@@ -430,6 +651,9 @@ let () =
           Alcotest.test_case "zero phi" `Quick test_bigdotexp_zero_phi;
           Alcotest.test_case "dimension checks" `Quick
             test_bigdotexp_dimension_checks;
+          Alcotest.test_case "chebyshev default sandwich" `Quick
+            test_bigdotexp_sketched_vs_exact_chebyshev_default;
+          Alcotest.test_case "kernel stats" `Quick test_kernel_stats_counters;
         ] );
       ("properties", qcheck_cases);
     ]

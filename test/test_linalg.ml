@@ -100,6 +100,57 @@ let test_mat_outer () =
   Alcotest.(check bool) "outer" true
     (Mat.equal m (Mat.of_rows [| [| 1.0; -2.0 |]; [| -2.0; 4.0 |] |]))
 
+(* Differential: the blocked symmetric matvec against the naive gemv,
+   on shapes adversarial to the tiling (n = 1, exact tile multiples,
+   off-by-one remainders) and with aliased input/output. Accumulation
+   order differs between the two, so comparison is tolerance-based. *)
+let test_mat_symv_matches_gemv () =
+  let rng = Rng.create 4242 in
+  List.iter
+    (fun n ->
+      let a = random_symmetric rng (max n 1) in
+      let x = Array.init n (fun _ -> Rng.gaussian rng) in
+      let want = Mat.gemv a x in
+      let got = Mat.symv a x in
+      Array.iteri
+        (fun i w ->
+          if not (Util.close ~rtol:1e-12 ~atol:1e-12 w got.(i)) then
+            Alcotest.failf "symv n=%d row %d: %.17g vs gemv %.17g" n i got.(i)
+              w)
+        want;
+      (* Aliased output: symv_into must snapshot the input first. *)
+      let y = Array.copy x in
+      Mat.symv_into a y ~into:y;
+      Array.iteri
+        (fun i w ->
+          if not (Util.close ~rtol:1e-12 ~atol:1e-12 w y.(i)) then
+            Alcotest.failf "aliased symv n=%d row %d: %.17g vs %.17g" n i y.(i)
+              w)
+        want)
+    [ 1; 2; 63; 64; 65; 127; 130 ]
+
+(* Differential: the panel gemv must be byte-identical per column to
+   the one-vector gemv — same accumulation order by construction. *)
+let test_mat_gemv_many_byte_identical () =
+  let rng = Rng.create 4343 in
+  List.iter
+    (fun (rows, cols, p) ->
+      let a = random_matrix rng rows cols in
+      let xs = Array.init p (fun _ -> Array.init cols (fun _ -> Rng.gaussian rng)) in
+      let ys = Mat.gemv_many a xs in
+      Array.iteri
+        (fun r x ->
+          let want = Mat.gemv a x in
+          Array.iteri
+            (fun i w ->
+              if w <> ys.(r).(i) then
+                Alcotest.failf "gemv_many (%dx%d, p=%d) col %d row %d differs"
+                  rows cols p r i)
+            want)
+        xs;
+      Alcotest.(check int) "empty panel" 0 (Array.length (Mat.gemv_many a [||])))
+    [ (1, 1, 1); (5, 3, 4); (16, 16, 12); (7, 2, 3) ]
+
 let test_mat_shape_errors () =
   let a = Mat.create 2 3 and b = Mat.create 2 2 in
   Alcotest.check_raises "mul mismatch"
@@ -673,6 +724,10 @@ let () =
           Alcotest.test_case "mul known" `Quick test_mat_mul_known;
           Alcotest.test_case "mul parallel" `Quick test_mat_mul_parallel_matches;
           Alcotest.test_case "gemv" `Quick test_mat_gemv;
+          Alcotest.test_case "symv blocked vs naive" `Quick
+            test_mat_symv_matches_gemv;
+          Alcotest.test_case "gemv_many byte-identical" `Quick
+            test_mat_gemv_many_byte_identical;
           Alcotest.test_case "trace/dot" `Quick test_mat_trace_dot;
           Alcotest.test_case "transpose" `Quick test_mat_transpose_involution;
           Alcotest.test_case "outer" `Quick test_mat_outer;

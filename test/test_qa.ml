@@ -336,6 +336,52 @@ let test_selftest_corrupt_backend_replay () =
   Alcotest.(check bool) "CLI prints the persisted message" true
     (contains ~affix:entry.Corpus.message text)
 
+(* Same acceptance story for the certified Chebyshev remainder: corrupt
+   the one-sided shift inside the exp kernel and prove the
+   remainder-soundness oracle (one-sidedness against dense ground
+   truth) catches it, shrinks it, and replays it byte-for-byte. The
+   solver-level bracket oracles cannot see this fault — decisions are
+   ratio-normalized (dots/trace), which absorbs any scalar shift — so
+   this self-test pins the one oracle that can. *)
+let remainder_failpoint = "expm.cheb.remainder=corrupt@always"
+
+let remainder_spec =
+  { Spec.family = Spec.Graph_cycle; dim = 3; n = 3; seed = 954685 }
+
+let test_selftest_corrupt_remainder_replay () =
+  let path = temp_corpus () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let config =
+    {
+      Fuzz.default with
+      Fuzz.seed = 11;
+      budget = 0.0;
+      max_cases = 1;
+      props = Result.get_ok (Property.select [ "cheb_remainder_sound" ]);
+      focus = [ remainder_spec ];
+      corpus_path = Some path;
+      failpoint_specs = [ remainder_failpoint ];
+    }
+  in
+  let outcome = Result.get_ok (Fuzz.run config) in
+  let failure =
+    match outcome.Fuzz.failures with
+    | [ f ] -> f
+    | l -> Alcotest.failf "want exactly 1 failure, got %d" (List.length l)
+  in
+  let entry = failure.Fuzz.entry in
+  Alcotest.(check string) "caught by the soundness oracle"
+    "cheb_remainder_sound" entry.Corpus.prop;
+  Alcotest.(check (list string)) "failpoints recorded" [ remainder_failpoint ]
+    entry.Corpus.failpoints;
+  match Fuzz.replay ~corpus:path ~id:entry.Corpus.id () with
+  | Ok (Fuzz.Reproduced msg, replayed) ->
+      Alcotest.(check string) "byte-for-byte message" entry.Corpus.message msg;
+      Alcotest.(check string) "same id" entry.Corpus.id replayed.Corpus.id
+  | Ok (Fuzz.Not_reproduced, _) -> Alcotest.fail "failure did not reproduce"
+  | Error msg -> Alcotest.fail msg
+
 (* ------------------------------------------------------------------ *)
 (* QCheck properties, through the pinned-seed harness *)
 
@@ -396,6 +442,8 @@ let () =
         [
           Alcotest.test_case "corrupt backend -> shrink -> replay" `Slow
             test_selftest_corrupt_backend_replay;
+          Alcotest.test_case "corrupt cheb remainder -> caught -> replay" `Slow
+            test_selftest_corrupt_remainder_replay;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -71,6 +71,35 @@ let test_csr_spmv_parallel () =
       Alcotest.(check bool) "parallel spmv = sequential" true
         (Vec.equal ~tol:0.0 (Csr.spmv ~pool s x) seq))
 
+(* Differential: the panel SpMV must be byte-identical per column to
+   the one-vector SpMV, sequentially and under a pool, including the
+   p = 0 and 1-row adversarial shapes. *)
+let test_csr_spmv_many_byte_identical () =
+  let rng = Rng.create 29 in
+  List.iter
+    (fun (rows, cols, density, p) ->
+      let m = random_dense rng rows cols density in
+      let s = Csr.of_dense m in
+      let xs = Array.init p (fun _ -> Rng.gaussian_array rng cols) in
+      let ys = Csr.spmv_many s xs in
+      Array.iteri
+        (fun r x ->
+          Alcotest.(check bool)
+            (Printf.sprintf "spmv_many %dx%d p=%d col %d" rows cols p r)
+            true
+            (Vec.equal ~tol:0.0 (Csr.spmv s x) ys.(r)))
+        xs;
+      Psdp_parallel.Pool.with_pool ~num_domains:3 (fun pool ->
+          let par = Csr.spmv_many ~pool s xs in
+          Array.iteri
+            (fun r y ->
+              Alcotest.(check bool)
+                (Printf.sprintf "parallel spmv_many col %d" r)
+                true
+                (Vec.equal ~tol:0.0 y par.(r)))
+            ys))
+    [ (1, 1, 1.0, 1); (20, 15, 0.3, 7); (40, 40, 0.05, 3); (5, 8, 0.5, 0) ]
+
 let test_csr_transpose () =
   let rng = Rng.create 13 in
   let m = random_dense rng 6 9 0.4 in
@@ -115,6 +144,36 @@ let test_factored_dense_agree () =
     (Vec.equal ~tol:1e-9 (Factored.apply f v) (Mat.gemv dense v));
   Alcotest.(check (float 1e-9)) "quadratic" (Vec.dot v (Mat.gemv dense v))
     (Factored.quadratic f v)
+
+(* Differential: the batched factored kernels against their
+   column-at-a-time references, byte-for-byte. *)
+let test_factored_batched_kernels () =
+  let rng = Rng.create 41 in
+  List.iter
+    (fun (dim, rank, density, p) ->
+      let f = random_factored rng dim rank density in
+      let vs = Array.init p (fun _ -> Rng.gaussian_array rng dim) in
+      let ys = Factored.apply_many f vs in
+      Array.iteri
+        (fun r v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "apply_many dim=%d p=%d col %d" dim p r)
+            true
+            (Vec.equal ~tol:0.0 (Factored.apply f v) ys.(r)))
+        vs;
+      let qt = Factored.factor_t f in
+      let want =
+        Array.fold_left
+          (fun acc v ->
+            let u = Csr.spmv qt v in
+            acc +. Vec.dot u u)
+          0.0 vs
+      in
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "gram_dot_many dim=%d p=%d" dim p)
+        want
+        (Factored.gram_dot_many f vs))
+    [ (1, 1, 1.0, 1); (10, 4, 0.5, 6); (16, 3, 0.2, 2); (8, 2, 0.7, 0) ]
 
 let test_factored_dot_dense () =
   let rng = Rng.create 19 in
@@ -193,6 +252,34 @@ let test_gram_matches_dense_sum () =
     (Weighted_gram.trace gram);
   Alcotest.(check bool) "to_dense" true
     (Mat.equal ~tol:1e-9 (Weighted_gram.to_dense gram) dense)
+
+(* Differential: the panel Ψ(x)-application must be byte-identical per
+   column to the one-vector application — the batched polynomial
+   chains in bigDotExp depend on this equality. *)
+let test_gram_apply_many_byte_identical () =
+  let rng = Rng.create 47 in
+  let n = 4 and dim = 12 in
+  let factors = Array.init n (fun _ -> random_factored rng dim 3 0.5) in
+  let gram = Weighted_gram.create factors in
+  Weighted_gram.set_weights gram (Array.init n (fun _ -> Rng.uniform rng)) ;
+  let vs = Array.init 6 (fun _ -> Rng.gaussian_array rng dim) in
+  let ys = Weighted_gram.apply_many gram vs in
+  Array.iteri
+    (fun r v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "apply_many col %d" r)
+        true
+        (Vec.equal ~tol:0.0 (Weighted_gram.apply gram v) ys.(r)))
+    vs;
+  Psdp_parallel.Pool.with_pool ~num_domains:3 (fun pool ->
+      let par = Weighted_gram.apply_many ~pool gram vs in
+      Array.iteri
+        (fun r y ->
+          Alcotest.(check bool)
+            (Printf.sprintf "parallel apply_many col %d" r)
+            true
+            (Vec.equal ~tol:0.0 y par.(r)))
+        ys)
 
 let test_gram_weight_updates () =
   let rng = Rng.create 41 in
@@ -299,6 +386,8 @@ let () =
           Alcotest.test_case "get" `Quick test_csr_get;
           Alcotest.test_case "spmv" `Quick test_csr_spmv_matches_dense;
           Alcotest.test_case "spmv parallel" `Quick test_csr_spmv_parallel;
+          Alcotest.test_case "spmv_many byte-identical" `Quick
+            test_csr_spmv_many_byte_identical;
           Alcotest.test_case "transpose" `Quick test_csr_transpose;
           Alcotest.test_case "identity/scale" `Quick test_csr_identity_scale;
           Alcotest.test_case "frobenius" `Quick test_csr_frobenius;
@@ -306,6 +395,8 @@ let () =
       ( "factored",
         [
           Alcotest.test_case "dense agreement" `Quick test_factored_dense_agree;
+          Alcotest.test_case "batched kernels byte-identical" `Quick
+            test_factored_batched_kernels;
           Alcotest.test_case "dot_dense" `Quick test_factored_dot_dense;
           Alcotest.test_case "lambda_max" `Quick test_factored_lambda_max;
           Alcotest.test_case "scale" `Quick test_factored_scale;
@@ -317,6 +408,8 @@ let () =
         [
           Alcotest.test_case "matches dense sum" `Quick
             test_gram_matches_dense_sum;
+          Alcotest.test_case "apply_many byte-identical" `Quick
+            test_gram_apply_many_byte_identical;
           Alcotest.test_case "weight updates" `Quick test_gram_weight_updates;
           Alcotest.test_case "rejects bad weights" `Quick
             test_gram_rejects_bad_weights;
